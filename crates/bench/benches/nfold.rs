@@ -1,0 +1,33 @@
+//! E-NF: the N-fold augmentation solver — scaling with the number of bricks N
+//! (Theorem 1 promises near-linear dependence on N).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfold::{augmentation_solve, AugmentationOptions, NFold};
+
+fn configuration_like(n: usize) -> NFold {
+    let a = vec![vec![1, 1, 0]];
+    let b = vec![vec![1, 1, -1], vec![0, 0, 1]];
+    NFold::new(
+        vec![a; n],
+        vec![b; n],
+        vec![n as i64],
+        vec![vec![0, 1]; n],
+        vec![0; 3 * n],
+        vec![n as i64; 3 * n],
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nfold_augmentation");
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 16, 32] {
+        let nf = configuration_like(n);
+        group.bench_with_input(BenchmarkId::new("bricks", n), &nf, |b, nf| {
+            b.iter(|| augmentation_solve(nf, AugmentationOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E-T14: the non-preemptive PTAS — runtime growth with the accuracy.
+use ccs_bench::Family;
+use ccs_ptas::PtasParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ptas_nonpreemptive");
+    group.sample_size(10);
+    let inst = Family::Uniform.instance(10, 3, 5, 2, 13);
+    for delta_inv in [2u64, 3] {
+        let params = PtasParams::with_delta_inv(delta_inv).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("delta_inv", delta_inv),
+            &params,
+            |b, params| b.iter(|| ccs_ptas::nonpreemptive_ptas(&inst, *params).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

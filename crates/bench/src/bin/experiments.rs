@@ -1,0 +1,272 @@
+//! Reproduction harness: prints, for every experiment id of `DESIGN.md`
+//! section 5, the quality/size table the paper's theorems promise.
+//!
+//! Usage: `cargo run --release -p ccs-bench --bin experiments [-- --exp <id>]`
+//! with ids `t4 t5 t6 l2 l3 t10 t11 t14 t19 f1 f2 f3 f4 f5 all`.
+
+use ccs_bench::{ratio_vs_lower_bound, Family};
+use ccs_core::{Rational, Schedule, ScheduleKind};
+use ccs_ptas::PtasParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let exp = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+    let run = |id: &str| exp == "all" || exp == id;
+
+    if run("t4") {
+        quality_table("E-T4  splittable 2-approx (Thm 4)", ScheduleKind::Splittable, |inst| {
+            let r = ccs_approx::splittable_two_approx(inst).unwrap();
+            (r.schedule.makespan(inst), r.search_iterations)
+        });
+    }
+    if run("t5") {
+        quality_table("E-T5  preemptive 2-approx (Thm 5)", ScheduleKind::Preemptive, |inst| {
+            let r = ccs_approx::preemptive_two_approx(inst).unwrap();
+            (r.schedule.makespan(inst), r.search_iterations)
+        });
+    }
+    if run("t6") {
+        quality_table("E-T6  non-preemptive 7/3-approx (Thm 6)", ScheduleKind::NonPreemptive, |inst| {
+            let r = ccs_approx::nonpreemptive_73_approx(inst).unwrap();
+            (r.schedule.makespan(inst), r.search_iterations)
+        });
+    }
+    if run("l2") {
+        exp_l2();
+    }
+    if run("l3") {
+        exp_l3();
+    }
+    if run("t10") || run("t14") || run("t19") {
+        exp_ptas(&exp);
+    }
+    if run("t11") {
+        exp_t11();
+    }
+    if run("f1") || run("f2") {
+        exp_figures_1_2();
+    }
+    if run("f3") {
+        exp_f3();
+    }
+    if run("f4") {
+        exp_f4();
+    }
+    if run("f5") {
+        exp_f5();
+    }
+}
+
+/// Quality of a constant-factor algorithm over the four workload families.
+fn quality_table<F>(title: &str, kind: ScheduleKind, mut algo: F)
+where
+    F: FnMut(&ccs_core::Instance) -> (Rational, usize),
+{
+    println!("\n== {title} ==");
+    println!("{:<16} {:>6} {:>10} {:>12} {:>10}", "family", "n", "makespan", "ratio_vs_LB", "iters");
+    for family in Family::ALL {
+        for &n in &[100usize, 400] {
+            let inst = family.instance(n, 16, 32, 3, 42);
+            let (mk, iters) = algo(&inst);
+            let lb = ccs_exact::strong_lower_bound(&inst, kind).max(Rational::ONE);
+            println!(
+                "{:<16} {:>6} {:>10.1} {:>12.3} {:>10}",
+                family.name(),
+                n,
+                mk.to_f64(),
+                (mk / lb).to_f64(),
+                iters
+            );
+        }
+    }
+}
+
+/// E-L2: border-search iterations grow with log m, not m.
+fn exp_l2() {
+    println!("\n== E-L2  advanced binary search (Lemma 2): iterations vs m ==");
+    println!("{:>16} {:>12}", "machines", "iterations");
+    for &m in &[16u64, 1 << 10, 1 << 20, 1 << 40] {
+        let inst = Family::Uniform.instance(200, m, 32, 3, 3);
+        let r = ccs_approx::splittable_two_approx(&inst).unwrap();
+        println!("{:>16} {:>12}", m, r.search_iterations);
+    }
+}
+
+/// E-L3: the round-robin load bound of Lemma 3.
+fn exp_l3() {
+    println!("\n== E-L3  round robin load bound (Lemma 3) ==");
+    println!("{:>6} {:>6} {:>12} {:>12}", "items", "m", "max_load", "bound");
+    for &(items, m) in &[(50usize, 7u64), (200, 16), (1000, 32)] {
+        let weights: Vec<Rational> = (0..items)
+            .map(|i| Rational::from(1 + ((i * 7919) % 100) as u64))
+            .collect();
+        let assignment = ccs_approx::round_robin::round_robin_by_weight(&weights, m);
+        let loads = ccs_approx::round_robin::machine_loads(&weights, &assignment, m);
+        let bound = ccs_approx::round_robin::lemma3_bound(&weights, m);
+        let max = loads.into_iter().fold(Rational::ZERO, Rational::max);
+        println!("{:>6} {:>6} {:>12.1} {:>12.1}", items, m, max.to_f64(), bound.to_f64());
+    }
+}
+
+/// E-T10 / E-T14 / E-T19: PTAS quality vs the exact optimum and the constant
+/// approximations on small instances, as the accuracy increases.
+fn exp_ptas(which: &str) {
+    println!("\n== E-T10/T14/T19  PTAS quality vs exact optimum (small instances) ==");
+    println!(
+        "{:<14} {:>9} {:>8} {:>10} {:>10} {:>10}",
+        "case", "delta_inv", "opt", "ptas", "2/7-3appr", "ratio"
+    );
+    for seed in [1u64, 2, 3] {
+        let inst = ccs_gen::tiny_random(seed);
+        if !inst.is_feasible() {
+            continue;
+        }
+        for delta_inv in [2u64, 4] {
+            let params = PtasParams::with_delta_inv(delta_inv).unwrap();
+            if which == "all" || which == "t10" {
+                if let (Ok(opt), Ok(ptas), Ok(approx)) = (
+                    ccs_exact::splittable_optimum(&inst),
+                    ccs_ptas::splittable_ptas(&inst, params),
+                    ccs_approx::splittable_two_approx(&inst),
+                ) {
+                    row("splittable", delta_inv, opt, ptas.schedule.makespan(&inst), approx.schedule.makespan(&inst));
+                }
+            }
+            if which == "all" || which == "t14" {
+                if let (Ok(opt), Ok(ptas), Ok(approx)) = (
+                    ccs_exact::nonpreemptive_optimum(&inst),
+                    ccs_ptas::nonpreemptive_ptas(&inst, params),
+                    ccs_approx::nonpreemptive_73_approx(&inst),
+                ) {
+                    row("non-preemptive", delta_inv, Rational::from(opt), ptas.schedule.makespan(&inst), approx.schedule.makespan(&inst));
+                }
+            }
+            if which == "all" || which == "t19" {
+                if let (Ok(opt), Ok(ptas), Ok(approx)) = (
+                    ccs_exact::preemptive_optimum(&inst),
+                    ccs_ptas::preemptive_ptas(&inst, params),
+                    ccs_approx::preemptive_two_approx(&inst),
+                ) {
+                    row("preemptive", delta_inv, opt, ptas.schedule.makespan(&inst), approx.schedule.makespan(&inst));
+                }
+            }
+        }
+    }
+
+    fn row(case: &str, delta_inv: u64, opt: Rational, ptas: Rational, approx: Rational) {
+        println!(
+            "{:<14} {:>9} {:>8.2} {:>10.2} {:>10.2} {:>10.3}",
+            case,
+            delta_inv,
+            opt.to_f64(),
+            ptas.to_f64(),
+            approx.to_f64(),
+            ptas.to_f64() / opt.to_f64().max(1e-9)
+        );
+    }
+}
+
+/// E-T11: an exponential number of machines — compact output of the
+/// splittable algorithm (Theorem 4 second part / Theorem 11).
+fn exp_t11() {
+    println!("\n== E-T11  exponential number of machines (compact output) ==");
+    println!("{:>16} {:>14} {:>14} {:>10}", "machines", "makespan", "ratio_vs_LB", "encoding");
+    for &m in &[1_000_000u64, 1_000_000_000, 1_000_000_000_000] {
+        let inst = Family::Zipf.instance(100, m, 16, 2, 7);
+        let r = ccs_approx::splittable_two_approx(&inst).unwrap();
+        let ratio = ratio_vs_lower_bound(&inst, &r.schedule, ScheduleKind::Splittable);
+        println!(
+            "{:>16} {:>14.6} {:>14.3} {:>10}",
+            m,
+            r.schedule.makespan(&inst).to_f64(),
+            ratio,
+            r.schedule.encoding_size()
+        );
+    }
+}
+
+/// F-1 / F-2: the round-robin schedule of Figure 1 and its preemptive
+/// repacking (Figure 2), printed as ASCII Gantt charts.
+fn exp_figures_1_2() {
+    println!("\n== F-1/F-2  Figures 1 and 2: round robin and repacking ==");
+    // Ten classes with decreasing loads on four machines, as in the figure.
+    let jobs: Vec<(u64, u32)> = (0..10).map(|i| (10 - i as u64, i as u32)).collect();
+    let inst = ccs_core::instance::instance_from_pairs(4, 3, &jobs).unwrap();
+    let split = ccs_approx::splittable_two_approx(&inst).unwrap();
+    println!("splittable round robin, makespan {}", split.schedule.makespan(&inst));
+    for machine in 0..4u64 {
+        let load = split.schedule.load_of_machine(machine);
+        let classes = split.schedule.classes_on_machine(&inst, machine);
+        println!("  machine {machine}: load {:<6} classes {:?}", load.to_f64(), classes);
+    }
+    let pre = ccs_approx::preemptive_two_approx(&inst).unwrap();
+    println!("preemptive repacking, makespan {}", pre.schedule.makespan(&inst));
+    for (i, pieces) in pre.schedule.machines().iter().enumerate() {
+        let mut desc: Vec<String> = pieces
+            .iter()
+            .map(|p| format!("j{}[{}..{})", p.job, p.start.to_f64(), p.end().to_f64()))
+            .collect();
+        desc.sort();
+        println!("  machine {i}: {}", desc.join(" "));
+    }
+}
+
+/// F-3: the class-pair swap that bounds the number of non-trivial machines
+/// when m is exponential (Figure 3) — demonstrated via the compact encoding.
+fn exp_f3() {
+    println!("\n== F-3  exponential m: compact encoding sizes ==");
+    let inst = Family::Uniform.instance(60, 1 << 40, 12, 2, 9);
+    let r = ccs_approx::splittable_two_approx(&inst).unwrap();
+    println!(
+        "n = {}, m = 2^40: schedule encoded with {} explicit pieces / runs (polynomial in n)",
+        inst.num_jobs(),
+        r.schedule.encoding_size()
+    );
+}
+
+/// F-4: dissolving a configuration into modules and jobs.
+fn exp_f4() {
+    println!("\n== F-4  configuration -> modules -> jobs (non-preemptive PTAS) ==");
+    let inst = ccs_core::instance::instance_from_pairs(
+        2,
+        2,
+        &[(6, 0), (5, 0), (4, 1), (3, 1), (1, 2)],
+    )
+    .unwrap();
+    let params = PtasParams::with_delta_inv(2).unwrap();
+    let res = ccs_ptas::nonpreemptive_ptas(&inst, params).unwrap();
+    println!("accepted guess {}, makespan {}", res.guess, res.schedule.makespan_int(&inst));
+    for (machine, jobs) in res.schedule.machine_contents() {
+        let desc: Vec<String> = jobs
+            .iter()
+            .map(|&j| format!("j{j}(p={},c={})", inst.processing_time(j), inst.class_of(j)))
+            .collect();
+        println!("  machine {machine}: {}", desc.join(" "));
+    }
+}
+
+/// F-5: the layer-assignment flow network of Lemma 16.
+fn exp_f5() {
+    println!("\n== F-5  layer-assignment flow network (Lemma 16) ==");
+    let requests = vec![
+        flownet::LayerRequest { units: 2, allowed_machines: vec![0, 1] },
+        flownet::LayerRequest { units: 1, allowed_machines: vec![0] },
+        flownet::LayerRequest { units: 2, allowed_machines: vec![1] },
+    ];
+    let caps = vec![3, 2];
+    match flownet::layer_assignment(&requests, &caps, 3) {
+        Some(assignment) => {
+            println!("integral assignment found ({} slots):", assignment.placements.len());
+            for (job, machine, layer) in assignment.placements {
+                println!("  job {job} -> machine {machine}, layer {layer}");
+            }
+        }
+        None => println!("no assignment (unexpected for this example)"),
+    }
+}

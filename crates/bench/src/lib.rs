@@ -1,0 +1,88 @@
+//! # ccs-bench — shared helpers for the benchmark harness
+//!
+//! The Criterion benches and the `experiments` binary reproduce every
+//! table/figure-equivalent artefact of the paper (see `DESIGN.md`, section 5
+//! and `EXPERIMENTS.md` for the recorded results).  This library provides the
+//! common workloads and quality metrics they use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ccs_core::{Instance, Rational, Schedule, ScheduleKind};
+use ccs_gen::GenParams;
+
+/// The standard workload families exercised by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Uniform processing times and classes.
+    Uniform,
+    /// Zipf-distributed class popularity.
+    Zipf,
+    /// Data-placement scenario (paper introduction).
+    DataPlacement,
+    /// Video-on-demand scenario.
+    VideoOnDemand,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 4] = [
+        Family::Uniform,
+        Family::Zipf,
+        Family::DataPlacement,
+        Family::VideoOnDemand,
+    ];
+
+    /// Human readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Uniform => "uniform",
+            Family::Zipf => "zipf",
+            Family::DataPlacement => "data-placement",
+            Family::VideoOnDemand => "video-on-demand",
+        }
+    }
+
+    /// Generates an instance of this family.
+    pub fn instance(&self, jobs: usize, machines: u64, classes: u32, slots: u64, seed: u64) -> Instance {
+        let params = GenParams::new(jobs, machines, classes, slots);
+        match self {
+            Family::Uniform => ccs_gen::uniform(&params, seed),
+            Family::Zipf => ccs_gen::zipf_classes(&params, seed),
+            Family::DataPlacement => ccs_gen::data_placement(&params, seed),
+            Family::VideoOnDemand => ccs_gen::video_on_demand(&params, seed),
+        }
+    }
+}
+
+/// The measured quality of a schedule: makespan divided by the best known
+/// lower bound on the optimum (an upper bound on the true approximation
+/// ratio).
+pub fn ratio_vs_lower_bound<S: Schedule>(inst: &Instance, schedule: &S, kind: ScheduleKind) -> f64 {
+    let lb = ccs_exact::strong_lower_bound(inst, kind).max(Rational::ONE);
+    (schedule.makespan(inst) / lb).to_f64()
+}
+
+/// A standard size sweep used by the running-time experiments.
+pub const SIZE_SWEEP: [usize; 4] = [50, 100, 200, 400];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_generate_feasible_instances() {
+        for family in Family::ALL {
+            let inst = family.instance(40, 5, 10, 3, 7);
+            assert!(inst.is_feasible(), "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn ratio_helper_at_least_one() {
+        let inst = Family::Uniform.instance(30, 4, 8, 2, 1);
+        let res = ccs_approx::splittable_two_approx(&inst).unwrap();
+        let ratio = ratio_vs_lower_bound(&inst, &res.schedule, ScheduleKind::Splittable);
+        assert!((1.0..=2.0001).contains(&ratio));
+    }
+}

@@ -1,0 +1,202 @@
+//! The "advanced binary search" of Lemma 2.
+//!
+//! For the splittable and preemptive algorithms the only obstruction to a
+//! makespan guess `T` is the number of sub-classes created when every class
+//! with `P_u > T` is cut into `⌈P_u / T⌉` pieces of load at most `T`: the
+//! guess is *feasible* iff that number is at most `c·m`.  The count only
+//! changes at the *borders* `P_u / k`, so instead of binary searching over an
+//! (uncountable) range of rational makespans it suffices to binary search, for
+//! every class, over `k ∈ {1, …, m}` — `O(C log m)` feasibility checks in
+//! total (Lemma 2).
+
+use ccs_core::{Instance, Rational};
+
+/// Outcome of the border search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorderSearch {
+    /// The smallest feasible guess `T* ≥ lb`; the algorithms' approximation
+    /// guarantees rely on `T* ≤ opt(I)`, which holds because the count of
+    /// sub-classes forced by a makespan-`T` schedule is a valid lower bound on
+    /// the class slots it occupies.
+    pub threshold: Rational,
+    /// Number of feasibility evaluations performed (Lemma 2: `O(C log m)`).
+    pub iterations: usize,
+}
+
+/// Number of sub-classes created by the guess `t`:
+/// `Σ_u ⌈P_u / t⌉` (classes with `P_u ≤ t` stay whole and count once).
+pub fn count_subclasses(class_loads: &[u64], t: Rational) -> u128 {
+    debug_assert!(t.is_positive());
+    class_loads
+        .iter()
+        .map(|&p| Rational::from(p).ceil_div(t) as u128)
+        .sum()
+}
+
+/// Returns `true` if the guess `t` produces at most `slot_budget` sub-classes.
+pub fn is_feasible_guess(class_loads: &[u64], t: Rational, slot_budget: u128) -> bool {
+    count_subclasses(class_loads, t) <= slot_budget
+}
+
+/// The total class-slot budget `c_eff · m` of an instance.
+pub fn slot_budget(inst: &Instance) -> u128 {
+    inst.effective_class_slots() as u128 * inst.machines() as u128
+}
+
+/// Finds the smallest feasible makespan guess that is at least `lb`.
+///
+/// Only guesses of the form `P_u / k` with `k ∈ {1, …, m}` and the lower bound
+/// itself have to be considered (Lemma 2): the sub-class count is constant
+/// between two neighbouring borders and borders below `lb` are irrelevant
+/// because the area bound already excludes them.
+///
+/// # Panics
+/// Panics (debug assertion) if no feasible guess exists; callers must check
+/// [`Instance::is_feasible`] first — `T = max_u P_u` is always feasible for a
+/// feasible instance.
+pub fn minimal_feasible_guess(inst: &Instance, lb: Rational) -> BorderSearch {
+    let class_loads = inst.class_loads();
+    let budget = slot_budget(inst);
+    let m = inst.machines();
+
+    let mut iterations = 1usize;
+    if is_feasible_guess(class_loads, lb, budget) {
+        return BorderSearch {
+            threshold: lb,
+            iterations,
+        };
+    }
+
+    let mut best: Option<Rational> = None;
+    for &pu in class_loads {
+        let pu_r = Rational::from(pu);
+        // Borders of class u that are >= lb correspond to k <= P_u / lb.
+        let k_cap = (pu_r / lb).floor();
+        if k_cap < 1 {
+            // Every border of this class lies below lb.
+            continue;
+        }
+        let k_max = (k_cap as u128).min(m as u128).max(1) as i128;
+
+        // Feasibility is monotone in T, i.e. antitone in k: find the largest
+        // feasible k (smallest feasible border of this class), if any.
+        let mut lo: i128 = 1;
+        let mut hi: i128 = k_max;
+        // Check k = 1 first; if even the full class load is infeasible, this
+        // class contributes no candidate.
+        iterations += 1;
+        if !is_feasible_guess(class_loads, pu_r, budget) {
+            continue;
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo + 1) / 2;
+            let t = pu_r / Rational::from_int(mid);
+            iterations += 1;
+            if is_feasible_guess(class_loads, t, budget) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let candidate = pu_r / Rational::from_int(lo);
+        best = Some(match best {
+            Some(b) => b.min(candidate),
+            None => candidate,
+        });
+    }
+
+    let threshold = best.expect("a feasible instance always admits a feasible border");
+    debug_assert!(threshold >= lb);
+    BorderSearch {
+        threshold,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn count_subclasses_matches_hand_computation() {
+        // loads 10, 4 at T = 3: ceil(10/3) + ceil(4/3) = 4 + 2 = 6.
+        let t = Rational::from_int(3);
+        assert_eq!(count_subclasses(&[10, 4], t), 6);
+        // At T = 10 every class stays whole.
+        assert_eq!(count_subclasses(&[10, 4], Rational::from_int(10)), 2);
+        // Fractional threshold.
+        assert_eq!(count_subclasses(&[10], Rational::new(10, 3)), 3);
+    }
+
+    #[test]
+    fn lb_feasible_short_circuits() {
+        // Plenty of slots: the area bound itself is feasible.
+        let inst = instance_from_pairs(10, 5, &[(6, 0), (6, 1)]).unwrap();
+        let lb = inst.average_load();
+        let res = minimal_feasible_guess(&inst, lb);
+        assert_eq!(res.threshold, lb);
+        assert_eq!(res.iterations, 1);
+    }
+
+    #[test]
+    fn finds_smallest_feasible_border_above_lb() {
+        // One class of load 100, m = 4 machines, 1 slot each: at most 4
+        // sub-classes, so the smallest feasible border is 100/4 = 25,
+        // which is above the area bound 100/4 = 25 -> threshold 25.
+        let inst = instance_from_pairs(4, 1, &[(100, 0)]).unwrap();
+        let res = minimal_feasible_guess(&inst, inst.average_load());
+        assert_eq!(res.threshold, Rational::from_int(25));
+    }
+
+    #[test]
+    fn threshold_respects_slot_budget() {
+        // Two classes of load 30 and 20, m = 2, c = 2 -> budget 4 slots.
+        // Area bound = 25.  At T = 25: ceil(30/25)+ceil(20/25) = 2+1 = 3 <= 4,
+        // so the area bound itself is already feasible.
+        let inst = instance_from_pairs(2, 2, &[(30, 0), (20, 1)]).unwrap();
+        let res = minimal_feasible_guess(&inst, inst.average_load());
+        assert_eq!(res.threshold, Rational::from_int(25));
+
+        // Tighter: c = 1 -> budget 2.  T must satisfy
+        // ceil(30/T)+ceil(20/T) <= 2, i.e. T >= 30.  Border 30 = P_0/1.
+        let inst = instance_from_pairs(2, 1, &[(30, 0), (20, 1)]).unwrap();
+        let res = minimal_feasible_guess(&inst, inst.average_load());
+        assert_eq!(res.threshold, Rational::from_int(30));
+    }
+
+    #[test]
+    fn iteration_count_scales_with_log_m_not_m() {
+        let jobs: Vec<(u64, u32)> = (0..20).map(|i| (50 + i as u64, i as u32)).collect();
+        let small_m = instance_from_pairs(8, 3, &jobs).unwrap();
+        let huge_m = instance_from_pairs(1 << 40, 3, &jobs).unwrap();
+        let a = minimal_feasible_guess(&small_m, small_m.average_load());
+        let b = minimal_feasible_guess(&huge_m, huge_m.average_load());
+        // C log m with C = 20, log2(2^40) = 40: comfortably below 20*45.
+        assert!(a.iterations <= 20 * 8);
+        assert!(b.iterations <= 20 * 45);
+    }
+
+    #[test]
+    fn respects_explicit_lower_bound() {
+        // With a preemptive-style lower bound (p_max) the returned threshold
+        // never drops below it.
+        let inst = instance_from_pairs(100, 3, &[(40, 0), (3, 1), (3, 2)]).unwrap();
+        let lb = Rational::from_int(40);
+        let res = minimal_feasible_guess(&inst, lb);
+        assert!(res.threshold >= lb);
+    }
+
+    #[test]
+    fn feasibility_monotone_in_t() {
+        let loads = [37u64, 23, 11, 5];
+        let budget = 6u128;
+        let mut last = u128::MAX;
+        for t in 1..=40u64 {
+            let c = count_subclasses(&loads, Rational::from(t));
+            assert!(c <= last, "count must be non-increasing in T");
+            last = c;
+            let _ = is_feasible_guess(&loads, Rational::from(t), budget);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Splitting classes into sub-classes ("chunks") of load at most `T`.
+//!
+//! Given a makespan guess `T`, every class with `P_u > T` is divided into
+//! `⌈P_u / T⌉` new sub-classes by slicing its load interval `[0, P_u)` —
+//! with the jobs laid out in their canonical (input) order — into pieces of
+//! size exactly `T` plus one remainder.  Classes with `P_u ≤ T` stay whole.
+//! This is the pre-processing step shared by Algorithm 1 (splittable),
+//! its preemptive extension and, in aggregated form, the compact construction
+//! for an exponential number of machines.
+
+use ccs_core::{ClassId, Instance, JobId, Rational};
+
+/// A sub-class: a contiguous slice `[offset, offset + len)` of the load
+/// interval of `class`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The original class this chunk belongs to.
+    pub class: ClassId,
+    /// Start offset inside the class load interval `[0, P_u)`.
+    pub offset: Rational,
+    /// Load of the chunk (`0 < len ≤ T`).
+    pub len: Rational,
+}
+
+/// Aggregated per-class chunk counts, used when the explicit chunk list would
+/// be too large (exponential `m`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassChunks {
+    /// The class.
+    pub class: ClassId,
+    /// Number of chunks of load exactly `T`.
+    pub full_chunks: u64,
+    /// Load of the final chunk in `(0, T]`, or zero if `P_u` is a multiple of
+    /// `T` (then there is no remainder chunk).
+    pub remainder: Rational,
+}
+
+impl ClassChunks {
+    /// Total number of chunks of this class.
+    pub fn num_chunks(&self) -> u64 {
+        self.full_chunks + u64::from(self.remainder.is_positive())
+    }
+}
+
+/// Splits every class according to the guess `t`, returning aggregated
+/// per-class counts (`O(C)` output size regardless of `m`).
+pub fn class_chunk_counts(inst: &Instance, t: Rational) -> Vec<ClassChunks> {
+    assert!(t.is_positive(), "makespan guess must be positive");
+    (0..inst.num_classes())
+        .map(|class| {
+            let load = Rational::from(inst.class_load(class));
+            if load <= t {
+                ClassChunks {
+                    class,
+                    full_chunks: 0,
+                    remainder: load,
+                }
+            } else {
+                let full = (load / t).floor() as u64;
+                let remainder = load - t * Rational::from(full);
+                ClassChunks {
+                    class,
+                    full_chunks: full,
+                    remainder,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Splits every class according to the guess `t` into an explicit chunk list.
+///
+/// The total number of chunks is `Σ_u ⌈P_u / t⌉`; callers that may face an
+/// exponential number of machines must use [`class_chunk_counts`] instead.
+pub fn split_classes(inst: &Instance, t: Rational) -> Vec<Chunk> {
+    let mut chunks = Vec::new();
+    for cc in class_chunk_counts(inst, t) {
+        let mut offset = Rational::ZERO;
+        for _ in 0..cc.full_chunks {
+            chunks.push(Chunk {
+                class: cc.class,
+                offset,
+                len: t,
+            });
+            offset += t;
+        }
+        if cc.remainder.is_positive() {
+            chunks.push(Chunk {
+                class: cc.class,
+                offset,
+                len: cc.remainder,
+            });
+        }
+    }
+    chunks
+}
+
+/// The job pieces making up a chunk: `(job, amount, offset_within_chunk)`.
+///
+/// Jobs of a class are laid out on its load interval in canonical (input)
+/// order; the pieces of a chunk are the intersections of that layout with
+/// `[chunk.offset, chunk.offset + chunk.len)`.
+pub fn chunk_pieces(inst: &Instance, chunk: &Chunk) -> Vec<(JobId, Rational, Rational)> {
+    let lo = chunk.offset;
+    let hi = chunk.offset + chunk.len;
+    let mut pieces = Vec::new();
+    let mut cursor = Rational::ZERO;
+    for &job in inst.jobs_of_class(chunk.class) {
+        let p = Rational::from(inst.processing_time(job));
+        let job_lo = cursor;
+        let job_hi = cursor + p;
+        let ov_lo = job_lo.max(lo);
+        let ov_hi = job_hi.min(hi);
+        if ov_hi > ov_lo {
+            pieces.push((job, ov_hi - ov_lo, ov_lo - lo));
+        }
+        cursor = job_hi;
+        if job_lo >= hi {
+            break;
+        }
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn inst() -> Instance {
+        // class 0: jobs 0 (7), 1 (5) -> P_0 = 12; class 1: job 2 (3) -> P_1 = 3
+        instance_from_pairs(4, 2, &[(7, 0), (5, 0), (3, 1)]).unwrap()
+    }
+
+    #[test]
+    fn small_class_stays_whole() {
+        let chunks = split_classes(&inst(), r(12, 1));
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len, r(12, 1));
+        assert_eq!(chunks[1].len, r(3, 1));
+    }
+
+    #[test]
+    fn large_class_cut_into_full_chunks_and_remainder() {
+        let chunks = split_classes(&inst(), r(5, 1));
+        // class 0 (12): chunks 5, 5, 2; class 1 (3): whole.
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len, r(5, 1));
+        assert_eq!(chunks[1].offset, r(5, 1));
+        assert_eq!(chunks[2].len, r(2, 1));
+        assert_eq!(chunks[3].class, 1);
+        let total: Rational = chunks.iter().map(|c| c.len).sum();
+        assert_eq!(total, r(15, 1));
+    }
+
+    #[test]
+    fn exact_multiple_has_no_remainder() {
+        let chunks = split_classes(&inst(), r(6, 1));
+        // class 0 (12): 6, 6; class 1: whole.
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len.is_positive()));
+        let counts = class_chunk_counts(&inst(), r(6, 1));
+        assert_eq!(counts[0].full_chunks, 2);
+        assert!(counts[0].remainder.is_zero());
+        assert_eq!(counts[0].num_chunks(), 2);
+    }
+
+    #[test]
+    fn counts_match_ceiling_formula() {
+        for t in 1..=15u64 {
+            let t = Rational::from(t);
+            let counts = class_chunk_counts(&inst(), t);
+            for cc in counts {
+                let load = Rational::from(inst().class_load(cc.class));
+                assert_eq!(cc.num_chunks() as i128, load.ceil_div(t));
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_threshold_supported() {
+        let chunks = split_classes(&inst(), r(7, 2));
+        // class 0 (12): 3.5, 3.5, 3.5, 1.5 -> 4 chunks.
+        let class0: Vec<_> = chunks.iter().filter(|c| c.class == 0).collect();
+        assert_eq!(class0.len(), 4);
+        assert_eq!(class0[3].len, r(3, 2));
+    }
+
+    #[test]
+    fn chunk_pieces_follow_canonical_order() {
+        let chunks = split_classes(&inst(), r(5, 1));
+        // First chunk of class 0 covers [0,5): job 0 fully? job 0 has p=7, so
+        // piece (0, 5). Second chunk [5,10): job 0 remaining 2, job 1 amount 3.
+        let p0 = chunk_pieces(&inst(), &chunks[0]);
+        assert_eq!(p0, vec![(0, r(5, 1), r(0, 1))]);
+        let p1 = chunk_pieces(&inst(), &chunks[1]);
+        assert_eq!(p1, vec![(0, r(2, 1), r(0, 1)), (1, r(3, 1), r(2, 1))]);
+        let p2 = chunk_pieces(&inst(), &chunks[2]);
+        assert_eq!(p2, vec![(1, r(2, 1), r(0, 1))]);
+    }
+
+    #[test]
+    fn pieces_of_all_chunks_cover_all_jobs_exactly() {
+        for t in [r(3, 1), r(4, 1), r(7, 2), r(100, 7)] {
+            let inst = inst();
+            let mut cover = vec![Rational::ZERO; inst.num_jobs()];
+            for ch in split_classes(&inst, t) {
+                for (job, amount, _) in chunk_pieces(&inst, &ch) {
+                    cover[job] += amount;
+                }
+            }
+            for (job, &c) in cover.iter().enumerate() {
+                assert_eq!(c, Rational::from(inst.processing_time(job)));
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_cut_at_most_once_when_t_geq_pmax() {
+        // With T >= p_max every job spans at most two adjacent chunks.
+        let inst = instance_from_pairs(3, 2, &[(4, 0), (4, 0), (4, 0), (5, 1)]).unwrap();
+        let t = r(5, 1);
+        let chunks = split_classes(&inst, t);
+        let mut appearances = vec![0usize; inst.num_jobs()];
+        for ch in &chunks {
+            for (job, _, _) in chunk_pieces(&inst, ch) {
+                appearances[job] += 1;
+            }
+        }
+        assert!(appearances.iter().all(|&a| a <= 2));
+    }
+}

@@ -1,0 +1,43 @@
+//! # ccs-approx — constant-factor approximation algorithms for CCS
+//!
+//! Implementation of Section 3 of "Approximation Algorithms for Scheduling
+//! with Class Constraints" (Jansen, Lassota, Maack; SPAA 2020):
+//!
+//! * [`splittable::splittable_two_approx`] — Algorithm 1, a 2-approximation
+//!   for the splittable case in `O(n² log n)` (Theorem 4), including the
+//!   compact output encoding that keeps the running time and output length
+//!   polynomial in `n` when the number of machines is exponential.
+//! * [`preemptive::preemptive_two_approx`] — Algorithm 1 + the repacking of
+//!   Algorithm 2, a 2-approximation for the preemptive case (Theorem 5).
+//! * [`nonpreemptive::nonpreemptive_73_approx`] — the 7/3-approximation for
+//!   the non-preemptive case based on the refined class-slot lower bound
+//!   `C_u = max(C¹_u, C²_u)` and LPT as a subroutine (Theorem 6).
+//!
+//! Shared building blocks, each exposed on its own because they are reused by
+//! the PTASs and by the benchmark harness:
+//!
+//! * [`border_search`] — the "advanced binary search" over the borders
+//!   `P_u / k` (Lemma 2),
+//! * [`chunking`] — splitting classes with `P_u > T` into sub-classes of load
+//!   at most `T`,
+//! * [`round_robin`] — the round-robin distribution and the load bound of
+//!   Lemma 3,
+//! * [`lpt`] — longest-processing-time-first list scheduling onto a fixed
+//!   number of groups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod border_search;
+pub mod chunking;
+pub mod lpt;
+pub mod nonpreemptive;
+pub mod preemptive;
+pub mod result;
+pub mod round_robin;
+pub mod splittable;
+
+pub use nonpreemptive::nonpreemptive_73_approx;
+pub use preemptive::preemptive_two_approx;
+pub use result::ApproxResult;
+pub use splittable::splittable_two_approx;

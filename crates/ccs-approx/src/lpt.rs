@@ -1,0 +1,151 @@
+//! Longest-processing-time-first (LPT) list scheduling onto a fixed number of
+//! groups, used as a subroutine by the 7/3-approximation (Theorem 6) to divide
+//! the jobs of a class into `C_u` sub-classes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Assigns the items (with the given weights) to `groups` groups via LPT:
+/// items are considered in non-ascending weight order and each is placed on
+/// the currently least-loaded group.  Returns the group index of every item.
+///
+/// # Panics
+/// Panics if `groups == 0`.
+pub fn lpt_assign(weights: &[u64], groups: usize) -> Vec<usize> {
+    assert!(groups > 0, "LPT with zero groups");
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+
+    // Min-heap over (load, group index) — ties broken by group index so the
+    // output is deterministic.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..groups).map(|g| Reverse((0u64, g))).collect();
+    let mut assignment = vec![0usize; weights.len()];
+    for &item in &order {
+        let Reverse((load, group)) = heap.pop().expect("heap never empty");
+        assignment[item] = group;
+        heap.push(Reverse((load + weights[item], group)));
+    }
+    assignment
+}
+
+/// Group loads induced by an assignment.
+pub fn group_loads(weights: &[u64], assignment: &[usize], groups: usize) -> Vec<u64> {
+    let mut loads = vec![0u64; groups];
+    for (item, &g) in assignment.iter().enumerate() {
+        loads[g] += weights[item];
+    }
+    loads
+}
+
+/// Maximum group load of an LPT assignment (convenience wrapper).
+pub fn lpt_makespan(weights: &[u64], groups: usize) -> u64 {
+    let assignment = lpt_assign(weights, groups);
+    group_loads(weights, &assignment, groups)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_group_gets_everything() {
+        let w = [5, 3, 9];
+        let a = lpt_assign(&w, 1);
+        assert_eq!(a, vec![0, 0, 0]);
+        assert_eq!(lpt_makespan(&w, 1), 17);
+    }
+
+    #[test]
+    fn classic_lpt_example() {
+        // Weights 7,6,5,4,3 on 2 groups.
+        // LPT order: 7->g0 (7,0); 6->g1 (7,6); 5->g1 (7,11); 4->g0 (11,11);
+        // 3->g0 (14,11).  Makespan 14 (the optimum is 13 — LPT is a 7/6
+        // approximation, not exact).
+        let a = lpt_assign(&[7, 6, 5, 4, 3], 2);
+        let loads = group_loads(&[7, 6, 5, 4, 3], &a, 2);
+        assert_eq!(loads.iter().copied().max().unwrap(), 14);
+        assert_eq!(loads.iter().sum::<u64>(), 25);
+        assert_eq!(lpt_makespan(&[7, 6, 5, 4, 3], 2), 14);
+    }
+
+    #[test]
+    fn balanced_when_weights_equal() {
+        let w = [4u64; 8];
+        let a = lpt_assign(&w, 4);
+        let loads = group_loads(&w, &a, 4);
+        assert!(loads.iter().all(|&l| l == 8));
+    }
+
+    #[test]
+    fn more_groups_than_items() {
+        let w = [9, 1];
+        let a = lpt_assign(&w, 5);
+        let loads = group_loads(&w, &a, 5);
+        assert_eq!(loads.iter().filter(|&&l| l > 0).count(), 2);
+        assert_eq!(lpt_makespan(&w, 5), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_groups_panics() {
+        lpt_assign(&[1], 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Graham's bound: LPT makespan <= sum/m + max (weaker form
+            /// sufficient for the 7/3 analysis of the paper).
+            #[test]
+            fn graham_style_bound(
+                weights in proptest::collection::vec(1u64..500, 1..50),
+                groups in 1usize..10,
+            ) {
+                let mk = lpt_makespan(&weights, groups);
+                let sum: u64 = weights.iter().sum();
+                let max: u64 = *weights.iter().max().unwrap();
+                prop_assert!(mk <= sum / groups as u64 + max);
+            }
+
+            /// Every item is assigned to exactly one existing group and loads
+            /// add up.
+            #[test]
+            fn assignment_is_complete(
+                weights in proptest::collection::vec(1u64..500, 1..50),
+                groups in 1usize..10,
+            ) {
+                let a = lpt_assign(&weights, groups);
+                prop_assert_eq!(a.len(), weights.len());
+                prop_assert!(a.iter().all(|&g| g < groups));
+                let loads = group_loads(&weights, &a, groups);
+                prop_assert_eq!(loads.iter().sum::<u64>(), weights.iter().sum::<u64>());
+            }
+
+            /// The least loaded group before placing the smallest item is at
+            /// most the average, hence LPT's max load is at most average +
+            /// smallest-item-at-overflow; we check the simple consequence that
+            /// the spread between max and min load is at most the largest
+            /// weight.
+            #[test]
+            fn spread_bounded_by_max_weight(
+                weights in proptest::collection::vec(1u64..500, 1..50),
+                groups in 1usize..10,
+            ) {
+                let a = lpt_assign(&weights, groups);
+                let loads = group_loads(&weights, &a, groups);
+                let max = *loads.iter().max().unwrap();
+                let min = *loads.iter().min().unwrap();
+                let max_w = *weights.iter().max().unwrap();
+                if weights.len() >= groups {
+                    prop_assert!(max - min <= max_w);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Common result type returned by the approximation algorithms.
+
+use ccs_core::Rational;
+
+/// The output of an approximation algorithm: the schedule plus the quantities
+/// needed to reason about its quality and to report statistics.
+#[derive(Debug, Clone)]
+pub struct ApproxResult<S> {
+    /// The computed schedule (already feasible; all algorithms in this crate
+    /// only ever return schedules that pass the validators of `ccs-core`).
+    pub schedule: S,
+    /// The makespan guess `T*` accepted by the algorithm.  The constant-factor
+    /// algorithms guarantee `T* ≤ opt(I)`.
+    pub guess: Rational,
+    /// The lower bound `LB` on the optimal makespan used by the algorithm.
+    pub lower_bound: Rational,
+    /// Number of feasibility checks performed by the (advanced) binary search;
+    /// Lemma 2 bounds this by `O(C log m)`.
+    pub search_iterations: usize,
+}
+
+impl<S> ApproxResult<S> {
+    /// Replaces the schedule while keeping all statistics, used by adapters
+    /// that post-process a schedule (e.g. the preemptive repacking).
+    pub fn map_schedule<T>(self, f: impl FnOnce(S) -> T) -> ApproxResult<T> {
+        ApproxResult {
+            schedule: f(self.schedule),
+            guess: self.guess,
+            lower_bound: self.lower_bound,
+            search_iterations: self.search_iterations,
+        }
+    }
+
+    /// The best provable lower bound on the optimum known to the algorithm:
+    /// the maximum of the explicit lower bound and the accepted guess.
+    pub fn optimum_lower_bound(&self) -> Rational {
+        self.lower_bound.max(self.guess)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_schedule_keeps_stats() {
+        let r = ApproxResult {
+            schedule: 41u32,
+            guess: Rational::from_int(3),
+            lower_bound: Rational::from_int(2),
+            search_iterations: 7,
+        };
+        let r2 = r.map_schedule(|s| s + 1);
+        assert_eq!(r2.schedule, 42);
+        assert_eq!(r2.guess, Rational::from_int(3));
+        assert_eq!(r2.search_iterations, 7);
+        assert_eq!(r2.optimum_lower_bound(), Rational::from_int(3));
+    }
+}

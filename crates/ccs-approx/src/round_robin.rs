@@ -1,0 +1,146 @@
+//! Round-robin distribution and the load bound of Lemma 3.
+//!
+//! Lemma 3: if items with weights `p_1, …, p_S` are distributed in
+//! non-ascending order cyclically over `m` machines, then every machine load
+//! is at most `Σ p_j / m + max_j p_j`.
+
+use ccs_core::Rational;
+
+/// Indices `0..weights.len()` sorted by non-ascending weight (ties broken by
+/// index, making the procedure deterministic).
+pub fn descending_order(weights: &[Rational]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Distributes items over `machines` machines via round robin in non-ascending
+/// weight order and returns the machine assigned to every item (indexed like
+/// `weights`).
+pub fn round_robin_by_weight(weights: &[Rational], machines: u64) -> Vec<u64> {
+    assert!(machines > 0, "round robin over zero machines");
+    let order = descending_order(weights);
+    let mut assignment = vec![0u64; weights.len()];
+    for (pos, &item) in order.iter().enumerate() {
+        assignment[item] = (pos as u64) % machines;
+    }
+    assignment
+}
+
+/// Per-machine loads induced by an assignment (machines indexed `0..machines`).
+pub fn machine_loads(weights: &[Rational], assignment: &[u64], machines: u64) -> Vec<Rational> {
+    let mut loads = vec![Rational::ZERO; machines as usize];
+    for (item, &machine) in assignment.iter().enumerate() {
+        loads[machine as usize] += weights[item];
+    }
+    loads
+}
+
+/// The Lemma 3 upper bound `Σ p / m + max p` on any round-robin machine load.
+pub fn lemma3_bound(weights: &[Rational], machines: u64) -> Rational {
+    let total: Rational = weights.iter().sum();
+    let max = weights
+        .iter()
+        .copied()
+        .fold(Rational::ZERO, Rational::max);
+    total / Rational::from(machines) + max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(xs: &[i128]) -> Vec<Rational> {
+        xs.iter().map(|&x| Rational::from_int(x)).collect()
+    }
+
+    #[test]
+    fn descending_order_is_stable() {
+        let w = rv(&[3, 7, 3, 9]);
+        assert_eq!(descending_order(&w), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn cyclic_assignment_matches_figure_1() {
+        // Figure 1 of the paper: 10 classes on 4 machines; class i (1-based,
+        // sorted descending) lands on machine (i-1) mod 4.
+        let w = rv(&[10, 9, 8, 7, 6, 5, 4, 3, 2, 1]);
+        let a = round_robin_by_weight(&w, 4);
+        assert_eq!(a, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn loads_are_computed_per_machine() {
+        let w = rv(&[10, 9, 8, 7]);
+        let a = round_robin_by_weight(&w, 2);
+        let loads = machine_loads(&w, &a, 2);
+        assert_eq!(loads, rv(&[18, 16]));
+    }
+
+    #[test]
+    fn lemma3_bound_holds_on_example() {
+        let w = rv(&[10, 9, 8, 7, 6, 5, 4, 3, 2, 1]);
+        let a = round_robin_by_weight(&w, 4);
+        let loads = machine_loads(&w, &a, 4);
+        let bound = lemma3_bound(&w, 4);
+        for l in loads {
+            assert!(l <= bound);
+        }
+    }
+
+    #[test]
+    fn more_machines_than_items() {
+        let w = rv(&[5, 3]);
+        let a = round_robin_by_weight(&w, 10);
+        let loads = machine_loads(&w, &a, 10);
+        assert_eq!(loads[0], Rational::from_int(5));
+        assert_eq!(loads[1], Rational::from_int(3));
+        assert!(loads[2..].iter().all(|l| l.is_zero()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_machines_panics() {
+        round_robin_by_weight(&rv(&[1]), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Lemma 3: every round-robin load is at most Σp/m + p_max.
+            #[test]
+            fn lemma3_load_bound(
+                weights in proptest::collection::vec(1i128..1000, 1..60),
+                machines in 1u64..20,
+            ) {
+                let w: Vec<Rational> = weights.iter().map(|&x| Rational::from_int(x)).collect();
+                let a = round_robin_by_weight(&w, machines);
+                let loads = machine_loads(&w, &a, machines);
+                let bound = lemma3_bound(&w, machines);
+                for l in loads {
+                    prop_assert!(l <= bound);
+                }
+            }
+
+            /// Round robin never leaves a machine empty while another machine
+            /// holds two or more items.
+            #[test]
+            fn balanced_item_counts(
+                weights in proptest::collection::vec(1i128..1000, 1..60),
+                machines in 1u64..20,
+            ) {
+                let w: Vec<Rational> = weights.iter().map(|&x| Rational::from_int(x)).collect();
+                let a = round_robin_by_weight(&w, machines);
+                let mut counts = vec![0usize; machines as usize];
+                for &m in &a {
+                    counts[m as usize] += 1;
+                }
+                let max = *counts.iter().max().unwrap();
+                let min = *counts.iter().min().unwrap();
+                prop_assert!(max - min <= 1);
+            }
+        }
+    }
+}

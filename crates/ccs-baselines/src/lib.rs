@@ -1,0 +1,191 @@
+//! # ccs-baselines — heuristics a practitioner would try first
+//!
+//! The paper has no published comparator implementation, so the benchmark
+//! harness compares the algorithms of `ccs-approx` / `ccs-ptas` against the
+//! simple heuristics below (all non-preemptive; a non-preemptive schedule is
+//! feasible for every placement model):
+//!
+//! * [`whole_class_round_robin`] — distribute whole classes round robin by
+//!   non-ascending load (no splitting at all),
+//! * [`whole_class_lpt`] — whole classes via LPT (least-loaded machine with a
+//!   free class slot),
+//! * [`greedy_first_fit`] — job-by-job greedy: longest job first onto the
+//!   least-loaded machine that still has a slot for its class.
+//!
+//! All three can be arbitrarily bad compared to the optimum (a single huge
+//! class is never split), which is exactly the gap the paper's algorithms
+//! close; the benches make this visible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ccs_core::{CcsError, Instance, NonPreemptiveSchedule, Result, Schedule};
+use std::collections::BTreeSet;
+
+/// Distributes whole classes over the machines via round robin in
+/// non-ascending load order.
+pub fn whole_class_round_robin(inst: &Instance) -> Result<NonPreemptiveSchedule> {
+    check_feasible(inst)?;
+    let m = inst.machines();
+    let mut classes: Vec<usize> = (0..inst.num_classes()).collect();
+    classes.sort_by_key(|&u| std::cmp::Reverse(inst.class_load(u)));
+
+    let mut assignment = vec![0u64; inst.num_jobs()];
+    for (pos, &class) in classes.iter().enumerate() {
+        let machine = (pos as u64) % m;
+        for &job in inst.jobs_of_class(class) {
+            assignment[job] = machine;
+        }
+    }
+    finish(inst, assignment)
+}
+
+/// Distributes whole classes via LPT: classes in non-ascending load order,
+/// each onto the least-loaded machine that still has a free class slot.
+pub fn whole_class_lpt(inst: &Instance) -> Result<NonPreemptiveSchedule> {
+    check_feasible(inst)?;
+    let m = inst.machines().min(inst.num_classes() as u64) as usize;
+    let slots = inst.class_slots() as usize;
+    let mut classes: Vec<usize> = (0..inst.num_classes()).collect();
+    classes.sort_by_key(|&u| std::cmp::Reverse(inst.class_load(u)));
+
+    let mut loads = vec![0u64; m];
+    let mut used_slots = vec![0usize; m];
+    let mut assignment = vec![0u64; inst.num_jobs()];
+    for &class in &classes {
+        let machine = (0..m)
+            .filter(|&i| used_slots[i] < slots)
+            .min_by_key(|&i| loads[i])
+            .ok_or_else(|| CcsError::internal("slot budget exhausted despite feasibility"))?;
+        loads[machine] += inst.class_load(class);
+        used_slots[machine] += 1;
+        for &job in inst.jobs_of_class(class) {
+            assignment[job] = machine as u64;
+        }
+    }
+    finish(inst, assignment)
+}
+
+/// Job-by-job greedy: jobs in non-ascending processing time order, each onto
+/// the least-loaded machine that already hosts its class or still has a free
+/// class slot.
+///
+/// The job-level greedy can paint itself into a corner on feasible instances
+/// (all class slots taken by other classes before a class places its first
+/// job); in that case the whole-class LPT assignment is returned instead, so
+/// the baseline is total on every feasible instance.
+pub fn greedy_first_fit(inst: &Instance) -> Result<NonPreemptiveSchedule> {
+    check_feasible(inst)?;
+    match greedy_first_fit_strict(inst) {
+        Some(schedule) => finish(inst, schedule),
+        None => whole_class_lpt(inst),
+    }
+}
+
+fn greedy_first_fit_strict(inst: &Instance) -> Option<Vec<u64>> {
+    let m = inst.machines().min(inst.num_jobs() as u64) as usize;
+    let slots = inst.class_slots() as usize;
+    let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+    order.sort_by_key(|&j| std::cmp::Reverse(inst.processing_time(j)));
+
+    let mut loads = vec![0u64; m];
+    let mut classes: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
+    let mut assignment = vec![0u64; inst.num_jobs()];
+    for &job in &order {
+        let class = inst.class_of(job);
+        let machine = (0..m)
+            .filter(|&i| classes[i].contains(&class) || classes[i].len() < slots)
+            .min_by_key(|&i| loads[i])?;
+        loads[machine] += inst.processing_time(job);
+        classes[machine].insert(class);
+        assignment[job] = machine as u64;
+    }
+    Some(assignment)
+}
+
+fn check_feasible(inst: &Instance) -> Result<()> {
+    if inst.is_feasible() {
+        Ok(())
+    } else {
+        Err(CcsError::infeasible("more classes than class slots"))
+    }
+}
+
+fn finish(inst: &Instance, assignment: Vec<u64>) -> Result<NonPreemptiveSchedule> {
+    let schedule = NonPreemptiveSchedule::new(assignment);
+    schedule.validate(inst)?;
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+    use ccs_core::Rational;
+
+    fn sample() -> Instance {
+        instance_from_pairs(
+            3,
+            2,
+            &[(7, 0), (8, 0), (9, 1), (5, 1), (4, 2), (3, 3), (6, 4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_baselines_produce_feasible_schedules() {
+        let inst = sample();
+        for schedule in [
+            whole_class_round_robin(&inst).unwrap(),
+            whole_class_lpt(&inst).unwrap(),
+            greedy_first_fit(&inst).unwrap(),
+        ] {
+            schedule.validate(&inst).unwrap();
+            assert!(schedule.makespan(&inst) >= inst.average_load());
+        }
+    }
+
+    #[test]
+    fn lpt_never_worse_than_round_robin_on_sample() {
+        let inst = sample();
+        let rr = whole_class_round_robin(&inst).unwrap().makespan_int(&inst);
+        let lpt = whole_class_lpt(&inst).unwrap().makespan_int(&inst);
+        assert!(lpt <= rr);
+    }
+
+    #[test]
+    fn baselines_cannot_split_a_huge_class() {
+        // One class dominating the load: every baseline keeps it on a single
+        // machine, makespan ~ P_0 even though many machines are idle.
+        let inst =
+            instance_from_pairs(4, 2, &[(25, 0), (25, 0), (25, 0), (25, 0), (1, 1)]).unwrap();
+        for schedule in [
+            whole_class_round_robin(&inst).unwrap(),
+            whole_class_lpt(&inst).unwrap(),
+        ] {
+            assert_eq!(schedule.makespan_int(&inst), 100);
+        }
+        // The job-level greedy is allowed to split the class across machines.
+        let greedy = greedy_first_fit(&inst).unwrap();
+        assert!(greedy.makespan_int(&inst) <= 100);
+    }
+
+    #[test]
+    fn infeasible_instances_rejected() {
+        let inst = instance_from_pairs(1, 1, &[(1, 0), (1, 1)]).unwrap();
+        assert!(whole_class_round_robin(&inst).is_err());
+        assert!(whole_class_lpt(&inst).is_err());
+        assert!(greedy_first_fit(&inst).is_err());
+    }
+
+    #[test]
+    fn single_class_single_machine() {
+        let inst = instance_from_pairs(1, 1, &[(2, 0), (3, 0)]).unwrap();
+        assert_eq!(whole_class_lpt(&inst).unwrap().makespan_int(&inst), 5);
+        assert_eq!(greedy_first_fit(&inst).unwrap().makespan_int(&inst), 5);
+        assert_eq!(
+            whole_class_round_robin(&inst).unwrap().makespan(&inst),
+            Rational::from_int(5)
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Lower and upper bounds on the optimal makespan.
+//!
+//! These are exactly the bounds used throughout the paper:
+//!
+//! * `LB = Σ_j p_j / m` (area bound) for the splittable case,
+//! * `LB = max(p_max, Σ_j p_j / m)` for the preemptive and non-preemptive
+//!   cases (a job cannot be executed in parallel with itself),
+//! * `UB = c · max_u P_u` for the splittable case (a machine holds at most
+//!   `c` classes, Algorithm 1),
+//! * `UB = Σ_j p_j` for the other cases (a trivially feasible round-robin of
+//!   whole classes never exceeds the total load).
+
+use crate::instance::Instance;
+use crate::rational::Rational;
+use crate::schedule::ScheduleKind;
+
+/// Area (average-load) bound `Σ_j p_j / m`, valid for every placement model.
+pub fn average_load_bound(inst: &Instance) -> Rational {
+    inst.average_load()
+}
+
+/// Lower bound on the optimal makespan of the splittable model.
+pub fn splittable_lower_bound(inst: &Instance) -> Rational {
+    average_load_bound(inst)
+}
+
+/// Lower bound on the optimal makespan of the preemptive model:
+/// `max(p_max, Σp/m)`.
+pub fn preemptive_lower_bound(inst: &Instance) -> Rational {
+    average_load_bound(inst).max(Rational::from(inst.p_max()))
+}
+
+/// Lower bound on the optimal (integral) makespan of the non-preemptive model:
+/// `max(p_max, ⌈Σp/m⌉)`.
+pub fn nonpreemptive_lower_bound(inst: &Instance) -> u64 {
+    let area = average_load_bound(inst).ceil() as u64;
+    area.max(inst.p_max())
+}
+
+/// Upper bound `c · max_u P_u` on the optimal makespan of the splittable
+/// model used by the binary search of Algorithm 1.
+pub fn splittable_upper_bound(inst: &Instance) -> Rational {
+    Rational::from(inst.effective_class_slots()) * Rational::from(inst.max_class_load())
+}
+
+/// Upper bound on the optimal makespan of the preemptive / non-preemptive
+/// models: the total load (achieved by any feasible schedule that never idles
+/// a machine holding jobs, e.g. whole classes distributed round robin).
+pub fn sequential_upper_bound(inst: &Instance) -> u64 {
+    inst.total_load()
+}
+
+/// Lower bound for the given placement model, as an exact rational.
+pub fn lower_bound(inst: &Instance, kind: ScheduleKind) -> Rational {
+    match kind {
+        ScheduleKind::Splittable => splittable_lower_bound(inst),
+        ScheduleKind::Preemptive => preemptive_lower_bound(inst),
+        ScheduleKind::NonPreemptive => Rational::from(nonpreemptive_lower_bound(inst)),
+    }
+}
+
+/// Upper bound for the given placement model, as an exact rational.
+pub fn upper_bound(inst: &Instance, kind: ScheduleKind) -> Rational {
+    match kind {
+        ScheduleKind::Splittable => {
+            // `c · max_u P_u` is only an upper bound when at least one machine
+            // exists (guaranteed) and every class fits; the sequential bound
+            // is also always valid, take the smaller of the two.
+            splittable_upper_bound(inst).min(Rational::from(sequential_upper_bound(inst)))
+        }
+        ScheduleKind::Preemptive | ScheduleKind::NonPreemptive => {
+            Rational::from(sequential_upper_bound(inst))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instance_from_pairs;
+
+    fn sample() -> Instance {
+        // 3 machines, 2 slots, classes 0 (load 30), 1 (load 8), 2 (load 4).
+        instance_from_pairs(3, 2, &[(10, 0), (20, 0), (8, 1), (4, 2)]).unwrap()
+    }
+
+    #[test]
+    fn average_load() {
+        assert_eq!(average_load_bound(&sample()), Rational::new(42, 3));
+    }
+
+    #[test]
+    fn splittable_bounds() {
+        let inst = sample();
+        assert_eq!(splittable_lower_bound(&inst), Rational::from_int(14));
+        assert_eq!(splittable_upper_bound(&inst), Rational::from_int(60));
+        assert!(lower_bound(&inst, ScheduleKind::Splittable) <= upper_bound(&inst, ScheduleKind::Splittable));
+    }
+
+    #[test]
+    fn preemptive_bound_accounts_for_pmax() {
+        let inst = instance_from_pairs(10, 2, &[(100, 0), (1, 1)]).unwrap();
+        assert_eq!(preemptive_lower_bound(&inst), Rational::from_int(100));
+        assert_eq!(nonpreemptive_lower_bound(&inst), 100);
+        // Splittable ignores p_max.
+        assert_eq!(splittable_lower_bound(&inst), Rational::new(101, 10));
+    }
+
+    #[test]
+    fn nonpreemptive_bound_rounds_up_area() {
+        let inst = instance_from_pairs(2, 2, &[(3, 0), (4, 1)]).unwrap();
+        // area = 3.5 -> 4, pmax = 4
+        assert_eq!(nonpreemptive_lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn upper_bounds_dominate_lower_bounds() {
+        for kind in [
+            ScheduleKind::Splittable,
+            ScheduleKind::Preemptive,
+            ScheduleKind::NonPreemptive,
+        ] {
+            let inst = sample();
+            assert!(lower_bound(&inst, kind) <= upper_bound(&inst, kind));
+        }
+    }
+
+    #[test]
+    fn splittable_upper_bound_never_exceeds_total_when_slots_large() {
+        let inst = instance_from_pairs(1, 50, &[(5, 0), (5, 1), (5, 2)]).unwrap();
+        // c_eff = 3, max class load 5 => 15 = total load.
+        assert_eq!(upper_bound(&inst, ScheduleKind::Splittable), Rational::from_int(15));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types used throughout the workspace.
+
+use std::fmt;
+
+/// Convenience alias used by every fallible public function in the workspace.
+pub type Result<T> = std::result::Result<T, CcsError>;
+
+/// Errors produced by the CCS model and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcsError {
+    /// The instance itself is malformed (empty, inconsistent lengths,
+    /// zero machines, zero class slots, ...).
+    InvalidInstance(String),
+    /// A schedule does not fit the instance it is validated against.
+    InvalidSchedule(String),
+    /// The instance admits no feasible schedule under the requested model
+    /// (only possible through explicit infeasibility, e.g. zero machines).
+    Infeasible(String),
+    /// An algorithm-internal invariant was violated; indicates a bug.
+    Internal(String),
+    /// A parameter passed to an algorithm is out of its documented range
+    /// (e.g. `epsilon <= 0`).
+    InvalidParameter(String),
+}
+
+impl CcsError {
+    /// Shorthand constructor for [`CcsError::InvalidInstance`].
+    pub fn invalid_instance(msg: impl Into<String>) -> Self {
+        CcsError::InvalidInstance(msg.into())
+    }
+
+    /// Shorthand constructor for [`CcsError::InvalidSchedule`].
+    pub fn invalid_schedule(msg: impl Into<String>) -> Self {
+        CcsError::InvalidSchedule(msg.into())
+    }
+
+    /// Shorthand constructor for [`CcsError::Infeasible`].
+    pub fn infeasible(msg: impl Into<String>) -> Self {
+        CcsError::Infeasible(msg.into())
+    }
+
+    /// Shorthand constructor for [`CcsError::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        CcsError::Internal(msg.into())
+    }
+
+    /// Shorthand constructor for [`CcsError::InvalidParameter`].
+    pub fn invalid_parameter(msg: impl Into<String>) -> Self {
+        CcsError::InvalidParameter(msg.into())
+    }
+}
+
+impl fmt::Display for CcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcsError::InvalidInstance(m) => write!(f, "invalid instance: {m}"),
+            CcsError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
+            CcsError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            CcsError::Internal(m) => write!(f, "internal error: {m}"),
+            CcsError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CcsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CcsError::invalid_instance("no jobs").to_string(),
+            "invalid instance: no jobs"
+        );
+        assert_eq!(
+            CcsError::invalid_schedule("x").to_string(),
+            "invalid schedule: x"
+        );
+        assert_eq!(CcsError::infeasible("x").to_string(), "infeasible: x");
+        assert_eq!(CcsError::internal("x").to_string(), "internal error: x");
+        assert_eq!(
+            CcsError::invalid_parameter("x").to_string(),
+            "invalid parameter: x"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CcsError::internal("x"));
+    }
+}

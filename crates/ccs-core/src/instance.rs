@@ -1,0 +1,418 @@
+//! Instances of the class-constrained scheduling problem.
+//!
+//! An instance `I = [p_1, …, p_n, c_1, …, c_n, m, c]` consists of `n` jobs
+//! with integral processing times and class labels, `m` identical machines and
+//! a number `c` of class slots per machine (the jobs executed on one machine
+//! may belong to at most `c` distinct classes).
+
+use crate::error::{CcsError, Result};
+use crate::rational::Rational;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Index of a job, `0..n`.
+pub type JobId = usize;
+
+/// Dense index of a class, `0..C`.
+///
+/// [`InstanceBuilder`] accepts arbitrary `u32` labels and remaps them to dense
+/// indices in order of first appearance; the original label is kept and can be
+/// recovered via [`Instance::class_label`].
+pub type ClassId = usize;
+
+/// Raw serialisable form of an [`Instance`]; all derived data is rebuilt on
+/// deserialisation so serialised instances can never violate the invariants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct InstanceData {
+    processing_times: Vec<u64>,
+    class_labels_per_job: Vec<u32>,
+    machines: u64,
+    class_slots: u64,
+}
+
+/// An immutable, validated instance of class-constrained scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "InstanceData", into = "InstanceData")]
+pub struct Instance {
+    processing_times: Vec<u64>,
+    /// Dense class index per job.
+    classes: Vec<ClassId>,
+    /// Original label of each dense class index.
+    class_labels: Vec<u32>,
+    machines: u64,
+    class_slots: u64,
+    /// Jobs of each class in input order (the "canonical order" used when a
+    /// class is sliced into chunks by the splittable / preemptive algorithms).
+    class_jobs: Vec<Vec<JobId>>,
+    /// Accumulated processing time `P_u` of each class.
+    class_loads: Vec<u64>,
+}
+
+impl TryFrom<InstanceData> for Instance {
+    type Error = CcsError;
+    fn try_from(d: InstanceData) -> Result<Self> {
+        let mut b = InstanceBuilder::new(d.machines, d.class_slots);
+        if d.processing_times.len() != d.class_labels_per_job.len() {
+            return Err(CcsError::invalid_instance(
+                "processing_times and class labels have different lengths",
+            ));
+        }
+        for (p, cl) in d.processing_times.iter().zip(&d.class_labels_per_job) {
+            b = b.job(*p, *cl);
+        }
+        b.build()
+    }
+}
+
+impl From<Instance> for InstanceData {
+    fn from(i: Instance) -> Self {
+        InstanceData {
+            class_labels_per_job: i.classes.iter().map(|&u| i.class_labels[u]).collect(),
+            processing_times: i.processing_times,
+            machines: i.machines,
+            class_slots: i.class_slots,
+        }
+    }
+}
+
+impl Instance {
+    /// Number of jobs `n`.
+    pub fn num_jobs(&self) -> usize {
+        self.processing_times.len()
+    }
+
+    /// Number of distinct classes `C` (only classes with at least one job are
+    /// counted, as in the paper).
+    pub fn num_classes(&self) -> usize {
+        self.class_jobs.len()
+    }
+
+    /// Number of machines `m`.
+    pub fn machines(&self) -> u64 {
+        self.machines
+    }
+
+    /// Number of class slots `c` per machine, exactly as given on input.
+    pub fn class_slots(&self) -> u64 {
+        self.class_slots
+    }
+
+    /// The effective number of class slots `min(c, C, n)`: the paper's
+    /// assumption `c ≤ C ≤ n` without loss of generality.
+    pub fn effective_class_slots(&self) -> u64 {
+        self.class_slots
+            .min(self.num_classes() as u64)
+            .min(self.num_jobs() as u64)
+    }
+
+    /// Processing time `p_j` of job `j`.
+    pub fn processing_time(&self, job: JobId) -> u64 {
+        self.processing_times[job]
+    }
+
+    /// All processing times, indexed by job.
+    pub fn processing_times(&self) -> &[u64] {
+        &self.processing_times
+    }
+
+    /// Dense class index `c_j` of job `j`.
+    pub fn class_of(&self, job: JobId) -> ClassId {
+        self.classes[job]
+    }
+
+    /// Dense class index per job.
+    pub fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+
+    /// Original (input) label of a dense class index.
+    pub fn class_label(&self, class: ClassId) -> u32 {
+        self.class_labels[class]
+    }
+
+    /// Jobs of class `u`, in input order.
+    pub fn jobs_of_class(&self, class: ClassId) -> &[JobId] {
+        &self.class_jobs[class]
+    }
+
+    /// Accumulated processing time `P_u` of class `u`.
+    pub fn class_load(&self, class: ClassId) -> u64 {
+        self.class_loads[class]
+    }
+
+    /// Accumulated processing times of all classes, indexed by class.
+    pub fn class_loads(&self) -> &[u64] {
+        &self.class_loads
+    }
+
+    /// Total processing time `Σ_j p_j`.
+    pub fn total_load(&self) -> u64 {
+        self.processing_times.iter().sum()
+    }
+
+    /// Largest processing time `p_max`.
+    pub fn p_max(&self) -> u64 {
+        self.processing_times.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest class load `max_u P_u`.
+    pub fn max_class_load(&self) -> u64 {
+        self.class_loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average load per machine `Σ_j p_j / m` as an exact rational.
+    pub fn average_load(&self) -> Rational {
+        Rational::from(self.total_load()) / Rational::from(self.machines)
+    }
+
+    /// Returns `true` if the instance admits any feasible schedule at all.
+    ///
+    /// In every placement model each class occupies at least one class slot on
+    /// at least one machine, so a schedule exists if and only if
+    /// `C ≤ c · m` (the builder already guarantees `m ≥ 1` and `c ≥ 1`).
+    pub fn is_feasible(&self) -> bool {
+        let slots = (self.class_slots as u128) * (self.machines as u128);
+        (self.num_classes() as u128) <= slots
+    }
+
+    /// An encoding-length proxy `|I| = Σ⌈log p_j⌉ + Σ⌈log c_j⌉ + n + ⌈log m⌉`
+    /// as defined in the paper; used by tests that check running-time claims
+    /// are polynomial in the encoding length.
+    pub fn encoding_length(&self) -> u64 {
+        let bits = |x: u64| 64 - x.max(1).leading_zeros() as u64;
+        self.processing_times.iter().map(|&p| bits(p)).sum::<u64>()
+            + self.classes.iter().map(|&c| bits(c as u64 + 1)).sum::<u64>()
+            + self.num_jobs() as u64
+            + bits(self.machines)
+    }
+}
+
+/// Builder for [`Instance`].
+///
+/// ```
+/// use ccs_core::InstanceBuilder;
+/// let inst = InstanceBuilder::new(3, 2)
+///     .job(10, 0)
+///     .job(7, 1)
+///     .job(5, 0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(inst.num_jobs(), 3);
+/// assert_eq!(inst.num_classes(), 2);
+/// assert_eq!(inst.class_load(0), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    processing_times: Vec<u64>,
+    class_labels_per_job: Vec<u32>,
+    machines: u64,
+    class_slots: u64,
+}
+
+impl InstanceBuilder {
+    /// Starts building an instance with `machines` identical machines and
+    /// `class_slots` class slots per machine.
+    pub fn new(machines: u64, class_slots: u64) -> Self {
+        InstanceBuilder {
+            processing_times: Vec::new(),
+            class_labels_per_job: Vec::new(),
+            machines,
+            class_slots,
+        }
+    }
+
+    /// Adds a single job with processing time `p` and (arbitrary) class label.
+    #[must_use]
+    pub fn job(mut self, p: u64, class_label: u32) -> Self {
+        self.processing_times.push(p);
+        self.class_labels_per_job.push(class_label);
+        self
+    }
+
+    /// Adds many jobs of the same class.
+    #[must_use]
+    pub fn jobs(mut self, ps: &[u64], class_label: u32) -> Self {
+        for &p in ps {
+            self.processing_times.push(p);
+            self.class_labels_per_job.push(class_label);
+        }
+        self
+    }
+
+    /// Validates and builds the instance.
+    pub fn build(self) -> Result<Instance> {
+        if self.processing_times.is_empty() {
+            return Err(CcsError::invalid_instance("instance has no jobs"));
+        }
+        if self.machines == 0 {
+            return Err(CcsError::invalid_instance("instance has no machines"));
+        }
+        if self.class_slots == 0 {
+            return Err(CcsError::invalid_instance(
+                "instance has zero class slots per machine",
+            ));
+        }
+        if self.processing_times.iter().any(|&p| p == 0) {
+            return Err(CcsError::invalid_instance(
+                "processing times must be positive",
+            ));
+        }
+
+        // Remap class labels to dense indices in order of first appearance.
+        let mut label_to_dense: BTreeMap<u32, ClassId> = BTreeMap::new();
+        let mut class_labels: Vec<u32> = Vec::new();
+        let mut classes: Vec<ClassId> = Vec::with_capacity(self.processing_times.len());
+        for &label in &self.class_labels_per_job {
+            let next = class_labels.len();
+            let dense = *label_to_dense.entry(label).or_insert_with(|| {
+                class_labels.push(label);
+                next
+            });
+            classes.push(dense);
+        }
+
+        let num_classes = class_labels.len();
+        let mut class_jobs: Vec<Vec<JobId>> = vec![Vec::new(); num_classes];
+        let mut class_loads: Vec<u64> = vec![0; num_classes];
+        for (job, (&p, &u)) in self.processing_times.iter().zip(&classes).enumerate() {
+            class_jobs[u].push(job);
+            class_loads[u] += p;
+        }
+
+        Ok(Instance {
+            processing_times: self.processing_times,
+            classes,
+            class_labels,
+            machines: self.machines,
+            class_slots: self.class_slots,
+            class_jobs,
+            class_loads,
+        })
+    }
+}
+
+/// Convenience constructor used extensively in tests and examples: builds an
+/// instance from `(processing_time, class_label)` pairs.
+pub fn instance_from_pairs(
+    machines: u64,
+    class_slots: u64,
+    jobs: &[(u64, u32)],
+) -> Result<Instance> {
+    let mut b = InstanceBuilder::new(machines, class_slots);
+    for &(p, u) in jobs {
+        b = b.job(p, u);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        instance_from_pairs(4, 2, &[(10, 5), (20, 7), (5, 5), (8, 9), (2, 7)]).unwrap()
+    }
+
+    #[test]
+    fn builder_basic() {
+        let inst = sample();
+        assert_eq!(inst.num_jobs(), 5);
+        assert_eq!(inst.num_classes(), 3);
+        assert_eq!(inst.machines(), 4);
+        assert_eq!(inst.class_slots(), 2);
+        assert_eq!(inst.total_load(), 45);
+        assert_eq!(inst.p_max(), 20);
+    }
+
+    #[test]
+    fn class_remapping_preserves_first_appearance_order() {
+        let inst = sample();
+        assert_eq!(inst.class_label(0), 5);
+        assert_eq!(inst.class_label(1), 7);
+        assert_eq!(inst.class_label(2), 9);
+        assert_eq!(inst.class_of(0), 0);
+        assert_eq!(inst.class_of(1), 1);
+        assert_eq!(inst.class_of(3), 2);
+    }
+
+    #[test]
+    fn class_loads_and_jobs() {
+        let inst = sample();
+        assert_eq!(inst.class_load(0), 15);
+        assert_eq!(inst.class_load(1), 22);
+        assert_eq!(inst.class_load(2), 8);
+        assert_eq!(inst.jobs_of_class(0), &[0, 2]);
+        assert_eq!(inst.jobs_of_class(1), &[1, 4]);
+        assert_eq!(inst.max_class_load(), 22);
+    }
+
+    #[test]
+    fn average_load_is_exact() {
+        let inst = sample();
+        assert_eq!(inst.average_load(), Rational::new(45, 4));
+    }
+
+    #[test]
+    fn effective_class_slots_clamped() {
+        let inst = instance_from_pairs(2, 10, &[(1, 0), (1, 1)]).unwrap();
+        assert_eq!(inst.class_slots(), 10);
+        assert_eq!(inst.effective_class_slots(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_instance() {
+        assert!(InstanceBuilder::new(1, 1).build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_machines_or_slots() {
+        assert!(InstanceBuilder::new(0, 1).job(1, 0).build().is_err());
+        assert!(InstanceBuilder::new(1, 0).job(1, 0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_processing_time() {
+        assert!(InstanceBuilder::new(1, 1).job(0, 0).build().is_err());
+    }
+
+    #[test]
+    fn jobs_helper_adds_many() {
+        let inst = InstanceBuilder::new(2, 1)
+            .jobs(&[1, 2, 3], 4)
+            .jobs(&[5], 6)
+            .build()
+            .unwrap();
+        assert_eq!(inst.num_jobs(), 4);
+        assert_eq!(inst.num_classes(), 2);
+        assert_eq!(inst.class_load(0), 6);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = sample();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn serde_rejects_invalid() {
+        let json = r#"{"processing_times":[0],"class_labels_per_job":[1],"machines":1,"class_slots":1}"#;
+        assert!(serde_json::from_str::<Instance>(json).is_err());
+    }
+
+    #[test]
+    fn encoding_length_is_positive_and_grows_with_m() {
+        let small = instance_from_pairs(2, 1, &[(3, 0), (4, 1)]).unwrap();
+        let large = instance_from_pairs(1 << 40, 1, &[(3, 0), (4, 1)]).unwrap();
+        assert!(small.encoding_length() > 0);
+        assert!(large.encoding_length() > small.encoding_length());
+    }
+
+    #[test]
+    fn exponential_machine_count_supported() {
+        let inst = instance_from_pairs(u64::MAX / 2, 3, &[(1, 0)]).unwrap();
+        assert_eq!(inst.machines(), u64::MAX / 2);
+        assert!(inst.average_load() < Rational::ONE);
+    }
+}

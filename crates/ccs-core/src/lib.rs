@@ -1,0 +1,39 @@
+//! # ccs-core — problem model for Class-Constrained Scheduling (CCS)
+//!
+//! This crate contains the data model shared by every other crate in the
+//! workspace:
+//!
+//! * [`Instance`] — an instance of the class-constrained scheduling problem
+//!   (`n` jobs with processing times and classes, `m` identical machines, `c`
+//!   class slots per machine),
+//! * [`Rational`] — exact rational arithmetic used for fractional makespans
+//!   and job pieces in the splittable / preemptive models,
+//! * the three schedule representations with full feasibility validators:
+//!   [`schedule::NonPreemptiveSchedule`], [`schedule::SplittableSchedule`]
+//!   (supporting a compact encoding for an exponential number of machines) and
+//!   [`schedule::PreemptiveSchedule`],
+//! * [`bounds`] — the lower/upper bounds on the optimal makespan used by all
+//!   algorithms in the paper (`Σp/m`, `p_max`, `c · max_u P_u`, …).
+//!
+//! The model follows the paper "Approximation Algorithms for Scheduling with
+//! Class Constraints" (Jansen, Lassota, Maack; SPAA 2020) exactly; see
+//! `DESIGN.md` at the workspace root for the mapping from paper sections to
+//! modules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod error;
+pub mod instance;
+pub mod prelude;
+pub mod rational;
+pub mod schedule;
+
+pub use error::{CcsError, Result};
+pub use instance::{ClassId, Instance, InstanceBuilder, JobId};
+pub use rational::Rational;
+pub use schedule::{
+    ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece, PreemptiveSchedule,
+    Schedule, ScheduleKind, SplittableSchedule,
+};

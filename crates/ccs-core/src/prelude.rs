@@ -1,0 +1,11 @@
+//! Convenience re-exports: `use ccs_core::prelude::*;` pulls in everything
+//! needed to build instances and inspect schedules.
+
+pub use crate::bounds;
+pub use crate::error::{CcsError, Result};
+pub use crate::instance::{instance_from_pairs, ClassId, Instance, InstanceBuilder, JobId};
+pub use crate::rational::Rational;
+pub use crate::schedule::{
+    ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece, PreemptiveSchedule,
+    Schedule, ScheduleKind, SplittableSchedule,
+};

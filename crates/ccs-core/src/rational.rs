@@ -1,0 +1,491 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! The splittable and preemptive variants of CCS have fractional optimal
+//! makespans (the "borders" of Lemma 2 are of the form `P_u / k`), so all
+//! correctness-critical comparisons in the algorithms are carried out with an
+//! exact [`Rational`] type instead of floating point.  Magnitudes stay small in
+//! practice (numerators are bounded by `n · p_max · m`), so an `i128`
+//! representation with eager gcd normalisation is sufficient and keeps the
+//! type `Copy` and allocation free.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0`, always stored in
+/// lowest terms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational `num / den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let (num, den) = (num * sign, den * sign);
+        let g = gcd(num, den);
+        if g == 0 {
+            return Rational::ZERO;
+        }
+        Rational {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_int(v: impl Into<i128>) -> Self {
+        Rational {
+            num: v.into(),
+            den: 1,
+        }
+    }
+
+    /// Numerator (in lowest terms, sign carried here).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive, in lowest terms).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Rounds to the nearest integer (ties away from zero).
+    pub fn round(&self) -> i128 {
+        let twice = *self * Rational::from_int(2);
+        if self.num >= 0 {
+            (twice.floor() + 1) / 2
+        } else {
+            (twice.ceil() - 1) / 2
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Converts to `f64` (approximately; used only for reporting, never for
+    /// algorithmic decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "division by zero Rational");
+        Rational::new(self.den, self.num)
+    }
+
+    /// `ceil(self / other)` as an integer, for positive `other`.
+    pub fn ceil_div(&self, other: Rational) -> i128 {
+        (*self / other).ceil()
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(v: u64) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce by the gcd of denominators first to keep magnitudes small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        Rational::new(
+            self.num * lhs_scale + rhs.num * rhs_scale,
+            self.den * lhs_scale,
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce to avoid overflow.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let g1 = if g1 == 0 { 1 } else { g1 };
+        let g2 = if g2 == 0 { 1 } else { g2 };
+        Rational::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // den > 0 for both sides, so cross multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalises_to_lowest_terms() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 5), Rational::ZERO);
+        assert_eq!(r(6, -3).numer(), -2);
+        assert_eq!(r(6, -3).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += r(1, 2);
+        assert_eq!(x, Rational::ONE);
+        x -= r(1, 4);
+        assert_eq!(x, r(3, 4));
+        x *= r(4, 3);
+        assert_eq!(x, Rational::ONE);
+        x /= r(1, 2);
+        assert_eq!(x, r(2, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::ONE);
+        assert_eq!(r(1, 2).max(r(2, 3)), r(2, 3));
+        assert_eq!(r(1, 2).min(r(2, 3)), r(1, 2));
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        assert_eq!(r(7, 2).floor(), 3);
+        assert_eq!(r(7, 2).ceil(), 4);
+        assert_eq!(r(-7, 2).floor(), -4);
+        assert_eq!(r(-7, 2).ceil(), -3);
+        assert_eq!(r(6, 3).floor(), 2);
+        assert_eq!(r(6, 3).ceil(), 2);
+        assert_eq!(r(5, 2).round(), 3);
+        assert_eq!(r(-5, 2).round(), -3);
+        assert_eq!(r(9, 4).round(), 2);
+    }
+
+    #[test]
+    fn ceil_div() {
+        assert_eq!(r(10, 1).ceil_div(r(3, 1)), 4);
+        assert_eq!(r(9, 1).ceil_div(r(3, 1)), 3);
+        assert_eq!(r(1, 2).ceil_div(r(1, 3)), 2);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::ZERO.is_zero());
+        assert!(r(3, 2).is_positive());
+        assert!(r(-3, 2).is_negative());
+        assert!(r(4, 2).is_integer());
+        assert!(!r(1, 2).is_integer());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let xs = vec![r(1, 2), r(1, 3), r(1, 6)];
+        let total: Rational = xs.iter().sum();
+        assert_eq!(total, Rational::ONE);
+        let total2: Rational = xs.into_iter().sum();
+        assert_eq!(total2, Rational::ONE);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", r(3, 4)), "3/4");
+        assert_eq!(format!("{}", r(4, 2)), "2");
+        assert_eq!(format!("{:?}", r(-1, 3)), "-1/3");
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((r(1, 3).to_f64() - 0.3333333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(2, 3).recip(), r(3, 2));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+    }
+
+    #[test]
+    fn large_values_no_overflow() {
+        // Magnitudes of the order n * p_max * m used by the algorithms.
+        let big = Rational::new(5_000 * 1_000_000, 1) * Rational::new(1, 1_000_000_000_000);
+        let sum = big + Rational::from_int(1_000_000_000_000i128);
+        assert!(sum > Rational::from_int(999_999_999_999i128));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_rational() -> impl Strategy<Value = Rational> {
+            (-10_000i128..10_000, 1i128..10_000).prop_map(|(n, d)| Rational::new(n, d))
+        }
+
+        proptest! {
+            #[test]
+            fn add_commutative(a in arb_rational(), b in arb_rational()) {
+                prop_assert_eq!(a + b, b + a);
+            }
+
+            #[test]
+            fn add_associative(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+                prop_assert_eq!((a + b) + c, a + (b + c));
+            }
+
+            #[test]
+            fn mul_distributes_over_add(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+                prop_assert_eq!(a * (b + c), a * b + a * c);
+            }
+
+            #[test]
+            fn sub_then_add_roundtrip(a in arb_rational(), b in arb_rational()) {
+                prop_assert_eq!(a - b + b, a);
+            }
+
+            #[test]
+            fn div_then_mul_roundtrip(a in arb_rational(), b in arb_rational()) {
+                prop_assume!(!b.is_zero());
+                prop_assert_eq!(a / b * b, a);
+            }
+
+            #[test]
+            fn floor_le_value_le_ceil(a in arb_rational()) {
+                prop_assert!(Rational::from_int(a.floor()) <= a);
+                prop_assert!(a <= Rational::from_int(a.ceil()));
+                prop_assert!(a.ceil() - a.floor() <= 1);
+            }
+
+            #[test]
+            fn ordering_total(a in arb_rational(), b in arb_rational()) {
+                let cmp = a.cmp(&b);
+                prop_assert_eq!(cmp.reverse(), b.cmp(&a));
+                if cmp == std::cmp::Ordering::Equal {
+                    prop_assert_eq!(a, b);
+                }
+            }
+
+            #[test]
+            fn always_lowest_terms(a in arb_rational()) {
+                let g = super::super::gcd(a.numer(), a.denom());
+                prop_assert!(g == 1 || a.numer() == 0);
+                prop_assert!(a.denom() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Schedule representations and feasibility validators for the three
+//! placement models of the paper.
+//!
+//! * [`NonPreemptiveSchedule`] — every job is assigned to exactly one machine.
+//! * [`SplittableSchedule`] — jobs are cut into fractional pieces; supports a
+//!   *compact* encoding ([`ClassRun`]) so that schedules using an exponential
+//!   number of machines (Theorem 4, second part, and Theorem 11) can be
+//!   represented and validated in time polynomial in `n` and `log m`.
+//! * [`PreemptiveSchedule`] — fractional pieces with explicit start times;
+//!   pieces of the same job must never run in parallel.
+//!
+//! All validators check *every* feasibility condition of the respective model
+//! (complete job coverage, machine existence, at most `c` distinct classes per
+//! machine, non-overlap where applicable) and are used as the ground truth in
+//! tests of every algorithm crate.
+
+mod nonpreemptive;
+mod preemptive;
+mod splittable;
+
+pub use nonpreemptive::NonPreemptiveSchedule;
+pub use preemptive::{PreemptivePiece, PreemptiveSchedule};
+pub use splittable::{ClassRun, ExplicitMachine, SplittableSchedule};
+
+use crate::error::Result;
+use crate::instance::Instance;
+use crate::rational::Rational;
+
+/// The three placement models studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// Jobs may be split arbitrarily; pieces may run in parallel.
+    Splittable,
+    /// Jobs may be split, but pieces of one job must not overlap in time.
+    Preemptive,
+    /// Jobs are atomic.
+    NonPreemptive,
+}
+
+impl ScheduleKind {
+    /// All three kinds, in the order they appear in the paper.
+    pub const ALL: [ScheduleKind; 3] = [
+        ScheduleKind::Splittable,
+        ScheduleKind::Preemptive,
+        ScheduleKind::NonPreemptive,
+    ];
+
+    /// Human readable name, used by the benchmark harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleKind::Splittable => "splittable",
+            ScheduleKind::Preemptive => "preemptive",
+            ScheduleKind::NonPreemptive => "non-preemptive",
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Common interface implemented by all three schedule representations.
+pub trait Schedule {
+    /// The placement model this schedule belongs to.
+    fn kind(&self) -> ScheduleKind;
+
+    /// Checks every feasibility condition of the model against `inst`.
+    fn validate(&self, inst: &Instance) -> Result<()>;
+
+    /// The makespan (maximum completion time over all machines).
+    fn makespan(&self, inst: &Instance) -> Rational;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(ScheduleKind::Splittable.name(), "splittable");
+        assert_eq!(ScheduleKind::Preemptive.to_string(), "preemptive");
+        assert_eq!(ScheduleKind::NonPreemptive.to_string(), "non-preemptive");
+        assert_eq!(ScheduleKind::ALL.len(), 3);
+    }
+}

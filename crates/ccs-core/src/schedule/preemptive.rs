@@ -1,0 +1,346 @@
+//! Preemptive schedules: fractional pieces with explicit start times; pieces
+//! of one job must never overlap in time (not even on different machines).
+
+use super::{Schedule, ScheduleKind};
+use crate::error::{CcsError, Result};
+use crate::instance::{Instance, JobId};
+use crate::rational::Rational;
+use std::collections::BTreeSet;
+
+/// One piece of a job on a machine: starts at `start`, runs for `len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptivePiece {
+    /// The job this piece belongs to.
+    pub job: JobId,
+    /// Start time of the piece.
+    pub start: Rational,
+    /// Duration of the piece (positive).
+    pub len: Rational,
+}
+
+impl PreemptivePiece {
+    /// Creates a new piece.
+    pub fn new(job: JobId, start: Rational, len: Rational) -> Self {
+        PreemptivePiece { job, start, len }
+    }
+
+    /// End time of the piece.
+    pub fn end(&self) -> Rational {
+        self.start + self.len
+    }
+}
+
+/// A preemptive schedule: machine `i` executes `machines[i]`.
+///
+/// In the preemptive model it is never useful to employ more than `n`
+/// machines (Theorem 5), so machines are stored densely; the schedule may use
+/// fewer machines than the instance provides.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreemptiveSchedule {
+    machines: Vec<Vec<PreemptivePiece>>,
+}
+
+impl PreemptiveSchedule {
+    /// Creates an empty schedule with `machines` empty machines.
+    pub fn with_machines(machines: usize) -> Self {
+        PreemptiveSchedule {
+            machines: vec![Vec::new(); machines],
+        }
+    }
+
+    /// Creates a schedule from per-machine piece lists.
+    pub fn new(machines: Vec<Vec<PreemptivePiece>>) -> Self {
+        PreemptiveSchedule { machines }
+    }
+
+    /// Adds a piece to machine `machine`, growing the machine list if needed.
+    pub fn push_piece(&mut self, machine: usize, piece: PreemptivePiece) {
+        if machine >= self.machines.len() {
+            self.machines.resize(machine + 1, Vec::new());
+        }
+        self.machines[machine].push(piece);
+    }
+
+    /// The pieces of machine `machine`.
+    pub fn machine(&self, machine: usize) -> &[PreemptivePiece] {
+        &self.machines[machine]
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> &[Vec<PreemptivePiece>] {
+        &self.machines
+    }
+
+    /// Number of machines used (including empty trailing machines).
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total number of pieces (the output length; the algorithms keep this
+    /// polynomial in `n`).
+    pub fn num_pieces(&self) -> usize {
+        self.machines.iter().map(|m| m.len()).sum()
+    }
+
+    /// Load (sum of piece lengths) of machine `machine`.
+    pub fn load_of_machine(&self, machine: usize) -> Rational {
+        self.machines[machine].iter().map(|p| p.len).sum()
+    }
+
+    /// All pieces of `job` over all machines as `(machine, piece)` pairs.
+    pub fn pieces_of_job(&self, job: JobId) -> Vec<(usize, PreemptivePiece)> {
+        let mut out = Vec::new();
+        for (m, pieces) in self.machines.iter().enumerate() {
+            for p in pieces {
+                if p.job == job {
+                    out.push((m, *p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Forgets start times, producing the induced splittable schedule (useful
+    /// for reusing splittable analyses: any feasible preemptive schedule is a
+    /// feasible splittable schedule of the same makespan or less).
+    pub fn to_splittable(&self) -> super::SplittableSchedule {
+        let machines = self
+            .machines
+            .iter()
+            .map(|pieces| pieces.iter().map(|p| (p.job, p.len)).collect())
+            .collect();
+        super::SplittableSchedule::from_explicit(machines)
+    }
+}
+
+impl Schedule for PreemptiveSchedule {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Preemptive
+    }
+
+    fn validate(&self, inst: &Instance) -> Result<()> {
+        if self.machines.len() as u64 > inst.machines() {
+            return Err(CcsError::invalid_schedule(format!(
+                "schedule uses {} machines, instance has {}",
+                self.machines.len(),
+                inst.machines()
+            )));
+        }
+
+        // Per machine: piece sanity, class slots, no overlap on the machine.
+        for (machine, pieces) in self.machines.iter().enumerate() {
+            let mut classes = BTreeSet::new();
+            let mut intervals: Vec<(Rational, Rational)> = Vec::with_capacity(pieces.len());
+            for p in pieces {
+                if p.job >= inst.num_jobs() {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "unknown job {} on machine {machine}",
+                        p.job
+                    )));
+                }
+                if !p.len.is_positive() {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "non-positive piece of job {} on machine {machine}",
+                        p.job
+                    )));
+                }
+                if p.start.is_negative() {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "piece of job {} starts before time 0",
+                        p.job
+                    )));
+                }
+                classes.insert(inst.class_of(p.job));
+                intervals.push((p.start, p.end()));
+            }
+            if classes.len() as u64 > inst.class_slots() {
+                return Err(CcsError::invalid_schedule(format!(
+                    "machine {machine} hosts {} classes, only {} slots",
+                    classes.len(),
+                    inst.class_slots()
+                )));
+            }
+            intervals.sort();
+            for w in intervals.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "overlapping pieces on machine {machine}"
+                    )));
+                }
+            }
+        }
+
+        // Per job: exact coverage and no two pieces of the same job in
+        // parallel (across machines).
+        let mut per_job: Vec<Vec<(Rational, Rational)>> = vec![Vec::new(); inst.num_jobs()];
+        for pieces in &self.machines {
+            for p in pieces {
+                per_job[p.job].push((p.start, p.end()));
+            }
+        }
+        for (job, intervals) in per_job.iter_mut().enumerate() {
+            let covered: Rational = intervals.iter().map(|&(s, e)| e - s).sum();
+            let p = Rational::from(inst.processing_time(job));
+            if covered != p {
+                return Err(CcsError::invalid_schedule(format!(
+                    "job {job} covered with load {covered}, needs exactly {p}"
+                )));
+            }
+            intervals.sort();
+            for w in intervals.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "job {job} executed in parallel with itself"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn makespan(&self, inst: &Instance) -> Rational {
+        let _ = inst;
+        self.machines
+            .iter()
+            .flat_map(|pieces| pieces.iter().map(|p| p.end()))
+            .fold(Rational::ZERO, Rational::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instance_from_pairs;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn inst() -> Instance {
+        // job 0: p=10 class 0; job 1: p=6 class 1; m=3, c=2
+        instance_from_pairs(3, 2, &[(10, 0), (6, 1)]).unwrap()
+    }
+
+    #[test]
+    fn simple_valid_schedule() {
+        let s = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(10, 1))],
+            vec![PreemptivePiece::new(1, r(0, 1), r(6, 1))],
+        ]);
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.makespan(&inst()), r(10, 1));
+        assert_eq!(s.kind(), ScheduleKind::Preemptive);
+        assert_eq!(s.num_pieces(), 2);
+    }
+
+    #[test]
+    fn preempted_job_sequential_on_two_machines() {
+        // Job 0 runs [0,5) on machine 0 and [5,10) on machine 1 — legal.
+        let s = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(5, 1))],
+            vec![
+                PreemptivePiece::new(0, r(5, 1), r(5, 1)),
+                PreemptivePiece::new(1, r(0, 1), r(5, 1)),
+            ],
+            vec![PreemptivePiece::new(1, r(5, 1), r(1, 1))],
+        ]);
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.makespan(&inst()), r(10, 1));
+    }
+
+    #[test]
+    fn parallel_self_execution_rejected() {
+        // Job 0 runs [0,5) on machines 0 and 1 simultaneously — illegal.
+        let s = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(5, 1))],
+            vec![PreemptivePiece::new(0, r(4, 1), r(5, 1)), PreemptivePiece::new(1, r(9, 1), r(6, 1))],
+        ]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn machine_overlap_rejected() {
+        let s = PreemptiveSchedule::new(vec![vec![
+            PreemptivePiece::new(0, r(0, 1), r(10, 1)),
+            PreemptivePiece::new(1, r(9, 1), r(6, 1)),
+        ]]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn back_to_back_pieces_on_machine_ok() {
+        let s = PreemptiveSchedule::new(vec![vec![
+            PreemptivePiece::new(0, r(0, 1), r(10, 1)),
+            PreemptivePiece::new(1, r(10, 1), r(6, 1)),
+        ]]);
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.makespan(&inst()), r(16, 1));
+    }
+
+    #[test]
+    fn wrong_coverage_rejected() {
+        let s = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(9, 1))],
+            vec![PreemptivePiece::new(1, r(0, 1), r(6, 1))],
+        ]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn class_slots_enforced() {
+        let tight = instance_from_pairs(1, 1, &[(2, 0), (2, 1)]).unwrap();
+        let s = PreemptiveSchedule::new(vec![vec![
+            PreemptivePiece::new(0, r(0, 1), r(2, 1)),
+            PreemptivePiece::new(1, r(2, 1), r(2, 1)),
+        ]]);
+        assert!(s.validate(&tight).is_err());
+    }
+
+    #[test]
+    fn too_many_machines_rejected() {
+        let one = instance_from_pairs(1, 2, &[(2, 0)]).unwrap();
+        let mut s = PreemptiveSchedule::with_machines(0);
+        s.push_piece(0, PreemptivePiece::new(0, r(0, 1), r(1, 1)));
+        s.push_piece(1, PreemptivePiece::new(0, r(1, 1), r(1, 1)));
+        assert!(s.validate(&one).is_err());
+    }
+
+    #[test]
+    fn negative_start_rejected() {
+        let s = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(-1, 1), r(10, 1))],
+            vec![PreemptivePiece::new(1, r(0, 1), r(6, 1))],
+        ]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn to_splittable_preserves_feasibility_and_loads() {
+        let s = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(5, 1))],
+            vec![
+                PreemptivePiece::new(0, r(5, 1), r(5, 1)),
+                PreemptivePiece::new(1, r(0, 1), r(5, 1)),
+            ],
+            vec![PreemptivePiece::new(1, r(5, 1), r(1, 1))],
+        ]);
+        let split = s.to_splittable();
+        split.validate(&inst()).unwrap();
+        assert_eq!(split.makespan(&inst()), r(10, 1));
+    }
+
+    #[test]
+    fn pieces_of_job_lists_all_fragments() {
+        let s = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(5, 1))],
+            vec![
+                PreemptivePiece::new(0, r(5, 1), r(5, 1)),
+                PreemptivePiece::new(1, r(0, 1), r(5, 1)),
+            ],
+            vec![PreemptivePiece::new(1, r(5, 1), r(1, 1))],
+        ]);
+        assert_eq!(s.pieces_of_job(0).len(), 2);
+        assert_eq!(s.pieces_of_job(1).len(), 2);
+        assert_eq!(s.load_of_machine(1), r(10, 1));
+    }
+}

@@ -1,0 +1,547 @@
+//! Splittable schedules.
+//!
+//! In the splittable model jobs may be cut into arbitrarily small pieces and
+//! the pieces of one job may run in parallel, so a schedule is fully described
+//! by how much load of every job each machine receives.
+//!
+//! Two encodings are supported and may be mixed freely:
+//!
+//! * [`ExplicitMachine`] — a machine together with explicit `(job, amount)`
+//!   pieces; used for the `O(n)` "interesting" machines.
+//! * [`ClassRun`] — a *compact* description of `count` consecutive machines
+//!   each receiving one contiguous chunk of a single class.  The jobs of a
+//!   class are laid out in their canonical (input) order on the load interval
+//!   `[0, P_u)`; machine `i` of the run receives the sub-interval
+//!   `[offset + i·chunk, offset + (i+1)·chunk)`.  This is exactly the
+//!   structure produced by Algorithm 1 when `m` cannot be bounded by a
+//!   polynomial in `n` (Theorem 4, second part) and by the PTAS of Theorem 11,
+//!   and it allows validation in time polynomial in `n` and the number of
+//!   runs — independent of `m`.
+
+use super::{Schedule, ScheduleKind};
+use crate::error::{CcsError, Result};
+use crate::instance::{ClassId, Instance, JobId};
+use crate::rational::Rational;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Explicitly listed pieces on one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitMachine {
+    /// Machine id in `0..m`.
+    pub machine: u64,
+    /// `(job, amount)` pieces; amounts are positive and sum to at most the
+    /// machine load.
+    pub pieces: Vec<(JobId, Rational)>,
+}
+
+/// A compact run of `count` consecutive machines each holding one chunk of a
+/// single class (see module documentation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassRun {
+    /// First machine of the run.
+    pub first_machine: u64,
+    /// Number of consecutive machines in the run.
+    pub count: u64,
+    /// The class whose load is distributed over the run.
+    pub class: ClassId,
+    /// Start offset inside the class load interval `[0, P_u)`.
+    pub offset: Rational,
+    /// Load received by every machine of the run.
+    pub chunk: Rational,
+}
+
+impl ClassRun {
+    /// Total load covered by the run.
+    pub fn total(&self) -> Rational {
+        self.chunk * Rational::from(self.count)
+    }
+
+    /// Machine interval `[first, first + count)` covered by the run.
+    pub fn machine_range(&self) -> (u64, u64) {
+        (self.first_machine, self.first_machine + self.count)
+    }
+}
+
+/// A splittable schedule: a mix of explicit machines and compact class runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplittableSchedule {
+    explicit: Vec<ExplicitMachine>,
+    runs: Vec<ClassRun>,
+}
+
+impl SplittableSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a fully explicit schedule; entry `i` of `machines` holds the
+    /// pieces of machine `i`.
+    pub fn from_explicit(machines: Vec<Vec<(JobId, Rational)>>) -> Self {
+        let explicit = machines
+            .into_iter()
+            .enumerate()
+            .filter(|(_, pieces)| !pieces.is_empty())
+            .map(|(machine, pieces)| ExplicitMachine {
+                machine: machine as u64,
+                pieces,
+            })
+            .collect();
+        SplittableSchedule {
+            explicit,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Adds explicit pieces to a machine.
+    pub fn push_explicit(&mut self, machine: u64, pieces: Vec<(JobId, Rational)>) {
+        if !pieces.is_empty() {
+            self.explicit.push(ExplicitMachine { machine, pieces });
+        }
+    }
+
+    /// Adds a compact class run.
+    pub fn push_run(&mut self, run: ClassRun) {
+        if run.count > 0 && run.chunk.is_positive() {
+            self.runs.push(run);
+        }
+    }
+
+    /// Explicit machine entries.
+    pub fn explicit(&self) -> &[ExplicitMachine] {
+        &self.explicit
+    }
+
+    /// Compact class runs.
+    pub fn runs(&self) -> &[ClassRun] {
+        &self.runs
+    }
+
+    /// Size of the *encoding* of this schedule (number of explicit pieces plus
+    /// number of runs); the paper requires this to stay polynomial in `n` even
+    /// when `m` is exponential.
+    pub fn encoding_size(&self) -> usize {
+        self.explicit.iter().map(|e| e.pieces.len()).sum::<usize>() + self.runs.len()
+    }
+
+    /// Load each job receives in total, indexed by job.
+    pub fn job_coverage(&self, inst: &Instance) -> Vec<Rational> {
+        let mut cover = vec![Rational::ZERO; inst.num_jobs()];
+        for em in &self.explicit {
+            for &(job, amount) in &em.pieces {
+                if job < cover.len() {
+                    cover[job] += amount;
+                }
+            }
+        }
+        for run in &self.runs {
+            if run.class >= inst.num_classes() {
+                continue;
+            }
+            let lo = run.offset;
+            let hi = run.offset + run.total();
+            let mut cursor = Rational::ZERO;
+            for &job in inst.jobs_of_class(run.class) {
+                let p = Rational::from(inst.processing_time(job));
+                let job_lo = cursor;
+                let job_hi = cursor + p;
+                let ov_lo = job_lo.max(lo);
+                let ov_hi = job_hi.min(hi);
+                if ov_hi > ov_lo {
+                    cover[job] += ov_hi - ov_lo;
+                }
+                cursor = job_hi;
+            }
+        }
+        cover
+    }
+
+    /// The classes scheduled on machine `machine` (explicit pieces and runs).
+    pub fn classes_on_machine(&self, inst: &Instance, machine: u64) -> BTreeSet<ClassId> {
+        let mut classes = BTreeSet::new();
+        for em in &self.explicit {
+            if em.machine == machine {
+                for &(job, _) in &em.pieces {
+                    classes.insert(inst.class_of(job));
+                }
+            }
+        }
+        for run in &self.runs {
+            let (lo, hi) = run.machine_range();
+            if machine >= lo && machine < hi {
+                classes.insert(run.class);
+            }
+        }
+        classes
+    }
+
+    /// Load of machine `machine` (explicit pieces and runs).
+    pub fn load_of_machine(&self, machine: u64) -> Rational {
+        let mut load = Rational::ZERO;
+        for em in &self.explicit {
+            if em.machine == machine {
+                load += em.pieces.iter().map(|&(_, a)| a).sum::<Rational>();
+            }
+        }
+        for run in &self.runs {
+            let (lo, hi) = run.machine_range();
+            if machine >= lo && machine < hi {
+                load += run.chunk;
+            }
+        }
+        load
+    }
+
+    /// Checks structural sanity of pieces and runs (positive amounts, jobs and
+    /// classes exist, runs stay inside the class load interval).
+    fn validate_structure(&self, inst: &Instance) -> Result<()> {
+        for em in &self.explicit {
+            if em.machine >= inst.machines() {
+                return Err(CcsError::invalid_schedule(format!(
+                    "explicit machine {} out of range (m = {})",
+                    em.machine,
+                    inst.machines()
+                )));
+            }
+            for &(job, amount) in &em.pieces {
+                if job >= inst.num_jobs() {
+                    return Err(CcsError::invalid_schedule(format!("unknown job {job}")));
+                }
+                if !amount.is_positive() {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "non-positive piece of job {job}"
+                    )));
+                }
+            }
+        }
+        for run in &self.runs {
+            if run.class >= inst.num_classes() {
+                return Err(CcsError::invalid_schedule(format!(
+                    "unknown class {} in run",
+                    run.class
+                )));
+            }
+            if run.count == 0 || !run.chunk.is_positive() {
+                return Err(CcsError::invalid_schedule("degenerate class run"));
+            }
+            if run.offset.is_negative() {
+                return Err(CcsError::invalid_schedule("negative run offset"));
+            }
+            let class_load = Rational::from(inst.class_load(run.class));
+            if run.offset + run.total() > class_load {
+                return Err(CcsError::invalid_schedule(format!(
+                    "run of class {} covers load beyond P_u",
+                    run.class
+                )));
+            }
+            let (lo, hi) = run.machine_range();
+            if lo >= inst.machines() || hi > inst.machines() {
+                return Err(CcsError::invalid_schedule(format!(
+                    "run machines [{lo}, {hi}) out of range (m = {})",
+                    inst.machines()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sweeps over the machine axis and returns, for every maximal interval of
+    /// machines with identical run coverage, the interval together with its
+    /// run load and run classes.  Explicit machines are *not* included here.
+    fn run_segments(&self) -> Vec<(u64, u64, Rational, BTreeSet<ClassId>)> {
+        let mut points: BTreeSet<u64> = BTreeSet::new();
+        for run in &self.runs {
+            let (lo, hi) = run.machine_range();
+            points.insert(lo);
+            points.insert(hi);
+        }
+        let points: Vec<u64> = points.into_iter().collect();
+        let mut segments = Vec::new();
+        for w in points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let mut load = Rational::ZERO;
+            let mut classes = BTreeSet::new();
+            for run in &self.runs {
+                let (lo, hi) = run.machine_range();
+                if lo <= a && a < hi {
+                    load += run.chunk;
+                    classes.insert(run.class);
+                }
+            }
+            if !classes.is_empty() {
+                segments.push((a, b, load, classes));
+            }
+        }
+        segments
+    }
+}
+
+impl Schedule for SplittableSchedule {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Splittable
+    }
+
+    fn validate(&self, inst: &Instance) -> Result<()> {
+        self.validate_structure(inst)?;
+
+        // 1. Every job is fully (and not over-) covered.
+        let cover = self.job_coverage(inst);
+        for (job, &c) in cover.iter().enumerate() {
+            let p = Rational::from(inst.processing_time(job));
+            if c != p {
+                return Err(CcsError::invalid_schedule(format!(
+                    "job {job} covered with load {c}, needs exactly {p}"
+                )));
+            }
+        }
+
+        // 2. Class-slot constraint on explicit machines (including any run
+        //    contribution on the same machine).
+        let mut explicit_ids: BTreeMap<u64, ()> = BTreeMap::new();
+        for em in &self.explicit {
+            explicit_ids.entry(em.machine).or_insert(());
+        }
+        for (&machine, _) in &explicit_ids {
+            let classes = self.classes_on_machine(inst, machine);
+            if classes.len() as u64 > inst.class_slots() {
+                return Err(CcsError::invalid_schedule(format!(
+                    "machine {machine} hosts {} classes, only {} slots",
+                    classes.len(),
+                    inst.class_slots()
+                )));
+            }
+        }
+
+        // 3. Class-slot constraint on run-covered machines, checked segment
+        //    wise (time polynomial in the number of runs, not in m).
+        for (a, _b, _load, classes) in self.run_segments() {
+            // Explicit machines inside the segment were already checked with
+            // their full content above; the run-only content is a subset, so
+            // re-checking the segment is sound for them as well.
+            let _ = a;
+            if classes.len() as u64 > inst.class_slots() {
+                return Err(CcsError::invalid_schedule(format!(
+                    "run-covered machines host {} classes, only {} slots",
+                    classes.len(),
+                    inst.class_slots()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn makespan(&self, inst: &Instance) -> Rational {
+        let _ = inst;
+        let mut best = Rational::ZERO;
+        let mut explicit_ids: BTreeSet<u64> = BTreeSet::new();
+        for em in &self.explicit {
+            explicit_ids.insert(em.machine);
+        }
+        for &machine in &explicit_ids {
+            best = best.max(self.load_of_machine(machine));
+        }
+        for (a, b, load, _classes) in self.run_segments() {
+            // If every machine of the segment is explicit its load was already
+            // counted (load_of_machine includes run chunks); otherwise at
+            // least one machine carries exactly the run load.
+            let seg_len = b - a;
+            let explicit_in_seg = explicit_ids.range(a..b).count() as u64;
+            if explicit_in_seg < seg_len {
+                best = best.max(load);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instance_from_pairs;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn inst() -> Instance {
+        // class 0: jobs 0 (10), 2 (5) => P_0 = 15 ; class 1: job 1 (20) => P_1 = 20
+        instance_from_pairs(4, 2, &[(10, 0), (20, 1), (5, 0)]).unwrap()
+    }
+
+    #[test]
+    fn explicit_schedule_valid() {
+        let s = SplittableSchedule::from_explicit(vec![
+            vec![(0, r(10, 1)), (2, r(5, 1))],
+            vec![(1, r(20, 1))],
+        ]);
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.makespan(&inst()), r(20, 1));
+        assert_eq!(s.kind(), ScheduleKind::Splittable);
+    }
+
+    #[test]
+    fn fractional_split_across_machines() {
+        let s = SplittableSchedule::from_explicit(vec![
+            vec![(0, r(10, 1)), (1, r(5, 1))],
+            vec![(1, r(15, 1)), (2, r(5, 1))],
+        ]);
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.makespan(&inst()), r(20, 1));
+    }
+
+    #[test]
+    fn under_coverage_rejected() {
+        let s = SplittableSchedule::from_explicit(vec![vec![(0, r(9, 1))], vec![(1, r(20, 1)), (2, r(5, 1))]]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn over_coverage_rejected() {
+        let s = SplittableSchedule::from_explicit(vec![
+            vec![(0, r(10, 1)), (2, r(5, 1))],
+            vec![(1, r(20, 1)), (0, r(1, 1))],
+        ]);
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn class_slot_violation_rejected() {
+        let inst = instance_from_pairs(2, 1, &[(4, 0), (4, 1)]).unwrap();
+        let s = SplittableSchedule::from_explicit(vec![vec![(0, r(4, 1)), (1, r(4, 1))]]);
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn machine_out_of_range_rejected() {
+        let inst = instance_from_pairs(1, 2, &[(4, 0)]).unwrap();
+        let mut s = SplittableSchedule::new();
+        s.push_explicit(3, vec![(0, r(4, 1))]);
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn class_run_covers_jobs_in_canonical_order() {
+        // class 0 has jobs 0 (10) and 2 (5): canonical interval [0, 15).
+        // A run of 3 machines with chunk 5 covers [0, 15).
+        let mut s = SplittableSchedule::new();
+        s.push_run(ClassRun {
+            first_machine: 0,
+            count: 3,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: r(5, 1),
+        });
+        s.push_explicit(3, vec![(1, r(20, 1))]);
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.makespan(&inst()), r(20, 1));
+        let cover = s.job_coverage(&inst());
+        assert_eq!(cover[0], r(10, 1));
+        assert_eq!(cover[2], r(5, 1));
+    }
+
+    #[test]
+    fn class_run_with_offset() {
+        // Cover [5, 15) of class 0 by a run, [0, 5) explicitly.
+        let mut s = SplittableSchedule::new();
+        s.push_explicit(0, vec![(0, r(5, 1)), (1, r(20, 1))]);
+        s.push_run(ClassRun {
+            first_machine: 1,
+            count: 2,
+            class: 0,
+            offset: r(5, 1),
+            chunk: r(5, 1),
+        });
+        s.validate(&inst()).unwrap();
+        assert_eq!(s.makespan(&inst()), r(25, 1));
+    }
+
+    #[test]
+    fn run_beyond_class_load_rejected() {
+        let mut s = SplittableSchedule::new();
+        s.push_run(ClassRun {
+            first_machine: 0,
+            count: 4,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: r(5, 1),
+        });
+        assert!(s.validate(&inst()).is_err());
+    }
+
+    #[test]
+    fn run_machines_out_of_range_rejected() {
+        let inst = instance_from_pairs(2, 2, &[(10, 0)]).unwrap();
+        let mut s = SplittableSchedule::new();
+        s.push_run(ClassRun {
+            first_machine: 1,
+            count: 5,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: r(2, 1),
+        });
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn exponential_machine_count_compact_validation() {
+        // One class of load 10^6 spread over 10^11 of 10^12 machines plus one
+        // explicit machine; validation must be fast and must not enumerate m.
+        let m: u64 = 1_000_000_000_000;
+        let inst = instance_from_pairs(m, 1, &[(1_000_000, 0), (1, 1)]).unwrap();
+        let mut s = SplittableSchedule::new();
+        let spread: u64 = 100_000_000_000;
+        s.push_run(ClassRun {
+            first_machine: 0,
+            count: spread,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: Rational::new(1_000_000, spread as i128),
+        });
+        s.push_explicit(spread, vec![(1, Rational::ONE)]);
+        s.validate(&inst).unwrap();
+        assert_eq!(s.makespan(&inst), Rational::ONE);
+        assert!(s.encoding_size() <= 2);
+    }
+
+    #[test]
+    fn overlapping_runs_respect_class_slots() {
+        // Two runs of different classes over the same machines with c = 1 must
+        // be rejected; with c = 2 accepted.
+        let inst1 = instance_from_pairs(10, 1, &[(10, 0), (10, 1)]).unwrap();
+        let inst2 = instance_from_pairs(10, 2, &[(10, 0), (10, 1)]).unwrap();
+        let mut s = SplittableSchedule::new();
+        for class in 0..2usize {
+            s.push_run(ClassRun {
+                first_machine: 0,
+                count: 10,
+                class,
+                offset: Rational::ZERO,
+                chunk: Rational::ONE,
+            });
+        }
+        assert!(s.validate(&inst1).is_err());
+        s.validate(&inst2).unwrap();
+        assert_eq!(s.makespan(&inst2), r(2, 1));
+    }
+
+    #[test]
+    fn makespan_counts_partially_explicit_segments() {
+        // Run over machines [0, 2), machine 0 also explicit. Machine 1 carries
+        // only the run chunk, so the makespan is at least the chunk.
+        let inst = instance_from_pairs(2, 2, &[(6, 0), (4, 1)]).unwrap();
+        let mut s = SplittableSchedule::new();
+        s.push_run(ClassRun {
+            first_machine: 0,
+            count: 2,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: r(3, 1),
+        });
+        s.push_explicit(0, vec![(1, r(4, 1))]);
+        s.validate(&inst).unwrap();
+        assert_eq!(s.makespan(&inst), r(7, 1));
+        assert_eq!(s.load_of_machine(0), r(7, 1));
+        assert_eq!(s.load_of_machine(1), r(3, 1));
+        assert_eq!(s.classes_on_machine(&inst, 0).len(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Polynomial-time lower bounds on the optimal makespan, stronger than the
+//! simple bounds of `ccs-core::bounds`.
+
+use ccs_core::{bounds, Instance, Rational, ScheduleKind};
+
+/// The class-slot counting bound: the smallest `T` such that
+/// `Σ_u ⌈P_u / T⌉ ≤ c·m`.
+///
+/// Every schedule with makespan `T` spends at least `⌈P_u / T⌉` class slots on
+/// class `u` (a machine processes at most `T` units of any class), so the
+/// optimum of *every* placement model is at least this value.
+pub fn slot_count_bound(inst: &Instance) -> Rational {
+    let budget = inst.effective_class_slots() as u128 * inst.machines() as u128;
+    let loads = inst.class_loads();
+    let count = |t: Rational| -> u128 {
+        loads
+            .iter()
+            .map(|&p| Rational::from(p).ceil_div(t) as u128)
+            .sum()
+    };
+
+    // The infimum is attained at a border P_u / k.  For each class, find the
+    // largest k such that P_u / k is feasible; the smallest such border over
+    // all classes is the bound (mirrors Lemma 2, but without the restriction
+    // k ≤ m, since here we are not below the area bound).
+    let mut best: Option<Rational> = None;
+    for &pu in loads {
+        let pu_r = Rational::from(pu);
+        if count(pu_r) > budget {
+            continue;
+        }
+        let mut lo: i128 = 1;
+        let mut hi: i128 = (pu as i128).min(budget as i128).max(1);
+        while lo < hi {
+            let mid = lo + (hi - lo + 1) / 2;
+            if count(pu_r / Rational::from_int(mid)) <= budget {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let cand = pu_r / Rational::from_int(lo);
+        best = Some(match best {
+            Some(b) => b.min(cand),
+            None => cand,
+        });
+    }
+    best.unwrap_or(Rational::ZERO)
+}
+
+/// The strongest polynomial-time lower bound this crate knows for the given
+/// placement model: the maximum of the model's standard bound (area / `p_max`)
+/// and the class-slot counting bound.
+pub fn strong_lower_bound(inst: &Instance, kind: ScheduleKind) -> Rational {
+    bounds::lower_bound(inst, kind).max(slot_count_bound(inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn slot_bound_forces_whole_class_on_one_machine() {
+        // 2 machines, 1 slot each, classes of load 30 and 20: any schedule
+        // keeps each class on one machine, so opt >= 30.
+        let inst = instance_from_pairs(2, 1, &[(30, 0), (20, 1)]).unwrap();
+        assert_eq!(slot_count_bound(&inst), Rational::from_int(30));
+    }
+
+    #[test]
+    fn slot_bound_matches_even_split_when_slots_plenty() {
+        // 4 machines, 1 slot, single class of 100: ceil(100/T) <= 4 iff T >= 25.
+        let inst = instance_from_pairs(4, 1, &[(100, 0)]).unwrap();
+        assert_eq!(slot_count_bound(&inst), Rational::from_int(25));
+    }
+
+    #[test]
+    fn slot_bound_can_be_fractional() {
+        // Single class of 10 over 3 machines with 1 slot: T >= 10/3.
+        let inst = instance_from_pairs(3, 1, &[(10, 0)]).unwrap();
+        assert_eq!(slot_count_bound(&inst), Rational::new(10, 3));
+    }
+
+    #[test]
+    fn strong_bound_dominates_simple_bounds() {
+        let inst = instance_from_pairs(2, 1, &[(30, 0), (20, 1), (5, 0)]).unwrap();
+        for kind in ScheduleKind::ALL {
+            assert!(strong_lower_bound(&inst, kind) >= bounds::lower_bound(&inst, kind));
+        }
+    }
+
+    #[test]
+    fn strong_bound_never_exceeds_any_feasible_makespan() {
+        // Compare against a trivially feasible schedule: everything on one
+        // machine is only possible if C <= c; use c = C here.
+        let inst = instance_from_pairs(1, 3, &[(7, 0), (8, 1), (9, 2)]).unwrap();
+        for kind in ScheduleKind::ALL {
+            assert!(strong_lower_bound(&inst, kind) <= Rational::from_int(24));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # ccs-exact — exact solvers for small CCS instances
+//!
+//! The paper proves approximation ratios relative to `opt(I)`.  To *measure*
+//! the quality of the implemented algorithms the benchmark harness and the
+//! test suites need the true optimum, which this crate computes for small
+//! instances:
+//!
+//! * [`nonpreemptive::nonpreemptive_optimum`] — branch-and-bound over job
+//!   assignments (exponential time, intended for `n ≲ 20`),
+//! * [`splittable::splittable_optimum`] — enumeration of the machine/class
+//!   structure combined with the exact fractional load-balancing formula
+//!   `max_S Σ_{u∈S} P_u / |N(S)|`,
+//! * [`preemptive_optimum`] — `max(p_max, opt_splittable)`; the preemptive
+//!   optimum equals this value because a fractional assignment with machine
+//!   loads and job sizes at most `T` can always be turned into a preemptive
+//!   timetable of length `T` (Gonzalez–Sahni style open-shop argument),
+//! * [`bounds::strong_lower_bound`] — polynomial-time lower bounds (area,
+//!   `p_max`, and the class-slot counting bound) used on instances too large
+//!   for the exact solvers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod nonpreemptive;
+pub mod splittable;
+
+use ccs_core::{Instance, Rational, Result};
+
+pub use bounds::strong_lower_bound;
+pub use nonpreemptive::nonpreemptive_optimum;
+pub use splittable::splittable_optimum;
+
+/// Exact optimal makespan of the preemptive model for small instances.
+///
+/// Equals `max(p_max, opt_splittable)`: the preemptive optimum is at least
+/// both quantities, and a splittable solution with makespan `T ≥ p_max` can be
+/// serialised into a preemptive timetable of the same length (no job has more
+/// total work than `T`, no machine more load than `T`, so an open-shop style
+/// decomposition exists).
+pub fn preemptive_optimum(inst: &Instance) -> Result<Rational> {
+    let split = splittable_optimum(inst)?;
+    Ok(split.max(Rational::from(inst.p_max())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn preemptive_at_least_pmax_and_splittable() {
+        let inst = instance_from_pairs(3, 1, &[(10, 0), (2, 1), (2, 2)]).unwrap();
+        let pre = preemptive_optimum(&inst).unwrap();
+        let split = splittable_optimum(&inst).unwrap();
+        assert!(pre >= split);
+        assert!(pre >= Rational::from_int(10));
+        assert_eq!(pre, Rational::from_int(10));
+    }
+
+    #[test]
+    fn preemptive_dominated_by_splittable_when_jobs_small() {
+        // One class of load 30 on 1 machine: splittable = preemptive = 30.
+        let inst = instance_from_pairs(1, 1, &[(10, 0), (10, 0), (10, 0)]).unwrap();
+        assert_eq!(preemptive_optimum(&inst).unwrap(), Rational::from_int(30));
+    }
+}

@@ -1,0 +1,300 @@
+//! # ccs-gen — workload and instance generators
+//!
+//! Synthetic instance families used by the test suites and the benchmark
+//! harness.  The paper has no datasets; its introduction motivates the
+//! problem with *product planning* and *data placement* workloads, which the
+//! generators below model:
+//!
+//! * [`uniform`] — processing times and classes drawn uniformly,
+//! * [`zipf_classes`] — class popularity follows a Zipf law (a few hot
+//!   classes, a long tail), typical for data-placement workloads,
+//! * [`data_placement`] — the database scenario from the introduction:
+//!   operations need access to one locally stored database, machines have a
+//!   fixed number of database (class) slots,
+//! * [`video_on_demand`] — the video-on-demand scenario known from
+//!   class-constrained bin packing: requests for movies with Zipf popularity
+//!   and a small number of distinct stream lengths,
+//! * [`adversarial_round_robin`] — instances on which the simple round-robin
+//!   based algorithms are pushed towards their worst-case factors,
+//! * [`tiny_random`] — very small instances for comparisons against the exact
+//!   solvers.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ccs_core::{Instance, InstanceBuilder};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters shared by most generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of machines.
+    pub machines: u64,
+    /// Number of classes to draw from.
+    pub classes: u32,
+    /// Class slots per machine.
+    pub class_slots: u64,
+    /// Smallest processing time (inclusive).
+    pub p_min: u64,
+    /// Largest processing time (inclusive).
+    pub p_max: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            jobs: 100,
+            machines: 10,
+            classes: 20,
+            class_slots: 3,
+            p_min: 1,
+            p_max: 1000,
+        }
+    }
+}
+
+impl GenParams {
+    /// Convenience constructor.
+    pub fn new(jobs: usize, machines: u64, classes: u32, class_slots: u64) -> Self {
+        GenParams {
+            jobs,
+            machines,
+            classes,
+            class_slots,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the processing time range.
+    #[must_use]
+    pub fn with_times(mut self, p_min: u64, p_max: u64) -> Self {
+        self.p_min = p_min;
+        self.p_max = p_max;
+        self
+    }
+}
+
+fn build(params: &GenParams, jobs: Vec<(u64, u32)>) -> Instance {
+    let mut b = InstanceBuilder::new(params.machines, params.class_slots);
+    for (p, c) in jobs {
+        b = b.job(p, c);
+    }
+    b.build().expect("generator produced an invalid instance")
+}
+
+/// Ensures the generated class labels never exceed the slot budget `c·m`
+/// (which would make the instance trivially infeasible): labels are folded
+/// into the feasible range.
+fn clamp_class(label: u32, params: &GenParams) -> u32 {
+    let budget = (params.class_slots as u128 * params.machines as u128).min(u32::MAX as u128) as u32;
+    let limit = params.classes.min(budget.max(1));
+    label % limit
+}
+
+/// Jobs with uniformly random processing times and uniformly random classes.
+pub fn uniform(params: &GenParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = (0..params.jobs)
+        .map(|_| {
+            let p = rng.gen_range(params.p_min..=params.p_max);
+            let c = clamp_class(rng.gen_range(0..params.classes), params);
+            (p, c)
+        })
+        .collect();
+    build(params, jobs)
+}
+
+/// Draws a class index from a Zipf-like distribution with exponent `s` over
+/// `0..classes` using inverse transform sampling on the harmonic weights.
+fn zipf_class(rng: &mut StdRng, classes: u32, s: f64) -> u32 {
+    let weights: Vec<f64> = (1..=classes).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (idx, w) in weights.iter().enumerate() {
+        if x < *w {
+            return idx as u32;
+        }
+        x -= w;
+    }
+    classes - 1
+}
+
+/// Jobs with uniformly random processing times but Zipf-distributed classes
+/// (exponent 1.1): a few very popular classes and a long tail.
+pub fn zipf_classes(params: &GenParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = (0..params.jobs)
+        .map(|_| {
+            let p = rng.gen_range(params.p_min..=params.p_max);
+            let c = clamp_class(zipf_class(&mut rng, params.classes, 1.1), params);
+            (p, c)
+        })
+        .collect();
+    build(params, jobs)
+}
+
+/// Data-placement scenario from the paper's introduction: operations
+/// (jobs) each need one database (class); databases have Zipf popularity and
+/// operation times are short with occasional long analytical queries.
+pub fn data_placement(params: &GenParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = (params.p_max - params.p_min).max(1);
+    let jobs = (0..params.jobs)
+        .map(|_| {
+            // 90% short interactive queries, 10% long analytical ones.
+            let p = if rng.gen_bool(0.9) {
+                params.p_min + rng.gen_range(0..=span / 10)
+            } else {
+                params.p_min + rng.gen_range(span / 2..=span)
+            };
+            let c = clamp_class(zipf_class(&mut rng, params.classes, 0.9), params);
+            (p.max(1), c)
+        })
+        .collect();
+    build(params, jobs)
+}
+
+/// Video-on-demand scenario: classes are movies with Zipf popularity, jobs are
+/// streaming sessions whose lengths cluster around a small set of typical
+/// durations.
+pub fn video_on_demand(params: &GenParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let durations = [
+        params.p_max,             // full movie
+        params.p_max / 2,         // half watched
+        params.p_max / 4,         // sampled
+        (params.p_min * 2).max(1), // trailer
+    ];
+    let jobs = (0..params.jobs)
+        .map(|_| {
+            let p = durations[rng.gen_range(0..durations.len())].max(1);
+            let c = clamp_class(zipf_class(&mut rng, params.classes, 1.4), params);
+            (p, c)
+        })
+        .collect();
+    build(params, jobs)
+}
+
+/// Instances designed to stress the round-robin algorithms: one huge class
+/// that must be split into exactly `machines` chunks plus `machines` small
+/// classes of almost the chunk size, so the makespan of the 2-approximation
+/// approaches `2·opt`.
+pub fn adversarial_round_robin(machines: u64, chunk: u64) -> Instance {
+    assert!(machines >= 1 && chunk >= 2);
+    let mut b = InstanceBuilder::new(machines, 2);
+    // Class 0: load machines * chunk (split into `machines` chunks of `chunk`).
+    for _ in 0..machines {
+        b = b.job(chunk, 0);
+    }
+    // One small class of load chunk - 1 per machine.
+    for i in 0..machines {
+        b = b.job(chunk - 1, 1 + i as u32);
+    }
+    b.build().expect("adversarial instance must be valid")
+}
+
+/// Very small random instances for exact-vs-approximate comparisons.
+pub fn tiny_random(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jobs = rng.gen_range(2..=8usize);
+    let machines = rng.gen_range(1..=3u64);
+    let classes = rng.gen_range(1..=4u32);
+    let class_slots = rng.gen_range(1..=2u64);
+    let params = GenParams {
+        jobs,
+        machines,
+        classes,
+        class_slots,
+        p_min: 1,
+        p_max: 12,
+    };
+    // Ensure feasibility: fold classes into the slot budget.
+    uniform(&params, rng.gen())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_params() {
+        let p = GenParams::new(50, 5, 10, 2).with_times(3, 9);
+        let inst = uniform(&p, 42);
+        assert_eq!(inst.num_jobs(), 50);
+        assert_eq!(inst.machines(), 5);
+        assert!(inst.num_classes() <= 10);
+        assert!(inst.processing_times().iter().all(|&x| (3..=9).contains(&x)));
+        assert!(inst.is_feasible());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let p = GenParams::default();
+        assert_eq!(uniform(&p, 7), uniform(&p, 7));
+        assert_eq!(zipf_classes(&p, 7), zipf_classes(&p, 7));
+        assert_eq!(data_placement(&p, 7), data_placement(&p, 7));
+        assert_eq!(video_on_demand(&p, 7), video_on_demand(&p, 7));
+        assert_ne!(uniform(&p, 7), uniform(&p, 8));
+    }
+
+    #[test]
+    fn zipf_prefers_small_class_indices() {
+        let p = GenParams {
+            jobs: 2000,
+            classes: 50,
+            ..Default::default()
+        };
+        let inst = zipf_classes(&p, 1);
+        // The hottest class should contain far more jobs than an average one.
+        let hottest = (0..inst.num_classes())
+            .map(|u| inst.jobs_of_class(u).len())
+            .max()
+            .unwrap();
+        assert!(hottest * inst.num_classes() > 2 * inst.num_jobs());
+    }
+
+    #[test]
+    fn generated_instances_always_feasible() {
+        for seed in 0..20 {
+            let p = GenParams::new(30, 4, 40, 2);
+            assert!(uniform(&p, seed).is_feasible());
+            assert!(zipf_classes(&p, seed).is_feasible());
+            assert!(data_placement(&p, seed).is_feasible());
+            assert!(video_on_demand(&p, seed).is_feasible());
+            assert!(tiny_random(seed).is_feasible());
+        }
+    }
+
+    #[test]
+    fn adversarial_instance_shape() {
+        let inst = adversarial_round_robin(4, 10);
+        assert_eq!(inst.num_jobs(), 8);
+        assert_eq!(inst.num_classes(), 5);
+        assert_eq!(inst.class_load(0), 40);
+        assert!(inst.is_feasible());
+    }
+
+    #[test]
+    fn tiny_random_is_small() {
+        for seed in 0..50 {
+            let inst = tiny_random(seed);
+            assert!(inst.num_jobs() <= 8);
+            assert!(inst.machines() <= 3);
+        }
+    }
+
+    #[test]
+    fn video_on_demand_has_few_distinct_durations() {
+        let p = GenParams::default();
+        let inst = video_on_demand(&p, 3);
+        let mut times: Vec<u64> = inst.processing_times().to_vec();
+        times.sort_unstable();
+        times.dedup();
+        assert!(times.len() <= 4);
+    }
+}

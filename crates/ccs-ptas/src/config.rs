@@ -1,0 +1,132 @@
+//! Enumeration of modules and configurations.
+//!
+//! A *configuration* describes one machine of a well-structured schedule: the
+//! multiset of module sizes it hosts (sizes measured in units of `δ²T`),
+//! constrained by the machine capacity `T̄` and the class-slot budget `c*`.
+
+/// A configuration: a non-increasing multiset of module sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Module sizes in units of `δ²T`, non-increasing.
+    pub parts: Vec<u64>,
+    /// `Λ(K) = Σ parts` — the configuration size.
+    pub total: u64,
+    /// `‖K‖₁` — the number of modules (class slots used).
+    pub count: u64,
+}
+
+impl Config {
+    fn new(parts: Vec<u64>) -> Self {
+        let total = parts.iter().sum();
+        let count = parts.len() as u64;
+        Config {
+            parts,
+            total,
+            count,
+        }
+    }
+
+    /// Number of modules of size `q` in this configuration.
+    pub fn multiplicity(&self, q: u64) -> u64 {
+        self.parts.iter().filter(|&&p| p == q).count() as u64
+    }
+
+    /// The group `(h, b) = (Λ(K), ‖K‖₁)` of this configuration, used for the
+    /// small-class constraints (2) and (3) of the paper.
+    pub fn group(&self) -> (u64, u64) {
+        (self.total, self.count)
+    }
+}
+
+/// Enumerates every configuration with parts drawn from `sizes`
+/// (each usable any number of times), total at most `max_total` and at most
+/// `max_count` parts.  The empty configuration is included — machines may
+/// stay (partially) empty and are then available for small classes.
+pub fn enumerate_configs(sizes: &[u64], max_total: u64, max_count: u64) -> Vec<Config> {
+    let mut sizes: Vec<u64> = sizes.iter().copied().filter(|&s| s > 0 && s <= max_total).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut out = Vec::new();
+    let mut parts = Vec::new();
+    recurse(&sizes, sizes.len(), max_total, max_count, &mut parts, &mut out);
+    out
+}
+
+fn recurse(
+    sizes: &[u64],
+    max_size_idx: usize,
+    remaining_total: u64,
+    remaining_count: u64,
+    parts: &mut Vec<u64>,
+    out: &mut Vec<Config>,
+) {
+    out.push(Config::new(parts.clone()));
+    if remaining_count == 0 {
+        return;
+    }
+    for idx in (0..max_size_idx).rev() {
+        let size = sizes[idx];
+        if size > remaining_total {
+            continue;
+        }
+        parts.push(size);
+        recurse(
+            sizes,
+            idx + 1,
+            remaining_total - size,
+            remaining_count - 1,
+            parts,
+            out,
+        );
+        parts.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_enumeration_is_exhaustive() {
+        // Sizes {2,3}, total <= 5, count <= 2:
+        // [], [2], [3], [2,2], [3,2], [2? 3,3 = 6 > 5 no]
+        let configs = enumerate_configs(&[2, 3], 5, 2);
+        assert_eq!(configs.len(), 5);
+        assert!(configs.iter().any(|c| c.parts == vec![3, 2]));
+        assert!(configs.iter().all(|c| c.total <= 5 && c.count <= 2));
+    }
+
+    #[test]
+    fn empty_configuration_present() {
+        let configs = enumerate_configs(&[4], 3, 5);
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].parts, Vec::<u64>::new());
+        assert_eq!(configs[0].group(), (0, 0));
+    }
+
+    #[test]
+    fn multiplicities_and_groups() {
+        let configs = enumerate_configs(&[2], 6, 3);
+        // [], [2], [2,2], [2,2,2]
+        assert_eq!(configs.len(), 4);
+        let full = configs.iter().find(|c| c.count == 3).unwrap();
+        assert_eq!(full.multiplicity(2), 3);
+        assert_eq!(full.group(), (6, 3));
+    }
+
+    #[test]
+    fn no_duplicate_configurations() {
+        let configs = enumerate_configs(&[2, 3, 4, 5], 12, 4);
+        let mut seen = std::collections::HashSet::new();
+        for c in &configs {
+            assert!(seen.insert(c.parts.clone()), "duplicate {:?}", c.parts);
+        }
+    }
+
+    #[test]
+    fn growth_with_finer_accuracy() {
+        let coarse = enumerate_configs(&(2..=12).collect::<Vec<_>>(), 12, 6).len();
+        let fine = enumerate_configs(&(4..=32).collect::<Vec<_>>(), 32, 8).len();
+        assert!(fine > coarse);
+    }
+}

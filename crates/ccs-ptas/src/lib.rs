@@ -1,0 +1,54 @@
+//! # ccs-ptas — polynomial time approximation schemes for CCS
+//!
+//! Implementation of Section 4 of "Approximation Algorithms for Scheduling
+//! with Class Constraints" (Jansen, Lassota, Maack; SPAA 2020): for every
+//! placement model a `(1 + O(δ))`-approximation obtained by
+//!
+//! 1. guessing the makespan `T` (geometric binary search),
+//! 2. simplifying the instance so that every class is either *small* (one job
+//!    of size ≤ δT) or *large* (every job > δT) and rounding processing times
+//!    to multiples of `δ²T` (Section 4 preprocessing),
+//! 3. deciding whether a *well-structured* schedule with makespan
+//!    `T̄ = (1+O(δ))T` exists via the configuration integer program of the
+//!    paper (modules / configurations / small-class groups), and
+//! 4. turning the certificate back into an actual schedule (greedy slot
+//!    filling plus round robin for the small classes).
+//!
+//! ## Solving the configuration ILP
+//!
+//! The paper solves the configuration ILP through its N-fold structure
+//! (Theorem 1).  The parameter-dependent factor of that algorithm,
+//! `(rsΔ)^{O(r²s+s²)}`, is astronomically large, so running it literally is
+//! not possible; this crate instead solves the *aggregated* configuration ILP
+//! (the per-class duplication of configuration variables in the paper exists
+//! only to obtain the N-fold shape and carries no information — see Lemma 9,
+//! which sets all duplicates except one to zero) with an exact
+//! depth-first-search solver with interval propagation ([`ilp`]).  The
+//! faithful N-fold can still be materialised via [`nfold_build`] and is
+//! cross-checked in tests: every certificate found by the aggregated solver is
+//! converted into a feasible solution of the paper's N-fold.
+//!
+//! The running time therefore remains exponential in `1/δ` (as any PTAS must
+//! be) and practical only for coarse `δ`; the benchmark harness documents the
+//! measured growth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ilp;
+pub mod nfold_build;
+pub mod nonpreemptive;
+pub mod params;
+pub mod preemptive;
+pub mod result;
+pub mod scale;
+pub mod splittable;
+
+
+pub use nonpreemptive::nonpreemptive_ptas;
+pub use params::PtasParams;
+pub use preemptive::preemptive_ptas;
+
+pub use result::PtasResult;
+pub use splittable::splittable_ptas;

@@ -1,0 +1,145 @@
+//! Materialisation of the paper's N-fold ILP for the splittable case.
+//!
+//! The PTASs in this crate solve the *aggregated* configuration ILP (see the
+//! crate documentation); this module builds the corresponding N-fold program
+//! exactly as written in Section 4.1 of the paper — one brick per class with
+//! duplicated configuration variables — so that its block structure and
+//! parameters (`r`, `s`, `t`, `Δ`) can be inspected, reported by the benchmark
+//! harness and cross-checked against the `nfold` crate's validation.
+
+use crate::config::Config;
+use crate::params::PtasParams;
+use crate::scale::GuessScale;
+use ccs_core::{Instance, Rational};
+use nfold::NFold;
+
+/// Builds the splittable-case N-fold of the paper for a guess `T`.
+///
+/// Brick layout per class `u` (in this order):
+/// `x^u_K` for every configuration, `y^u_q` for every module size, `z^u_{h,b}`
+/// for every group, plus two slack columns per group turning constraints (2)
+/// and (3) into equalities.
+pub fn build_splittable_nfold(inst: &Instance, guess: Rational, params: PtasParams) -> NFold {
+    let scale = GuessScale::new(guess, params);
+    let c_eff = inst.effective_class_slots() as i64;
+    let c_star = (c_eff as u64).min(scale.tbar_units / scale.delta_inv);
+    let module_sizes: Vec<u64> = (scale.delta_inv..=scale.tbar_units).collect();
+    let configs = crate::config::enumerate_configs(&module_sizes, scale.tbar_units, c_star);
+    let mut groups: Vec<(u64, u64)> = configs.iter().map(Config::group).collect();
+    groups.sort_unstable();
+    groups.dedup();
+
+    let n = inst.num_classes();
+    let k = configs.len();
+    let q = module_sizes.len();
+    let g = groups.len();
+    let t = k + q + 3 * g; // x, y, z plus two slack columns per group
+    let r = 1 + q + 2 * g; // (0), (1), (2), (3); the locally uniform rows (4), (5) give s = 2
+    let m = inst.machines() as i64;
+
+    // Globally uniform block (identical for every brick).
+    let mut a_block = vec![vec![0i64; t]; r];
+    for (ki, config) in configs.iter().enumerate() {
+        a_block[0][ki] = 1; // (0)
+        for (qi, &qs) in module_sizes.iter().enumerate() {
+            a_block[1 + qi][ki] = config.multiplicity(qs) as i64; // (1)
+        }
+        let gi = groups.iter().position(|&gr| gr == config.group()).unwrap();
+        let (h, b) = config.group();
+        a_block[1 + q + gi][ki] = -(c_eff - b as i64); // (2): z - (c-b) x ≤ 0
+        a_block[1 + q + g + gi][ki] = -(((scale.tbar_units - h) as i64) * c_eff); // (3)
+    }
+    for (qi, _) in module_sizes.iter().enumerate() {
+        a_block[1 + qi][k + qi] = -1; // (1): … = Σ_u y^u_q
+    }
+    for gi in 0..g {
+        a_block[1 + q + gi][k + q + gi] = 1; // z in (2)
+        a_block[1 + q + gi][k + q + g + gi] = 1; // slack of (2)
+        a_block[1 + q + g + gi][k + q + 2 * g + gi] = 1; // slack of (3)
+    }
+    // z coefficients in (3) are class dependent (p'_u), so they live in the
+    // per-class copies of the top block.
+    let fine_unit = scale.unit / Rational::from(c_eff as u64);
+    let mut a_blocks = Vec::with_capacity(n);
+    let mut b_blocks = Vec::with_capacity(n);
+    let mut rhs_bricks = Vec::with_capacity(n);
+    let mut lower = Vec::new();
+    let mut upper = Vec::new();
+    for class in 0..n {
+        let load = Rational::from(inst.class_load(class));
+        let is_small = load <= scale.small_threshold;
+        let mut a_u = a_block.clone();
+        if is_small {
+            let s_u = (load / fine_unit).ceil();
+            for gi in 0..g {
+                a_u[1 + q + g + gi][k + q + gi] = s_u as i64; // p'_u z in (3)
+            }
+        }
+        a_blocks.push(a_u);
+
+        // Locally uniform rows: (4) Σ q y^u_q = (1-ξ_u) p'_u and (5) Σ z = ξ_u.
+        let mut row4 = vec![0i64; t];
+        for (qi, &qs) in module_sizes.iter().enumerate() {
+            row4[k + qi] = qs as i64;
+        }
+        let mut row5 = vec![0i64; t];
+        for gi in 0..g {
+            row5[k + q + gi] = 1;
+        }
+        b_blocks.push(vec![row4, row5]);
+        let demand = if is_small { 0 } else { scale.units_ceil(load) as i64 };
+        rhs_bricks.push(vec![demand, i64::from(is_small)]);
+
+        // Bounds for this brick.
+        lower.extend(std::iter::repeat(0).take(t));
+        let mut ub = Vec::with_capacity(t);
+        ub.extend(std::iter::repeat(m).take(k));
+        ub.extend(std::iter::repeat(m * scale.tbar_units as i64).take(q));
+        ub.extend(std::iter::repeat(1).take(g));
+        ub.extend(std::iter::repeat(m * scale.tbar_units as i64 * c_eff.max(1)).take(2 * g));
+        upper.extend(ub);
+    }
+
+    let mut rhs_top = vec![m];
+    rhs_top.extend(std::iter::repeat(0).take(q + 2 * g));
+    NFold::new(a_blocks, b_blocks, rhs_top, rhs_bricks, lower, upper)
+        .expect("paper N-fold must be dimensionally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn structure_matches_paper_dimensions() {
+        let inst = instance_from_pairs(2, 1, &[(30, 0), (20, 1), (1, 2)]).unwrap();
+        let params = PtasParams::with_delta_inv(2).unwrap();
+        let nf = build_splittable_nfold(&inst, Rational::from_int(30), params);
+        nf.validate().unwrap();
+        // N bricks = number of classes; s = 2 locally uniform rows as in the
+        // paper; r = 1 + |M| + 2·|Λ(K)|·c*-style rows.
+        assert_eq!(nf.n, inst.num_classes());
+        assert_eq!(nf.s, 2);
+        assert!(nf.r >= 1);
+        assert!(nf.t > nf.r);
+        assert!(nf.delta() >= 1);
+    }
+
+    #[test]
+    fn grows_with_finer_accuracy() {
+        let inst = instance_from_pairs(2, 1, &[(30, 0), (20, 1)]).unwrap();
+        let coarse = build_splittable_nfold(
+            &inst,
+            Rational::from_int(30),
+            PtasParams::with_delta_inv(2).unwrap(),
+        );
+        let fine = build_splittable_nfold(
+            &inst,
+            Rational::from_int(30),
+            PtasParams::with_delta_inv(3).unwrap(),
+        );
+        assert!(fine.t > coarse.t);
+        assert!(fine.r > coarse.r);
+    }
+}

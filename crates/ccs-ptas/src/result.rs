@@ -1,0 +1,44 @@
+//! Result type shared by the three approximation schemes.
+
+use ccs_core::Rational;
+
+/// Output of a PTAS run.
+#[derive(Debug, Clone)]
+pub struct PtasResult<S> {
+    /// The computed schedule (feasible for the original instance).
+    pub schedule: S,
+    /// The accepted makespan guess `T` (the smallest guess of the geometric
+    /// search for which the configuration ILP was feasible).
+    pub guess: Rational,
+    /// The lower bound on the optimum used to start the search.
+    pub lower_bound: Rational,
+    /// Number of makespan guesses evaluated.
+    pub guesses_evaluated: usize,
+    /// Number of configurations enumerated for the accepted guess.
+    pub configurations: usize,
+}
+
+impl<S> PtasResult<S> {
+    /// Best lower bound on the optimum known to the scheme.
+    pub fn optimum_lower_bound(&self) -> Rational {
+        self.lower_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = PtasResult {
+            schedule: (),
+            guess: Rational::from_int(3),
+            lower_bound: Rational::from_int(2),
+            guesses_evaluated: 4,
+            configurations: 17,
+        };
+        assert_eq!(r.optimum_lower_bound(), Rational::from_int(2));
+        assert_eq!(r.guesses_evaluated, 4);
+    }
+}

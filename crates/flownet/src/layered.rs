@@ -1,0 +1,195 @@
+//! The layer-assignment network of Lemma 16 (Figure 5 of the paper).
+//!
+//! Given, for every job of a large class, the number of layers (slots of
+//! height `δ²T`) it must fill and the machines its class is allowed to use,
+//! and given per-machine layer capacities, the network decides whether an
+//! integral assignment exists in which
+//!
+//! * every job fills exactly its required number of layers,
+//! * no job appears twice in the same layer (pieces of one job never run in
+//!   parallel), and
+//! * no machine hosts two jobs in the same layer,
+//!
+//! and if so produces one via flow integrality.  This is exactly the
+//! construction used in the proof of Lemma 16: nodes
+//! `source → job → job×layer → machine×layer → machine → sink`.
+
+use crate::dinic::FlowNetwork;
+
+/// Per-job input of the layer assignment.
+#[derive(Debug, Clone)]
+pub struct LayerRequest {
+    /// Number of layers (pieces of height `δ²T`) the job must fill.
+    pub units: u64,
+    /// Machines on which the job's class is scheduled (indices into
+    /// `machine_capacity`).
+    pub allowed_machines: Vec<usize>,
+}
+
+/// A successful integral layer assignment: `placements[k] = (job, machine,
+/// layer)` states that one piece of `job` fills `layer` on `machine`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerAssignment {
+    /// One entry per assigned (job, machine, layer) slot.
+    pub placements: Vec<(usize, usize, usize)>,
+}
+
+impl LayerAssignment {
+    /// Number of layer slots assigned to `job`.
+    pub fn units_of_job(&self, job: usize) -> u64 {
+        self.placements.iter().filter(|&&(j, _, _)| j == job).count() as u64
+    }
+}
+
+/// Runs the Lemma 16 flow construction.
+///
+/// Returns `None` if no complete assignment exists (i.e. the max flow is
+/// smaller than the total number of requested units).
+pub fn layer_assignment(
+    requests: &[LayerRequest],
+    machine_capacity: &[u64],
+    layers: usize,
+) -> Option<LayerAssignment> {
+    let num_jobs = requests.len();
+    let num_machines = machine_capacity.len();
+
+    // Node layout.
+    let source = 0;
+    let sink = 1;
+    let job_node = |j: usize| 2 + j;
+    let job_layer_node = |j: usize, l: usize| 2 + num_jobs + j * layers + l;
+    let machine_layer_node = |i: usize, l: usize| 2 + num_jobs + num_jobs * layers + i * layers + l;
+    let machine_node = |i: usize| 2 + num_jobs + num_jobs * layers + num_machines * layers + i;
+    let total_nodes = 2 + num_jobs + num_jobs * layers + num_machines * layers + num_machines;
+
+    let mut net = FlowNetwork::new(total_nodes);
+    let mut demanded: i64 = 0;
+    for (j, req) in requests.iter().enumerate() {
+        demanded += req.units as i64;
+        net.add_edge(source, job_node(j), req.units as i64);
+        for l in 0..layers {
+            net.add_edge(job_node(j), job_layer_node(j, l), 1);
+        }
+    }
+    // Remember the (job, machine, layer) edges to read the flow back.
+    let mut jml_edges = Vec::new();
+    for (j, req) in requests.iter().enumerate() {
+        for &i in &req.allowed_machines {
+            assert!(i < num_machines, "machine index out of range");
+            for l in 0..layers {
+                let e = net.add_edge(job_layer_node(j, l), machine_layer_node(i, l), 1);
+                jml_edges.push((j, i, l, e));
+            }
+        }
+    }
+    for i in 0..num_machines {
+        for l in 0..layers {
+            net.add_edge(machine_layer_node(i, l), machine_node(i), 1);
+        }
+        net.add_edge(machine_node(i), sink, machine_capacity[i] as i64);
+    }
+
+    let flow = net.max_flow(source, sink);
+    if flow < demanded {
+        return None;
+    }
+    let placements = jml_edges
+        .into_iter()
+        .filter(|&(_, _, _, e)| net.flow_on(e) > 0)
+        .map(|(j, i, l, _)| (j, i, l))
+        .collect();
+    Some(LayerAssignment { placements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn req(units: u64, machines: &[usize]) -> LayerRequest {
+        LayerRequest {
+            units,
+            allowed_machines: machines.to_vec(),
+        }
+    }
+
+    fn assert_valid(assignment: &LayerAssignment, requests: &[LayerRequest], caps: &[u64]) {
+        // Every job got exactly its units.
+        for (j, r) in requests.iter().enumerate() {
+            assert_eq!(assignment.units_of_job(j), r.units, "job {j}");
+        }
+        // No job twice in the same layer; no machine-layer used twice;
+        // machine capacities respected; only allowed machines used.
+        let mut job_layers = HashSet::new();
+        let mut machine_layers = HashSet::new();
+        let mut machine_units = vec![0u64; caps.len()];
+        for &(j, i, l) in &assignment.placements {
+            assert!(requests[j].allowed_machines.contains(&i));
+            assert!(job_layers.insert((j, l)), "job {j} twice in layer {l}");
+            assert!(machine_layers.insert((i, l)), "machine {i} layer {l} reused");
+            machine_units[i] += 1;
+        }
+        for (i, &used) in machine_units.iter().enumerate() {
+            assert!(used <= caps[i]);
+        }
+    }
+
+    #[test]
+    fn single_job_single_machine() {
+        let requests = vec![req(3, &[0])];
+        let caps = vec![3];
+        let a = layer_assignment(&requests, &caps, 3).unwrap();
+        assert_valid(&a, &requests, &caps);
+    }
+
+    #[test]
+    fn job_spread_across_machines_without_self_overlap() {
+        // A job needing 4 layers with only 2 layers available per machine must
+        // use different layers on the two machines.
+        let requests = vec![req(4, &[0, 1])];
+        let caps = vec![2, 2];
+        let a = layer_assignment(&requests, &caps, 4).unwrap();
+        assert_valid(&a, &requests, &caps);
+    }
+
+    #[test]
+    fn two_jobs_compete_for_layers() {
+        let requests = vec![req(2, &[0, 1]), req(2, &[0, 1])];
+        let caps = vec![2, 2];
+        let a = layer_assignment(&requests, &caps, 2).unwrap();
+        assert_valid(&a, &requests, &caps);
+    }
+
+    #[test]
+    fn infeasible_when_job_needs_more_layers_than_exist() {
+        // 3 units but only 2 layers: the job would have to run in parallel
+        // with itself.
+        let requests = vec![req(3, &[0, 1, 2])];
+        let caps = vec![3, 3, 3];
+        assert!(layer_assignment(&requests, &caps, 2).is_none());
+    }
+
+    #[test]
+    fn infeasible_when_machine_capacity_too_small() {
+        let requests = vec![req(2, &[0]), req(2, &[0])];
+        let caps = vec![3];
+        assert!(layer_assignment(&requests, &caps, 4).is_none());
+    }
+
+    #[test]
+    fn figure_5_shape_small_example() {
+        // Three jobs of a large class over two machines, layer capacities as
+        // in the paper's illustration: the assignment exists and is integral.
+        let requests = vec![req(2, &[0, 1]), req(1, &[0]), req(2, &[1])];
+        let caps = vec![3, 2];
+        let a = layer_assignment(&requests, &caps, 3).unwrap();
+        assert_valid(&a, &requests, &caps);
+        assert_eq!(a.placements.len(), 5);
+    }
+
+    #[test]
+    fn empty_input_is_trivially_feasible() {
+        let a = layer_assignment(&[], &[2, 2], 2).unwrap();
+        assert!(a.placements.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! # flownet — maximum flow and the layer-assignment network of Lemma 16
+//!
+//! The preemptive PTAS of the paper relies on the existence of
+//! *well-structured* schedules in which every piece of a job belonging to a
+//! large class fills a whole layer of height `δ²T` (Lemma 16).  The proof
+//! constructs a flow network (jobs → job×layer → slots → machines) and uses
+//! flow integrality.  This crate provides
+//!
+//! * [`dinic`] — a Dinic max-flow solver with integral capacities and per-edge
+//!   flow extraction, and
+//! * [`layered`] — the Lemma 16 network itself, which converts a fractional
+//!   per-machine load profile into an integral layer assignment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dinic;
+pub mod layered;
+pub mod openshop;
+
+pub use dinic::{EdgeId, FlowNetwork};
+pub use layered::{layer_assignment, LayerAssignment, LayerRequest};
+pub use openshop::{open_shop_timetable, TimetablePiece};

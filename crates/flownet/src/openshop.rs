@@ -1,0 +1,223 @@
+//! Preemptive open-shop timetabling (Gonzalez–Sahni / Birkhoff–von Neumann
+//! decomposition).
+//!
+//! Given amounts `x[row][col]` of work that row `row` (a job) must receive on
+//! column `col` (a machine), a preemptive timetable of length
+//! `D = max(max row sum, max column sum)` always exists in which no row and no
+//! column is busy with two things at once.  The construction pads the matrix
+//! to one with all row and column sums equal to `D` and repeatedly extracts a
+//! perfect matching from its support (which exists by the Birkhoff–von Neumann
+//! argument), scheduling the matched pairs in parallel.
+//!
+//! The preemptive PTAS uses this to serialise the fractional assignment
+//! produced by its configuration ILP without ever running two pieces of the
+//! same job in parallel.
+
+use crate::dinic::FlowNetwork;
+use ccs_core::Rational;
+
+/// One scheduled piece: `(row, col, start, length)`.
+pub type TimetablePiece = (usize, usize, Rational, Rational);
+
+/// Builds a preemptive timetable for the given work matrix.
+///
+/// Returns the pieces and the timetable length `D`.  Pieces of the same row
+/// never overlap in time, pieces on the same column never overlap in time and
+/// the total length of the pieces of `(row, col)` equals `x[row][col]`.
+pub fn open_shop_timetable(x: &[Vec<Rational>]) -> (Vec<TimetablePiece>, Rational) {
+    let rows = x.len();
+    let cols = x.first().map(|r| r.len()).unwrap_or(0);
+    if rows == 0 || cols == 0 {
+        return (Vec::new(), Rational::ZERO);
+    }
+    let row_sums: Vec<Rational> = x.iter().map(|r| r.iter().copied().sum()).collect();
+    let col_sums: Vec<Rational> = (0..cols)
+        .map(|c| x.iter().map(|r| r[c]).sum())
+        .collect();
+    let d = row_sums
+        .iter()
+        .chain(col_sums.iter())
+        .copied()
+        .fold(Rational::ZERO, Rational::max);
+    if d.is_zero() {
+        return (Vec::new(), Rational::ZERO);
+    }
+
+    // Pad to a (rows+cols) × (cols+rows) matrix with all row and column sums
+    // equal to d:  [ x            diag(d - row) ]
+    //              [ diag(d-col)  xᵀ            ]
+    let n = rows + cols;
+    let mut b = vec![vec![Rational::ZERO; n]; n];
+    for (r, row) in x.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            b[r][c] = v;
+            b[rows + c][cols + r] = v;
+        }
+    }
+    for r in 0..rows {
+        b[r][cols + r] = d - row_sums[r];
+    }
+    for c in 0..cols {
+        b[rows + c][c] = d - col_sums[c];
+    }
+
+    let mut pieces = Vec::new();
+    let mut time = Rational::ZERO;
+    let mut remaining = d;
+    while remaining.is_positive() {
+        let matching = perfect_matching(&b).expect(
+            "a matrix with equal positive row and column sums always contains a perfect matching",
+        );
+        // Step length: the smallest matched entry (never larger than what is
+        // left of the timetable).
+        let eps = matching
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| b[r][c])
+            .fold(remaining, Rational::min);
+        debug_assert!(eps.is_positive());
+        for (r, &c) in matching.iter().enumerate() {
+            b[r][c] -= eps;
+            if r < rows && c < cols && !x[r][c].is_zero() {
+                pieces.push((r, c, time, eps));
+            }
+        }
+        time += eps;
+        remaining -= eps;
+    }
+    (merge_adjacent(pieces), d)
+}
+
+/// Perfect matching on the support of a square non-negative matrix (rows to
+/// columns), via max flow.  Returns `matching[row] = col`.
+fn perfect_matching(b: &[Vec<Rational>]) -> Option<Vec<usize>> {
+    let n = b.len();
+    let source = 2 * n;
+    let sink = 2 * n + 1;
+    let mut net = FlowNetwork::new(2 * n + 2);
+    let mut edge_ids = Vec::new();
+    for r in 0..n {
+        net.add_edge(source, r, 1);
+        net.add_edge(n + r, sink, 1);
+    }
+    for (r, row) in b.iter().enumerate() {
+        for (c, v) in row.iter().enumerate() {
+            if v.is_positive() {
+                edge_ids.push((r, c, net.add_edge(r, n + c, 1)));
+            }
+        }
+    }
+    if net.max_flow(source, sink) < n as i64 {
+        return None;
+    }
+    let mut matching = vec![usize::MAX; n];
+    for (r, c, e) in edge_ids {
+        if net.flow_on(e) > 0 {
+            matching[r] = c;
+        }
+    }
+    Some(matching)
+}
+
+/// Merges back-to-back pieces of the same (row, col) pair to keep the output
+/// small.
+fn merge_adjacent(mut pieces: Vec<TimetablePiece>) -> Vec<TimetablePiece> {
+    pieces.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+    let mut out: Vec<TimetablePiece> = Vec::with_capacity(pieces.len());
+    for p in pieces {
+        if let Some(last) = out.last_mut() {
+            if last.0 == p.0 && last.1 == p.1 && last.2 + last.3 == p.2 {
+                last.3 += p.3;
+                continue;
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn validate(x: &[Vec<Rational>], pieces: &[TimetablePiece], d: Rational) {
+        // Coverage.
+        let rows = x.len();
+        let cols = x[0].len();
+        let mut covered = vec![vec![Rational::ZERO; cols]; rows];
+        for &(row, col, start, len) in pieces {
+            assert!(start >= Rational::ZERO && start + len <= d);
+            covered[row][col] += len;
+        }
+        for row in 0..rows {
+            for col in 0..cols {
+                assert_eq!(covered[row][col], x[row][col], "({row},{col})");
+            }
+        }
+        // No row or column busy twice at once.
+        for key in 0..2 {
+            let index = |p: &TimetablePiece| if key == 0 { p.0 } else { p.1 };
+            let max_idx = if key == 0 { rows } else { cols };
+            for idx in 0..max_idx {
+                let mut intervals: Vec<(Rational, Rational)> = pieces
+                    .iter()
+                    .filter(|p| index(p) == idx)
+                    .map(|p| (p.2, p.2 + p.3))
+                    .collect();
+                intervals.sort();
+                for w in intervals.windows(2) {
+                    assert!(w[1].0 >= w[0].1, "overlap for index {idx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell() {
+        let x = vec![vec![r(5, 1)]];
+        let (pieces, d) = open_shop_timetable(&x);
+        assert_eq!(d, r(5, 1));
+        validate(&x, &pieces, d);
+    }
+
+    #[test]
+    fn two_by_two_balanced() {
+        let x = vec![vec![r(2, 1), r(3, 1)], vec![r(3, 1), r(2, 1)]];
+        let (pieces, d) = open_shop_timetable(&x);
+        assert_eq!(d, r(5, 1));
+        validate(&x, &pieces, d);
+    }
+
+    #[test]
+    fn rectangular_with_fractions() {
+        let x = vec![
+            vec![r(1, 2), r(3, 2), Rational::ZERO],
+            vec![r(2, 1), Rational::ZERO, r(1, 3)],
+            vec![Rational::ZERO, r(1, 1), r(1, 1)],
+        ];
+        let (pieces, d) = open_shop_timetable(&x);
+        validate(&x, &pieces, d);
+        // D = max(row sums, col sums) = max(2, 7/3, 2, 5/2, 5/2, 4/3) = 5/2.
+        assert_eq!(d, r(5, 2));
+    }
+
+    #[test]
+    fn column_bound_dominates() {
+        // One machine (column) doing everything.
+        let x = vec![vec![r(4, 1)], vec![r(6, 1)]];
+        let (pieces, d) = open_shop_timetable(&x);
+        assert_eq!(d, r(10, 1));
+        validate(&x, &pieces, d);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (pieces, d) = open_shop_timetable(&[]);
+        assert!(pieces.is_empty());
+        assert!(d.is_zero());
+    }
+}

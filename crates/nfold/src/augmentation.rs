@@ -1,0 +1,545 @@
+//! Graver-style augmentation solver for N-fold programs.
+//!
+//! The solver follows the classical augmentation framework behind Theorem 1
+//! of the paper (De Loera et al.; Hemmecke, Onn, Romanchuk; Jansen, Lassota,
+//! Rohwedder):
+//!
+//! 1. **Phase 1** — a feasible point is found by adding one pair of auxiliary
+//!    variables per constraint row, starting from a box point that absorbs the
+//!    residual into the auxiliaries, and minimising the auxiliary sum with the
+//!    augmentation procedure itself.
+//! 2. **Phase 2** — starting from a feasible point, the solver repeatedly
+//!    applies an improving step `λ·g` with `A g = 0` and `l ≤ x + λg ≤ u`.
+//!    For a fixed step length `λ` the best step is composed brick by brick
+//!    with a dynamic program over the prefix sums of the linking (globally
+//!    uniform) rows; candidate brick steps are all kernel elements of the
+//!    brick's local constraints with `‖g_i‖_∞` bounded by an iteratively
+//!    deepened norm bound.  With the bound at the Graver complexity of the
+//!    instance the step is a Graver-best step and the procedure is exact; the
+//!    instances exercised in this workspace are small enough for the default
+//!    deepening schedule, and the test-suite cross-validates against the
+//!    brute-force solver.
+
+use crate::problem::{dot, NFold, NFoldError, SolveOutcome};
+use std::collections::HashMap;
+
+/// Tuning knobs of the augmentation solver.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentationOptions {
+    /// Largest `‖g_i‖_∞` considered for brick steps (iterative deepening stops
+    /// here).  The default of 3 is sufficient for the configuration ILPs in
+    /// this workspace; raise it for programs with larger Graver elements.
+    pub max_brick_norm: i64,
+    /// Maximum number of augmentation steps before giving up.
+    pub max_iterations: usize,
+    /// Upper limit on the number of candidate steps enumerated per brick.
+    pub max_candidates_per_brick: usize,
+}
+
+impl Default for AugmentationOptions {
+    fn default() -> Self {
+        AugmentationOptions {
+            max_brick_norm: 3,
+            max_iterations: 10_000,
+            max_candidates_per_brick: 200_000,
+        }
+    }
+}
+
+/// Solves the N-fold program by augmentation.
+pub fn solve(nf: &NFold, opts: AugmentationOptions) -> Result<SolveOutcome, NFoldError> {
+    nf.validate()?;
+    let x = find_feasible(nf, opts)?;
+    let x = optimise(nf, x, &nf.objective, opts)?;
+    let objective = nf.objective_value(&x);
+    Ok(SolveOutcome { x, objective })
+}
+
+/// Finds a feasible point of the program (phase 1).
+pub fn find_feasible(nf: &NFold, opts: AugmentationOptions) -> Result<Vec<i64>, NFoldError> {
+    // Start from the box point closest to zero.
+    let x0: Vec<i64> = nf
+        .lower
+        .iter()
+        .zip(&nf.upper)
+        .map(|(&l, &u)| 0i64.clamp(l, u))
+        .collect();
+    if nf.is_feasible(&x0) {
+        return Ok(x0);
+    }
+
+    let aux = build_phase1(nf, &x0);
+    let solution = optimise(&aux.program, aux.start, &aux.program.objective, opts)?;
+    if aux.program.objective_value(&solution) != 0 {
+        return Err(NFoldError::Infeasible);
+    }
+    // Strip the auxiliary columns.
+    let mut x = Vec::with_capacity(nf.num_vars());
+    for i in 0..nf.n {
+        let brick = &solution[i * aux.program.t..i * aux.program.t + nf.t];
+        x.extend_from_slice(brick);
+    }
+    debug_assert!(nf.is_feasible(&x));
+    Ok(x)
+}
+
+struct Phase1 {
+    program: NFold,
+    start: Vec<i64>,
+}
+
+/// Builds the phase-1 program: every brick is extended by `2s` auxiliary
+/// columns for its own rows and `2r` auxiliary columns for the top rows (only
+/// brick 0's top auxiliaries have non-zero bounds, keeping the blocks
+/// uniform in shape).
+fn build_phase1(nf: &NFold, x0: &[i64]) -> Phase1 {
+    let extra = 2 * nf.s + 2 * nf.r;
+    let t_new = nf.t + extra;
+
+    // Residuals the auxiliaries have to absorb.
+    let top_residual: Vec<i64> = nf
+        .rhs_top
+        .iter()
+        .zip(nf.top_product(x0))
+        .map(|(&b, lhs)| b - lhs)
+        .collect();
+    let brick_residuals: Vec<Vec<i64>> = (0..nf.n)
+        .map(|i| {
+            nf.rhs_bricks[i]
+                .iter()
+                .zip(nf.brick_product(x0, i))
+                .map(|(&b, lhs)| b - lhs)
+                .collect()
+        })
+        .collect();
+    let aux_bound: i64 = top_residual
+        .iter()
+        .chain(brick_residuals.iter().flatten())
+        .map(|x| x.abs())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let mut a_blocks = Vec::with_capacity(nf.n);
+    let mut b_blocks = Vec::with_capacity(nf.n);
+    let mut lower = Vec::with_capacity(nf.n * t_new);
+    let mut upper = Vec::with_capacity(nf.n * t_new);
+    let mut objective = Vec::with_capacity(nf.n * t_new);
+    let mut start = Vec::with_capacity(nf.n * t_new);
+
+    for i in 0..nf.n {
+        // Top block: original columns, then 2s zero columns, then ±identity
+        // pairs for the r top rows.
+        let mut a_block = Vec::with_capacity(nf.r);
+        for (row_idx, row) in nf.a_blocks[i].iter().enumerate() {
+            let mut new_row = row.clone();
+            new_row.extend(std::iter::repeat(0).take(2 * nf.s));
+            for k in 0..nf.r {
+                if k == row_idx {
+                    new_row.push(1);
+                    new_row.push(-1);
+                } else {
+                    new_row.push(0);
+                    new_row.push(0);
+                }
+            }
+            a_block.push(new_row);
+        }
+        a_blocks.push(a_block);
+
+        // Diagonal block: original columns, ±identity pairs for the s local
+        // rows, zero columns for the top auxiliaries.
+        let mut b_block = Vec::with_capacity(nf.s);
+        for (row_idx, row) in nf.b_blocks[i].iter().enumerate() {
+            let mut new_row = row.clone();
+            for k in 0..nf.s {
+                if k == row_idx {
+                    new_row.push(1);
+                    new_row.push(-1);
+                } else {
+                    new_row.push(0);
+                    new_row.push(0);
+                }
+            }
+            new_row.extend(std::iter::repeat(0).take(2 * nf.r));
+            b_block.push(new_row);
+        }
+        b_blocks.push(b_block);
+
+        // Bounds, objective and start values for this brick.
+        lower.extend_from_slice(&nf.lower[i * nf.t..(i + 1) * nf.t]);
+        upper.extend_from_slice(&nf.upper[i * nf.t..(i + 1) * nf.t]);
+        objective.extend(std::iter::repeat(0).take(nf.t));
+        start.extend_from_slice(&x0[i * nf.t..(i + 1) * nf.t]);
+
+        for row_idx in 0..nf.s {
+            let res = brick_residuals[i][row_idx];
+            lower.extend([0, 0]);
+            upper.extend([aux_bound, aux_bound]);
+            objective.extend([1, 1]);
+            start.push(res.max(0));
+            start.push((-res).max(0));
+        }
+        // Top auxiliaries live in brick 0 only; other bricks carry zero
+        // columns with zero bounds so every block has the same width.
+        for row_idx in 0..nf.r {
+            let res = if i == 0 { top_residual[row_idx] } else { 0 };
+            let bound = if i == 0 { aux_bound } else { 0 };
+            lower.extend([0, 0]);
+            upper.extend([bound, bound]);
+            objective.extend([1, 1]);
+            start.push(res.max(0));
+            start.push((-res).max(0));
+        }
+    }
+
+    let program = NFold {
+        n: nf.n,
+        r: nf.r,
+        s: nf.s,
+        t: t_new,
+        a_blocks,
+        b_blocks,
+        rhs_top: nf.rhs_top.clone(),
+        rhs_bricks: nf.rhs_bricks.clone(),
+        lower,
+        upper,
+        objective,
+    };
+    debug_assert!(program.is_feasible(&start), "phase-1 start must be feasible");
+    Phase1 { program, start }
+}
+
+/// Improves a feasible point until no augmenting step is found (phase 2).
+fn optimise(
+    nf: &NFold,
+    mut x: Vec<i64>,
+    objective: &[i64],
+    opts: AugmentationOptions,
+) -> Result<Vec<i64>, NFoldError> {
+    debug_assert!(nf.is_feasible(&x));
+    let max_range = nf
+        .lower
+        .iter()
+        .zip(&nf.upper)
+        .map(|(&l, &u)| (u - l).max(1))
+        .max()
+        .unwrap_or(1);
+
+    for _ in 0..opts.max_iterations {
+        let mut best: Option<(i64, i64, Vec<i64>)> = None; // (improvement, lambda, g)
+        let mut lambda = 1i64;
+        while lambda <= max_range {
+            if let Some((delta, g)) = best_step(nf, &x, objective, lambda, opts) {
+                let improvement = delta * lambda;
+                if improvement < 0
+                    && best.as_ref().map_or(true, |(b, _, _)| improvement < *b)
+                {
+                    best = Some((improvement, lambda, g));
+                }
+            }
+            lambda *= 2;
+        }
+        match best {
+            Some((_, lambda, g)) => {
+                for (xi, gi) in x.iter_mut().zip(&g) {
+                    *xi += lambda * gi;
+                }
+                debug_assert!(nf.is_feasible(&x));
+            }
+            None => return Ok(x),
+        }
+    }
+    Err(NFoldError::LimitReached(format!(
+        "no convergence within {} augmentation steps",
+        opts.max_iterations
+    )))
+}
+
+/// Best step `g` (most negative `objective · g`) with `A g = 0`,
+/// `l ≤ x + λ g ≤ u` and per-brick norm at most `opts.max_brick_norm`,
+/// composed by dynamic programming over the prefix sums of the top rows.
+fn best_step(
+    nf: &NFold,
+    x: &[i64],
+    objective: &[i64],
+    lambda: i64,
+    opts: AugmentationOptions,
+) -> Option<(i64, Vec<i64>)> {
+    // states: prefix sum of the top rows -> (cost, per-brick choices)
+    let mut states: HashMap<Vec<i64>, (i64, Vec<usize>)> = HashMap::new();
+    states.insert(vec![0; nf.r], (0, Vec::new()));
+
+    let mut all_candidates: Vec<Vec<(Vec<i64>, Vec<i64>, i64)>> = Vec::with_capacity(nf.n);
+    for i in 0..nf.n {
+        let candidates = brick_candidates(nf, x, objective, lambda, i, opts);
+        if candidates.is_empty() {
+            return None;
+        }
+        all_candidates.push(candidates);
+    }
+
+    for (i, candidates) in all_candidates.iter().enumerate() {
+        let mut next: HashMap<Vec<i64>, (i64, Vec<usize>)> = HashMap::new();
+        for (sum, (cost, choices)) in &states {
+            for (cand_idx, (_, contribution, cand_cost)) in candidates.iter().enumerate() {
+                let new_sum: Vec<i64> = sum
+                    .iter()
+                    .zip(contribution)
+                    .map(|(a, b)| a + b)
+                    .collect();
+                let new_cost = cost + cand_cost;
+                let entry = next.entry(new_sum).or_insert_with(|| {
+                    let mut c = choices.clone();
+                    c.push(cand_idx);
+                    (new_cost, c)
+                });
+                if new_cost < entry.0 {
+                    let mut c = choices.clone();
+                    c.push(cand_idx);
+                    *entry = (new_cost, c);
+                }
+            }
+        }
+        states = next;
+        let _ = i;
+    }
+
+    let (cost, choices) = states.remove(&vec![0i64; nf.r])?;
+    if cost >= 0 {
+        return None;
+    }
+    let mut g = Vec::with_capacity(nf.num_vars());
+    for (i, &cand_idx) in choices.iter().enumerate() {
+        g.extend_from_slice(&all_candidates[i][cand_idx].0);
+    }
+    Some((cost, g))
+}
+
+/// All brick steps `g_i` with `B_i g_i = 0`, `‖g_i‖_∞ ≤ max_brick_norm` and
+/// `l ≤ x_i + λ g_i ≤ u`, returned as `(g_i, A_i g_i, objective_i · g_i)`.
+fn brick_candidates(
+    nf: &NFold,
+    x: &[i64],
+    objective: &[i64],
+    lambda: i64,
+    brick: usize,
+    opts: AugmentationOptions,
+) -> Vec<(Vec<i64>, Vec<i64>, i64)> {
+    let lo = &nf.lower[brick * nf.t..(brick + 1) * nf.t];
+    let hi = &nf.upper[brick * nf.t..(brick + 1) * nf.t];
+    let xb = nf.brick(x, brick);
+    let obj = &objective[brick * nf.t..(brick + 1) * nf.t];
+
+    // Per-variable step ranges allowed by the box after scaling with lambda.
+    let ranges: Vec<(i64, i64)> = (0..nf.t)
+        .map(|pos| {
+            let min_step = (-opts.max_brick_norm).max(div_ceil(lo[pos] - xb[pos], lambda));
+            let max_step = opts.max_brick_norm.min(div_floor(hi[pos] - xb[pos], lambda));
+            (min_step, max_step)
+        })
+        .collect();
+
+    // For pruning: how much each locally uniform row can still change using
+    // the variables from position `pos` onwards.
+    let rows = &nf.b_blocks[brick];
+    let mut suffix_slack: Vec<Vec<i64>> = vec![vec![0; rows.len()]; nf.t + 1];
+    for pos in (0..nf.t).rev() {
+        for (ri, row) in rows.iter().enumerate() {
+            let (lo_s, hi_s) = ranges[pos];
+            let reach = (row[pos] * lo_s).abs().max((row[pos] * hi_s).abs());
+            suffix_slack[pos][ri] = suffix_slack[pos + 1][ri] + reach;
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut g = vec![0i64; nf.t];
+    let mut partial = vec![0i64; rows.len()];
+    enumerate(
+        nf,
+        brick,
+        0,
+        &mut g,
+        &ranges,
+        &suffix_slack,
+        &mut partial,
+        &mut out,
+        obj,
+        opts.max_candidates_per_brick,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    nf: &NFold,
+    brick: usize,
+    pos: usize,
+    g: &mut Vec<i64>,
+    ranges: &[(i64, i64)],
+    suffix_slack: &[Vec<i64>],
+    partial: &mut Vec<i64>,
+    out: &mut Vec<(Vec<i64>, Vec<i64>, i64)>,
+    obj: &[i64],
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    // Prune: the remaining variables can no longer drive all locally uniform
+    // rows back to zero.
+    if partial
+        .iter()
+        .zip(&suffix_slack[pos])
+        .any(|(p, slack)| p.abs() > *slack)
+    {
+        return;
+    }
+    if pos == g.len() {
+        debug_assert!(partial.iter().all(|&p| p == 0));
+        let contribution: Vec<i64> = nf.a_blocks[brick].iter().map(|row| dot(row, g)).collect();
+        out.push((g.clone(), contribution, dot(obj, g)));
+        return;
+    }
+    let (min_step, max_step) = ranges[pos];
+    for v in min_step..=max_step {
+        g[pos] = v;
+        for (ri, row) in nf.b_blocks[brick].iter().enumerate() {
+            partial[ri] += row[pos] * v;
+        }
+        enumerate(nf, brick, pos + 1, g, ranges, suffix_slack, partial, out, obj, limit);
+        for (ri, row) in nf.b_blocks[brick].iter().enumerate() {
+            partial[ri] -= row[pos] * v;
+        }
+    }
+    g[pos] = 0;
+}
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    -((-a).div_euclid(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+
+    fn tiny() -> NFold {
+        NFold::new(
+            vec![vec![vec![1, 1]], vec![vec![1, 1]]],
+            vec![vec![vec![1, -1]], vec![vec![1, -1]]],
+            vec![5],
+            vec![vec![1], vec![0]],
+            vec![0; 4],
+            vec![10; 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_feasible_point() {
+        let x = find_feasible(&tiny(), AugmentationOptions::default()).unwrap();
+        assert!(tiny().is_feasible(&x));
+    }
+
+    #[test]
+    fn optimises_to_brute_force_optimum() {
+        let nf = tiny().with_objective(vec![1, 0, 0, 0]).unwrap();
+        let aug = solve(&nf, AugmentationOptions::default()).unwrap();
+        let bf = brute_force::solve(&nf).unwrap();
+        assert!(nf.is_feasible(&aug.x));
+        assert_eq!(aug.objective, bf.objective);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let nf = NFold::new(
+            vec![vec![vec![1, 1]], vec![vec![1, 1]]],
+            vec![vec![vec![1, -1]], vec![vec![1, -1]]],
+            vec![50],
+            vec![vec![1], vec![0]],
+            vec![0; 4],
+            vec![10; 4],
+        )
+        .unwrap();
+        assert_eq!(
+            solve(&nf, AugmentationOptions::default()).unwrap_err(),
+            NFoldError::Infeasible
+        );
+    }
+
+    #[test]
+    fn scheduling_configuration_style_program() {
+        // A miniature configuration ILP: 3 bricks (classes), top row forces
+        // the total number of chosen configurations to equal the machines,
+        // brick rows force each class to be covered exactly once.
+        //   variables per brick: (x_small, x_large, y)
+        //   top: Σ (x_small + x_large) = 3
+        //   brick i: x_small + x_large - y = 0, y = 1  -> encoded as two rows.
+        let a = vec![vec![1, 1, 0]];
+        let b = vec![vec![1, 1, -1], vec![0, 0, 1]];
+        let nf = NFold::new(
+            vec![a.clone(), a.clone(), a.clone()],
+            vec![b.clone(), b.clone(), b.clone()],
+            vec![3],
+            vec![vec![0, 1], vec![0, 1], vec![0, 1]],
+            vec![0; 9],
+            vec![3; 9],
+        )
+        .unwrap();
+        let aug = solve(&nf, AugmentationOptions::default()).unwrap();
+        assert!(nf.is_feasible(&aug.x));
+        let bf = brute_force::solve(&nf).unwrap();
+        assert_eq!(aug.objective, bf.objective);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_programs() {
+        // Small pseudo-random N-folds with a linear objective.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = |range: i64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % range as u64) as i64
+        };
+        let mut checked = 0;
+        for _ in 0..25 {
+            let n = 2;
+            let t = 2;
+            let a: Vec<Vec<Vec<i64>>> = (0..n)
+                .map(|_| vec![(0..t).map(|_| next(3) - 1).collect()])
+                .collect();
+            let b: Vec<Vec<Vec<i64>>> = (0..n)
+                .map(|_| vec![(0..t).map(|_| next(3) - 1).collect()])
+                .collect();
+            // Plant a feasible point so every generated program is feasible.
+            let planted: Vec<i64> = (0..n * t).map(|_| next(5)).collect();
+            let rhs_top = vec![
+                dot(&a[0][0], &planted[0..2]) + dot(&a[1][0], &planted[2..4]),
+            ];
+            let rhs_bricks = vec![
+                vec![dot(&b[0][0], &planted[0..2])],
+                vec![dot(&b[1][0], &planted[2..4])],
+            ];
+            let nf = NFold::new(a, b, rhs_top, rhs_bricks, vec![0; 4], vec![4; 4])
+                .unwrap()
+                .with_objective(vec![next(5) - 2, next(5) - 2, next(5) - 2, next(5) - 2])
+                .unwrap();
+            assert!(nf.is_feasible(&planted));
+            let bf = brute_force::solve(&nf).expect("planted point makes the program feasible");
+            let aug = solve(&nf, AugmentationOptions::default())
+                .expect("augmentation must solve feasible programs");
+            assert!(nf.is_feasible(&aug.x));
+            assert_eq!(aug.objective, bf.objective, "program {nf:?}");
+            checked += 1;
+        }
+        assert!(checked >= 5, "too few feasible random programs exercised");
+    }
+}

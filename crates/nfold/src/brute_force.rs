@@ -1,0 +1,188 @@
+//! Exhaustive reference solver for tiny N-fold programs.
+//!
+//! Enumerates, for every brick, all integer points of its box that satisfy the
+//! brick's locally uniform constraints, and then combines bricks by depth
+//! first search over the globally uniform rows.  Exponential, intended only
+//! for cross-validation in tests.
+
+use crate::problem::{dot, NFold, NFoldError, SolveOutcome};
+
+/// Upper limit on the number of box points enumerated per brick.
+const MAX_BRICK_POINTS: usize = 2_000_000;
+
+/// Solves the program exactly by exhaustive search.
+///
+/// Returns [`NFoldError::Infeasible`] if no feasible point exists and
+/// [`NFoldError::LimitReached`] if the instance is too large to enumerate.
+pub fn solve(nf: &NFold) -> Result<SolveOutcome, NFoldError> {
+    nf.validate()?;
+    let mut brick_solutions: Vec<Vec<Vec<i64>>> = Vec::with_capacity(nf.n);
+    for i in 0..nf.n {
+        brick_solutions.push(enumerate_brick(nf, i)?);
+        if brick_solutions[i].is_empty() {
+            return Err(NFoldError::Infeasible);
+        }
+    }
+
+    let mut best: Option<(i64, Vec<i64>)> = None;
+    let mut current: Vec<i64> = Vec::with_capacity(nf.num_vars());
+    let mut top = vec![0i64; nf.r];
+    combine(nf, &brick_solutions, 0, &mut current, &mut top, &mut best);
+    match best {
+        Some((objective, x)) => Ok(SolveOutcome { x, objective }),
+        None => Err(NFoldError::Infeasible),
+    }
+}
+
+fn enumerate_brick(nf: &NFold, i: usize) -> Result<Vec<Vec<i64>>, NFoldError> {
+    let lo = &nf.lower[i * nf.t..(i + 1) * nf.t];
+    let hi = &nf.upper[i * nf.t..(i + 1) * nf.t];
+    let mut size: u128 = 1;
+    for (l, u) in lo.iter().zip(hi) {
+        size = size.saturating_mul((u - l + 1) as u128);
+        if size > MAX_BRICK_POINTS as u128 {
+            return Err(NFoldError::LimitReached(format!(
+                "brick {i} box larger than {MAX_BRICK_POINTS} points"
+            )));
+        }
+    }
+    let mut out = Vec::new();
+    let mut point: Vec<i64> = lo.to_vec();
+    loop {
+        let satisfies = nf.b_blocks[i]
+            .iter()
+            .zip(&nf.rhs_bricks[i])
+            .all(|(row, &rhs)| dot(row, &point) == rhs);
+        if satisfies {
+            out.push(point.clone());
+        }
+        // Mixed-radix increment.
+        let mut pos = 0;
+        loop {
+            if pos == point.len() {
+                return Ok(out);
+            }
+            point[pos] += 1;
+            if point[pos] <= hi[pos] {
+                break;
+            }
+            point[pos] = lo[pos];
+            pos += 1;
+        }
+    }
+}
+
+fn combine(
+    nf: &NFold,
+    brick_solutions: &[Vec<Vec<i64>>],
+    brick: usize,
+    current: &mut Vec<i64>,
+    top: &mut Vec<i64>,
+    best: &mut Option<(i64, Vec<i64>)>,
+) {
+    if brick == nf.n {
+        if top == &nf.rhs_top {
+            let objective = nf.objective_value(current);
+            if best.as_ref().map_or(true, |(b, _)| objective < *b) {
+                *best = Some((objective, current.clone()));
+            }
+        }
+        return;
+    }
+    for candidate in &brick_solutions[brick] {
+        for (row_idx, row) in nf.a_blocks[brick].iter().enumerate() {
+            top[row_idx] += dot(row, candidate);
+        }
+        current.extend_from_slice(candidate);
+        combine(nf, brick_solutions, brick + 1, current, top, best);
+        current.truncate(current.len() - nf.t);
+        for (row_idx, row) in nf.a_blocks[brick].iter().enumerate() {
+            top[row_idx] -= dot(row, candidate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NFold {
+        NFold::new(
+            vec![vec![vec![1, 1]], vec![vec![1, 1]]],
+            vec![vec![vec![1, -1]], vec![vec![1, -1]]],
+            vec![5],
+            vec![vec![1], vec![0]],
+            vec![0; 4],
+            vec![10; 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_feasible_point() {
+        let outcome = solve(&tiny()).unwrap();
+        assert!(tiny().is_feasible(&outcome.x));
+        assert_eq!(outcome.objective, 0);
+    }
+
+    #[test]
+    fn optimises_objective() {
+        // Minimise x1 (the first variable): the smallest feasible x1 is 2
+        // (x1 - x2 = 1, x1 + x2 + y1 + y2 = 5, all >= 0 and y1 = y2 => x1 + x2
+        // odd? x1 + x2 = 5 - 2 y1, x1 = x2 + 1 => 2 x2 + 1 = 5 - 2 y1, so
+        // x2 = 2 - y1 and x1 = 3 - y1 with y1 <= 2 -> minimum x1 = 1 at y1 = 2.
+        let nf = tiny().with_objective(vec![1, 0, 0, 0]).unwrap();
+        let outcome = solve(&nf).unwrap();
+        assert!(nf.is_feasible(&outcome.x));
+        assert_eq!(outcome.objective, 1);
+        assert_eq!(outcome.x[0], 1);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // Top row demands 50, but bounds cap the sum at 40.
+        let nf = NFold::new(
+            vec![vec![vec![1, 1]], vec![vec![1, 1]]],
+            vec![vec![vec![1, -1]], vec![vec![1, -1]]],
+            vec![50],
+            vec![vec![1], vec![0]],
+            vec![0; 4],
+            vec![10; 4],
+        )
+        .unwrap();
+        assert_eq!(solve(&nf), Err(NFoldError::Infeasible));
+    }
+
+    #[test]
+    fn rejects_huge_boxes() {
+        let nf = NFold::new(
+            vec![vec![vec![1; 8]]],
+            vec![vec![vec![1; 8]]],
+            vec![5],
+            vec![vec![5]],
+            vec![0; 8],
+            vec![1000; 8],
+        )
+        .unwrap();
+        assert!(matches!(solve(&nf), Err(NFoldError::LimitReached(_))));
+    }
+
+    #[test]
+    fn single_brick_exact_cover() {
+        // One brick, two variables, equality x + 2y = 4, 0 <= x,y <= 4,
+        // minimise x: best is x=0, y=2.
+        let nf = NFold::new(
+            vec![vec![vec![0, 0]]],
+            vec![vec![vec![1, 2]]],
+            vec![0],
+            vec![vec![4]],
+            vec![0, 0],
+            vec![4, 4],
+        )
+        .unwrap()
+        .with_objective(vec![1, 0])
+        .unwrap();
+        let outcome = solve(&nf).unwrap();
+        assert_eq!(outcome.x, vec![0, 2]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # nfold — N-fold integer linear programming
+//!
+//! An *N-fold ILP* (Section 2 of the paper) is an integer program
+//! `min { w·x | A x = b, l ≤ x ≤ u, x ∈ Z^{N·t} }` whose constraint matrix
+//!
+//! ```text
+//!         ⎡ A_1  A_2  …  A_N ⎤
+//!         ⎢ B_1   0   …   0  ⎥
+//!     A = ⎢  0   B_2  …   0  ⎥
+//!         ⎢  ⋮    ⋮   ⋱   ⋮  ⎥
+//!         ⎣  0    0   …  B_N ⎦
+//! ```
+//!
+//! consists of `N` blocks of `r × t` matrices `A_i` (the *globally uniform*
+//! constraints) stacked over a block diagonal of `s × t` matrices `B_i` (the
+//! *locally uniform* constraints).  Variables are grouped into `N` *bricks* of
+//! length `t`.
+//!
+//! The crate provides
+//!
+//! * [`NFold`] — the problem description with full validation and solution
+//!   checking,
+//! * [`brute_force::solve`] — exhaustive search for tiny instances, used as a
+//!   reference in tests,
+//! * [`augmentation::solve`] — a Graver-style augmentation solver: starting
+//!   from a feasible point (found by a phase-1 construction with auxiliary
+//!   variables) it repeatedly applies the best improving step `λ·g` where `g`
+//!   is drawn from candidate brick steps of bounded norm and composed across
+//!   bricks by a dynamic program over the prefix sums of the linking rows.
+//!   With the norm bound set to the Graver bound of the instance the steps are
+//!   Graver-best and the solver is exact; the iterative deepening used here
+//!   raises the bound until no improving step exists, which is exact on the
+//!   small blocks exercised in this workspace and cross-validated against the
+//!   brute-force solver in the test suite.
+//!
+//! The PTASs of `ccs-ptas` build their configuration ILPs exactly in this
+//! form; see `DESIGN.md` for how the solving backends are chosen.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augmentation;
+pub mod brute_force;
+pub mod problem;
+
+pub use augmentation::{solve as augmentation_solve, AugmentationOptions};
+pub use brute_force::solve as brute_force_solve;
+pub use problem::{NFold, NFoldError, SolveOutcome};

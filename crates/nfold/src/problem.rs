@@ -1,0 +1,349 @@
+//! The N-fold problem description.
+
+use std::fmt;
+
+/// Errors produced when building or checking N-fold programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NFoldError {
+    /// Dimensions of the supplied blocks, bounds or right-hand sides disagree.
+    Dimension(String),
+    /// The program has no feasible solution (reported by solvers).
+    Infeasible,
+    /// A solver gave up (iteration limit); distinct from proven infeasibility.
+    LimitReached(String),
+}
+
+impl fmt::Display for NFoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NFoldError::Dimension(m) => write!(f, "dimension mismatch: {m}"),
+            NFoldError::Infeasible => write!(f, "infeasible"),
+            NFoldError::LimitReached(m) => write!(f, "limit reached: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NFoldError {}
+
+/// Result of a successful solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveOutcome {
+    /// The solution vector, length `N·t`.
+    pub x: Vec<i64>,
+    /// Its objective value `w·x`.
+    pub objective: i64,
+}
+
+/// An N-fold integer program `min { w·x | Ax = b, l ≤ x ≤ u }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NFold {
+    /// Number of bricks `N`.
+    pub n: usize,
+    /// Rows of every `A_i` (globally uniform constraints).
+    pub r: usize,
+    /// Rows of every `B_i` (locally uniform constraints).
+    pub s: usize,
+    /// Brick length `t`.
+    pub t: usize,
+    /// The `N` top blocks, each `r × t` (row major).
+    pub a_blocks: Vec<Vec<Vec<i64>>>,
+    /// The `N` diagonal blocks, each `s × t` (row major).
+    pub b_blocks: Vec<Vec<Vec<i64>>>,
+    /// Right-hand side of the globally uniform rows, length `r`.
+    pub rhs_top: Vec<i64>,
+    /// Right-hand sides of the locally uniform rows, `N` vectors of length `s`.
+    pub rhs_bricks: Vec<Vec<i64>>,
+    /// Lower variable bounds, length `N·t`.
+    pub lower: Vec<i64>,
+    /// Upper variable bounds, length `N·t`.
+    pub upper: Vec<i64>,
+    /// Objective coefficients, length `N·t`.
+    pub objective: Vec<i64>,
+}
+
+impl NFold {
+    /// Creates a feasibility program (`objective = 0`) with the given blocks.
+    pub fn new(
+        a_blocks: Vec<Vec<Vec<i64>>>,
+        b_blocks: Vec<Vec<Vec<i64>>>,
+        rhs_top: Vec<i64>,
+        rhs_bricks: Vec<Vec<i64>>,
+        lower: Vec<i64>,
+        upper: Vec<i64>,
+    ) -> Result<Self, NFoldError> {
+        let n = a_blocks.len();
+        let r = rhs_top.len();
+        let s = rhs_bricks.first().map(|v| v.len()).unwrap_or(0);
+        let t = a_blocks
+            .first()
+            .and_then(|a| a.first())
+            .map(|row| row.len())
+            .unwrap_or_else(|| {
+                b_blocks
+                    .first()
+                    .and_then(|b| b.first())
+                    .map(|row| row.len())
+                    .unwrap_or(0)
+            });
+        let objective = vec![0; n * t];
+        let nf = NFold {
+            n,
+            r,
+            s,
+            t,
+            a_blocks,
+            b_blocks,
+            rhs_top,
+            rhs_bricks,
+            lower,
+            upper,
+            objective,
+        };
+        nf.validate()?;
+        Ok(nf)
+    }
+
+    /// Replaces the objective.
+    pub fn with_objective(mut self, objective: Vec<i64>) -> Result<Self, NFoldError> {
+        if objective.len() != self.n * self.t {
+            return Err(NFoldError::Dimension(format!(
+                "objective has length {}, expected {}",
+                objective.len(),
+                self.n * self.t
+            )));
+        }
+        self.objective = objective;
+        Ok(self)
+    }
+
+    /// Checks all dimensions.
+    pub fn validate(&self) -> Result<(), NFoldError> {
+        let dims = |name: &str, blocks: &Vec<Vec<Vec<i64>>>, rows: usize| {
+            if blocks.len() != self.n {
+                return Err(NFoldError::Dimension(format!(
+                    "{name}: {} blocks, expected {}",
+                    blocks.len(),
+                    self.n
+                )));
+            }
+            for (i, block) in blocks.iter().enumerate() {
+                if block.len() != rows {
+                    return Err(NFoldError::Dimension(format!(
+                        "{name}[{i}]: {} rows, expected {rows}",
+                        block.len()
+                    )));
+                }
+                for row in block {
+                    if row.len() != self.t {
+                        return Err(NFoldError::Dimension(format!(
+                            "{name}[{i}]: row of length {}, expected {}",
+                            row.len(),
+                            self.t
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        };
+        dims("A", &self.a_blocks, self.r)?;
+        dims("B", &self.b_blocks, self.s)?;
+        if self.rhs_bricks.len() != self.n {
+            return Err(NFoldError::Dimension(format!(
+                "{} brick right-hand sides, expected {}",
+                self.rhs_bricks.len(),
+                self.n
+            )));
+        }
+        for (i, rhs) in self.rhs_bricks.iter().enumerate() {
+            if rhs.len() != self.s {
+                return Err(NFoldError::Dimension(format!(
+                    "brick {i} rhs has length {}, expected {}",
+                    rhs.len(),
+                    self.s
+                )));
+            }
+        }
+        let vars = self.n * self.t;
+        for (name, v) in [
+            ("lower", self.lower.len()),
+            ("upper", self.upper.len()),
+            ("objective", self.objective.len()),
+        ] {
+            if v != vars {
+                return Err(NFoldError::Dimension(format!(
+                    "{name} has length {v}, expected {vars}"
+                )));
+            }
+        }
+        if self.lower.iter().zip(&self.upper).any(|(l, u)| l > u) {
+            return Err(NFoldError::Dimension("lower bound above upper bound".into()));
+        }
+        Ok(())
+    }
+
+    /// Number of variables `N·t`.
+    pub fn num_vars(&self) -> usize {
+        self.n * self.t
+    }
+
+    /// Largest absolute entry Δ of the constraint matrix.
+    pub fn delta(&self) -> i64 {
+        let a = self
+            .a_blocks
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|x| x.abs())
+            .max()
+            .unwrap_or(0);
+        let b = self
+            .b_blocks
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|x| x.abs())
+            .max()
+            .unwrap_or(0);
+        a.max(b).max(1)
+    }
+
+    /// The brick slice `x^{(i)}` of a full vector.
+    pub fn brick<'a>(&self, x: &'a [i64], i: usize) -> &'a [i64] {
+        &x[i * self.t..(i + 1) * self.t]
+    }
+
+    /// `Σ_i A_i x^{(i)}` — the left-hand side of the globally uniform rows.
+    pub fn top_product(&self, x: &[i64]) -> Vec<i64> {
+        let mut out = vec![0i64; self.r];
+        for i in 0..self.n {
+            let brick = self.brick(x, i);
+            for (row_idx, row) in self.a_blocks[i].iter().enumerate() {
+                out[row_idx] += dot(row, brick);
+            }
+        }
+        out
+    }
+
+    /// `B_i x^{(i)}` — the left-hand side of brick `i`'s locally uniform rows.
+    pub fn brick_product(&self, x: &[i64], i: usize) -> Vec<i64> {
+        let brick = self.brick(x, i);
+        self.b_blocks[i].iter().map(|row| dot(row, brick)).collect()
+    }
+
+    /// Objective value of a vector.
+    pub fn objective_value(&self, x: &[i64]) -> i64 {
+        dot(&self.objective, x)
+    }
+
+    /// Returns `true` if `x` satisfies all constraints and bounds.
+    pub fn is_feasible(&self, x: &[i64]) -> bool {
+        self.check(x).is_ok()
+    }
+
+    /// Checks a candidate solution, reporting the first violated condition.
+    pub fn check(&self, x: &[i64]) -> Result<(), NFoldError> {
+        if x.len() != self.num_vars() {
+            return Err(NFoldError::Dimension(format!(
+                "solution has length {}, expected {}",
+                x.len(),
+                self.num_vars()
+            )));
+        }
+        for (idx, ((&v, &l), &u)) in x.iter().zip(&self.lower).zip(&self.upper).enumerate() {
+            if v < l || v > u {
+                return Err(NFoldError::Dimension(format!(
+                    "variable {idx} = {v} outside [{l}, {u}]"
+                )));
+            }
+        }
+        let top = self.top_product(x);
+        if top != self.rhs_top {
+            return Err(NFoldError::Dimension(format!(
+                "globally uniform rows violated: {top:?} != {:?}",
+                self.rhs_top
+            )));
+        }
+        for i in 0..self.n {
+            let lhs = self.brick_product(x, i);
+            if lhs != self.rhs_bricks[i] {
+                return Err(NFoldError::Dimension(format!(
+                    "brick {i} rows violated: {lhs:?} != {:?}",
+                    self.rhs_bricks[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn dot(a: &[i64], b: &[i64]) -> i64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 bricks, r = 1, s = 1, t = 2:
+    ///   x1 + x2 + y1 + y2 = 5   (top)
+    ///   x1 - x2 = 1             (brick 1)
+    ///   y1 - y2 = 0             (brick 2)
+    pub(crate) fn tiny() -> NFold {
+        NFold::new(
+            vec![vec![vec![1, 1]], vec![vec![1, 1]]],
+            vec![vec![vec![1, -1]], vec![vec![1, -1]]],
+            vec![5],
+            vec![vec![1], vec![0]],
+            vec![0; 4],
+            vec![10; 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_validated() {
+        assert!(tiny().validate().is_ok());
+        let mut bad = tiny();
+        bad.rhs_top = vec![5, 6];
+        bad.r = 2;
+        assert!(bad.validate().is_err());
+        let mut bad_bounds = tiny();
+        bad_bounds.lower[0] = 11;
+        assert!(bad_bounds.validate().is_err());
+    }
+
+    #[test]
+    fn check_accepts_valid_solution() {
+        let nf = tiny();
+        // x = (2, 1, 1, 1): top = 5, brick1 = 1, brick2 = 0.
+        assert!(nf.is_feasible(&[2, 1, 1, 1]));
+        assert_eq!(nf.objective_value(&[2, 1, 1, 1]), 0);
+    }
+
+    #[test]
+    fn check_rejects_violations() {
+        let nf = tiny();
+        assert!(!nf.is_feasible(&[2, 1, 1, 0])); // top row broken
+        assert!(!nf.is_feasible(&[1, 1, 2, 1])); // brick 1 broken
+        assert!(!nf.is_feasible(&[2, 1, 1, 1, 0])); // wrong length
+        assert!(!nf.is_feasible(&[12, 11, 1, 1])); // bounds broken
+    }
+
+    #[test]
+    fn products_and_delta() {
+        let nf = tiny();
+        assert_eq!(nf.top_product(&[2, 1, 1, 1]), vec![5]);
+        assert_eq!(nf.brick_product(&[2, 1, 1, 1], 0), vec![1]);
+        assert_eq!(nf.brick_product(&[2, 1, 1, 1], 1), vec![0]);
+        assert_eq!(nf.delta(), 1);
+        assert_eq!(nf.num_vars(), 4);
+    }
+
+    #[test]
+    fn objective_replacement_checked() {
+        let nf = tiny();
+        assert!(nf.clone().with_objective(vec![1, 2, 3]).is_err());
+        let nf = nf.with_objective(vec![1, 0, 0, 0]).unwrap();
+        assert_eq!(nf.objective_value(&[2, 1, 1, 1]), 2);
+    }
+}

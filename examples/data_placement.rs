@@ -1,0 +1,33 @@
+//! The data-placement scenario from the paper's introduction: operations need
+//! one locally stored database (class); machines can hold only `c` databases.
+//! Compares the paper's algorithms against naive baselines.
+use ccs::prelude::*;
+use ccs_gen::GenParams;
+
+fn main() {
+    let params = GenParams::new(300, 12, 40, 3).with_times(1, 500);
+    let inst = ccs_gen::data_placement(&params, 2024);
+    let lb = ccs::exact::strong_lower_bound(&inst, ScheduleKind::NonPreemptive);
+    println!(
+        "data placement: {} operations over {} databases, {} servers with {} database slots",
+        inst.num_jobs(),
+        inst.num_classes(),
+        inst.machines(),
+        inst.class_slots()
+    );
+    println!("lower bound on the optimal makespan: {}", lb.to_f64());
+
+    let rr = ccs::baselines::whole_class_round_robin(&inst).unwrap();
+    let lpt = ccs::baselines::whole_class_lpt(&inst).unwrap();
+    let greedy = ccs::baselines::greedy_first_fit(&inst).unwrap();
+    let approx = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
+    println!("whole-class round robin : {}", rr.makespan_int(&inst));
+    println!("whole-class LPT         : {}", lpt.makespan_int(&inst));
+    println!("greedy first fit        : {}", greedy.makespan_int(&inst));
+    println!("paper 7/3-approximation : {}", approx.schedule.makespan_int(&inst));
+
+    // If database replicas may be split across servers (splittable model),
+    // the 2-approximation gets much closer to the area bound.
+    let split = ccs::approx::splittable_two_approx(&inst).unwrap();
+    println!("splittable 2-approx     : {}", split.schedule.makespan(&inst).to_f64());
+}

@@ -1,0 +1,26 @@
+//! Quality / running-time trade-off of the PTASs as the accuracy parameter δ
+//! shrinks, on a small instance where the exact optimum is known.
+use ccs::prelude::*;
+use ccs_ptas::PtasParams;
+use std::time::Instant;
+
+fn main() {
+    let inst = instance_from_pairs(3, 1, &[(10, 0), (9, 1), (8, 2), (4, 0), (3, 1)]).unwrap();
+    let opt = ccs::exact::splittable_optimum(&inst).unwrap();
+    println!("exact splittable optimum: {}", opt.to_f64());
+    println!("{:>9} {:>12} {:>12} {:>12}", "1/δ", "makespan", "ratio", "seconds");
+    for delta_inv in [2u64, 3, 4, 5] {
+        let params = PtasParams::with_delta_inv(delta_inv).unwrap();
+        let start = Instant::now();
+        let res = ccs::ptas::splittable_ptas(&inst, params).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        let mk = res.schedule.makespan(&inst);
+        println!(
+            "{:>9} {:>12.2} {:>12.3} {:>12.4}",
+            delta_inv,
+            mk.to_f64(),
+            mk.to_f64() / opt.to_f64(),
+            secs
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: build an instance, run all three constant-factor algorithms
+//! and the splittable PTAS, and print the resulting makespans.
+use ccs::prelude::*;
+use ccs_ptas::PtasParams;
+
+fn main() {
+    // 4 machines with 2 class slots each; jobs (processing time, class label).
+    let inst = instance_from_pairs(
+        4,
+        2,
+        &[(9, 0), (7, 0), (12, 1), (4, 1), (6, 2), (3, 3), (8, 4), (5, 4)],
+    )
+    .unwrap();
+    println!(
+        "instance: n = {}, C = {}, m = {}, c = {}, area bound = {}",
+        inst.num_jobs(),
+        inst.num_classes(),
+        inst.machines(),
+        inst.class_slots(),
+        inst.average_load()
+    );
+
+    let split = ccs::approx::splittable_two_approx(&inst).unwrap();
+    println!("splittable 2-approx      : makespan {}", split.schedule.makespan(&inst));
+
+    let pre = ccs::approx::preemptive_two_approx(&inst).unwrap();
+    println!("preemptive 2-approx      : makespan {}", pre.schedule.makespan(&inst));
+
+    let np = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
+    println!("non-preemptive 7/3-approx: makespan {}", np.schedule.makespan_int(&inst));
+
+    let ptas = ccs::ptas::splittable_ptas(&inst, PtasParams::with_delta_inv(4).unwrap()).unwrap();
+    println!("splittable PTAS (δ = 1/4): makespan {}", ptas.schedule.makespan(&inst));
+
+    let opt = ccs::exact::nonpreemptive_optimum(&inst).unwrap();
+    println!("exact non-preemptive opt : makespan {opt}");
+}

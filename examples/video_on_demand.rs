@@ -1,0 +1,22 @@
+//! Video-on-demand: classes are movies (Zipf popularity), jobs are streaming
+//! sessions, machines are streaming servers with a limited number of movies
+//! in local cache.
+use ccs::prelude::*;
+use ccs_gen::GenParams;
+
+fn main() {
+    for servers in [8u64, 16, 32] {
+        let params = GenParams::new(400, servers, 60, 4).with_times(5, 120);
+        let inst = ccs_gen::video_on_demand(&params, 7);
+        let approx = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
+        let split = ccs::approx::splittable_two_approx(&inst).unwrap();
+        let lb = ccs::exact::strong_lower_bound(&inst, ScheduleKind::NonPreemptive);
+        println!(
+            "servers {:>3}: lower bound {:>8.1}, non-preemptive 7/3 {:>6}, splittable 2-approx {:>8.1}",
+            servers,
+            lb.to_f64(),
+            approx.schedule.makespan_int(&inst),
+            split.schedule.makespan(&inst).to_f64(),
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # ccs — Class-Constrained Scheduling
+//!
+//! Umbrella crate re-exporting the whole workspace: the problem model
+//! ([`core`]), the constant-factor approximation algorithms ([`approx`]), the
+//! polynomial time approximation schemes ([`ptas`]), exact solvers for small
+//! instances ([`exact`]), baselines, generators and the substrates (N-fold
+//! integer programming and flow networks).
+//!
+//! ```
+//! use ccs::prelude::*;
+//!
+//! let inst = instance_from_pairs(3, 2, &[(10, 0), (20, 1), (5, 0), (8, 2)]).unwrap();
+//! let result = ccs::approx::splittable_two_approx(&inst).unwrap();
+//! result.schedule.validate(&inst).unwrap();
+//! assert!(result.schedule.makespan(&inst) <= Rational::from_int(2) * result.optimum_lower_bound());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ccs_approx as approx;
+pub use ccs_baselines as baselines;
+pub use ccs_core as core;
+pub use ccs_exact as exact;
+pub use ccs_gen as gen;
+pub use ccs_ptas as ptas;
+pub use flownet;
+pub use nfold;
+
+/// Convenience re-exports for quick starts.
+pub mod prelude {
+    pub use ccs_core::prelude::*;
+}

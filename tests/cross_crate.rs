@@ -1,0 +1,128 @@
+//! Integration tests spanning the whole workspace: every algorithm produces a
+//! schedule that the validators accept and that respects its proven
+//! approximation guarantee on generated workloads.
+use ccs::prelude::*;
+use ccs_gen::GenParams;
+use ccs_ptas::PtasParams;
+
+fn families(seed: u64, jobs: usize, machines: u64, classes: u32, slots: u64) -> Vec<Instance> {
+    let p = GenParams::new(jobs, machines, classes, slots);
+    vec![
+        ccs_gen::uniform(&p, seed),
+        ccs_gen::zipf_classes(&p, seed),
+        ccs_gen::data_placement(&p, seed),
+        ccs_gen::video_on_demand(&p, seed),
+    ]
+}
+
+#[test]
+fn constant_factor_algorithms_respect_their_guarantees() {
+    for seed in 0..5u64 {
+        for inst in families(seed, 80, 8, 16, 3) {
+            let split = ccs::approx::splittable_two_approx(&inst).unwrap();
+            split.schedule.validate(&inst).unwrap();
+            assert!(
+                split.schedule.makespan(&inst)
+                    <= Rational::from_int(2) * split.optimum_lower_bound()
+            );
+
+            let pre = ccs::approx::preemptive_two_approx(&inst).unwrap();
+            pre.schedule.validate(&inst).unwrap();
+            assert!(
+                pre.schedule.makespan(&inst) <= Rational::from_int(2) * pre.optimum_lower_bound()
+            );
+
+            let np = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
+            np.schedule.validate(&inst).unwrap();
+            assert!(
+                np.schedule.makespan(&inst) <= Rational::new(7, 3) * np.optimum_lower_bound()
+            );
+        }
+    }
+}
+
+#[test]
+fn nonpreemptive_approx_vs_exact_optimum_on_tiny_instances() {
+    for seed in 0..30u64 {
+        let inst = ccs_gen::tiny_random(seed);
+        let opt = match ccs::exact::nonpreemptive_optimum(&inst) {
+            Ok(opt) => opt,
+            Err(_) => continue,
+        };
+        let approx = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
+        assert!(
+            Rational::from(3 * approx.schedule.makespan_int(&inst))
+                <= Rational::from(7 * opt),
+            "seed {seed}: ratio above 7/3"
+        );
+    }
+}
+
+#[test]
+fn ptas_beats_or_matches_constant_factor_on_small_instances() {
+    let params = PtasParams::with_delta_inv(3).unwrap();
+    for seed in 0..6u64 {
+        let inst = ccs_gen::tiny_random(seed);
+        if inst.machines() > 4 {
+            continue;
+        }
+        let approx = ccs::approx::splittable_two_approx(&inst).unwrap();
+        let ptas = ccs::ptas::splittable_ptas(&inst, params).unwrap();
+        ptas.schedule.validate(&inst).unwrap();
+        // The PTAS never does worse than the schedule it warm-starts from by
+        // more than its guarantee window.
+        assert!(
+            ptas.schedule.makespan(&inst)
+                <= approx.schedule.makespan(&inst) * Rational::new(11, 4)
+        );
+    }
+}
+
+#[test]
+fn preemptive_ptas_produces_valid_timetables() {
+    let params = PtasParams::with_delta_inv(2).unwrap();
+    for seed in 0..6u64 {
+        let inst = ccs_gen::tiny_random(seed);
+        if inst.machines() >= inst.num_jobs() as u64 {
+            continue;
+        }
+        let res = ccs::ptas::preemptive_ptas(&inst, params).unwrap();
+        res.schedule.validate(&inst).unwrap();
+    }
+}
+
+#[test]
+fn baselines_are_dominated_by_paper_algorithms_on_skewed_instances() {
+    // One dominant class: baselines cannot split it, the paper's splittable
+    // algorithm can.
+    let inst = ccs_gen::adversarial_round_robin(8, 50);
+    let baseline = ccs::baselines::whole_class_lpt(&inst).unwrap();
+    let split = ccs::approx::splittable_two_approx(&inst).unwrap();
+    assert!(split.schedule.makespan(&inst) < Rational::from(baseline.makespan_int(&inst)));
+}
+
+#[test]
+fn exact_solvers_agree_with_bounds() {
+    for seed in 0..20u64 {
+        let inst = ccs_gen::tiny_random(seed);
+        if let Ok(opt) = ccs::exact::splittable_optimum(&inst) {
+            assert!(opt >= ccs::exact::strong_lower_bound(&inst, ScheduleKind::Splittable));
+            let pre = ccs::exact::preemptive_optimum(&inst).unwrap();
+            assert!(pre >= opt);
+        }
+        if let Ok(opt) = ccs::exact::nonpreemptive_optimum(&inst) {
+            assert!(
+                Rational::from(opt)
+                    >= ccs::exact::strong_lower_bound(&inst, ScheduleKind::NonPreemptive)
+            );
+        }
+    }
+}
+
+#[test]
+fn serde_roundtrip_through_the_public_api() {
+    let inst = ccs_gen::uniform(&GenParams::new(20, 4, 6, 2), 9);
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(inst, back);
+}
