@@ -1,19 +1,18 @@
 //! E-T6: running time of the non-preemptive 7/3-approximation (Theorem 6,
 //! O(n² log² n)).
-use ccs_bench::{Family, SIZE_SWEEP};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ccs_bench::{Family, Harness, SIZE_SWEEP};
+use ccs_engine::Engine;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx_nonpreemptive");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("approx_nonpreemptive");
+    let engine = Engine::new();
     for &n in &SIZE_SWEEP {
         let inst = Family::VideoOnDemand.instance(n, 16, 32, 3, 42);
-        group.bench_with_input(BenchmarkId::new("video_on_demand", n), &inst, |b, inst| {
-            b.iter(|| ccs_approx::nonpreemptive_73_approx(inst).unwrap())
-        });
+        harness.bench_registered(
+            &engine,
+            "approx-nonpreemptive-7/3",
+            &format!("video_on_demand/{n}"),
+            &inst,
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

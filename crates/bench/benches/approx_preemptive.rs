@@ -1,18 +1,17 @@
 //! E-T5: running time of the preemptive 2-approximation (Theorem 5).
-use ccs_bench::{Family, SIZE_SWEEP};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ccs_bench::{Family, Harness, SIZE_SWEEP};
+use ccs_engine::Engine;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx_preemptive");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("approx_preemptive");
+    let engine = Engine::new();
     for &n in &SIZE_SWEEP {
         let inst = Family::DataPlacement.instance(n, 16, 32, 3, 42);
-        group.bench_with_input(BenchmarkId::new("data_placement", n), &inst, |b, inst| {
-            b.iter(|| ccs_approx::preemptive_two_approx(inst).unwrap())
-        });
+        harness.bench_registered(
+            &engine,
+            "approx-preemptive-2",
+            &format!("data_placement/{n}"),
+            &inst,
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,21 @@
 //! E-T4: running time of the splittable 2-approximation (Theorem 4 claims
 //! O(n² log n)); the quality side of the experiment lives in `experiments`.
-use ccs_bench::{Family, SIZE_SWEEP};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ccs_bench::{Family, Harness, SIZE_SWEEP};
+use ccs_engine::Engine;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx_splittable");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("approx_splittable");
+    let engine = Engine::new();
     for &n in &SIZE_SWEEP {
         let inst = Family::Uniform.instance(n, 16, 32, 3, 42);
-        group.bench_with_input(BenchmarkId::new("uniform", n), &inst, |b, inst| {
-            b.iter(|| ccs_approx::splittable_two_approx(inst).unwrap())
-        });
+        harness.bench_registered(
+            &engine,
+            "approx-splittable-2",
+            &format!("uniform/{n}"),
+            &inst,
+        );
     }
     // Exponential number of machines (Theorem 4, second part / E-T11).
     let inst = Family::Zipf.instance(100, 1_000_000_000_000, 16, 2, 7);
-    group.bench_function("exponential_m", |b| {
-        b.iter(|| ccs_approx::splittable_two_approx(&inst).unwrap())
-    });
-    group.finish();
+    harness.bench_registered(&engine, "approx-splittable-2", "exponential_m", &inst);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,18 @@
-//! Baseline heuristics vs the paper's algorithms (running time side).
-use ccs_bench::Family;
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Baseline heuristics vs the paper's algorithms (running time side): four
+//! registered solvers on the same instance, throughput directly comparable.
+use ccs_bench::{Family, Harness};
+use ccs_engine::Engine;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baselines");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("baselines");
+    let engine = Engine::new();
     let inst = Family::Zipf.instance(200, 16, 32, 3, 5);
-    group.bench_function("whole_class_round_robin", |b| {
-        b.iter(|| ccs_baselines::whole_class_round_robin(&inst).unwrap())
-    });
-    group.bench_function("whole_class_lpt", |b| {
-        b.iter(|| ccs_baselines::whole_class_lpt(&inst).unwrap())
-    });
-    group.bench_function("greedy_first_fit", |b| {
-        b.iter(|| ccs_baselines::greedy_first_fit(&inst).unwrap())
-    });
-    group.bench_function("nonpreemptive_73_approx", |b| {
-        b.iter(|| ccs_approx::nonpreemptive_73_approx(&inst).unwrap())
-    });
-    group.finish();
+    for solver in [
+        "baseline-round-robin",
+        "baseline-lpt",
+        "baseline-greedy",
+        "approx-nonpreemptive-7/3",
+    ] {
+        harness.bench_registered(&engine, solver, "zipf/200", &inst);
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

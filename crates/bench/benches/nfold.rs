@@ -1,6 +1,7 @@
 //! E-NF: the N-fold augmentation solver — scaling with the number of bricks N
-//! (Theorem 1 promises near-linear dependence on N).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! (Theorem 1 promises near-linear dependence on N).  The substrate has no
+//! `Solver` surface; it runs through the same harness via `bench_fn`.
+use ccs_bench::Harness;
 use nfold::{augmentation_solve, AugmentationOptions, NFold};
 
 fn configuration_like(n: usize) -> NFold {
@@ -17,17 +18,12 @@ fn configuration_like(n: usize) -> NFold {
     .unwrap()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nfold_augmentation");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("nfold_augmentation");
     for n in [2usize, 4, 8, 16, 32] {
         let nf = configuration_like(n);
-        group.bench_with_input(BenchmarkId::new("bricks", n), &nf, |b, nf| {
-            b.iter(|| augmentation_solve(nf, AugmentationOptions::default()).unwrap())
+        harness.bench_fn("nfold-augmentation", &format!("bricks/{n}"), || {
+            augmentation_solve(&nf, AugmentationOptions::default()).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,22 +1,14 @@
 //! E-T14: the non-preemptive PTAS — runtime growth with the accuracy.
-use ccs_bench::Family;
-use ccs_ptas::PtasParams;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ccs_bench::{Family, Harness};
+use ccs_engine::erase;
+use ccs_ptas::{NonpreemptivePtas, PtasParams};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ptas_nonpreemptive");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("ptas_nonpreemptive");
     let inst = Family::Uniform.instance(10, 3, 5, 2, 13);
     for delta_inv in [2u64, 3] {
         let params = PtasParams::with_delta_inv(delta_inv).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("delta_inv", delta_inv),
-            &params,
-            |b, params| b.iter(|| ccs_ptas::nonpreemptive_ptas(&inst, *params).unwrap()),
-        );
+        let solver = erase(NonpreemptivePtas::new(params));
+        harness.bench_erased(solver.as_ref(), &format!("delta_inv/{delta_inv}"), &inst);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

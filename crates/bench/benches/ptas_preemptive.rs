@@ -1,22 +1,14 @@
 //! E-T19: the preemptive PTAS — runtime growth with the accuracy.
-use ccs_bench::Family;
-use ccs_ptas::PtasParams;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ccs_bench::{Family, Harness};
+use ccs_engine::erase;
+use ccs_ptas::{PreemptivePtas, PtasParams};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ptas_preemptive");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("ptas_preemptive");
     let inst = Family::Zipf.instance(10, 3, 5, 2, 17);
     for delta_inv in [2u64, 3] {
         let params = PtasParams::with_delta_inv(delta_inv).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("delta_inv", delta_inv),
-            &params,
-            |b, params| b.iter(|| ccs_ptas::preemptive_ptas(&inst, *params).unwrap()),
-        );
+        let solver = erase(PreemptivePtas::new(params));
+        harness.bench_erased(solver.as_ref(), &format!("delta_inv/{delta_inv}"), &inst);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

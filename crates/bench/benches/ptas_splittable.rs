@@ -1,22 +1,14 @@
 //! E-T10: the splittable PTAS — runtime growth as the accuracy 1/δ increases.
-use ccs_bench::Family;
-use ccs_ptas::PtasParams;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ccs_bench::{Family, Harness};
+use ccs_engine::erase;
+use ccs_ptas::{PtasParams, SplittablePtas};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ptas_splittable");
-    group.sample_size(10);
+fn main() {
+    let harness = Harness::new("ptas_splittable");
     let inst = Family::Uniform.instance(12, 3, 5, 2, 11);
     for delta_inv in [2u64, 3, 4] {
         let params = PtasParams::with_delta_inv(delta_inv).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("delta_inv", delta_inv),
-            &params,
-            |b, params| b.iter(|| ccs_ptas::splittable_ptas(&inst, *params).unwrap()),
-        );
+        let solver = erase(SplittablePtas::new(params));
+        harness.bench_erased(solver.as_ref(), &format!("delta_inv/{delta_inv}"), &inst);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

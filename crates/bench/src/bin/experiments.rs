@@ -20,22 +20,34 @@ fn main() {
     let run = |id: &str| exp == "all" || exp == id;
 
     if run("t4") {
-        quality_table("E-T4  splittable 2-approx (Thm 4)", ScheduleKind::Splittable, |inst| {
-            let r = ccs_approx::splittable_two_approx(inst).unwrap();
-            (r.schedule.makespan(inst), r.search_iterations)
-        });
+        quality_table(
+            "E-T4  splittable 2-approx (Thm 4)",
+            ScheduleKind::Splittable,
+            |inst| {
+                let r = ccs_approx::splittable_two_approx(inst).unwrap();
+                (r.schedule.makespan(inst), r.search_iterations)
+            },
+        );
     }
     if run("t5") {
-        quality_table("E-T5  preemptive 2-approx (Thm 5)", ScheduleKind::Preemptive, |inst| {
-            let r = ccs_approx::preemptive_two_approx(inst).unwrap();
-            (r.schedule.makespan(inst), r.search_iterations)
-        });
+        quality_table(
+            "E-T5  preemptive 2-approx (Thm 5)",
+            ScheduleKind::Preemptive,
+            |inst| {
+                let r = ccs_approx::preemptive_two_approx(inst).unwrap();
+                (r.schedule.makespan(inst), r.search_iterations)
+            },
+        );
     }
     if run("t6") {
-        quality_table("E-T6  non-preemptive 7/3-approx (Thm 6)", ScheduleKind::NonPreemptive, |inst| {
-            let r = ccs_approx::nonpreemptive_73_approx(inst).unwrap();
-            (r.schedule.makespan(inst), r.search_iterations)
-        });
+        quality_table(
+            "E-T6  non-preemptive 7/3-approx (Thm 6)",
+            ScheduleKind::NonPreemptive,
+            |inst| {
+                let r = ccs_approx::nonpreemptive_73_approx(inst).unwrap();
+                (r.schedule.makespan(inst), r.search_iterations)
+            },
+        );
     }
     if run("l2") {
         exp_l2();
@@ -69,7 +81,10 @@ where
     F: FnMut(&ccs_core::Instance) -> (Rational, usize),
 {
     println!("\n== {title} ==");
-    println!("{:<16} {:>6} {:>10} {:>12} {:>10}", "family", "n", "makespan", "ratio_vs_LB", "iters");
+    println!(
+        "{:<16} {:>6} {:>10} {:>12} {:>10}",
+        "family", "n", "makespan", "ratio_vs_LB", "iters"
+    );
     for family in Family::ALL {
         for &n in &[100usize, 400] {
             let inst = family.instance(n, 16, 32, 3, 42);
@@ -101,7 +116,10 @@ fn exp_l2() {
 /// E-L3: the round-robin load bound of Lemma 3.
 fn exp_l3() {
     println!("\n== E-L3  round robin load bound (Lemma 3) ==");
-    println!("{:>6} {:>6} {:>12} {:>12}", "items", "m", "max_load", "bound");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12}",
+        "items", "m", "max_load", "bound"
+    );
     for &(items, m) in &[(50usize, 7u64), (200, 16), (1000, 32)] {
         let weights: Vec<Rational> = (0..items)
             .map(|i| Rational::from(1 + ((i * 7919) % 100) as u64))
@@ -110,7 +128,13 @@ fn exp_l3() {
         let loads = ccs_approx::round_robin::machine_loads(&weights, &assignment, m);
         let bound = ccs_approx::round_robin::lemma3_bound(&weights, m);
         let max = loads.into_iter().fold(Rational::ZERO, Rational::max);
-        println!("{:>6} {:>6} {:>12.1} {:>12.1}", items, m, max.to_f64(), bound.to_f64());
+        println!(
+            "{:>6} {:>6} {:>12.1} {:>12.1}",
+            items,
+            m,
+            max.to_f64(),
+            bound.to_f64()
+        );
     }
 }
 
@@ -135,7 +159,13 @@ fn exp_ptas(which: &str) {
                     ccs_ptas::splittable_ptas(&inst, params),
                     ccs_approx::splittable_two_approx(&inst),
                 ) {
-                    row("splittable", delta_inv, opt, ptas.schedule.makespan(&inst), approx.schedule.makespan(&inst));
+                    row(
+                        "splittable",
+                        delta_inv,
+                        opt,
+                        ptas.schedule.makespan(&inst),
+                        approx.schedule.makespan(&inst),
+                    );
                 }
             }
             if which == "all" || which == "t14" {
@@ -144,7 +174,13 @@ fn exp_ptas(which: &str) {
                     ccs_ptas::nonpreemptive_ptas(&inst, params),
                     ccs_approx::nonpreemptive_73_approx(&inst),
                 ) {
-                    row("non-preemptive", delta_inv, Rational::from(opt), ptas.schedule.makespan(&inst), approx.schedule.makespan(&inst));
+                    row(
+                        "non-preemptive",
+                        delta_inv,
+                        Rational::from(opt),
+                        ptas.schedule.makespan(&inst),
+                        approx.schedule.makespan(&inst),
+                    );
                 }
             }
             if which == "all" || which == "t19" {
@@ -153,7 +189,13 @@ fn exp_ptas(which: &str) {
                     ccs_ptas::preemptive_ptas(&inst, params),
                     ccs_approx::preemptive_two_approx(&inst),
                 ) {
-                    row("preemptive", delta_inv, opt, ptas.schedule.makespan(&inst), approx.schedule.makespan(&inst));
+                    row(
+                        "preemptive",
+                        delta_inv,
+                        opt,
+                        ptas.schedule.makespan(&inst),
+                        approx.schedule.makespan(&inst),
+                    );
                 }
             }
         }
@@ -176,7 +218,10 @@ fn exp_ptas(which: &str) {
 /// splittable algorithm (Theorem 4 second part / Theorem 11).
 fn exp_t11() {
     println!("\n== E-T11  exponential number of machines (compact output) ==");
-    println!("{:>16} {:>14} {:>14} {:>10}", "machines", "makespan", "ratio_vs_LB", "encoding");
+    println!(
+        "{:>16} {:>14} {:>14} {:>10}",
+        "machines", "makespan", "ratio_vs_LB", "encoding"
+    );
     for &m in &[1_000_000u64, 1_000_000_000, 1_000_000_000_000] {
         let inst = Family::Zipf.instance(100, m, 16, 2, 7);
         let r = ccs_approx::splittable_two_approx(&inst).unwrap();
@@ -199,14 +244,24 @@ fn exp_figures_1_2() {
     let jobs: Vec<(u64, u32)> = (0..10).map(|i| (10 - i as u64, i as u32)).collect();
     let inst = ccs_core::instance::instance_from_pairs(4, 3, &jobs).unwrap();
     let split = ccs_approx::splittable_two_approx(&inst).unwrap();
-    println!("splittable round robin, makespan {}", split.schedule.makespan(&inst));
+    println!(
+        "splittable round robin, makespan {}",
+        split.schedule.makespan(&inst)
+    );
     for machine in 0..4u64 {
         let load = split.schedule.load_of_machine(machine);
         let classes = split.schedule.classes_on_machine(&inst, machine);
-        println!("  machine {machine}: load {:<6} classes {:?}", load.to_f64(), classes);
+        println!(
+            "  machine {machine}: load {:<6} classes {:?}",
+            load.to_f64(),
+            classes
+        );
     }
     let pre = ccs_approx::preemptive_two_approx(&inst).unwrap();
-    println!("preemptive repacking, makespan {}", pre.schedule.makespan(&inst));
+    println!(
+        "preemptive repacking, makespan {}",
+        pre.schedule.makespan(&inst)
+    );
     for (i, pieces) in pre.schedule.machines().iter().enumerate() {
         let mut desc: Vec<String> = pieces
             .iter()
@@ -233,15 +288,16 @@ fn exp_f3() {
 /// F-4: dissolving a configuration into modules and jobs.
 fn exp_f4() {
     println!("\n== F-4  configuration -> modules -> jobs (non-preemptive PTAS) ==");
-    let inst = ccs_core::instance::instance_from_pairs(
-        2,
-        2,
-        &[(6, 0), (5, 0), (4, 1), (3, 1), (1, 2)],
-    )
-    .unwrap();
+    let inst =
+        ccs_core::instance::instance_from_pairs(2, 2, &[(6, 0), (5, 0), (4, 1), (3, 1), (1, 2)])
+            .unwrap();
     let params = PtasParams::with_delta_inv(2).unwrap();
     let res = ccs_ptas::nonpreemptive_ptas(&inst, params).unwrap();
-    println!("accepted guess {}, makespan {}", res.guess, res.schedule.makespan_int(&inst));
+    println!(
+        "accepted guess {}, makespan {}",
+        res.guess,
+        res.schedule.makespan_int(&inst)
+    );
     for (machine, jobs) in res.schedule.machine_contents() {
         let desc: Vec<String> = jobs
             .iter()
@@ -255,14 +311,26 @@ fn exp_f4() {
 fn exp_f5() {
     println!("\n== F-5  layer-assignment flow network (Lemma 16) ==");
     let requests = vec![
-        flownet::LayerRequest { units: 2, allowed_machines: vec![0, 1] },
-        flownet::LayerRequest { units: 1, allowed_machines: vec![0] },
-        flownet::LayerRequest { units: 2, allowed_machines: vec![1] },
+        flownet::LayerRequest {
+            units: 2,
+            allowed_machines: vec![0, 1],
+        },
+        flownet::LayerRequest {
+            units: 1,
+            allowed_machines: vec![0],
+        },
+        flownet::LayerRequest {
+            units: 2,
+            allowed_machines: vec![1],
+        },
     ];
     let caps = vec![3, 2];
     match flownet::layer_assignment(&requests, &caps, 3) {
         Some(assignment) => {
-            println!("integral assignment found ({} slots):", assignment.placements.len());
+            println!(
+                "integral assignment found ({} slots):",
+                assignment.placements.len()
+            );
             for (job, machine, layer) in assignment.placements {
                 println!("  job {job} -> machine {machine}, layer {layer}");
             }

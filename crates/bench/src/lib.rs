@@ -8,6 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
+pub use harness::Harness;
+
 use ccs_core::{Instance, Rational, Schedule, ScheduleKind};
 use ccs_gen::GenParams;
 
@@ -44,7 +48,14 @@ impl Family {
     }
 
     /// Generates an instance of this family.
-    pub fn instance(&self, jobs: usize, machines: u64, classes: u32, slots: u64, seed: u64) -> Instance {
+    pub fn instance(
+        &self,
+        jobs: usize,
+        machines: u64,
+        classes: u32,
+        slots: u64,
+        seed: u64,
+    ) -> Instance {
         let params = GenParams::new(jobs, machines, classes, slots);
         match self {
             Family::Uniform => ccs_gen::uniform(&params, seed),

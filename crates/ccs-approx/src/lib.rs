@@ -35,9 +35,11 @@ pub mod nonpreemptive;
 pub mod preemptive;
 pub mod result;
 pub mod round_robin;
+pub mod solver;
 pub mod splittable;
 
 pub use nonpreemptive::nonpreemptive_73_approx;
 pub use preemptive::preemptive_two_approx;
 pub use result::ApproxResult;
+pub use solver::{Nonpreemptive73Approx, PreemptiveTwoApprox, SplittableTwoApprox};
 pub use splittable::splittable_two_approx;

@@ -98,11 +98,8 @@ pub fn class_slot_lower_bound(inst: &Instance, class: ClassId, t: u64) -> u64 {
     for &big in &large {
         let free = t.saturating_sub(big);
         // Largest medium with p <= free.
-        match medium.iter().rposition(|&p| p <= free) {
-            Some(idx) => {
-                medium.remove(idx);
-            }
-            None => {}
+        if let Some(idx) = medium.iter().rposition(|&p| p <= free) {
+            medium.remove(idx);
         }
     }
     let l_u = medium.len() as u64;

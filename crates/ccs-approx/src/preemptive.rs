@@ -16,9 +16,7 @@ use crate::border_search::{self, BorderSearch};
 use crate::chunking::{chunk_pieces, split_classes};
 use crate::result::ApproxResult;
 use crate::round_robin::descending_order;
-use ccs_core::{
-    bounds, CcsError, Instance, PreemptivePiece, PreemptiveSchedule, Rational, Result,
-};
+use ccs_core::{bounds, CcsError, Instance, PreemptivePiece, PreemptiveSchedule, Rational, Result};
 
 /// Runs the 2-approximation for the preemptive case.
 pub fn preemptive_two_approx(inst: &Instance) -> Result<ApproxResult<PreemptiveSchedule>> {
@@ -41,7 +39,11 @@ pub fn preemptive_two_approx(inst: &Instance) -> Result<ApproxResult<PreemptiveS
         for job in 0..n {
             schedule.push_piece(
                 job,
-                PreemptivePiece::new(job, Rational::ZERO, Rational::from(inst.processing_time(job))),
+                PreemptivePiece::new(
+                    job,
+                    Rational::ZERO,
+                    Rational::from(inst.processing_time(job)),
+                ),
             );
         }
         return Ok(ApproxResult {
@@ -168,7 +170,9 @@ mod tests {
 
     #[test]
     fn many_classes_tight_slots() {
-        let jobs: Vec<(u64, u32)> = (0..24).map(|i| (2 + (i % 4) as u64, (i % 8) as u32)).collect();
+        let jobs: Vec<(u64, u32)> = (0..24)
+            .map(|i| (2 + (i % 4) as u64, (i % 8) as u32))
+            .collect();
         let inst = instance_from_pairs(4, 2, &jobs).unwrap();
         check(&inst);
     }

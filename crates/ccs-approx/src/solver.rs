@@ -1,0 +1,134 @@
+//! [`Solver`] implementations for the constant-factor algorithms.
+//!
+//! The free functions ([`splittable_two_approx`], [`preemptive_two_approx`],
+//! [`nonpreemptive_73_approx`]) remain the primary entry points for direct
+//! callers; the unit structs below expose the same algorithms through the
+//! unified solving surface of `ccs-core` so the `ccs-engine` registry,
+//! portfolio policy and benchmark harness can drive them uniformly.
+
+use crate::nonpreemptive::nonpreemptive_73_approx;
+use crate::preemptive::preemptive_two_approx;
+use crate::result::ApproxResult;
+use crate::splittable::splittable_two_approx;
+use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
+use ccs_core::{
+    Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, Schedule, ScheduleKind,
+    SplittableSchedule,
+};
+
+fn report_from_approx<S: Schedule>(inst: &Instance, r: ApproxResult<S>) -> SolveReport<S> {
+    let lower_bound = r.optimum_lower_bound();
+    let stats = SolveStats {
+        search_iterations: r.search_iterations,
+        ..Default::default()
+    };
+    SolveReport::new(inst, r.schedule, lower_bound, stats)
+}
+
+/// Algorithm 1 of the paper as a [`Solver`]: the splittable 2-approximation
+/// of Theorem 4 (including the compact output encoding for exponential `m`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SplittableTwoApprox;
+
+impl Solver<SplittableSchedule> for SplittableTwoApprox {
+    fn name(&self) -> &'static str {
+        "approx-splittable-2"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Splittable
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Factor(Rational::from_int(2))
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
+        Ok(report_from_approx(inst, splittable_two_approx(inst)?))
+    }
+}
+
+/// Algorithms 1+2 of the paper as a [`Solver`]: the preemptive
+/// 2-approximation of Theorem 5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreemptiveTwoApprox;
+
+impl Solver<PreemptiveSchedule> for PreemptiveTwoApprox {
+    fn name(&self) -> &'static str {
+        "approx-preemptive-2"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Preemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Factor(Rational::from_int(2))
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {
+        Ok(report_from_approx(inst, preemptive_two_approx(inst)?))
+    }
+}
+
+/// The non-preemptive 7/3-approximation of Theorem 6 as a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nonpreemptive73Approx;
+
+impl Solver<NonPreemptiveSchedule> for Nonpreemptive73Approx {
+    fn name(&self) -> &'static str {
+        "approx-nonpreemptive-7/3"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::NonPreemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Factor(Rational::new(7, 3))
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        Ok(report_from_approx(inst, nonpreemptive_73_approx(inst)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    fn sample() -> Instance {
+        instance_from_pairs(
+            3,
+            2,
+            &[(7, 0), (8, 0), (9, 1), (5, 1), (4, 2), (3, 3), (6, 4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solver_reports_match_free_functions() {
+        let inst = sample();
+        let via_trait = SplittableTwoApprox.solve(&inst).unwrap();
+        let direct = splittable_two_approx(&inst).unwrap();
+        assert_eq!(via_trait.makespan, direct.schedule.makespan(&inst));
+        assert_eq!(via_trait.lower_bound, direct.optimum_lower_bound());
+        assert_eq!(via_trait.stats.search_iterations, direct.search_iterations);
+    }
+
+    #[test]
+    fn all_three_respect_their_guarantees() {
+        let inst = sample();
+        fn check<S: Schedule>(inst: &Instance, solver: &dyn Solver<S>) {
+            let report = solver.solve(inst).unwrap();
+            report.validate(inst).unwrap();
+            let factor = solver.guarantee().factor().unwrap();
+            assert!(report.makespan <= factor * report.lower_bound);
+            assert!(solver.kind() == report.schedule.kind());
+        }
+        check(&inst, &SplittableTwoApprox);
+        check(&inst, &PreemptiveTwoApprox);
+        check(&inst, &Nonpreemptive73Approx);
+    }
+}

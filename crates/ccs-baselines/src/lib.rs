@@ -19,6 +19,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod solver;
+
+pub use solver::{GreedyFirstFit, WholeClassLpt, WholeClassRoundRobin};
+
 use ccs_core::{CcsError, Instance, NonPreemptiveSchedule, Result, Schedule};
 use std::collections::BTreeSet;
 

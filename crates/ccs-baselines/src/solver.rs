@@ -1,0 +1,108 @@
+//! [`Solver`] implementations for the baseline heuristics.
+//!
+//! All three heuristics are non-preemptive and carry no worst-case guarantee
+//! ([`Guarantee::Heuristic`]); their reports use the generic model lower
+//! bound of `ccs-core` so quality ratios remain comparable with the paper's
+//! algorithms.
+
+use crate::{greedy_first_fit, whole_class_lpt, whole_class_round_robin};
+use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
+use ccs_core::{bounds, Instance, NonPreemptiveSchedule, Result, ScheduleKind};
+
+fn report(inst: &Instance, schedule: NonPreemptiveSchedule) -> SolveReport<NonPreemptiveSchedule> {
+    let lower_bound = bounds::lower_bound(inst, ScheduleKind::NonPreemptive);
+    SolveReport::new(inst, schedule, lower_bound, SolveStats::default())
+}
+
+/// [`whole_class_round_robin`] as a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WholeClassRoundRobin;
+
+impl Solver<NonPreemptiveSchedule> for WholeClassRoundRobin {
+    fn name(&self) -> &'static str {
+        "baseline-round-robin"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::NonPreemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Heuristic
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        Ok(report(inst, whole_class_round_robin(inst)?))
+    }
+}
+
+/// [`whole_class_lpt`] as a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WholeClassLpt;
+
+impl Solver<NonPreemptiveSchedule> for WholeClassLpt {
+    fn name(&self) -> &'static str {
+        "baseline-lpt"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::NonPreemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Heuristic
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        Ok(report(inst, whole_class_lpt(inst)?))
+    }
+}
+
+/// [`greedy_first_fit`] as a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyFirstFit;
+
+impl Solver<NonPreemptiveSchedule> for GreedyFirstFit {
+    fn name(&self) -> &'static str {
+        "baseline-greedy"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::NonPreemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Heuristic
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        Ok(report(inst, greedy_first_fit(inst)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+    use ccs_core::Schedule;
+
+    #[test]
+    fn baseline_solvers_produce_valid_reports() {
+        let inst = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2), (4, 3)]).unwrap();
+        let solvers: [&dyn Solver<NonPreemptiveSchedule>; 3] =
+            [&WholeClassRoundRobin, &WholeClassLpt, &GreedyFirstFit];
+        for solver in solvers {
+            let report = solver.solve(&inst).unwrap();
+            report.validate(&inst).unwrap();
+            assert_eq!(report.schedule.kind(), ScheduleKind::NonPreemptive);
+            assert!(report.makespan >= report.lower_bound);
+            assert_eq!(solver.guarantee().factor(), None);
+        }
+    }
+
+    #[test]
+    fn infeasible_instances_error_through_the_trait() {
+        let inst = instance_from_pairs(1, 1, &[(1, 0), (1, 1)]).unwrap();
+        assert!(WholeClassLpt.solve(&inst).is_err());
+    }
+}

@@ -94,7 +94,10 @@ mod tests {
         let inst = sample();
         assert_eq!(splittable_lower_bound(&inst), Rational::from_int(14));
         assert_eq!(splittable_upper_bound(&inst), Rational::from_int(60));
-        assert!(lower_bound(&inst, ScheduleKind::Splittable) <= upper_bound(&inst, ScheduleKind::Splittable));
+        assert!(
+            lower_bound(&inst, ScheduleKind::Splittable)
+                <= upper_bound(&inst, ScheduleKind::Splittable)
+        );
     }
 
     #[test]
@@ -129,6 +132,9 @@ mod tests {
     fn splittable_upper_bound_never_exceeds_total_when_slots_large() {
         let inst = instance_from_pairs(1, 50, &[(5, 0), (5, 1), (5, 2)]).unwrap();
         // c_eff = 3, max class load 5 => 15 = total load.
-        assert_eq!(upper_bound(&inst, ScheduleKind::Splittable), Rational::from_int(15));
+        assert_eq!(
+            upper_bound(&inst, ScheduleKind::Splittable),
+            Rational::from_int(15)
+        );
     }
 }

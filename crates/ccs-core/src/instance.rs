@@ -6,8 +6,8 @@
 //! may belong to at most `c` distinct classes).
 
 use crate::error::{CcsError, Result};
+use crate::json::{self, JsonValue};
 use crate::rational::Rational;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Index of a job, `0..n`.
@@ -22,7 +22,7 @@ pub type ClassId = usize;
 
 /// Raw serialisable form of an [`Instance`]; all derived data is rebuilt on
 /// deserialisation so serialised instances can never violate the invariants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct InstanceData {
     processing_times: Vec<u64>,
     class_labels_per_job: Vec<u32>,
@@ -31,8 +31,7 @@ struct InstanceData {
 }
 
 /// An immutable, validated instance of class-constrained scheduling.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(try_from = "InstanceData", into = "InstanceData")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     processing_times: Vec<u64>,
     /// Dense class index per job.
@@ -76,6 +75,90 @@ impl From<Instance> for InstanceData {
 }
 
 impl Instance {
+    /// Serialises the instance to a compact JSON document holding only the
+    /// raw input data (`processing_times`, `class_labels_per_job`, `machines`,
+    /// `class_slots`); derived data is rebuilt by [`Instance::from_json`].
+    pub fn to_json(&self) -> String {
+        let data = InstanceData::from(self.clone());
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(
+            "processing_times".to_string(),
+            JsonValue::Array(
+                data.processing_times
+                    .iter()
+                    .map(|&p| JsonValue::Int(p as i128))
+                    .collect(),
+            ),
+        );
+        map.insert(
+            "class_labels_per_job".to_string(),
+            JsonValue::Array(
+                data.class_labels_per_job
+                    .iter()
+                    .map(|&c| JsonValue::Int(c as i128))
+                    .collect(),
+            ),
+        );
+        map.insert(
+            "machines".to_string(),
+            JsonValue::Int(data.machines as i128),
+        );
+        map.insert(
+            "class_slots".to_string(),
+            JsonValue::Int(data.class_slots as i128),
+        );
+        JsonValue::Object(map).to_json()
+    }
+
+    /// Parses an instance from the JSON produced by [`Instance::to_json`].
+    ///
+    /// All invariants are re-validated through [`InstanceBuilder`], so a
+    /// hand-edited document can never produce an invalid [`Instance`].
+    pub fn from_json(input: &str) -> Result<Instance> {
+        let value = json::parse(input)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| CcsError::invalid_instance("expected a JSON object"))?;
+        let field = |name: &str| {
+            obj.get(name)
+                .ok_or_else(|| CcsError::invalid_instance(format!("missing field '{name}'")))
+        };
+        let u64_array = |name: &str| -> Result<Vec<u64>> {
+            field(name)?
+                .as_array()
+                .ok_or_else(|| {
+                    CcsError::invalid_instance(format!("field '{name}' must be an array"))
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| {
+                        CcsError::invalid_instance(format!(
+                            "field '{name}' must contain non-negative integers"
+                        ))
+                    })
+                })
+                .collect()
+        };
+        let scalar = |name: &str| -> Result<u64> {
+            field(name)?.as_u64().ok_or_else(|| {
+                CcsError::invalid_instance(format!("field '{name}' must be a non-negative integer"))
+            })
+        };
+        let data = InstanceData {
+            processing_times: u64_array("processing_times")?,
+            class_labels_per_job: u64_array("class_labels_per_job")?
+                .into_iter()
+                .map(|c| {
+                    u32::try_from(c)
+                        .map_err(|_| CcsError::invalid_instance("class labels must fit in 32 bits"))
+                })
+                .collect::<Result<Vec<u32>>>()?,
+            machines: scalar("machines")?,
+            class_slots: scalar("class_slots")?,
+        };
+        Instance::try_from(data)
+    }
+
     /// Number of jobs `n`.
     pub fn num_jobs(&self) -> usize {
         self.processing_times.len()
@@ -181,7 +264,11 @@ impl Instance {
     pub fn encoding_length(&self) -> u64 {
         let bits = |x: u64| 64 - x.max(1).leading_zeros() as u64;
         self.processing_times.iter().map(|&p| bits(p)).sum::<u64>()
-            + self.classes.iter().map(|&c| bits(c as u64 + 1)).sum::<u64>()
+            + self
+                .classes
+                .iter()
+                .map(|&c| bits(c as u64 + 1))
+                .sum::<u64>()
             + self.num_jobs() as u64
             + bits(self.machines)
     }
@@ -252,7 +339,7 @@ impl InstanceBuilder {
                 "instance has zero class slots per machine",
             ));
         }
-        if self.processing_times.iter().any(|&p| p == 0) {
+        if self.processing_times.contains(&0) {
             return Err(CcsError::invalid_instance(
                 "processing times must be positive",
             ));
@@ -388,17 +475,30 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let inst = sample();
-        let json = serde_json::to_string(&inst).unwrap();
-        let back: Instance = serde_json::from_str(&json).unwrap();
+        let json = inst.to_json();
+        let back = Instance::from_json(&json).unwrap();
         assert_eq!(inst, back);
     }
 
     #[test]
-    fn serde_rejects_invalid() {
-        let json = r#"{"processing_times":[0],"class_labels_per_job":[1],"machines":1,"class_slots":1}"#;
-        assert!(serde_json::from_str::<Instance>(json).is_err());
+    fn json_rejects_invalid() {
+        let json =
+            r#"{"processing_times":[0],"class_labels_per_job":[1],"machines":1,"class_slots":1}"#;
+        assert!(Instance::from_json(json).is_err());
+        assert!(Instance::from_json("{}").is_err());
+        assert!(Instance::from_json("not json").is_err());
+        let mismatched =
+            r#"{"processing_times":[1,2],"class_labels_per_job":[1],"machines":1,"class_slots":1}"#;
+        assert!(Instance::from_json(mismatched).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_with_huge_machine_count() {
+        let inst = instance_from_pairs(u64::MAX / 2, 3, &[(1, 0)]).unwrap();
+        let back = Instance::from_json(&inst.to_json()).unwrap();
+        assert_eq!(inst, back);
     }
 
     #[test]

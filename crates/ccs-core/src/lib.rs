@@ -13,12 +13,17 @@
 //!   (supporting a compact encoding for an exponential number of machines) and
 //!   [`schedule::PreemptiveSchedule`],
 //! * [`bounds`] — the lower/upper bounds on the optimal makespan used by all
-//!   algorithms in the paper (`Σp/m`, `p_max`, `c · max_u P_u`, …).
+//!   algorithms in the paper (`Σp/m`, `p_max`, `c · max_u P_u`, …),
+//! * [`solver`] — the unified solving surface: the [`Solver`] trait with its
+//!   [`SolveReport`] / [`Guarantee`] types, implemented by every algorithm
+//!   crate and dispatched by `ccs-engine`,
+//! * [`json`] — minimal dependency-free JSON used by
+//!   [`Instance::to_json`] / [`Instance::from_json`].
 //!
 //! The model follows the paper "Approximation Algorithms for Scheduling with
 //! Class Constraints" (Jansen, Lassota, Maack; SPAA 2020) exactly; see
 //! `DESIGN.md` at the workspace root for the mapping from paper sections to
-//! modules.
+//! modules and for the engine architecture.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,14 +31,17 @@
 pub mod bounds;
 pub mod error;
 pub mod instance;
+pub mod json;
 pub mod prelude;
 pub mod rational;
 pub mod schedule;
+pub mod solver;
 
 pub use error::{CcsError, Result};
 pub use instance::{ClassId, Instance, InstanceBuilder, JobId};
 pub use rational::Rational;
 pub use schedule::{
-    ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece, PreemptiveSchedule,
-    Schedule, ScheduleKind, SplittableSchedule,
+    AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,
+    PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
 };
+pub use solver::{Guarantee, SolveReport, SolveStats, Solver};

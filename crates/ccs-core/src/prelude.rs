@@ -6,6 +6,7 @@ pub use crate::error::{CcsError, Result};
 pub use crate::instance::{instance_from_pairs, ClassId, Instance, InstanceBuilder, JobId};
 pub use crate::rational::Rational;
 pub use crate::schedule::{
-    ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece, PreemptiveSchedule,
-    Schedule, ScheduleKind, SplittableSchedule,
+    AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,
+    PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
 };
+pub use crate::solver::{Guarantee, SolveReport, SolveStats, Solver};

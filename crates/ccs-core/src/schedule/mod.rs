@@ -73,6 +73,89 @@ pub trait Schedule {
     fn makespan(&self, inst: &Instance) -> Rational;
 }
 
+/// A schedule of any placement model, used where schedules of different
+/// models must flow through one channel (the solver registry and the batch
+/// executor of `ccs-engine`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnySchedule {
+    /// A splittable schedule.
+    Splittable(SplittableSchedule),
+    /// A preemptive schedule.
+    Preemptive(PreemptiveSchedule),
+    /// A non-preemptive schedule.
+    NonPreemptive(NonPreemptiveSchedule),
+}
+
+impl AnySchedule {
+    /// The contained splittable schedule, if this is one.
+    pub fn as_splittable(&self) -> Option<&SplittableSchedule> {
+        match self {
+            AnySchedule::Splittable(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The contained preemptive schedule, if this is one.
+    pub fn as_preemptive(&self) -> Option<&PreemptiveSchedule> {
+        match self {
+            AnySchedule::Preemptive(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The contained non-preemptive schedule, if this is one.
+    pub fn as_nonpreemptive(&self) -> Option<&NonPreemptiveSchedule> {
+        match self {
+            AnySchedule::NonPreemptive(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Schedule for AnySchedule {
+    fn kind(&self) -> ScheduleKind {
+        match self {
+            AnySchedule::Splittable(s) => s.kind(),
+            AnySchedule::Preemptive(s) => s.kind(),
+            AnySchedule::NonPreemptive(s) => s.kind(),
+        }
+    }
+
+    fn validate(&self, inst: &Instance) -> Result<()> {
+        match self {
+            AnySchedule::Splittable(s) => s.validate(inst),
+            AnySchedule::Preemptive(s) => s.validate(inst),
+            AnySchedule::NonPreemptive(s) => s.validate(inst),
+        }
+    }
+
+    fn makespan(&self, inst: &Instance) -> Rational {
+        match self {
+            AnySchedule::Splittable(s) => s.makespan(inst),
+            AnySchedule::Preemptive(s) => s.makespan(inst),
+            AnySchedule::NonPreemptive(s) => s.makespan(inst),
+        }
+    }
+}
+
+impl From<SplittableSchedule> for AnySchedule {
+    fn from(s: SplittableSchedule) -> Self {
+        AnySchedule::Splittable(s)
+    }
+}
+
+impl From<PreemptiveSchedule> for AnySchedule {
+    fn from(s: PreemptiveSchedule) -> Self {
+        AnySchedule::Preemptive(s)
+    }
+}
+
+impl From<NonPreemptiveSchedule> for AnySchedule {
+    fn from(s: NonPreemptiveSchedule) -> Self {
+        AnySchedule::NonPreemptive(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -253,7 +253,10 @@ mod tests {
         // Job 0 runs [0,5) on machines 0 and 1 simultaneously — illegal.
         let s = PreemptiveSchedule::new(vec![
             vec![PreemptivePiece::new(0, r(0, 1), r(5, 1))],
-            vec![PreemptivePiece::new(0, r(4, 1), r(5, 1)), PreemptivePiece::new(1, r(9, 1), r(6, 1))],
+            vec![
+                PreemptivePiece::new(0, r(4, 1), r(5, 1)),
+                PreemptivePiece::new(1, r(9, 1), r(6, 1)),
+            ],
         ]);
         assert!(s.validate(&inst()).is_err());
     }

@@ -301,7 +301,7 @@ impl Schedule for SplittableSchedule {
         for em in &self.explicit {
             explicit_ids.entry(em.machine).or_insert(());
         }
-        for (&machine, _) in &explicit_ids {
+        for &machine in explicit_ids.keys() {
             let classes = self.classes_on_machine(inst, machine);
             if classes.len() as u64 > inst.class_slots() {
                 return Err(CcsError::invalid_schedule(format!(
@@ -391,7 +391,10 @@ mod tests {
 
     #[test]
     fn under_coverage_rejected() {
-        let s = SplittableSchedule::from_explicit(vec![vec![(0, r(9, 1))], vec![(1, r(20, 1)), (2, r(5, 1))]]);
+        let s = SplittableSchedule::from_explicit(vec![
+            vec![(0, r(9, 1))],
+            vec![(1, r(20, 1)), (2, r(5, 1))],
+        ]);
         assert!(s.validate(&inst()).is_err());
     }
 

@@ -1,0 +1,209 @@
+//! The unified solving surface of the workspace.
+//!
+//! Every algorithm crate (`ccs-approx`, `ccs-ptas`, `ccs-exact`,
+//! `ccs-baselines`) exposes its algorithms through the [`Solver`] trait
+//! defined here, returning a [`SolveReport`].  The trait subsumes the
+//! historical per-crate result types (`ApproxResult`, `PtasResult`, bare
+//! makespans from the exact solvers) and is what the `ccs-engine` dispatch
+//! layer builds its registry, portfolio policy and batch executor on.
+
+use crate::error::Result;
+use crate::instance::Instance;
+use crate::rational::Rational;
+use crate::schedule::{Schedule, ScheduleKind};
+
+/// The a-priori quality guarantee of a solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guarantee {
+    /// The returned makespan equals the optimum of the solver's model.
+    Exact,
+    /// The returned makespan is at most `factor · opt(I)`.
+    Factor(Rational),
+    /// No worst-case bound (practitioner heuristics).
+    Heuristic,
+}
+
+impl Guarantee {
+    /// The approximation factor: `1` for exact solvers, the bound for
+    /// constant-factor/PTAS solvers and `None` for heuristics.
+    pub fn factor(&self) -> Option<Rational> {
+        match self {
+            Guarantee::Exact => Some(Rational::ONE),
+            Guarantee::Factor(f) => Some(*f),
+            Guarantee::Heuristic => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Guarantee::Exact => write!(f, "exact"),
+            Guarantee::Factor(r) => write!(f, "{r}-approximation"),
+            Guarantee::Heuristic => write!(f, "heuristic"),
+        }
+    }
+}
+
+/// Counters reported by a solver run; fields not applicable to a given
+/// algorithm stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Feasibility checks performed by the (advanced) binary search
+    /// (Lemma 2 bounds this by `O(C log m)` for the constant-factor
+    /// algorithms).
+    pub search_iterations: usize,
+    /// Makespan guesses evaluated by a PTAS's geometric search.
+    pub guesses_evaluated: usize,
+    /// Configurations enumerated by a PTAS for the accepted guess.
+    pub configurations: usize,
+}
+
+/// The uniform output of every solver in the workspace.
+#[derive(Debug, Clone)]
+pub struct SolveReport<S> {
+    /// The computed schedule; solvers only ever return schedules that pass
+    /// the validators of this crate.
+    pub schedule: S,
+    /// The makespan of [`SolveReport::schedule`].
+    pub makespan: Rational,
+    /// The best lower bound on the optimal makespan known to the solver
+    /// (equals [`SolveReport::makespan`] for exact solvers).
+    pub lower_bound: Rational,
+    /// Algorithm-specific counters.
+    pub stats: SolveStats,
+}
+
+impl<S> SolveReport<S> {
+    /// Replaces the schedule while keeping makespan, bound and counters;
+    /// used when converting a model-specific report into a model-erased one.
+    pub fn map_schedule<T>(self, f: impl FnOnce(S) -> T) -> SolveReport<T> {
+        SolveReport {
+            schedule: f(self.schedule),
+            makespan: self.makespan,
+            lower_bound: self.lower_bound,
+            stats: self.stats,
+        }
+    }
+
+    /// An a-posteriori upper bound on the approximation ratio of this run:
+    /// `makespan / lower_bound` (`1` when the lower bound is not positive,
+    /// which only happens on zero-load instances).
+    pub fn ratio_upper_bound(&self) -> Rational {
+        if self.lower_bound.is_positive() {
+            self.makespan / self.lower_bound
+        } else {
+            Rational::ONE
+        }
+    }
+}
+
+impl<S: Schedule> SolveReport<S> {
+    /// Builds a report from a schedule, computing the makespan, and the given
+    /// lower bound.
+    pub fn new(inst: &Instance, schedule: S, lower_bound: Rational, stats: SolveStats) -> Self {
+        let makespan = schedule.makespan(inst);
+        SolveReport {
+            schedule,
+            makespan,
+            lower_bound,
+            stats,
+        }
+    }
+
+    /// Re-checks the schedule against the instance (delegates to
+    /// [`Schedule::validate`]).
+    pub fn validate(&self, inst: &Instance) -> Result<()> {
+        self.schedule.validate(inst)
+    }
+}
+
+/// A scheduling algorithm exposed through the unified solving surface.
+///
+/// `S` is the schedule representation of the solver's placement model.  All
+/// solvers are stateless or immutable after construction, `Send + Sync`, and
+/// therefore freely shareable across the batch executor's worker threads.
+pub trait Solver<S: Schedule>: Send + Sync {
+    /// Stable identifier used by the registry and the benchmark harness
+    /// (e.g. `"approx-splittable-2"`).
+    fn name(&self) -> &'static str;
+
+    /// The placement model this solver produces schedules for.
+    fn kind(&self) -> ScheduleKind;
+
+    /// The solver's a-priori quality guarantee.
+    fn guarantee(&self) -> Guarantee;
+
+    /// Runs the algorithm on `inst`.
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<S>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instance_from_pairs;
+    use crate::schedule::NonPreemptiveSchedule;
+
+    struct OneMachine;
+
+    impl Solver<NonPreemptiveSchedule> for OneMachine {
+        fn name(&self) -> &'static str {
+            "test-one-machine"
+        }
+        fn kind(&self) -> ScheduleKind {
+            ScheduleKind::NonPreemptive
+        }
+        fn guarantee(&self) -> Guarantee {
+            Guarantee::Heuristic
+        }
+        fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+            let schedule = NonPreemptiveSchedule::new(vec![0; inst.num_jobs()]);
+            schedule.validate(inst)?;
+            Ok(SolveReport::new(
+                inst,
+                schedule,
+                crate::bounds::lower_bound(inst, ScheduleKind::NonPreemptive),
+                SolveStats::default(),
+            ))
+        }
+    }
+
+    #[test]
+    fn trait_roundtrip() {
+        let inst = instance_from_pairs(1, 2, &[(3, 0), (4, 1)]).unwrap();
+        let solver = OneMachine;
+        assert_eq!(solver.name(), "test-one-machine");
+        assert_eq!(solver.guarantee().factor(), None);
+        let report = solver.solve(&inst).unwrap();
+        report.validate(&inst).unwrap();
+        assert_eq!(report.makespan, Rational::from_int(7));
+        assert_eq!(report.ratio_upper_bound(), Rational::ONE);
+    }
+
+    #[test]
+    fn guarantee_display_and_factor() {
+        assert_eq!(Guarantee::Exact.to_string(), "exact");
+        assert_eq!(Guarantee::Exact.factor(), Some(Rational::ONE));
+        let g = Guarantee::Factor(Rational::new(7, 3));
+        assert_eq!(g.to_string(), "7/3-approximation");
+        assert_eq!(g.factor(), Some(Rational::new(7, 3)));
+        assert_eq!(Guarantee::Heuristic.to_string(), "heuristic");
+    }
+
+    #[test]
+    fn map_schedule_keeps_numbers() {
+        let report = SolveReport {
+            schedule: 1u8,
+            makespan: Rational::from_int(4),
+            lower_bound: Rational::from_int(2),
+            stats: SolveStats {
+                search_iterations: 3,
+                ..Default::default()
+            },
+        };
+        let mapped = report.map_schedule(|s| s as u32 + 1);
+        assert_eq!(mapped.schedule, 2);
+        assert_eq!(mapped.ratio_upper_bound(), Rational::from_int(2));
+        assert_eq!(mapped.stats.search_iterations, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! The engine: one `solve` call for any model/accuracy, and a parallel
+//! batch executor with deterministic result ordering.
+
+use crate::policy::{route, Routed, SolveRequest};
+use crate::registry::{ErasedSolver, SolverRegistry};
+use ccs_core::solver::{Guarantee, SolveReport};
+use ccs_core::{AnySchedule, CcsError, Instance, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The outcome of an engine call: which solver ran, under which guarantee,
+/// and its report.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Name of the solver that produced the schedule.
+    pub solver: &'static str,
+    /// The guarantee that solver ran under.
+    pub guarantee: Guarantee,
+    /// The model-erased solve report.
+    pub report: SolveReport<AnySchedule>,
+}
+
+/// The unified solving engine: a [`SolverRegistry`] plus the portfolio
+/// policy of [`crate::policy`] and a parallel batch executor.
+#[derive(Clone, Default)]
+pub struct Engine {
+    registry: SolverRegistry,
+}
+
+impl Engine {
+    /// An engine over the default registry
+    /// ([`SolverRegistry::with_defaults`]).
+    pub fn new() -> Self {
+        Engine {
+            registry: SolverRegistry::with_defaults(),
+        }
+    }
+
+    /// An engine over a custom registry.
+    pub fn with_registry(registry: SolverRegistry) -> Self {
+        Engine { registry }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// The solver the portfolio policy picks for `inst` under `req`
+    /// (exposed for dispatch tests and introspection; [`Engine::solve`] is
+    /// `select` + run).
+    pub fn select(&self, inst: &Instance, req: &SolveRequest) -> Result<Arc<dyn ErasedSolver>> {
+        match route(inst, req)? {
+            Routed::Registered(name) => self.registry.get(name).cloned().ok_or_else(|| {
+                CcsError::invalid_parameter(format!("solver '{name}' is not registered"))
+            }),
+            Routed::AdHoc(solver) => Ok(solver),
+        }
+    }
+
+    /// Solves one instance according to the portfolio policy.
+    pub fn solve(&self, inst: &Instance, req: &SolveRequest) -> Result<Solution> {
+        let solver = self.select(inst, req)?;
+        run(&solver, inst)
+    }
+
+    /// Solves one instance with an explicitly named registered solver.
+    pub fn solve_with(&self, name: &str, inst: &Instance) -> Result<Solution> {
+        let solver = self.registry.get(name).ok_or_else(|| {
+            CcsError::invalid_parameter(format!("solver '{name}' is not registered"))
+        })?;
+        run(solver, inst)
+    }
+
+    /// Solves many instances in parallel with `std::thread` scoping.
+    ///
+    /// Results are returned in input order regardless of which worker
+    /// finished first, and every entry is bit-identical to what the
+    /// corresponding sequential [`Engine::solve`] call produces (all solvers
+    /// are deterministic).  The number of workers is
+    /// `min(available_parallelism, batch size)`.
+    pub fn solve_batch(&self, instances: &[Instance], req: &SolveRequest) -> Vec<Result<Solution>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(instances.len())
+            .max(1);
+        if workers <= 1 {
+            return instances.iter().map(|inst| self.solve(inst, req)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<Solution>>>> =
+            Mutex::new((0..instances.len()).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= instances.len() {
+                        break;
+                    }
+                    let result = self.solve(&instances[index], req);
+                    slots.lock().expect("no panics while holding the lock")[index] = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("all workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every index was claimed by a worker"))
+            .collect()
+    }
+}
+
+fn run(solver: &Arc<dyn ErasedSolver>, inst: &Instance) -> Result<Solution> {
+    let report = solver.solve_any(inst)?;
+    Ok(Solution {
+        solver: solver.name(),
+        guarantee: solver.guarantee(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Accuracy;
+    use ccs_core::instance::instance_from_pairs;
+    use ccs_core::ScheduleKind;
+
+    #[test]
+    fn solve_routes_and_validates() {
+        let engine = Engine::new();
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        let sol = engine
+            .solve(&inst, &SolveRequest::auto(ScheduleKind::NonPreemptive))
+            .unwrap();
+        assert_eq!(sol.solver, "exact-nonpreemptive");
+        assert_eq!(sol.guarantee, Guarantee::Exact);
+        sol.report.validate(&inst).unwrap();
+        assert_eq!(sol.report.makespan, ccs_core::Rational::from_int(7));
+    }
+
+    #[test]
+    fn solve_with_unknown_name_errors() {
+        let engine = Engine::new();
+        let inst = instance_from_pairs(1, 1, &[(1, 0)]).unwrap();
+        assert!(engine.solve_with("nope", &inst).is_err());
+        assert!(engine.solve_with("baseline-lpt", &inst).is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::new();
+        let out = engine.solve_batch(&[], &SolveRequest::auto(ScheduleKind::Splittable));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batch_preserves_per_instance_errors() {
+        let engine = Engine::new();
+        let ok = instance_from_pairs(2, 1, &[(3, 0), (4, 1)]).unwrap();
+        // Infeasible: three classes, two slots in total.
+        let bad = instance_from_pairs(2, 1, &[(1, 0), (1, 1), (1, 2)]).unwrap();
+        let req = SolveRequest {
+            model: ScheduleKind::NonPreemptive,
+            accuracy: Accuracy::Auto,
+        };
+        let out = engine.solve_batch(&[ok, bad], &req);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # ccs-engine — the unified dispatch layer of the CCS workspace
+//!
+//! The four algorithm crates (`ccs-approx`, `ccs-ptas`, `ccs-exact`,
+//! `ccs-baselines`) each implement the [`ccs_core::Solver`] trait; this
+//! crate is the seam that turns them into one system:
+//!
+//! * [`SolverRegistry`] — a named, model-erased collection of every solver
+//!   ([`SolverRegistry::with_defaults`] registers all twelve),
+//! * [`SolveRequest`] / [`Accuracy`] — what a caller wants: a placement
+//!   model plus an accuracy budget (`Auto`, `Epsilon(ε)`, `Exact`),
+//! * the portfolio policy ([`policy`]) — routes a request to the cheapest
+//!   solver that meets the budget: exact solvers on tiny instances,
+//!   constant-factor approximations by default, PTASes for tight `ε`,
+//! * [`Engine::solve_batch`] — scoped-thread parallel execution over many
+//!   instances with deterministic, input-ordered results.
+//!
+//! ```
+//! use ccs_core::prelude::*;
+//! use ccs_engine::{Engine, SolveRequest};
+//!
+//! let engine = Engine::new();
+//! let inst = instance_from_pairs(3, 2, &[(10, 0), (20, 1), (5, 0), (8, 2)]).unwrap();
+//! let sol = engine
+//!     .solve(&inst, &SolveRequest::auto(ScheduleKind::Splittable))
+//!     .unwrap();
+//! sol.report.validate(&inst).unwrap();
+//! assert!(sol.report.makespan >= sol.report.lower_bound);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod policy;
+pub mod registry;
+
+pub use engine::{Engine, Solution};
+pub use policy::{Accuracy, SolveRequest};
+pub use registry::{erase, ErasedSolver, SolverRegistry};

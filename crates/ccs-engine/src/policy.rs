@@ -1,0 +1,272 @@
+//! The portfolio policy: which solver runs for a given instance + request.
+//!
+//! The rules mirror how a production deployment would route traffic:
+//!
+//! * [`Accuracy::Exact`] — always the exact solver of the requested model
+//!   (errors on instances beyond the exponential solvers' size limits),
+//! * [`Accuracy::Epsilon`] — the cheapest solver whose guarantee meets
+//!   `1 + ε`: the constant-factor approximation when `1 + ε` is at least its
+//!   factor, otherwise a PTAS parameterised via
+//!   [`PtasParams::from_epsilon`],
+//! * [`Accuracy::Auto`] — exact for tiny instances (where the exponential
+//!   solvers are instant), the constant-factor approximation otherwise.
+
+use crate::registry::{erase, ErasedSolver};
+use ccs_core::{CcsError, Instance, Rational, Result, ScheduleKind};
+use ccs_ptas::PtasParams;
+use std::sync::Arc;
+
+/// The accuracy budget of a [`SolveRequest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Accuracy {
+    /// Let the engine pick: exact on tiny instances, constant-factor
+    /// approximation otherwise.
+    Auto,
+    /// Require a `(1 + ε)`-approximate makespan.
+    Epsilon(f64),
+    /// Require the exact optimum (only feasible for small instances).
+    Exact,
+}
+
+/// A solving request: the placement model plus an accuracy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRequest {
+    /// The placement model to schedule for.
+    pub model: ScheduleKind,
+    /// The accuracy budget.
+    pub accuracy: Accuracy,
+}
+
+impl SolveRequest {
+    /// Automatic solver selection for the given model.
+    pub fn auto(model: ScheduleKind) -> Self {
+        SolveRequest {
+            model,
+            accuracy: Accuracy::Auto,
+        }
+    }
+
+    /// Request a `(1 + ε)`-approximation for the given model.
+    pub fn epsilon(model: ScheduleKind, epsilon: f64) -> Self {
+        SolveRequest {
+            model,
+            accuracy: Accuracy::Epsilon(epsilon),
+        }
+    }
+
+    /// Request the exact optimum for the given model.
+    pub fn exact(model: ScheduleKind) -> Self {
+        SolveRequest {
+            model,
+            accuracy: Accuracy::Exact,
+        }
+    }
+}
+
+/// Registry name of the exact solver for a model.
+pub(crate) fn exact_solver_name(model: ScheduleKind) -> &'static str {
+    match model {
+        ScheduleKind::Splittable => "exact-splittable",
+        ScheduleKind::Preemptive => "exact-preemptive",
+        ScheduleKind::NonPreemptive => "exact-nonpreemptive",
+    }
+}
+
+/// Registry name of the constant-factor approximation for a model.
+pub(crate) fn approx_solver_name(model: ScheduleKind) -> &'static str {
+    match model {
+        ScheduleKind::Splittable => "approx-splittable-2",
+        ScheduleKind::Preemptive => "approx-preemptive-2",
+        ScheduleKind::NonPreemptive => "approx-nonpreemptive-7/3",
+    }
+}
+
+/// The guaranteed factor of the constant-factor approximation for a model.
+fn approx_factor(model: ScheduleKind) -> Rational {
+    match model {
+        ScheduleKind::Splittable | ScheduleKind::Preemptive => Rational::from_int(2),
+        ScheduleKind::NonPreemptive => Rational::new(7, 3),
+    }
+}
+
+/// Instance-size threshold below which `Auto` routes to the exact solvers:
+/// the exponential algorithms answer such instances in microseconds.
+pub(crate) fn is_tiny(inst: &Instance, model: ScheduleKind) -> bool {
+    match model {
+        ScheduleKind::NonPreemptive => inst.num_jobs() <= 12 && inst.machines() <= 4,
+        ScheduleKind::Splittable | ScheduleKind::Preemptive => {
+            let unconstrained = inst.effective_class_slots() as usize >= inst.num_classes();
+            let machine_limit = if unconstrained { 8 } else { 4 };
+            inst.num_classes() <= 6 && inst.machines() <= machine_limit
+        }
+    }
+}
+
+/// Builds a PTAS solver for the requested model and accuracy.
+fn ptas_for(model: ScheduleKind, params: PtasParams) -> Arc<dyn ErasedSolver> {
+    match model {
+        ScheduleKind::Splittable => erase(ccs_ptas::SplittablePtas::new(params)),
+        ScheduleKind::Preemptive => erase(ccs_ptas::PreemptivePtas::new(params)),
+        ScheduleKind::NonPreemptive => erase(ccs_ptas::NonpreemptivePtas::new(params)),
+    }
+}
+
+/// Resolves the request to the name of a registered solver, or to a freshly
+/// parameterised PTAS for explicit `epsilon` budgets.
+pub(crate) enum Routed {
+    /// Use the registered solver with this name.
+    Registered(&'static str),
+    /// Use this ad-hoc (accuracy-parameterised) solver.
+    AdHoc(Arc<dyn ErasedSolver>),
+}
+
+pub(crate) fn route(inst: &Instance, req: &SolveRequest) -> Result<Routed> {
+    match req.accuracy {
+        Accuracy::Exact => Ok(Routed::Registered(exact_solver_name(req.model))),
+        Accuracy::Auto => {
+            if is_tiny(inst, req.model) {
+                Ok(Routed::Registered(exact_solver_name(req.model)))
+            } else {
+                Ok(Routed::Registered(approx_solver_name(req.model)))
+            }
+        }
+        Accuracy::Epsilon(eps) => {
+            if !eps.is_finite() || eps <= 0.0 {
+                return Err(CcsError::invalid_parameter(
+                    "epsilon must be a positive finite number",
+                ));
+            }
+            // The constant-factor algorithm already meets loose budgets.
+            let budget_met_by_approx = Rational::ONE
+                + Rational::new((eps * 1_000_000.0) as i128, 1_000_000)
+                >= approx_factor(req.model);
+            if budget_met_by_approx {
+                Ok(Routed::Registered(approx_solver_name(req.model)))
+            } else {
+                let params = PtasParams::from_epsilon(eps)?;
+                Ok(Routed::AdHoc(ptas_for(req.model, params)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+    use ccs_core::InstanceBuilder;
+
+    fn tiny() -> Instance {
+        instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap()
+    }
+
+    fn large() -> Instance {
+        let mut b = InstanceBuilder::new(16, 3);
+        for i in 0..200u32 {
+            b = b.job(1 + (i as u64 * 7) % 40, i % 32);
+        }
+        b.build().unwrap()
+    }
+
+    fn routed_name(inst: &Instance, req: &SolveRequest) -> String {
+        match route(inst, req).unwrap() {
+            Routed::Registered(name) => name.to_string(),
+            Routed::AdHoc(solver) => solver.name().to_string(),
+        }
+    }
+
+    #[test]
+    fn auto_routes_tiny_to_exact() {
+        for kind in ScheduleKind::ALL {
+            assert_eq!(
+                routed_name(&tiny(), &SolveRequest::auto(kind)),
+                exact_solver_name(kind)
+            );
+        }
+    }
+
+    #[test]
+    fn auto_routes_large_to_approx() {
+        for kind in ScheduleKind::ALL {
+            assert_eq!(
+                routed_name(&large(), &SolveRequest::auto(kind)),
+                approx_solver_name(kind)
+            );
+        }
+    }
+
+    #[test]
+    fn loose_epsilon_served_by_approx() {
+        // 1 + 1.5 = 2.5 ≥ 2 and ≥ 7/3: the constant-factor algorithms win.
+        for kind in ScheduleKind::ALL {
+            assert_eq!(
+                routed_name(&large(), &SolveRequest::epsilon(kind, 1.5)),
+                approx_solver_name(kind)
+            );
+        }
+    }
+
+    #[test]
+    fn tight_epsilon_requires_ptas() {
+        assert_eq!(
+            routed_name(
+                &large(),
+                &SolveRequest::epsilon(ScheduleKind::Splittable, 0.5)
+            ),
+            "ptas-splittable"
+        );
+        // 1 + 1.4 = 2.4 ≥ 7/3 but < 2? No — for non-preemptive the factor is
+        // 7/3 ≈ 2.333, so ε = 1.2 (budget 2.2) needs the PTAS.
+        assert_eq!(
+            routed_name(
+                &large(),
+                &SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.2)
+            ),
+            "ptas-nonpreemptive"
+        );
+    }
+
+    #[test]
+    fn exact_always_routes_to_exact() {
+        assert_eq!(
+            routed_name(&large(), &SolveRequest::exact(ScheduleKind::Splittable)),
+            "exact-splittable"
+        );
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        assert!(route(
+            &tiny(),
+            &SolveRequest::epsilon(ScheduleKind::Splittable, 0.0)
+        )
+        .is_err());
+        assert!(route(
+            &tiny(),
+            &SolveRequest::epsilon(ScheduleKind::Splittable, -1.0)
+        )
+        .is_err());
+        assert!(route(
+            &tiny(),
+            &SolveRequest::epsilon(ScheduleKind::Splittable, f64::NAN)
+        )
+        .is_err());
+        // Accuracies finer than the documented PTAS floor are rejected, not
+        // silently rounded.
+        assert!(route(
+            &tiny(),
+            &SolveRequest::epsilon(ScheduleKind::Splittable, 0.01)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tiny_threshold_respects_unconstrained_machines() {
+        // 6 machines, c >= C: still tiny for the splittable exact witness.
+        let inst = instance_from_pairs(6, 3, &[(5, 0), (4, 1), (3, 2)]).unwrap();
+        assert!(is_tiny(&inst, ScheduleKind::Splittable));
+        // 6 machines with a real class constraint: beyond the enumeration.
+        let inst = instance_from_pairs(6, 1, &[(5, 0), (4, 1), (3, 2)]).unwrap();
+        assert!(!is_tiny(&inst, ScheduleKind::Splittable));
+    }
+}

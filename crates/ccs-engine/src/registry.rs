@@ -1,0 +1,201 @@
+//! The solver registry: a model-erased view over every [`Solver`] in the
+//! workspace.
+//!
+//! [`Solver`] is generic over its schedule representation, so solvers of
+//! different placement models cannot share a `dyn` object directly.  The
+//! registry erases the model by converting every report's schedule into
+//! [`AnySchedule`] ([`ErasedSolver`]), which lets one collection hold the
+//! constant-factor algorithms, the PTASes, the exact solvers and the
+//! baselines side by side — the foundation of the portfolio policy, the
+//! batch executor and the benchmark harness.
+
+use ccs_core::solver::{Guarantee, SolveReport, Solver};
+use ccs_core::{AnySchedule, Instance, Result, Schedule, ScheduleKind};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Object-safe, model-erased view of a [`Solver`].
+pub trait ErasedSolver: Send + Sync {
+    /// Stable identifier (see [`Solver::name`]).
+    fn name(&self) -> &'static str;
+
+    /// The placement model of the produced schedules.
+    fn kind(&self) -> ScheduleKind;
+
+    /// The solver's a-priori quality guarantee.
+    fn guarantee(&self) -> Guarantee;
+
+    /// Runs the solver, wrapping the schedule into [`AnySchedule`].
+    fn solve_any(&self, inst: &Instance) -> Result<SolveReport<AnySchedule>>;
+}
+
+struct Erase<S, T> {
+    solver: T,
+    _model: PhantomData<fn() -> S>,
+}
+
+impl<S, T> ErasedSolver for Erase<S, T>
+where
+    S: Schedule + Into<AnySchedule>,
+    T: Solver<S>,
+{
+    fn name(&self) -> &'static str {
+        self.solver.name()
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        self.solver.kind()
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        self.solver.guarantee()
+    }
+
+    fn solve_any(&self, inst: &Instance) -> Result<SolveReport<AnySchedule>> {
+        Ok(self.solver.solve(inst)?.map_schedule(Into::into))
+    }
+}
+
+/// Wraps a typed [`Solver`] into a shareable model-erased handle.
+pub fn erase<S, T>(solver: T) -> Arc<dyn ErasedSolver>
+where
+    S: Schedule + Into<AnySchedule> + 'static,
+    T: Solver<S> + 'static,
+{
+    Arc::new(Erase {
+        solver,
+        _model: PhantomData,
+    })
+}
+
+/// A named collection of model-erased solvers.
+#[derive(Clone, Default)]
+pub struct SolverRegistry {
+    solvers: Vec<Arc<dyn ErasedSolver>>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        SolverRegistry::default()
+    }
+
+    /// The default portfolio: every algorithm of the four algorithm crates.
+    ///
+    /// * `ccs-approx` — splittable/preemptive 2-approximations and the
+    ///   non-preemptive 7/3-approximation,
+    /// * `ccs-ptas` — the three schemes at their default accuracy
+    ///   (`1/δ = 4`),
+    /// * `ccs-exact` — the three exact solvers (hard size limits apply),
+    /// * `ccs-baselines` — the three whole-class / greedy heuristics.
+    pub fn with_defaults() -> Self {
+        let mut registry = SolverRegistry::empty();
+        registry.register(ccs_approx::SplittableTwoApprox);
+        registry.register(ccs_approx::PreemptiveTwoApprox);
+        registry.register(ccs_approx::Nonpreemptive73Approx);
+        registry.register(ccs_ptas::SplittablePtas::default());
+        registry.register(ccs_ptas::PreemptivePtas::default());
+        registry.register(ccs_ptas::NonpreemptivePtas::default());
+        registry.register(ccs_exact::ExactSplittable);
+        registry.register(ccs_exact::ExactPreemptive);
+        registry.register(ccs_exact::ExactNonPreemptive);
+        registry.register(ccs_baselines::WholeClassRoundRobin);
+        registry.register(ccs_baselines::WholeClassLpt);
+        registry.register(ccs_baselines::GreedyFirstFit);
+        registry
+    }
+
+    /// Registers a typed solver, replacing any solver with the same name.
+    pub fn register<S, T>(&mut self, solver: T)
+    where
+        S: Schedule + Into<AnySchedule> + 'static,
+        T: Solver<S> + 'static,
+    {
+        self.register_erased(erase(solver));
+    }
+
+    /// Registers an already-erased solver, replacing any same-named entry.
+    pub fn register_erased(&mut self, solver: Arc<dyn ErasedSolver>) {
+        self.solvers.retain(|s| s.name() != solver.name());
+        self.solvers.push(solver);
+    }
+
+    /// Looks a solver up by its [`ErasedSolver::name`].
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn ErasedSolver>> {
+        self.solvers.iter().find(|s| s.name() == name)
+    }
+
+    /// The names of all registered solvers, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// All solvers producing schedules of the given placement model.
+    pub fn solvers_for(&self, kind: ScheduleKind) -> Vec<Arc<dyn ErasedSolver>> {
+        self.solvers
+            .iter()
+            .filter(|s| s.kind() == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Iterates over all registered solvers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn ErasedSolver>> {
+        self.solvers.iter()
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn defaults_cover_all_models_with_unique_names() {
+        let registry = SolverRegistry::with_defaults();
+        assert_eq!(registry.len(), 12);
+        let names = registry.names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate solver names");
+        for kind in ScheduleKind::ALL {
+            assert!(
+                registry.solvers_for(kind).len() >= 2,
+                "fewer than two solvers for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_and_replacement() {
+        let mut registry = SolverRegistry::empty();
+        assert!(registry.is_empty());
+        registry.register(ccs_approx::SplittableTwoApprox);
+        assert_eq!(registry.len(), 1);
+        // Re-registering the same name replaces rather than duplicates.
+        registry.register(ccs_approx::SplittableTwoApprox);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("approx-splittable-2").is_some());
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn erased_solver_roundtrip() {
+        let solver = erase(ccs_approx::Nonpreemptive73Approx);
+        let inst = instance_from_pairs(2, 1, &[(4, 0), (3, 1)]).unwrap();
+        let report = solver.solve_any(&inst).unwrap();
+        assert!(report.schedule.as_nonpreemptive().is_some());
+        assert_eq!(report.schedule.kind(), solver.kind());
+    }
+}

@@ -23,13 +23,17 @@
 
 pub mod bounds;
 pub mod nonpreemptive;
+pub mod solver;
 pub mod splittable;
+pub mod witness;
 
 use ccs_core::{Instance, Rational, Result};
 
 pub use bounds::strong_lower_bound;
-pub use nonpreemptive::nonpreemptive_optimum;
+pub use nonpreemptive::{nonpreemptive_optimum, nonpreemptive_optimum_with_schedule};
+pub use solver::{ExactNonPreemptive, ExactPreemptive, ExactSplittable};
 pub use splittable::splittable_optimum;
+pub use witness::{preemptive_optimum_with_schedule, splittable_optimum_with_schedule};
 
 /// Exact optimal makespan of the preemptive model for small instances.
 ///

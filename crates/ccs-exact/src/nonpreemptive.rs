@@ -238,9 +238,8 @@ mod tests {
             let mut best = u64::MAX;
             let mut assignment = vec![0usize; n];
             loop {
-                let schedule = NonPreemptiveSchedule::new(
-                    assignment.iter().map(|&x| x as u64).collect(),
-                );
+                let schedule =
+                    NonPreemptiveSchedule::new(assignment.iter().map(|&x| x as u64).collect());
                 if schedule.validate(inst).is_ok() {
                     best = best.min(schedule.makespan_int(inst));
                 }
@@ -276,7 +275,9 @@ mod tests {
     fn ccs_gen_tiny(seed: u64) -> Instance {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = |range: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % range
         };
         let n = 3 + next(5) as usize;

@@ -1,0 +1,133 @@
+//! [`Solver`] implementations for the exact solvers.
+//!
+//! All three report [`Guarantee::Exact`]; their `lower_bound` equals the
+//! returned makespan, so [`SolveReport::ratio_upper_bound`] is exactly `1`.
+//! The underlying algorithms are exponential and guarded by hard size
+//! limits — oversized instances fail with `CcsError::InvalidParameter`, which
+//! the `ccs-engine` portfolio uses to fall back to the approximations.
+
+use crate::nonpreemptive::nonpreemptive_optimum_with_schedule;
+use crate::witness::{preemptive_optimum_with_schedule, splittable_optimum_with_schedule};
+use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
+use ccs_core::{
+    Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, ScheduleKind,
+    SplittableSchedule,
+};
+
+/// Branch-and-bound exact solver for the non-preemptive model as a
+/// [`Solver`] (instances up to ~22 jobs / 8 machines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactNonPreemptive;
+
+impl Solver<NonPreemptiveSchedule> for ExactNonPreemptive {
+    fn name(&self) -> &'static str {
+        "exact-nonpreemptive"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::NonPreemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Exact
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        let (opt, schedule) = nonpreemptive_optimum_with_schedule(inst)?;
+        Ok(SolveReport {
+            schedule,
+            makespan: Rational::from(opt),
+            lower_bound: Rational::from(opt),
+            stats: SolveStats::default(),
+        })
+    }
+}
+
+/// Structure-enumeration exact solver for the splittable model as a
+/// [`Solver`] (instances up to 6 classes / 4 machines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactSplittable;
+
+impl Solver<SplittableSchedule> for ExactSplittable {
+    fn name(&self) -> &'static str {
+        "exact-splittable"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Splittable
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Exact
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
+        let (opt, schedule) = splittable_optimum_with_schedule(inst)?;
+        Ok(SolveReport {
+            schedule,
+            makespan: opt,
+            lower_bound: opt,
+            stats: SolveStats::default(),
+        })
+    }
+}
+
+/// Exact solver for the preemptive model as a [`Solver`]: distributes at
+/// `T = max(p_max, opt_splittable)` and serialises via open-shop
+/// timetabling (same size limits as [`ExactSplittable`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactPreemptive;
+
+impl Solver<PreemptiveSchedule> for ExactPreemptive {
+    fn name(&self) -> &'static str {
+        "exact-preemptive"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Preemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Exact
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {
+        let (opt, schedule) = preemptive_optimum_with_schedule(inst)?;
+        Ok(SolveReport {
+            schedule,
+            makespan: opt,
+            lower_bound: opt,
+            stats: SolveStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn exact_solvers_report_ratio_one() {
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        let np = ExactNonPreemptive.solve(&inst).unwrap();
+        np.validate(&inst).unwrap();
+        assert_eq!(np.makespan, Rational::from_int(7));
+        assert_eq!(np.ratio_upper_bound(), Rational::ONE);
+
+        let split = ExactSplittable.solve(&inst).unwrap();
+        split.validate(&inst).unwrap();
+        assert_eq!(split.makespan, crate::splittable_optimum(&inst).unwrap());
+
+        let pre = ExactPreemptive.solve(&inst).unwrap();
+        pre.validate(&inst).unwrap();
+        assert_eq!(pre.makespan, crate::preemptive_optimum(&inst).unwrap());
+    }
+
+    #[test]
+    fn oversized_instances_error() {
+        let jobs: Vec<(u64, u32)> = (0..30).map(|i| (1, i % 3)).collect();
+        let inst = instance_from_pairs(2, 3, &jobs).unwrap();
+        assert!(ExactNonPreemptive.solve(&inst).is_err());
+    }
+}

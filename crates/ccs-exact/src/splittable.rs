@@ -33,6 +33,22 @@ pub fn splittable_optimum(inst: &Instance) -> Result<Rational> {
         return Ok(inst.average_load());
     }
 
+    Ok(splittable_optimum_structure(inst)?.0)
+}
+
+/// Exact optimal makespan plus a witness *structure*: for every machine the
+/// bitmask (over dense class indices) of classes it serves in some optimal
+/// schedule.  Used by [`crate::witness`] to materialise an optimal schedule.
+///
+/// Unlike [`splittable_optimum`] this never takes the unconstrained shortcut,
+/// so the `MAX_CLASSES` / `MAX_MACHINES` limits always apply.
+pub(crate) fn splittable_optimum_structure(inst: &Instance) -> Result<(Rational, Vec<u32>)> {
+    if !inst.is_feasible() {
+        return Err(CcsError::infeasible("more classes than class slots"));
+    }
+    let num_classes = inst.num_classes();
+    let c = inst.effective_class_slots() as u32;
+
     let m = inst.machines();
     if num_classes > MAX_CLASSES || m > MAX_MACHINES {
         return Err(CcsError::invalid_parameter(format!(
@@ -50,7 +66,7 @@ pub fn splittable_optimum(inst: &Instance) -> Result<Rational> {
         .map(|u| Rational::from(inst.class_load(u)))
         .collect();
 
-    let mut best: Option<Rational> = None;
+    let mut best: Option<(Rational, Vec<u32>)> = None;
     let mut structure = vec![0u32; m];
     enumerate_structures(&all_masks, &mut structure, 0, &mut |structure| {
         // Every class must be served somewhere.
@@ -59,10 +75,10 @@ pub fn splittable_optimum(inst: &Instance) -> Result<Rational> {
             return;
         }
         let value = structure_makespan(&loads, structure);
-        best = Some(match best {
-            Some(b) => b.min(value),
-            None => value,
-        });
+        match &best {
+            Some((b, _)) if *b <= value => {}
+            _ => best = Some((value, structure.to_vec())),
+        }
     });
 
     best.ok_or_else(|| CcsError::infeasible("no structure can serve all classes"))
@@ -100,10 +116,7 @@ fn structure_makespan(loads: &[Rational], structure: &[u32]) -> Rational {
             .filter(|&u| subset & (1 << u) != 0)
             .map(|u| loads[u])
             .sum();
-        let neighbours = structure
-            .iter()
-            .filter(|&&mask| mask & subset != 0)
-            .count();
+        let neighbours = structure.iter().filter(|&&mask| mask & subset != 0).count();
         if neighbours == 0 {
             // Unserved subset: the caller guarantees full coverage, so this
             // only happens for subsets of classes with zero load.
@@ -117,8 +130,8 @@ fn structure_makespan(loads: &[Rational], structure: &[u32]) -> Rational {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccs_core::instance::instance_from_pairs;
     use ccs_core::bounds;
+    use ccs_core::instance::instance_from_pairs;
 
     #[test]
     fn single_machine_is_total_load() {

@@ -24,9 +24,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rng;
+
 use ccs_core::{Instance, InstanceBuilder};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use rng::Rng;
 
 /// Parameters shared by most generators.
 #[derive(Debug, Clone, Copy)]
@@ -91,18 +92,19 @@ fn build(params: &GenParams, jobs: Vec<(u64, u32)>) -> Instance {
 /// (which would make the instance trivially infeasible): labels are folded
 /// into the feasible range.
 fn clamp_class(label: u32, params: &GenParams) -> u32 {
-    let budget = (params.class_slots as u128 * params.machines as u128).min(u32::MAX as u128) as u32;
+    let budget =
+        (params.class_slots as u128 * params.machines as u128).min(u32::MAX as u128) as u32;
     let limit = params.classes.min(budget.max(1));
     label % limit
 }
 
 /// Jobs with uniformly random processing times and uniformly random classes.
 pub fn uniform(params: &GenParams, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let jobs = (0..params.jobs)
         .map(|_| {
-            let p = rng.gen_range(params.p_min..=params.p_max);
-            let c = clamp_class(rng.gen_range(0..params.classes), params);
+            let p = rng.range_u64(params.p_min, params.p_max);
+            let c = clamp_class(rng.below_u32(params.classes), params);
             (p, c)
         })
         .collect();
@@ -111,10 +113,10 @@ pub fn uniform(params: &GenParams, seed: u64) -> Instance {
 
 /// Draws a class index from a Zipf-like distribution with exponent `s` over
 /// `0..classes` using inverse transform sampling on the harmonic weights.
-fn zipf_class(rng: &mut StdRng, classes: u32, s: f64) -> u32 {
+fn zipf_class(rng: &mut Rng, classes: u32, s: f64) -> u32 {
     let weights: Vec<f64> = (1..=classes).map(|k| 1.0 / (k as f64).powf(s)).collect();
     let total: f64 = weights.iter().sum();
-    let mut x = rng.gen_range(0.0..total);
+    let mut x = rng.unit_f64() * total;
     for (idx, w) in weights.iter().enumerate() {
         if x < *w {
             return idx as u32;
@@ -127,10 +129,10 @@ fn zipf_class(rng: &mut StdRng, classes: u32, s: f64) -> u32 {
 /// Jobs with uniformly random processing times but Zipf-distributed classes
 /// (exponent 1.1): a few very popular classes and a long tail.
 pub fn zipf_classes(params: &GenParams, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let jobs = (0..params.jobs)
         .map(|_| {
-            let p = rng.gen_range(params.p_min..=params.p_max);
+            let p = rng.range_u64(params.p_min, params.p_max);
             let c = clamp_class(zipf_class(&mut rng, params.classes, 1.1), params);
             (p, c)
         })
@@ -142,15 +144,15 @@ pub fn zipf_classes(params: &GenParams, seed: u64) -> Instance {
 /// (jobs) each need one database (class); databases have Zipf popularity and
 /// operation times are short with occasional long analytical queries.
 pub fn data_placement(params: &GenParams, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let span = (params.p_max - params.p_min).max(1);
     let jobs = (0..params.jobs)
         .map(|_| {
             // 90% short interactive queries, 10% long analytical ones.
             let p = if rng.gen_bool(0.9) {
-                params.p_min + rng.gen_range(0..=span / 10)
+                params.p_min + rng.range_u64(0, span / 10)
             } else {
-                params.p_min + rng.gen_range(span / 2..=span)
+                params.p_min + rng.range_u64(span / 2, span)
             };
             let c = clamp_class(zipf_class(&mut rng, params.classes, 0.9), params);
             (p.max(1), c)
@@ -163,16 +165,16 @@ pub fn data_placement(params: &GenParams, seed: u64) -> Instance {
 /// streaming sessions whose lengths cluster around a small set of typical
 /// durations.
 pub fn video_on_demand(params: &GenParams, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let durations = [
-        params.p_max,             // full movie
-        params.p_max / 2,         // half watched
-        params.p_max / 4,         // sampled
+        params.p_max,              // full movie
+        params.p_max / 2,          // half watched
+        params.p_max / 4,          // sampled
         (params.p_min * 2).max(1), // trailer
     ];
     let jobs = (0..params.jobs)
         .map(|_| {
-            let p = durations[rng.gen_range(0..durations.len())].max(1);
+            let p = durations[rng.below_usize(durations.len())].max(1);
             let c = clamp_class(zipf_class(&mut rng, params.classes, 1.4), params);
             (p, c)
         })
@@ -200,11 +202,11 @@ pub fn adversarial_round_robin(machines: u64, chunk: u64) -> Instance {
 
 /// Very small random instances for exact-vs-approximate comparisons.
 pub fn tiny_random(seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let jobs = rng.gen_range(2..=8usize);
-    let machines = rng.gen_range(1..=3u64);
-    let classes = rng.gen_range(1..=4u32);
-    let class_slots = rng.gen_range(1..=2u64);
+    let mut rng = Rng::seed_from_u64(seed);
+    let jobs = rng.range_usize(2, 8);
+    let machines = rng.range_u64(1, 3);
+    let classes = rng.range_u64(1, 4) as u32;
+    let class_slots = rng.range_u64(1, 2);
     let params = GenParams {
         jobs,
         machines,
@@ -214,7 +216,7 @@ pub fn tiny_random(seed: u64) -> Instance {
         p_max: 12,
     };
     // Ensure feasibility: fold classes into the slot budget.
-    uniform(&params, rng.gen())
+    uniform(&params, rng.next_u64())
 }
 
 #[cfg(test)]
@@ -228,7 +230,10 @@ mod tests {
         assert_eq!(inst.num_jobs(), 50);
         assert_eq!(inst.machines(), 5);
         assert!(inst.num_classes() <= 10);
-        assert!(inst.processing_times().iter().all(|&x| (3..=9).contains(&x)));
+        assert!(inst
+            .processing_times()
+            .iter()
+            .all(|&x| (3..=9).contains(&x)));
         assert!(inst.is_feasible());
     }
 

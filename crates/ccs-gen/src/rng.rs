@@ -1,0 +1,133 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The build environment has no access to crates.io, so the `rand` crate is
+//! not available; the generators in this crate use the SplitMix64 generator
+//! below instead.  SplitMix64 passes BigCrush, is seedable from a single
+//! `u64` and — most importantly for the test suites — is fully deterministic
+//! and stable across platforms and Rust versions (the `rand` crate's
+//! distributions explicitly are not).
+
+/// SplitMix64 generator with convenience sampling methods.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`), using rejection sampling to avoid
+    /// modulo bias.
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below_u64 requires a non-empty range");
+        // Rejection zone: the largest multiple of n that fits in u64.
+        let zone = u64::MAX - (u64::MAX % n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone || zone == u64::MAX {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform draw from the inclusive range `lo..=hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64 requires lo <= hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below_u64(span + 1)
+    }
+
+    /// Uniform draw from `0..n` as `u32`.
+    pub fn below_u32(&mut self, n: u32) -> u32 {
+        self.below_u64(n as u64) as u32
+    }
+
+    /// Uniform draw from `0..n` as `usize`.
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below_u64(n as u64) as usize
+    }
+
+    /// Uniform draw from the inclusive range `lo..=hi` as `usize`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.range_u64(3, 9);
+            assert!((3..=9).contains(&v));
+            assert!(rng.below_u32(5) < 5);
+            assert!(rng.below_usize(4) < 4);
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.range_usize(0, 5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = Rng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.9)).count();
+        assert!((8_700..=9_300).contains(&hits));
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let mut rng = Rng::seed_from_u64(5);
+        assert_eq!(rng.range_u64(4, 4), 4);
+        assert_eq!(rng.below_u64(1), 0);
+        let _ = rng.range_u64(0, u64::MAX);
+    }
+}

@@ -43,12 +43,23 @@ impl Config {
 /// `max_count` parts.  The empty configuration is included — machines may
 /// stay (partially) empty and are then available for small classes.
 pub fn enumerate_configs(sizes: &[u64], max_total: u64, max_count: u64) -> Vec<Config> {
-    let mut sizes: Vec<u64> = sizes.iter().copied().filter(|&s| s > 0 && s <= max_total).collect();
+    let mut sizes: Vec<u64> = sizes
+        .iter()
+        .copied()
+        .filter(|&s| s > 0 && s <= max_total)
+        .collect();
     sizes.sort_unstable();
     sizes.dedup();
     let mut out = Vec::new();
     let mut parts = Vec::new();
-    recurse(&sizes, sizes.len(), max_total, max_count, &mut parts, &mut out);
+    recurse(
+        &sizes,
+        sizes.len(),
+        max_total,
+        max_count,
+        &mut parts,
+        &mut out,
+    );
     out
 }
 

@@ -87,7 +87,13 @@ impl IntProgram {
         let mut upper = self.upper.clone();
         let mut nodes = 0usize;
         let mut budget_hit = false;
-        let result = self.dfs(&mut lower, &mut upper, &mut nodes, max_nodes, &mut budget_hit);
+        let result = self.dfs(
+            &mut lower,
+            &mut upper,
+            &mut nodes,
+            max_nodes,
+            &mut budget_hit,
+        );
         match result {
             Some(x) => IlpOutcome::Feasible(x),
             None if budget_hit => IlpOutcome::Unknown,
@@ -97,8 +103,8 @@ impl IntProgram {
 
     fn dfs(
         &self,
-        lower: &mut Vec<i64>,
-        upper: &mut Vec<i64>,
+        lower: &mut [i64],
+        upper: &mut [i64],
         nodes: &mut usize,
         max_nodes: usize,
         budget_hit: &mut bool,
@@ -120,13 +126,17 @@ impl IntProgram {
             None => {
                 // Everything fixed; propagation already verified feasibility
                 // bounds, do a final exact check.
-                return if self.check(lower) { Some(lower.clone()) } else { None };
+                return if self.check(lower) {
+                    Some(lower.to_vec())
+                } else {
+                    None
+                };
             }
         };
         let (lo, hi) = (lower[v], upper[v]);
         for value in lo..=hi {
-            let mut new_lower = lower.clone();
-            let mut new_upper = upper.clone();
+            let mut new_lower = lower.to_vec();
+            let mut new_upper = upper.to_vec();
             new_lower[v] = value;
             new_upper[v] = value;
             if let Some(x) = self.dfs(&mut new_lower, &mut new_upper, nodes, max_nodes, budget_hit)

@@ -43,12 +43,12 @@ pub mod params;
 pub mod preemptive;
 pub mod result;
 pub mod scale;
+pub mod solver;
 pub mod splittable;
-
 
 pub use nonpreemptive::nonpreemptive_ptas;
 pub use params::PtasParams;
 pub use preemptive::preemptive_ptas;
-
 pub use result::PtasResult;
+pub use solver::{NonpreemptivePtas, PreemptivePtas, SplittablePtas};
 pub use splittable::splittable_ptas;

@@ -47,7 +47,8 @@ pub fn build_splittable_nfold(inst: &Instance, guess: Rational, params: PtasPara
         let gi = groups.iter().position(|&gr| gr == config.group()).unwrap();
         let (h, b) = config.group();
         a_block[1 + q + gi][ki] = -(c_eff - b as i64); // (2): z - (c-b) x ≤ 0
-        a_block[1 + q + g + gi][ki] = -(((scale.tbar_units - h) as i64) * c_eff); // (3)
+        a_block[1 + q + g + gi][ki] = -(((scale.tbar_units - h) as i64) * c_eff);
+        // (3)
     }
     for (qi, _) in module_sizes.iter().enumerate() {
         a_block[1 + qi][k + qi] = -1; // (1): … = Σ_u y^u_q
@@ -87,21 +88,28 @@ pub fn build_splittable_nfold(inst: &Instance, guess: Rational, params: PtasPara
             row5[k + q + gi] = 1;
         }
         b_blocks.push(vec![row4, row5]);
-        let demand = if is_small { 0 } else { scale.units_ceil(load) as i64 };
+        let demand = if is_small {
+            0
+        } else {
+            scale.units_ceil(load) as i64
+        };
         rhs_bricks.push(vec![demand, i64::from(is_small)]);
 
         // Bounds for this brick.
-        lower.extend(std::iter::repeat(0).take(t));
+        lower.extend(std::iter::repeat_n(0, t));
         let mut ub = Vec::with_capacity(t);
-        ub.extend(std::iter::repeat(m).take(k));
-        ub.extend(std::iter::repeat(m * scale.tbar_units as i64).take(q));
-        ub.extend(std::iter::repeat(1).take(g));
-        ub.extend(std::iter::repeat(m * scale.tbar_units as i64 * c_eff.max(1)).take(2 * g));
+        ub.extend(std::iter::repeat_n(m, k));
+        ub.extend(std::iter::repeat_n(m * scale.tbar_units as i64, q));
+        ub.extend(std::iter::repeat_n(1, g));
+        ub.extend(std::iter::repeat_n(
+            m * scale.tbar_units as i64 * c_eff.max(1),
+            2 * g,
+        ));
         upper.extend(ub);
     }
 
     let mut rhs_top = vec![m];
-    rhs_top.extend(std::iter::repeat(0).take(q + 2 * g));
+    rhs_top.extend(std::iter::repeat_n(0, q + 2 * g));
     NFold::new(a_blocks, b_blocks, rhs_top, rhs_bricks, lower, upper)
         .expect("paper N-fold must be dimensionally consistent")
 }

@@ -16,9 +16,7 @@ use crate::params::PtasParams;
 use crate::result::PtasResult;
 use crate::scale::{group_classes, GroupedClass, GuessScale};
 use ccs_approx::nonpreemptive_73_approx;
-use ccs_core::{
-    bounds, CcsError, Instance, NonPreemptiveSchedule, Rational, Result, Schedule,
-};
+use ccs_core::{bounds, CcsError, Instance, NonPreemptiveSchedule, Rational, Result, Schedule};
 use std::collections::BTreeMap;
 
 /// Practical limit on the number of machines (see the splittable PTAS).
@@ -116,17 +114,21 @@ pub fn decide_and_construct(
                 return None;
             }
             sizes_present.push(units);
-            per_class_jobs.entry(class.class).or_default().push((units, ji));
+            per_class_jobs
+                .entry(class.class)
+                .or_default()
+                .push((units, ji));
         }
     }
     sizes_present.sort_unstable();
     sizes_present.dedup();
 
     // Modules: non-empty multisets of rounded job sizes with total <= T̄.
-    let modules: Vec<Config> = enumerate_configs(&sizes_present, scale.tbar_units, scale.tbar_units)
-        .into_iter()
-        .filter(|module| module.count > 0)
-        .collect();
+    let modules: Vec<Config> =
+        enumerate_configs(&sizes_present, scale.tbar_units, scale.tbar_units)
+            .into_iter()
+            .filter(|module| module.count > 0)
+            .collect();
     let mut module_sizes: Vec<u64> = modules.iter().map(|module| module.total).collect();
     module_sizes.sort_unstable();
     module_sizes.dedup();
@@ -155,7 +157,10 @@ pub fn decide_and_construct(
     let mut w: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (&class, jobs) in &per_class_jobs {
         let max_modules = jobs.len() as i64;
-        let vars = modules.iter().map(|_| ilp.add_var(0, max_modules)).collect();
+        let vars = modules
+            .iter()
+            .map(|_| ilp.add_var(0, max_modules))
+            .collect();
         w.insert(class, vars);
     }
     let mut z: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -297,7 +302,7 @@ pub fn decide_and_construct(
         if members.is_empty() {
             return None;
         }
-        classes.sort_by(|a, b| b.1.cmp(&a.1));
+        classes.sort_by_key(|&(_, load)| std::cmp::Reverse(load));
         for (pos, (class, _)) in classes.into_iter().enumerate() {
             let machine = members[pos % members.len()];
             for &job in inst.jobs_of_class(class) {

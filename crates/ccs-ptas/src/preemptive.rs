@@ -14,8 +14,8 @@
 
 use crate::params::PtasParams;
 use crate::result::PtasResult;
-use crate::splittable::decide;
 use crate::scale::GuessScale;
+use crate::splittable::decide;
 use ccs_approx::preemptive_two_approx;
 use ccs_core::{
     bounds, CcsError, Instance, PreemptivePiece, PreemptiveSchedule, Rational, Result, Schedule,
@@ -40,7 +40,11 @@ pub fn preemptive_ptas(
         for job in 0..n {
             schedule.push_piece(
                 job,
-                PreemptivePiece::new(job, Rational::ZERO, Rational::from(inst.processing_time(job))),
+                PreemptivePiece::new(
+                    job,
+                    Rational::ZERO,
+                    Rational::from(inst.processing_time(job)),
+                ),
             );
         }
         return Ok(PtasResult {

@@ -1,0 +1,170 @@
+//! [`Solver`] implementations for the three approximation schemes.
+//!
+//! Each solver is parameterised by [`PtasParams`] at construction time, so a
+//! registry can hold several accuracy levels of the same scheme side by side
+//! while the engine constructs bespoke instances for explicit `epsilon`
+//! requests.
+
+use crate::nonpreemptive::nonpreemptive_ptas;
+use crate::params::PtasParams;
+use crate::preemptive::preemptive_ptas;
+use crate::result::PtasResult;
+use crate::splittable::splittable_ptas;
+use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
+use ccs_core::{
+    Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, Schedule, ScheduleKind,
+    SplittableSchedule,
+};
+
+fn report_from_ptas<S: Schedule>(inst: &Instance, r: PtasResult<S>) -> SolveReport<S> {
+    let lower_bound = r.optimum_lower_bound();
+    let stats = SolveStats {
+        guesses_evaluated: r.guesses_evaluated,
+        configurations: r.configurations,
+        ..Default::default()
+    };
+    SolveReport::new(inst, r.schedule, lower_bound, stats)
+}
+
+/// The guaranteed factor `1 + ERROR_FACTOR · δ` as an exact rational.
+fn ptas_guarantee(params: PtasParams) -> Guarantee {
+    Guarantee::Factor(
+        Rational::ONE + Rational::new(PtasParams::ERROR_FACTOR as i128, params.delta_inv() as i128),
+    )
+}
+
+/// The splittable PTAS (Theorems 10/11) as a [`Solver`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplittablePtas {
+    params: PtasParams,
+}
+
+/// The preemptive PTAS (Theorem 14) as a [`Solver`].
+#[derive(Debug, Clone, Copy)]
+pub struct PreemptivePtas {
+    params: PtasParams,
+}
+
+/// The non-preemptive PTAS (Theorem 19) as a [`Solver`].
+#[derive(Debug, Clone, Copy)]
+pub struct NonpreemptivePtas {
+    params: PtasParams,
+}
+
+macro_rules! ptas_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// Creates the solver with the given accuracy parameters.
+            pub fn new(params: PtasParams) -> Self {
+                Self { params }
+            }
+
+            /// The accuracy parameters this solver runs with.
+            pub fn params(&self) -> PtasParams {
+                self.params
+            }
+        }
+
+        impl Default for $ty {
+            /// Defaults to `1/δ = 4`, a coarse but fast accuracy level.
+            fn default() -> Self {
+                Self::new(PtasParams { delta_inv: 4 })
+            }
+        }
+    };
+}
+
+ptas_common!(SplittablePtas);
+ptas_common!(PreemptivePtas);
+ptas_common!(NonpreemptivePtas);
+
+impl Solver<SplittableSchedule> for SplittablePtas {
+    fn name(&self) -> &'static str {
+        "ptas-splittable"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Splittable
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        ptas_guarantee(self.params)
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
+        Ok(report_from_ptas(inst, splittable_ptas(inst, self.params)?))
+    }
+}
+
+impl Solver<PreemptiveSchedule> for PreemptivePtas {
+    fn name(&self) -> &'static str {
+        "ptas-preemptive"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Preemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        ptas_guarantee(self.params)
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {
+        Ok(report_from_ptas(inst, preemptive_ptas(inst, self.params)?))
+    }
+}
+
+impl Solver<NonPreemptiveSchedule> for NonpreemptivePtas {
+    fn name(&self) -> &'static str {
+        "ptas-nonpreemptive"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::NonPreemptive
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        ptas_guarantee(self.params)
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        Ok(report_from_ptas(
+            inst,
+            nonpreemptive_ptas(inst, self.params)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn guarantee_factor_matches_params() {
+        let solver = SplittablePtas::new(PtasParams::with_delta_inv(4).unwrap());
+        assert_eq!(
+            solver.guarantee().factor(),
+            Some(Rational::from_int(3)) // 1 + 8/4
+        );
+        assert_eq!(solver.params().delta_inv(), 4);
+    }
+
+    #[test]
+    fn solver_matches_free_function() {
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (4, 1), (2, 0)]).unwrap();
+        let params = PtasParams::with_delta_inv(2).unwrap();
+        let via_trait = SplittablePtas::new(params).solve(&inst).unwrap();
+        via_trait.validate(&inst).unwrap();
+        let direct = splittable_ptas(&inst, params).unwrap();
+        assert_eq!(via_trait.makespan, direct.schedule.makespan(&inst));
+        assert_eq!(via_trait.stats.guesses_evaluated, direct.guesses_evaluated);
+    }
+
+    #[test]
+    fn default_accuracy_is_valid() {
+        assert_eq!(SplittablePtas::default().params().delta_inv(), 4);
+        assert_eq!(PreemptivePtas::default().params().delta_inv(), 4);
+        assert_eq!(NonpreemptivePtas::default().params().delta_inv(), 4);
+    }
+}

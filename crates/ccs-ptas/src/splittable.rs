@@ -210,17 +210,16 @@ pub fn decide(inst: &Instance, guess: Rational, params: PtasParams) -> Option<Sp
             .map(|(i, _)| i)
             .collect();
         // (2): Σ_u z_u,g ≤ (c - b) Σ x_K
-        let mut slot_terms: Vec<(usize, i64)> = small.iter().map(|&(u, _)| (z[&u][gi], 1)).collect();
+        let mut slot_terms: Vec<(usize, i64)> =
+            small.iter().map(|&(u, _)| (z[&u][gi], 1)).collect();
         for &k in &members {
             slot_terms.push((x[k], -((c_eff - b) as i64)));
         }
         ilp.add_le(slot_terms, 0);
         // (3): Σ_u s_u z_u,g ≤ (T̄ - h) Σ x_K, measured on the δ²T/c grid.
         let capacity_fine = ((scale.tbar_units - h) * c_eff) as i64;
-        let mut space_terms: Vec<(usize, i64)> = small
-            .iter()
-            .map(|&(u, s)| (z[&u][gi], s as i64))
-            .collect();
+        let mut space_terms: Vec<(usize, i64)> =
+            small.iter().map(|&(u, s)| (z[&u][gi], s as i64)).collect();
         for &k in &members {
             space_terms.push((x[k], -capacity_fine));
         }
@@ -237,7 +236,10 @@ pub fn decide(inst: &Instance, guess: Rational, params: PtasParams) -> Option<Sp
             let small_groups = z
                 .iter()
                 .map(|(&class, vars)| {
-                    let gi = vars.iter().position(|&v| sol[v] == 1).expect("constraint (5)");
+                    let gi = vars
+                        .iter()
+                        .position(|&v| sol[v] == 1)
+                        .expect("constraint (5)");
                     (class, groups[gi])
                 })
                 .collect();
@@ -256,7 +258,11 @@ pub fn decide(inst: &Instance, guess: Rational, params: PtasParams) -> Option<Sp
 /// Builds the schedule from a certificate (greedy slot filling + round robin
 /// of the small classes), using the *original* processing times, which can
 /// only reduce machine loads compared to the rounded certificate.
-pub fn construct(inst: &Instance, scale: &GuessScale, cert: &SplitCertificate) -> SplittableSchedule {
+pub fn construct(
+    inst: &Instance,
+    scale: &GuessScale,
+    cert: &SplitCertificate,
+) -> SplittableSchedule {
     // Materialise machines from configurations.
     struct MachineState {
         slots: Vec<u64>, // module sizes still open
@@ -327,7 +333,10 @@ pub fn construct(inst: &Instance, scale: &GuessScale, cert: &SplitCertificate) -
             .filter(|(_, ms)| ms.group == group)
             .map(|(i, _)| i)
             .collect();
-        debug_assert!(!members.is_empty(), "constraint (2) ensures group machines exist");
+        debug_assert!(
+            !members.is_empty(),
+            "constraint (2) ensures group machines exist"
+        );
         classes.sort_by_key(|&u| std::cmp::Reverse(inst.class_load(u)));
         for (pos, class) in classes.into_iter().enumerate() {
             let machine = members[pos % members.len()];
@@ -375,7 +384,9 @@ fn class_interval_pieces(
 /// exceeds `(1 + 8δ) · guess` (and the guess never exceeds `(1+δ)` times the
 /// smallest feasible guess, which is at most `(1 + O(δ)) · opt`).
 pub fn guarantee_bound(guess: Rational, params: PtasParams) -> Rational {
-    guess * (Rational::ONE + Rational::new(PtasParams::ERROR_FACTOR as i128, params.delta_inv as i128))
+    guess
+        * (Rational::ONE
+            + Rational::new(PtasParams::ERROR_FACTOR as i128, params.delta_inv as i128))
 }
 
 #[cfg(test)]
@@ -415,8 +426,7 @@ mod tests {
             let res = check(&inst, 4);
             let opt = ccs_exact::splittable_optimum(&inst).unwrap();
             let params = PtasParams::with_delta_inv(4).unwrap();
-            let factor = Rational::ONE
-                + Rational::new(2 * PtasParams::ERROR_FACTOR as i128, 4);
+            let factor = Rational::ONE + Rational::new(2 * PtasParams::ERROR_FACTOR as i128, 4);
             assert!(
                 res.schedule.makespan(&inst) <= factor * opt,
                 "makespan {} vs optimum {opt}",

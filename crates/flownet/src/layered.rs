@@ -37,7 +37,10 @@ pub struct LayerAssignment {
 impl LayerAssignment {
     /// Number of layer slots assigned to `job`.
     pub fn units_of_job(&self, job: usize) -> u64 {
-        self.placements.iter().filter(|&&(j, _, _)| j == job).count() as u64
+        self.placements
+            .iter()
+            .filter(|&&(j, _, _)| j == job)
+            .count() as u64
     }
 }
 
@@ -82,11 +85,11 @@ pub fn layer_assignment(
             }
         }
     }
-    for i in 0..num_machines {
+    for (i, &capacity) in machine_capacity.iter().enumerate().take(num_machines) {
         for l in 0..layers {
             net.add_edge(machine_layer_node(i, l), machine_node(i), 1);
         }
-        net.add_edge(machine_node(i), sink, machine_capacity[i] as i64);
+        net.add_edge(machine_node(i), sink, capacity as i64);
     }
 
     let flow = net.max_flow(source, sink);
@@ -126,7 +129,10 @@ mod tests {
         for &(j, i, l) in &assignment.placements {
             assert!(requests[j].allowed_machines.contains(&i));
             assert!(job_layers.insert((j, l)), "job {j} twice in layer {l}");
-            assert!(machine_layers.insert((i, l)), "machine {i} layer {l} reused");
+            assert!(
+                machine_layers.insert((i, l)),
+                "machine {i} layer {l} reused"
+            );
             machine_units[i] += 1;
         }
         for (i, &used) in machine_units.iter().enumerate() {

@@ -31,9 +31,7 @@ pub fn open_shop_timetable(x: &[Vec<Rational>]) -> (Vec<TimetablePiece>, Rationa
         return (Vec::new(), Rational::ZERO);
     }
     let row_sums: Vec<Rational> = x.iter().map(|r| r.iter().copied().sum()).collect();
-    let col_sums: Vec<Rational> = (0..cols)
-        .map(|c| x.iter().map(|r| r[c]).sum())
-        .collect();
+    let col_sums: Vec<Rational> = (0..cols).map(|c| x.iter().map(|r| r[c]).sum()).collect();
     let d = row_sums
         .iter()
         .chain(col_sums.iter())
@@ -122,7 +120,7 @@ fn perfect_matching(b: &[Vec<Rational>]) -> Option<Vec<usize>> {
 /// Merges back-to-back pieces of the same (row, col) pair to keep the output
 /// small.
 fn merge_adjacent(mut pieces: Vec<TimetablePiece>) -> Vec<TimetablePiece> {
-    pieces.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+    pieces.sort_by_key(|a| (a.0, a.1, a.2));
     let mut out: Vec<TimetablePiece> = Vec::with_capacity(pieces.len());
     for p in pieces {
         if let Some(last) = out.last_mut() {

@@ -23,6 +23,10 @@
 use crate::problem::{dot, NFold, NFoldError, SolveOutcome};
 use std::collections::HashMap;
 
+/// One augmentation candidate for a brick: the step, the resulting top-row
+/// contribution, and its objective gain.
+type BrickCandidate = (Vec<i64>, Vec<i64>, i64);
+
 /// Tuning knobs of the augmentation solver.
 #[derive(Debug, Clone, Copy)]
 pub struct AugmentationOptions {
@@ -133,7 +137,7 @@ fn build_phase1(nf: &NFold, x0: &[i64]) -> Phase1 {
         let mut a_block = Vec::with_capacity(nf.r);
         for (row_idx, row) in nf.a_blocks[i].iter().enumerate() {
             let mut new_row = row.clone();
-            new_row.extend(std::iter::repeat(0).take(2 * nf.s));
+            new_row.extend(std::iter::repeat_n(0, 2 * nf.s));
             for k in 0..nf.r {
                 if k == row_idx {
                     new_row.push(1);
@@ -161,7 +165,7 @@ fn build_phase1(nf: &NFold, x0: &[i64]) -> Phase1 {
                     new_row.push(0);
                 }
             }
-            new_row.extend(std::iter::repeat(0).take(2 * nf.r));
+            new_row.extend(std::iter::repeat_n(0, 2 * nf.r));
             b_block.push(new_row);
         }
         b_blocks.push(b_block);
@@ -169,11 +173,10 @@ fn build_phase1(nf: &NFold, x0: &[i64]) -> Phase1 {
         // Bounds, objective and start values for this brick.
         lower.extend_from_slice(&nf.lower[i * nf.t..(i + 1) * nf.t]);
         upper.extend_from_slice(&nf.upper[i * nf.t..(i + 1) * nf.t]);
-        objective.extend(std::iter::repeat(0).take(nf.t));
+        objective.extend(std::iter::repeat_n(0, nf.t));
         start.extend_from_slice(&x0[i * nf.t..(i + 1) * nf.t]);
 
-        for row_idx in 0..nf.s {
-            let res = brick_residuals[i][row_idx];
+        for &res in brick_residuals[i].iter().take(nf.s) {
             lower.extend([0, 0]);
             upper.extend([aux_bound, aux_bound]);
             objective.extend([1, 1]);
@@ -182,8 +185,8 @@ fn build_phase1(nf: &NFold, x0: &[i64]) -> Phase1 {
         }
         // Top auxiliaries live in brick 0 only; other bricks carry zero
         // columns with zero bounds so every block has the same width.
-        for row_idx in 0..nf.r {
-            let res = if i == 0 { top_residual[row_idx] } else { 0 };
+        for &top_res in top_residual.iter().take(nf.r) {
+            let res = if i == 0 { top_res } else { 0 };
             let bound = if i == 0 { aux_bound } else { 0 };
             lower.extend([0, 0]);
             upper.extend([bound, bound]);
@@ -206,7 +209,10 @@ fn build_phase1(nf: &NFold, x0: &[i64]) -> Phase1 {
         upper,
         objective,
     };
-    debug_assert!(program.is_feasible(&start), "phase-1 start must be feasible");
+    debug_assert!(
+        program.is_feasible(&start),
+        "phase-1 start must be feasible"
+    );
     Phase1 { program, start }
 }
 
@@ -232,9 +238,7 @@ fn optimise(
         while lambda <= max_range {
             if let Some((delta, g)) = best_step(nf, &x, objective, lambda, opts) {
                 let improvement = delta * lambda;
-                if improvement < 0
-                    && best.as_ref().map_or(true, |(b, _, _)| improvement < *b)
-                {
+                if improvement < 0 && best.as_ref().is_none_or(|(b, _, _)| improvement < *b) {
                     best = Some((improvement, lambda, g));
                 }
             }
@@ -270,7 +274,7 @@ fn best_step(
     let mut states: HashMap<Vec<i64>, (i64, Vec<usize>)> = HashMap::new();
     states.insert(vec![0; nf.r], (0, Vec::new()));
 
-    let mut all_candidates: Vec<Vec<(Vec<i64>, Vec<i64>, i64)>> = Vec::with_capacity(nf.n);
+    let mut all_candidates: Vec<Vec<BrickCandidate>> = Vec::with_capacity(nf.n);
     for i in 0..nf.n {
         let candidates = brick_candidates(nf, x, objective, lambda, i, opts);
         if candidates.is_empty() {
@@ -283,11 +287,7 @@ fn best_step(
         let mut next: HashMap<Vec<i64>, (i64, Vec<usize>)> = HashMap::new();
         for (sum, (cost, choices)) in &states {
             for (cand_idx, (_, contribution, cand_cost)) in candidates.iter().enumerate() {
-                let new_sum: Vec<i64> = sum
-                    .iter()
-                    .zip(contribution)
-                    .map(|(a, b)| a + b)
-                    .collect();
+                let new_sum: Vec<i64> = sum.iter().zip(contribution).map(|(a, b)| a + b).collect();
                 let new_cost = cost + cand_cost;
                 let entry = next.entry(new_sum).or_insert_with(|| {
                     let mut c = choices.clone();
@@ -325,7 +325,7 @@ fn brick_candidates(
     lambda: i64,
     brick: usize,
     opts: AugmentationOptions,
-) -> Vec<(Vec<i64>, Vec<i64>, i64)> {
+) -> Vec<BrickCandidate> {
     let lo = &nf.lower[brick * nf.t..(brick + 1) * nf.t];
     let hi = &nf.upper[brick * nf.t..(brick + 1) * nf.t];
     let xb = nf.brick(x, brick);
@@ -335,7 +335,9 @@ fn brick_candidates(
     let ranges: Vec<(i64, i64)> = (0..nf.t)
         .map(|pos| {
             let min_step = (-opts.max_brick_norm).max(div_ceil(lo[pos] - xb[pos], lambda));
-            let max_step = opts.max_brick_norm.min(div_floor(hi[pos] - xb[pos], lambda));
+            let max_step = opts
+                .max_brick_norm
+                .min(div_floor(hi[pos] - xb[pos], lambda));
             (min_step, max_step)
         })
         .collect();
@@ -379,7 +381,7 @@ fn enumerate(
     ranges: &[(i64, i64)],
     suffix_slack: &[Vec<i64>],
     partial: &mut Vec<i64>,
-    out: &mut Vec<(Vec<i64>, Vec<i64>, i64)>,
+    out: &mut Vec<BrickCandidate>,
     obj: &[i64],
     limit: usize,
 ) {
@@ -407,7 +409,18 @@ fn enumerate(
         for (ri, row) in nf.b_blocks[brick].iter().enumerate() {
             partial[ri] += row[pos] * v;
         }
-        enumerate(nf, brick, pos + 1, g, ranges, suffix_slack, partial, out, obj, limit);
+        enumerate(
+            nf,
+            brick,
+            pos + 1,
+            g,
+            ranges,
+            suffix_slack,
+            partial,
+            out,
+            obj,
+            limit,
+        );
         for (ri, row) in nf.b_blocks[brick].iter().enumerate() {
             partial[ri] -= row[pos] * v;
         }
@@ -521,9 +534,7 @@ mod tests {
                 .collect();
             // Plant a feasible point so every generated program is feasible.
             let planted: Vec<i64> = (0..n * t).map(|_| next(5)).collect();
-            let rhs_top = vec![
-                dot(&a[0][0], &planted[0..2]) + dot(&a[1][0], &planted[2..4]),
-            ];
+            let rhs_top = vec![dot(&a[0][0], &planted[0..2]) + dot(&a[1][0], &planted[2..4])];
             let rhs_bricks = vec![
                 vec![dot(&b[0][0], &planted[0..2])],
                 vec![dot(&b[1][0], &planted[2..4])],

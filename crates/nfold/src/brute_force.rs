@@ -83,7 +83,7 @@ fn combine(
     if brick == nf.n {
         if top == &nf.rhs_top {
             let objective = nf.objective_value(current);
-            if best.as_ref().map_or(true, |(b, _)| objective < *b) {
+            if best.as_ref().is_none_or(|(b, _)| objective < *b) {
                 *best = Some((objective, current.clone()));
             }
         }

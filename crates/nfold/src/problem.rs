@@ -176,7 +176,9 @@ impl NFold {
             }
         }
         if self.lower.iter().zip(&self.upper).any(|(l, u)| l > u) {
-            return Err(NFoldError::Dimension("lower bound above upper bound".into()));
+            return Err(NFoldError::Dimension(
+                "lower bound above upper bound".into(),
+            ));
         }
         Ok(())
     }

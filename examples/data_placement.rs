@@ -1,6 +1,7 @@
 //! The data-placement scenario from the paper's introduction: operations need
 //! one locally stored database (class); machines can hold only `c` databases.
-//! Compares the paper's algorithms against naive baselines.
+//! Compares the paper's algorithms against naive baselines, all driven
+//! through the engine's solver registry.
 use ccs::prelude::*;
 use ccs_gen::GenParams;
 
@@ -17,17 +18,22 @@ fn main() {
     );
     println!("lower bound on the optimal makespan: {}", lb.to_f64());
 
-    let rr = ccs::baselines::whole_class_round_robin(&inst).unwrap();
-    let lpt = ccs::baselines::whole_class_lpt(&inst).unwrap();
-    let greedy = ccs::baselines::greedy_first_fit(&inst).unwrap();
-    let approx = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
-    println!("whole-class round robin : {}", rr.makespan_int(&inst));
-    println!("whole-class LPT         : {}", lpt.makespan_int(&inst));
-    println!("greedy first fit        : {}", greedy.makespan_int(&inst));
-    println!("paper 7/3-approximation : {}", approx.schedule.makespan_int(&inst));
+    let engine = Engine::new();
+    for name in [
+        "baseline-round-robin",
+        "baseline-lpt",
+        "baseline-greedy",
+        "approx-nonpreemptive-7/3",
+    ] {
+        let sol = engine.solve_with(name, &inst).unwrap();
+        println!("{name:<26}: {}", sol.report.makespan);
+    }
 
     // If database replicas may be split across servers (splittable model),
     // the 2-approximation gets much closer to the area bound.
-    let split = ccs::approx::splittable_two_approx(&inst).unwrap();
-    println!("splittable 2-approx     : {}", split.schedule.makespan(&inst).to_f64());
+    let sol = engine.solve_with("approx-splittable-2", &inst).unwrap();
+    println!(
+        "approx-splittable-2       : {}",
+        sol.report.makespan.to_f64()
+    );
 }

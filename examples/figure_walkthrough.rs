@@ -8,7 +8,10 @@ fn main() {
     let jobs: Vec<(u64, u32)> = (0..10).map(|i| (10 - i as u64, i as u32)).collect();
     let inst = instance_from_pairs(4, 3, &jobs).unwrap();
     let split = ccs::approx::splittable_two_approx(&inst).unwrap();
-    println!("Figure 1 — round robin, makespan {}", split.schedule.makespan(&inst));
+    println!(
+        "Figure 1 — round robin, makespan {}",
+        split.schedule.makespan(&inst)
+    );
     for machine in 0..4u64 {
         println!(
             "  machine {machine}: load {:>5} classes {:?}",
@@ -20,7 +23,10 @@ fn main() {
     // Figure 2: the preemptive repacking shifts everything above the largest
     // class to start at T so no job overlaps itself.
     let pre = ccs::approx::preemptive_two_approx(&inst).unwrap();
-    println!("\nFigure 2 — preemptive repacking, makespan {}", pre.schedule.makespan(&inst));
+    println!(
+        "\nFigure 2 — preemptive repacking, makespan {}",
+        pre.schedule.makespan(&inst)
+    );
 
     // Figure 3: with exponentially many machines the schedule is emitted in
     // the compact run encoding, polynomial in n.

@@ -1,25 +1,34 @@
 //! Quality / running-time trade-off of the PTASs as the accuracy parameter δ
-//! shrinks, on a small instance where the exact optimum is known.
+//! shrinks, on a small instance where the exact optimum is known.  The sweep
+//! drives the scheme through the unified `Solver` trait.
 use ccs::prelude::*;
-use ccs_ptas::PtasParams;
+use ccs_ptas::{PtasParams, SplittablePtas};
 use std::time::Instant;
 
 fn main() {
     let inst = instance_from_pairs(3, 1, &[(10, 0), (9, 1), (8, 2), (4, 0), (3, 1)]).unwrap();
-    let opt = ccs::exact::splittable_optimum(&inst).unwrap();
+    let engine = Engine::new();
+    let opt = engine
+        .solve(&inst, &SolveRequest::exact(ScheduleKind::Splittable))
+        .unwrap()
+        .report
+        .makespan;
     println!("exact splittable optimum: {}", opt.to_f64());
-    println!("{:>9} {:>12} {:>12} {:>12}", "1/δ", "makespan", "ratio", "seconds");
+    println!(
+        "{:>9} {:>14} {:>12} {:>12} {:>12}",
+        "1/δ", "guarantee", "makespan", "ratio", "seconds"
+    );
     for delta_inv in [2u64, 3, 4, 5] {
-        let params = PtasParams::with_delta_inv(delta_inv).unwrap();
+        let solver = SplittablePtas::new(PtasParams::with_delta_inv(delta_inv).unwrap());
         let start = Instant::now();
-        let res = ccs::ptas::splittable_ptas(&inst, params).unwrap();
+        let report = solver.solve(&inst).unwrap();
         let secs = start.elapsed().as_secs_f64();
-        let mk = res.schedule.makespan(&inst);
         println!(
-            "{:>9} {:>12.2} {:>12.3} {:>12.4}",
+            "{:>9} {:>14} {:>12.2} {:>12.3} {:>12.4}",
             delta_inv,
-            mk.to_f64(),
-            mk.to_f64() / opt.to_f64(),
+            solver.guarantee().to_string(),
+            report.makespan.to_f64(),
+            report.makespan.to_f64() / opt.to_f64(),
             secs
         );
     }

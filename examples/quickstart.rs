@@ -1,14 +1,23 @@
-//! Quickstart: build an instance, run all three constant-factor algorithms
-//! and the splittable PTAS, and print the resulting makespans.
+//! Quickstart: build an instance and solve it end-to-end through the engine
+//! — automatic algorithm selection per placement model, an explicit accuracy
+//! request, and a parallel batch.
 use ccs::prelude::*;
-use ccs_ptas::PtasParams;
 
 fn main() {
     // 4 machines with 2 class slots each; jobs (processing time, class label).
     let inst = instance_from_pairs(
         4,
         2,
-        &[(9, 0), (7, 0), (12, 1), (4, 1), (6, 2), (3, 3), (8, 4), (5, 4)],
+        &[
+            (9, 0),
+            (7, 0),
+            (12, 1),
+            (4, 1),
+            (6, 2),
+            (3, 3),
+            (8, 4),
+            (5, 4),
+        ],
     )
     .unwrap();
     println!(
@@ -20,18 +29,55 @@ fn main() {
         inst.average_load()
     );
 
-    let split = ccs::approx::splittable_two_approx(&inst).unwrap();
-    println!("splittable 2-approx      : makespan {}", split.schedule.makespan(&inst));
+    let engine = Engine::new();
+    println!(
+        "registered solvers: {}",
+        engine.registry().names().join(", ")
+    );
 
-    let pre = ccs::approx::preemptive_two_approx(&inst).unwrap();
-    println!("preemptive 2-approx      : makespan {}", pre.schedule.makespan(&inst));
+    // One call per placement model; the portfolio picks the algorithm.
+    for kind in ScheduleKind::ALL {
+        let sol = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
+        sol.report.validate(&inst).unwrap();
+        println!(
+            "{kind:<15} via {:<24} ({}): makespan {}",
+            sol.solver, sol.guarantee, sol.report.makespan
+        );
+    }
 
-    let np = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
-    println!("non-preemptive 7/3-approx: makespan {}", np.schedule.makespan_int(&inst));
+    // An explicit accuracy budget: 1 + ε below 7/3 forces a PTAS.
+    let sol = engine
+        .solve(
+            &inst,
+            &SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.2),
+        )
+        .unwrap();
+    println!(
+        "epsilon 1.2     via {:<24} ({}): makespan {}",
+        sol.solver, sol.guarantee, sol.report.makespan
+    );
 
-    let ptas = ccs::ptas::splittable_ptas(&inst, PtasParams::with_delta_inv(4).unwrap()).unwrap();
-    println!("splittable PTAS (δ = 1/4): makespan {}", ptas.schedule.makespan(&inst));
+    // The exact optimum, for reference.
+    let sol = engine
+        .solve(&inst, &SolveRequest::exact(ScheduleKind::NonPreemptive))
+        .unwrap();
+    println!(
+        "exact           via {:<24} ({}): makespan {}",
+        sol.solver, sol.guarantee, sol.report.makespan
+    );
 
-    let opt = ccs::exact::nonpreemptive_optimum(&inst).unwrap();
-    println!("exact non-preemptive opt : makespan {opt}");
+    // Batch solving: many instances in parallel, results in input order.
+    let batch: Vec<Instance> = (0..16)
+        .map(|seed| ccs::gen::uniform(&ccs::gen::GenParams::new(40, 6, 10, 2), seed))
+        .collect();
+    let solutions = engine.solve_batch(&batch, &SolveRequest::auto(ScheduleKind::Splittable));
+    let worst_ratio = solutions
+        .iter()
+        .map(|s| s.as_ref().unwrap().report.ratio_upper_bound().to_f64())
+        .fold(0.0f64, f64::max);
+    println!(
+        "batch: {} instances solved, worst makespan/lower-bound ratio {:.3}",
+        solutions.len(),
+        worst_ratio
+    );
 }

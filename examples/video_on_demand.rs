@@ -1,22 +1,30 @@
 //! Video-on-demand: classes are movies (Zipf popularity), jobs are streaming
 //! sessions, machines are streaming servers with a limited number of movies
-//! in local cache.
+//! in local cache.  Driven through the engine: one request per model, the
+//! portfolio picks the algorithm.
 use ccs::prelude::*;
 use ccs_gen::GenParams;
 
 fn main() {
+    let engine = Engine::new();
     for servers in [8u64, 16, 32] {
         let params = GenParams::new(400, servers, 60, 4).with_times(5, 120);
         let inst = ccs_gen::video_on_demand(&params, 7);
-        let approx = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
-        let split = ccs::approx::splittable_two_approx(&inst).unwrap();
+        let np = engine
+            .solve(&inst, &SolveRequest::auto(ScheduleKind::NonPreemptive))
+            .unwrap();
+        let split = engine
+            .solve(&inst, &SolveRequest::auto(ScheduleKind::Splittable))
+            .unwrap();
         let lb = ccs::exact::strong_lower_bound(&inst, ScheduleKind::NonPreemptive);
         println!(
-            "servers {:>3}: lower bound {:>8.1}, non-preemptive 7/3 {:>6}, splittable 2-approx {:>8.1}",
+            "servers {:>3}: lower bound {:>8.1}, {} {:>6}, {} {:>8.1}",
             servers,
             lb.to_f64(),
-            approx.schedule.makespan_int(&inst),
-            split.schedule.makespan(&inst).to_f64(),
+            np.solver,
+            np.report.makespan,
+            split.solver,
+            split.report.makespan.to_f64(),
         );
     }
 }

@@ -1,18 +1,27 @@
 //! # ccs — Class-Constrained Scheduling
 //!
 //! Umbrella crate re-exporting the whole workspace: the problem model
-//! ([`core`]), the constant-factor approximation algorithms ([`approx`]), the
-//! polynomial time approximation schemes ([`ptas`]), exact solvers for small
-//! instances ([`exact`]), baselines, generators and the substrates (N-fold
-//! integer programming and flow networks).
+//! ([`core`]), the unified dispatch layer ([`engine`]), the constant-factor
+//! approximation algorithms ([`approx`]), the polynomial time approximation
+//! schemes ([`ptas`]), exact solvers for small instances ([`exact`]),
+//! baselines, generators and the substrates (N-fold integer programming and
+//! flow networks).
+//!
+//! The recommended entry point is the [`engine::Engine`]: one call for any
+//! placement model and accuracy budget, with automatic algorithm selection
+//! and parallel batch execution.  The per-crate free functions remain
+//! available for direct access to a specific algorithm.
 //!
 //! ```
 //! use ccs::prelude::*;
 //!
 //! let inst = instance_from_pairs(3, 2, &[(10, 0), (20, 1), (5, 0), (8, 2)]).unwrap();
-//! let result = ccs::approx::splittable_two_approx(&inst).unwrap();
-//! result.schedule.validate(&inst).unwrap();
-//! assert!(result.schedule.makespan(&inst) <= Rational::from_int(2) * result.optimum_lower_bound());
+//! let engine = Engine::new();
+//! let sol = engine
+//!     .solve(&inst, &SolveRequest::auto(ScheduleKind::Splittable))
+//!     .unwrap();
+//! sol.report.validate(&inst).unwrap();
+//! assert!(sol.report.makespan <= Rational::from_int(2) * sol.report.lower_bound);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -21,13 +30,16 @@
 pub use ccs_approx as approx;
 pub use ccs_baselines as baselines;
 pub use ccs_core as core;
+pub use ccs_engine as engine;
 pub use ccs_exact as exact;
 pub use ccs_gen as gen;
 pub use ccs_ptas as ptas;
 pub use flownet;
 pub use nfold;
 
-/// Convenience re-exports for quick starts.
+/// Convenience re-exports for quick starts: the whole problem model plus the
+/// engine's request/solve surface.
 pub mod prelude {
     pub use ccs_core::prelude::*;
+    pub use ccs_engine::{Accuracy, Engine, Solution, SolveRequest, SolverRegistry};
 }

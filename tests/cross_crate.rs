@@ -34,9 +34,7 @@ fn constant_factor_algorithms_respect_their_guarantees() {
 
             let np = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
             np.schedule.validate(&inst).unwrap();
-            assert!(
-                np.schedule.makespan(&inst) <= Rational::new(7, 3) * np.optimum_lower_bound()
-            );
+            assert!(np.schedule.makespan(&inst) <= Rational::new(7, 3) * np.optimum_lower_bound());
         }
     }
 }
@@ -51,8 +49,7 @@ fn nonpreemptive_approx_vs_exact_optimum_on_tiny_instances() {
         };
         let approx = ccs::approx::nonpreemptive_73_approx(&inst).unwrap();
         assert!(
-            Rational::from(3 * approx.schedule.makespan_int(&inst))
-                <= Rational::from(7 * opt),
+            Rational::from(3 * approx.schedule.makespan_int(&inst)) <= Rational::from(7 * opt),
             "seed {seed}: ratio above 7/3"
         );
     }
@@ -72,8 +69,7 @@ fn ptas_beats_or_matches_constant_factor_on_small_instances() {
         // The PTAS never does worse than the schedule it warm-starts from by
         // more than its guarantee window.
         assert!(
-            ptas.schedule.makespan(&inst)
-                <= approx.schedule.makespan(&inst) * Rational::new(11, 4)
+            ptas.schedule.makespan(&inst) <= approx.schedule.makespan(&inst) * Rational::new(11, 4)
         );
     }
 }
@@ -120,9 +116,41 @@ fn exact_solvers_agree_with_bounds() {
 }
 
 #[test]
-fn serde_roundtrip_through_the_public_api() {
+fn json_roundtrip_through_the_public_api() {
     let inst = ccs_gen::uniform(&GenParams::new(20, 4, 6, 2), 9);
-    let json = serde_json::to_string(&inst).unwrap();
-    let back: Instance = serde_json::from_str(&json).unwrap();
+    let json = inst.to_json();
+    let back = Instance::from_json(&json).unwrap();
     assert_eq!(inst, back);
+}
+
+#[test]
+fn engine_reaches_every_algorithm_family_through_the_prelude() {
+    let engine = Engine::new();
+    // Twelve solvers: three approximations, three PTASes, three exact
+    // solvers, three baselines.
+    assert_eq!(engine.registry().len(), 12);
+    let inst = ccs_gen::uniform(&GenParams::new(60, 8, 12, 3), 11);
+    for kind in ScheduleKind::ALL {
+        let sol = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
+        sol.report.validate(&inst).unwrap();
+        assert_eq!(sol.report.schedule.kind(), kind);
+    }
+    // Named access covers the baselines too.
+    let sol = engine.solve_with("baseline-lpt", &inst).unwrap();
+    sol.report.validate(&inst).unwrap();
+}
+
+#[test]
+fn engine_batch_agrees_with_direct_algorithm_calls() {
+    let engine = Engine::new();
+    let instances: Vec<Instance> = (0..12u64)
+        .map(|seed| ccs_gen::zipf_classes(&GenParams::new(50, 6, 10, 2), seed))
+        .collect();
+    let batch = engine.solve_batch(&instances, &SolveRequest::auto(ScheduleKind::Splittable));
+    for (inst, sol) in instances.iter().zip(batch) {
+        let sol = sol.unwrap();
+        let direct = ccs::approx::splittable_two_approx(inst).unwrap();
+        assert_eq!(sol.solver, "approx-splittable-2");
+        assert_eq!(sol.report.makespan, direct.schedule.makespan(inst));
+    }
 }
