@@ -1,18 +1,28 @@
 //! E-T6: running time of the non-preemptive 7/3-approximation (Theorem 6,
 //! O(n² log² n)).
-use ccs_bench::{Family, Harness, SIZE_SWEEP};
+use ccs_bench::{BenchOpts, Family, Harness};
 use ccs_engine::Engine;
+use std::process::ExitCode;
 
-fn main() {
-    let harness = Harness::new("approx_nonpreemptive");
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("approx_nonpreemptive", &opts);
     let engine = Engine::new();
-    for &n in &SIZE_SWEEP {
+    for &n in opts.sweep() {
         let inst = Family::VideoOnDemand.instance(n, 16, 32, 3, 42);
-        harness.bench_registered(
-            &engine,
-            "approx-nonpreemptive-7/3",
-            &format!("video_on_demand/{n}"),
-            &inst,
-        );
+        let case = format!("{}/{n}", Family::VideoOnDemand.name());
+        if let Err(e) = harness.bench_registered(&engine, "approx-nonpreemptive-7/3", &case, &inst)
+        {
+            harness.skip("approx-nonpreemptive-7/3", &case, &e);
+        }
     }
+    for family in [Family::Correlated, Family::ManyMachines] {
+        let inst = family.instance(100, 16, 32, 3, 42);
+        let case = format!("{}/100", family.name());
+        if let Err(e) = harness.bench_registered(&engine, "approx-nonpreemptive-7/3", &case, &inst)
+        {
+            harness.skip("approx-nonpreemptive-7/3", &case, &e);
+        }
+    }
+    harness.finish(&opts)
 }

@@ -1,17 +1,25 @@
 //! E-T5: running time of the preemptive 2-approximation (Theorem 5).
-use ccs_bench::{Family, Harness, SIZE_SWEEP};
+use ccs_bench::{BenchOpts, Family, Harness};
 use ccs_engine::Engine;
+use std::process::ExitCode;
 
-fn main() {
-    let harness = Harness::new("approx_preemptive");
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("approx_preemptive", &opts);
     let engine = Engine::new();
-    for &n in &SIZE_SWEEP {
+    for &n in opts.sweep() {
         let inst = Family::DataPlacement.instance(n, 16, 32, 3, 42);
-        harness.bench_registered(
-            &engine,
-            "approx-preemptive-2",
-            &format!("data_placement/{n}"),
-            &inst,
-        );
+        let case = format!("{}/{n}", Family::DataPlacement.name());
+        if let Err(e) = harness.bench_registered(&engine, "approx-preemptive-2", &case, &inst) {
+            harness.skip("approx-preemptive-2", &case, &e);
+        }
     }
+    for family in [Family::Correlated, Family::ManyMachines] {
+        let inst = family.instance(100, 16, 32, 3, 42);
+        let case = format!("{}/100", family.name());
+        if let Err(e) = harness.bench_registered(&engine, "approx-preemptive-2", &case, &inst) {
+            harness.skip("approx-preemptive-2", &case, &e);
+        }
+    }
+    harness.finish(&opts)
 }

@@ -1,21 +1,34 @@
 //! E-T4: running time of the splittable 2-approximation (Theorem 4 claims
 //! O(n² log n)); the quality side of the experiment lives in `experiments`.
-use ccs_bench::{Family, Harness, SIZE_SWEEP};
+use ccs_bench::{BenchOpts, Family, Harness};
 use ccs_engine::Engine;
+use std::process::ExitCode;
 
-fn main() {
-    let harness = Harness::new("approx_splittable");
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("approx_splittable", &opts);
     let engine = Engine::new();
-    for &n in &SIZE_SWEEP {
+    for &n in opts.sweep() {
         let inst = Family::Uniform.instance(n, 16, 32, 3, 42);
-        harness.bench_registered(
-            &engine,
-            "approx-splittable-2",
-            &format!("uniform/{n}"),
-            &inst,
-        );
+        let case = format!("uniform/{n}");
+        if let Err(e) = harness.bench_registered(&engine, "approx-splittable-2", &case, &inst) {
+            harness.skip("approx-splittable-2", &case, &e);
+        }
+    }
+    // The new families at a fixed size: correlated class loads and the
+    // many-machines/few-classes regime (compact-encoding hot path).
+    for family in [Family::Correlated, Family::ManyMachines] {
+        let inst = family.instance(100, 16, 32, 3, 42);
+        let case = format!("{}/100", family.name());
+        if let Err(e) = harness.bench_registered(&engine, "approx-splittable-2", &case, &inst) {
+            harness.skip("approx-splittable-2", &case, &e);
+        }
     }
     // Exponential number of machines (Theorem 4, second part / E-T11).
     let inst = Family::Zipf.instance(100, 1_000_000_000_000, 16, 2, 7);
-    harness.bench_registered(&engine, "approx-splittable-2", "exponential_m", &inst);
+    if let Err(e) = harness.bench_registered(&engine, "approx-splittable-2", "exponential_m", &inst)
+    {
+        harness.skip("approx-splittable-2", "exponential_m", &e);
+    }
+    harness.finish(&opts)
 }

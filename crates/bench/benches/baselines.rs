@@ -1,18 +1,27 @@
 //! Baseline heuristics vs the paper's algorithms (running time side): four
 //! registered solvers on the same instance, throughput directly comparable.
-use ccs_bench::{Family, Harness};
+use ccs_bench::{BenchOpts, Family, Harness};
 use ccs_engine::Engine;
+use std::process::ExitCode;
 
-fn main() {
-    let harness = Harness::new("baselines");
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("baselines", &opts);
     let engine = Engine::new();
-    let inst = Family::Zipf.instance(200, 16, 32, 3, 5);
-    for solver in [
-        "baseline-round-robin",
-        "baseline-lpt",
-        "baseline-greedy",
-        "approx-nonpreemptive-7/3",
-    ] {
-        harness.bench_registered(&engine, solver, "zipf/200", &inst);
+    let n = if opts.quick { 100 } else { 200 };
+    for family in [Family::Zipf, Family::Correlated] {
+        let inst = family.instance(n, 16, 32, 3, 5);
+        let case = format!("{}/{n}", family.name());
+        for solver in [
+            "baseline-round-robin",
+            "baseline-lpt",
+            "baseline-greedy",
+            "approx-nonpreemptive-7/3",
+        ] {
+            if let Err(e) = harness.bench_registered(&engine, solver, &case, &inst) {
+                harness.skip(solver, &case, &e);
+            }
+        }
     }
+    harness.finish(&opts)
 }

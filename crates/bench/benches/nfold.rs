@@ -1,8 +1,9 @@
 //! E-NF: the N-fold augmentation solver — scaling with the number of bricks N
 //! (Theorem 1 promises near-linear dependence on N).  The substrate has no
 //! `Solver` surface; it runs through the same harness via `bench_fn`.
-use ccs_bench::Harness;
+use ccs_bench::{BenchOpts, Harness};
 use nfold::{augmentation_solve, AugmentationOptions, NFold};
+use std::process::ExitCode;
 
 fn configuration_like(n: usize) -> NFold {
     let a = vec![vec![1, 1, 0]];
@@ -18,12 +19,19 @@ fn configuration_like(n: usize) -> NFold {
     .unwrap()
 }
 
-fn main() {
-    let harness = Harness::new("nfold_augmentation");
-    for n in [2usize, 4, 8, 16, 32] {
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("nfold_augmentation", &opts);
+    let sweep: &[usize] = if opts.quick {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+    for &n in sweep {
         let nf = configuration_like(n);
         harness.bench_fn("nfold-augmentation", &format!("bricks/{n}"), || {
             augmentation_solve(&nf, AugmentationOptions::default()).unwrap();
         });
     }
+    harness.finish(&opts)
 }

@@ -1,14 +1,21 @@
 //! E-T14: the non-preemptive PTAS — runtime growth with the accuracy.
-use ccs_bench::{Family, Harness};
+use ccs_bench::{BenchOpts, Family, Harness};
 use ccs_engine::erase;
 use ccs_ptas::{NonpreemptivePtas, PtasParams};
+use std::process::ExitCode;
 
-fn main() {
-    let harness = Harness::new("ptas_nonpreemptive");
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("ptas_nonpreemptive", &opts);
     let inst = Family::Uniform.instance(10, 3, 5, 2, 13);
-    for delta_inv in [2u64, 3] {
+    let sweep: &[u64] = if opts.quick { &[2] } else { &[2, 3] };
+    for &delta_inv in sweep {
         let params = PtasParams::with_delta_inv(delta_inv).unwrap();
         let solver = erase(NonpreemptivePtas::new(params));
-        harness.bench_erased(solver.as_ref(), &format!("delta_inv/{delta_inv}"), &inst);
+        let case = format!("delta_inv/{delta_inv}");
+        if let Err(e) = harness.bench_erased(solver.as_ref(), &case, &inst) {
+            harness.skip(solver.name(), &case, &e);
+        }
     }
+    harness.finish(&opts)
 }

@@ -1,14 +1,21 @@
 //! E-T19: the preemptive PTAS — runtime growth with the accuracy.
-use ccs_bench::{Family, Harness};
+use ccs_bench::{BenchOpts, Family, Harness};
 use ccs_engine::erase;
 use ccs_ptas::{PreemptivePtas, PtasParams};
+use std::process::ExitCode;
 
-fn main() {
-    let harness = Harness::new("ptas_preemptive");
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("ptas_preemptive", &opts);
     let inst = Family::Zipf.instance(10, 3, 5, 2, 17);
-    for delta_inv in [2u64, 3] {
+    let sweep: &[u64] = if opts.quick { &[2] } else { &[2, 3] };
+    for &delta_inv in sweep {
         let params = PtasParams::with_delta_inv(delta_inv).unwrap();
         let solver = erase(PreemptivePtas::new(params));
-        harness.bench_erased(solver.as_ref(), &format!("delta_inv/{delta_inv}"), &inst);
+        let case = format!("delta_inv/{delta_inv}");
+        if let Err(e) = harness.bench_erased(solver.as_ref(), &case, &inst) {
+            harness.skip(solver.name(), &case, &e);
+        }
     }
+    harness.finish(&opts)
 }

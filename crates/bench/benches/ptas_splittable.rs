@@ -1,14 +1,21 @@
 //! E-T10: the splittable PTAS — runtime growth as the accuracy 1/δ increases.
-use ccs_bench::{Family, Harness};
+use ccs_bench::{BenchOpts, Family, Harness};
 use ccs_engine::erase;
 use ccs_ptas::{PtasParams, SplittablePtas};
+use std::process::ExitCode;
 
-fn main() {
-    let harness = Harness::new("ptas_splittable");
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("ptas_splittable", &opts);
     let inst = Family::Uniform.instance(12, 3, 5, 2, 11);
-    for delta_inv in [2u64, 3, 4] {
+    let sweep: &[u64] = if opts.quick { &[2, 3] } else { &[2, 3, 4] };
+    for &delta_inv in sweep {
         let params = PtasParams::with_delta_inv(delta_inv).unwrap();
         let solver = erase(SplittablePtas::new(params));
-        harness.bench_erased(solver.as_ref(), &format!("delta_inv/{delta_inv}"), &inst);
+        let case = format!("delta_inv/{delta_inv}");
+        if let Err(e) = harness.bench_erased(solver.as_ref(), &case, &inst) {
+            harness.skip(solver.name(), &case, &e);
+        }
     }
+    harness.finish(&opts)
 }

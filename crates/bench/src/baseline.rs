@@ -1,0 +1,472 @@
+//! Baseline comparison: diffs a fresh [`BenchReport`] against a committed
+//! baseline (`BENCH_baseline.json` at the repo root) and classifies every
+//! matched case as improvement, noise, or regression.
+//!
+//! Two axes are gated independently:
+//!
+//! * **time** — the median-iteration ratio `current / baseline` must stay
+//!   below [`CompareConfig::max_time_ratio`]; cases whose medians both sit
+//!   under the [`CompareConfig::noise_floor_ns`] are never flagged (timer
+//!   noise dominates sub-100µs measurements),
+//! * **quality** — the achieved approximation ratio (makespan over the
+//!   instance lower bound) may not worsen by more than
+//!   [`CompareConfig::quality_slack`]; this gate is machine-independent and
+//!   therefore strict.
+//!
+//! A case present in the baseline but absent from the current run counts as
+//! a failure too: silently losing coverage must force a baseline refresh.
+
+use crate::report::{BenchCase, BenchReport};
+use ccs_core::Result;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Thresholds for [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// A case regresses when `current_median / baseline_median` meets or
+    /// exceeds this factor (and improves below its reciprocal).
+    pub max_time_ratio: f64,
+    /// Medians both below this many nanoseconds are never compared.
+    pub noise_floor_ns: u64,
+    /// Allowed multiplicative worsening of the approximation ratio.
+    pub quality_slack: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            max_time_ratio: 1.5,
+            noise_floor_ns: 100_000,
+            quality_slack: 1.10,
+        }
+    }
+}
+
+impl CompareConfig {
+    /// The default configuration with a different time-regression factor
+    /// (the `--check-ratio` flag; CI uses a generous factor because runner
+    /// hardware differs from the machine that recorded the baseline).
+    pub fn with_time_ratio(max_time_ratio: f64) -> Self {
+        CompareConfig {
+            max_time_ratio,
+            ..Default::default()
+        }
+    }
+}
+
+/// The classification of one case key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Median at most `1/max_time_ratio` of the baseline.
+    Improvement {
+        /// `baseline_median / current_median` (> 1).
+        speedup: f64,
+    },
+    /// Inside the noise band on both axes.
+    WithinNoise,
+    /// Median at least `max_time_ratio` times the baseline.
+    TimeRegression {
+        /// `current_median / baseline_median` (> 1).
+        factor: f64,
+    },
+    /// Approximation ratio worsened beyond the slack.
+    QualityRegression {
+        /// Ratio achieved by the current run.
+        current: f64,
+        /// Ratio recorded in the baseline.
+        baseline: f64,
+    },
+    /// The baseline recorded a quality ratio for this case but the current
+    /// run did not (a failure: the machine-independent quality gate would
+    /// otherwise be silently un-gated).
+    QualityLost {
+        /// Ratio recorded in the baseline.
+        baseline: f64,
+    },
+    /// Case measured now but absent from the baseline (not a failure; the
+    /// next baseline refresh picks it up).
+    New,
+    /// Case in the baseline but not measured now, although its group ran (a
+    /// failure: coverage was lost without refreshing the baseline).
+    /// Baseline groups the current invocation did not run at all — a single
+    /// bench target checked against the full-suite baseline — are exempt.
+    Missing,
+}
+
+impl Verdict {
+    /// Whether this verdict fails the gate.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            Verdict::TimeRegression { .. }
+                | Verdict::QualityRegression { .. }
+                | Verdict::QualityLost { .. }
+                | Verdict::Missing
+        )
+    }
+}
+
+/// One compared case key with its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseComparison {
+    /// `(group, solver, case)` identity.
+    pub key: (String, String, String),
+    /// The classification.
+    pub verdict: Verdict,
+}
+
+impl CaseComparison {
+    /// `group :: solver :: case` for log lines.
+    pub fn label(&self) -> String {
+        format!("{} :: {} :: {}", self.key.0, self.key.1, self.key.2)
+    }
+}
+
+/// The outcome of diffing a report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Every baseline-or-current case key, in sorted key order.
+    pub cases: Vec<CaseComparison>,
+}
+
+impl Comparison {
+    /// The failing cases (time/quality regressions and lost coverage).
+    pub fn failures(&self) -> Vec<&CaseComparison> {
+        self.cases
+            .iter()
+            .filter(|c| c.verdict.is_failure())
+            .collect()
+    }
+
+    /// Whether any case fails the gate.
+    pub fn has_regressions(&self) -> bool {
+        self.cases.iter().any(|c| c.verdict.is_failure())
+    }
+
+    /// One-line tally, e.g. `3 improved, 40 within noise, 1 regressed`.
+    pub fn summary(&self) -> String {
+        let mut improved = 0usize;
+        let mut noise = 0usize;
+        let mut regressed = 0usize;
+        let mut new = 0usize;
+        let mut missing = 0usize;
+        for case in &self.cases {
+            match case.verdict {
+                Verdict::Improvement { .. } => improved += 1,
+                Verdict::WithinNoise => noise += 1,
+                Verdict::TimeRegression { .. }
+                | Verdict::QualityRegression { .. }
+                | Verdict::QualityLost { .. } => regressed += 1,
+                Verdict::New => new += 1,
+                Verdict::Missing => missing += 1,
+            }
+        }
+        format!(
+            "{improved} improved, {noise} within noise, {regressed} regressed, {new} new, {missing} missing"
+        )
+    }
+}
+
+/// Diffs `current` against `baseline` case-by-case under `config`.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    config: &CompareConfig,
+) -> Comparison {
+    let current_by_key: BTreeMap<_, _> = current.cases.iter().map(|c| (c.key(), c)).collect();
+    let baseline_by_key: BTreeMap<_, _> = baseline.cases.iter().map(|c| (c.key(), c)).collect();
+    // The missing-coverage gate only applies to groups this invocation ran
+    // (a single bench target checked against the full-suite baseline must
+    // not fail over every other target's cases) and only when both runs
+    // used the same measurement mode (quick and full sweeps legitimately
+    // cover different case sets).
+    let current_groups: BTreeSet<&str> = current.cases.iter().map(|c| c.group.as_str()).collect();
+    let gate_missing = current.quick == baseline.quick;
+
+    let mut cases = Vec::new();
+    for (key, base) in &baseline_by_key {
+        let verdict = match current_by_key.get(key) {
+            None if gate_missing && current_groups.contains(base.group.as_str()) => {
+                Verdict::Missing
+            }
+            None => continue,
+            Some(cur) => classify(cur, base, config),
+        };
+        cases.push(CaseComparison {
+            key: key.clone(),
+            verdict,
+        });
+    }
+    for key in current_by_key.keys() {
+        if !baseline_by_key.contains_key(key) {
+            cases.push(CaseComparison {
+                key: key.clone(),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    cases.sort_by(|a, b| a.key.cmp(&b.key));
+    Comparison { cases }
+}
+
+fn classify(current: &BenchCase, baseline: &BenchCase, config: &CompareConfig) -> Verdict {
+    // Quality first: it is machine-independent, so a quality regression is
+    // reported even when the timing side improved.
+    match (current.ratio, baseline.ratio) {
+        (Some(cur), Some(base)) if cur > base * config.quality_slack => {
+            return Verdict::QualityRegression {
+                current: cur,
+                baseline: base,
+            };
+        }
+        // The baseline gated quality here; a run that stopped measuring it
+        // must not slip through on the time axis alone.
+        (None, Some(base)) => return Verdict::QualityLost { baseline: base },
+        _ => {}
+    }
+
+    if current.median_ns.max(baseline.median_ns) < config.noise_floor_ns {
+        return Verdict::WithinNoise;
+    }
+    // A sub-floor baseline median is itself noise-dominated; clamping the
+    // denominator to the floor keeps e.g. a 30µs->125µs jitter on a noisy
+    // CI runner from reading as a 4x regression.
+    let factor = current.median_ns as f64 / (baseline.median_ns.max(config.noise_floor_ns)) as f64;
+    if factor >= config.max_time_ratio {
+        Verdict::TimeRegression { factor }
+    } else if factor <= 1.0 / config.max_time_ratio {
+        Verdict::Improvement {
+            speedup: 1.0 / factor,
+        }
+    } else {
+        Verdict::WithinNoise
+    }
+}
+
+/// Loads a baseline from `path` and diffs `current` against it, printing a
+/// human summary to stderr.  Returns the comparison; IO/parse problems are
+/// `Err` (the caller exits non-zero on both `Err` and regressions).
+pub fn check_against_file(
+    current: &BenchReport,
+    path: impl AsRef<Path>,
+    config: &CompareConfig,
+) -> Result<Comparison> {
+    let baseline = BenchReport::read_file(path.as_ref())?;
+    if baseline.quick != current.quick {
+        eprintln!(
+            "warning: comparing a {} run against a {} baseline; case sets may not fully \
+             overlap, so the missing-coverage gate is disabled for this check",
+            mode(current.quick),
+            mode(baseline.quick)
+        );
+    }
+    let comparison = compare(current, &baseline, config);
+    if comparison
+        .cases
+        .iter()
+        .all(|c| matches!(c.verdict, Verdict::New))
+    {
+        eprintln!(
+            "warning: no case overlaps with '{}' — nothing was gated (per-target runs only \
+             compare against baselines recorded for their own group)",
+            path.as_ref().display()
+        );
+    }
+    for case in &comparison.cases {
+        match &case.verdict {
+            Verdict::WithinNoise => {}
+            Verdict::New => eprintln!("  new        {}", case.label()),
+            Verdict::Missing => eprintln!("  MISSING    {}", case.label()),
+            Verdict::Improvement { speedup } => {
+                eprintln!("  improved   {}  ({speedup:.2}x faster)", case.label())
+            }
+            Verdict::TimeRegression { factor } => {
+                eprintln!("  REGRESSED  {}  ({factor:.2}x slower)", case.label())
+            }
+            Verdict::QualityRegression { current, baseline } => eprintln!(
+                "  REGRESSED  {}  (ratio {current:.4} vs baseline {baseline:.4})",
+                case.label()
+            ),
+            Verdict::QualityLost { baseline } => eprintln!(
+                "  REGRESSED  {}  (quality ratio no longer measured; baseline {baseline:.4})",
+                case.label()
+            ),
+        }
+    }
+    eprintln!(
+        "baseline check vs '{}': {}",
+        path.as_ref().display(),
+        comparison.summary()
+    );
+    Ok(comparison)
+}
+
+fn mode(quick: bool) -> &'static str {
+    if quick {
+        "--quick"
+    } else {
+        "full"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::tests::sample_case;
+
+    fn report_with(cases: Vec<BenchCase>) -> BenchReport {
+        let mut report = BenchReport::new(true);
+        report.extend(cases);
+        report
+    }
+
+    fn verdict_for<'a>(cmp: &'a Comparison, solver: &str) -> &'a Verdict {
+        &cmp.cases
+            .iter()
+            .find(|c| c.key.1 == solver)
+            .expect("case present")
+            .verdict
+    }
+
+    #[test]
+    fn classifies_improvement_noise_and_regression() {
+        let baseline = report_with(vec![
+            sample_case("steady", "uniform/100", 1_000_000),
+            sample_case("faster", "uniform/100", 1_000_000),
+            sample_case("slower", "uniform/100", 1_000_000),
+        ]);
+        let current = report_with(vec![
+            sample_case("steady", "uniform/100", 1_100_000),
+            sample_case("faster", "uniform/100", 400_000),
+            sample_case("slower", "uniform/100", 2_000_000),
+        ]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert_eq!(verdict_for(&cmp, "steady"), &Verdict::WithinNoise);
+        assert!(matches!(
+            verdict_for(&cmp, "faster"),
+            Verdict::Improvement { speedup } if *speedup > 2.0
+        ));
+        assert!(matches!(
+            verdict_for(&cmp, "slower"),
+            Verdict::TimeRegression { factor } if (*factor - 2.0).abs() < 1e-9
+        ));
+        assert!(cmp.has_regressions());
+        assert_eq!(cmp.failures().len(), 1);
+        assert_eq!(
+            cmp.summary(),
+            "1 improved, 1 within noise, 1 regressed, 0 new, 0 missing"
+        );
+    }
+
+    #[test]
+    fn sub_noise_floor_cases_are_never_flagged() {
+        let baseline = report_with(vec![sample_case("tiny", "uniform/10", 10_000)]);
+        // 8x slower, but both medians are far below the 100µs floor.
+        let current = report_with(vec![sample_case("tiny", "uniform/10", 80_000)]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert_eq!(verdict_for(&cmp, "tiny"), &Verdict::WithinNoise);
+    }
+
+    #[test]
+    fn sub_floor_baseline_median_is_clamped_in_the_factor() {
+        // Baseline 30µs (noise-dominated), current 125µs: the raw ratio is
+        // 4.2x but against the clamped 100µs floor it is 1.25x — noise.
+        let baseline = report_with(vec![sample_case("tiny", "uniform/10", 30_000)]);
+        let current = report_with(vec![sample_case("tiny", "uniform/10", 125_000)]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert_eq!(verdict_for(&cmp, "tiny"), &Verdict::WithinNoise);
+        // A genuine blow-up past the floor still trips the gate.
+        let slow = report_with(vec![sample_case("tiny", "uniform/10", 1_000_000)]);
+        let cmp = compare(&slow, &baseline, &CompareConfig::default());
+        assert!(matches!(
+            verdict_for(&cmp, "tiny"),
+            Verdict::TimeRegression { factor } if (*factor - 10.0).abs() < 1e-9
+        ));
+    }
+
+    #[test]
+    fn quality_regression_beats_time_improvement() {
+        let baseline = report_with(vec![sample_case("s", "uniform/100", 1_000_000)]);
+        let mut worse = sample_case("s", "uniform/100", 200_000);
+        worse.ratio = Some(1.60); // baseline records 1.25
+        let current = report_with(vec![worse]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert!(matches!(
+            verdict_for(&cmp, "s"),
+            Verdict::QualityRegression { current, baseline }
+                if (*current - 1.60).abs() < 1e-9 && (*baseline - 1.25).abs() < 1e-9
+        ));
+        assert!(cmp.has_regressions());
+    }
+
+    #[test]
+    fn quality_within_slack_is_not_flagged() {
+        let baseline = report_with(vec![sample_case("s", "uniform/100", 1_000_000)]);
+        let mut slightly_worse = sample_case("s", "uniform/100", 1_000_000);
+        slightly_worse.ratio = Some(1.30); // 4% over the recorded 1.25 < 10% slack
+        let current = report_with(vec![slightly_worse]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert_eq!(verdict_for(&cmp, "s"), &Verdict::WithinNoise);
+    }
+
+    #[test]
+    fn new_and_missing_cases() {
+        let baseline = report_with(vec![
+            sample_case("kept", "uniform/100", 1_000_000),
+            sample_case("dropped", "uniform/100", 1_000_000),
+        ]);
+        let current = report_with(vec![
+            sample_case("kept", "uniform/100", 1_000_000),
+            sample_case("added", "uniform/100", 1_000_000),
+        ]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert_eq!(verdict_for(&cmp, "added"), &Verdict::New);
+        assert_eq!(verdict_for(&cmp, "dropped"), &Verdict::Missing);
+        // Lost coverage gates; new coverage does not.
+        assert!(cmp.has_regressions());
+        assert!(!Verdict::New.is_failure());
+    }
+
+    #[test]
+    fn custom_time_ratio_loosens_the_gate() {
+        let baseline = report_with(vec![sample_case("s", "uniform/100", 1_000_000)]);
+        let current = report_with(vec![sample_case("s", "uniform/100", 2_000_000)]);
+        let loose = CompareConfig::with_time_ratio(4.0);
+        assert!(!compare(&current, &baseline, &loose).has_regressions());
+        let strict = CompareConfig::with_time_ratio(1.5);
+        assert!(compare(&current, &baseline, &strict).has_regressions());
+    }
+
+    #[test]
+    fn missing_gate_is_scoped_to_groups_that_ran() {
+        // The committed baseline spans the whole suite; a single bench
+        // target checking against it must not fail over other groups.
+        let mut other_group = sample_case("s", "uniform/100", 1_000_000);
+        other_group.group = "other".to_string();
+        let baseline = report_with(vec![
+            sample_case("s", "uniform/100", 1_000_000),
+            other_group,
+        ]);
+        let current = report_with(vec![sample_case("s", "uniform/100", 1_000_000)]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert!(!cmp.has_regressions());
+        assert!(cmp.cases.iter().all(|c| c.key.0 == "g"));
+    }
+
+    #[test]
+    fn dropping_the_quality_measurement_fails_the_gate() {
+        let baseline = report_with(vec![sample_case("s", "uniform/100", 1_000_000)]);
+        let mut no_quality = sample_case("s", "uniform/100", 1_000_000);
+        no_quality.makespan = None;
+        no_quality.lower_bound = None;
+        no_quality.ratio = None;
+        let current = report_with(vec![no_quality]);
+        let cmp = compare(&current, &baseline, &CompareConfig::default());
+        assert!(matches!(
+            verdict_for(&cmp, "s"),
+            Verdict::QualityLost { baseline } if (*baseline - 1.25).abs() < 1e-9
+        ));
+        assert!(cmp.has_regressions());
+    }
+}

@@ -1,22 +1,114 @@
-//! Reproduction harness: prints, for every experiment id of `DESIGN.md`
-//! section 5, the quality/size table the paper's theorems promise.
+//! Reproduction harness with two modes.
 //!
-//! Usage: `cargo run --release -p ccs-bench --bin experiments [-- --exp <id>]`
-//! with ids `t4 t5 t6 l2 l3 t10 t11 t14 t19 f1 f2 f3 f4 f5 all`.
+//! **Table mode** (default, or `--exp <id>`): prints, for every experiment
+//! id of `DESIGN.md` section 5, the quality/size table the paper's theorems
+//! promise.  Ids: `t4 t5 t6 l2 l3 t10 t11 t14 t19 f1 f2 f3 f4 f5 all`.
+//!
+//! **Suite mode** (any of `--quick`, `--json <path>`, `--check <baseline>`):
+//! benches every solver in the engine registry across every generator
+//! family through the structured report API, writes the JSON artifact, and
+//! — with `--check` — gates time/quality regressions against a committed
+//! baseline (see `BENCH_baseline.json` at the repo root and DESIGN.md §5a):
+//!
+//! ```text
+//! cargo run --release -p ccs-bench --bin experiments -- \
+//!     --quick --json bench.json --check BENCH_baseline.json
+//! ```
 
-use ccs_bench::{ratio_vs_lower_bound, Family};
+use ccs_bench::{ratio_vs_lower_bound, BenchOpts, Family, Harness};
+use ccs_core::solver::SolverCost;
 use ccs_core::{Rational, Schedule, ScheduleKind};
+use ccs_engine::{Engine, SolverMeta};
 use ccs_ptas::PtasParams;
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let exp = args
-        .iter()
-        .position(|a| a == "--exp")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-        .unwrap_or("all")
-        .to_string();
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match BenchOpts::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut exp: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--exp" => match it.next() {
+                Some(id) => exp = Some(id.clone()),
+                None => {
+                    eprintln!("--exp requires an experiment id");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unrecognised argument '{other}'");
+                eprintln!(
+                    "usage: experiments [--exp <id>] [--quick] [--json <path>] [--check <baseline>] [--check-ratio <f>]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match exp {
+        Some(_) if opts != BenchOpts::default() => {
+            // Table mode produces no report, so silently accepting the
+            // suite flags would e.g. skip a requested baseline check.
+            eprintln!("--exp (table mode) cannot be combined with --quick/--json/--check");
+            ExitCode::from(2)
+        }
+        Some(id) => {
+            run_tables(&id);
+            ExitCode::SUCCESS
+        }
+        None if opts.quick || opts.json.is_some() || opts.check.is_some() => run_suite(&opts),
+        None => {
+            run_tables("all");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Suite mode: every registered solver on every generator family, sized to
+/// the solver's cost class (the exact solvers carry hard instance limits,
+/// the PTASes are exponential in the accuracy), collected into one report.
+fn run_suite(opts: &BenchOpts) -> ExitCode {
+    let engine = Engine::new();
+    let mut harness = Harness::with_opts("suite", opts);
+    for meta in engine.registry().metadata() {
+        for family in Family::ALL {
+            let (jobs, machines, classes, slots) = suite_shape(&meta, family, opts.quick);
+            let inst = family.instance(jobs, machines, classes, slots, 42);
+            let case = format!("{}/{jobs}", family.name());
+            if let Err(e) = harness.bench_registered(&engine, meta.name, &case, &inst) {
+                harness.skip(meta.name, &case, &e);
+            }
+        }
+    }
+    harness.finish(opts)
+}
+
+/// Instance shape `(jobs, machines, classes, slots)` for one suite cell.
+fn suite_shape(meta: &SolverMeta, family: Family, quick: bool) -> (usize, u64, u32, u64) {
+    if family == Family::ManyMachines && meta.cost != SolverCost::Polynomial {
+        // The family multiplies the machine count by 4, while the exact
+        // solvers enforce hard limits (≤ 4 machines for the flow-based
+        // ones) and the default-accuracy splittable PTAS blows past 10s
+        // from 8 machines up on few-classes instances; one job (4
+        // machines, still m = 4n) keeps the cell representative and fast.
+        return (1, 1, 2, 2);
+    }
+    match meta.cost {
+        SolverCost::InstanceExponential => (6, 2, 3, 2),
+        SolverCost::AccuracyExponential => (if quick { 8 } else { 10 }, 3, 5, 2),
+        SolverCost::Polynomial => (if quick { 80 } else { 200 }, 16, 32, 3),
+    }
+}
+
+/// Table mode: the `--exp` reproduction tables.
+fn run_tables(exp: &str) {
     let run = |id: &str| exp == "all" || exp == id;
 
     if run("t4") {
@@ -56,7 +148,7 @@ fn main() {
         exp_l3();
     }
     if run("t10") || run("t14") || run("t19") {
-        exp_ptas(&exp);
+        exp_ptas(exp);
     }
     if run("t11") {
         exp_t11();

@@ -2,83 +2,260 @@
 //!
 //! Criterion is unavailable in this offline build environment, so every
 //! bench target opts out of the default libtest harness (`harness = false`
-//! in `Cargo.toml`) and drives this module instead.  All eight benches go
-//! through the same timing loop and — where the subject is a scheduling
-//! algorithm — through the engine's solver registry, so the emitted
-//! per-solver throughput numbers are directly comparable across benches:
+//! in `Cargo.toml`) and drives this module instead.  All benches go through
+//! the same timing loop and — where the subject is a scheduling algorithm —
+//! through the engine's solver registry, so the emitted per-solver numbers
+//! are directly comparable across benches.
+//!
+//! Beyond printing human-readable throughput lines, the harness records a
+//! [`BenchCase`] per measurement (warmup, iteration count, min/median/p95,
+//! and the achieved-makespan/lower-bound quality pair for solver subjects).
+//! [`Harness::finish`] turns the recordings into a [`BenchReport`], honours
+//! the shared CLI surface ([`BenchOpts`]: `--json <path>`,
+//! `--check <baseline>`, `--check-ratio <f>`, `--quick`), and exits non-zero
+//! when a baseline check finds a regression:
 //!
 //! ```text
-//! bench approx_splittable    approx-splittable-2        uniform/100        0.812 ms/iter     1231.5 iter/s
+//! cargo bench -p ccs-bench --bench baselines -- --quick --json baselines.json
+//! cargo bench -p ccs-bench --bench baselines -- --quick --check baselines.json
 //! ```
+//!
+//! Cases are matched by `(group, solver, case)`, so `--check` only gates
+//! against baselines recorded for the same bench target (it prints a
+//! warning and gates nothing otherwise); the committed repo-root
+//! `BENCH_baseline.json` holds the `experiments` suite and is checked by
+//! `experiments -- --quick --check BENCH_baseline.json`.
 
-use ccs_core::Instance;
+use crate::baseline::{check_against_file, CompareConfig};
+use crate::report::{BenchCase, BenchReport};
+use ccs_core::{CcsError, Instance, Result};
 use ccs_engine::{Engine, ErasedSolver};
+use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-/// Target cumulative measurement time per bench case.
+/// Full-mode target cumulative measurement time per bench case.
 const TARGET: Duration = Duration::from_millis(200);
-/// Hard cap on measured iterations per bench case.
+/// Full-mode hard cap on measured iterations per bench case.
 const MAX_ITERS: usize = 200;
-/// Minimum measured iterations per bench case.
+/// Full-mode minimum measured iterations per bench case.
 const MIN_ITERS: usize = 3;
 
-/// A named group of bench cases writing uniform per-solver throughput lines.
+/// Quick-mode (CI smoke) target cumulative measurement time per case.
+const QUICK_TARGET: Duration = Duration::from_millis(25);
+/// Quick-mode iteration cap.
+const QUICK_MAX_ITERS: usize = 20;
+/// Quick-mode iteration minimum.
+const QUICK_MIN_ITERS: usize = 2;
+
+/// The CLI surface shared by every bench target and the `experiments`
+/// binary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchOpts {
+    /// Reduced measurement budget (CI smoke runs).
+    pub quick: bool,
+    /// Write the collected [`BenchReport`] to this path.
+    pub json: Option<String>,
+    /// Compare the collected report against the baseline at this path and
+    /// exit non-zero on regressions.
+    pub check: Option<String>,
+    /// Overrides [`CompareConfig::max_time_ratio`] for `--check`.
+    pub check_ratio: Option<f64>,
+}
+
+impl BenchOpts {
+    /// Parses the shared flags from an argument list (program name already
+    /// stripped).  Unrecognised arguments are returned so binaries with
+    /// extra flags (e.g. `experiments --exp`) can consume them; `cargo
+    /// bench`'s own `--bench` passthrough flag is dropped.
+    pub fn parse(args: &[String]) -> std::result::Result<(BenchOpts, Vec<String>), String> {
+        let mut opts = BenchOpts::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        // A flag's value must not itself look like a flag — otherwise
+        // `--json --check base.json` silently writes a file named
+        // `--check` and never runs the intended baseline check.
+        let value_of = |it: &mut std::slice::Iter<'_, String>,
+                        flag: &str|
+         -> std::result::Result<String, String> {
+            match it.next() {
+                Some(value) if !value.starts_with("--") => Ok(value.clone()),
+                _ => Err(format!("{flag} requires a value argument")),
+            }
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--json" => opts.json = Some(value_of(&mut it, "--json")?),
+                "--check" => opts.check = Some(value_of(&mut it, "--check")?),
+                "--check-ratio" => {
+                    let raw = value_of(&mut it, "--check-ratio")?;
+                    let ratio: f64 = raw
+                        .parse()
+                        .map_err(|_| format!("--check-ratio: '{raw}' is not a number"))?;
+                    if !ratio.is_finite() || ratio <= 1.0 {
+                        return Err(format!("--check-ratio must be > 1.0, got {ratio}"));
+                    }
+                    opts.check_ratio = Some(ratio);
+                }
+                "--bench" => {}
+                other => rest.push(other.to_string()),
+            }
+        }
+        if opts.check_ratio.is_some() && opts.check.is_none() {
+            return Err("--check-ratio has no effect without --check <baseline>".to_string());
+        }
+        Ok((opts, rest))
+    }
+
+    /// Parses [`std::env::args`], exiting with a message on malformed flags
+    /// or unrecognised arguments (bench targets take none of their own).
+    pub fn from_env() -> BenchOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match BenchOpts::parse(&args) {
+            Ok((opts, rest)) if rest.is_empty() => opts,
+            Ok((_, rest)) => {
+                eprintln!("unrecognised arguments: {rest:?}");
+                eprintln!(
+                    "usage: [--quick] [--json <path>] [--check <baseline>] [--check-ratio <f>]"
+                );
+                std::process::exit(2);
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The instance-size sweep honouring `--quick` (quick runs cover the
+    /// two smallest sizes only).
+    pub fn sweep(&self) -> &'static [usize] {
+        if self.quick {
+            &crate::SIZE_SWEEP[..2]
+        } else {
+            &crate::SIZE_SWEEP
+        }
+    }
+
+    /// The comparison thresholds for `--check`.
+    pub fn compare_config(&self) -> CompareConfig {
+        match self.check_ratio {
+            Some(ratio) => CompareConfig::with_time_ratio(ratio),
+            None => CompareConfig::default(),
+        }
+    }
+}
+
+/// A named group of bench cases: prints uniform per-solver throughput lines
+/// and records every measurement for the JSON artifact.
 pub struct Harness {
-    group: &'static str,
+    group: String,
+    quick: bool,
+    cases: Vec<BenchCase>,
 }
 
 impl Harness {
-    /// Starts a bench group (prints a header line).
-    pub fn new(group: &'static str) -> Self {
+    /// Starts a full-budget bench group (prints a header line).
+    pub fn new(group: &str) -> Self {
+        Harness::with_opts(group, &BenchOpts::default())
+    }
+
+    /// Starts a bench group honouring the measurement budget of `opts`.
+    pub fn with_opts(group: &str, opts: &BenchOpts) -> Self {
         println!("== {group}");
-        Harness { group }
+        Harness {
+            group: group.to_string(),
+            quick: opts.quick,
+            cases: Vec::new(),
+        }
     }
 
     /// Benches a solver registered in the engine's registry.
     ///
-    /// # Panics
-    /// Panics if the solver is not registered or fails on `inst` — a bench
-    /// that cannot run is a bug, not a measurement.
-    pub fn bench_registered(&self, engine: &Engine, solver: &str, case: &str, inst: &Instance) {
+    /// # Errors
+    /// Fails when the solver is not registered or cannot solve `inst`; bench
+    /// targets report such cases as skipped instead of aborting the binary.
+    pub fn bench_registered(
+        &mut self,
+        engine: &Engine,
+        solver: &str,
+        case: &str,
+        inst: &Instance,
+    ) -> Result<()> {
         let solver = engine
             .registry()
             .get(solver)
-            .unwrap_or_else(|| panic!("solver '{solver}' is not registered"))
+            .ok_or_else(|| {
+                CcsError::invalid_parameter(format!("solver '{solver}' is not registered"))
+            })?
             .clone();
-        self.bench_erased(solver.as_ref(), case, inst);
+        self.bench_erased(solver.as_ref(), case, inst)
     }
 
     /// Benches a model-erased solver (used for accuracy-parameterised PTAS
     /// sweeps that are not part of the default registry).
-    pub fn bench_erased(&self, solver: &dyn ErasedSolver, case: &str, inst: &Instance) {
+    ///
+    /// # Errors
+    /// Fails when the solver cannot solve `inst`.
+    pub fn bench_erased(
+        &mut self,
+        solver: &dyn ErasedSolver,
+        case: &str,
+        inst: &Instance,
+    ) -> Result<()> {
         let name = solver.name();
-        self.run(name, case, || {
+        // Warm-up doubles as the quality measurement: one untimed-loop run
+        // whose report yields the achieved makespan, compared against the
+        // model's instance lower bound from `ccs-core::bounds`.
+        let warmup_started = Instant::now();
+        let report = solver.solve_any(inst)?;
+        let warmup_ns = elapsed_ns(warmup_started);
+        let makespan = report.makespan.to_f64();
+        let lower_bound = ccs_core::bounds::lower_bound(inst, solver.kind()).to_f64();
+        let ratio = (lower_bound > 0.0).then(|| makespan / lower_bound);
+
+        let mut case = self.measure(name, case, warmup_ns, || {
             solver
                 .solve_any(inst)
-                .unwrap_or_else(|e| panic!("{name} failed on bench case {case}: {e}"));
+                .unwrap_or_else(|e| panic!("{name} failed during timed runs: {e}"));
         });
+        case.makespan = Some(makespan);
+        case.lower_bound = Some(lower_bound);
+        case.ratio = ratio;
+        self.push(case);
+        Ok(())
     }
 
     /// Benches an arbitrary closure under a subject label (used for
     /// substrate benches with no `Solver`, e.g. the N-fold augmentation).
-    pub fn bench_fn(&self, subject: &str, case: &str, mut f: impl FnMut()) {
-        self.run(subject, case, &mut f);
+    pub fn bench_fn(&mut self, subject: &str, case: &str, mut f: impl FnMut()) {
+        let warmup_started = Instant::now();
+        f(); // Warm-up: fills caches, triggers lazy init.
+        let warmup_ns = elapsed_ns(warmup_started);
+        let case = self.measure(subject, case, warmup_ns, f);
+        self.push(case);
     }
 
-    fn run(&self, subject: &str, case: &str, mut f: impl FnMut()) {
-        // Warm-up: one untimed run (fills caches, triggers lazy init).
-        f();
+    fn measure(&self, subject: &str, case: &str, warmup_ns: u64, mut f: impl FnMut()) -> BenchCase {
+        let (target, max_iters, min_iters) = if self.quick {
+            (QUICK_TARGET, QUICK_MAX_ITERS, QUICK_MIN_ITERS)
+        } else {
+            (TARGET, MAX_ITERS, MIN_ITERS)
+        };
         let mut samples = Vec::new();
         let started = Instant::now();
-        while samples.len() < MIN_ITERS || (samples.len() < MAX_ITERS && started.elapsed() < TARGET)
+        while samples.len() < min_iters || (samples.len() < max_iters && started.elapsed() < target)
         {
             let t = Instant::now();
             f();
-            samples.push(t.elapsed());
+            samples.push(elapsed_ns(t));
         }
         samples.sort_unstable();
-        let median = samples[samples.len() / 2];
-        let secs = median.as_secs_f64();
+        let median_ns = samples[samples.len() / 2];
+        // Nearest-rank p95: index ⌈0.95·len⌉ − 1 (len·95/100 rounds the
+        // rank up past it — for 20 samples that would record the maximum).
+        let p95_ns = samples[(samples.len() * 95).div_ceil(100) - 1];
+        let secs = median_ns as f64 / 1e9;
         let throughput = if secs > 0.0 {
             1.0 / secs
         } else {
@@ -93,7 +270,93 @@ impl Harness {
             throughput,
             samples.len()
         );
+        let (family, size) = BenchCase::parse_label(case);
+        BenchCase {
+            group: self.group.clone(),
+            solver: subject.to_string(),
+            case: case.to_string(),
+            family,
+            size,
+            warmup_ns,
+            iters: samples.len() as u64,
+            min_ns: samples[0],
+            median_ns,
+            p95_ns,
+            makespan: None,
+            lower_bound: None,
+            ratio: None,
+        }
     }
+
+    fn push(&mut self, case: BenchCase) {
+        self.cases.push(case);
+    }
+
+    /// Prints a skip notice for a solver/case this target could not bench
+    /// (unknown name, instance outside the solver's limits).
+    pub fn skip(&self, subject: &str, case: &str, why: &CcsError) {
+        println!(
+            "bench {:<22} {:<26} {:<20} skipped: {why}",
+            self.group, subject, case
+        );
+    }
+
+    /// The cases recorded so far.
+    pub fn cases(&self) -> &[BenchCase] {
+        &self.cases
+    }
+
+    /// Consumes the harness, yielding its recorded cases (used by binaries
+    /// that merge several groups into one report).
+    pub fn into_cases(self) -> Vec<BenchCase> {
+        self.cases
+    }
+
+    /// Consumes the harness into a single-group [`BenchReport`].
+    pub fn into_report(self) -> BenchReport {
+        let mut report = BenchReport::new(self.quick);
+        report.extend(self.cases);
+        report
+    }
+
+    /// Standard tail of every bench target: builds the report, honours
+    /// `--json` and `--check`, and maps regressions to a failing exit code.
+    pub fn finish(self, opts: &BenchOpts) -> ExitCode {
+        finish_report(self.into_report(), opts)
+    }
+}
+
+/// [`Harness::finish`] for binaries that assembled a multi-group report
+/// themselves.
+pub fn finish_report(report: BenchReport, opts: &BenchOpts) -> ExitCode {
+    if let Some(path) = &opts.json {
+        if let Err(e) = report.write_file(path) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} cases to '{path}'", report.cases.len());
+    }
+    if let Some(baseline) = &opts.check {
+        match check_against_file(&report, baseline, &opts.compare_config()) {
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(comparison) if comparison.has_regressions() => {
+                eprintln!(
+                    "FAIL: {} case(s) regressed or went missing",
+                    comparison.failures().len()
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {}
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -102,22 +365,98 @@ mod tests {
     use ccs_core::instance::instance_from_pairs;
 
     #[test]
-    fn harness_runs_a_registered_solver() {
-        let harness = Harness::new("harness_selftest");
+    fn harness_runs_a_registered_solver_and_records_quality() {
+        let mut harness = Harness::with_opts(
+            "harness_selftest",
+            &BenchOpts {
+                quick: true,
+                ..Default::default()
+            },
+        );
         let engine = Engine::new();
         let inst = instance_from_pairs(2, 1, &[(3, 0), (4, 1)]).unwrap();
-        harness.bench_registered(&engine, "baseline-lpt", "tiny", &inst);
+        harness
+            .bench_registered(&engine, "baseline-lpt", "tiny/2", &inst)
+            .unwrap();
         let mut count = 0;
         harness.bench_fn("closure", "count", || count += 1);
-        assert!(count >= MIN_ITERS);
+        assert!(count >= QUICK_MIN_ITERS);
+
+        let cases = harness.cases();
+        assert_eq!(cases.len(), 2);
+        let solver_case = &cases[0];
+        assert_eq!(solver_case.solver, "baseline-lpt");
+        assert_eq!(solver_case.family.as_deref(), Some("tiny"));
+        assert_eq!(solver_case.size, Some(2));
+        assert!(solver_case.iters >= QUICK_MIN_ITERS as u64);
+        assert!(solver_case.min_ns <= solver_case.median_ns);
+        assert!(solver_case.median_ns <= solver_case.p95_ns);
+        // LPT on two jobs of different classes on two machines is optimal.
+        assert_eq!(solver_case.makespan, Some(4.0));
+        assert_eq!(solver_case.lower_bound, Some(4.0));
+        assert_eq!(solver_case.ratio, Some(1.0));
+        assert!(cases[1].makespan.is_none());
+
+        let report = harness.into_report();
+        assert!(report.quick);
+        assert_eq!(report.cases.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unknown_solver_panics() {
-        let harness = Harness::new("harness_selftest");
+    fn unknown_solver_is_an_error_not_a_panic() {
+        let mut harness = Harness::new("harness_selftest");
         let engine = Engine::new();
         let inst = instance_from_pairs(1, 1, &[(1, 0)]).unwrap();
-        harness.bench_registered(&engine, "nope", "tiny", &inst);
+        let err = harness
+            .bench_registered(&engine, "nope", "tiny", &inst)
+            .unwrap_err();
+        assert!(err.to_string().contains("not registered"));
+        harness.skip("nope", "tiny", &err);
+        assert!(harness.cases().is_empty());
+    }
+
+    #[test]
+    fn opts_parse_shared_flags_and_pass_the_rest_through() {
+        let args: Vec<String> = [
+            "--quick",
+            "--json",
+            "out.json",
+            "--check",
+            "base.json",
+            "--check-ratio",
+            "2.5",
+            "--exp",
+            "t4",
+            "--bench",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (opts, rest) = BenchOpts::parse(&args).unwrap();
+        assert!(opts.quick);
+        assert_eq!(opts.json.as_deref(), Some("out.json"));
+        assert_eq!(opts.check.as_deref(), Some("base.json"));
+        assert_eq!(opts.check_ratio, Some(2.5));
+        assert_eq!(rest, vec!["--exp".to_string(), "t4".to_string()]);
+        assert_eq!(opts.sweep(), &crate::SIZE_SWEEP[..2]);
+        assert_eq!(opts.compare_config().max_time_ratio, 2.5);
+
+        assert!(BenchOpts::parse(&["--json".to_string()]).is_err());
+        assert!(BenchOpts::parse(&["--check-ratio".to_string(), "0.5".to_string()]).is_err());
+        // A flag must not swallow a following flag as its value.
+        let swallowed: Vec<String> = ["--json", "--check", "base.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(BenchOpts::parse(&swallowed).is_err());
+        // --check-ratio without --check is a mistake, not a no-op.
+        let dangling: Vec<String> = ["--check-ratio", "2.0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(BenchOpts::parse(&dangling).is_err());
+        let (full, _) = BenchOpts::parse(&[]).unwrap();
+        assert!(!full.quick);
+        assert_eq!(full.sweep(), &crate::SIZE_SWEEP[..]);
     }
 }

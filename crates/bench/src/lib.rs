@@ -1,16 +1,26 @@
-//! # ccs-bench — shared helpers for the benchmark harness
+//! # ccs-bench — the workspace's measurement subsystem
 //!
-//! The Criterion benches and the `experiments` binary reproduce every
-//! table/figure-equivalent artefact of the paper (see `DESIGN.md`, section 5
-//! and `EXPERIMENTS.md` for the recorded results).  This library provides the
-//! common workloads and quality metrics they use.
+//! The bench targets and the `experiments` binary reproduce every
+//! table/figure-equivalent artefact of the paper (see `DESIGN.md`, section
+//! 5) *and* feed the perf-regression gate in CI.  This library provides:
+//!
+//! * [`harness`] — the shared timing loop, quality capture and the
+//!   `--json/--check/--quick` CLI surface ([`Harness`], [`BenchOpts`]),
+//! * [`report`] — the JSON artifact schema ([`BenchReport`], [`BenchCase`]),
+//! * [`baseline`] — the comparator that diffs a run against the committed
+//!   `BENCH_baseline.json` and flags time/quality regressions,
+//! * [`Family`] — the workload families every experiment sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod harness;
+pub mod report;
 
-pub use harness::Harness;
+pub use baseline::{compare, CompareConfig, Comparison, Verdict};
+pub use harness::{finish_report, BenchOpts, Harness};
+pub use report::{BenchCase, BenchReport};
 
 use ccs_core::{Instance, Rational, Schedule, ScheduleKind};
 use ccs_gen::GenParams;
@@ -26,15 +36,21 @@ pub enum Family {
     DataPlacement,
     /// Video-on-demand scenario.
     VideoOnDemand,
+    /// Class-correlated processing times (a class fixes a base duration).
+    Correlated,
+    /// Far more machines than jobs, only a handful of classes.
+    ManyMachines,
 }
 
 impl Family {
     /// All families.
-    pub const ALL: [Family; 4] = [
+    pub const ALL: [Family; 6] = [
         Family::Uniform,
         Family::Zipf,
         Family::DataPlacement,
         Family::VideoOnDemand,
+        Family::Correlated,
+        Family::ManyMachines,
     ];
 
     /// Human readable name.
@@ -44,6 +60,8 @@ impl Family {
             Family::Zipf => "zipf",
             Family::DataPlacement => "data-placement",
             Family::VideoOnDemand => "video-on-demand",
+            Family::Correlated => "correlated",
+            Family::ManyMachines => "many-machines",
         }
     }
 
@@ -62,6 +80,8 @@ impl Family {
             Family::Zipf => ccs_gen::zipf_classes(&params, seed),
             Family::DataPlacement => ccs_gen::data_placement(&params, seed),
             Family::VideoOnDemand => ccs_gen::video_on_demand(&params, seed),
+            Family::Correlated => ccs_gen::correlated(&params, seed),
+            Family::ManyMachines => ccs_gen::many_machines(&params, seed),
         }
     }
 }
@@ -87,6 +107,14 @@ mod tests {
             let inst = family.instance(40, 5, 10, 3, 7);
             assert!(inst.is_feasible(), "{}", family.name());
         }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<_> = Family::ALL.iter().map(Family::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Structured benchmark results: per-case samples collected by the
+//! [`crate::Harness`] and serialised through `ccs-core::json` into a single
+//! machine-readable artifact (`BENCH_results.json` by convention).
+//!
+//! A report records, per bench case, both the **speed** side (warmup time,
+//! iteration count, min/median/p95 wall-clock) and — when the subject is a
+//! registered solver — the **quality** side (achieved makespan, the instance
+//! lower bound from `ccs-core::bounds`, and their ratio).  The
+//! [`crate::baseline`] module diffs two reports and gates regressions on
+//! either axis.
+
+use ccs_core::json::{self, JsonValue};
+use ccs_core::{CcsError, Result};
+use std::path::Path;
+
+/// Schema identifier stamped into every report, bumped on breaking changes.
+pub const SCHEMA: &str = "ccs-bench/1";
+
+/// One measured bench case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Bench group (one per bench target / experiment table).
+    pub group: String,
+    /// Subject label — a registry solver name or a free-form subject for
+    /// substrate benches.
+    pub solver: String,
+    /// Case label, conventionally `family/size` (e.g. `uniform/100`).
+    pub case: String,
+    /// Generator family parsed from the case label, when it follows the
+    /// `family/size` convention.
+    pub family: Option<String>,
+    /// Instance size parsed from the case label (number of jobs, accuracy
+    /// parameter, brick count, ... — whatever the sweep varies).
+    pub size: Option<u64>,
+    /// Wall-clock of the single untimed warmup run, in nanoseconds.
+    pub warmup_ns: u64,
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Fastest timed iteration, in nanoseconds.
+    pub min_ns: u64,
+    /// Median timed iteration, in nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile timed iteration, in nanoseconds.
+    pub p95_ns: u64,
+    /// Achieved makespan (solver subjects only).
+    pub makespan: Option<f64>,
+    /// Instance lower bound from `ccs-core::bounds` for the solver's model.
+    /// Deliberately the *weak* polynomial bound — cheap, deterministic, and
+    /// available for every model — not the stronger `ccs-exact` bound the
+    /// `--exp` reproduction tables divide by; the two ratios are therefore
+    /// not comparable across the two outputs.
+    pub lower_bound: Option<f64>,
+    /// `makespan / lower_bound` — an upper bound on the approximation ratio
+    /// actually achieved on this case (`None` when the lower bound is zero).
+    pub ratio: Option<f64>,
+}
+
+impl BenchCase {
+    /// The identity under which [`crate::baseline::compare`] matches cases
+    /// across reports.
+    pub fn key(&self) -> (String, String, String) {
+        (self.group.clone(), self.solver.clone(), self.case.clone())
+    }
+
+    /// Splits a `family/size` case label into its parts (both `None` when
+    /// the label does not follow the convention).
+    pub fn parse_label(case: &str) -> (Option<String>, Option<u64>) {
+        match case.rsplit_once('/') {
+            Some((family, size)) => match size.parse::<u64>() {
+                Ok(size) => (Some(family.to_string()), Some(size)),
+                Err(_) => (None, None),
+            },
+            None => (None, None),
+        }
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("group", self.group.as_str());
+        obj.set("solver", self.solver.as_str());
+        obj.set("case", self.case.as_str());
+        if let Some(family) = &self.family {
+            obj.set("family", family.as_str());
+        }
+        if let Some(size) = self.size {
+            obj.set("size", size);
+        }
+        obj.set("warmup_ns", self.warmup_ns);
+        obj.set("iters", self.iters);
+        obj.set("min_ns", self.min_ns);
+        obj.set("median_ns", self.median_ns);
+        obj.set("p95_ns", self.p95_ns);
+        if let Some(makespan) = self.makespan {
+            obj.set("makespan", makespan);
+        }
+        if let Some(lower_bound) = self.lower_bound {
+            obj.set("lower_bound", lower_bound);
+        }
+        if let Some(ratio) = self.ratio {
+            obj.set("ratio", ratio);
+        }
+        obj
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<BenchCase> {
+        let str_field = |key: &str| -> Result<String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("case is missing string field '{key}'")))
+        };
+        let u64_field = |key: &str| -> Result<u64> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| bad(&format!("case is missing integer field '{key}'")))
+        };
+        Ok(BenchCase {
+            group: str_field("group")?,
+            solver: str_field("solver")?,
+            case: str_field("case")?,
+            family: value
+                .get("family")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
+            size: value.get("size").and_then(JsonValue::as_u64),
+            warmup_ns: u64_field("warmup_ns")?,
+            iters: u64_field("iters")?,
+            min_ns: u64_field("min_ns")?,
+            median_ns: u64_field("median_ns")?,
+            p95_ns: u64_field("p95_ns")?,
+            makespan: value.get("makespan").and_then(JsonValue::as_f64),
+            lower_bound: value.get("lower_bound").and_then(JsonValue::as_f64),
+            ratio: value.get("ratio").and_then(JsonValue::as_f64),
+        })
+    }
+}
+
+/// A full benchmark run: every case measured by one invocation of a bench
+/// target or of the `experiments` binary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Whether the run used the reduced `--quick` measurement budget.
+    pub quick: bool,
+    /// The measured cases, in measurement order.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new(quick: bool) -> Self {
+        BenchReport {
+            quick,
+            cases: Vec::new(),
+        }
+    }
+
+    /// Appends the cases of another collection (used by the `experiments`
+    /// binary to merge per-group harnesses into one artifact).
+    pub fn extend(&mut self, cases: impl IntoIterator<Item = BenchCase>) {
+        self.cases.extend(cases);
+    }
+
+    /// Serialises the report to its JSON document.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("schema", SCHEMA);
+        obj.set("quick", self.quick);
+        obj.set(
+            "cases",
+            JsonValue::Array(self.cases.iter().map(BenchCase::to_json_value).collect()),
+        );
+        obj
+    }
+
+    /// Serialises the report to an indented JSON string (trailing newline
+    /// included, so the artifact is commit-friendly).
+    pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_json_pretty()
+    }
+
+    /// Parses a report from a JSON document.
+    pub fn from_json(input: &str) -> Result<BenchReport> {
+        let value = json::parse(input)?;
+        let schema = value
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing 'schema' field"))?;
+        if schema != SCHEMA {
+            return Err(bad(&format!(
+                "unsupported schema '{schema}' (expected '{SCHEMA}')"
+            )));
+        }
+        let cases = value
+            .get("cases")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| bad("missing 'cases' array"))?
+            .iter()
+            .map(BenchCase::from_json_value)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BenchReport {
+            quick: value
+                .get("quick")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            cases,
+        })
+    }
+
+    /// Writes the report to `path` as indented JSON.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json_string())
+            .map_err(|e| bad(&format!("cannot write '{}': {e}", path.display())))
+    }
+
+    /// Reads a report back from `path`.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<BenchReport> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| bad(&format!("cannot read '{}': {e}", path.display())))?;
+        BenchReport::from_json(&text)
+    }
+}
+
+fn bad(msg: &str) -> CcsError {
+    CcsError::invalid_parameter(format!("bench report: {msg}"))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_case(solver: &str, case: &str, median_ns: u64) -> BenchCase {
+        let (family, size) = BenchCase::parse_label(case);
+        BenchCase {
+            group: "g".to_string(),
+            solver: solver.to_string(),
+            case: case.to_string(),
+            family,
+            size,
+            warmup_ns: median_ns + 1,
+            iters: 10,
+            min_ns: median_ns - median_ns / 10,
+            median_ns,
+            p95_ns: median_ns + median_ns / 10,
+            makespan: Some(20.0),
+            lower_bound: Some(16.0),
+            ratio: Some(1.25),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut report = BenchReport::new(true);
+        report.extend([sample_case("a", "uniform/100", 1_000_000), {
+            let mut c = sample_case("b", "freeform", 2_000);
+            c.makespan = None;
+            c.lower_bound = None;
+            c.ratio = None;
+            c
+        }]);
+        let text = report.to_json_string();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.cases[0].family.as_deref(), Some("uniform"));
+        assert_eq!(back.cases[0].size, Some(100));
+        assert_eq!(back.cases[1].family, None);
+        assert_eq!(back.cases[1].ratio, None);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let mut doc = BenchReport::new(false).to_json_value();
+        doc.set("schema", "ccs-bench/999");
+        assert!(BenchReport::from_json(&doc.to_json()).is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn parse_label_convention() {
+        assert_eq!(
+            BenchCase::parse_label("zipf/200"),
+            (Some("zipf".to_string()), Some(200))
+        );
+        assert_eq!(
+            BenchCase::parse_label("bricks/16"),
+            (Some("bricks".to_string()), Some(16))
+        );
+        assert_eq!(BenchCase::parse_label("exponential_m"), (None, None));
+        assert_eq!(BenchCase::parse_label("a/b"), (None, None));
+    }
+}

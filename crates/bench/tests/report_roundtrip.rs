@@ -1,0 +1,171 @@
+//! End-to-end coverage of the measurement subsystem: a report produced by a
+//! real harness run survives the JSON round trip, and the baseline
+//! comparator classifies improvement / within-noise / regression the way the
+//! CI gate relies on (a synthetic 2x slowdown must fail the check).
+
+use ccs_bench::report::BenchReport;
+use ccs_bench::{compare, BenchOpts, CompareConfig, Family, Harness, Verdict};
+use ccs_engine::Engine;
+
+/// A harness-produced report (quick budget) over two real solvers.
+fn measured_report() -> BenchReport {
+    let opts = BenchOpts {
+        quick: true,
+        ..Default::default()
+    };
+    let mut harness = Harness::with_opts("roundtrip", &opts);
+    let engine = Engine::new();
+    let inst = Family::Uniform.instance(30, 4, 8, 2, 1);
+    for solver in ["baseline-lpt", "approx-splittable-2"] {
+        harness
+            .bench_registered(&engine, solver, "uniform/30", &inst)
+            .expect("registered solver benches");
+    }
+    harness.into_report()
+}
+
+#[test]
+fn harness_report_round_trips_through_json() {
+    let report = measured_report();
+    assert_eq!(report.cases.len(), 2);
+    let parsed = BenchReport::from_json(&report.to_json_string()).expect("parses back");
+    assert_eq!(parsed, report);
+
+    // Quality was captured for both solver cases and is sane.
+    for case in &parsed.cases {
+        assert_eq!(case.family.as_deref(), Some("uniform"));
+        assert_eq!(case.size, Some(30));
+        let ratio = case.ratio.expect("solver cases carry a quality ratio");
+        assert!(
+            ratio >= 1.0,
+            "{}: ratio {ratio} below the lower bound",
+            case.solver
+        );
+        assert!(
+            ratio <= 3.0,
+            "{}: ratio {ratio} implausibly bad",
+            case.solver
+        );
+    }
+}
+
+/// Doubles every median in `report` — the synthetic regression the gate
+/// must catch.
+fn slowed_down(report: &BenchReport, factor: u64) -> BenchReport {
+    let mut slow = report.clone();
+    for case in &mut slow.cases {
+        // Lift the case clear of the noise floor first so the verdict tests
+        // the ratio logic, not the floor.
+        case.median_ns = (case.median_ns + 1_000_000) * factor;
+    }
+    slow
+}
+
+#[test]
+fn baseline_comparison_classifies_all_three_ways() {
+    let baseline = slowed_down(&measured_report(), 1); // medians >= 1ms
+    let config = CompareConfig::default();
+
+    // Identical runs: everything within noise, nothing regresses.
+    let same = compare(&baseline, &baseline, &config);
+    assert!(!same.has_regressions());
+    assert!(same.cases.iter().all(|c| c.verdict == Verdict::WithinNoise));
+
+    // Synthetic 2x slowdown: every case regresses, the gate fails.
+    let current = slowed_down(&baseline, 2);
+    let regressed = compare(&current, &baseline, &config);
+    assert!(regressed.has_regressions());
+    assert_eq!(regressed.failures().len(), baseline.cases.len());
+    for case in &regressed.cases {
+        assert!(
+            matches!(case.verdict, Verdict::TimeRegression { factor } if factor > 1.9),
+            "{}: expected a time regression, got {:?}",
+            case.label(),
+            case.verdict
+        );
+    }
+
+    // Viewed the other way around, the same diff is an improvement.
+    let improved = compare(&baseline, &current, &config);
+    assert!(!improved.has_regressions());
+    assert!(improved
+        .cases
+        .iter()
+        .all(|c| matches!(c.verdict, Verdict::Improvement { .. })));
+}
+
+#[test]
+fn check_against_file_gates_a_2x_regression_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("ccs-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline_path = dir.join("baseline.json");
+
+    let current = slowed_down(&measured_report(), 2);
+    let fast_baseline = slowed_down(&measured_report(), 1);
+    fast_baseline.write_file(&baseline_path).unwrap();
+
+    // This is exactly the path `--check` takes before mapping
+    // `has_regressions` to a failing exit code.
+    let comparison = ccs_bench::baseline::check_against_file(
+        &current,
+        &baseline_path,
+        &CompareConfig::default(),
+    )
+    .expect("baseline loads");
+    assert!(comparison.has_regressions());
+
+    // A missing baseline file is an error (maps to a failing exit, too).
+    assert!(ccs_bench::baseline::check_against_file(
+        &current,
+        dir.join("nope.json"),
+        &CompareConfig::default()
+    )
+    .is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_coverage_fails_but_new_coverage_does_not() {
+    let full = slowed_down(&measured_report(), 1);
+    let mut subset = full.clone();
+    subset.cases.truncate(1);
+
+    // Current run lost a case the baseline had: gate fails.
+    let lost = compare(&subset, &full, &CompareConfig::default());
+    assert!(lost.has_regressions());
+    assert!(lost.cases.iter().any(|c| c.verdict == Verdict::Missing));
+
+    // Current run added a case the baseline lacks: gate passes.
+    let grown = compare(&full, &subset, &CompareConfig::default());
+    assert!(!grown.has_regressions());
+    assert!(grown.cases.iter().any(|c| c.verdict == Verdict::New));
+}
+
+#[test]
+fn committed_repo_baseline_is_loadable_and_covers_the_registry() {
+    // Guards the artifact at the repo root against schema drift: CI's
+    // bench-smoke job is only meaningful while this file parses and spans
+    // every registered solver and family.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let baseline = BenchReport::read_file(path).expect("BENCH_baseline.json parses");
+    assert!(baseline.quick, "baseline is recorded with --quick");
+
+    let engine = Engine::new();
+    for name in engine.registry().names() {
+        let families: std::collections::BTreeSet<_> = baseline
+            .cases
+            .iter()
+            .filter(|c| c.solver == name)
+            .filter_map(|c| c.family.clone())
+            .collect();
+        assert!(
+            families.len() >= Family::ALL.len(),
+            "baseline covers only {} families for solver {name}",
+            families.len()
+        );
+    }
+    for case in &baseline.cases {
+        assert!(case.ratio.is_some(), "{}: no quality ratio", case.case);
+    }
+}

@@ -39,6 +39,31 @@ impl JsonValue {
         }
     }
 
+    /// The value as `f64`; integers are widened (exact up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice.
     pub fn as_array(&self) -> Option<&[JsonValue]> {
         match self {
@@ -55,11 +80,71 @@ impl JsonValue {
         }
     }
 
+    /// Member lookup on an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+
+    /// An empty object, ready for [`JsonValue::set`] chaining.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(BTreeMap::new())
+    }
+
+    /// Inserts a member into an object value (no-op on non-objects).
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) {
+        if let JsonValue::Object(map) = self {
+            map.insert(key.to_string(), value.into());
+        }
+    }
+
     /// Serialises the value to a compact JSON string.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
         out
+    }
+
+    /// Serialises the value to an indented, diff-friendly JSON string
+    /// (used for committed artifacts such as bench baselines).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_string(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -96,6 +181,70 @@ impl JsonValue {
                 out.push('}');
             }
         }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        // JSON has no NaN/Infinity literal — `{v}` would emit invalid JSON
+        // that the parser then rejects on read-back, so map them to null.
+        if !v.is_finite() {
+            JsonValue::Null
+        // Keep integral floats exact (and the output valid JSON: `{v}` on an
+        // integral f64 would print without a dot and re-parse as Int anyway).
+        } else if v.fract() == 0.0 && v.abs() < 1e15 {
+            JsonValue::Int(v as i128)
+        } else {
+            JsonValue::Float(v)
+        }
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(items: Vec<T>) -> Self {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
     }
 }
 
@@ -376,5 +525,55 @@ mod tests {
     fn nested_arrays() {
         let v = parse("[[1],[2,[3]]]").unwrap();
         assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut obj = JsonValue::object();
+        obj.set("name", "lpt");
+        obj.set("iters", 42u64);
+        obj.set("ratio", 1.25);
+        obj.set("quick", true);
+        obj.set("sizes", vec![50u64, 100]);
+        assert_eq!(obj.get("name").and_then(JsonValue::as_str), Some("lpt"));
+        assert_eq!(obj.get("iters").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(obj.get("ratio").and_then(JsonValue::as_f64), Some(1.25));
+        assert_eq!(obj.get("quick").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            obj.get("sizes")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn integral_floats_serialise_as_ints() {
+        // `From<f64>` must not emit `2` as `Float(2.0)` -> "2" -> reparse Int
+        // asymmetry; the round trip below relies on it.
+        let v: JsonValue = JsonValue::from(2.0f64);
+        assert_eq!(v, JsonValue::Int(2));
+        let w: JsonValue = JsonValue::from(2.5f64);
+        assert_eq!(parse(&w.to_json()).unwrap(), w);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let j = JsonValue::from(v);
+            assert_eq!(j, JsonValue::Null);
+            assert_eq!(parse(&j.to_json()).unwrap(), JsonValue::Null);
+        }
+    }
+
+    #[test]
+    fn pretty_output_reparses_identically() {
+        let src = r#"{"a":[1,2,{"b":[]}],"c":{"d":1.5,"e":[{"f":"g"}]}}"#;
+        let v = parse(src).unwrap();
+        let pretty = v.to_json_pretty();
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
     }
 }

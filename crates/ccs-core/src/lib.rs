@@ -44,4 +44,4 @@ pub use schedule::{
     AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,
     PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
 };
-pub use solver::{Guarantee, SolveReport, SolveStats, Solver};
+pub use solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};

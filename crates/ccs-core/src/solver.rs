@@ -45,6 +45,22 @@ impl std::fmt::Display for Guarantee {
     }
 }
 
+/// The asymptotic cost regime of a solver — what benchmark and portfolio
+/// code needs to size instances safely, without matching on solver names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SolverCost {
+    /// Low-order polynomial in the instance size; safe at any bench size.
+    #[default]
+    Polynomial,
+    /// Exponential in the accuracy parameter (the approximation schemes):
+    /// polynomial for fixed accuracy but with huge constants, so bench
+    /// instances must stay small.
+    AccuracyExponential,
+    /// Exponential in the instance size (the exact solvers, which enforce
+    /// hard instance limits and error out beyond them).
+    InstanceExponential,
+}
+
 /// Counters reported by a solver run; fields not applicable to a given
 /// algorithm stay zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -133,6 +149,12 @@ pub trait Solver<S: Schedule>: Send + Sync {
 
     /// The solver's a-priori quality guarantee.
     fn guarantee(&self) -> Guarantee;
+
+    /// The solver's asymptotic cost regime (defaults to
+    /// [`SolverCost::Polynomial`]; schemes and exact solvers override it).
+    fn cost(&self) -> SolverCost {
+        SolverCost::Polynomial
+    }
 
     /// Runs the algorithm on `inst`.
     fn solve(&self, inst: &Instance) -> Result<SolveReport<S>>;

@@ -36,4 +36,4 @@ pub mod registry;
 
 pub use engine::{Engine, Solution};
 pub use policy::{Accuracy, SolveRequest};
-pub use registry::{erase, ErasedSolver, SolverRegistry};
+pub use registry::{erase, ErasedSolver, SolverMeta, SolverRegistry};

@@ -9,7 +9,7 @@
 //! baselines side by side — the foundation of the portfolio policy, the
 //! batch executor and the benchmark harness.
 
-use ccs_core::solver::{Guarantee, SolveReport, Solver};
+use ccs_core::solver::{Guarantee, SolveReport, Solver, SolverCost};
 use ccs_core::{AnySchedule, Instance, Result, Schedule, ScheduleKind};
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -24,6 +24,9 @@ pub trait ErasedSolver: Send + Sync {
 
     /// The solver's a-priori quality guarantee.
     fn guarantee(&self) -> Guarantee;
+
+    /// The solver's asymptotic cost regime (see [`Solver::cost`]).
+    fn cost(&self) -> SolverCost;
 
     /// Runs the solver, wrapping the schedule into [`AnySchedule`].
     fn solve_any(&self, inst: &Instance) -> Result<SolveReport<AnySchedule>>;
@@ -51,6 +54,10 @@ where
         self.solver.guarantee()
     }
 
+    fn cost(&self) -> SolverCost {
+        self.solver.cost()
+    }
+
     fn solve_any(&self, inst: &Instance) -> Result<SolveReport<AnySchedule>> {
         Ok(self.solver.solve(inst)?.map_schedule(Into::into))
     }
@@ -66,6 +73,33 @@ where
         solver,
         _model: PhantomData,
     })
+}
+
+/// Descriptive metadata of a registered solver — everything a measurement
+/// artifact needs to label a result without holding the solver itself
+/// (consumed by `ccs-bench`'s JSON reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverMeta {
+    /// Stable registry name (see [`ErasedSolver::name`]).
+    pub name: &'static str,
+    /// Placement model of the produced schedules.
+    pub kind: ScheduleKind,
+    /// A-priori quality guarantee.
+    pub guarantee: Guarantee,
+    /// Asymptotic cost regime (sizes bench instances safely).
+    pub cost: SolverCost,
+}
+
+impl SolverMeta {
+    /// Extracts the metadata of a model-erased solver.
+    pub fn of(solver: &dyn ErasedSolver) -> Self {
+        SolverMeta {
+            name: solver.name(),
+            kind: solver.kind(),
+            guarantee: solver.guarantee(),
+            cost: solver.cost(),
+        }
+    }
 }
 
 /// A named collection of model-erased solvers.
@@ -130,6 +164,14 @@ impl SolverRegistry {
         self.solvers.iter().map(|s| s.name()).collect()
     }
 
+    /// Metadata of all registered solvers, in registration order.
+    pub fn metadata(&self) -> Vec<SolverMeta> {
+        self.solvers
+            .iter()
+            .map(|s| SolverMeta::of(s.as_ref()))
+            .collect()
+    }
+
     /// All solvers producing schedules of the given placement model.
     pub fn solvers_for(&self, kind: ScheduleKind) -> Vec<Arc<dyn ErasedSolver>> {
         self.solvers
@@ -188,6 +230,26 @@ mod tests {
         assert_eq!(registry.len(), 1);
         assert!(registry.get("approx-splittable-2").is_some());
         assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn metadata_mirrors_registration() {
+        let registry = SolverRegistry::with_defaults();
+        let meta = registry.metadata();
+        assert_eq!(meta.len(), registry.len());
+        for (m, name) in meta.iter().zip(registry.names()) {
+            assert_eq!(m.name, name);
+            let solver = registry.get(name).unwrap();
+            assert_eq!(m.kind, solver.kind());
+            assert_eq!(m.guarantee, solver.guarantee());
+            assert_eq!(m.cost, solver.cost());
+        }
+        // The cost regimes the suite sizing relies on.
+        let cost_of = |name: &str| registry.get(name).unwrap().cost();
+        assert_eq!(cost_of("exact-splittable"), SolverCost::InstanceExponential);
+        assert_eq!(cost_of("ptas-preemptive"), SolverCost::AccuracyExponential);
+        assert_eq!(cost_of("approx-splittable-2"), SolverCost::Polynomial);
+        assert_eq!(cost_of("baseline-lpt"), SolverCost::Polynomial);
     }
 
     #[test]

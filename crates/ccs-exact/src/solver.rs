@@ -8,7 +8,7 @@
 
 use crate::nonpreemptive::nonpreemptive_optimum_with_schedule;
 use crate::witness::{preemptive_optimum_with_schedule, splittable_optimum_with_schedule};
-use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
+use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};
 use ccs_core::{
     Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, ScheduleKind,
     SplittableSchedule,
@@ -30,6 +30,10 @@ impl Solver<NonPreemptiveSchedule> for ExactNonPreemptive {
 
     fn guarantee(&self) -> Guarantee {
         Guarantee::Exact
+    }
+
+    fn cost(&self) -> SolverCost {
+        SolverCost::InstanceExponential
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
@@ -61,6 +65,10 @@ impl Solver<SplittableSchedule> for ExactSplittable {
         Guarantee::Exact
     }
 
+    fn cost(&self) -> SolverCost {
+        SolverCost::InstanceExponential
+    }
+
     fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
         let (opt, schedule) = splittable_optimum_with_schedule(inst)?;
         Ok(SolveReport {
@@ -89,6 +97,10 @@ impl Solver<PreemptiveSchedule> for ExactPreemptive {
 
     fn guarantee(&self) -> Guarantee {
         Guarantee::Exact
+    }
+
+    fn cost(&self) -> SolverCost {
+        SolverCost::InstanceExponential
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {

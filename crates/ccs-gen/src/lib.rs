@@ -14,6 +14,10 @@
 //! * [`video_on_demand`] — the video-on-demand scenario known from
 //!   class-constrained bin packing: requests for movies with Zipf popularity
 //!   and a small number of distinct stream lengths,
+//! * [`correlated`] — class-correlated processing times (a class determines
+//!   a base duration, jobs jitter around it),
+//! * [`many_machines`] — far more machines than jobs but only a handful of
+//!   classes, exercising the compact-encoding / class-splitting paths,
 //! * [`adversarial_round_robin`] — instances on which the simple round-robin
 //!   based algorithms are pushed towards their worst-case factors,
 //! * [`tiny_random`] — very small instances for comparisons against the exact
@@ -182,6 +186,53 @@ pub fn video_on_demand(params: &GenParams, seed: u64) -> Instance {
     build(params, jobs)
 }
 
+/// Correlated processing times: each class has a characteristic base
+/// duration and its jobs jitter around it (±25%).  Models product-planning
+/// workloads where a setup class determines how long its tasks run — the
+/// regime where class load concentrates and the chunking step of the
+/// constant-factor algorithms does real work.
+pub fn correlated(params: &GenParams, seed: u64) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed);
+    let budget = params.classes.max(1);
+    let bases: Vec<u64> = (0..budget)
+        .map(|_| rng.range_u64(params.p_min, params.p_max))
+        .collect();
+    let jobs = (0..params.jobs)
+        .map(|_| {
+            let c = clamp_class(rng.below_u32(params.classes), params);
+            let base = bases[c as usize % bases.len()];
+            let jitter = base / 4;
+            let p = rng
+                .range_u64(base.saturating_sub(jitter), base.saturating_add(jitter))
+                .clamp(params.p_min.max(1), params.p_max.max(1));
+            (p, c)
+        })
+        .collect();
+    build(params, jobs)
+}
+
+/// Many machines, few classes: the machine count dominates the job count
+/// (at least `4·n`) while at most four classes exist, so every class must be
+/// split/spread across many machines and the compact-encoding paths
+/// (Theorem 11) carry the schedule.  `params.machines` acts as a lower bound
+/// on the machine count.
+pub fn many_machines(params: &GenParams, seed: u64) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed);
+    let spread = GenParams {
+        machines: params.machines.max(params.jobs as u64 * 4),
+        classes: params.classes.clamp(1, 4),
+        ..*params
+    };
+    let jobs = (0..spread.jobs)
+        .map(|_| {
+            let p = rng.range_u64(spread.p_min, spread.p_max);
+            let c = clamp_class(rng.below_u32(spread.classes), &spread);
+            (p, c)
+        })
+        .collect();
+    build(&spread, jobs)
+}
+
 /// Instances designed to stress the round-robin algorithms: one huge class
 /// that must be split into exactly `machines` chunks plus `machines` small
 /// classes of almost the chunk size, so the makespan of the 2-approximation
@@ -244,7 +295,51 @@ mod tests {
         assert_eq!(zipf_classes(&p, 7), zipf_classes(&p, 7));
         assert_eq!(data_placement(&p, 7), data_placement(&p, 7));
         assert_eq!(video_on_demand(&p, 7), video_on_demand(&p, 7));
+        assert_eq!(correlated(&p, 7), correlated(&p, 7));
+        assert_eq!(many_machines(&p, 7), many_machines(&p, 7));
         assert_ne!(uniform(&p, 7), uniform(&p, 8));
+    }
+
+    #[test]
+    fn correlated_times_cluster_per_class() {
+        let p = GenParams {
+            jobs: 600,
+            classes: 12,
+            p_min: 1,
+            p_max: 10_000,
+            ..Default::default()
+        };
+        let inst = correlated(&p, 5);
+        assert!(inst.is_feasible());
+        // Within a class the spread is bounded by the ±25% jitter: the max is
+        // at most (base + base/4) / (base - base/4) ≈ 5/3 of the min, far
+        // below the uniform family's 10^4 dynamic range.
+        for u in 0..inst.num_classes() {
+            let times: Vec<u64> = inst
+                .jobs_of_class(u)
+                .iter()
+                .map(|&j| inst.processing_time(j))
+                .collect();
+            if times.len() < 2 {
+                continue;
+            }
+            let lo = *times.iter().min().unwrap() as f64;
+            let hi = *times.iter().max().unwrap() as f64;
+            assert!(hi <= lo * 2.0 + 4.0, "class {u}: spread {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn many_machines_dominates_jobs_with_few_classes() {
+        let p = GenParams::new(50, 5, 30, 2);
+        let inst = many_machines(&p, 9);
+        assert!(inst.machines() >= 4 * inst.num_jobs() as u64);
+        assert!(inst.num_classes() <= 4);
+        assert!(inst.is_feasible());
+        for seed in 0..10 {
+            assert!(many_machines(&p, seed).is_feasible());
+            assert!(correlated(&p, seed).is_feasible());
+        }
     }
 
     #[test]

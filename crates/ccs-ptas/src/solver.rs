@@ -10,7 +10,7 @@ use crate::params::PtasParams;
 use crate::preemptive::preemptive_ptas;
 use crate::result::PtasResult;
 use crate::splittable::splittable_ptas;
-use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
+use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};
 use ccs_core::{
     Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, Schedule, ScheduleKind,
     SplittableSchedule,
@@ -91,6 +91,10 @@ impl Solver<SplittableSchedule> for SplittablePtas {
         ptas_guarantee(self.params)
     }
 
+    fn cost(&self) -> SolverCost {
+        SolverCost::AccuracyExponential
+    }
+
     fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
         Ok(report_from_ptas(inst, splittable_ptas(inst, self.params)?))
     }
@@ -109,6 +113,10 @@ impl Solver<PreemptiveSchedule> for PreemptivePtas {
         ptas_guarantee(self.params)
     }
 
+    fn cost(&self) -> SolverCost {
+        SolverCost::AccuracyExponential
+    }
+
     fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {
         Ok(report_from_ptas(inst, preemptive_ptas(inst, self.params)?))
     }
@@ -125,6 +133,10 @@ impl Solver<NonPreemptiveSchedule> for NonpreemptivePtas {
 
     fn guarantee(&self) -> Guarantee {
         ptas_guarantee(self.params)
+    }
+
+    fn cost(&self) -> SolverCost {
+        SolverCost::AccuracyExponential
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
