@@ -31,6 +31,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.list_solvers {
+        print!("{}", ccs_bench::render_solver_list(&Engine::new()));
+        return ExitCode::SUCCESS;
+    }
     let mut exp: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -45,7 +49,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unrecognised argument '{other}'");
                 eprintln!(
-                    "usage: experiments [--exp <id>] [--quick] [--json <path>] [--check <baseline>] [--check-ratio <f>]"
+                    "usage: experiments [--exp <id>] [--quick] [--json <path>] [--check <baseline>] [--check-ratio <f>] [--list-solvers]"
                 );
                 return ExitCode::from(2);
             }

@@ -60,6 +60,8 @@ pub struct BenchOpts {
     pub check: Option<String>,
     /// Overrides [`CompareConfig::max_time_ratio`] for `--check`.
     pub check_ratio: Option<f64>,
+    /// Print the metadata of every registered solver and exit.
+    pub list_solvers: bool,
 }
 
 impl BenchOpts {
@@ -85,6 +87,7 @@ impl BenchOpts {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
+                "--list-solvers" => opts.list_solvers = true,
                 "--json" => opts.json = Some(value_of(&mut it, "--json")?),
                 "--check" => opts.check = Some(value_of(&mut it, "--check")?),
                 "--check-ratio" => {
@@ -109,14 +112,22 @@ impl BenchOpts {
 
     /// Parses [`std::env::args`], exiting with a message on malformed flags
     /// or unrecognised arguments (bench targets take none of their own).
+    /// `--list-solvers` is handled here: it prints the registry metadata and
+    /// exits successfully before any benching starts.
     pub fn from_env() -> BenchOpts {
         let args: Vec<String> = std::env::args().skip(1).collect();
         match BenchOpts::parse(&args) {
-            Ok((opts, rest)) if rest.is_empty() => opts,
+            Ok((opts, rest)) if rest.is_empty() => {
+                if opts.list_solvers {
+                    print!("{}", render_solver_list(&Engine::new()));
+                    std::process::exit(0);
+                }
+                opts
+            }
             Ok((_, rest)) => {
                 eprintln!("unrecognised arguments: {rest:?}");
                 eprintln!(
-                    "usage: [--quick] [--json <path>] [--check <baseline>] [--check-ratio <f>]"
+                    "usage: [--quick] [--json <path>] [--check <baseline>] [--check-ratio <f>] [--list-solvers]"
                 );
                 std::process::exit(2);
             }
@@ -144,6 +155,30 @@ impl BenchOpts {
             None => CompareConfig::default(),
         }
     }
+}
+
+/// The table printed by `--list-solvers`: one line of
+/// [`ccs_engine::SolverMeta`] per registered solver (name, model, guarantee,
+/// cost regime).
+pub fn render_solver_list(engine: &Engine) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:<15} {:<22} cost",
+        "solver", "model", "guarantee"
+    );
+    for meta in engine.registry().metadata() {
+        let _ = writeln!(
+            out,
+            "{:<26} {:<15} {:<22} {}",
+            meta.name,
+            meta.kind.name(),
+            meta.guarantee.to_string(),
+            meta.cost
+        );
+    }
+    out
 }
 
 /// A named group of bench cases: prints uniform per-solver throughput lines
@@ -413,6 +448,34 @@ mod tests {
         assert!(err.to_string().contains("not registered"));
         harness.skip("nope", "tiny", &err);
         assert!(harness.cases().is_empty());
+    }
+
+    #[test]
+    fn list_solvers_flag_and_rendering() {
+        let (opts, rest) = BenchOpts::parse(&["--list-solvers".to_string()]).unwrap();
+        assert!(opts.list_solvers);
+        assert!(rest.is_empty());
+        let (plain, _) = BenchOpts::parse(&[]).unwrap();
+        assert!(!plain.list_solvers);
+
+        let table = render_solver_list(&Engine::new());
+        // Header plus one line per registered solver.
+        assert_eq!(table.lines().count(), 1 + Engine::new().registry().len());
+        for fragment in [
+            "approx-splittable-2",
+            "ptas-preemptive",
+            "exact-nonpreemptive",
+            "baseline-lpt",
+            "7/3-approximation",
+            "instance-exponential",
+            "accuracy-exponential",
+            "polynomial",
+        ] {
+            assert!(
+                table.contains(fragment),
+                "missing '{fragment}' in:\n{table}"
+            );
+        }
     }
 
     #[test]

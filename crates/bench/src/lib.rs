@@ -19,7 +19,7 @@ pub mod harness;
 pub mod report;
 
 pub use baseline::{compare, CompareConfig, Comparison, Verdict};
-pub use harness::{finish_report, BenchOpts, Harness};
+pub use harness::{finish_report, render_solver_list, BenchOpts, Harness};
 pub use report::{BenchCase, BenchReport};
 
 use ccs_core::{Instance, Rational, Schedule, ScheduleKind};

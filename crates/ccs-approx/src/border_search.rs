@@ -9,7 +9,7 @@
 //! every class, over `k ∈ {1, …, m}` — `O(C log m)` feasibility checks in
 //! total (Lemma 2).
 
-use ccs_core::{Instance, Rational};
+use ccs_core::{Instance, Rational, Result, SolveContext};
 
 /// Outcome of the border search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,20 +55,34 @@ pub fn slot_budget(inst: &Instance) -> u128 {
 /// [`Instance::is_feasible`] first — `T = max_u P_u` is always feasible for a
 /// feasible instance.
 pub fn minimal_feasible_guess(inst: &Instance, lb: Rational) -> BorderSearch {
+    minimal_feasible_guess_ctx(inst, lb, &SolveContext::unbounded())
+        .expect("unbounded context never interrupts the search")
+}
+
+/// [`minimal_feasible_guess`] under an execution context: the per-class
+/// binary searches poll `ctx` and abort with
+/// [`ccs_core::CcsError::DeadlineExceeded`] / [`ccs_core::CcsError::Cancelled`]
+/// when its budget runs out.
+pub fn minimal_feasible_guess_ctx(
+    inst: &Instance,
+    lb: Rational,
+    ctx: &SolveContext,
+) -> Result<BorderSearch> {
     let class_loads = inst.class_loads();
     let budget = slot_budget(inst);
     let m = inst.machines();
 
     let mut iterations = 1usize;
     if is_feasible_guess(class_loads, lb, budget) {
-        return BorderSearch {
+        return Ok(BorderSearch {
             threshold: lb,
             iterations,
-        };
+        });
     }
 
     let mut best: Option<Rational> = None;
     for &pu in class_loads {
+        ctx.checkpoint()?;
         let pu_r = Rational::from(pu);
         // Borders of class u that are >= lb correspond to k <= P_u / lb.
         let k_cap = (pu_r / lb).floor();
@@ -107,10 +121,10 @@ pub fn minimal_feasible_guess(inst: &Instance, lb: Rational) -> BorderSearch {
 
     let threshold = best.expect("a feasible instance always admits a feasible border");
     debug_assert!(threshold >= lb);
-    BorderSearch {
+    Ok(BorderSearch {
         threshold,
         iterations,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -38,8 +38,8 @@ pub mod round_robin;
 pub mod solver;
 pub mod splittable;
 
-pub use nonpreemptive::nonpreemptive_73_approx;
-pub use preemptive::preemptive_two_approx;
+pub use nonpreemptive::{nonpreemptive_73_approx, nonpreemptive_73_approx_ctx};
+pub use preemptive::{preemptive_two_approx, preemptive_two_approx_ctx};
 pub use result::ApproxResult;
 pub use solver::{Nonpreemptive73Approx, PreemptiveTwoApprox, SplittableTwoApprox};
-pub use splittable::splittable_two_approx;
+pub use splittable::{splittable_two_approx, splittable_two_approx_ctx};

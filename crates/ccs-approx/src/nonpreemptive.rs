@@ -20,10 +20,21 @@ use crate::result::ApproxResult;
 use crate::round_robin::descending_order;
 use ccs_core::{
     bounds, CcsError, ClassId, Instance, JobId, NonPreemptiveSchedule, Rational, Result,
+    SolveContext,
 };
 
 /// Runs the 7/3-approximation for the non-preemptive case.
 pub fn nonpreemptive_73_approx(inst: &Instance) -> Result<ApproxResult<NonPreemptiveSchedule>> {
+    nonpreemptive_73_approx_ctx(inst, &SolveContext::unbounded())
+}
+
+/// [`nonpreemptive_73_approx`] under an execution context (deadline /
+/// cancellation polled per binary-search iteration).
+pub fn nonpreemptive_73_approx_ctx(
+    inst: &Instance,
+    ctx: &SolveContext,
+) -> Result<ApproxResult<NonPreemptiveSchedule>> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible(format!(
             "{} classes cannot fit into {} x {} class slots",
@@ -53,6 +64,7 @@ pub fn nonpreemptive_73_approx(inst: &Instance) -> Result<ApproxResult<NonPreemp
     let mut hi = ub;
     let mut iterations = 0usize;
     while lo < hi {
+        ctx.checkpoint()?;
         let mid = lo + (hi - lo) / 2;
         iterations += 1;
         if guess_is_feasible(inst, mid) {
@@ -62,6 +74,7 @@ pub fn nonpreemptive_73_approx(inst: &Instance) -> Result<ApproxResult<NonPreemp
         }
     }
     let t = lo;
+    ctx.checkpoint()?;
     debug_assert!(guess_is_feasible(inst, t));
 
     let schedule = build_schedule(inst, t);

@@ -16,10 +16,22 @@ use crate::border_search::{self, BorderSearch};
 use crate::chunking::{chunk_pieces, split_classes};
 use crate::result::ApproxResult;
 use crate::round_robin::descending_order;
-use ccs_core::{bounds, CcsError, Instance, PreemptivePiece, PreemptiveSchedule, Rational, Result};
+use ccs_core::{
+    bounds, CcsError, Instance, PreemptivePiece, PreemptiveSchedule, Rational, Result, SolveContext,
+};
 
 /// Runs the 2-approximation for the preemptive case.
 pub fn preemptive_two_approx(inst: &Instance) -> Result<ApproxResult<PreemptiveSchedule>> {
+    preemptive_two_approx_ctx(inst, &SolveContext::unbounded())
+}
+
+/// [`preemptive_two_approx`] under an execution context (deadline /
+/// cancellation polled inside the border search).
+pub fn preemptive_two_approx_ctx(
+    inst: &Instance,
+    ctx: &SolveContext,
+) -> Result<ApproxResult<PreemptiveSchedule>> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible(format!(
             "{} classes cannot fit into {} x {} class slots",
@@ -57,7 +69,8 @@ pub fn preemptive_two_approx(inst: &Instance) -> Result<ApproxResult<PreemptiveS
     let BorderSearch {
         threshold,
         iterations,
-    } = border_search::minimal_feasible_guess(inst, lb);
+    } = border_search::minimal_feasible_guess_ctx(inst, lb, ctx)?;
+    ctx.checkpoint()?;
     let schedule = build_schedule(inst, threshold);
     Ok(ApproxResult {
         schedule,

@@ -1,19 +1,20 @@
 //! [`Solver`] implementations for the constant-factor algorithms.
 //!
-//! The free functions ([`splittable_two_approx`], [`preemptive_two_approx`],
-//! [`nonpreemptive_73_approx`]) remain the primary entry points for direct
-//! callers; the unit structs below expose the same algorithms through the
+//! The free functions ([`crate::splittable_two_approx`],
+//! [`crate::preemptive_two_approx`], [`crate::nonpreemptive_73_approx`])
+//! remain the primary entry points for direct callers; the unit structs
+//! below expose the same algorithms through the
 //! unified solving surface of `ccs-core` so the `ccs-engine` registry,
 //! portfolio policy and benchmark harness can drive them uniformly.
 
-use crate::nonpreemptive::nonpreemptive_73_approx;
-use crate::preemptive::preemptive_two_approx;
+use crate::nonpreemptive::nonpreemptive_73_approx_ctx;
+use crate::preemptive::preemptive_two_approx_ctx;
 use crate::result::ApproxResult;
-use crate::splittable::splittable_two_approx;
+use crate::splittable::splittable_two_approx_ctx;
 use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
 use ccs_core::{
     Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, Schedule, ScheduleKind,
-    SplittableSchedule,
+    SolveContext, SplittableSchedule,
 };
 
 fn report_from_approx<S: Schedule>(inst: &Instance, r: ApproxResult<S>) -> SolveReport<S> {
@@ -44,7 +45,18 @@ impl Solver<SplittableSchedule> for SplittableTwoApprox {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
-        Ok(report_from_approx(inst, splittable_two_approx(inst)?))
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<SplittableSchedule>> {
+        Ok(report_from_approx(
+            inst,
+            splittable_two_approx_ctx(inst, ctx)?,
+        ))
     }
 }
 
@@ -67,7 +79,18 @@ impl Solver<PreemptiveSchedule> for PreemptiveTwoApprox {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {
-        Ok(report_from_approx(inst, preemptive_two_approx(inst)?))
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<PreemptiveSchedule>> {
+        Ok(report_from_approx(
+            inst,
+            preemptive_two_approx_ctx(inst, ctx)?,
+        ))
     }
 }
 
@@ -89,13 +112,25 @@ impl Solver<NonPreemptiveSchedule> for Nonpreemptive73Approx {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
-        Ok(report_from_approx(inst, nonpreemptive_73_approx(inst)?))
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        Ok(report_from_approx(
+            inst,
+            nonpreemptive_73_approx_ctx(inst, ctx)?,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::splittable::splittable_two_approx;
     use ccs_core::instance::instance_from_pairs;
 
     fn sample() -> Instance {

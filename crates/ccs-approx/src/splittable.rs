@@ -15,13 +15,25 @@
 use crate::border_search::{self, BorderSearch};
 use crate::chunking::{chunk_pieces, class_chunk_counts, Chunk};
 use crate::result::ApproxResult;
-use ccs_core::{bounds, CcsError, ClassRun, Instance, Rational, Result, SplittableSchedule};
+use ccs_core::{
+    bounds, CcsError, ClassRun, Instance, Rational, Result, SolveContext, SplittableSchedule,
+};
 
 /// Runs the 2-approximation for the splittable case.
 ///
 /// Returns an error only if the instance admits no feasible schedule at all
 /// (`C > c·m`).
 pub fn splittable_two_approx(inst: &Instance) -> Result<ApproxResult<SplittableSchedule>> {
+    splittable_two_approx_ctx(inst, &SolveContext::unbounded())
+}
+
+/// [`splittable_two_approx`] under an execution context (deadline /
+/// cancellation polled inside the border search).
+pub fn splittable_two_approx_ctx(
+    inst: &Instance,
+    ctx: &SolveContext,
+) -> Result<ApproxResult<SplittableSchedule>> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible(format!(
             "{} classes cannot fit into {} x {} class slots",
@@ -34,7 +46,8 @@ pub fn splittable_two_approx(inst: &Instance) -> Result<ApproxResult<SplittableS
     let BorderSearch {
         threshold,
         iterations,
-    } = border_search::minimal_feasible_guess(inst, lb);
+    } = border_search::minimal_feasible_guess_ctx(inst, lb, ctx)?;
+    ctx.checkpoint()?;
     let schedule = build_schedule(inst, threshold);
     Ok(ApproxResult {
         schedule,

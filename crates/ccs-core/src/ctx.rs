@@ -1,0 +1,265 @@
+//! Execution context for solver runs: deadlines, cooperative cancellation
+//! and a shared stats sink.
+//!
+//! A [`SolveContext`] travels alongside an instance through
+//! [`Solver::solve_ctx`](crate::solver::Solver::solve_ctx) into the hot
+//! search loops of every algorithm crate (the advanced binary search of the
+//! constant-factor algorithms, the guess/configuration enumeration of the
+//! PTASes, the branch enumeration of the exact solvers).  The loops call
+//! [`SolveContext::checkpoint`] periodically; when the deadline has passed or
+//! the cancel flag is set, the checkpoint fails with
+//! [`CcsError::DeadlineExceeded`] / [`CcsError::Cancelled`] and the error
+//! unwinds the run cleanly — no partial schedule ever escapes, and the
+//! worker executing the run stays reusable.
+//!
+//! Contexts are cheap to construct and clone; an unbounded context
+//! ([`SolveContext::unbounded`]) makes every checkpoint a no-op apart from
+//! two `Option` reads.
+
+use crate::error::{CcsError, Result};
+use crate::solver::SolveStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag: the requester keeps one clone and the
+/// solver run polls another through its [`SolveContext`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation; every context holding this flag fails its next
+    /// [`SolveContext::checkpoint`] with [`CcsError::Cancelled`].
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated counters across many solver runs, suitable for sharing between
+/// threads (all fields are atomics).  A service attaches one sink to the
+/// contexts of all requests it executes and reads the totals for telemetry.
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    solves: AtomicU64,
+    checkpoints: AtomicU64,
+    search_iterations: AtomicU64,
+    guesses_evaluated: AtomicU64,
+    configurations: AtomicU64,
+}
+
+/// A point-in-time copy of a [`StatsSink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed solver runs recorded via [`SolveContext::record_stats`].
+    pub solves: u64,
+    /// Checkpoints polled by solver hot loops.
+    pub checkpoints: u64,
+    /// Accumulated [`SolveStats::search_iterations`].
+    pub search_iterations: u64,
+    /// Accumulated [`SolveStats::guesses_evaluated`].
+    pub guesses_evaluated: u64,
+    /// Accumulated [`SolveStats::configurations`].
+    pub configurations: u64,
+}
+
+impl StatsSink {
+    /// A fresh sink with all counters at zero.
+    pub fn new() -> Self {
+        StatsSink::default()
+    }
+
+    /// Adds the counters of one finished run.
+    pub fn record(&self, stats: &SolveStats) {
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.search_iterations
+            .fetch_add(stats.search_iterations as u64, Ordering::Relaxed);
+        self.guesses_evaluated
+            .fetch_add(stats.guesses_evaluated as u64, Ordering::Relaxed);
+        self.configurations
+            .fetch_add(stats.configurations as u64, Ordering::Relaxed);
+    }
+
+    /// Reads all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            solves: self.solves.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            search_iterations: self.search_iterations.load(Ordering::Relaxed),
+            guesses_evaluated: self.guesses_evaluated.load(Ordering::Relaxed),
+            configurations: self.configurations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The execution context of one solver run: an optional deadline, an optional
+/// cancellation flag and an optional stats sink.
+#[derive(Debug, Clone, Default)]
+pub struct SolveContext {
+    deadline: Option<Instant>,
+    cancel: Option<CancelFlag>,
+    stats: Option<Arc<StatsSink>>,
+}
+
+impl SolveContext {
+    /// A context with no deadline, no cancellation and no sink; every
+    /// checkpoint succeeds.
+    pub fn unbounded() -> Self {
+        SolveContext::default()
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `budget` from now.
+    pub fn with_timeout(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+
+    /// Attaches a cancellation flag (the caller keeps a clone to trigger it).
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Attaches a shared stats sink.
+    pub fn with_stats(mut self, sink: Arc<StatsSink>) -> Self {
+        self.stats = Some(sink);
+        self
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The attached cancellation flag, if any.
+    pub fn cancel_flag(&self) -> Option<&CancelFlag> {
+        self.cancel.as_ref()
+    }
+
+    /// The attached stats sink, if any.
+    pub fn stats_sink(&self) -> Option<&Arc<StatsSink>> {
+        self.stats.as_ref()
+    }
+
+    /// `true` when neither a deadline nor a cancel flag is attached — hot
+    /// loops may use this to skip checkpoint bookkeeping entirely.
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Time left until the deadline (`None` without a deadline, zero when it
+    /// has already passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Polls the cancellation flag and the deadline; hot loops call this
+    /// periodically and propagate the error to abort the run.
+    ///
+    /// # Errors
+    /// [`CcsError::Cancelled`] when the flag is set,
+    /// [`CcsError::DeadlineExceeded`] when the deadline has passed.
+    pub fn checkpoint(&self) -> Result<()> {
+        if let Some(stats) = &self.stats {
+            stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.is_cancelled() {
+                return Err(CcsError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(CcsError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the counters of a finished run into the attached sink (no-op
+    /// without one).
+    pub fn record_stats(&self, stats: &SolveStats) {
+        if let Some(sink) = &self.stats {
+            sink.record(stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_checkpoint_always_passes() {
+        let ctx = SolveContext::unbounded();
+        assert!(ctx.is_unbounded());
+        assert_eq!(ctx.remaining(), None);
+        for _ in 0..10 {
+            ctx.checkpoint().unwrap();
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_checkpoint() {
+        let ctx = SolveContext::unbounded().with_timeout(Duration::ZERO);
+        assert!(!ctx.is_unbounded());
+        assert_eq!(ctx.checkpoint(), Err(CcsError::DeadlineExceeded));
+        assert_eq!(ctx.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_passes_checkpoint() {
+        let ctx = SolveContext::unbounded().with_timeout(Duration::from_secs(3600));
+        ctx.checkpoint().unwrap();
+        assert!(ctx.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn cancel_flag_fails_checkpoint() {
+        let flag = CancelFlag::new();
+        let ctx = SolveContext::unbounded().with_cancel(flag.clone());
+        ctx.checkpoint().unwrap();
+        flag.cancel();
+        assert!(flag.is_cancelled());
+        assert_eq!(ctx.checkpoint(), Err(CcsError::Cancelled));
+        // Cancellation wins over an expired deadline: it is the more
+        // deliberate signal.
+        let ctx = ctx.with_timeout(Duration::ZERO);
+        assert_eq!(ctx.checkpoint(), Err(CcsError::Cancelled));
+    }
+
+    #[test]
+    fn stats_sink_accumulates() {
+        let sink = Arc::new(StatsSink::new());
+        let ctx = SolveContext::unbounded().with_stats(sink.clone());
+        ctx.checkpoint().unwrap();
+        ctx.checkpoint().unwrap();
+        ctx.record_stats(&SolveStats {
+            search_iterations: 3,
+            guesses_evaluated: 2,
+            configurations: 7,
+        });
+        ctx.record_stats(&SolveStats::default());
+        let snap = sink.snapshot();
+        assert_eq!(snap.solves, 2);
+        assert_eq!(snap.checkpoints, 2);
+        assert_eq!(snap.search_iterations, 3);
+        assert_eq!(snap.guesses_evaluated, 2);
+        assert_eq!(snap.configurations, 7);
+    }
+}

@@ -21,6 +21,10 @@ pub enum CcsError {
     /// A parameter passed to an algorithm is out of its documented range
     /// (e.g. `epsilon <= 0`).
     InvalidParameter(String),
+    /// The run's deadline (see `SolveContext`) passed before it finished.
+    DeadlineExceeded,
+    /// The run was cancelled cooperatively via its `SolveContext`.
+    Cancelled,
 }
 
 impl CcsError {
@@ -58,6 +62,8 @@ impl fmt::Display for CcsError {
             CcsError::Infeasible(m) => write!(f, "infeasible: {m}"),
             CcsError::Internal(m) => write!(f, "internal error: {m}"),
             CcsError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            CcsError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            CcsError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -84,6 +90,8 @@ mod tests {
             CcsError::invalid_parameter("x").to_string(),
             "invalid parameter: x"
         );
+        assert_eq!(CcsError::DeadlineExceeded.to_string(), "deadline exceeded");
+        assert_eq!(CcsError::Cancelled.to_string(), "cancelled");
     }
 
     #[test]

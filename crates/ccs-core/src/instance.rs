@@ -79,6 +79,13 @@ impl Instance {
     /// raw input data (`processing_times`, `class_labels_per_job`, `machines`,
     /// `class_slots`); derived data is rebuilt by [`Instance::from_json`].
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// The [`Instance::to_json`] document as a [`JsonValue`] tree, for
+    /// embedding into larger documents (e.g. `ccs-wire/1` request frames)
+    /// without rendering and re-parsing.
+    pub fn to_json_value(&self) -> JsonValue {
         let data = InstanceData::from(self.clone());
         let mut map = std::collections::BTreeMap::new();
         map.insert(
@@ -107,7 +114,7 @@ impl Instance {
             "class_slots".to_string(),
             JsonValue::Int(data.class_slots as i128),
         );
-        JsonValue::Object(map).to_json()
+        JsonValue::Object(map)
     }
 
     /// Parses an instance from the JSON produced by [`Instance::to_json`].
@@ -115,7 +122,12 @@ impl Instance {
     /// All invariants are re-validated through [`InstanceBuilder`], so a
     /// hand-edited document can never produce an invalid [`Instance`].
     pub fn from_json(input: &str) -> Result<Instance> {
-        let value = json::parse(input)?;
+        Instance::from_json_value(&json::parse(input)?)
+    }
+
+    /// [`Instance::from_json`] on an already-parsed [`JsonValue`] (the form
+    /// embedded in `ccs-wire/1` request frames).
+    pub fn from_json_value(value: &JsonValue) -> Result<Instance> {
         let obj = value
             .as_object()
             .ok_or_else(|| CcsError::invalid_instance("expected a JSON object"))?;

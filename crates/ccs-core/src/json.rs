@@ -266,6 +266,52 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Serialises a [`CcsError`] for the `ccs-wire/1` protocol: an object with a
+/// stable `kind` discriminant and, for message-carrying variants, a
+/// `message` member.
+pub fn error_to_json(err: &CcsError) -> JsonValue {
+    let (kind, message) = match err {
+        CcsError::InvalidInstance(m) => ("invalid_instance", Some(m)),
+        CcsError::InvalidSchedule(m) => ("invalid_schedule", Some(m)),
+        CcsError::Infeasible(m) => ("infeasible", Some(m)),
+        CcsError::Internal(m) => ("internal", Some(m)),
+        CcsError::InvalidParameter(m) => ("invalid_parameter", Some(m)),
+        CcsError::DeadlineExceeded => ("deadline_exceeded", None),
+        CcsError::Cancelled => ("cancelled", None),
+    };
+    let mut obj = JsonValue::object();
+    obj.set("kind", kind);
+    if let Some(message) = message {
+        obj.set("message", message.as_str());
+    }
+    obj
+}
+
+/// Parses a [`CcsError`] from its [`error_to_json`] form.
+pub fn error_from_json(value: &JsonValue) -> Result<CcsError> {
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("error payload needs a string 'kind'"))?;
+    let message = || {
+        value
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    match kind {
+        "invalid_instance" => Ok(CcsError::InvalidInstance(message())),
+        "invalid_schedule" => Ok(CcsError::InvalidSchedule(message())),
+        "infeasible" => Ok(CcsError::Infeasible(message())),
+        "internal" => Ok(CcsError::Internal(message())),
+        "invalid_parameter" => Ok(CcsError::InvalidParameter(message())),
+        "deadline_exceeded" => Ok(CcsError::DeadlineExceeded),
+        "cancelled" => Ok(CcsError::Cancelled),
+        other => Err(err(&format!("unknown error kind '{other}'"))),
+    }
+}
+
 /// Parses a JSON document; trailing non-whitespace input is an error.
 pub fn parse(input: &str) -> Result<JsonValue> {
     let mut p = Parser {
@@ -566,6 +612,26 @@ mod tests {
             assert_eq!(j, JsonValue::Null);
             assert_eq!(parse(&j.to_json()).unwrap(), JsonValue::Null);
         }
+    }
+
+    #[test]
+    fn errors_roundtrip_through_json() {
+        let cases = [
+            CcsError::invalid_instance("no jobs"),
+            CcsError::invalid_schedule("machine 3"),
+            CcsError::infeasible("C > c*m"),
+            CcsError::internal("broken \"invariant\""),
+            CcsError::invalid_parameter("eps <= 0"),
+            CcsError::DeadlineExceeded,
+            CcsError::Cancelled,
+        ];
+        for case in cases {
+            let json = error_to_json(&case).to_json();
+            let back = error_from_json(&parse(&json).unwrap()).unwrap();
+            assert_eq!(back, case);
+        }
+        assert!(error_from_json(&parse("{}").unwrap()).is_err());
+        assert!(error_from_json(&parse(r#"{"kind":"nope"}"#).unwrap()).is_err());
     }
 
     #[test]

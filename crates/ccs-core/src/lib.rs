@@ -17,6 +17,9 @@
 //! * [`solver`] — the unified solving surface: the [`Solver`] trait with its
 //!   [`SolveReport`] / [`Guarantee`] types, implemented by every algorithm
 //!   crate and dispatched by `ccs-engine`,
+//! * [`ctx`] — the execution context of a run ([`SolveContext`]): deadlines,
+//!   cooperative cancellation and stats sinks, threaded through the hot
+//!   search loops of every algorithm crate,
 //! * [`json`] — minimal dependency-free JSON used by
 //!   [`Instance::to_json`] / [`Instance::from_json`].
 //!
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod ctx;
 pub mod error;
 pub mod instance;
 pub mod json;
@@ -37,6 +41,7 @@ pub mod rational;
 pub mod schedule;
 pub mod solver;
 
+pub use ctx::{CancelFlag, SolveContext, StatsSink, StatsSnapshot};
 pub use error::{CcsError, Result};
 pub use instance::{ClassId, Instance, InstanceBuilder, JobId};
 pub use rational::Rational;

@@ -2,6 +2,7 @@
 //! needed to build instances and inspect schedules.
 
 pub use crate::bounds;
+pub use crate::ctx::{CancelFlag, SolveContext, StatsSink};
 pub use crate::error::{CcsError, Result};
 pub use crate::instance::{instance_from_pairs, ClassId, Instance, InstanceBuilder, JobId};
 pub use crate::rational::Rational;
@@ -9,4 +10,4 @@ pub use crate::schedule::{
     AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,
     PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
 };
-pub use crate::solver::{Guarantee, SolveReport, SolveStats, Solver};
+pub use crate::solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};

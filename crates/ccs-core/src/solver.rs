@@ -7,6 +7,7 @@
 //! makespans from the exact solvers) and is what the `ccs-engine` dispatch
 //! layer builds its registry, portfolio policy and batch executor on.
 
+use crate::ctx::SolveContext;
 use crate::error::Result;
 use crate::instance::Instance;
 use crate::rational::Rational;
@@ -59,6 +60,16 @@ pub enum SolverCost {
     /// Exponential in the instance size (the exact solvers, which enforce
     /// hard instance limits and error out beyond them).
     InstanceExponential,
+}
+
+impl std::fmt::Display for SolverCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverCost::Polynomial => write!(f, "polynomial"),
+            SolverCost::AccuracyExponential => write!(f, "accuracy-exponential"),
+            SolverCost::InstanceExponential => write!(f, "instance-exponential"),
+        }
+    }
 }
 
 /// Counters reported by a solver run; fields not applicable to a given
@@ -158,6 +169,19 @@ pub trait Solver<S: Schedule>: Send + Sync {
 
     /// Runs the algorithm on `inst`.
     fn solve(&self, inst: &Instance) -> Result<SolveReport<S>>;
+
+    /// Runs the algorithm under an execution context (deadline, cooperative
+    /// cancellation, stats sink).
+    ///
+    /// The default implementation checks the context once up front and then
+    /// runs [`Solver::solve`] to completion — sufficient for fast polynomial
+    /// solvers.  Solvers with long search loops override this and thread the
+    /// context into their hot loops so runs actually stop at the deadline
+    /// (all algorithm crates of this workspace do).
+    fn solve_ctx(&self, inst: &Instance, ctx: &SolveContext) -> Result<SolveReport<S>> {
+        ctx.checkpoint()?;
+        self.solve(inst)
+    }
 }
 
 #[cfg(test)]

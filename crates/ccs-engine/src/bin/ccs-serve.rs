@@ -1,0 +1,211 @@
+//! `ccs-serve` — the NDJSON solve service.
+//!
+//! Reads `ccs-wire/1` request frames from stdin (one JSON object per line),
+//! submits each to the engine's worker pool as soon as it is parsed, and
+//! writes one response frame per request to stdout.  Responses are emitted
+//! by a dedicated writer thread as requests complete — a synchronous client
+//! that sends one request and waits for its answer before sending the next
+//! is served correctly.  Responses may arrive out of order; match them to
+//! requests by `id`.  Malformed lines produce an error frame with
+//! `"id": ""` instead of killing the service.
+//!
+//! ```text
+//! printf '%s\n' '{"schema":"ccs-wire/1","id":"a","instance":{...},"model":"splittable"}' \
+//!   | ccs-serve
+//! ```
+//!
+//! Flags:
+//! * `--ordered` — emit responses in request order (useful for diffing
+//!   against golden files; throughput is unchanged, only emission order),
+//! * `--workers <n>` — size of the worker pool (default: all cores).
+
+use ccs_engine::wire::{self, WireRequest};
+use ccs_engine::{Engine, SolveHandle};
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::time::Duration;
+
+enum Outcome {
+    /// A submitted job still owning its handle.
+    Handle(SolveHandle),
+    /// A response already decided at parse time (malformed request).
+    Immediate(String),
+}
+
+struct Pending {
+    id: String,
+    outcome: Outcome,
+}
+
+impl Pending {
+    fn is_finished(&self) -> bool {
+        match &self.outcome {
+            Outcome::Handle(handle) => handle.is_finished(),
+            Outcome::Immediate(_) => true,
+        }
+    }
+
+    fn into_line(self) -> String {
+        match self.outcome {
+            Outcome::Handle(handle) => match handle.wait() {
+                Ok(solution) => wire::solution_to_json(&self.id, &solution).to_json(),
+                Err(error) => wire::error_response_to_json(&self.id, &error).to_json(),
+            },
+            Outcome::Immediate(line) => line,
+        }
+    }
+}
+
+fn main() {
+    let mut ordered = false;
+    let mut workers: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ordered" => ordered = true,
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unrecognised argument: {other}");
+                eprintln!("usage: ccs-serve [--ordered] [--workers <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut engine = Engine::new();
+    if let Some(n) = workers {
+        engine = engine.with_workers(n);
+    }
+
+    // Completed responses are written by a dedicated thread so clients that
+    // wait for an answer before sending the next request are never starved
+    // while this thread blocks on stdin.
+    let (tx, rx) = std::sync::mpsc::channel::<Pending>();
+    let writer = std::thread::Builder::new()
+        .name("ccs-serve-writer".to_string())
+        .spawn(move || writer_loop(&rx, ordered))
+        .expect("spawning the writer thread");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("ccs-serve: stdin error: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pending = match wire::request_from_line(&line) {
+            Ok(WireRequest {
+                id,
+                instance,
+                request,
+            }) => {
+                let handle = engine.submit(instance, &request);
+                Pending {
+                    id,
+                    outcome: Outcome::Handle(handle),
+                }
+            }
+            Err(error) => {
+                // The id may be unrecoverable from a malformed line; echo
+                // what we can so the client can at least count failures.
+                let id = ccs_core::json::parse(&line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(|i| i.as_str().map(str::to_string)))
+                    .unwrap_or_default();
+                let frame = wire::error_response_to_json(&id, &error).to_json();
+                Pending {
+                    id,
+                    outcome: Outcome::Immediate(frame),
+                }
+            }
+        };
+        if tx.send(pending).is_err() {
+            break; // writer exited (broken stdout pipe)
+        }
+    }
+    drop(tx); // EOF: the writer drains the stragglers and exits.
+    let _ = writer.join();
+}
+
+/// Receives pending responses from the reader and emits each as soon as it
+/// completes (with `ordered`, as soon as everything before it has been
+/// emitted).  Returns when the channel closes and the backlog is drained.
+fn writer_loop(rx: &Receiver<Pending>, ordered: bool) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    let mut open = true;
+    loop {
+        // Ingest everything the reader has submitted so far.
+        while open {
+            match rx.try_recv() {
+                Ok(p) => pending.push_back(p),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => open = false,
+            }
+        }
+        let wrote = drain_finished(&mut out, &mut pending, ordered);
+        if wrote {
+            continue;
+        }
+        if pending.is_empty() {
+            if !open {
+                return;
+            }
+            // Idle: block until the reader submits the next request.
+            match rx.recv() {
+                Ok(p) => pending.push_back(p),
+                Err(_) => open = false,
+            }
+        } else {
+            // Something is in flight: block briefly on the oldest handle.
+            if let Some(Pending {
+                outcome: Outcome::Handle(handle),
+                ..
+            }) = pending.front()
+            {
+                let _ = handle.wait_timeout(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Writes finished responses; with `ordered` only the completed prefix is
+/// emitted.  Returns whether anything was written.
+fn drain_finished(out: &mut impl Write, pending: &mut VecDeque<Pending>, ordered: bool) -> bool {
+    let mut wrote = false;
+    let mut index = 0;
+    while index < pending.len() {
+        if !pending[index].is_finished() {
+            if ordered {
+                break;
+            }
+            index += 1;
+            continue;
+        }
+        let p = pending.remove(index).expect("index in bounds");
+        let line = p.into_line();
+        emit(out, &line);
+        wrote = true;
+    }
+    wrote
+}
+
+fn emit(out: &mut impl Write, line: &str) {
+    if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+        // Downstream closed the pipe; nothing sensible left to do.
+        std::process::exit(0);
+    }
+}

@@ -1,12 +1,14 @@
-//! The engine: one `solve` call for any model/accuracy, and a parallel
-//! batch executor with deterministic result ordering.
+//! The engine: one `solve` call for any model/accuracy, asynchronous
+//! `submit`/handle execution on a persistent worker pool, and a batch
+//! executor with deterministic result ordering built on top of it.
 
 use crate::policy::{route, Routed, SolveRequest};
 use crate::registry::{ErasedSolver, SolverRegistry};
+use crate::worker::{Job, SolveHandle, Ticket, WorkerPool};
 use ccs_core::solver::{Guarantee, SolveReport};
-use ccs_core::{AnySchedule, CcsError, Instance, Result};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use ccs_core::{AnySchedule, CcsError, Instance, Result, SolveContext, StatsSink, StatsSnapshot};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// The outcome of an engine call: which solver ran, under which guarantee,
 /// and its report.
@@ -20,36 +22,53 @@ pub struct Solution {
     pub report: SolveReport<AnySchedule>,
 }
 
-/// The unified solving engine: a [`SolverRegistry`] plus the portfolio
-/// policy of [`crate::policy`] and a parallel batch executor.
-#[derive(Clone, Default)]
-pub struct Engine {
+/// Registry + routing + run bookkeeping, shared between the synchronous call
+/// paths and the worker threads.
+pub(crate) struct EngineCore {
     registry: SolverRegistry,
+    stats: Arc<StatsSink>,
 }
 
-impl Engine {
-    /// An engine over the default registry
-    /// ([`SolverRegistry::with_defaults`]).
-    pub fn new() -> Self {
-        Engine {
-            registry: SolverRegistry::with_defaults(),
+impl EngineCore {
+    /// Routes the request, then runs the chosen solver under `ctx` with the
+    /// request's validation policy.
+    pub(crate) fn execute(
+        &self,
+        inst: &Instance,
+        req: &SolveRequest,
+        ctx: &SolveContext,
+    ) -> Result<Solution> {
+        let solver = self.select(inst, req)?;
+        self.run(&solver, inst, req.validate, ctx)
+    }
+
+    /// The single run-and-assemble path behind every engine entry point:
+    /// executes the solver, optionally re-validates the schedule, records
+    /// stats, and wraps the report into a [`Solution`].
+    pub(crate) fn run(
+        &self,
+        solver: &Arc<dyn ErasedSolver>,
+        inst: &Instance,
+        validate: bool,
+        ctx: &SolveContext,
+    ) -> Result<Solution> {
+        let report = solver.solve_any_ctx(inst, ctx)?;
+        if validate {
+            report.validate(inst)?;
         }
+        ctx.record_stats(&report.stats);
+        Ok(Solution {
+            solver: solver.name(),
+            guarantee: solver.guarantee(),
+            report,
+        })
     }
 
-    /// An engine over a custom registry.
-    pub fn with_registry(registry: SolverRegistry) -> Self {
-        Engine { registry }
-    }
-
-    /// The underlying registry.
-    pub fn registry(&self) -> &SolverRegistry {
-        &self.registry
-    }
-
-    /// The solver the portfolio policy picks for `inst` under `req`
-    /// (exposed for dispatch tests and introspection; [`Engine::solve`] is
-    /// `select` + run).
-    pub fn select(&self, inst: &Instance, req: &SolveRequest) -> Result<Arc<dyn ErasedSolver>> {
+    pub(crate) fn select(
+        &self,
+        inst: &Instance,
+        req: &SolveRequest,
+    ) -> Result<Arc<dyn ErasedSolver>> {
         match route(inst, req)? {
             Routed::Registered(name) => self.registry.get(name).cloned().ok_or_else(|| {
                 CcsError::invalid_parameter(format!("solver '{name}' is not registered"))
@@ -58,70 +77,198 @@ impl Engine {
         }
     }
 
-    /// Solves one instance according to the portfolio policy.
+    pub(crate) fn stats(&self) -> Arc<StatsSink> {
+        Arc::clone(&self.stats)
+    }
+}
+
+/// The unified solving engine: a [`SolverRegistry`], the portfolio policy of
+/// [`crate::policy`], and a persistent worker pool for asynchronous
+/// request/response execution.
+///
+/// Cloning an engine is cheap and shares both the registry and the worker
+/// pool; the pool starts lazily on the first [`Engine::submit`] /
+/// [`Engine::solve_batch`] and shuts down when the last clone is dropped.
+#[derive(Clone)]
+pub struct Engine {
+    core: Arc<EngineCore>,
+    pool: Arc<OnceLock<WorkerPool>>,
+    worker_count: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine over the default registry
+    /// ([`SolverRegistry::with_defaults`]).
+    pub fn new() -> Self {
+        Engine::with_registry(SolverRegistry::with_defaults())
+    }
+
+    /// An engine over a custom registry.
+    pub fn with_registry(registry: SolverRegistry) -> Self {
+        Engine {
+            core: Arc::new(EngineCore {
+                registry,
+                stats: Arc::new(StatsSink::new()),
+            }),
+            pool: Arc::new(OnceLock::new()),
+            worker_count: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Sets the worker-pool size (default: available parallelism).  Only
+    /// effective before the pool has started, i.e. before the first
+    /// [`Engine::submit`] / [`Engine::solve_batch`] on any clone.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.worker_count = workers.max(1);
+        self
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.core.registry
+    }
+
+    /// Aggregate counters over every run this engine (and its clones)
+    /// executed: solves, checkpoints, search iterations, …
+    pub fn stats(&self) -> StatsSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// The solver the portfolio policy picks for `inst` under `req`
+    /// (exposed for dispatch tests and introspection; [`Engine::solve`] is
+    /// `select` + run).
+    pub fn select(&self, inst: &Instance, req: &SolveRequest) -> Result<Arc<dyn ErasedSolver>> {
+        self.core.select(inst, req)
+    }
+
+    /// Solves one instance synchronously on the calling thread, honouring
+    /// the request's budget (counted from call entry) and validation policy.
     pub fn solve(&self, inst: &Instance, req: &SolveRequest) -> Result<Solution> {
-        let solver = self.select(inst, req)?;
-        run(&solver, inst)
+        self.solve_ctx(inst, req, &SolveContext::unbounded())
+    }
+
+    /// [`Engine::solve`] under a caller-supplied context; a request budget
+    /// tightens (never loosens) the context's deadline.
+    ///
+    /// A stats sink the caller attached to `ctx` is honoured (checkpoint
+    /// counts land there); the engine's own aggregate
+    /// ([`Engine::stats`]) still records the run either way.
+    pub fn solve_ctx(
+        &self,
+        inst: &Instance,
+        req: &SolveRequest,
+        ctx: &SolveContext,
+    ) -> Result<Solution> {
+        let ctx = contextualise(ctx, req);
+        let caller_sink = ctx.stats_sink().is_some();
+        let ctx = if caller_sink {
+            ctx
+        } else {
+            ctx.with_stats(self.core.stats())
+        };
+        let solution = self.core.execute(inst, req, &ctx)?;
+        if caller_sink {
+            self.core.stats().record(&solution.report.stats);
+        }
+        Ok(solution)
     }
 
     /// Solves one instance with an explicitly named registered solver.
     pub fn solve_with(&self, name: &str, inst: &Instance) -> Result<Solution> {
-        let solver = self.registry.get(name).ok_or_else(|| {
+        let solver = self.core.registry.get(name).cloned().ok_or_else(|| {
             CcsError::invalid_parameter(format!("solver '{name}' is not registered"))
         })?;
-        run(solver, inst)
+        let ctx = SolveContext::unbounded().with_stats(self.core.stats());
+        self.core.run(&solver, inst, false, &ctx)
     }
 
-    /// Solves many instances in parallel with `std::thread` scoping.
+    /// Submits a request to the worker pool and returns immediately with a
+    /// [`SolveHandle`] to poll, wait on, or cancel.
+    ///
+    /// The request's budget starts counting now — a job that waits in the
+    /// queue past its deadline fails with [`CcsError::DeadlineExceeded`]
+    /// without ever occupying a worker for long.
+    ///
+    /// Accepts either an owned [`Instance`] or an `Arc<Instance>` (pass the
+    /// `Arc` to share one instance across many submissions without cloning
+    /// its job data).
+    pub fn submit(&self, inst: impl Into<Arc<Instance>>, req: &SolveRequest) -> SolveHandle {
+        let ticket = Arc::new(Ticket::new(req.budget));
+        self.pool().submit(Job {
+            inst: inst.into(),
+            req: *req,
+            core: Arc::clone(&self.core),
+            ticket: Arc::clone(&ticket),
+        });
+        SolveHandle::new(ticket)
+    }
+
+    /// Solves many instances in parallel on the worker pool.
     ///
     /// Results are returned in input order regardless of which worker
     /// finished first, and every entry is bit-identical to what the
     /// corresponding sequential [`Engine::solve`] call produces (all solvers
-    /// are deterministic).  The number of workers is
-    /// `min(available_parallelism, batch size)`.
+    /// are deterministic).  Exception: with a request `budget`, all entries
+    /// share one wall-clock window starting at the batch call — entries
+    /// queued behind a full pool burn their budget waiting, exactly like
+    /// requests arriving together at a loaded service.
+    ///
+    /// Instances are copied into `Arc`s for the workers; callers that
+    /// already hold `Arc<Instance>`s can avoid the copy with
+    /// [`Engine::solve_batch_arc`].
     pub fn solve_batch(&self, instances: &[Instance], req: &SolveRequest) -> Vec<Result<Solution>> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(instances.len())
-            .max(1);
-        if workers <= 1 {
-            return instances.iter().map(|inst| self.solve(inst, req)).collect();
+        let shared: Vec<Arc<Instance>> = instances.iter().cloned().map(Arc::new).collect();
+        self.solve_batch_arc(&shared, req)
+    }
+
+    /// [`Engine::solve_batch`] over pre-shared instances (no data copies).
+    pub fn solve_batch_arc(
+        &self,
+        instances: &[Arc<Instance>],
+        req: &SolveRequest,
+    ) -> Vec<Result<Solution>> {
+        if instances.is_empty() {
+            return Vec::new();
         }
+        let handles: Vec<SolveHandle> = instances
+            .iter()
+            .map(|inst| self.submit(Arc::clone(inst), req))
+            .collect();
+        handles.into_iter().map(SolveHandle::wait).collect()
+    }
 
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<Solution>>>> =
-            Mutex::new((0..instances.len()).map(|_| None).collect());
+    /// Number of threads the worker pool runs (starts the pool if needed).
+    pub fn workers(&self) -> usize {
+        self.pool().workers()
+    }
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= instances.len() {
-                        break;
-                    }
-                    let result = self.solve(&instances[index], req);
-                    slots.lock().expect("no panics while holding the lock")[index] = Some(result);
-                });
-            }
-        });
-
-        slots
-            .into_inner()
-            .expect("all workers joined")
-            .into_iter()
-            .map(|slot| slot.expect("every index was claimed by a worker"))
-            .collect()
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.worker_count))
     }
 }
 
-fn run(solver: &Arc<dyn ErasedSolver>, inst: &Instance) -> Result<Solution> {
-    let report = solver.solve_any(inst)?;
-    Ok(Solution {
-        solver: solver.name(),
-        guarantee: solver.guarantee(),
-        report,
-    })
+/// Merges a request budget into a caller context: the effective deadline is
+/// the earlier of the two.
+fn contextualise(ctx: &SolveContext, req: &SolveRequest) -> SolveContext {
+    match req.budget {
+        None => ctx.clone(),
+        Some(budget) => {
+            let from_budget = Instant::now() + budget;
+            let deadline = match ctx.deadline() {
+                Some(existing) => existing.min(from_budget),
+                None => from_budget,
+            };
+            ctx.clone().with_deadline(deadline)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +277,7 @@ mod tests {
     use crate::policy::Accuracy;
     use ccs_core::instance::instance_from_pairs;
     use ccs_core::ScheduleKind;
+    use std::time::Duration;
 
     #[test]
     fn solve_routes_and_validates() {
@@ -166,11 +314,72 @@ mod tests {
         // Infeasible: three classes, two slots in total.
         let bad = instance_from_pairs(2, 1, &[(1, 0), (1, 1), (1, 2)]).unwrap();
         let req = SolveRequest {
-            model: ScheduleKind::NonPreemptive,
             accuracy: Accuracy::Auto,
+            ..SolveRequest::auto(ScheduleKind::NonPreemptive)
         };
         let out = engine.solve_batch(&[ok, bad], &req);
         assert!(out[0].is_ok());
         assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn submit_poll_wait_roundtrip() {
+        let engine = Engine::new().with_workers(2);
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        let handle = engine.submit(
+            inst.clone(),
+            &SolveRequest::auto(ScheduleKind::NonPreemptive),
+        );
+        let sol = handle.wait().unwrap();
+        assert_eq!(sol.solver, "exact-nonpreemptive");
+        // A second submission on the same (reused) pool.
+        let handle = engine.submit(inst, &SolveRequest::auto(ScheduleKind::Splittable));
+        while !handle.is_finished() {
+            std::thread::yield_now();
+        }
+        let polled = handle.poll().expect("finished").unwrap();
+        polled
+            .report
+            .validate(&instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn cancelled_submission_reports_cancelled() {
+        // One worker, block it with a queued twin so the victim is still
+        // queued when the cancel lands.
+        let engine = Engine::new().with_workers(1);
+        let big: Vec<(u64, u32)> = (0..22)
+            .map(|i| (911 + 37 * i as u64, (i % 6) as u32))
+            .collect();
+        let hard = instance_from_pairs(6, 2, &big).unwrap();
+        let blocker = engine.submit(
+            hard.clone(),
+            &SolveRequest::exact(ScheduleKind::NonPreemptive)
+                .with_budget(Duration::from_millis(200)),
+        );
+        let victim = engine.submit(hard, &SolveRequest::exact(ScheduleKind::NonPreemptive));
+        victim.cancel();
+        assert!(matches!(victim.wait(), Err(CcsError::Cancelled)));
+        // The blocker either finishes or hits its own deadline — the pool
+        // must stay usable either way.
+        let _ = blocker.wait();
+        let tiny = instance_from_pairs(1, 1, &[(1, 0)]).unwrap();
+        let sol = engine
+            .submit(tiny, &SolveRequest::auto(ScheduleKind::NonPreemptive))
+            .wait()
+            .unwrap();
+        assert_eq!(sol.report.makespan, ccs_core::Rational::ONE);
+    }
+
+    #[test]
+    fn stats_sink_sees_engine_runs() {
+        let engine = Engine::new();
+        let inst = instance_from_pairs(2, 1, &[(3, 0), (4, 1)]).unwrap();
+        engine
+            .solve(&inst, &SolveRequest::auto(ScheduleKind::Splittable))
+            .unwrap();
+        let snapshot = engine.stats();
+        assert_eq!(snapshot.solves, 1);
     }
 }

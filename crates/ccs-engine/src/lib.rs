@@ -2,27 +2,35 @@
 //!
 //! The four algorithm crates (`ccs-approx`, `ccs-ptas`, `ccs-exact`,
 //! `ccs-baselines`) each implement the [`ccs_core::Solver`] trait; this
-//! crate is the seam that turns them into one system:
+//! crate is the seam that turns them into one service-grade system:
 //!
 //! * [`SolverRegistry`] — a named, model-erased collection of every solver
 //!   ([`SolverRegistry::with_defaults`] registers all twelve),
 //! * [`SolveRequest`] / [`Accuracy`] — what a caller wants: a placement
-//!   model plus an accuracy budget (`Auto`, `Epsilon(ε)`, `Exact`),
+//!   model, an accuracy budget (`Auto`, `Epsilon(ε)`, `Exact`) and optional
+//!   service controls (wall-clock budget, result validation),
 //! * the portfolio policy ([`policy`]) — routes a request to the cheapest
 //!   solver that meets the budget: exact solvers on tiny instances,
 //!   constant-factor approximations by default, PTASes for tight `ε`,
-//! * [`Engine::solve_batch`] — scoped-thread parallel execution over many
-//!   instances with deterministic, input-ordered results.
+//! * [`Engine::submit`] — asynchronous execution on a persistent worker
+//!   pool, returning a [`SolveHandle`] to poll, wait on, or cancel;
+//!   [`Engine::solve_batch`] builds on it with deterministic, input-ordered
+//!   results,
+//! * [`wire`] — the `ccs-wire/1` JSON protocol spoken by the `ccs-serve`
+//!   binary (newline-delimited request/response frames over stdin/stdout).
 //!
 //! ```
 //! use ccs_core::prelude::*;
 //! use ccs_engine::{Engine, SolveRequest};
+//! use std::time::Duration;
 //!
 //! let engine = Engine::new();
 //! let inst = instance_from_pairs(3, 2, &[(10, 0), (20, 1), (5, 0), (8, 2)]).unwrap();
-//! let sol = engine
-//!     .solve(&inst, &SolveRequest::auto(ScheduleKind::Splittable))
-//!     .unwrap();
+//! // Asynchronous: submit with a budget, then wait on the handle.
+//! let req = SolveRequest::auto(ScheduleKind::Splittable)
+//!     .with_budget(Duration::from_secs(1));
+//! let handle = engine.submit(inst.clone(), &req);
+//! let sol = handle.wait().unwrap();
 //! sol.report.validate(&inst).unwrap();
 //! assert!(sol.report.makespan >= sol.report.lower_bound);
 //! ```
@@ -33,7 +41,10 @@
 pub mod engine;
 pub mod policy;
 pub mod registry;
+pub mod wire;
+pub mod worker;
 
 pub use engine::{Engine, Solution};
 pub use policy::{Accuracy, SolveRequest};
 pub use registry::{erase, ErasedSolver, SolverMeta, SolverRegistry};
+pub use worker::SolveHandle;

@@ -15,6 +15,7 @@ use crate::registry::{erase, ErasedSolver};
 use ccs_core::{CcsError, Instance, Rational, Result, ScheduleKind};
 use ccs_ptas::PtasParams;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The accuracy budget of a [`SolveRequest`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,13 +29,37 @@ pub enum Accuracy {
     Exact,
 }
 
-/// A solving request: the placement model plus an accuracy budget.
+/// A solving request: the placement model, an accuracy budget and optional
+/// service-level controls (time budget, result validation).
+///
+/// Constructed through the builder-style methods:
+///
+/// ```
+/// use ccs_engine::SolveRequest;
+/// use ccs_core::ScheduleKind;
+/// use std::time::Duration;
+///
+/// let req = SolveRequest::epsilon(ScheduleKind::Splittable, 0.5)
+///     .unwrap()
+///     .with_budget(Duration::from_millis(50))
+///     .with_validate(true);
+/// assert_eq!(req.budget, Some(Duration::from_millis(50)));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveRequest {
     /// The placement model to schedule for.
     pub model: ScheduleKind,
     /// The accuracy budget.
     pub accuracy: Accuracy,
+    /// Optional wall-clock budget: the run fails with
+    /// [`CcsError::DeadlineExceeded`] once this much time has passed since
+    /// the request was accepted (submission for [`crate::Engine::submit`],
+    /// call entry for [`crate::Engine::solve`]) — queue time counts.
+    pub budget: Option<Duration>,
+    /// When set, the engine re-validates the returned schedule against the
+    /// instance before handing it out (defence in depth for service
+    /// deployments; all solvers only emit validated schedules anyway).
+    pub validate: bool,
 }
 
 impl SolveRequest {
@@ -43,24 +68,57 @@ impl SolveRequest {
         SolveRequest {
             model,
             accuracy: Accuracy::Auto,
+            budget: None,
+            validate: false,
         }
     }
 
     /// Request a `(1 + ε)`-approximation for the given model.
-    pub fn epsilon(model: ScheduleKind, epsilon: f64) -> Self {
-        SolveRequest {
-            model,
+    ///
+    /// # Errors
+    /// [`CcsError::InvalidParameter`] unless `ε` is a positive finite number
+    /// — rejected here, at request-construction time, instead of deep inside
+    /// the solving pipeline.
+    pub fn epsilon(model: ScheduleKind, epsilon: f64) -> Result<Self> {
+        validate_epsilon(epsilon)?;
+        Ok(SolveRequest {
             accuracy: Accuracy::Epsilon(epsilon),
-        }
+            ..SolveRequest::auto(model)
+        })
     }
 
     /// Request the exact optimum for the given model.
     pub fn exact(model: ScheduleKind) -> Self {
         SolveRequest {
-            model,
             accuracy: Accuracy::Exact,
+            ..SolveRequest::auto(model)
         }
     }
+
+    /// Sets the wall-clock budget of the request.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Enables or disables re-validation of the returned schedule.
+    pub fn with_validate(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+}
+
+/// The request-construction-time check behind [`SolveRequest::epsilon`]:
+/// rejects `ε ≤ 0`, NaN and ±∞ (the finer PTAS floor stays in routing,
+/// where loose budgets can still be served by the constant-factor
+/// algorithms).
+pub(crate) fn validate_epsilon(epsilon: f64) -> Result<()> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(CcsError::invalid_parameter(
+            "epsilon must be a positive finite number",
+        ));
+    }
+    Ok(())
 }
 
 /// Registry name of the exact solver for a model.
@@ -131,11 +189,10 @@ pub(crate) fn route(inst: &Instance, req: &SolveRequest) -> Result<Routed> {
             }
         }
         Accuracy::Epsilon(eps) => {
-            if !eps.is_finite() || eps <= 0.0 {
-                return Err(CcsError::invalid_parameter(
-                    "epsilon must be a positive finite number",
-                ));
-            }
+            // Defence in depth: [`SolveRequest::epsilon`] already rejects
+            // these, but requests can also arrive via struct literals and
+            // the wire protocol.
+            validate_epsilon(eps)?;
             // The constant-factor algorithm already meets loose budgets.
             let budget_met_by_approx = Rational::ONE
                 + Rational::new((eps * 1_000_000.0) as i128, 1_000_000)
@@ -200,7 +257,7 @@ mod tests {
         // 1 + 1.5 = 2.5 ≥ 2 and ≥ 7/3: the constant-factor algorithms win.
         for kind in ScheduleKind::ALL {
             assert_eq!(
-                routed_name(&large(), &SolveRequest::epsilon(kind, 1.5)),
+                routed_name(&large(), &SolveRequest::epsilon(kind, 1.5).unwrap()),
                 approx_solver_name(kind)
             );
         }
@@ -211,7 +268,7 @@ mod tests {
         assert_eq!(
             routed_name(
                 &large(),
-                &SolveRequest::epsilon(ScheduleKind::Splittable, 0.5)
+                &SolveRequest::epsilon(ScheduleKind::Splittable, 0.5).unwrap()
             ),
             "ptas-splittable"
         );
@@ -220,7 +277,7 @@ mod tests {
         assert_eq!(
             routed_name(
                 &large(),
-                &SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.2)
+                &SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.2).unwrap()
             ),
             "ptas-nonpreemptive"
         );
@@ -235,29 +292,44 @@ mod tests {
     }
 
     #[test]
-    fn invalid_epsilon_rejected() {
-        assert!(route(
-            &tiny(),
-            &SolveRequest::epsilon(ScheduleKind::Splittable, 0.0)
-        )
-        .is_err());
-        assert!(route(
-            &tiny(),
-            &SolveRequest::epsilon(ScheduleKind::Splittable, -1.0)
-        )
-        .is_err());
-        assert!(route(
-            &tiny(),
-            &SolveRequest::epsilon(ScheduleKind::Splittable, f64::NAN)
-        )
-        .is_err());
+    fn invalid_epsilon_rejected_at_construction() {
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = SolveRequest::epsilon(ScheduleKind::Splittable, eps).unwrap_err();
+            assert!(matches!(err, CcsError::InvalidParameter(_)), "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected_by_routing_too() {
+        // Requests built by hand (struct literal / wire protocol) bypass the
+        // constructor; routing re-checks.
+        for eps in [0.0, -1.0, f64::NAN] {
+            let req = SolveRequest {
+                accuracy: Accuracy::Epsilon(eps),
+                ..SolveRequest::auto(ScheduleKind::Splittable)
+            };
+            assert!(route(&tiny(), &req).is_err(), "eps {eps}");
+        }
         // Accuracies finer than the documented PTAS floor are rejected, not
         // silently rounded.
         assert!(route(
             &tiny(),
-            &SolveRequest::epsilon(ScheduleKind::Splittable, 0.01)
+            &SolveRequest::epsilon(ScheduleKind::Splittable, 0.01).unwrap()
         )
         .is_err());
+    }
+
+    #[test]
+    fn builder_sets_budget_and_validate() {
+        use std::time::Duration;
+        let req = SolveRequest::auto(ScheduleKind::Preemptive)
+            .with_budget(Duration::from_millis(5))
+            .with_validate(true);
+        assert_eq!(req.budget, Some(Duration::from_millis(5)));
+        assert!(req.validate);
+        let plain = SolveRequest::exact(ScheduleKind::Preemptive);
+        assert_eq!(plain.budget, None);
+        assert!(!plain.validate);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! batch executor and the benchmark harness.
 
 use ccs_core::solver::{Guarantee, SolveReport, Solver, SolverCost};
-use ccs_core::{AnySchedule, Instance, Result, Schedule, ScheduleKind};
+use ccs_core::{AnySchedule, CcsError, Instance, Result, Schedule, ScheduleKind, SolveContext};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -30,6 +30,14 @@ pub trait ErasedSolver: Send + Sync {
 
     /// Runs the solver, wrapping the schedule into [`AnySchedule`].
     fn solve_any(&self, inst: &Instance) -> Result<SolveReport<AnySchedule>>;
+
+    /// Runs the solver under an execution context (see
+    /// [`Solver::solve_ctx`]), wrapping the schedule into [`AnySchedule`].
+    fn solve_any_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<AnySchedule>>;
 }
 
 struct Erase<S, T> {
@@ -60,6 +68,14 @@ where
 
     fn solve_any(&self, inst: &Instance) -> Result<SolveReport<AnySchedule>> {
         Ok(self.solver.solve(inst)?.map_schedule(Into::into))
+    }
+
+    fn solve_any_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<AnySchedule>> {
+        Ok(self.solver.solve_ctx(inst, ctx)?.map_schedule(Into::into))
     }
 }
 
@@ -124,32 +140,82 @@ impl SolverRegistry {
     /// * `ccs-baselines` — the three whole-class / greedy heuristics.
     pub fn with_defaults() -> Self {
         let mut registry = SolverRegistry::empty();
-        registry.register(ccs_approx::SplittableTwoApprox);
-        registry.register(ccs_approx::PreemptiveTwoApprox);
-        registry.register(ccs_approx::Nonpreemptive73Approx);
-        registry.register(ccs_ptas::SplittablePtas::default());
-        registry.register(ccs_ptas::PreemptivePtas::default());
-        registry.register(ccs_ptas::NonpreemptivePtas::default());
-        registry.register(ccs_exact::ExactSplittable);
-        registry.register(ccs_exact::ExactPreemptive);
-        registry.register(ccs_exact::ExactNonPreemptive);
-        registry.register(ccs_baselines::WholeClassRoundRobin);
-        registry.register(ccs_baselines::WholeClassLpt);
-        registry.register(ccs_baselines::GreedyFirstFit);
+        let unique = "default registry names are unique";
+        registry
+            .register(ccs_approx::SplittableTwoApprox)
+            .expect(unique);
+        registry
+            .register(ccs_approx::PreemptiveTwoApprox)
+            .expect(unique);
+        registry
+            .register(ccs_approx::Nonpreemptive73Approx)
+            .expect(unique);
+        registry
+            .register(ccs_ptas::SplittablePtas::default())
+            .expect(unique);
+        registry
+            .register(ccs_ptas::PreemptivePtas::default())
+            .expect(unique);
+        registry
+            .register(ccs_ptas::NonpreemptivePtas::default())
+            .expect(unique);
+        registry.register(ccs_exact::ExactSplittable).expect(unique);
+        registry.register(ccs_exact::ExactPreemptive).expect(unique);
+        registry
+            .register(ccs_exact::ExactNonPreemptive)
+            .expect(unique);
+        registry
+            .register(ccs_baselines::WholeClassRoundRobin)
+            .expect(unique);
+        registry
+            .register(ccs_baselines::WholeClassLpt)
+            .expect(unique);
+        registry
+            .register(ccs_baselines::GreedyFirstFit)
+            .expect(unique);
         registry
     }
 
-    /// Registers a typed solver, replacing any solver with the same name.
-    pub fn register<S, T>(&mut self, solver: T)
+    /// Registers a typed solver.
+    ///
+    /// # Errors
+    /// [`CcsError::InvalidParameter`] when a solver with the same name is
+    /// already registered (nothing is changed in that case); use
+    /// [`SolverRegistry::replace`] to overwrite intentionally.
+    pub fn register<S, T>(&mut self, solver: T) -> Result<()>
     where
         S: Schedule + Into<AnySchedule> + 'static,
         T: Solver<S> + 'static,
     {
-        self.register_erased(erase(solver));
+        self.register_erased(erase(solver))
+    }
+
+    /// Registers an already-erased solver (same duplicate-name guard as
+    /// [`SolverRegistry::register`]).
+    pub fn register_erased(&mut self, solver: Arc<dyn ErasedSolver>) -> Result<()> {
+        if self.get(solver.name()).is_some() {
+            return Err(CcsError::invalid_parameter(format!(
+                "a solver named '{}' is already registered",
+                solver.name()
+            )));
+        }
+        self.solvers.push(solver);
+        Ok(())
+    }
+
+    /// Registers a typed solver, replacing any same-named entry (the
+    /// pre-guard behaviour of `register`, for intentional overrides such as
+    /// swapping a default PTAS for a differently parameterised one).
+    pub fn replace<S, T>(&mut self, solver: T)
+    where
+        S: Schedule + Into<AnySchedule> + 'static,
+        T: Solver<S> + 'static,
+    {
+        self.replace_erased(erase(solver));
     }
 
     /// Registers an already-erased solver, replacing any same-named entry.
-    pub fn register_erased(&mut self, solver: Arc<dyn ErasedSolver>) {
+    pub fn replace_erased(&mut self, solver: Arc<dyn ErasedSolver>) {
         self.solvers.retain(|s| s.name() != solver.name());
         self.solvers.push(solver);
     }
@@ -220,14 +286,23 @@ mod tests {
     }
 
     #[test]
-    fn lookup_and_replacement() {
+    fn duplicate_names_rejected_replacement_explicit() {
         let mut registry = SolverRegistry::empty();
         assert!(registry.is_empty());
-        registry.register(ccs_approx::SplittableTwoApprox);
+        registry.register(ccs_approx::SplittableTwoApprox).unwrap();
         assert_eq!(registry.len(), 1);
-        // Re-registering the same name replaces rather than duplicates.
-        registry.register(ccs_approx::SplittableTwoApprox);
+        // Re-registering the same name errors instead of silently shadowing.
+        let err = registry
+            .register(ccs_approx::SplittableTwoApprox)
+            .unwrap_err();
+        assert!(matches!(err, CcsError::InvalidParameter(_)));
+        assert!(err.to_string().contains("approx-splittable-2"));
+        assert_eq!(registry.len(), 1, "failed registration must not mutate");
+        // Intentional overriding goes through `replace`.
+        registry.replace(ccs_approx::SplittableTwoApprox);
         assert_eq!(registry.len(), 1);
+        registry.replace(ccs_approx::PreemptiveTwoApprox);
+        assert_eq!(registry.len(), 2);
         assert!(registry.get("approx-splittable-2").is_some());
         assert!(registry.get("nope").is_none());
     }

@@ -1,0 +1,718 @@
+//! The `ccs-wire/1` protocol: JSON forms of [`SolveRequest`], [`Solution`]
+//! and [`CcsError`] plus the framing of the `ccs-serve` NDJSON service.
+//!
+//! One request per line on stdin, one response per line on stdout; requests
+//! carry a caller-chosen `id` that the matching response echoes, so
+//! responses may complete out of order.  The schema tag guards against
+//! version skew: every frame carries `"schema": "ccs-wire/1"` and readers
+//! reject frames with a different tag.
+//!
+//! ```json
+//! {"schema":"ccs-wire/1","id":"r1","instance":{...},"model":"splittable",
+//!  "accuracy":"auto","budget_ms":50,"validate":true}
+//! ```
+//!
+//! ```json
+//! {"schema":"ccs-wire/1","id":"r1","status":"ok","solution":{...}}
+//! {"schema":"ccs-wire/1","id":"r1","status":"error","error":{"kind":"deadline_exceeded"}}
+//! ```
+//!
+//! All rationals travel as exact `{"n": numerator, "d": denominator}` pairs
+//! — makespans of the splittable/preemptive models are not generally
+//! representable as floats and the whole workspace is built on exact
+//! arithmetic; the wire format preserves that.
+
+use crate::engine::Solution;
+use crate::policy::{Accuracy, SolveRequest};
+use ccs_core::json::{error_to_json, parse, JsonValue};
+use ccs_core::solver::SolveStats;
+use ccs_core::{
+    AnySchedule, CcsError, ClassRun, Guarantee, Instance, NonPreemptiveSchedule, PreemptivePiece,
+    PreemptiveSchedule, Rational, Result, SplittableSchedule,
+};
+use std::time::Duration;
+
+/// The schema tag every `ccs-wire/1` frame carries.
+pub const SCHEMA: &str = "ccs-wire/1";
+
+fn err(msg: impl Into<String>) -> CcsError {
+    CcsError::invalid_parameter(format!("wire: {}", msg.into()))
+}
+
+/// A parsed service request: the caller's correlation id, the instance and
+/// the solve request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Caller-chosen correlation id, echoed on the response.
+    pub id: String,
+    /// The instance to solve.
+    pub instance: Instance,
+    /// What to solve it for.
+    pub request: SolveRequest,
+}
+
+/// An owned mirror of [`Solution`] for the receiving side of the protocol
+/// ([`Solution::solver`] is a `&'static str`, which cannot be materialised
+/// from parsed input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSolution {
+    /// Name of the solver that produced the schedule.
+    pub solver: String,
+    /// The guarantee that solver ran under.
+    pub guarantee: Guarantee,
+    /// The makespan of the returned schedule.
+    pub makespan: Rational,
+    /// The solver's lower bound on the optimum.
+    pub lower_bound: Rational,
+    /// Algorithm counters.
+    pub stats: SolveStats,
+    /// The schedule itself.
+    pub schedule: AnySchedule,
+}
+
+impl From<&Solution> for WireSolution {
+    fn from(sol: &Solution) -> Self {
+        WireSolution {
+            solver: sol.solver.to_string(),
+            guarantee: sol.guarantee,
+            makespan: sol.report.makespan,
+            lower_bound: sol.report.lower_bound,
+            stats: sol.report.stats,
+            schedule: sol.report.schedule.clone(),
+        }
+    }
+}
+
+/// A parsed response frame: the echoed id plus either a solution or a
+/// structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// The correlation id of the request this answers.
+    pub id: String,
+    /// The outcome.
+    pub outcome: std::result::Result<WireSolution, CcsError>,
+}
+
+// ---------------------------------------------------------------------------
+// Rationals.
+// ---------------------------------------------------------------------------
+
+fn rational_to_json(r: Rational) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("n", JsonValue::Int(r.numer()));
+    obj.set("d", JsonValue::Int(r.denom()));
+    obj
+}
+
+fn rational_from_json(value: &JsonValue) -> Result<Rational> {
+    let int = |key: &str| match value.get(key) {
+        Some(JsonValue::Int(v)) => Ok(*v),
+        _ => Err(err(format!("rational needs an integer '{key}'"))),
+    };
+    let d = int("d")?;
+    if d == 0 {
+        return Err(err("rational denominator must not be zero"));
+    }
+    Ok(Rational::new(int("n")?, d))
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// Serialises a request frame.
+pub fn request_to_json(req: &WireRequest) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("schema", SCHEMA);
+    obj.set("id", req.id.as_str());
+    obj.set("instance", req.instance.to_json_value());
+    obj.set("model", req.request.model.name());
+    let accuracy = match req.request.accuracy {
+        Accuracy::Auto => JsonValue::Str("auto".to_string()),
+        Accuracy::Exact => JsonValue::Str("exact".to_string()),
+        Accuracy::Epsilon(eps) => {
+            let mut o = JsonValue::object();
+            o.set("epsilon", eps);
+            o
+        }
+    };
+    obj.set("accuracy", accuracy);
+    if let Some(budget) = req.request.budget {
+        // Fractional milliseconds keep sub-ms budgets exact on the wire
+        // (integral values still serialise as plain integers).
+        obj.set("budget_ms", budget.as_secs_f64() * 1000.0);
+    }
+    if req.request.validate {
+        obj.set("validate", true);
+    }
+    obj
+}
+
+/// Serialises a request frame to one NDJSON line (no trailing newline).
+pub fn request_to_line(req: &WireRequest) -> String {
+    request_to_json(req).to_json()
+}
+
+fn model_from_name(name: &str) -> Result<ccs_core::ScheduleKind> {
+    ccs_core::ScheduleKind::ALL
+        .into_iter()
+        .find(|kind| kind.name() == name)
+        .ok_or_else(|| err(format!("unknown model '{name}'")))
+}
+
+fn check_schema(value: &JsonValue) -> Result<()> {
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some(SCHEMA) => Ok(()),
+        Some(other) => Err(err(format!(
+            "unsupported schema '{other}' (this build speaks '{SCHEMA}')"
+        ))),
+        None => Err(err(format!("missing schema tag (expected '{SCHEMA}')"))),
+    }
+}
+
+/// Parses a request frame.
+pub fn request_from_json(value: &JsonValue) -> Result<WireRequest> {
+    check_schema(value)?;
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("request needs a string 'id'"))?
+        .to_string();
+    let instance = Instance::from_json_value(
+        value
+            .get("instance")
+            .ok_or_else(|| err("request needs an 'instance'"))?,
+    )?;
+    let model = value
+        .get("model")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("request needs a string 'model'"))?;
+    let model = model_from_name(model)?;
+
+    let mut request = match value.get("accuracy") {
+        None => SolveRequest::auto(model),
+        Some(JsonValue::Str(s)) if s == "auto" => SolveRequest::auto(model),
+        Some(JsonValue::Str(s)) if s == "exact" => SolveRequest::exact(model),
+        Some(obj) if obj.get("epsilon").is_some() => {
+            let eps = obj
+                .get("epsilon")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| err("'epsilon' must be a number"))?;
+            SolveRequest::epsilon(model, eps)?
+        }
+        Some(_) => {
+            return Err(err(
+                "accuracy must be \"auto\", \"exact\" or {\"epsilon\": <number>}",
+            ))
+        }
+    };
+    if let Some(budget) = value.get("budget_ms") {
+        let ms = budget
+            .as_f64()
+            .filter(|ms| ms.is_finite() && *ms >= 0.0)
+            .ok_or_else(|| err("'budget_ms' must be a non-negative number"))?;
+        request = request.with_budget(Duration::from_secs_f64(ms / 1000.0));
+    }
+    if let Some(validate) = value.get("validate") {
+        let flag = validate
+            .as_bool()
+            .ok_or_else(|| err("'validate' must be a boolean"))?;
+        request = request.with_validate(flag);
+    }
+    Ok(WireRequest {
+        id,
+        instance,
+        request,
+    })
+}
+
+/// Parses one NDJSON request line.
+pub fn request_from_line(line: &str) -> Result<WireRequest> {
+    request_from_json(&parse(line)?)
+}
+
+// ---------------------------------------------------------------------------
+// Guarantees, stats, schedules.
+// ---------------------------------------------------------------------------
+
+fn guarantee_to_json(g: Guarantee) -> JsonValue {
+    match g {
+        Guarantee::Exact => JsonValue::Str("exact".to_string()),
+        Guarantee::Heuristic => JsonValue::Str("heuristic".to_string()),
+        Guarantee::Factor(f) => {
+            let mut obj = JsonValue::object();
+            obj.set("factor", rational_to_json(f));
+            obj
+        }
+    }
+}
+
+fn guarantee_from_json(value: &JsonValue) -> Result<Guarantee> {
+    match value {
+        JsonValue::Str(s) if s == "exact" => Ok(Guarantee::Exact),
+        JsonValue::Str(s) if s == "heuristic" => Ok(Guarantee::Heuristic),
+        obj => match obj.get("factor") {
+            Some(f) => Ok(Guarantee::Factor(rational_from_json(f)?)),
+            None => Err(err(
+                "guarantee must be \"exact\", \"heuristic\" or {\"factor\": ...}",
+            )),
+        },
+    }
+}
+
+fn stats_to_json(stats: &SolveStats) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("search_iterations", stats.search_iterations);
+    obj.set("guesses_evaluated", stats.guesses_evaluated);
+    obj.set("configurations", stats.configurations);
+    obj
+}
+
+fn stats_from_json(value: &JsonValue) -> Result<SolveStats> {
+    let count = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .map(|v| v as usize)
+            .ok_or_else(|| err(format!("stats need a count '{key}'")))
+    };
+    Ok(SolveStats {
+        search_iterations: count("search_iterations")?,
+        guesses_evaluated: count("guesses_evaluated")?,
+        configurations: count("configurations")?,
+    })
+}
+
+fn pieces_to_json(pieces: &[(usize, Rational)]) -> JsonValue {
+    JsonValue::Array(
+        pieces
+            .iter()
+            .map(|&(job, amount)| {
+                let mut piece = JsonValue::object();
+                piece.set("job", job);
+                piece.set("amount", rational_to_json(amount));
+                piece
+            })
+            .collect(),
+    )
+}
+
+fn pieces_from_json(value: &JsonValue) -> Result<Vec<(usize, Rational)>> {
+    value
+        .as_array()
+        .ok_or_else(|| err("'pieces' must be an array"))?
+        .iter()
+        .map(|piece| {
+            let job = piece
+                .get("job")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| err("piece needs a 'job'"))? as usize;
+            let amount = rational_from_json(
+                piece
+                    .get("amount")
+                    .ok_or_else(|| err("piece needs an 'amount'"))?,
+            )?;
+            Ok((job, amount))
+        })
+        .collect()
+}
+
+fn schedule_to_json(schedule: &AnySchedule) -> JsonValue {
+    let mut obj = JsonValue::object();
+    match schedule {
+        AnySchedule::NonPreemptive(s) => {
+            obj.set("kind", "non-preemptive");
+            obj.set(
+                "assignment",
+                JsonValue::Array(
+                    s.assignment()
+                        .iter()
+                        .map(|&m| JsonValue::Int(m as i128))
+                        .collect(),
+                ),
+            );
+        }
+        AnySchedule::Splittable(s) => {
+            obj.set("kind", "splittable");
+            obj.set(
+                "explicit",
+                JsonValue::Array(
+                    s.explicit()
+                        .iter()
+                        .map(|em| {
+                            let mut machine = JsonValue::object();
+                            machine.set("machine", em.machine);
+                            machine.set("pieces", pieces_to_json(&em.pieces));
+                            machine
+                        })
+                        .collect(),
+                ),
+            );
+            obj.set(
+                "runs",
+                JsonValue::Array(
+                    s.runs()
+                        .iter()
+                        .map(|run| {
+                            let mut r = JsonValue::object();
+                            r.set("first_machine", run.first_machine);
+                            r.set("count", run.count);
+                            r.set("class", run.class);
+                            r.set("offset", rational_to_json(run.offset));
+                            r.set("chunk", rational_to_json(run.chunk));
+                            r
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        AnySchedule::Preemptive(s) => {
+            obj.set("kind", "preemptive");
+            obj.set(
+                "machines",
+                JsonValue::Array(
+                    s.machines()
+                        .iter()
+                        .map(|pieces| {
+                            JsonValue::Array(
+                                pieces
+                                    .iter()
+                                    .map(|piece| {
+                                        let mut p = JsonValue::object();
+                                        p.set("job", piece.job);
+                                        p.set("start", rational_to_json(piece.start));
+                                        p.set("len", rational_to_json(piece.len));
+                                        p
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            );
+        }
+    }
+    obj
+}
+
+fn schedule_from_json(value: &JsonValue) -> Result<AnySchedule> {
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("schedule needs a string 'kind'"))?;
+    match kind {
+        "non-preemptive" => {
+            let assignment = value
+                .get("assignment")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("non-preemptive schedule needs an 'assignment' array"))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| err("'assignment' entries must be machine indices"))
+                })
+                .collect::<Result<Vec<u64>>>()?;
+            Ok(AnySchedule::NonPreemptive(NonPreemptiveSchedule::new(
+                assignment,
+            )))
+        }
+        "splittable" => {
+            let mut schedule = SplittableSchedule::new();
+            for run in value
+                .get("runs")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("splittable schedule needs a 'runs' array"))?
+            {
+                let int = |key: &str| {
+                    run.get(key)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| err(format!("class run needs '{key}'")))
+                };
+                schedule.push_run(ClassRun {
+                    first_machine: int("first_machine")?,
+                    count: int("count")?,
+                    class: int("class")? as usize,
+                    offset: rational_from_json(
+                        run.get("offset").ok_or_else(|| err("run needs 'offset'"))?,
+                    )?,
+                    chunk: rational_from_json(
+                        run.get("chunk").ok_or_else(|| err("run needs 'chunk'"))?,
+                    )?,
+                });
+            }
+            for machine in value
+                .get("explicit")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("splittable schedule needs an 'explicit' array"))?
+            {
+                let index = machine
+                    .get("machine")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| err("explicit machine needs a 'machine' index"))?;
+                let pieces = pieces_from_json(
+                    machine
+                        .get("pieces")
+                        .ok_or_else(|| err("explicit machine needs 'pieces'"))?,
+                )?;
+                schedule.push_explicit(index, pieces);
+            }
+            Ok(AnySchedule::Splittable(schedule))
+        }
+        "preemptive" => {
+            let machines = value
+                .get("machines")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("preemptive schedule needs a 'machines' array"))?
+                .iter()
+                .map(|pieces| {
+                    pieces
+                        .as_array()
+                        .ok_or_else(|| err("each machine must be an array of pieces"))?
+                        .iter()
+                        .map(|piece| {
+                            let job = piece
+                                .get("job")
+                                .and_then(JsonValue::as_u64)
+                                .ok_or_else(|| err("piece needs a 'job'"))?
+                                as usize;
+                            let start = rational_from_json(
+                                piece
+                                    .get("start")
+                                    .ok_or_else(|| err("piece needs a 'start'"))?,
+                            )?;
+                            let len = rational_from_json(
+                                piece.get("len").ok_or_else(|| err("piece needs a 'len'"))?,
+                            )?;
+                            Ok(PreemptivePiece::new(job, start, len))
+                        })
+                        .collect::<Result<Vec<PreemptivePiece>>>()
+                })
+                .collect::<Result<Vec<Vec<PreemptivePiece>>>>()?;
+            Ok(AnySchedule::Preemptive(PreemptiveSchedule::new(machines)))
+        }
+        other => Err(err(format!("unknown schedule kind '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------------
+
+fn wire_solution_to_json(sol: &WireSolution) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("solver", sol.solver.as_str());
+    obj.set("guarantee", guarantee_to_json(sol.guarantee));
+    obj.set("makespan", rational_to_json(sol.makespan));
+    obj.set("lower_bound", rational_to_json(sol.lower_bound));
+    obj.set("stats", stats_to_json(&sol.stats));
+    obj.set("schedule", schedule_to_json(&sol.schedule));
+    obj
+}
+
+fn wire_solution_from_json(value: &JsonValue) -> Result<WireSolution> {
+    Ok(WireSolution {
+        solver: value
+            .get("solver")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err("solution needs a string 'solver'"))?
+            .to_string(),
+        guarantee: guarantee_from_json(
+            value
+                .get("guarantee")
+                .ok_or_else(|| err("solution needs a 'guarantee'"))?,
+        )?,
+        makespan: rational_from_json(
+            value
+                .get("makespan")
+                .ok_or_else(|| err("solution needs a 'makespan'"))?,
+        )?,
+        lower_bound: rational_from_json(
+            value
+                .get("lower_bound")
+                .ok_or_else(|| err("solution needs a 'lower_bound'"))?,
+        )?,
+        stats: stats_from_json(
+            value
+                .get("stats")
+                .ok_or_else(|| err("solution needs 'stats'"))?,
+        )?,
+        schedule: schedule_from_json(
+            value
+                .get("schedule")
+                .ok_or_else(|| err("solution needs a 'schedule'"))?,
+        )?,
+    })
+}
+
+fn response_frame(id: &str) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("schema", SCHEMA);
+    obj.set("id", id);
+    obj
+}
+
+/// Serialises a success response for an engine [`Solution`].
+pub fn solution_to_json(id: &str, solution: &Solution) -> JsonValue {
+    wire_response_to_json(&WireResponse {
+        id: id.to_string(),
+        outcome: Ok(WireSolution::from(solution)),
+    })
+}
+
+/// Serialises an error response.
+pub fn error_response_to_json(id: &str, error: &CcsError) -> JsonValue {
+    wire_response_to_json(&WireResponse {
+        id: id.to_string(),
+        outcome: Err(error.clone()),
+    })
+}
+
+/// Serialises a response frame (success or error).
+pub fn wire_response_to_json(response: &WireResponse) -> JsonValue {
+    let mut obj = response_frame(&response.id);
+    match &response.outcome {
+        Ok(solution) => {
+            obj.set("status", "ok");
+            obj.set("solution", wire_solution_to_json(solution));
+        }
+        Err(error) => {
+            obj.set("status", "error");
+            obj.set("error", error_to_json(error));
+        }
+    }
+    obj
+}
+
+/// Parses a response frame.
+pub fn response_from_json(value: &JsonValue) -> Result<WireResponse> {
+    check_schema(value)?;
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("response needs a string 'id'"))?
+        .to_string();
+    let status = value
+        .get("status")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("response needs a string 'status'"))?;
+    let outcome = match status {
+        "ok" => Ok(wire_solution_from_json(
+            value
+                .get("solution")
+                .ok_or_else(|| err("ok response needs a 'solution'"))?,
+        )?),
+        "error" => Err(ccs_core::json::error_from_json(
+            value
+                .get("error")
+                .ok_or_else(|| err("error response needs an 'error'"))?,
+        )?),
+        other => return Err(err(format!("unknown status '{other}'"))),
+    };
+    Ok(WireResponse { id, outcome })
+}
+
+/// Parses one NDJSON response line.
+pub fn response_from_line(line: &str) -> Result<WireResponse> {
+    response_from_json(&parse(line)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+    use ccs_core::ScheduleKind;
+
+    fn sample_request() -> WireRequest {
+        WireRequest {
+            id: "req-1".to_string(),
+            instance: instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2)]).unwrap(),
+            request: SolveRequest::epsilon(ScheduleKind::Splittable, 0.5)
+                .unwrap()
+                .with_budget(Duration::from_millis(250))
+                .with_validate(true),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_preserves_everything() {
+        let req = sample_request();
+        let line = request_to_line(&req);
+        let back = request_from_line(&line).unwrap();
+        assert_eq!(back, req);
+        // Serialisation is canonical: a second trip yields the same bytes.
+        assert_eq!(request_to_line(&back), line);
+    }
+
+    #[test]
+    fn sub_millisecond_budgets_survive_the_wire() {
+        for micros in [1u64, 500, 1_500, 999_999] {
+            let mut req = sample_request();
+            req.request = req.request.with_budget(Duration::from_micros(micros));
+            let line = request_to_line(&req);
+            let back = request_from_line(&line).unwrap();
+            assert_eq!(back.request.budget, req.request.budget, "{micros}µs");
+            assert_eq!(request_to_line(&back), line, "{micros}µs canonical");
+        }
+    }
+
+    #[test]
+    fn minimal_request_defaults() {
+        let inst = instance_from_pairs(1, 1, &[(4, 0)]).unwrap();
+        let line = format!(
+            r#"{{"schema":"ccs-wire/1","id":"x","instance":{},"model":"non-preemptive"}}"#,
+            inst.to_json()
+        );
+        let back = request_from_line(&line).unwrap();
+        assert_eq!(
+            back.request,
+            SolveRequest::auto(ScheduleKind::NonPreemptive)
+        );
+        assert_eq!(back.instance, inst);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(request_from_line("not json").is_err());
+        assert!(request_from_line("{}").is_err());
+        assert!(request_from_line(r#"{"schema":"ccs-wire/2","id":"x"}"#).is_err());
+        let inst = instance_from_pairs(1, 1, &[(4, 0)]).unwrap().to_json();
+        for bad in [
+            format!(r#"{{"schema":"ccs-wire/1","instance":{inst},"model":"splittable"}}"#),
+            format!(r#"{{"schema":"ccs-wire/1","id":"x","instance":{inst},"model":"nope"}}"#),
+            format!(
+                r#"{{"schema":"ccs-wire/1","id":"x","instance":{inst},"model":"splittable","accuracy":{{"epsilon":-1}}}}"#
+            ),
+            format!(
+                r#"{{"schema":"ccs-wire/1","id":"x","instance":{inst},"model":"splittable","budget_ms":-5}}"#
+            ),
+        ] {
+            assert!(request_from_line(&bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn solution_roundtrip_all_models() {
+        let engine = crate::Engine::new();
+        let inst = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2), (4, 3)]).unwrap();
+        for kind in ScheduleKind::ALL {
+            let sol = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
+            let json = solution_to_json("id-7", &sol).to_json();
+            let back = response_from_line(&json).unwrap();
+            assert_eq!(back.id, "id-7");
+            let wire = back.outcome.unwrap();
+            assert_eq!(wire, WireSolution::from(&sol), "{kind}");
+            // The transported schedule still validates against the instance.
+            use ccs_core::Schedule;
+            wire.schedule.validate(&inst).unwrap();
+            assert_eq!(wire.schedule.makespan(&inst), sol.report.makespan);
+        }
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let json = error_response_to_json("bad-1", &CcsError::DeadlineExceeded).to_json();
+        let back = response_from_line(&json).unwrap();
+        assert_eq!(back.id, "bad-1");
+        assert_eq!(back.outcome, Err(CcsError::DeadlineExceeded));
+    }
+}

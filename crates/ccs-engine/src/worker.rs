@@ -1,0 +1,300 @@
+//! The persistent worker pool behind [`Engine::submit`](crate::Engine::submit).
+//!
+//! Earlier versions of the engine spun up scoped threads per `solve_batch`
+//! call; a service cannot afford that (thread churn, no way to accept work
+//! while a batch runs, no per-request budgets).  This module replaces it
+//! with a fixed pool of long-lived workers fed from a mutex/condvar queue:
+//!
+//! * [`Engine::submit`](crate::Engine::submit) enqueues a job and hands
+//!   back a [`SolveHandle`] — poll it, block on it, or cancel it,
+//! * every job runs under a [`SolveContext`] assembled from the request's
+//!   budget (the deadline clock starts at submission, so queue time counts)
+//!   and the handle's cancel flag,
+//! * a panicking solver is caught and surfaces as `CcsError::Internal`; the
+//!   worker thread survives and keeps serving requests,
+//! * dropping the last engine clone shuts the pool down in bounded time:
+//!   queued jobs fail with `CcsError::Cancelled` without running, in-flight
+//!   jobs are cancelled cooperatively, and every outstanding handle still
+//!   completes.
+//!
+//! The pool is started lazily on first use, so engines that only ever call
+//! the synchronous [`Engine::solve`](crate::Engine::solve) never spawn a
+//! thread.
+
+use crate::engine::{EngineCore, Solution};
+use crate::policy::SolveRequest;
+use ccs_core::{CancelFlag, CcsError, Instance, Result, SolveContext};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One unit of work for the pool: an instance, its request, the engine core
+/// that routes and runs it, and the ticket the result is delivered to.
+pub(crate) struct Job {
+    pub(crate) inst: Arc<Instance>,
+    pub(crate) req: SolveRequest,
+    pub(crate) core: Arc<EngineCore>,
+    pub(crate) ticket: Arc<Ticket>,
+}
+
+/// The shared state between a [`SolveHandle`] and the worker executing its
+/// job.
+pub(crate) struct Ticket {
+    /// `None` while pending/running, `Some` once the worker delivered.
+    result: Mutex<Option<Result<Solution>>>,
+    done: Condvar,
+    finished: AtomicBool,
+    cancel: CancelFlag,
+    /// Absolute deadline derived from the request budget at submission.
+    deadline: Option<Instant>,
+}
+
+impl Ticket {
+    pub(crate) fn new(budget: Option<Duration>) -> Self {
+        Ticket {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            finished: AtomicBool::new(false),
+            cancel: CancelFlag::new(),
+            deadline: budget.map(|b| Instant::now() + b),
+        }
+    }
+
+    fn complete(&self, result: Result<Solution>) {
+        let mut slot = self.result.lock().expect("ticket lock never poisoned");
+        *slot = Some(result);
+        self.finished.store(true, Ordering::Release);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to a submitted request: poll it, wait on it, or cancel it.
+///
+/// Dropping the handle does not cancel the job — it keeps running and its
+/// result is discarded on completion (fire and forget).
+pub struct SolveHandle {
+    ticket: Arc<Ticket>,
+}
+
+impl SolveHandle {
+    pub(crate) fn new(ticket: Arc<Ticket>) -> Self {
+        SolveHandle { ticket }
+    }
+
+    /// Whether the job has finished (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        self.ticket.finished.load(Ordering::Acquire)
+    }
+
+    /// Non-blocking poll: a clone of the result once the job has finished,
+    /// `None` while it is still queued or running.
+    pub fn poll(&self) -> Option<Result<Solution>> {
+        self.ticket
+            .result
+            .lock()
+            .expect("ticket lock never poisoned")
+            .clone()
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(self) -> Result<Solution> {
+        let mut slot = self
+            .ticket
+            .result
+            .lock()
+            .expect("ticket lock never poisoned");
+        while slot.is_none() {
+            slot = self
+                .ticket
+                .done
+                .wait(slot)
+                .expect("ticket lock never poisoned");
+        }
+        slot.take().expect("loop exits only with a result")
+    }
+
+    /// Blocks for at most `timeout`; a clone of the result if the job
+    /// finished in time, `None` otherwise.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Solution>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self
+            .ticket
+            .result
+            .lock()
+            .expect("ticket lock never poisoned");
+        while slot.is_none() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .ticket
+                .done
+                .wait_timeout(slot, remaining)
+                .expect("ticket lock never poisoned");
+            slot = guard;
+        }
+        slot.clone()
+    }
+
+    /// Requests cooperative cancellation: the run fails with
+    /// [`CcsError::Cancelled`] at its next checkpoint (or before it starts,
+    /// if still queued).  Idempotent; has no effect on finished jobs.
+    pub fn cancel(&self) {
+        self.ticket.cancel.cancel();
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// The cancel flag of the job each worker is currently executing, so
+    /// shutdown can interrupt in-flight work at its next checkpoint.
+    inflight: Mutex<Vec<Option<CancelFlag>>>,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Starts `workers` (at least one) threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            inflight: Mutex::new(vec![None; workers]),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ccs-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some idle worker picks it up.
+    pub(crate) fn submit(&self, job: Job) {
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .expect("pool queue lock never poisoned");
+        queue.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Shutdown is bounded, not graceful-to-completion: queued jobs are
+        // failed with `Cancelled` without running, and in-flight jobs are
+        // cancelled cooperatively (they stop at their next checkpoint).
+        // Every outstanding `SolveHandle` still completes, so no waiter
+        // hangs.
+        self.shared.shutdown.store(true, Ordering::Release);
+        for flag in self
+            .shared
+            .inflight
+            .lock()
+            .expect("pool inflight lock never poisoned")
+            .iter()
+            .flatten()
+        {
+            flag.cancel();
+        }
+        let backlog: Vec<Job> = {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .expect("pool queue lock never poisoned");
+            queue.drain(..).collect()
+        };
+        for job in backlog {
+            job.ticket.complete(Err(CcsError::Cancelled));
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock never poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .expect("pool queue lock never poisoned");
+            }
+        };
+
+        // Publish the job's cancel flag, then re-check shutdown: either the
+        // pool's drop sees the flag and cancels it, or we see the shutdown
+        // it set first — the job cannot slip through and run unbounded.
+        shared
+            .inflight
+            .lock()
+            .expect("pool inflight lock never poisoned")[worker] = Some(job.ticket.cancel.clone());
+        if shared.shutdown.load(Ordering::Acquire) {
+            job.ticket.complete(Err(CcsError::Cancelled));
+            continue;
+        }
+
+        let mut ctx = SolveContext::unbounded()
+            .with_cancel(job.ticket.cancel.clone())
+            .with_stats(job.core.stats());
+        if let Some(deadline) = job.ticket.deadline {
+            ctx = ctx.with_deadline(deadline);
+        }
+        // A panicking solver must not take the worker down with it: deliver
+        // it as an internal error and keep serving.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            job.core.execute(&job.inst, &job.req, &ctx)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "solver panicked".to_string());
+            Err(CcsError::internal(format!("solver panicked: {msg}")))
+        });
+        shared
+            .inflight
+            .lock()
+            .expect("pool inflight lock never poisoned")[worker] = None;
+        job.ticket.complete(outcome);
+    }
+}

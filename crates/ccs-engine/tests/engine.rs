@@ -115,7 +115,7 @@ fn epsilon_requests_get_a_matching_guarantee() {
         (1.2, ScheduleKind::NonPreemptive), // 1 + 1.2 < 7/3 → ad-hoc PTAS
     ] {
         let sol = engine
-            .solve(&inst, &SolveRequest::epsilon(model, eps))
+            .solve(&inst, &SolveRequest::epsilon(model, eps).unwrap())
             .unwrap();
         let factor = sol.guarantee.factor().expect("never a heuristic");
         let budget = Rational::ONE + Rational::new((eps * 1000.0) as i128, 1000);

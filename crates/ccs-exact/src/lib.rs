@@ -30,10 +30,16 @@ pub mod witness;
 use ccs_core::{Instance, Rational, Result};
 
 pub use bounds::strong_lower_bound;
-pub use nonpreemptive::{nonpreemptive_optimum, nonpreemptive_optimum_with_schedule};
+pub use nonpreemptive::{
+    nonpreemptive_optimum, nonpreemptive_optimum_with_schedule,
+    nonpreemptive_optimum_with_schedule_ctx,
+};
 pub use solver::{ExactNonPreemptive, ExactPreemptive, ExactSplittable};
-pub use splittable::splittable_optimum;
-pub use witness::{preemptive_optimum_with_schedule, splittable_optimum_with_schedule};
+pub use splittable::{splittable_optimum, splittable_optimum_ctx};
+pub use witness::{
+    preemptive_optimum_with_schedule, preemptive_optimum_with_schedule_ctx,
+    splittable_optimum_with_schedule, splittable_optimum_with_schedule_ctx,
+};
 
 /// Exact optimal makespan of the preemptive model for small instances.
 ///

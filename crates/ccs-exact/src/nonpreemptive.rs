@@ -1,12 +1,16 @@
 //! Exact branch-and-bound solver for the non-preemptive model.
 
-use ccs_core::{CcsError, Instance, NonPreemptiveSchedule, Result, Schedule};
+use ccs_core::{CcsError, Instance, NonPreemptiveSchedule, Result, Schedule, SolveContext};
 use std::collections::BTreeSet;
 
 /// Hard limits protecting callers from accidentally running the exponential
 /// solver on large instances.
 const MAX_JOBS: usize = 22;
 const MAX_MACHINES: u64 = 8;
+
+/// How many branch-and-bound nodes are expanded between two context
+/// checkpoints; a power of two so the test is a mask.
+const CTX_CHECK_MASK: u64 = 0x3FF;
 
 /// Computes the exact optimal non-preemptive makespan (and a witness
 /// schedule) by branch and bound.
@@ -22,6 +26,18 @@ pub fn nonpreemptive_optimum(inst: &Instance) -> Result<u64> {
 pub fn nonpreemptive_optimum_with_schedule(
     inst: &Instance,
 ) -> Result<(u64, NonPreemptiveSchedule)> {
+    nonpreemptive_optimum_with_schedule_ctx(inst, &SolveContext::unbounded())
+}
+
+/// [`nonpreemptive_optimum_with_schedule`] under an execution context: the
+/// branch-and-bound polls `ctx` every few hundred nodes and aborts with
+/// [`CcsError::DeadlineExceeded`] / [`CcsError::Cancelled`] when its budget
+/// runs out.
+pub fn nonpreemptive_optimum_with_schedule_ctx(
+    inst: &Instance,
+    ctx: &SolveContext,
+) -> Result<(u64, NonPreemptiveSchedule)> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible("more classes than class slots"));
     }
@@ -50,17 +66,18 @@ pub fn nonpreemptive_optimum_with_schedule(
     let mut assignment = vec![0u64; inst.num_jobs()];
     let remaining_total: u64 = inst.total_load();
 
-    search(
+    let mut state = SearchState {
         inst,
-        &order,
-        0,
-        remaining_total,
-        &mut loads,
-        &mut classes,
-        &mut assignment,
-        &mut best,
-        &mut best_assignment,
-    );
+        order: &order,
+        loads: &mut loads,
+        classes: &mut classes,
+        assignment: &mut assignment,
+        best: &mut best,
+        best_assignment: &mut best_assignment,
+        nodes: 0,
+        ctx,
+    };
+    search(&mut state, 0, remaining_total)?;
 
     let assignment = best_assignment.unwrap_or_else(|| {
         // The greedy bound was already optimal and the search never improved
@@ -73,76 +90,75 @@ pub fn nonpreemptive_optimum_with_schedule(
     Ok((opt, schedule))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn search(
-    inst: &Instance,
-    order: &[usize],
-    depth: usize,
-    remaining: u64,
-    loads: &mut Vec<u64>,
-    classes: &mut Vec<BTreeSet<usize>>,
-    assignment: &mut Vec<u64>,
-    best: &mut u64,
-    best_assignment: &mut Option<Vec<u64>>,
-) {
-    let m = loads.len();
-    let current_max = loads.iter().copied().max().unwrap_or(0);
-    if current_max >= *best {
-        return;
+/// Mutable state of the branch-and-bound, bundled so the recursion stays
+/// within clippy's argument budget now that a node counter and a context
+/// ride along.
+struct SearchState<'a> {
+    inst: &'a Instance,
+    order: &'a [usize],
+    loads: &'a mut Vec<u64>,
+    classes: &'a mut Vec<BTreeSet<usize>>,
+    assignment: &'a mut Vec<u64>,
+    best: &'a mut u64,
+    best_assignment: &'a mut Option<Vec<u64>>,
+    nodes: u64,
+    ctx: &'a SolveContext,
+}
+
+fn search(s: &mut SearchState<'_>, depth: usize, remaining: u64) -> Result<()> {
+    s.nodes += 1;
+    if s.nodes & CTX_CHECK_MASK == 0 {
+        s.ctx.checkpoint()?;
+    }
+    let m = s.loads.len();
+    let current_max = s.loads.iter().copied().max().unwrap_or(0);
+    if current_max >= *s.best {
+        return Ok(());
     }
     // Area-based bound on the completion of the remaining jobs.
-    let area_bound = (loads.iter().sum::<u64>() + remaining).div_ceil(m as u64);
-    if area_bound.max(current_max) >= *best {
-        return;
+    let area_bound = (s.loads.iter().sum::<u64>() + remaining).div_ceil(m as u64);
+    if area_bound.max(current_max) >= *s.best {
+        return Ok(());
     }
-    if depth == order.len() {
-        *best = current_max;
-        *best_assignment = Some(assignment.clone());
-        return;
+    if depth == s.order.len() {
+        *s.best = current_max;
+        *s.best_assignment = Some(s.assignment.clone());
+        return Ok(());
     }
 
-    let job = order[depth];
-    let p = inst.processing_time(job);
-    let class = inst.class_of(job);
-    let slots = inst.class_slots() as usize;
+    let job = s.order[depth];
+    let p = s.inst.processing_time(job);
+    let class = s.inst.class_of(job);
+    let slots = s.inst.class_slots() as usize;
 
     let mut tried_empty = false;
     for machine in 0..m {
         // Symmetry breaking: all empty machines are interchangeable.
-        if loads[machine] == 0 && classes[machine].is_empty() {
+        if s.loads[machine] == 0 && s.classes[machine].is_empty() {
             if tried_empty {
                 continue;
             }
             tried_empty = true;
         }
-        let new_class = !classes[machine].contains(&class);
-        if new_class && classes[machine].len() >= slots {
+        let new_class = !s.classes[machine].contains(&class);
+        if new_class && s.classes[machine].len() >= slots {
             continue;
         }
-        if loads[machine] + p >= *best {
+        if s.loads[machine] + p >= *s.best {
             continue;
         }
-        loads[machine] += p;
+        s.loads[machine] += p;
         if new_class {
-            classes[machine].insert(class);
+            s.classes[machine].insert(class);
         }
-        assignment[job] = machine as u64;
-        search(
-            inst,
-            order,
-            depth + 1,
-            remaining - p,
-            loads,
-            classes,
-            assignment,
-            best,
-            best_assignment,
-        );
-        loads[machine] -= p;
+        s.assignment[job] = machine as u64;
+        search(s, depth + 1, remaining - p)?;
+        s.loads[machine] -= p;
         if new_class {
-            classes[machine].remove(&class);
+            s.classes[machine].remove(&class);
         }
     }
+    Ok(())
 }
 
 fn greedy_assignment(inst: &Instance, order: &[usize], m: usize) -> Option<Vec<u64>> {

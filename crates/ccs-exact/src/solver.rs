@@ -6,12 +6,12 @@
 //! limits — oversized instances fail with `CcsError::InvalidParameter`, which
 //! the `ccs-engine` portfolio uses to fall back to the approximations.
 
-use crate::nonpreemptive::nonpreemptive_optimum_with_schedule;
-use crate::witness::{preemptive_optimum_with_schedule, splittable_optimum_with_schedule};
+use crate::nonpreemptive::nonpreemptive_optimum_with_schedule_ctx;
+use crate::witness::{preemptive_optimum_with_schedule_ctx, splittable_optimum_with_schedule_ctx};
 use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};
 use ccs_core::{
     Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, ScheduleKind,
-    SplittableSchedule,
+    SolveContext, SplittableSchedule,
 };
 
 /// Branch-and-bound exact solver for the non-preemptive model as a
@@ -37,7 +37,15 @@ impl Solver<NonPreemptiveSchedule> for ExactNonPreemptive {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
-        let (opt, schedule) = nonpreemptive_optimum_with_schedule(inst)?;
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        let (opt, schedule) = nonpreemptive_optimum_with_schedule_ctx(inst, ctx)?;
         Ok(SolveReport {
             schedule,
             makespan: Rational::from(opt),
@@ -70,7 +78,15 @@ impl Solver<SplittableSchedule> for ExactSplittable {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
-        let (opt, schedule) = splittable_optimum_with_schedule(inst)?;
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<SplittableSchedule>> {
+        let (opt, schedule) = splittable_optimum_with_schedule_ctx(inst, ctx)?;
         Ok(SolveReport {
             schedule,
             makespan: opt,
@@ -104,7 +120,15 @@ impl Solver<PreemptiveSchedule> for ExactPreemptive {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {
-        let (opt, schedule) = preemptive_optimum_with_schedule(inst)?;
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<PreemptiveSchedule>> {
+        let (opt, schedule) = preemptive_optimum_with_schedule_ctx(inst, ctx)?;
         Ok(SolveReport {
             schedule,
             makespan: opt,

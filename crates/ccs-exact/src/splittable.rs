@@ -10,17 +10,29 @@
 //! The solver enumerates all structures — exponential in `C` and `m`, so it is
 //! guarded by hard limits and intended for cross-validation only.
 
-use ccs_core::{CcsError, Instance, Rational, Result};
+use ccs_core::{CcsError, Instance, Rational, Result, SolveContext};
 
 /// Guard rails for the exponential enumeration.
 const MAX_CLASSES: usize = 6;
 const MAX_MACHINES: u64 = 4;
+
+/// How many structures are visited between two context checkpoints; a power
+/// of two so the test is a mask.
+const CTX_CHECK_MASK: u64 = 0x3FF;
 
 /// Exact optimal makespan of the splittable model.
 ///
 /// Returns [`CcsError::InvalidParameter`] when the instance exceeds the
 /// built-in limits and [`CcsError::Infeasible`] when `C > c·m`.
 pub fn splittable_optimum(inst: &Instance) -> Result<Rational> {
+    splittable_optimum_ctx(inst, &SolveContext::unbounded())
+}
+
+/// [`splittable_optimum`] under an execution context: the structure
+/// enumeration polls `ctx` and aborts with [`CcsError::DeadlineExceeded`] /
+/// [`CcsError::Cancelled`] when its budget runs out.
+pub fn splittable_optimum_ctx(inst: &Instance, ctx: &SolveContext) -> Result<Rational> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible("more classes than class slots"));
     }
@@ -33,7 +45,7 @@ pub fn splittable_optimum(inst: &Instance) -> Result<Rational> {
         return Ok(inst.average_load());
     }
 
-    Ok(splittable_optimum_structure(inst)?.0)
+    Ok(splittable_optimum_structure(inst, ctx)?.0)
 }
 
 /// Exact optimal makespan plus a witness *structure*: for every machine the
@@ -42,7 +54,10 @@ pub fn splittable_optimum(inst: &Instance) -> Result<Rational> {
 ///
 /// Unlike [`splittable_optimum`] this never takes the unconstrained shortcut,
 /// so the `MAX_CLASSES` / `MAX_MACHINES` limits always apply.
-pub(crate) fn splittable_optimum_structure(inst: &Instance) -> Result<(Rational, Vec<u32>)> {
+pub(crate) fn splittable_optimum_structure(
+    inst: &Instance,
+    ctx: &SolveContext,
+) -> Result<(Rational, Vec<u32>)> {
     if !inst.is_feasible() {
         return Err(CcsError::infeasible("more classes than class slots"));
     }
@@ -68,18 +83,24 @@ pub(crate) fn splittable_optimum_structure(inst: &Instance) -> Result<(Rational,
 
     let mut best: Option<(Rational, Vec<u32>)> = None;
     let mut structure = vec![0u32; m];
+    let mut visited = 0u64;
     enumerate_structures(&all_masks, &mut structure, 0, &mut |structure| {
+        visited += 1;
+        if visited & CTX_CHECK_MASK == 0 {
+            ctx.checkpoint()?;
+        }
         // Every class must be served somewhere.
         let union = structure.iter().fold(0u32, |acc, &x| acc | x);
         if union != (1u32 << num_classes) - 1 {
-            return;
+            return Ok(());
         }
         let value = structure_makespan(&loads, structure);
         match &best {
             Some((b, _)) if *b <= value => {}
             _ => best = Some((value, structure.to_vec())),
         }
-    });
+        Ok(())
+    })?;
 
     best.ok_or_else(|| CcsError::infeasible("no structure can serve all classes"))
 }
@@ -88,11 +109,10 @@ fn enumerate_structures(
     all_masks: &[u32],
     structure: &mut Vec<u32>,
     machine: usize,
-    visit: &mut impl FnMut(&[u32]),
-) {
+    visit: &mut impl FnMut(&[u32]) -> Result<()>,
+) -> Result<()> {
     if machine == structure.len() {
-        visit(structure);
-        return;
+        return visit(structure);
     }
     for &mask in all_masks {
         // Symmetry breaking: machine masks in non-decreasing order.
@@ -100,8 +120,9 @@ fn enumerate_structures(
             continue;
         }
         structure[machine] = mask;
-        enumerate_structures(all_masks, structure, machine + 1, visit);
+        enumerate_structures(all_masks, structure, machine + 1, visit)?;
     }
+    Ok(())
 }
 
 /// The optimal makespan for a fixed structure:

@@ -18,7 +18,7 @@
 use crate::splittable::splittable_optimum_structure;
 use ccs_core::{
     CcsError, Instance, PreemptivePiece, PreemptiveSchedule, Rational, Result, Schedule,
-    SplittableSchedule,
+    SolveContext, SplittableSchedule,
 };
 use flownet::open_shop_timetable;
 
@@ -39,7 +39,17 @@ const MAX_WITNESS_CLASSES: usize = 31;
 /// unconstrained case (`c ≥ C`) the limit is `m ≤ 8` machines because the
 /// witness must list every machine explicitly.
 pub fn splittable_optimum_with_schedule(inst: &Instance) -> Result<(Rational, SplittableSchedule)> {
-    let (optimum, structure) = optimum_and_structure(inst)?;
+    splittable_optimum_with_schedule_ctx(inst, &SolveContext::unbounded())
+}
+
+/// [`splittable_optimum_with_schedule`] under an execution context (polled
+/// inside the structure enumeration).
+pub fn splittable_optimum_with_schedule_ctx(
+    inst: &Instance,
+    ctx: &SolveContext,
+) -> Result<(Rational, SplittableSchedule)> {
+    let (optimum, structure) = optimum_and_structure(inst, ctx)?;
+    ctx.checkpoint()?;
     let assignment = distribute(inst, &structure, optimum)?;
     let schedule = explicit_schedule(inst, &assignment);
     schedule.validate(inst)?;
@@ -54,8 +64,18 @@ pub fn splittable_optimum_with_schedule(inst: &Instance) -> Result<(Rational, Sp
 /// and serialises the fractional assignment into a timetable of exactly that
 /// length via open-shop scheduling.
 pub fn preemptive_optimum_with_schedule(inst: &Instance) -> Result<(Rational, PreemptiveSchedule)> {
-    let (split_opt, structure) = optimum_and_structure(inst)?;
+    preemptive_optimum_with_schedule_ctx(inst, &SolveContext::unbounded())
+}
+
+/// [`preemptive_optimum_with_schedule`] under an execution context (polled
+/// inside the structure enumeration).
+pub fn preemptive_optimum_with_schedule_ctx(
+    inst: &Instance,
+    ctx: &SolveContext,
+) -> Result<(Rational, PreemptiveSchedule)> {
+    let (split_opt, structure) = optimum_and_structure(inst, ctx)?;
     let optimum = split_opt.max(Rational::from(inst.p_max()));
+    ctx.checkpoint()?;
     let assignment = distribute(inst, &structure, optimum)?;
 
     let m = structure.len();
@@ -79,7 +99,8 @@ pub fn preemptive_optimum_with_schedule(inst: &Instance) -> Result<(Rational, Pr
 
 /// The optimal splittable makespan and a witness structure, covering both the
 /// enumerated case and the unconstrained `c ≥ C` shortcut.
-fn optimum_and_structure(inst: &Instance) -> Result<(Rational, Vec<u32>)> {
+fn optimum_and_structure(inst: &Instance, ctx: &SolveContext) -> Result<(Rational, Vec<u32>)> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible("more classes than class slots"));
     }
@@ -99,7 +120,7 @@ fn optimum_and_structure(inst: &Instance) -> Result<(Rational, Vec<u32>)> {
         let structure = vec![full; inst.machines() as usize];
         return Ok((inst.average_load(), structure));
     }
-    splittable_optimum_structure(inst)
+    splittable_optimum_structure(inst, ctx)
 }
 
 /// Distributes every class's load over the machines its structure mask

@@ -4,6 +4,8 @@
 //! multiset of module sizes it hosts (sizes measured in units of `δ²T`),
 //! constrained by the machine capacity `T̄` and the class-slot budget `c*`.
 
+use ccs_core::{Result, SolveContext};
+
 /// A configuration: a non-increasing multiset of module sizes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Config {
@@ -43,6 +45,19 @@ impl Config {
 /// `max_count` parts.  The empty configuration is included — machines may
 /// stay (partially) empty and are then available for small classes.
 pub fn enumerate_configs(sizes: &[u64], max_total: u64, max_count: u64) -> Vec<Config> {
+    enumerate_configs_ctx(sizes, max_total, max_count, &SolveContext::unbounded())
+        .expect("unbounded context never interrupts the enumeration")
+}
+
+/// [`enumerate_configs`] under an execution context: the enumeration is
+/// exponential in `1/δ`, so deadlines must be able to interrupt it before
+/// any ILP is even built.
+pub fn enumerate_configs_ctx(
+    sizes: &[u64],
+    max_total: u64,
+    max_count: u64,
+    ctx: &SolveContext,
+) -> Result<Vec<Config>> {
     let mut sizes: Vec<u64> = sizes
         .iter()
         .copied()
@@ -59,10 +74,16 @@ pub fn enumerate_configs(sizes: &[u64], max_total: u64, max_count: u64) -> Vec<C
         max_count,
         &mut parts,
         &mut out,
-    );
-    out
+        ctx,
+    )?;
+    Ok(out)
 }
 
+/// How many configurations are emitted between two context checkpoints; a
+/// power of two so the test is a mask.
+const CTX_CHECK_MASK: usize = 0x3FF;
+
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     sizes: &[u64],
     max_size_idx: usize,
@@ -70,10 +91,14 @@ fn recurse(
     remaining_count: u64,
     parts: &mut Vec<u64>,
     out: &mut Vec<Config>,
-) {
+    ctx: &SolveContext,
+) -> Result<()> {
     out.push(Config::new(parts.clone()));
+    if out.len() & CTX_CHECK_MASK == 0 {
+        ctx.checkpoint()?;
+    }
     if remaining_count == 0 {
-        return;
+        return Ok(());
     }
     for idx in (0..max_size_idx).rev() {
         let size = sizes[idx];
@@ -88,9 +113,11 @@ fn recurse(
             remaining_count - 1,
             parts,
             out,
-        );
+            ctx,
+        )?;
         parts.pop();
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -8,6 +8,12 @@
 //! worst case (the problems are NP-hard), which is expected — the paper's
 //! PTASs are exponential in `1/δ` as well; a node budget protects callers.
 
+use ccs_core::{Result, SolveContext};
+
+/// How many DFS nodes are expanded between two context checkpoints; a power
+/// of two so the test is a mask.
+const CTX_CHECK_MASK: usize = 0xFF;
+
 /// Comparison of a linear constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cmp {
@@ -83,6 +89,15 @@ impl IntProgram {
 
     /// Solves the program with the given node budget.
     pub fn solve(&self, max_nodes: usize) -> IlpOutcome {
+        self.solve_ctx(max_nodes, &SolveContext::unbounded())
+            .expect("unbounded context never interrupts the search")
+    }
+
+    /// [`IntProgram::solve`] under an execution context: the DFS polls `ctx`
+    /// every few hundred nodes and aborts with
+    /// [`ccs_core::CcsError::DeadlineExceeded`] /
+    /// [`ccs_core::CcsError::Cancelled`] when its budget runs out.
+    pub fn solve_ctx(&self, max_nodes: usize, ctx: &SolveContext) -> Result<IlpOutcome> {
         let mut lower = self.lower.clone();
         let mut upper = self.upper.clone();
         let mut nodes = 0usize;
@@ -93,14 +108,16 @@ impl IntProgram {
             &mut nodes,
             max_nodes,
             &mut budget_hit,
-        );
-        match result {
+            ctx,
+        )?;
+        Ok(match result {
             Some(x) => IlpOutcome::Feasible(x),
             None if budget_hit => IlpOutcome::Unknown,
             None => IlpOutcome::Infeasible,
-        }
+        })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         &self,
         lower: &mut [i64],
@@ -108,14 +125,18 @@ impl IntProgram {
         nodes: &mut usize,
         max_nodes: usize,
         budget_hit: &mut bool,
-    ) -> Option<Vec<i64>> {
+        ctx: &SolveContext,
+    ) -> Result<Option<Vec<i64>>> {
         *nodes += 1;
         if *nodes > max_nodes {
             *budget_hit = true;
-            return None;
+            return Ok(None);
+        }
+        if *nodes & CTX_CHECK_MASK == 0 {
+            ctx.checkpoint()?;
         }
         if !self.propagate(lower, upper) {
-            return None;
+            return Ok(None);
         }
         // Pick the unfixed variable with the smallest domain.
         let branch = (0..self.num_vars())
@@ -126,11 +147,11 @@ impl IntProgram {
             None => {
                 // Everything fixed; propagation already verified feasibility
                 // bounds, do a final exact check.
-                return if self.check(lower) {
+                return Ok(if self.check(lower) {
                     Some(lower.to_vec())
                 } else {
                     None
-                };
+                });
             }
         };
         let (lo, hi) = (lower[v], upper[v]);
@@ -139,15 +160,21 @@ impl IntProgram {
             let mut new_upper = upper.to_vec();
             new_lower[v] = value;
             new_upper[v] = value;
-            if let Some(x) = self.dfs(&mut new_lower, &mut new_upper, nodes, max_nodes, budget_hit)
-            {
-                return Some(x);
+            if let Some(x) = self.dfs(
+                &mut new_lower,
+                &mut new_upper,
+                nodes,
+                max_nodes,
+                budget_hit,
+                ctx,
+            )? {
+                return Ok(Some(x));
             }
             if *budget_hit {
-                return None;
+                return Ok(None);
             }
         }
-        None
+        Ok(None)
     }
 
     /// Bounds-consistency propagation; returns `false` on a detected conflict.
@@ -345,6 +372,25 @@ mod tests {
             IlpOutcome::Unknown | IlpOutcome::Feasible(_) => {}
             IlpOutcome::Infeasible => panic!("must not claim infeasibility under budget"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_search() {
+        use ccs_core::CcsError;
+        use std::time::Duration;
+        // A search space large enough that more than CTX_CHECK_MASK nodes
+        // must be expanded before a decision.
+        let mut p = IntProgram::new();
+        let vars: Vec<usize> = (0..40).map(|_| p.add_var(0, 1)).collect();
+        for w in vars.chunks(2) {
+            p.add_le(vec![(w[0], 1), (w[1], 1)], 1);
+        }
+        p.add_eq(vars.iter().map(|&v| (v, 1)).collect(), 21);
+        let ctx = SolveContext::unbounded().with_timeout(Duration::ZERO);
+        assert_eq!(
+            p.solve_ctx(100_000_000, &ctx),
+            Err(CcsError::DeadlineExceeded)
+        );
     }
 
     #[test]

@@ -46,9 +46,9 @@ pub mod scale;
 pub mod solver;
 pub mod splittable;
 
-pub use nonpreemptive::nonpreemptive_ptas;
+pub use nonpreemptive::{nonpreemptive_ptas, nonpreemptive_ptas_ctx};
 pub use params::PtasParams;
-pub use preemptive::preemptive_ptas;
+pub use preemptive::{preemptive_ptas, preemptive_ptas_ctx};
 pub use result::PtasResult;
 pub use solver::{NonpreemptivePtas, PreemptivePtas, SplittablePtas};
-pub use splittable::splittable_ptas;
+pub use splittable::{splittable_ptas, splittable_ptas_ctx};

@@ -10,13 +10,15 @@
 //! jobs (Figure 4 of the paper) and the small classes are assigned round
 //! robin.
 
-use crate::config::{enumerate_configs, Config};
+use crate::config::{enumerate_configs_ctx, Config};
 use crate::ilp::{IlpOutcome, IntProgram};
 use crate::params::PtasParams;
 use crate::result::PtasResult;
 use crate::scale::{group_classes, GroupedClass, GuessScale};
-use ccs_approx::nonpreemptive_73_approx;
-use ccs_core::{bounds, CcsError, Instance, NonPreemptiveSchedule, Rational, Result, Schedule};
+use ccs_approx::nonpreemptive_73_approx_ctx;
+use ccs_core::{
+    bounds, CcsError, Instance, NonPreemptiveSchedule, Rational, Result, Schedule, SolveContext,
+};
 use std::collections::BTreeMap;
 
 /// Practical limit on the number of machines (see the splittable PTAS).
@@ -29,6 +31,17 @@ pub fn nonpreemptive_ptas(
     inst: &Instance,
     params: PtasParams,
 ) -> Result<PtasResult<NonPreemptiveSchedule>> {
+    nonpreemptive_ptas_ctx(inst, params, &SolveContext::unbounded())
+}
+
+/// [`nonpreemptive_ptas`] under an execution context (polled per guess and
+/// inside the configuration-ILP search).
+pub fn nonpreemptive_ptas_ctx(
+    inst: &Instance,
+    params: PtasParams,
+    ctx: &SolveContext,
+) -> Result<PtasResult<NonPreemptiveSchedule>> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible("more classes than class slots"));
     }
@@ -38,7 +51,7 @@ pub fn nonpreemptive_ptas(
         )));
     }
 
-    let warm = nonpreemptive_73_approx(inst)?;
+    let warm = nonpreemptive_73_approx_ctx(inst, ctx)?;
     let ub = warm.schedule.makespan(inst);
     let lb = warm
         .optimum_lower_bound()
@@ -57,9 +70,10 @@ pub fn nonpreemptive_ptas(
     let mut hi = grid.len() - 1;
     let mut best: Option<(usize, NonPreemptiveSchedule, usize)> = None;
     while lo <= hi {
+        ctx.checkpoint()?;
         let mid = lo + (hi - lo) / 2;
         evaluated += 1;
-        match decide_and_construct(inst, grid[mid], params) {
+        match decide_and_construct_ctx(inst, grid[mid], params, ctx)? {
             Some((schedule, configurations)) => {
                 best = Some((mid, schedule, configurations));
                 if mid == 0 {
@@ -97,6 +111,18 @@ pub fn decide_and_construct(
     guess: Rational,
     params: PtasParams,
 ) -> Option<(NonPreemptiveSchedule, usize)> {
+    decide_and_construct_ctx(inst, guess, params, &SolveContext::unbounded())
+        .expect("unbounded context never interrupts the decision")
+}
+
+/// [`decide_and_construct`] under an execution context (polled inside the
+/// ILP search).
+pub fn decide_and_construct_ctx(
+    inst: &Instance,
+    guess: Rational,
+    params: PtasParams,
+    ctx: &SolveContext,
+) -> Result<Option<(NonPreemptiveSchedule, usize)>> {
     let scale = GuessScale::new(guess, params);
     let c_eff = inst.effective_class_slots();
     let m = inst.machines();
@@ -111,7 +137,7 @@ pub fn decide_and_construct(
         for (ji, gj) in class.jobs.iter().enumerate() {
             let units = scale.units_ceil(gj.size).max(1);
             if units > scale.tbar_units {
-                return None;
+                return Ok(None);
             }
             sizes_present.push(units);
             per_class_jobs
@@ -125,7 +151,7 @@ pub fn decide_and_construct(
 
     // Modules: non-empty multisets of rounded job sizes with total <= T̄.
     let modules: Vec<Config> =
-        enumerate_configs(&sizes_present, scale.tbar_units, scale.tbar_units)
+        enumerate_configs_ctx(&sizes_present, scale.tbar_units, scale.tbar_units, ctx)?
             .into_iter()
             .filter(|module| module.count > 0)
             .collect();
@@ -135,7 +161,7 @@ pub fn decide_and_construct(
 
     // Configurations: multisets of module sizes.
     let c_star = c_eff.min(scale.tbar_units);
-    let configs = enumerate_configs(&module_sizes, scale.tbar_units, c_star);
+    let configs = enumerate_configs_ctx(&module_sizes, scale.tbar_units, c_star, ctx)?;
     let mut groups: Vec<(u64, u64)> = configs.iter().map(Config::group).collect();
     groups.sort_unstable();
     groups.dedup();
@@ -201,7 +227,7 @@ pub fn decide_and_construct(
                 .collect();
             if terms.is_empty() {
                 if demand != 0 {
-                    return None;
+                    return Ok(None);
                 }
                 continue;
             }
@@ -237,83 +263,88 @@ pub fn decide_and_construct(
         ilp.add_le(space_terms, 0);
     }
 
-    let sol = match ilp.solve(ILP_NODE_BUDGET) {
+    let sol = match ilp.solve_ctx(ILP_NODE_BUDGET, ctx)? {
         IlpOutcome::Feasible(sol) => sol,
-        IlpOutcome::Infeasible | IlpOutcome::Unknown => return None,
+        IlpOutcome::Infeasible | IlpOutcome::Unknown => return Ok(None),
     };
 
     // ---- Construction (Figure 4: configurations → modules → jobs). ----
-    struct MachineState {
-        slots: Vec<u64>,
-        group: (u64, u64),
-    }
-    let mut machines: Vec<MachineState> = Vec::new();
-    for (config, &xv) in configs.iter().zip(&x) {
-        for _ in 0..sol[xv] {
-            machines.push(MachineState {
-                slots: config.parts.clone(),
-                group: config.group(),
-            });
+    // The construction keeps its Option-based control flow (a failed lookup
+    // means "guess infeasible after all", not an interruption).
+    let construct = || -> Option<(NonPreemptiveSchedule, usize)> {
+        struct MachineState {
+            slots: Vec<u64>,
+            group: (u64, u64),
         }
-    }
+        let mut machines: Vec<MachineState> = Vec::new();
+        for (config, &xv) in configs.iter().zip(&x) {
+            for _ in 0..sol[xv] {
+                machines.push(MachineState {
+                    slots: config.parts.clone(),
+                    group: config.group(),
+                });
+            }
+        }
 
-    let mut assignment = vec![0u64; inst.num_jobs()];
-    // Large classes: dissolve every chosen module into concrete grouped jobs.
-    for (&class, jobs) in &per_class_jobs {
-        let mut pool: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-        for &(units, ji) in jobs {
-            pool.entry(units).or_default().push(ji);
-        }
-        let gclass: &GroupedClass = grouped.iter().find(|c| c.class == class).unwrap();
-        let vars = &w[&class];
-        for (mi, module) in modules.iter().enumerate() {
-            for _ in 0..sol[vars[mi]] {
-                let machine_idx = machines
-                    .iter()
-                    .position(|ms| ms.slots.contains(&module.total))?;
-                let slot_pos = machines[machine_idx]
-                    .slots
-                    .iter()
-                    .position(|&s| s == module.total)
-                    .unwrap();
-                machines[machine_idx].slots.remove(slot_pos);
-                for &p in &module.parts {
-                    let ji = pool.get_mut(&p)?.pop()?;
-                    for &orig in &gclass.jobs[ji].jobs {
-                        assignment[orig] = machine_idx as u64;
+        let mut assignment = vec![0u64; inst.num_jobs()];
+        // Large classes: dissolve every chosen module into concrete grouped jobs.
+        for (&class, jobs) in &per_class_jobs {
+            let mut pool: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+            for &(units, ji) in jobs {
+                pool.entry(units).or_default().push(ji);
+            }
+            let gclass: &GroupedClass = grouped.iter().find(|c| c.class == class).unwrap();
+            let vars = &w[&class];
+            for (mi, module) in modules.iter().enumerate() {
+                for _ in 0..sol[vars[mi]] {
+                    let machine_idx = machines
+                        .iter()
+                        .position(|ms| ms.slots.contains(&module.total))?;
+                    let slot_pos = machines[machine_idx]
+                        .slots
+                        .iter()
+                        .position(|&s| s == module.total)
+                        .unwrap();
+                    machines[machine_idx].slots.remove(slot_pos);
+                    for &p in &module.parts {
+                        let ji = pool.get_mut(&p)?.pop()?;
+                        for &orig in &gclass.jobs[ji].jobs {
+                            assignment[orig] = machine_idx as u64;
+                        }
                     }
                 }
             }
         }
-    }
-    // Small classes: round robin inside every group.
-    let mut by_group: BTreeMap<(u64, u64), Vec<(usize, Rational)>> = BTreeMap::new();
-    for &(class, _, load) in &smalls {
-        let gi = z[&class].iter().position(|&v| sol[v] == 1).unwrap();
-        by_group.entry(groups[gi]).or_default().push((class, load));
-    }
-    for (group, mut classes) in by_group {
-        let members: Vec<usize> = machines
-            .iter()
-            .enumerate()
-            .filter(|(_, ms)| ms.group == group)
-            .map(|(i, _)| i)
-            .collect();
-        if members.is_empty() {
-            return None;
+        // Small classes: round robin inside every group.
+        let mut by_group: BTreeMap<(u64, u64), Vec<(usize, Rational)>> = BTreeMap::new();
+        for &(class, _, load) in &smalls {
+            let gi = z[&class].iter().position(|&v| sol[v] == 1).unwrap();
+            by_group.entry(groups[gi]).or_default().push((class, load));
         }
-        classes.sort_by_key(|&(_, load)| std::cmp::Reverse(load));
-        for (pos, (class, _)) in classes.into_iter().enumerate() {
-            let machine = members[pos % members.len()];
-            for &job in inst.jobs_of_class(class) {
-                assignment[job] = machine as u64;
+        for (group, mut classes) in by_group {
+            let members: Vec<usize> = machines
+                .iter()
+                .enumerate()
+                .filter(|(_, ms)| ms.group == group)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                return None;
+            }
+            classes.sort_by_key(|&(_, load)| std::cmp::Reverse(load));
+            for (pos, (class, _)) in classes.into_iter().enumerate() {
+                let machine = members[pos % members.len()];
+                for &job in inst.jobs_of_class(class) {
+                    assignment[job] = machine as u64;
+                }
             }
         }
-    }
 
-    let schedule = NonPreemptiveSchedule::new(assignment);
-    schedule.validate(inst).ok()?;
-    Some((schedule, configs.len()))
+        let schedule = NonPreemptiveSchedule::new(assignment);
+        schedule.validate(inst).ok()?;
+        Some((schedule, configs.len()))
+    };
+    Ok(construct())
 }
 
 #[cfg(test)]

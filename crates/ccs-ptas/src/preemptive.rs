@@ -15,10 +15,11 @@
 use crate::params::PtasParams;
 use crate::result::PtasResult;
 use crate::scale::GuessScale;
-use crate::splittable::decide;
-use ccs_approx::preemptive_two_approx;
+use crate::splittable::decide_ctx;
+use ccs_approx::preemptive_two_approx_ctx;
 use ccs_core::{
     bounds, CcsError, Instance, PreemptivePiece, PreemptiveSchedule, Rational, Result, Schedule,
+    SolveContext,
 };
 
 /// Practical limit on the number of machines (see the splittable PTAS).
@@ -29,6 +30,17 @@ pub fn preemptive_ptas(
     inst: &Instance,
     params: PtasParams,
 ) -> Result<PtasResult<PreemptiveSchedule>> {
+    preemptive_ptas_ctx(inst, params, &SolveContext::unbounded())
+}
+
+/// [`preemptive_ptas`] under an execution context (polled per guess and
+/// inside the configuration-ILP search).
+pub fn preemptive_ptas_ctx(
+    inst: &Instance,
+    params: PtasParams,
+    ctx: &SolveContext,
+) -> Result<PtasResult<PreemptiveSchedule>> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible("more classes than class slots"));
     }
@@ -61,7 +73,7 @@ pub fn preemptive_ptas(
         )));
     }
 
-    let warm = preemptive_two_approx(inst)?;
+    let warm = preemptive_two_approx_ctx(inst, ctx)?;
     let ub = warm.schedule.makespan(inst);
     let lb = warm
         .optimum_lower_bound()
@@ -80,9 +92,10 @@ pub fn preemptive_ptas(
     let mut hi = grid.len() - 1;
     let mut best: Option<(usize, PreemptiveSchedule, usize)> = None;
     while lo <= hi {
+        ctx.checkpoint()?;
         let mid = lo + (hi - lo) / 2;
         evaluated += 1;
-        let attempt = decide(inst, grid[mid], params).map(|cert| {
+        let attempt = decide_ctx(inst, grid[mid], params, ctx)?.map(|cert| {
             let scale = GuessScale::new(grid[mid], params);
             let configurations = cert.configs.len();
             (construct(inst, &scale, &cert), configurations)

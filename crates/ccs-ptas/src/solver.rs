@@ -5,15 +5,15 @@
 //! while the engine constructs bespoke instances for explicit `epsilon`
 //! requests.
 
-use crate::nonpreemptive::nonpreemptive_ptas;
+use crate::nonpreemptive::nonpreemptive_ptas_ctx;
 use crate::params::PtasParams;
-use crate::preemptive::preemptive_ptas;
+use crate::preemptive::preemptive_ptas_ctx;
 use crate::result::PtasResult;
-use crate::splittable::splittable_ptas;
+use crate::splittable::splittable_ptas_ctx;
 use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};
 use ccs_core::{
     Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, Schedule, ScheduleKind,
-    SplittableSchedule,
+    SolveContext, SplittableSchedule,
 };
 
 fn report_from_ptas<S: Schedule>(inst: &Instance, r: PtasResult<S>) -> SolveReport<S> {
@@ -96,7 +96,18 @@ impl Solver<SplittableSchedule> for SplittablePtas {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<SplittableSchedule>> {
-        Ok(report_from_ptas(inst, splittable_ptas(inst, self.params)?))
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<SplittableSchedule>> {
+        Ok(report_from_ptas(
+            inst,
+            splittable_ptas_ctx(inst, self.params, ctx)?,
+        ))
     }
 }
 
@@ -118,7 +129,18 @@ impl Solver<PreemptiveSchedule> for PreemptivePtas {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<PreemptiveSchedule>> {
-        Ok(report_from_ptas(inst, preemptive_ptas(inst, self.params)?))
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<PreemptiveSchedule>> {
+        Ok(report_from_ptas(
+            inst,
+            preemptive_ptas_ctx(inst, self.params, ctx)?,
+        ))
     }
 }
 
@@ -140,9 +162,17 @@ impl Solver<NonPreemptiveSchedule> for NonpreemptivePtas {
     }
 
     fn solve(&self, inst: &Instance) -> Result<SolveReport<NonPreemptiveSchedule>> {
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<NonPreemptiveSchedule>> {
         Ok(report_from_ptas(
             inst,
-            nonpreemptive_ptas(inst, self.params)?,
+            nonpreemptive_ptas_ctx(inst, self.params, ctx)?,
         ))
     }
 }
@@ -150,6 +180,7 @@ impl Solver<NonPreemptiveSchedule> for NonpreemptivePtas {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::splittable::splittable_ptas;
     use ccs_core::instance::instance_from_pairs;
 
     #[test]

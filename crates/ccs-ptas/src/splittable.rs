@@ -11,13 +11,15 @@
 //! certificate is turned back into a schedule by greedy slot filling plus
 //! round robin of the small classes.
 
-use crate::config::{enumerate_configs, Config};
+use crate::config::{enumerate_configs_ctx, Config};
 use crate::ilp::{IlpOutcome, IntProgram};
 use crate::params::PtasParams;
 use crate::result::PtasResult;
 use crate::scale::GuessScale;
-use ccs_approx::splittable_two_approx;
-use ccs_core::{CcsError, ClassId, Instance, Rational, Result, Schedule, SplittableSchedule};
+use ccs_approx::splittable_two_approx_ctx;
+use ccs_core::{
+    CcsError, ClassId, Instance, Rational, Result, Schedule, SolveContext, SplittableSchedule,
+};
 use std::collections::BTreeMap;
 
 /// Practical limit on the number of machines: the configuration ILP branches
@@ -49,6 +51,19 @@ pub fn splittable_ptas(
     inst: &Instance,
     params: PtasParams,
 ) -> Result<PtasResult<SplittableSchedule>> {
+    splittable_ptas_ctx(inst, params, &SolveContext::unbounded())
+}
+
+/// [`splittable_ptas`] under an execution context: the guess binary search
+/// and the configuration-ILP nodes poll `ctx` and abort with
+/// [`CcsError::DeadlineExceeded`] / [`CcsError::Cancelled`] when its budget
+/// runs out.
+pub fn splittable_ptas_ctx(
+    inst: &Instance,
+    params: PtasParams,
+    ctx: &SolveContext,
+) -> Result<PtasResult<SplittableSchedule>> {
+    ctx.checkpoint()?;
     if !inst.is_feasible() {
         return Err(CcsError::infeasible("more classes than class slots"));
     }
@@ -60,7 +75,7 @@ pub fn splittable_ptas(
 
     // The 2-approximation provides the search window: its makespan is an upper
     // bound and its accepted guess / area bound a lower bound on the optimum.
-    let warm = splittable_two_approx(inst)?;
+    let warm = splittable_two_approx_ctx(inst, ctx)?;
     let ub = warm.schedule.makespan(inst);
     let lb = warm.optimum_lower_bound().max(Rational::ONE);
     let delta = Rational::new(1, params.delta_inv as i128);
@@ -78,9 +93,10 @@ pub fn splittable_ptas(
     let mut hi = grid.len() - 1;
     let mut best: Option<(usize, SplitCertificate)> = None;
     while lo <= hi {
+        ctx.checkpoint()?;
         let mid = lo + (hi - lo) / 2;
         evaluated += 1;
-        match decide(inst, grid[mid], params) {
+        match decide_ctx(inst, grid[mid], params, ctx)? {
             Some(cert) => {
                 best = Some((mid, cert));
                 if mid == 0 {
@@ -127,13 +143,24 @@ pub fn splittable_ptas(
 /// configuration ILP.  Public so the benchmark harness can exercise single
 /// guesses.
 pub fn decide(inst: &Instance, guess: Rational, params: PtasParams) -> Option<SplitCertificate> {
+    decide_ctx(inst, guess, params, &SolveContext::unbounded())
+        .expect("unbounded context never interrupts the decision")
+}
+
+/// [`decide`] under an execution context (polled inside the ILP search).
+pub fn decide_ctx(
+    inst: &Instance,
+    guess: Rational,
+    params: PtasParams,
+    ctx: &SolveContext,
+) -> Result<Option<SplitCertificate>> {
     let scale = GuessScale::new(guess, params);
     let c_eff = inst.effective_class_slots();
     let m = inst.machines();
     let c_star = c_eff.min(scale.tbar_units / scale.delta_inv);
 
     let module_sizes: Vec<u64> = (scale.delta_inv..=scale.tbar_units).collect();
-    let configs = enumerate_configs(&module_sizes, scale.tbar_units, c_star);
+    let configs = enumerate_configs_ctx(&module_sizes, scale.tbar_units, c_star, ctx)?;
 
     // Classify classes.
     let mut large: Vec<(ClassId, u64)> = Vec::new(); // (class, demand in units)
@@ -226,7 +253,7 @@ pub fn decide(inst: &Instance, guess: Rational, params: PtasParams) -> Option<Sp
         ilp.add_le(space_terms, 0);
     }
 
-    match ilp.solve(ILP_NODE_BUDGET) {
+    Ok(match ilp.solve_ctx(ILP_NODE_BUDGET, ctx)? {
         IlpOutcome::Feasible(sol) => {
             let config_counts = x.iter().map(|&v| sol[v] as u64).collect();
             let large_modules = y
@@ -252,7 +279,7 @@ pub fn decide(inst: &Instance, guess: Rational, params: PtasParams) -> Option<Sp
             })
         }
         IlpOutcome::Infeasible | IlpOutcome::Unknown => None,
-    }
+    })
 }
 
 /// Builds the schedule from a certificate (greedy slot filling + round robin

@@ -22,6 +22,7 @@
 
 use crate::problem::{dot, NFold, NFoldError, SolveOutcome};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One augmentation candidate for a brick: the step, the resulting top-row
 /// contribution, and its objective gain.
@@ -38,6 +39,11 @@ pub struct AugmentationOptions {
     pub max_iterations: usize,
     /// Upper limit on the number of candidate steps enumerated per brick.
     pub max_candidates_per_brick: usize,
+    /// Optional wall-clock deadline: the augmentation loop polls it between
+    /// steps and gives up with [`NFoldError::Interrupted`] once it has
+    /// passed.  This crate deliberately has no dependency on `ccs-core`, so
+    /// callers translate a `SolveContext` deadline into this field.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for AugmentationOptions {
@@ -46,6 +52,7 @@ impl Default for AugmentationOptions {
             max_brick_norm: 3,
             max_iterations: 10_000,
             max_candidates_per_brick: 200_000,
+            deadline: None,
         }
     }
 }
@@ -233,6 +240,11 @@ fn optimise(
         .unwrap_or(1);
 
     for _ in 0..opts.max_iterations {
+        if let Some(deadline) = opts.deadline {
+            if Instant::now() >= deadline {
+                return Err(NFoldError::Interrupted);
+            }
+        }
         let mut best: Option<(i64, i64, Vec<i64>)> = None; // (improvement, lambda, g)
         let mut lambda = 1i64;
         while lambda <= max_range {
@@ -459,6 +471,16 @@ mod tests {
     fn finds_feasible_point() {
         let x = find_feasible(&tiny(), AugmentationOptions::default()).unwrap();
         assert!(tiny().is_feasible(&x));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        let nf = tiny().with_objective(vec![1, 0, 0, 0]).unwrap();
+        let opts = AugmentationOptions {
+            deadline: Some(Instant::now()),
+            ..Default::default()
+        };
+        assert_eq!(solve(&nf, opts), Err(NFoldError::Interrupted));
     }
 
     #[test]

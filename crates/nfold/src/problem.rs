@@ -11,6 +11,9 @@ pub enum NFoldError {
     Infeasible,
     /// A solver gave up (iteration limit); distinct from proven infeasibility.
     LimitReached(String),
+    /// The solver's deadline (see `AugmentationOptions::deadline`) passed
+    /// before a decision was reached.
+    Interrupted,
 }
 
 impl fmt::Display for NFoldError {
@@ -19,6 +22,7 @@ impl fmt::Display for NFoldError {
             NFoldError::Dimension(m) => write!(f, "dimension mismatch: {m}"),
             NFoldError::Infeasible => write!(f, "infeasible"),
             NFoldError::LimitReached(m) => write!(f, "limit reached: {m}"),
+            NFoldError::Interrupted => write!(f, "interrupted: deadline passed"),
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Quickstart: build an instance and solve it end-to-end through the engine
-//! — automatic algorithm selection per placement model, an explicit accuracy
-//! request, and a parallel batch.
+//! — automatic algorithm selection per placement model, the request builder
+//! (accuracy, time budget, validation), asynchronous submit/handle
+//! execution with cancellation, and a parallel batch.
 use ccs::prelude::*;
+use std::time::Duration;
 
 fn main() {
     // 4 machines with 2 class slots each; jobs (processing time, class label).
@@ -45,28 +47,56 @@ fn main() {
         );
     }
 
-    // An explicit accuracy budget: 1 + ε below 7/3 forces a PTAS.
-    let sol = engine
-        .solve(
-            &inst,
-            &SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.2),
-        )
-        .unwrap();
+    // The request builder: an explicit accuracy budget (1 + ε below 7/3
+    // forces a PTAS), a wall-clock budget, and server-side re-validation.
+    let req = SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.2)
+        .unwrap()
+        .with_budget(Duration::from_secs(2))
+        .with_validate(true);
+    let sol = engine.solve(&inst, &req).unwrap();
     println!(
         "epsilon 1.2     via {:<24} ({}): makespan {}",
         sol.solver, sol.guarantee, sol.report.makespan
     );
 
-    // The exact optimum, for reference.
-    let sol = engine
-        .solve(&inst, &SolveRequest::exact(ScheduleKind::NonPreemptive))
-        .unwrap();
-    println!(
-        "exact           via {:<24} ({}): makespan {}",
-        sol.solver, sol.guarantee, sol.report.makespan
+    // Asynchronous execution: submit returns a handle immediately; poll it,
+    // wait on it, or cancel it.  Budgets start counting at submission.
+    let handle = engine.submit(
+        inst.clone(),
+        &SolveRequest::exact(ScheduleKind::NonPreemptive).with_budget(Duration::from_secs(1)),
     );
+    match handle.wait() {
+        Ok(sol) => println!(
+            "exact           via {:<24} ({}): makespan {}",
+            sol.solver, sol.guarantee, sol.report.makespan
+        ),
+        Err(CcsError::DeadlineExceeded) => println!("exact           deadline exceeded"),
+        Err(e) => println!("exact           failed: {e}"),
+    }
 
-    // Batch solving: many instances in parallel, results in input order.
+    // Cancellation: a cancelled request fails fast and frees its worker.
+    // A single-worker engine whose one worker is busy with a hard instance
+    // makes the outcome deterministic — the victim is still queued when the
+    // cancel lands.
+    let single = Engine::new().with_workers(1);
+    let hard: Vec<(u64, u32)> = (0..22)
+        .map(|i| (1_000_003 + 9_973 * i as u64, (i % 6) as u32))
+        .collect();
+    let hard = instance_from_pairs(6, 2, &hard).unwrap();
+    let blocker = single.submit(
+        hard.clone(),
+        &SolveRequest::exact(ScheduleKind::NonPreemptive).with_budget(Duration::from_millis(100)),
+    );
+    let doomed = single.submit(inst.clone(), &SolveRequest::auto(ScheduleKind::Splittable));
+    doomed.cancel();
+    match doomed.wait() {
+        Err(CcsError::Cancelled) => println!("cancelled       request reported Cancelled"),
+        other => println!("cancelled       unexpected outcome: {other:?}"),
+    }
+    drop(blocker); // keeps running to its deadline; result not needed
+
+    // Batch solving: many instances on the worker pool, results in input
+    // order, bit-identical to sequential solving.
     let batch: Vec<Instance> = (0..16)
         .map(|seed| ccs::gen::uniform(&ccs::gen::GenParams::new(40, 6, 10, 2), seed))
         .collect();
@@ -76,8 +106,16 @@ fn main() {
         .map(|s| s.as_ref().unwrap().report.ratio_upper_bound().to_f64())
         .fold(0.0f64, f64::max);
     println!(
-        "batch: {} instances solved, worst makespan/lower-bound ratio {:.3}",
+        "batch: {} instances solved on {} workers, worst makespan/lower-bound ratio {:.3}",
         solutions.len(),
+        engine.workers(),
         worst_ratio
+    );
+
+    // Aggregate service stats collected by the engine's sink.
+    let stats = engine.stats();
+    println!(
+        "stats: {} solves, {} checkpoints, {} search iterations",
+        stats.solves, stats.checkpoints, stats.search_iterations
     );
 }

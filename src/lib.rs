@@ -8,9 +8,12 @@
 //! flow networks).
 //!
 //! The recommended entry point is the [`engine::Engine`]: one call for any
-//! placement model and accuracy budget, with automatic algorithm selection
-//! and parallel batch execution.  The per-crate free functions remain
-//! available for direct access to a specific algorithm.
+//! placement model and accuracy budget, with automatic algorithm selection,
+//! asynchronous submission onto a persistent worker pool (deadlines and
+//! cancellation included) and parallel batch execution.  The per-crate free
+//! functions remain available for direct access to a specific algorithm, and
+//! the `ccs-serve` binary exposes the engine over newline-delimited JSON
+//! (`ccs-wire/1`).
 //!
 //! ```
 //! use ccs::prelude::*;
@@ -38,8 +41,10 @@ pub use flownet;
 pub use nfold;
 
 /// Convenience re-exports for quick starts: the whole problem model plus the
-/// engine's request/solve surface.
+/// engine's request/submit/solve surface and the wire protocol.
 pub mod prelude {
     pub use ccs_core::prelude::*;
-    pub use ccs_engine::{Accuracy, Engine, Solution, SolveRequest, SolverRegistry};
+    pub use ccs_engine::{
+        wire, Accuracy, Engine, Solution, SolveHandle, SolveRequest, SolverRegistry,
+    };
 }
