@@ -1,0 +1,75 @@
+//! Cache-hit throughput: `Engine::solve` against a warm solution cache vs
+//! the same solve uncached, plus the canonicalisation + fingerprint cost a
+//! lookup pays.  The acceptance bar of the caching PR is a ≥10× speedup on
+//! repeated solves of canonically identical instances; in practice the gap
+//! is orders of magnitude.
+use ccs_bench::{BenchOpts, Family, Harness};
+use ccs_core::ScheduleKind;
+use ccs_engine::{Engine, SolveRequest};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("solution_cache", &opts);
+    let uncached = Engine::new();
+    let cached = Engine::new().with_cache(256);
+    let req = SolveRequest::auto(ScheduleKind::Splittable);
+
+    for &n in opts.sweep() {
+        let inst = Family::Uniform.instance(n, 16, 32, 3, 42);
+        let case = format!("uniform/{n}");
+        harness.bench_fn("solve-uncached", &case, || {
+            uncached
+                .solve(&inst, &req)
+                .expect("uniform instances solve");
+        });
+        cached.solve(&inst, &req).expect("warming the cache");
+        harness.bench_fn("solve-cached", &case, || {
+            cached.solve(&inst, &req).expect("warm solves hit");
+        });
+        // A canonically equal variant (jobs reversed — a pure permutation)
+        // pays the same lookup plus the schedule translation.
+        let jobs: Vec<(u64, u32)> = (0..inst.num_jobs())
+            .rev()
+            .map(|j| (inst.processing_time(j), inst.class_label(inst.class_of(j))))
+            .collect();
+        let permuted =
+            ccs_core::instance::instance_from_pairs(inst.machines(), inst.class_slots(), &jobs)
+                .expect("permutation of a valid instance");
+        harness.bench_fn("solve-cached-permuted", &case, || {
+            cached.solve(&permuted, &req).expect("canonical twins hit");
+        });
+        // The fixed cost a miss adds on top of the solver run.
+        harness.bench_fn("fingerprint", &case, || {
+            std::hint::black_box(inst.fingerprint());
+        });
+    }
+
+    // The headline case: an expensive exact solve vs its cached replay —
+    // this is where the ≥10× acceptance bar of the caching PR is measured
+    // (the polynomial solvers above are nearly as cheap as a lookup, so
+    // caching them shows a smaller, size-dependent gain).
+    let hard: Vec<(u64, u32)> = (0..17)
+        .map(|i| (911 + 37 * i as u64, (i % 4) as u32))
+        .collect();
+    let hard = ccs_core::instance::instance_from_pairs(4, 2, &hard).expect("valid instance");
+    let exact = SolveRequest::exact(ScheduleKind::NonPreemptive);
+    harness.bench_fn("solve-uncached", "exact_np/17", || {
+        uncached.solve(&hard, &exact).expect("exact solves");
+    });
+    cached.solve(&hard, &exact).expect("warming the cache");
+    harness.bench_fn("solve-cached", "exact_np/17", || {
+        cached.solve(&hard, &exact).expect("warm solves hit");
+    });
+
+    let stats = cached.cache_stats().expect("cache attached");
+    println!(
+        "cache stats: entries={} hits={} misses={} evictions={} hit_rate={:.4}",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate()
+    );
+    harness.finish(&opts)
+}

@@ -70,6 +70,14 @@ pub struct StatsSnapshot {
     pub guesses_evaluated: u64,
     /// Accumulated [`SolveStats::configurations`].
     pub configurations: u64,
+    /// Solution-cache hits (zero unless a service layer with a cache — such
+    /// as `ccs-engine`'s `Engine` — overlays its counters onto the
+    /// snapshot; a [`StatsSink`] itself never records these).
+    pub cache_hits: u64,
+    /// Solution-cache misses (see [`StatsSnapshot::cache_hits`]).
+    pub cache_misses: u64,
+    /// Solution-cache evictions (see [`StatsSnapshot::cache_hits`]).
+    pub cache_evictions: u64,
 }
 
 impl StatsSink {
@@ -97,6 +105,7 @@ impl StatsSink {
             search_iterations: self.search_iterations.load(Ordering::Relaxed),
             guesses_evaluated: self.guesses_evaluated.load(Ordering::Relaxed),
             configurations: self.configurations.load(Ordering::Relaxed),
+            ..StatsSnapshot::default()
         }
     }
 }

@@ -5,10 +5,14 @@
 //! a number `c` of class slots per machine (the jobs executed on one machine
 //! may belong to at most `c` distinct classes).
 
+pub mod canonical;
+
 use crate::error::{CcsError, Result};
 use crate::json::{self, JsonValue};
 use crate::rational::Rational;
 use std::collections::BTreeMap;
+
+pub use canonical::{CanonicalInstance, Fingerprint};
 
 /// Index of a job, `0..n`.
 pub type JobId = usize;

@@ -1,0 +1,364 @@
+//! Canonical form and stable fingerprint of an [`Instance`].
+//!
+//! Two instances are *canonically equal* when one can be turned into the
+//! other by permuting jobs and/or relabelling classes — symmetries no
+//! scheduling model distinguishes, so canonically equal instances have the
+//! same optimum in every placement model (the engine's solution cache is
+//! built on exactly this fact, and `ccs-engine`'s cache tests prove it per
+//! model against the exact solvers).
+//!
+//! The canonical form is defined as:
+//!
+//! 1. classes are ordered by their *signature* — the ascending multiset of
+//!    their processing times (two classes with equal signatures are
+//!    interchangeable, so any order between them yields the same form),
+//! 2. jobs are sorted by processing time, with ties broken by the class
+//!    order of step 1,
+//! 3. classes are renumbered `0..C` by first occurrence along the sorted
+//!    job list; classes without jobs cannot exist in a validated
+//!    [`Instance`], so the canonical form never carries empty classes,
+//! 4. `m` and `c` are kept verbatim — instances differing in either are
+//!    never canonically equal (even where `c ≥ C` makes them semantically
+//!    equivalent; the fingerprint is a syntactic identity, not a solver).
+//!
+//! The [`Fingerprint`] is a 128-bit hash of the canonical form computed with
+//! two independent SplitMix64 lanes over the canonical word stream.  It is
+//! **stable**: pure integer arithmetic, no per-process randomness, identical
+//! across platforms, runs and thread counts.  The stream starts with
+//! [`FINGERPRINT_VERSION`], so any future change to the canonical form bumps
+//! every fingerprint at once instead of silently aliasing old cache keys.
+
+use super::{ClassId, Instance, InstanceBuilder, JobId};
+
+/// Version tag mixed into every [`Fingerprint`]; bump when the canonical
+/// form or the hash construction changes.
+pub const FINGERPRINT_VERSION: u64 = 1;
+
+/// A stable 128-bit identity of an instance up to job-order and
+/// class-relabel symmetry: canonically equal instances have equal
+/// fingerprints, and distinct canonical forms collide only with the
+/// 2⁻¹²⁸-ish probability of the underlying hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The canonical form of an instance together with the correspondence back
+/// to the instance it was computed from.
+///
+/// The correspondence is what lets a consumer translate job- and
+/// class-indexed data (schedules, in the engine's cache) between the
+/// original numbering and the canonical one.
+#[derive(Debug, Clone)]
+pub struct CanonicalInstance {
+    instance: Instance,
+    fingerprint: Fingerprint,
+    /// `job_order[k]` = the original job at canonical position `k`.
+    job_order: Vec<JobId>,
+    /// `class_order[u]` = the original dense class behind canonical class `u`.
+    class_order: Vec<ClassId>,
+}
+
+impl CanonicalInstance {
+    /// The canonical instance itself (jobs sorted, classes renumbered).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The fingerprint of the canonical form.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// For each canonical job position, the original job it came from.
+    pub fn job_order(&self) -> &[JobId] {
+        &self.job_order
+    }
+
+    /// For each canonical class, the original dense class it came from.
+    pub fn class_order(&self) -> &[ClassId] {
+        &self.class_order
+    }
+
+    /// Whether the original instance already was in canonical form (the
+    /// correspondence is the identity); consumers use this to skip
+    /// translation work.
+    pub fn is_identity(&self) -> bool {
+        self.job_order.iter().enumerate().all(|(k, &j)| k == j)
+            && self.class_order.iter().enumerate().all(|(u, &v)| u == v)
+    }
+}
+
+impl Instance {
+    /// Computes the canonical form of this instance (see the module docs for
+    /// the exact definition) along with the job/class correspondence.
+    ///
+    /// Runs in `O(n log n)`.
+    pub fn canonical(&self) -> CanonicalInstance {
+        let n = self.num_jobs();
+        let num_classes = self.num_classes();
+
+        // 1. Class signatures: the ascending processing times of each class.
+        let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); num_classes];
+        for job in 0..n {
+            signatures[self.class_of(job)].push(self.processing_time(job));
+        }
+        for sig in &mut signatures {
+            sig.sort_unstable();
+        }
+
+        // 2. Rank classes by signature.  Classes with equal signatures are
+        // interchangeable: whichever relative rank the sort assigns them,
+        // the canonical job list below comes out identical.
+        let mut by_signature: Vec<ClassId> = (0..num_classes).collect();
+        by_signature.sort_by(|&a, &b| signatures[a].cmp(&signatures[b]));
+        let mut rank = vec![0usize; num_classes];
+        for (r, &class) in by_signature.iter().enumerate() {
+            rank[class] = r;
+        }
+
+        // 3. Jobs by (processing time, class rank).  Ties after both keys
+        // are jobs of equal length in the same class — interchangeable.
+        let mut job_order: Vec<JobId> = (0..n).collect();
+        job_order.sort_by_key(|&j| (self.processing_time(j), rank[self.class_of(j)]));
+
+        // 4. Renumber classes by first occurrence along the sorted job list.
+        let mut canonical_of_class: Vec<Option<u32>> = vec![None; num_classes];
+        let mut class_order: Vec<ClassId> = Vec::with_capacity(num_classes);
+        let mut builder = InstanceBuilder::new(self.machines(), self.class_slots());
+        for &job in &job_order {
+            let class = self.class_of(job);
+            let label = *canonical_of_class[class].get_or_insert_with(|| {
+                class_order.push(class);
+                (class_order.len() - 1) as u32
+            });
+            builder = builder.job(self.processing_time(job), label);
+        }
+        let instance = builder
+            .build()
+            .expect("canonical rebuild of a validated instance");
+
+        let fingerprint = fingerprint_of(&instance);
+        CanonicalInstance {
+            instance,
+            fingerprint,
+            job_order,
+            class_order,
+        }
+    }
+
+    /// The [`Fingerprint`] of this instance's canonical form; equal for all
+    /// job permutations and class relabellings of the same instance.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.canonical().fingerprint
+    }
+}
+
+/// SplitMix64 finalising mix (Steele, Lea & Flood; the `splitmix64` PRNG's
+/// output function) — the same stable mixer `ccs-gen::rng` builds on.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Two independent 64-bit absorption lanes over a word stream.
+struct Mixer {
+    lo: u64,
+    hi: u64,
+}
+
+impl Mixer {
+    fn new() -> Self {
+        // Distinct arbitrary seeds so the lanes never mirror each other.
+        Mixer {
+            lo: 0x5CC5_0C5C_0DE0_0001,
+            hi: 0xA5A5_F1F0_CAFE_0002,
+        }
+    }
+
+    fn absorb(&mut self, word: u64) {
+        self.lo = splitmix64(self.lo ^ word);
+        self.hi = splitmix64(self.hi.rotate_left(17) ^ word);
+    }
+
+    fn finish(self) -> Fingerprint {
+        Fingerprint(((splitmix64(self.hi) as u128) << 64) | splitmix64(self.lo) as u128)
+    }
+}
+
+/// Hashes an instance **as given** (the caller passes the canonical form).
+fn fingerprint_of(canonical: &Instance) -> Fingerprint {
+    let mut mixer = Mixer::new();
+    mixer.absorb(FINGERPRINT_VERSION);
+    mixer.absorb(canonical.machines());
+    mixer.absorb(canonical.class_slots());
+    mixer.absorb(canonical.num_jobs() as u64);
+    mixer.absorb(canonical.num_classes() as u64);
+    for job in 0..canonical.num_jobs() {
+        mixer.absorb(canonical.processing_time(job));
+        mixer.absorb(canonical.class_of(job) as u64);
+    }
+    mixer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instance_from_pairs;
+
+    /// Deterministic LCG for permutation/relabel sweeps (no `rand` in this
+    /// offline workspace).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self, bound: u64) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 33) % bound.max(1)
+        }
+    }
+
+    fn sample() -> Instance {
+        instance_from_pairs(
+            4,
+            2,
+            &[(10, 5), (20, 7), (5, 5), (8, 9), (2, 7), (10, 9), (5, 7)],
+        )
+        .unwrap()
+    }
+
+    /// Shuffles jobs and relabels classes through an LCG-driven bijection.
+    fn scrambled(inst: &Instance, rng: &mut Lcg) -> Instance {
+        let mut jobs: Vec<(u64, u32)> = (0..inst.num_jobs())
+            .map(|j| (inst.processing_time(j), inst.class_label(inst.class_of(j))))
+            .collect();
+        for i in (1..jobs.len()).rev() {
+            jobs.swap(i, rng.next(i as u64 + 1) as usize);
+        }
+        // Random injective relabel: offset + stride over a large odd modulus.
+        let offset = rng.next(1000) as u32;
+        for (_, label) in &mut jobs {
+            *label = label.wrapping_mul(2654435761).wrapping_add(offset);
+        }
+        instance_from_pairs(inst.machines(), inst.class_slots(), &jobs).unwrap()
+    }
+
+    #[test]
+    fn canonical_is_sorted_and_first_occurrence_numbered() {
+        let canon = sample().canonical();
+        let inst = canon.instance();
+        // Jobs ascend by processing time.
+        let times: Vec<u64> = (0..inst.num_jobs())
+            .map(|j| inst.processing_time(j))
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // Class labels are 0..C in order of first occurrence.
+        let mut seen = 0u32;
+        for j in 0..inst.num_jobs() {
+            let label = inst.class_label(inst.class_of(j));
+            assert!(label <= seen, "label {label} before {seen} introduced");
+            if label == seen {
+                seen += 1;
+            }
+        }
+        assert_eq!(seen as usize, inst.num_classes());
+        // No empty classes can exist (every class carries at least one job).
+        for u in 0..inst.num_classes() {
+            assert!(!inst.jobs_of_class(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn canonical_of_canonical_is_identity() {
+        let canon = sample().canonical();
+        let again = canon.instance().canonical();
+        assert!(again.is_identity());
+        assert_eq!(again.instance(), canon.instance());
+        assert_eq!(again.fingerprint(), canon.fingerprint());
+    }
+
+    #[test]
+    fn job_and_class_order_translate_back() {
+        let inst = sample();
+        let canon = inst.canonical();
+        assert_eq!(canon.job_order().len(), inst.num_jobs());
+        assert_eq!(canon.class_order().len(), inst.num_classes());
+        for (k, &j) in canon.job_order().iter().enumerate() {
+            assert_eq!(
+                canon.instance().processing_time(k),
+                inst.processing_time(j),
+                "canonical job {k} maps to original job {j}"
+            );
+            assert_eq!(
+                canon.class_order()[canon.instance().class_of(k)],
+                inst.class_of(j),
+                "class correspondence of canonical job {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn permutations_and_relabels_share_the_canonical_form() {
+        let mut rng = Lcg(0xCA90);
+        let base = sample();
+        let canon = base.canonical();
+        for round in 0..50 {
+            let variant = scrambled(&base, &mut rng);
+            let vc = variant.canonical();
+            assert_eq!(vc.instance(), canon.instance(), "round {round}");
+            assert_eq!(vc.fingerprint(), canon.fingerprint(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn equal_time_jobs_across_classes_still_canonicalise() {
+        // The regression the signature-based tie-break exists for: equal
+        // processing times in different classes must not make the canonical
+        // form depend on input order.
+        let a = instance_from_pairs(2, 1, &[(5, 0), (3, 0), (5, 1)]).unwrap();
+        let b = instance_from_pairs(2, 1, &[(5, 1), (3, 0), (5, 0)]).unwrap();
+        assert_eq!(a.canonical().instance(), b.canonical().instance());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Symmetric classes (identical signatures) are interchangeable.
+        let c = instance_from_pairs(2, 1, &[(3, 0), (5, 0), (3, 1), (5, 1)]).unwrap();
+        let d = instance_from_pairs(2, 1, &[(3, 1), (5, 1), (3, 0), (5, 0)]).unwrap();
+        assert_eq!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn different_data_different_fingerprints() {
+        let base = instance_from_pairs(4, 2, &[(10, 0), (20, 1), (5, 0)]).unwrap();
+        let variants = [
+            instance_from_pairs(4, 3, &[(10, 0), (20, 1), (5, 0)]).unwrap(), // c differs
+            instance_from_pairs(5, 2, &[(10, 0), (20, 1), (5, 0)]).unwrap(), // m differs
+            instance_from_pairs(4, 2, &[(10, 0), (20, 1), (6, 0)]).unwrap(), // a time differs
+            instance_from_pairs(4, 2, &[(10, 0), (20, 1), (5, 1)]).unwrap(), // a class differs
+            instance_from_pairs(4, 2, &[(10, 0), (20, 1)]).unwrap(),         // a job dropped
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "variant {i}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_versions_of_this_workspace() {
+        // Golden value: pins cross-platform / cross-release stability.  If
+        // this assertion fails, the canonical form or the hash changed —
+        // bump FINGERPRINT_VERSION and re-record.
+        let inst = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2)]).unwrap();
+        let fp = inst.fingerprint();
+        assert_eq!(fp, inst.canonical().fingerprint());
+        assert_eq!(format!("{fp}").len(), 32);
+        assert_eq!(fp, Fingerprint(0x6783_9f22_be5a_bbd4_bbff_25c0_6fa3_f5c7));
+    }
+}

@@ -43,7 +43,7 @@ pub mod solver;
 
 pub use ctx::{CancelFlag, SolveContext, StatsSink, StatsSnapshot};
 pub use error::{CcsError, Result};
-pub use instance::{ClassId, Instance, InstanceBuilder, JobId};
+pub use instance::{CanonicalInstance, ClassId, Fingerprint, Instance, InstanceBuilder, JobId};
 pub use rational::Rational;
 pub use schedule::{
     AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,

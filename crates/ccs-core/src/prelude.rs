@@ -4,7 +4,9 @@
 pub use crate::bounds;
 pub use crate::ctx::{CancelFlag, SolveContext, StatsSink};
 pub use crate::error::{CcsError, Result};
-pub use crate::instance::{instance_from_pairs, ClassId, Instance, InstanceBuilder, JobId};
+pub use crate::instance::{
+    instance_from_pairs, CanonicalInstance, ClassId, Fingerprint, Instance, InstanceBuilder, JobId,
+};
 pub use crate::rational::Rational;
 pub use crate::schedule::{
     AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,

@@ -148,6 +148,49 @@ impl Rational {
         self.num as f64 / self.den as f64
     }
 
+    /// The *exact* rational value of a finite `f64` (every finite double is
+    /// a dyadic rational `m / 2^k`), or `None` when that dyadic does not fit
+    /// comfortably in this `i128` representation (|value| > 2⁶³ or a
+    /// power-of-two denominator beyond 2⁶³).
+    ///
+    /// The headroom bound keeps subsequent cross-multiplied comparisons
+    /// against small rationals (such as approximation-factor thresholds)
+    /// overflow-free; callers fall back to plain `f64` comparison outside
+    /// the supported range.
+    pub fn from_f64_exact(v: f64) -> Option<Rational> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Rational::ZERO);
+        }
+        let bits = v.to_bits();
+        let sign: i128 = if bits >> 63 == 1 { -1 } else { 1 };
+        let biased = ((bits >> 52) & 0x7FF) as i64;
+        let fraction = bits & ((1u64 << 52) - 1);
+        // value = mantissa · 2^exp  (exp counted from the integer mantissa).
+        let (mut mantissa, mut exp) = if biased == 0 {
+            (fraction, -1074i64) // subnormal
+        } else {
+            (fraction | (1u64 << 52), biased - 1075)
+        };
+        while mantissa & 1 == 0 && exp < 0 {
+            mantissa >>= 1;
+            exp += 1;
+        }
+        if exp >= 0 {
+            if exp + 53 > 63 {
+                return None; // |v| can exceed 2⁶³
+            }
+            Some(Rational::from_int((sign * mantissa as i128) << exp))
+        } else {
+            if -exp > 63 {
+                return None; // denominator beyond 2⁶³
+            }
+            Some(Rational::new(sign * mantissa as i128, 1i128 << -exp))
+        }
+    }
+
     /// Multiplicative inverse.
     ///
     /// # Panics
@@ -414,6 +457,28 @@ mod tests {
     #[test]
     fn to_f64_close() {
         assert!((r(1, 3).to_f64() - 0.3333333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn from_f64_exact_is_exact() {
+        assert_eq!(Rational::from_f64_exact(0.0), Some(Rational::ZERO));
+        assert_eq!(Rational::from_f64_exact(1.0), Some(Rational::ONE));
+        assert_eq!(Rational::from_f64_exact(-2.5), Some(r(-5, 2)));
+        assert_eq!(Rational::from_f64_exact(0.375), Some(r(3, 8)));
+        assert_eq!(Rational::from_f64_exact(1.0e6), Some(r(1_000_000, 1)));
+        // Round-trip: the dyadic converts back to the identical double.
+        for v in [0.1, 1.0 / 3.0, 4.0 / 3.0, 123.456, 1e-3, 9.75e12] {
+            let exact = Rational::from_f64_exact(v).unwrap();
+            assert_eq!(exact.to_f64(), v, "{v}");
+        }
+        // double(4/3) is strictly below 4/3 — the conversion must expose
+        // that, not paper over it.
+        assert!(Rational::from_f64_exact(4.0 / 3.0).unwrap() < r(4, 3));
+        // Out of supported range / non-finite.
+        assert_eq!(Rational::from_f64_exact(f64::NAN), None);
+        assert_eq!(Rational::from_f64_exact(f64::INFINITY), None);
+        assert_eq!(Rational::from_f64_exact(1.0e300), None);
+        assert_eq!(Rational::from_f64_exact(f64::MIN_POSITIVE / 2.0), None);
     }
 
     #[test]

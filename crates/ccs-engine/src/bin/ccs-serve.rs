@@ -17,7 +17,13 @@
 //! Flags:
 //! * `--ordered` — emit responses in request order (useful for diffing
 //!   against golden files; throughput is unchanged, only emission order),
-//! * `--workers <n>` — size of the worker pool (default: all cores).
+//! * `--workers <n>` — size of the worker pool (default: all cores),
+//! * `--cache <entries>` — attach a solution cache of that capacity
+//!   (default: off, so solution frames carry no `"cache"` member and
+//!   existing golden files are untouched).  With a cache, repeated or
+//!   canonically equal requests are served from memory, frames gain
+//!   `"cache": "hit" | "miss"`, and hit-rate statistics are printed to
+//!   stderr at EOF.
 
 use ccs_engine::wire::{self, WireRequest};
 use ccs_engine::{Engine, SolveHandle};
@@ -60,6 +66,7 @@ impl Pending {
 fn main() {
     let mut ordered = false;
     let mut workers: Option<usize> = None;
+    let mut cache: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -71,9 +78,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--cache" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cache = Some(n),
+                _ => {
+                    eprintln!("--cache requires a positive number of entries");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unrecognised argument: {other}");
-                eprintln!("usage: ccs-serve [--ordered] [--workers <n>]");
+                eprintln!("usage: ccs-serve [--ordered] [--workers <n>] [--cache <entries>]");
                 std::process::exit(2);
             }
         }
@@ -82,6 +96,9 @@ fn main() {
     let mut engine = Engine::new();
     if let Some(n) = workers {
         engine = engine.with_workers(n);
+    }
+    if let Some(entries) = cache {
+        engine = engine.with_cache(entries);
     }
 
     // Completed responses are written by a dedicated thread so clients that
@@ -137,6 +154,18 @@ fn main() {
     }
     drop(tx); // EOF: the writer drains the stragglers and exits.
     let _ = writer.join();
+    if let Some(stats) = engine.cache_stats() {
+        // One machine-parseable line for operators and the CI hit-rate
+        // artifact; stdout stays reserved for response frames.
+        eprintln!(
+            "cache stats: entries={} hits={} misses={} evictions={} hit_rate={:.4}",
+            stats.entries,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.hit_rate()
+        );
+    }
 }
 
 /// Receives pending responses from the reader and emits each as soon as it

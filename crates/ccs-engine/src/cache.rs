@@ -1,0 +1,522 @@
+//! The engine's solution cache: a sharded LRU keyed by canonical instance
+//! fingerprint, placement model and resolved accuracy.
+//!
+//! Every solver in the registry is deterministic, which makes solve results
+//! memoizable by construction; the only subtlety is *which* requests may
+//! share a result.  The cache key answers that:
+//!
+//! * [`ccs_core::Fingerprint`] — the 128-bit identity of the instance's
+//!   canonical form, so job permutations and class relabellings of the same
+//!   instance share an entry,
+//! * [`ccs_core::ScheduleKind`] — optima differ per placement model,
+//! * [`ResolvedAccuracy`] — what the request's accuracy budget collapsed to
+//!   for this instance (exact / constant-factor / a concrete PTAS `1/δ`);
+//!   two requests resolving identically run the identical algorithm.
+//!
+//! Entries store the solution translated into *canonical* job/class
+//! numbering; a hit translates it back into the querying instance's
+//! numbering (for byte-identical resubmissions both translations are the
+//! identity and the returned report is bit-identical to the original one).
+//!
+//! Concurrent requests for the same key are **coalesced** (single-flight):
+//! the first becomes the leader and solves, later ones wait on its flight
+//! and share the entry — N concurrent submissions of one instance cost one
+//! solver run.  Failed runs are never cached (deadline and cancellation
+//! outcomes depend on the caller's context, and errors are cheap to
+//! reproduce); the flight is resolved so waiters retry or take over.
+//!
+//! Eviction is least-recently-used per shard, with in-flight entries never
+//! evicted.  Hits, misses and evictions are exposed through
+//! [`SolutionCache::stats`] and overlaid onto
+//! [`Engine::stats`](crate::Engine::stats).
+
+use crate::engine::{EngineCore, Solution};
+use crate::policy::{ResolvedAccuracy, SolveRequest};
+use ccs_core::solver::{Guarantee, SolveReport, SolveStats};
+use ccs_core::{
+    AnySchedule, CanonicalInstance, ClassRun, Fingerprint, Instance, NonPreemptiveSchedule,
+    PreemptiveSchedule, Result, ScheduleKind, SolveContext, SplittableSchedule,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Number of independent shards; keys spread by fingerprint bits.
+const SHARDS: usize = 8;
+
+/// How often a waiter on an in-flight solve polls its own context (so a
+/// cancelled or deadline-exceeded waiter stops waiting promptly).
+const FLIGHT_POLL: Duration = Duration::from_millis(20);
+
+/// How a [`Solution`] came out of a cache-enabled engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The request ran a solver (and its result was inserted if it
+    /// succeeded).
+    Miss,
+    /// The request was served from the cache (or coalesced onto a
+    /// concurrent solve of the same key).
+    Hit,
+}
+
+impl CacheOutcome {
+    /// Stable wire name (`ccs-wire/1` solution frames).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Hit => "hit",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<CacheOutcome> {
+        match name {
+            "miss" => Some(CacheOutcome::Miss),
+            "hit" => Some(CacheOutcome::Hit),
+            _ => None,
+        }
+    }
+}
+
+/// Point-in-time counters of a [`SolutionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a stored entry or coalesced onto an in-flight
+    /// solve.
+    pub hits: u64,
+    /// Requests that ran a solver.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+    /// Entries currently stored (including in-flight placeholders).
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    fingerprint: Fingerprint,
+    model: ScheduleKind,
+    accuracy: ResolvedAccuracy,
+}
+
+/// A solution in canonical job/class numbering.
+struct CachedSolution {
+    solver: &'static str,
+    guarantee: Guarantee,
+    makespan: ccs_core::Rational,
+    lower_bound: ccs_core::Rational,
+    stats: SolveStats,
+    schedule: AnySchedule,
+}
+
+/// The synchronisation point between the leader solving a key and the
+/// waiters coalesced onto it.
+struct Flight {
+    /// `None` while the leader runs; `Some(None)` when it failed (nothing
+    /// cached); `Some(Some(entry))` when it succeeded.
+    state: Mutex<Option<Option<Arc<CachedSolution>>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, outcome: Option<Arc<CachedSolution>>) {
+        let mut state = self.state.lock().expect("flight lock never poisoned");
+        *state = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Waits for the leader, polling the waiter's own context so a
+    /// cancelled/expired waiter unblocks without the leader's cooperation.
+    fn wait(&self, ctx: &SolveContext) -> Result<Option<Arc<CachedSolution>>> {
+        let mut state = self.state.lock().expect("flight lock never poisoned");
+        loop {
+            if let Some(outcome) = &*state {
+                return Ok(outcome.clone());
+            }
+            ctx.checkpoint()?;
+            let (guard, _) = self
+                .done
+                .wait_timeout(state, FLIGHT_POLL)
+                .expect("flight lock never poisoned");
+            state = guard;
+        }
+    }
+}
+
+enum Slot {
+    Ready {
+        entry: Arc<CachedSolution>,
+        last_used: u64,
+    },
+    Pending(Arc<Flight>),
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Slot>,
+    tick: u64,
+}
+
+/// What a lookup found (see [`SolutionCache::begin`]).
+enum Probe {
+    Ready(Arc<CachedSolution>),
+    Wait(Arc<Flight>),
+    Lead(Arc<Flight>),
+}
+
+/// Sharded LRU cache of solve results, shared by all clones of an
+/// [`Engine`](crate::Engine) and its worker pool.
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// A cache holding at most `entries` solutions (rounded up to a
+    /// multiple of the shard count; at least one entry per shard).
+    pub(crate) fn new(entries: usize) -> Self {
+        SolutionCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: entries.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard lock never poisoned").map.len())
+                .sum(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.fingerprint.0 as usize) & (SHARDS - 1)]
+    }
+
+    /// One atomic lookup step: hit, join an in-flight solve, or become the
+    /// leader (a pending placeholder is installed in that case).
+    fn begin(&self, key: &CacheKey) -> Probe {
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .expect("cache shard lock never poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(Slot::Ready { entry, last_used }) => {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Probe::Ready(Arc::clone(entry))
+            }
+            Some(Slot::Pending(flight)) => Probe::Wait(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight::new());
+                shard.map.insert(*key, Slot::Pending(Arc::clone(&flight)));
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Probe::Lead(flight)
+            }
+        }
+    }
+
+    /// Publishes the leader's entry: the pending placeholder becomes a
+    /// ready slot and the capacity is enforced (in-flight slots are never
+    /// evicted).
+    fn fulfil(&self, key: &CacheKey, entry: &Arc<CachedSolution>) {
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .expect("cache shard lock never poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(
+            *key,
+            Slot::Ready {
+                entry: Arc::clone(entry),
+                last_used: tick,
+            },
+        );
+        while shard.map.len() > self.shard_capacity {
+            let victim = shard
+                .map
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    // The entry just published is fair game too — unless it
+                    // is the least recently used, which it never is while
+                    // anything older exists.
+                    Slot::Ready { last_used, .. } => Some((*last_used, *k)),
+                    Slot::Pending(_) => None,
+                })
+                .min_by_key(|&(last_used, _)| last_used)
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    shard.map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // only in-flight placeholders left
+            }
+        }
+    }
+
+    /// Withdraws the leader's pending placeholder after a failed run.
+    fn withdraw(&self, key: &CacheKey, flight: &Arc<Flight>) {
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .expect("cache shard lock never poisoned");
+        if let Some(Slot::Pending(current)) = shard.map.get(key) {
+            if Arc::ptr_eq(current, flight) {
+                shard.map.remove(key);
+            }
+        }
+    }
+
+    /// The cache-aware solve path behind
+    /// [`EngineCore::execute`](crate::engine::EngineCore): route, look the
+    /// canonical key up, and either serve a translated entry or run the
+    /// solver and publish its result.
+    pub(crate) fn solve_through(
+        &self,
+        core: &EngineCore,
+        inst: &Instance,
+        req: &SolveRequest,
+        ctx: &SolveContext,
+    ) -> Result<Solution> {
+        // Routing errors (invalid ε, unknown solver) surface exactly as
+        // they do without a cache.
+        let (solver, accuracy) = core.select_resolved(inst, req)?;
+        let canon = inst.canonical();
+        let key = CacheKey {
+            fingerprint: canon.fingerprint(),
+            model: req.model,
+            accuracy,
+        };
+        loop {
+            match self.begin(&key) {
+                Probe::Ready(entry) => return self.extract(&entry, inst, &canon, req),
+                Probe::Wait(flight) => match flight.wait(ctx)? {
+                    Some(entry) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return self.extract(&entry, inst, &canon, req);
+                    }
+                    // The leader failed; retry — we may become the leader.
+                    None => continue,
+                },
+                Probe::Lead(flight) => {
+                    // The guard resolves the flight even if the solver
+                    // panics (the worker's catch_unwind is above us), so no
+                    // waiter can hang on an abandoned flight.
+                    let guard = FlightGuard {
+                        cache: self,
+                        key,
+                        flight: Arc::clone(&flight),
+                        outcome: None,
+                    };
+                    return guard.lead(core, &solver, inst, req, ctx, &canon);
+                }
+            }
+        }
+    }
+
+    /// Translates a cached (canonical-space) entry into the querying
+    /// instance's numbering.
+    fn extract(
+        &self,
+        entry: &CachedSolution,
+        inst: &Instance,
+        canon: &CanonicalInstance,
+        req: &SolveRequest,
+    ) -> Result<Solution> {
+        let schedule = if canon.is_identity() {
+            entry.schedule.clone()
+        } else {
+            schedule_from_canonical(&entry.schedule, canon)
+        };
+        let solution = Solution {
+            solver: entry.solver,
+            guarantee: entry.guarantee,
+            report: SolveReport {
+                schedule,
+                makespan: entry.makespan,
+                lower_bound: entry.lower_bound,
+                stats: entry.stats,
+            },
+            cache: Some(CacheOutcome::Hit),
+        };
+        if req.validate {
+            solution.report.validate(inst)?;
+        }
+        Ok(solution)
+    }
+}
+
+/// Resolves the leader's flight on every exit path (including panics
+/// unwinding through the solver).
+struct FlightGuard<'a> {
+    cache: &'a SolutionCache,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    outcome: Option<Arc<CachedSolution>>,
+}
+
+impl FlightGuard<'_> {
+    fn lead(
+        mut self,
+        core: &EngineCore,
+        solver: &Arc<dyn crate::registry::ErasedSolver>,
+        inst: &Instance,
+        req: &SolveRequest,
+        ctx: &SolveContext,
+        canon: &CanonicalInstance,
+    ) -> Result<Solution> {
+        let mut solution = core.run(solver, inst, req.validate, ctx)?;
+        let schedule = if canon.is_identity() {
+            solution.report.schedule.clone()
+        } else {
+            schedule_to_canonical(&solution.report.schedule, canon)
+        };
+        self.outcome = Some(Arc::new(CachedSolution {
+            solver: solution.solver,
+            guarantee: solution.guarantee,
+            makespan: solution.report.makespan,
+            lower_bound: solution.report.lower_bound,
+            stats: solution.report.stats,
+            schedule,
+        }));
+        solution.cache = Some(CacheOutcome::Miss);
+        Ok(solution)
+        // Drop publishes the entry (or withdraws the placeholder on the
+        // error path, where `outcome` stayed `None`).
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        match self.outcome.take() {
+            Some(entry) => {
+                self.cache.fulfil(&self.key, &entry);
+                self.flight.resolve(Some(entry));
+            }
+            None => {
+                self.cache.withdraw(&self.key, &self.flight);
+                self.flight.resolve(None);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule translation between original and canonical numbering.
+// ---------------------------------------------------------------------------
+
+/// `original job -> canonical position` (inverse of
+/// [`CanonicalInstance::job_order`]).
+fn inverse_jobs(canon: &CanonicalInstance) -> Vec<usize> {
+    let mut inv = vec![0usize; canon.job_order().len()];
+    for (k, &j) in canon.job_order().iter().enumerate() {
+        inv[j] = k;
+    }
+    inv
+}
+
+/// `original dense class -> canonical class` (inverse of
+/// [`CanonicalInstance::class_order`]).
+fn inverse_classes(canon: &CanonicalInstance) -> Vec<usize> {
+    let mut inv = vec![0usize; canon.class_order().len()];
+    for (u, &v) in canon.class_order().iter().enumerate() {
+        inv[v] = u;
+    }
+    inv
+}
+
+fn map_schedule(schedule: &AnySchedule, job_map: &[usize], class_map: &[usize]) -> AnySchedule {
+    match schedule {
+        AnySchedule::NonPreemptive(s) => {
+            // `assignment` is indexed by job: entry for output job `j` comes
+            // from the input job that maps to `j`.
+            let mut assignment = vec![0u64; s.assignment().len()];
+            for (job, &machine) in s.assignment().iter().enumerate() {
+                assignment[job_map[job]] = machine;
+            }
+            AnySchedule::NonPreemptive(NonPreemptiveSchedule::new(assignment))
+        }
+        AnySchedule::Splittable(s) => {
+            let mut out = SplittableSchedule::new();
+            for run in s.runs() {
+                out.push_run(ClassRun {
+                    class: class_map[run.class],
+                    ..run.clone()
+                });
+            }
+            for machine in s.explicit() {
+                out.push_explicit(
+                    machine.machine,
+                    machine
+                        .pieces
+                        .iter()
+                        .map(|&(job, amount)| (job_map[job], amount))
+                        .collect(),
+                );
+            }
+            AnySchedule::Splittable(out)
+        }
+        AnySchedule::Preemptive(s) => AnySchedule::Preemptive(PreemptiveSchedule::new(
+            s.machines()
+                .iter()
+                .map(|pieces| {
+                    pieces
+                        .iter()
+                        .map(|piece| {
+                            let mut p = *piece;
+                            p.job = job_map[p.job];
+                            p
+                        })
+                        .collect()
+                })
+                .collect(),
+        )),
+    }
+}
+
+/// Original-numbering schedule -> canonical numbering (used on insert).
+fn schedule_to_canonical(schedule: &AnySchedule, canon: &CanonicalInstance) -> AnySchedule {
+    map_schedule(schedule, &inverse_jobs(canon), &inverse_classes(canon))
+}
+
+/// Canonical-numbering schedule -> the querying instance's numbering (used
+/// on hit).
+fn schedule_from_canonical(schedule: &AnySchedule, canon: &CanonicalInstance) -> AnySchedule {
+    map_schedule(schedule, canon.job_order(), canon.class_order())
+}

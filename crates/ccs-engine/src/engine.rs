@@ -2,7 +2,8 @@
 //! `submit`/handle execution on a persistent worker pool, and a batch
 //! executor with deterministic result ordering built on top of it.
 
-use crate::policy::{route, Routed, SolveRequest};
+use crate::cache::{CacheOutcome, CacheStats, SolutionCache};
+use crate::policy::{route, ResolvedAccuracy, Routed, SolveRequest};
 use crate::registry::{ErasedSolver, SolverRegistry};
 use crate::worker::{Job, SolveHandle, Ticket, WorkerPool};
 use ccs_core::solver::{Guarantee, SolveReport};
@@ -20,6 +21,9 @@ pub struct Solution {
     pub guarantee: Guarantee,
     /// The model-erased solve report.
     pub report: SolveReport<AnySchedule>,
+    /// Whether the solution cache served this request; `None` on engines
+    /// without a cache (see [`Engine::with_cache`]).
+    pub cache: Option<CacheOutcome>,
 }
 
 /// Registry + routing + run bookkeeping, shared between the synchronous call
@@ -27,19 +31,26 @@ pub struct Solution {
 pub(crate) struct EngineCore {
     registry: SolverRegistry,
     stats: Arc<StatsSink>,
+    cache: Option<Arc<SolutionCache>>,
 }
 
 impl EngineCore {
     /// Routes the request, then runs the chosen solver under `ctx` with the
-    /// request's validation policy.
+    /// request's validation policy — consulting the solution cache first
+    /// when the engine has one.
     pub(crate) fn execute(
         &self,
         inst: &Instance,
         req: &SolveRequest,
         ctx: &SolveContext,
     ) -> Result<Solution> {
-        let solver = self.select(inst, req)?;
-        self.run(&solver, inst, req.validate, ctx)
+        match &self.cache {
+            Some(cache) => cache.solve_through(self, inst, req, ctx),
+            None => {
+                let solver = self.select(inst, req)?;
+                self.run(&solver, inst, req.validate, ctx)
+            }
+        }
     }
 
     /// The single run-and-assemble path behind every engine entry point:
@@ -61,6 +72,9 @@ impl EngineCore {
             solver: solver.name(),
             guarantee: solver.guarantee(),
             report,
+            // The cache path overwrites this with the real outcome; direct
+            // runs (no cache, or explicitly named solvers) report `None`.
+            cache: None,
         })
     }
 
@@ -69,12 +83,24 @@ impl EngineCore {
         inst: &Instance,
         req: &SolveRequest,
     ) -> Result<Arc<dyn ErasedSolver>> {
-        match route(inst, req)? {
+        Ok(self.select_resolved(inst, req)?.0)
+    }
+
+    /// [`EngineCore::select`] plus the [`ResolvedAccuracy`] the request's
+    /// budget collapsed to — the accuracy component of the cache key.
+    pub(crate) fn select_resolved(
+        &self,
+        inst: &Instance,
+        req: &SolveRequest,
+    ) -> Result<(Arc<dyn ErasedSolver>, ResolvedAccuracy)> {
+        let resolution = route(inst, req)?;
+        let solver = match resolution.routed {
             Routed::Registered(name) => self.registry.get(name).cloned().ok_or_else(|| {
                 CcsError::invalid_parameter(format!("solver '{name}' is not registered"))
-            }),
-            Routed::AdHoc(solver) => Ok(solver),
-        }
+            })?,
+            Routed::AdHoc(solver) => solver,
+        };
+        Ok((solver, resolution.accuracy))
     }
 
     pub(crate) fn stats(&self) -> Arc<StatsSink> {
@@ -115,6 +141,7 @@ impl Engine {
             core: Arc::new(EngineCore {
                 registry,
                 stats: Arc::new(StatsSink::new()),
+                cache: None,
             }),
             pool: Arc::new(OnceLock::new()),
             worker_count: std::thread::available_parallelism()
@@ -131,15 +158,46 @@ impl Engine {
         self
     }
 
+    /// Attaches a solution cache holding at most `entries` results
+    /// (`0` disables caching, the default).  Like [`Engine::with_workers`],
+    /// call this before the engine is shared: pre-existing clones keep the
+    /// previous core and would not see the cache.
+    ///
+    /// With a cache, every `solve`/`submit`/`solve_batch` first looks the
+    /// request up by `(canonical fingerprint, model, resolved accuracy)`;
+    /// see [`crate::cache`] for the exact sharing and coalescing semantics.
+    pub fn with_cache(mut self, entries: usize) -> Self {
+        self.core = Arc::new(EngineCore {
+            registry: self.core.registry.clone(),
+            stats: Arc::clone(&self.core.stats),
+            cache: (entries > 0).then(|| Arc::new(SolutionCache::new(entries))),
+        });
+        self
+    }
+
+    /// Counters of the solution cache (`None` without [`Engine::with_cache`]).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.cache.as_ref().map(|cache| cache.stats())
+    }
+
     /// The underlying registry.
     pub fn registry(&self) -> &SolverRegistry {
         &self.core.registry
     }
 
     /// Aggregate counters over every run this engine (and its clones)
-    /// executed: solves, checkpoints, search iterations, …
+    /// executed: solves, checkpoints, search iterations, … — plus the
+    /// solution cache's hit/miss/eviction counters when one is attached
+    /// (cache hits do not count as solves: no solver ran).
     pub fn stats(&self) -> StatsSnapshot {
-        self.core.stats.snapshot()
+        let mut snapshot = self.core.stats.snapshot();
+        if let Some(cache) = &self.core.cache {
+            let cache = cache.stats();
+            snapshot.cache_hits = cache.hits;
+            snapshot.cache_misses = cache.misses;
+            snapshot.cache_evictions = cache.evictions;
+        }
+        snapshot
     }
 
     /// The solver the portfolio policy picks for `inst` under `req`
@@ -175,7 +233,9 @@ impl Engine {
             ctx.with_stats(self.core.stats())
         };
         let solution = self.core.execute(inst, req, &ctx)?;
-        if caller_sink {
+        // Mirror the run into the engine's own aggregate — unless it was a
+        // cache hit, where no solver ran (the original run was recorded).
+        if caller_sink && solution.cache != Some(CacheOutcome::Hit) {
             self.core.stats().record(&solution.report.stats);
         }
         Ok(solution)
@@ -224,6 +284,17 @@ impl Engine {
     /// Instances are copied into `Arc`s for the workers; callers that
     /// already hold `Arc<Instance>`s can avoid the copy with
     /// [`Engine::solve_batch_arc`].
+    ///
+    /// On a cache-enabled engine ([`Engine::with_cache`]) duplicate
+    /// instances within the batch are deduplicated: the cache's
+    /// single-flight coalescing runs each distinct
+    /// `(fingerprint, model, resolved accuracy)` key through its solver
+    /// once and fans the report out to every duplicate.  Reports stay
+    /// input-ordered; byte-identical duplicates receive reports
+    /// bit-identical to solving each entry alone, while permuted/relabelled
+    /// duplicates receive the leader's schedule translated into their own
+    /// numbering (equal makespan; tie-breaks may differ from a direct
+    /// solve).
     pub fn solve_batch(&self, instances: &[Instance], req: &SolveRequest) -> Vec<Result<Solution>> {
         let shared: Vec<Arc<Instance>> = instances.iter().cloned().map(Arc::new).collect();
         self.solve_batch_arc(&shared, req)

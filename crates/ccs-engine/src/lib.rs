@@ -16,6 +16,9 @@
 //!   pool, returning a [`SolveHandle`] to poll, wait on, or cancel;
 //!   [`Engine::solve_batch`] builds on it with deterministic, input-ordered
 //!   results,
+//! * [`cache`] — an opt-in sharded solution cache ([`Engine::with_cache`])
+//!   keyed by canonical instance fingerprint, model and resolved accuracy,
+//!   with single-flight coalescing of concurrent identical requests,
 //! * [`wire`] — the `ccs-wire/1` JSON protocol spoken by the `ccs-serve`
 //!   binary (newline-delimited request/response frames over stdin/stdout).
 //!
@@ -38,13 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod policy;
 pub mod registry;
 pub mod wire;
 pub mod worker;
 
+pub use cache::{CacheOutcome, CacheStats};
 pub use engine::{Engine, Solution};
-pub use policy::{Accuracy, SolveRequest};
+pub use policy::{Accuracy, ResolvedAccuracy, SolveRequest};
 pub use registry::{erase, ErasedSolver, SolverMeta, SolverRegistry};
 pub use worker::SolveHandle;

@@ -147,6 +147,13 @@ fn approx_factor(model: ScheduleKind) -> Rational {
     }
 }
 
+/// Job-count ceiling of the splittable/preemptive `is_tiny` branch: their
+/// exact path enumerates class structures (bounded by classes × machines)
+/// but then builds a rational max-flow witness over *all* jobs, so a
+/// 50 000-job instance with 6 classes on 4 machines is nowhere near
+/// "answered in microseconds" even though its class structure is tiny.
+const TINY_JOB_LIMIT: usize = 64;
+
 /// Instance-size threshold below which `Auto` routes to the exact solvers:
 /// the exponential algorithms answer such instances in microseconds.
 pub(crate) fn is_tiny(inst: &Instance, model: ScheduleKind) -> bool {
@@ -155,7 +162,9 @@ pub(crate) fn is_tiny(inst: &Instance, model: ScheduleKind) -> bool {
         ScheduleKind::Splittable | ScheduleKind::Preemptive => {
             let unconstrained = inst.effective_class_slots() as usize >= inst.num_classes();
             let machine_limit = if unconstrained { 8 } else { 4 };
-            inst.num_classes() <= 6 && inst.machines() <= machine_limit
+            inst.num_jobs() <= TINY_JOB_LIMIT
+                && inst.num_classes() <= 6
+                && inst.machines() <= machine_limit
         }
     }
 }
@@ -178,14 +187,74 @@ pub(crate) enum Routed {
     AdHoc(Arc<dyn ErasedSolver>),
 }
 
-pub(crate) fn route(inst: &Instance, req: &SolveRequest) -> Result<Routed> {
+/// What a request's accuracy budget resolved to for a concrete instance —
+/// the accuracy component of the engine's solution-cache key.  Two requests
+/// with this value (and the same model) are served by the same algorithm
+/// with the same parameters, so their results are interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolvedAccuracy {
+    /// The exact solver of the model.
+    Exact,
+    /// The constant-factor approximation of the model.
+    ConstantFactor,
+    /// A PTAS parameterised with this `1/δ` (distinct ε budgets that round
+    /// to the same `1/δ` share results by construction).
+    Ptas {
+        /// The scheme's `1/δ` accuracy parameter.
+        delta_inv: u64,
+    },
+}
+
+/// A routed request: the solver to run plus the [`ResolvedAccuracy`] the
+/// accuracy budget collapsed to (what the solution cache keys on).
+pub(crate) struct Resolution {
+    pub(crate) routed: Routed,
+    pub(crate) accuracy: ResolvedAccuracy,
+}
+
+/// Whether the constant-factor algorithm's `factor` already meets a `1 + ε`
+/// budget.
+///
+/// The comparison is exact — the request's ε is converted to the dyadic
+/// rational it actually is and compared cross-multiplied (inside
+/// [`Rational`]'s ordering) against the factor's ε-threshold — but the
+/// threshold is first quantised onto the same `f64` grid the request lives
+/// on.  Both steps matter: the previous `(ε · 10⁶) as i128` truncation
+/// mis-routed ε = 4/3 (budget exactly 7/3) to the exponential
+/// non-preemptive PTAS, and a comparison against the *unquantised* 4/3
+/// would still mis-route it, because `4.0 / 3.0` as a double is a hair
+/// below the true 4/3.
+fn epsilon_meets_factor(eps: f64, factor: Rational) -> bool {
+    let threshold = (factor - Rational::ONE).to_f64();
+    match (
+        Rational::from_f64_exact(eps),
+        Rational::from_f64_exact(threshold),
+    ) {
+        (Some(e), Some(t)) => e >= t,
+        // ε outside the dyadic range of `Rational` (astronomically large or
+        // subnormal): the plain f64 comparison is still exact, value vs
+        // value.
+        _ => eps >= threshold,
+    }
+}
+
+pub(crate) fn route(inst: &Instance, req: &SolveRequest) -> Result<Resolution> {
     match req.accuracy {
-        Accuracy::Exact => Ok(Routed::Registered(exact_solver_name(req.model))),
+        Accuracy::Exact => Ok(Resolution {
+            routed: Routed::Registered(exact_solver_name(req.model)),
+            accuracy: ResolvedAccuracy::Exact,
+        }),
         Accuracy::Auto => {
             if is_tiny(inst, req.model) {
-                Ok(Routed::Registered(exact_solver_name(req.model)))
+                Ok(Resolution {
+                    routed: Routed::Registered(exact_solver_name(req.model)),
+                    accuracy: ResolvedAccuracy::Exact,
+                })
             } else {
-                Ok(Routed::Registered(approx_solver_name(req.model)))
+                Ok(Resolution {
+                    routed: Routed::Registered(approx_solver_name(req.model)),
+                    accuracy: ResolvedAccuracy::ConstantFactor,
+                })
             }
         }
         Accuracy::Epsilon(eps) => {
@@ -194,14 +263,19 @@ pub(crate) fn route(inst: &Instance, req: &SolveRequest) -> Result<Routed> {
             // the wire protocol.
             validate_epsilon(eps)?;
             // The constant-factor algorithm already meets loose budgets.
-            let budget_met_by_approx = Rational::ONE
-                + Rational::new((eps * 1_000_000.0) as i128, 1_000_000)
-                >= approx_factor(req.model);
-            if budget_met_by_approx {
-                Ok(Routed::Registered(approx_solver_name(req.model)))
+            if epsilon_meets_factor(eps, approx_factor(req.model)) {
+                Ok(Resolution {
+                    routed: Routed::Registered(approx_solver_name(req.model)),
+                    accuracy: ResolvedAccuracy::ConstantFactor,
+                })
             } else {
                 let params = PtasParams::from_epsilon(eps)?;
-                Ok(Routed::AdHoc(ptas_for(req.model, params)))
+                Ok(Resolution {
+                    routed: Routed::AdHoc(ptas_for(req.model, params)),
+                    accuracy: ResolvedAccuracy::Ptas {
+                        delta_inv: params.delta_inv(),
+                    },
+                })
             }
         }
     }
@@ -226,7 +300,7 @@ mod tests {
     }
 
     fn routed_name(inst: &Instance, req: &SolveRequest) -> String {
-        match route(inst, req).unwrap() {
+        match route(inst, req).unwrap().routed {
             Routed::Registered(name) => name.to_string(),
             Routed::AdHoc(solver) => solver.name().to_string(),
         }
@@ -281,6 +355,77 @@ mod tests {
             ),
             "ptas-nonpreemptive"
         );
+    }
+
+    #[test]
+    fn epsilon_boundaries_route_to_the_constant_factor_solvers() {
+        // ε exactly at the factor threshold must be served by the cheap
+        // constant-factor algorithm, not the exponential PTAS.  ε = 4/3 is
+        // the regression case: its double is a hair below the true 4/3 and
+        // the old `(ε · 10⁶) as i128` truncation (and an unquantised exact
+        // comparison alike) mis-routed it.
+        for kind in ScheduleKind::ALL {
+            assert_eq!(
+                routed_name(&large(), &SolveRequest::epsilon(kind, 4.0 / 3.0).unwrap()),
+                approx_solver_name(kind),
+                "ε = 4/3 on {kind}"
+            );
+        }
+        // ε = 1.0 sits exactly on the splittable/preemptive factor 2 and
+        // strictly below the non-preemptive 7/3.
+        for kind in [ScheduleKind::Splittable, ScheduleKind::Preemptive] {
+            assert_eq!(
+                routed_name(&large(), &SolveRequest::epsilon(kind, 1.0).unwrap()),
+                approx_solver_name(kind),
+                "ε = 1 on {kind}"
+            );
+        }
+        assert_eq!(
+            routed_name(
+                &large(),
+                &SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.0).unwrap()
+            ),
+            "ptas-nonpreemptive"
+        );
+        // Just below a threshold still requires the PTAS.
+        for kind in ScheduleKind::ALL {
+            let threshold = (approx_factor(kind) - Rational::ONE).to_f64();
+            let below = threshold * (1.0 - 1e-12);
+            assert_eq!(
+                routed_name(&large(), &SolveRequest::epsilon(kind, below).unwrap()),
+                format!(
+                    "ptas-{}",
+                    if kind == ScheduleKind::NonPreemptive {
+                        "nonpreemptive"
+                    } else {
+                        kind.name()
+                    }
+                ),
+                "ε just below the factor on {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_respects_the_job_count_guard() {
+        // 4 machines, 6 classes — tiny by the old class/machine test — but
+        // 50 000 jobs: `Auto` must not route this into the exact
+        // enumeration + rational max-flow witness path.
+        let mut b = InstanceBuilder::new(4, 6);
+        for i in 0..50_000u32 {
+            b = b.job(1 + (i as u64 % 97), i % 6);
+        }
+        let huge = b.build().unwrap();
+        for kind in ScheduleKind::ALL {
+            assert!(!is_tiny(&huge, kind), "{kind}");
+            assert_eq!(
+                routed_name(&huge, &SolveRequest::auto(kind)),
+                approx_solver_name(kind),
+                "{kind}"
+            );
+        }
+        // The guard leaves genuinely tiny instances on the exact path.
+        assert!(is_tiny(&tiny(), ScheduleKind::Splittable));
     }
 
     #[test]

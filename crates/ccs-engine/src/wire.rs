@@ -22,6 +22,7 @@
 //! representable as floats and the whole workspace is built on exact
 //! arithmetic; the wire format preserves that.
 
+use crate::cache::CacheOutcome;
 use crate::engine::Solution;
 use crate::policy::{Accuracy, SolveRequest};
 use ccs_core::json::{error_to_json, parse, JsonValue};
@@ -68,6 +69,10 @@ pub struct WireSolution {
     pub stats: SolveStats,
     /// The schedule itself.
     pub schedule: AnySchedule,
+    /// Whether the engine's solution cache served this request; absent on
+    /// engines without a cache, so uncached deployments emit byte-identical
+    /// frames to previous protocol revisions.
+    pub cache: Option<CacheOutcome>,
 }
 
 impl From<&Solution> for WireSolution {
@@ -79,6 +84,7 @@ impl From<&Solution> for WireSolution {
             lower_bound: sol.report.lower_bound,
             stats: sol.report.stats,
             schedule: sol.report.schedule.clone(),
+            cache: sol.cache,
         }
     }
 }
@@ -138,9 +144,7 @@ pub fn request_to_json(req: &WireRequest) -> JsonValue {
     };
     obj.set("accuracy", accuracy);
     if let Some(budget) = req.request.budget {
-        // Fractional milliseconds keep sub-ms budgets exact on the wire
-        // (integral values still serialise as plain integers).
-        obj.set("budget_ms", budget.as_secs_f64() * 1000.0);
+        obj.set("budget_ms", budget_ms_to_json(budget));
     }
     if req.request.validate {
         obj.set("validate", true);
@@ -151,6 +155,47 @@ pub fn request_to_json(req: &WireRequest) -> JsonValue {
 /// Serialises a request frame to one NDJSON line (no trailing newline).
 pub fn request_to_line(req: &WireRequest) -> String {
     request_to_json(req).to_json()
+}
+
+/// Encodes a budget as `budget_ms`: whole-millisecond budgets travel as
+/// plain integers (exact at any magnitude — several consumers treat
+/// `budget_ms` as integral), sub-millisecond resolutions as fractional
+/// milliseconds.
+///
+/// The fractional value is computed from the budget's exact nanosecond
+/// count in one rounding step; together with the nanosecond-rounding decode
+/// in [`budget_ms_from_json`] this round-trips every budget below 2⁵¹ ns
+/// (≈26 days) bit-exactly — one rounding per direction keeps the combined
+/// error under half a nanosecond there — instead of the double-rounded
+/// `as_secs_f64() * 1000.0` it replaces.  Beyond that, only budgets on a
+/// whole-millisecond grid (the integer arm) stay exact; fractional ones may
+/// drift by a few nanoseconds, which no deadline can observe at that scale.
+fn budget_ms_to_json(budget: Duration) -> JsonValue {
+    let nanos = budget.as_nanos();
+    if nanos.is_multiple_of(1_000_000) {
+        JsonValue::Int((nanos / 1_000_000) as i128)
+    } else {
+        JsonValue::from(nanos as f64 / 1e6)
+    }
+}
+
+/// Decodes `budget_ms` (see [`budget_ms_to_json`]): integers become exact
+/// whole milliseconds, fractional values are rounded to the nearest
+/// nanosecond.
+fn budget_ms_from_json(value: &JsonValue) -> Result<Duration> {
+    match value {
+        JsonValue::Int(ms) if *ms >= 0 => {
+            let ms =
+                u64::try_from(*ms).map_err(|_| err("'budget_ms' exceeds the supported range"))?;
+            Ok(Duration::from_millis(ms))
+        }
+        JsonValue::Float(ms) if ms.is_finite() && *ms >= 0.0 => {
+            // Saturating `as` keeps absurdly large fractional budgets from
+            // wrapping; ~584 years of nanoseconds is budget enough.
+            Ok(Duration::from_nanos((ms * 1e6).round() as u64))
+        }
+        _ => Err(err("'budget_ms' must be a non-negative number")),
+    }
 }
 
 fn model_from_name(name: &str) -> Result<ccs_core::ScheduleKind> {
@@ -207,11 +252,7 @@ pub fn request_from_json(value: &JsonValue) -> Result<WireRequest> {
         }
     };
     if let Some(budget) = value.get("budget_ms") {
-        let ms = budget
-            .as_f64()
-            .filter(|ms| ms.is_finite() && *ms >= 0.0)
-            .ok_or_else(|| err("'budget_ms' must be a non-negative number"))?;
-        request = request.with_budget(Duration::from_secs_f64(ms / 1000.0));
+        request = request.with_budget(budget_ms_from_json(budget)?);
     }
     if let Some(validate) = value.get("validate") {
         let flag = validate
@@ -506,11 +547,22 @@ fn wire_solution_to_json(sol: &WireSolution) -> JsonValue {
     obj.set("lower_bound", rational_to_json(sol.lower_bound));
     obj.set("stats", stats_to_json(&sol.stats));
     obj.set("schedule", schedule_to_json(&sol.schedule));
+    if let Some(cache) = sol.cache {
+        obj.set("cache", cache.name());
+    }
     obj
+}
+
+fn cache_from_json(value: &JsonValue) -> Result<CacheOutcome> {
+    value
+        .as_str()
+        .and_then(CacheOutcome::from_name)
+        .ok_or_else(|| err("'cache' must be \"hit\" or \"miss\""))
 }
 
 fn wire_solution_from_json(value: &JsonValue) -> Result<WireSolution> {
     Ok(WireSolution {
+        cache: value.get("cache").map(cache_from_json).transpose()?,
         solver: value
             .get("solver")
             .and_then(JsonValue::as_str)
@@ -653,6 +705,41 @@ mod tests {
             assert_eq!(back.request.budget, req.request.budget, "{micros}µs");
             assert_eq!(request_to_line(&back), line, "{micros}µs canonical");
         }
+        // 1500µs travels as fractional milliseconds, not a truncated int.
+        let mut req = sample_request();
+        req.request = req.request.with_budget(Duration::from_micros(1_500));
+        assert!(request_to_line(&req).contains("\"budget_ms\":1.5"));
+        // Whole milliseconds stay plain integers — several consumers treat
+        // `budget_ms` as integral.
+        req.request = req.request.with_budget(Duration::from_millis(250));
+        assert!(request_to_line(&req).contains("\"budget_ms\":250,"));
+    }
+
+    #[test]
+    fn lcg_budget_sweep_roundtrips_exactly() {
+        // Microsecond- and nanosecond-grained budgets across six orders of
+        // magnitude (the 1500µs family of the issue included) round-trip
+        // bit-exactly.
+        let mut state = 0x0B0D_6E75_u64;
+        let mut next = |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for i in 0..200 {
+            let nanos = match i % 3 {
+                0 => 1 + next(10_000_000_000),       // up to 10s, ns grain
+                1 => 1_000 * (1 + next(10_000_000)), // µs grain
+                _ => 500_000 * (1 + next(20_000)),   // half-ms grain
+            };
+            let mut req = sample_request();
+            req.request = req.request.with_budget(Duration::from_nanos(nanos));
+            let line = request_to_line(&req);
+            let back = request_from_line(&line).unwrap();
+            assert_eq!(back.request.budget, req.request.budget, "{nanos}ns");
+            assert_eq!(request_to_line(&back), line, "{nanos}ns canonical");
+        }
     }
 
     #[test]
@@ -706,6 +793,34 @@ mod tests {
             wire.schedule.validate(&inst).unwrap();
             assert_eq!(wire.schedule.makespan(&inst), sol.report.makespan);
         }
+    }
+
+    #[test]
+    fn cache_field_roundtrips_and_stays_absent_without_a_cache() {
+        let engine = crate::Engine::new().with_cache(16);
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        let req = SolveRequest::auto(ScheduleKind::NonPreemptive);
+        for (round, expect) in [(0, CacheOutcome::Miss), (1, CacheOutcome::Hit)] {
+            let sol = engine.solve(&inst, &req).unwrap();
+            assert_eq!(sol.cache, Some(expect), "round {round}");
+            let line = solution_to_json("c", &sol).to_json();
+            assert!(line.contains(&format!("\"cache\":\"{}\"", expect.name())));
+            let back = response_from_line(&line).unwrap().outcome.unwrap();
+            assert_eq!(back.cache, Some(expect), "round {round}");
+            assert_eq!(back, WireSolution::from(&sol), "round {round}");
+        }
+        // No cache, no field: golden files of uncached deployments are
+        // untouched.
+        let uncached = crate::Engine::new().solve(&inst, &req).unwrap();
+        let line = solution_to_json("u", &uncached).to_json();
+        assert!(!line.contains("\"cache\""));
+        assert_eq!(
+            response_from_line(&line).unwrap().outcome.unwrap().cache,
+            None
+        );
+        // Unknown cache markers are rejected, not ignored.
+        let bad = line.replace("\"solver\"", "\"cache\":\"warm\",\"solver\"");
+        assert!(response_from_line(&bad).is_err());
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub use nfold;
 pub mod prelude {
     pub use ccs_core::prelude::*;
     pub use ccs_engine::{
-        wire, Accuracy, Engine, Solution, SolveHandle, SolveRequest, SolverRegistry,
+        wire, Accuracy, CacheOutcome, CacheStats, Engine, Solution, SolveHandle, SolveRequest,
+        SolverRegistry,
     };
 }
