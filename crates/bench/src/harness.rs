@@ -241,12 +241,16 @@ impl Harness {
         let name = solver.name();
         // Warm-up doubles as the quality measurement: one untimed-loop run
         // whose report yields the achieved makespan, compared against the
-        // model's instance lower bound from `ccs-core::bounds`.
+        // *certified* lower bound of `ccs-verify` (volume, max-job and
+        // class-packing bounds, computed with no code shared with any
+        // solver).  The certified bound dominates the former ad-hoc
+        // `ccs-core::bounds` value, so recorded quality ratios tighten and
+        // the machine-independent baseline gate only ever benefits.
         let warmup_started = Instant::now();
         let report = solver.solve_any(inst)?;
         let warmup_ns = elapsed_ns(warmup_started);
         let makespan = report.makespan.to_f64();
-        let lower_bound = ccs_core::bounds::lower_bound(inst, solver.kind()).to_f64();
+        let lower_bound = ccs_verify::certified_lower_bound(inst, solver.kind()).to_f64();
         let ratio = (lower_bound > 0.0).then(|| makespan / lower_bound);
 
         let mut case = self.measure(name, case, warmup_ns, || {

@@ -1,0 +1,463 @@
+//! Independent, first-principles schedule auditing.
+//!
+//! [`Schedule::validate`](crate::schedule::Schedule::validate) is the code
+//! the solvers themselves use to self-check their output, so a bug shared
+//! between a solver and the validator goes unnoticed.  This module is a
+//! **second, independently written implementation** of every feasibility
+//! condition of the three placement models, plus an independent makespan
+//! recomputation.  It deliberately does not call into the `schedule`
+//! validators or makespan methods: the only shared vocabulary is the data
+//! model itself ([`Instance`], the schedule representations) — whose field
+//! meanings are the spec.
+//!
+//! Checked per model:
+//!
+//! * **non-preemptive** — every job assigned to an existing machine, at most
+//!   `c` distinct classes per machine; makespan = maximum machine load,
+//! * **preemptive** — at most `m` machines, positive piece lengths,
+//!   non-negative starts, pieces on one machine never overlap, pieces of one
+//!   job never overlap (across machines), every job covered exactly, at most
+//!   `c` classes per machine; makespan = latest piece end,
+//! * **splittable** — machine indices in range, positive piece amounts,
+//!   compact class runs inside `[0, P_u)` and inside the machine range,
+//!   every job covered exactly (explicit pieces + run/interval overlap in
+//!   the canonical class order), at most `c` classes per machine — checked
+//!   segment-wise over the run breakpoints so instances with an exponential
+//!   number of machines audit in time polynomial in the encoding size;
+//!   makespan = maximum machine load.
+//!
+//! The auditor is what `ccs-engine` runs for requests with
+//! `validate: true`, and what the `ccs-verify` certifier builds its
+//! feasibility check on.
+
+use crate::error::{CcsError, Result};
+use crate::instance::{ClassId, Instance};
+use crate::rational::Rational;
+use crate::schedule::{AnySchedule, NonPreemptiveSchedule, PreemptiveSchedule, SplittableSchedule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of a successful audit: the independently recomputed makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Audit {
+    /// Maximum completion time over all machines, recomputed from the raw
+    /// schedule data (never taken from the schedule's own `makespan`).
+    pub makespan: Rational,
+}
+
+fn fail(msg: impl Into<String>) -> CcsError {
+    CcsError::invalid_schedule(format!("audit: {}", msg.into()))
+}
+
+/// Audits a schedule of any placement model against `inst` from first
+/// principles.
+///
+/// # Errors
+/// [`CcsError::InvalidSchedule`] naming the first violated feasibility
+/// condition.
+pub fn audit_schedule(inst: &Instance, schedule: &AnySchedule) -> Result<Audit> {
+    let makespan = match schedule {
+        AnySchedule::NonPreemptive(s) => audit_nonpreemptive(inst, s)?,
+        AnySchedule::Preemptive(s) => audit_preemptive(inst, s)?,
+        AnySchedule::Splittable(s) => audit_splittable(inst, s)?,
+    };
+    Ok(Audit { makespan })
+}
+
+fn audit_nonpreemptive(inst: &Instance, s: &NonPreemptiveSchedule) -> Result<Rational> {
+    let assignment = s.assignment();
+    if assignment.len() != inst.num_jobs() {
+        return Err(fail(format!(
+            "{} assignments for {} jobs",
+            assignment.len(),
+            inst.num_jobs()
+        )));
+    }
+    // One pass: accumulate load and class set per used machine.
+    let mut machines: BTreeMap<u64, (u128, BTreeSet<ClassId>)> = BTreeMap::new();
+    for (job, &machine) in assignment.iter().enumerate() {
+        if machine >= inst.machines() {
+            return Err(fail(format!(
+                "job {job} on machine {machine}, instance has {}",
+                inst.machines()
+            )));
+        }
+        let entry = machines.entry(machine).or_default();
+        entry.0 += inst.processing_time(job) as u128;
+        entry.1.insert(inst.class_of(job));
+    }
+    let mut makespan: u128 = 0;
+    for (machine, (load, classes)) in &machines {
+        if classes.len() as u64 > inst.class_slots() {
+            return Err(fail(format!(
+                "machine {machine} holds {} classes with {} slots",
+                classes.len(),
+                inst.class_slots()
+            )));
+        }
+        makespan = makespan.max(*load);
+    }
+    Ok(Rational::from_int(makespan as i128))
+}
+
+fn audit_preemptive(inst: &Instance, s: &PreemptiveSchedule) -> Result<Rational> {
+    if s.machines().len() as u64 > inst.machines() {
+        return Err(fail(format!(
+            "{} machines used, instance has {}",
+            s.machines().len(),
+            inst.machines()
+        )));
+    }
+    let mut per_job: Vec<Vec<(Rational, Rational)>> = vec![Vec::new(); inst.num_jobs()];
+    let mut makespan = Rational::ZERO;
+    for (machine, pieces) in s.machines().iter().enumerate() {
+        let mut classes: BTreeSet<ClassId> = BTreeSet::new();
+        let mut busy: Vec<(Rational, Rational)> = Vec::with_capacity(pieces.len());
+        for piece in pieces {
+            if piece.job >= inst.num_jobs() {
+                return Err(fail(format!(
+                    "machine {machine} runs unknown job {}",
+                    piece.job
+                )));
+            }
+            if !piece.len.is_positive() {
+                return Err(fail(format!(
+                    "machine {machine} holds a non-positive piece of job {}",
+                    piece.job
+                )));
+            }
+            if piece.start.is_negative() {
+                return Err(fail(format!(
+                    "job {} starts at negative time on machine {machine}",
+                    piece.job
+                )));
+            }
+            let end = piece.start + piece.len;
+            classes.insert(inst.class_of(piece.job));
+            busy.push((piece.start, end));
+            per_job[piece.job].push((piece.start, end));
+            makespan = makespan.max(end);
+        }
+        if classes.len() as u64 > inst.class_slots() {
+            return Err(fail(format!(
+                "machine {machine} holds {} classes with {} slots",
+                classes.len(),
+                inst.class_slots()
+            )));
+        }
+        busy.sort();
+        for pair in busy.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(fail(format!("machine {machine} runs two pieces at once")));
+            }
+        }
+    }
+    for (job, intervals) in per_job.iter_mut().enumerate() {
+        let total: Rational = intervals.iter().map(|&(start, end)| end - start).sum();
+        let need = Rational::from(inst.processing_time(job));
+        if total != need {
+            return Err(fail(format!("job {job} receives {total} of {need} load")));
+        }
+        intervals.sort();
+        for pair in intervals.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(fail(format!("job {job} runs in parallel with itself")));
+            }
+        }
+    }
+    Ok(makespan)
+}
+
+fn audit_splittable(inst: &Instance, s: &SplittableSchedule) -> Result<Rational> {
+    let m = inst.machines() as u128;
+
+    // --- Structural checks + explicit-machine aggregation. -----------------
+    let mut coverage: Vec<Rational> = vec![Rational::ZERO; inst.num_jobs()];
+    // machine id -> (explicit load, explicit classes)
+    let mut explicit: BTreeMap<u64, (Rational, BTreeSet<ClassId>)> = BTreeMap::new();
+    for em in s.explicit() {
+        if (em.machine as u128) >= m {
+            return Err(fail(format!(
+                "explicit machine {} out of range (m = {})",
+                em.machine,
+                inst.machines()
+            )));
+        }
+        let entry = explicit.entry(em.machine).or_default();
+        for &(job, amount) in &em.pieces {
+            if job >= inst.num_jobs() {
+                return Err(fail(format!("explicit piece of unknown job {job}")));
+            }
+            if !amount.is_positive() {
+                return Err(fail(format!("non-positive explicit piece of job {job}")));
+            }
+            coverage[job] += amount;
+            entry.0 += amount;
+            entry.1.insert(inst.class_of(job));
+        }
+    }
+
+    for run in s.runs() {
+        if run.class >= inst.num_classes() {
+            return Err(fail(format!("run of unknown class {}", run.class)));
+        }
+        if run.count == 0 || !run.chunk.is_positive() {
+            return Err(fail("degenerate class run"));
+        }
+        if run.offset.is_negative() {
+            return Err(fail("class run starts at negative class offset"));
+        }
+        // Overflow-safe machine range check.
+        let end = run.first_machine as u128 + run.count as u128;
+        if end > m {
+            return Err(fail(format!(
+                "run machines [{}, {end}) out of range (m = {})",
+                run.first_machine,
+                inst.machines()
+            )));
+        }
+        let covered = run.chunk * Rational::from(run.count);
+        if run.offset + covered > Rational::from(inst.class_load(run.class)) {
+            return Err(fail(format!(
+                "run of class {} exceeds the class load interval",
+                run.class
+            )));
+        }
+        // Run coverage: intersect [offset, offset + count·chunk) with each
+        // job's sub-interval of the canonical class layout.
+        let run_lo = run.offset;
+        let run_hi = run.offset + covered;
+        let mut at = Rational::ZERO;
+        for &job in inst.jobs_of_class(run.class) {
+            let job_lo = at;
+            let job_hi = at + Rational::from(inst.processing_time(job));
+            let lo = if job_lo > run_lo { job_lo } else { run_lo };
+            let hi = if job_hi < run_hi { job_hi } else { run_hi };
+            if hi > lo {
+                coverage[job] += hi - lo;
+            }
+            at = job_hi;
+        }
+    }
+
+    // --- Exact job coverage. ----------------------------------------------
+    for (job, got) in coverage.iter().enumerate() {
+        let need = Rational::from(inst.processing_time(job));
+        if *got != need {
+            return Err(fail(format!("job {job} receives {got} of {need} load")));
+        }
+    }
+
+    // --- Class slots and makespan, polynomial in the encoding size. -------
+    // Sweep the machine axis over the run breakpoints; machines with
+    // explicit pieces are audited individually with their run overlays.
+    let mut makespan = Rational::ZERO;
+    for (&machine, (load, classes)) in &explicit {
+        let mut full_load = *load;
+        let mut full_classes = classes.clone();
+        for run in s.runs() {
+            let lo = run.first_machine as u128;
+            let hi = lo + run.count as u128;
+            if (machine as u128) >= lo && (machine as u128) < hi {
+                full_load += run.chunk;
+                full_classes.insert(run.class);
+            }
+        }
+        if full_classes.len() as u64 > inst.class_slots() {
+            return Err(fail(format!(
+                "machine {machine} holds {} classes with {} slots",
+                full_classes.len(),
+                inst.class_slots()
+            )));
+        }
+        makespan = makespan.max(full_load);
+    }
+    let mut cuts: BTreeSet<u64> = BTreeSet::new();
+    for run in s.runs() {
+        cuts.insert(run.first_machine);
+        cuts.insert(run.first_machine + run.count); // ≤ m, checked above
+    }
+    let cuts: Vec<u64> = cuts.into_iter().collect();
+    for pair in cuts.windows(2) {
+        let (seg_lo, seg_hi) = (pair[0], pair[1]);
+        let mut load = Rational::ZERO;
+        let mut classes: BTreeSet<ClassId> = BTreeSet::new();
+        for run in s.runs() {
+            if run.first_machine <= seg_lo && seg_lo < run.first_machine + run.count {
+                load += run.chunk;
+                classes.insert(run.class);
+            }
+        }
+        if classes.is_empty() {
+            continue;
+        }
+        if classes.len() as u64 > inst.class_slots() {
+            return Err(fail(format!(
+                "machines [{seg_lo}, {seg_hi}) hold {} classes with {} slots",
+                classes.len(),
+                inst.class_slots()
+            )));
+        }
+        // The segment contributes its run load to the makespan through any
+        // machine without explicit pieces (explicit ones were counted with
+        // their overlays above).
+        let explicit_inside = explicit.range(seg_lo..seg_hi).count() as u64;
+        if explicit_inside < seg_hi - seg_lo {
+            makespan = makespan.max(load);
+        }
+    }
+    Ok(makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instance_from_pairs;
+    use crate::schedule::{ClassRun, PreemptivePiece, Schedule};
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn sample() -> Instance {
+        instance_from_pairs(3, 2, &[(10, 0), (20, 1), (5, 0), (8, 2)]).unwrap()
+    }
+
+    #[test]
+    fn nonpreemptive_agrees_with_validator() {
+        let inst = sample();
+        let good = NonPreemptiveSchedule::new(vec![0, 1, 0, 2]);
+        let audit = audit_schedule(&inst, &good.clone().into()).unwrap();
+        assert_eq!(audit.makespan, good.makespan(&inst));
+        for bad in [
+            NonPreemptiveSchedule::new(vec![0, 0, 0, 0]), // class slots
+            NonPreemptiveSchedule::new(vec![0, 1, 0, 5]), // unknown machine
+            NonPreemptiveSchedule::new(vec![0, 1]),       // wrong length
+        ] {
+            assert!(bad.validate(&inst).is_err());
+            assert!(audit_schedule(&inst, &bad.into()).is_err());
+        }
+    }
+
+    #[test]
+    fn preemptive_agrees_with_validator() {
+        let inst = instance_from_pairs(3, 2, &[(10, 0), (6, 1)]).unwrap();
+        let good = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(5, 1))],
+            vec![
+                PreemptivePiece::new(0, r(5, 1), r(5, 1)),
+                PreemptivePiece::new(1, r(0, 1), r(5, 1)),
+            ],
+            vec![PreemptivePiece::new(1, r(5, 1), r(1, 1))],
+        ]);
+        let audit = audit_schedule(&inst, &good.clone().into()).unwrap();
+        assert_eq!(audit.makespan, good.makespan(&inst));
+        // Self-parallel job.
+        let bad = PreemptiveSchedule::new(vec![
+            vec![PreemptivePiece::new(0, r(0, 1), r(5, 1))],
+            vec![
+                PreemptivePiece::new(0, r(4, 1), r(5, 1)),
+                PreemptivePiece::new(1, r(9, 1), r(6, 1)),
+            ],
+        ]);
+        assert!(bad.validate(&inst).is_err());
+        assert!(audit_schedule(&inst, &bad.into()).is_err());
+        // Overlap on one machine.
+        let bad = PreemptiveSchedule::new(vec![vec![
+            PreemptivePiece::new(0, r(0, 1), r(10, 1)),
+            PreemptivePiece::new(1, r(9, 1), r(6, 1)),
+        ]]);
+        assert!(audit_schedule(&inst, &bad.into()).is_err());
+        // Under-coverage.
+        let bad = PreemptiveSchedule::new(vec![vec![
+            PreemptivePiece::new(0, r(0, 1), r(9, 1)),
+            PreemptivePiece::new(1, r(9, 1), r(6, 1)),
+        ]]);
+        assert!(audit_schedule(&inst, &bad.into()).is_err());
+    }
+
+    #[test]
+    fn splittable_agrees_with_validator() {
+        let inst = instance_from_pairs(4, 2, &[(10, 0), (20, 1), (5, 0)]).unwrap();
+        let mut good = SplittableSchedule::new();
+        good.push_run(ClassRun {
+            first_machine: 0,
+            count: 3,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: r(5, 1),
+        });
+        good.push_explicit(3, vec![(1, r(20, 1))]);
+        let audit = audit_schedule(&inst, &good.clone().into()).unwrap();
+        assert_eq!(audit.makespan, good.makespan(&inst));
+
+        // Over-coverage via an extra explicit piece.
+        let mut bad = good.clone();
+        bad.push_explicit(3, vec![(0, Rational::ONE)]);
+        assert!(bad.validate(&inst).is_err());
+        assert!(audit_schedule(&inst, &bad.into()).is_err());
+        // Run beyond the class load interval.
+        let mut bad = SplittableSchedule::new();
+        bad.push_run(ClassRun {
+            first_machine: 0,
+            count: 4,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: r(5, 1),
+        });
+        assert!(audit_schedule(&inst, &bad.into()).is_err());
+    }
+
+    #[test]
+    fn splittable_class_slots_checked_segmentwise() {
+        let one_slot = instance_from_pairs(10, 1, &[(10, 0), (10, 1)]).unwrap();
+        let two_slots = instance_from_pairs(10, 2, &[(10, 0), (10, 1)]).unwrap();
+        let mut s = SplittableSchedule::new();
+        for class in 0..2usize {
+            s.push_run(ClassRun {
+                first_machine: 0,
+                count: 10,
+                class,
+                offset: Rational::ZERO,
+                chunk: Rational::ONE,
+            });
+        }
+        assert!(audit_schedule(&one_slot, &s.clone().into()).is_err());
+        let audit = audit_schedule(&two_slots, &s.clone().into()).unwrap();
+        assert_eq!(audit.makespan, s.makespan(&two_slots));
+    }
+
+    #[test]
+    fn splittable_compact_audit_handles_exponential_machines() {
+        let m: u64 = 1_000_000_000_000;
+        let inst = instance_from_pairs(m, 1, &[(1_000_000, 0), (1, 1)]).unwrap();
+        let spread: u64 = 100_000_000_000;
+        let mut s = SplittableSchedule::new();
+        s.push_run(ClassRun {
+            first_machine: 0,
+            count: spread,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: Rational::new(1_000_000, spread as i128),
+        });
+        s.push_explicit(spread, vec![(1, Rational::ONE)]);
+        let audit = audit_schedule(&inst, &s.clone().into()).unwrap();
+        assert_eq!(audit.makespan, Rational::ONE);
+    }
+
+    #[test]
+    fn partially_explicit_segment_counts_run_load() {
+        let inst = instance_from_pairs(2, 2, &[(6, 0), (4, 1)]).unwrap();
+        let mut s = SplittableSchedule::new();
+        s.push_run(ClassRun {
+            first_machine: 0,
+            count: 2,
+            class: 0,
+            offset: Rational::ZERO,
+            chunk: r(3, 1),
+        });
+        s.push_explicit(0, vec![(1, r(4, 1))]);
+        let audit = audit_schedule(&inst, &s.clone().into()).unwrap();
+        assert_eq!(audit.makespan, r(7, 1));
+        assert_eq!(audit.makespan, s.makespan(&inst));
+    }
+}

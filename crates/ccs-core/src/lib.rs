@@ -14,6 +14,9 @@
 //!   [`schedule::PreemptiveSchedule`],
 //! * [`bounds`] — the lower/upper bounds on the optimal makespan used by all
 //!   algorithms in the paper (`Σp/m`, `p_max`, `c · max_u P_u`, …),
+//! * [`audit`] — an independently written first-principles re-check of every
+//!   feasibility condition plus makespan recomputation, used by the engine's
+//!   `validate` path and the `ccs-verify` certifier,
 //! * [`solver`] — the unified solving surface: the [`Solver`] trait with its
 //!   [`SolveReport`] / [`Guarantee`] types, implemented by every algorithm
 //!   crate and dispatched by `ccs-engine`,
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bounds;
 pub mod ctx;
 pub mod error;
@@ -41,6 +45,7 @@ pub mod rational;
 pub mod schedule;
 pub mod solver;
 
+pub use audit::{audit_schedule, Audit};
 pub use ctx::{CancelFlag, SolveContext, StatsSink, StatsSnapshot};
 pub use error::{CcsError, Result};
 pub use instance::{CanonicalInstance, ClassId, Fingerprint, Instance, InstanceBuilder, JobId};

@@ -482,6 +482,73 @@ mod tests {
     }
 
     #[test]
+    fn from_f64_exact_edge_cases() {
+        // Negative zero is a genuine zero, not a special case.
+        assert_eq!(Rational::from_f64_exact(-0.0), Some(Rational::ZERO));
+
+        // Subnormals: the reduced dyadic of any subnormal keeps an exponent
+        // below -1022, far outside the 2⁶³ denominator headroom — all of
+        // them are rejected, from the largest to the smallest.
+        let smallest_subnormal = f64::from_bits(1); // 2^-1074
+        let largest_subnormal = f64::from_bits((1u64 << 52) - 1);
+        assert!(smallest_subnormal > 0.0 && largest_subnormal < f64::MIN_POSITIVE);
+        assert_eq!(Rational::from_f64_exact(smallest_subnormal), None);
+        assert_eq!(Rational::from_f64_exact(largest_subnormal), None);
+        assert_eq!(Rational::from_f64_exact(-smallest_subnormal), None);
+        // The smallest *normal* double is equally far outside the range.
+        assert_eq!(Rational::from_f64_exact(f64::MIN_POSITIVE), None);
+
+        // Huge magnitudes: f64::MAX (≈ 1.8·10³⁰⁸) and anything at or above
+        // 2⁶³ is rejected; the largest double *below* 2⁶³ converts exactly.
+        assert_eq!(Rational::from_f64_exact(f64::MAX), None);
+        assert_eq!(Rational::from_f64_exact(-f64::MAX), None);
+        assert_eq!(Rational::from_f64_exact(9_223_372_036_854_775_808.0), None); // 2⁶³
+        let below = 9_223_372_036_854_774_784.0f64; // 2⁶³ − 1024, exactly representable
+        assert_eq!(
+            Rational::from_f64_exact(below),
+            Some(Rational::from_int(9_223_372_036_854_774_784i128))
+        );
+        assert_eq!(
+            Rational::from_f64_exact(-below),
+            Some(Rational::from_int(-9_223_372_036_854_774_784i128))
+        );
+        // 2⁶² sits inside the headroom.
+        assert_eq!(
+            Rational::from_f64_exact((1u64 << 62) as f64),
+            Some(Rational::from_int(1i128 << 62))
+        );
+
+        // Denominator boundary: 2⁻⁶³ is the finest admissible dyadic;
+        // one bit finer is rejected even though f64 represents it exactly.
+        assert_eq!(
+            Rational::from_f64_exact(1.0 / 9_223_372_036_854_775_808.0), // 2^-63
+            Some(Rational::new(1, 1i128 << 63))
+        );
+        assert_eq!(
+            Rational::from_f64_exact(1.0 / 18_446_744_073_709_551_616.0), // 2^-64
+            None
+        );
+
+        // Dyadics whose *unreduced* mantissa looks 53-bit wide but whose
+        // reduced form fits: 3 · 2⁶⁰ has a two-bit mantissa.
+        let three_times = 3.0 * (1u64 << 60) as f64;
+        assert_eq!(
+            Rational::from_f64_exact(three_times),
+            Some(Rational::from_int(3i128 << 60))
+        );
+        // A full 53-bit odd mantissa converts exactly at modest scales.
+        let odd = (1u64 << 53) - 1; // 9007199254740991, odd
+        assert_eq!(
+            Rational::from_f64_exact(odd as f64),
+            Some(Rational::from_int(odd as i128))
+        );
+        assert_eq!(
+            Rational::from_f64_exact(odd as f64 / 4.0),
+            Some(Rational::new(odd as i128, 4))
+        );
+    }
+
+    #[test]
     fn recip() {
         assert_eq!(r(2, 3).recip(), r(3, 2));
         assert_eq!(r(-2, 3).recip(), r(-3, 2));

@@ -54,7 +54,7 @@ impl EngineCore {
     }
 
     /// The single run-and-assemble path behind every engine entry point:
-    /// executes the solver, optionally re-validates the schedule, records
+    /// executes the solver, optionally re-certifies the schedule, records
     /// stats, and wraps the report into a [`Solution`].
     pub(crate) fn run(
         &self,
@@ -65,7 +65,20 @@ impl EngineCore {
     ) -> Result<Solution> {
         let report = solver.solve_any_ctx(inst, ctx)?;
         if validate {
-            report.validate(inst)?;
+            // The validate path runs the *independent* first-principles
+            // auditor (`ccs_core::audit`), not `Schedule::validate` — the
+            // latter is the code solvers self-check with, so it cannot catch
+            // a bug shared between a solver and its validator.  The audited
+            // makespan must also match what the solver reported.
+            let audit = ccs_core::audit_schedule(inst, &report.schedule)?;
+            if audit.makespan != report.makespan {
+                return Err(CcsError::internal(format!(
+                    "solver '{}' reported makespan {}, but its schedule audits to {}",
+                    solver.name(),
+                    report.makespan,
+                    audit.makespan
+                )));
+            }
         }
         ctx.record_stats(&report.stats);
         Ok(Solution {

@@ -56,9 +56,13 @@ pub struct SolveRequest {
     /// the request was accepted (submission for [`crate::Engine::submit`],
     /// call entry for [`crate::Engine::solve`]) — queue time counts.
     pub budget: Option<Duration>,
-    /// When set, the engine re-validates the returned schedule against the
-    /// instance before handing it out (defence in depth for service
-    /// deployments; all solvers only emit validated schedules anyway).
+    /// When set, the engine re-certifies the returned schedule against the
+    /// instance before handing it out: every feasibility condition is
+    /// re-checked by the *independent* first-principles auditor
+    /// (`ccs_core::audit`, which shares no code with the solvers' own
+    /// validators) and the reported makespan must match the audited
+    /// recomputation.  Defence in depth for service deployments; all solvers
+    /// only emit validated schedules anyway.
     pub validate: bool,
 }
 

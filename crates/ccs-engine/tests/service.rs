@@ -78,6 +78,85 @@ fn every_solver_family_honours_an_expired_budget() {
     }
 }
 
+/// A hard structure-enumeration instance for the splittable/preemptive
+/// exact solvers: 6 classes on 4 machines with 3 slots maximises the class
+/// structures to enumerate, and 40 near-incommensurable jobs make every
+/// rational max-flow witness expensive (~0.6 s even in release builds).
+fn hard_structure_instance() -> Instance {
+    let jobs: Vec<(u64, u32)> = (0..40)
+        .map(|i| (1_000_003 + 9_973 * i as u64, (i % 6) as u32))
+        .collect();
+    ccs_core::instance::instance_from_pairs(4, 3, &jobs).unwrap()
+}
+
+/// The splittable and preemptive exact families honour a genuine (non-zero)
+/// ~1ms budget mid-enumeration — not just the expired-budget entry check —
+/// and the worker that hit the deadline stays reusable.
+#[test]
+fn splittable_and_preemptive_exact_families_respect_millisecond_budgets() {
+    let engine = Engine::new().with_workers(2);
+    for kind in [ScheduleKind::Splittable, ScheduleKind::Preemptive] {
+        let req = SolveRequest::exact(kind).with_budget(Duration::from_millis(1));
+        let handle = engine.submit(hard_structure_instance(), &req);
+        assert!(
+            matches!(handle.wait(), Err(CcsError::DeadlineExceeded)),
+            "{kind} exact solver ignored its 1ms budget"
+        );
+        // The pool keeps serving the same model afterwards.
+        let tiny =
+            ccs_core::instance::instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        let sol = engine
+            .submit(tiny.clone(), &SolveRequest::exact(kind))
+            .wait()
+            .unwrap();
+        sol.report.validate(&tiny).unwrap();
+    }
+}
+
+/// Cooperative cancellation interrupts in-flight splittable and preemptive
+/// exact runs (the cancel flag is polled inside the structure enumeration
+/// and the witness construction, not just at job entry).
+#[test]
+fn splittable_and_preemptive_submissions_cancel_mid_run() {
+    let engine = Engine::new().with_workers(1);
+    for kind in [ScheduleKind::Splittable, ScheduleKind::Preemptive] {
+        let handle = engine.submit(hard_structure_instance(), &SolveRequest::exact(kind));
+        handle.cancel();
+        assert!(
+            matches!(handle.wait(), Err(CcsError::Cancelled)),
+            "{kind} exact solver did not cancel"
+        );
+    }
+    // The single worker survives both cancellations.
+    let tiny = ccs_core::instance::instance_from_pairs(1, 1, &[(2, 0)]).unwrap();
+    let sol = engine
+        .submit(tiny, &SolveRequest::auto(ScheduleKind::Splittable))
+        .wait()
+        .unwrap();
+    assert_eq!(sol.report.makespan, Rational::from_int(2));
+}
+
+/// The splittable and preemptive PTAS solvers honour a ~1ms budget through
+/// their guess search / configuration ILP (mirrors the non-preemptive case
+/// below).
+#[test]
+fn splittable_and_preemptive_ptas_respect_millisecond_budgets() {
+    let engine = Engine::new();
+    let inst = ccs_gen::uniform(&GenParams::new(48, 12, 10, 2), 3);
+    for kind in [ScheduleKind::Splittable, ScheduleKind::Preemptive] {
+        let req = SolveRequest::epsilon(kind, 0.25)
+            .unwrap()
+            .with_budget(Duration::from_millis(1));
+        match engine.solve(&inst, &req) {
+            Err(CcsError::DeadlineExceeded) => {}
+            // Permitted only if the scheme finished inside the budget; the
+            // schedule must then be genuine.
+            Ok(sol) => sol.report.validate(&inst).unwrap(),
+            Err(other) => panic!("{kind}: unexpected error: {other}"),
+        }
+    }
+}
+
 /// The genuine (non-zero) budget path for the PTAS family: a tight epsilon
 /// on a medium instance runs the configuration ILP long enough that a ~1ms
 /// budget interrupts it mid-search.

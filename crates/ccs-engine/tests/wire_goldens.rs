@@ -1,0 +1,126 @@
+//! Golden wire-frame tests for **error** responses, alongside the
+//! solution-frame goldens exercised by the `serve-smoke` CI job.
+//!
+//! Two committed fixtures under `ci/` pin the error side of `ccs-wire/1`:
+//!
+//! * `wire-error-frames.ndjson` — one frame per [`CcsError`] variant
+//!   (including `Cancelled`, which a batch service run cannot trigger
+//!   deterministically), pinned byte-for-byte against the codec,
+//! * `serve-error-requests.ndjson` / `serve-error-expected.ndjson` — request
+//!   lines that each provoke an error (`budget_ms: 0` deadline, malformed
+//!   JSON, missing/unknown model, schema skew, negative budget) and the
+//!   exact response bytes; CI additionally pipes the same pair through the
+//!   real `ccs-serve` binary.
+//!
+//! Any codec change that alters error bytes must consciously update the
+//! fixtures — that is the point.
+
+use ccs_core::{CcsError, Rational};
+use ccs_engine::wire::{self, WireResponse};
+use ccs_engine::{Engine, SolveRequest};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../ci")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// The error variants in the order they appear in `wire-error-frames.ndjson`.
+fn golden_errors() -> Vec<(&'static str, CcsError)> {
+    vec![
+        ("deadline", CcsError::DeadlineExceeded),
+        ("cancelled", CcsError::Cancelled),
+        ("empty", CcsError::invalid_instance("instance has no jobs")),
+        (
+            "bad-schedule",
+            CcsError::invalid_schedule("job 0 covered with load 1, needs exactly 2"),
+        ),
+        (
+            "infeasible",
+            CcsError::infeasible("more classes than class slots"),
+        ),
+        (
+            "internal",
+            CcsError::internal("solver 'x' reported makespan 3, but its schedule audits to 4"),
+        ),
+        (
+            "bad-eps",
+            CcsError::invalid_parameter("epsilon must be a positive finite number"),
+        ),
+    ]
+}
+
+/// Every error variant serialises to exactly the committed golden bytes and
+/// parses back to the identical error.
+#[test]
+fn error_frames_match_the_committed_goldens() {
+    let golden = fixture("wire-error-frames.ndjson");
+    let lines: Vec<&str> = golden.lines().collect();
+    let cases = golden_errors();
+    assert_eq!(lines.len(), cases.len(), "fixture drifted from the test");
+    for ((id, error), line) in cases.into_iter().zip(lines) {
+        let frame = wire::error_response_to_json(id, &error).to_json();
+        assert_eq!(frame, line, "frame bytes for '{id}'");
+        let back: WireResponse = wire::response_from_line(line).unwrap();
+        assert_eq!(back.id, id);
+        assert_eq!(back.outcome, Err(error), "round trip for '{id}'");
+    }
+}
+
+/// Replays `serve-error-requests.ndjson` through the engine with the same
+/// request handling as `ccs-serve` (including the malformed-line id
+/// recovery) and requires byte-identical responses to the committed
+/// expectation.  CI runs the same pair through the real binary.
+#[test]
+fn serve_error_requests_reproduce_the_expected_frames() {
+    let engine = Engine::new();
+    let requests = fixture("serve-error-requests.ndjson");
+    let expected = fixture("serve-error-expected.ndjson");
+    let mut produced = String::new();
+    for line in requests.lines().filter(|line| !line.trim().is_empty()) {
+        let frame = match wire::request_from_line(line) {
+            Ok(request) => match engine.solve(&request.instance, &request.request) {
+                Ok(solution) => wire::solution_to_json(&request.id, &solution).to_json(),
+                Err(error) => wire::error_response_to_json(&request.id, &error).to_json(),
+            },
+            Err(error) => {
+                // Mirror ccs-serve: salvage the id if the line parses as
+                // JSON at all.
+                let id = ccs_core::json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(|i| i.as_str().map(str::to_string)))
+                    .unwrap_or_default();
+                wire::error_response_to_json(&id, &error).to_json()
+            }
+        };
+        produced.push_str(&frame);
+        produced.push('\n');
+    }
+    assert_eq!(produced, expected);
+}
+
+/// The deadline golden is deterministic: a zero budget trips the first
+/// checkpoint before any solver work, no matter how trivial the instance.
+#[test]
+fn zero_budget_requests_always_exceed_their_deadline() {
+    let engine = Engine::new();
+    let requests = fixture("serve-error-requests.ndjson");
+    let request = wire::request_from_line(requests.lines().next().unwrap()).unwrap();
+    assert_eq!(request.request.budget, Some(std::time::Duration::ZERO));
+    for _ in 0..10 {
+        match engine.solve(&request.instance, &request.request) {
+            Err(CcsError::DeadlineExceeded) => {}
+            other => panic!("zero budget must deterministically expire: {other:?}"),
+        }
+    }
+    // The same instance without the budget solves fine — the error comes
+    // from the budget, not the instance.
+    let unbudgeted = SolveRequest {
+        budget: None,
+        ..request.request
+    };
+    let solution = engine.solve(&request.instance, &unbudgeted).unwrap();
+    assert_eq!(solution.report.makespan, Rational::from_int(7));
+}

@@ -1,0 +1,220 @@
+//! Deterministic instance streams for the differential fuzz subsystem
+//! (`ccs-verify`).
+//!
+//! The differential oracle cross-examines *every* registry solver — the
+//! exponential exact solvers included — so every instance emitted here stays
+//! inside the exact solvers' hard size limits (≤ 4 machines, ≤ 6 classes,
+//! and few enough jobs that branch-and-bound answers in microseconds) while
+//! still rotating through the shapes that historically break schedulers:
+//! equal processing times (maximal tie-breaking freedom), a single dominant
+//! class, exactly `C = c·m` classes (every slot needed), powers of two,
+//! the adversarial round-robin family, and plain uniform noise.
+//!
+//! Streams are pure functions of their seed: the same seed replays the same
+//! instance sequence on every platform, which is what lets CI pin a seed and
+//! lets a failure report name an instance by `(seed, index)`.
+
+use crate::rng::Rng;
+use crate::{adversarial_round_robin, build, clamp_class, GenParams};
+use ccs_core::Instance;
+
+/// Upper bounds keeping every emitted instance inside the exact solvers'
+/// limits (4 machines / 6 classes for the splittable structure enumeration,
+/// and small job counts for the non-preemptive branch-and-bound).
+const MAX_FUZZ_MACHINES: u64 = 4;
+const MAX_FUZZ_CLASSES: u32 = 6;
+const MAX_FUZZ_JOBS: usize = 10;
+
+/// An infinite, deterministic stream of fuzz instances.
+///
+/// ```
+/// use ccs_gen::fuzz::FuzzStream;
+/// let a: Vec<_> = FuzzStream::new(7).take(5).collect();
+/// let b: Vec<_> = FuzzStream::new(7).take(5).collect();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuzzStream {
+    rng: Rng,
+    index: u64,
+}
+
+impl FuzzStream {
+    /// Starts the stream for a seed.
+    pub fn new(seed: u64) -> Self {
+        FuzzStream {
+            rng: Rng::seed_from_u64(seed ^ 0xF0_55_F0_55),
+            index: 0,
+        }
+    }
+
+    /// Index of the instance [`Iterator::next`] will produce (for failure
+    /// reports of the form `(seed, index)`).
+    pub fn next_index(&self) -> u64 {
+        self.index
+    }
+}
+
+impl Iterator for FuzzStream {
+    type Item = Instance;
+
+    fn next(&mut self) -> Option<Instance> {
+        let shape = self.index % 8;
+        self.index += 1;
+        Some(fuzz_instance(&mut self.rng, shape))
+    }
+}
+
+/// One fuzz instance of the given shape (`shape` is taken modulo the number
+/// of shapes, so any `u64` is valid).
+fn fuzz_instance(rng: &mut Rng, shape: u64) -> Instance {
+    let machines = rng.range_u64(1, MAX_FUZZ_MACHINES);
+    let class_slots = rng.range_u64(1, 3);
+    let slot_budget = (machines * class_slots).min(MAX_FUZZ_CLASSES as u64) as u32;
+    let jobs = rng.range_usize(2, MAX_FUZZ_JOBS);
+    let params = GenParams {
+        jobs,
+        machines,
+        classes: rng.range_u64(1, slot_budget as u64) as u32,
+        class_slots,
+        p_min: 1,
+        p_max: 20,
+    };
+    match shape % 8 {
+        // Uniform noise.
+        0 => draw(rng, &params, |rng, p| rng.range_u64(p.p_min, p.p_max)),
+        // Equal processing times: maximal tie-breaking freedom.
+        1 => {
+            let fixed = rng.range_u64(1, 12);
+            draw(rng, &params, move |_, _| fixed)
+        }
+        // A single class: the class constraint is all that matters.
+        2 => {
+            let single = GenParams {
+                classes: 1,
+                ..params
+            };
+            draw(rng, &single, |rng, p| rng.range_u64(p.p_min, p.p_max))
+        }
+        // Exactly C = c·m classes: every class slot is needed.
+        3 => {
+            let tight = GenParams {
+                classes: slot_budget.max(1),
+                jobs: jobs.max(slot_budget as usize),
+                ..params
+            };
+            let mut instance_jobs: Vec<(u64, u32)> = Vec::with_capacity(tight.jobs);
+            // One job per class first (so all C classes exist), then noise.
+            for class in 0..tight.classes {
+                instance_jobs.push((rng.range_u64(tight.p_min, tight.p_max), class));
+            }
+            for _ in tight.classes as usize..tight.jobs {
+                let class = clamp_class(rng.below_u32(tight.classes), &tight);
+                instance_jobs.push((rng.range_u64(tight.p_min, tight.p_max), class));
+            }
+            build(&tight, instance_jobs)
+        }
+        // Adversarial round-robin: pushes whole-class heuristics to their
+        // worst case.
+        4 => adversarial_round_robin(rng.range_u64(1, MAX_FUZZ_MACHINES), rng.range_u64(2, 10)),
+        // Powers of two: exercises exact halving/rounding paths.
+        5 => draw(rng, &params, |rng, _| 1 << rng.below_u32(5)),
+        // One huge job among dwarfs: p_max dominates every bound.
+        6 => {
+            let mut huge = false;
+            draw(rng, &params, move |rng, p| {
+                if huge {
+                    rng.range_u64(p.p_min, 3)
+                } else {
+                    huge = true;
+                    rng.range_u64(30, 60)
+                }
+            })
+        }
+        // Boundary shapes: one machine or one job.
+        _ => {
+            if rng.gen_bool(0.5) {
+                let one = GenParams {
+                    machines: 1,
+                    classes: params.classes.min(class_slots as u32).max(1),
+                    ..params
+                };
+                draw(rng, &one, |rng, p| rng.range_u64(p.p_min, p.p_max))
+            } else {
+                let one = GenParams {
+                    jobs: 1,
+                    classes: 1,
+                    ..params
+                };
+                draw(rng, &one, |rng, p| rng.range_u64(p.p_min, p.p_max))
+            }
+        }
+    }
+}
+
+fn draw(
+    rng: &mut Rng,
+    params: &GenParams,
+    mut time: impl FnMut(&mut Rng, &GenParams) -> u64,
+) -> Instance {
+    let jobs = (0..params.jobs)
+        .map(|_| {
+            let p = time(rng, params).max(1);
+            let c = clamp_class(rng.below_u32(params.classes.max(1)), params);
+            (p, c)
+        })
+        .collect();
+    build(params, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_feasible() {
+        let a: Vec<Instance> = FuzzStream::new(1).take(64).collect();
+        let b: Vec<Instance> = FuzzStream::new(1).take(64).collect();
+        assert_eq!(a, b);
+        let other: Vec<Instance> = FuzzStream::new(2).take(64).collect();
+        assert_ne!(a, other);
+        for inst in &a {
+            assert!(inst.is_feasible(), "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn stream_respects_exact_solver_limits() {
+        for inst in FuzzStream::new(99).take(256) {
+            assert!(inst.machines() <= MAX_FUZZ_MACHINES);
+            assert!(inst.num_classes() <= MAX_FUZZ_CLASSES as usize);
+            assert!(inst.num_jobs() <= MAX_FUZZ_JOBS);
+        }
+    }
+
+    #[test]
+    fn stream_rotates_through_diverse_shapes() {
+        let instances: Vec<Instance> = FuzzStream::new(5).take(64).collect();
+        assert!(instances.iter().any(|i| i.num_classes() == 1));
+        assert!(instances.iter().any(|i| i.machines() == 1));
+        assert!(instances.iter().any(|i| i.num_jobs() == 1));
+        // The equal-times shape produces instances with one distinct time.
+        assert!(instances.iter().any(|i| {
+            let mut times = i.processing_times().to_vec();
+            times.dedup();
+            i.num_jobs() > 2 && times.len() == 1
+        }));
+        assert!(instances
+            .iter()
+            .any(|i| i.num_classes() as u64 == i.machines() * i.class_slots()));
+    }
+
+    #[test]
+    fn next_index_tracks_position() {
+        let mut stream = FuzzStream::new(3);
+        assert_eq!(stream.next_index(), 0);
+        stream.next();
+        stream.next();
+        assert_eq!(stream.next_index(), 2);
+    }
+}

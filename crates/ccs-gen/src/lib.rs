@@ -21,13 +21,17 @@
 //! * [`adversarial_round_robin`] — instances on which the simple round-robin
 //!   based algorithms are pushed towards their worst-case factors,
 //! * [`tiny_random`] — very small instances for comparisons against the exact
-//!   solvers.
+//!   solvers,
+//! * [`fuzz`] — rotating-shape instance streams sized for the differential
+//!   oracle of `ccs-verify` (every instance stays within the exact solvers'
+//!   hard limits so the oracle always has a ground-truth optimum).
 //!
 //! All generators are deterministic given a seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod rng;
 
 use ccs_core::{Instance, InstanceBuilder};
@@ -84,7 +88,7 @@ impl GenParams {
     }
 }
 
-fn build(params: &GenParams, jobs: Vec<(u64, u32)>) -> Instance {
+pub(crate) fn build(params: &GenParams, jobs: Vec<(u64, u32)>) -> Instance {
     let mut b = InstanceBuilder::new(params.machines, params.class_slots);
     for (p, c) in jobs {
         b = b.job(p, c);
@@ -95,7 +99,7 @@ fn build(params: &GenParams, jobs: Vec<(u64, u32)>) -> Instance {
 /// Ensures the generated class labels never exceed the slot budget `c·m`
 /// (which would make the instance trivially infeasible): labels are folded
 /// into the feasible range.
-fn clamp_class(label: u32, params: &GenParams) -> u32 {
+pub(crate) fn clamp_class(label: u32, params: &GenParams) -> u32 {
     let budget =
         (params.class_slots as u128 * params.machines as u128).min(u32::MAX as u128) as u32;
     let limit = params.classes.min(budget.max(1));

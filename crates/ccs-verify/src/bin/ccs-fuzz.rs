@@ -1,0 +1,341 @@
+//! `ccs-fuzz` — the differential fuzz driver.
+//!
+//! Streams deterministic instances from `ccs_gen::fuzz` through the
+//! differential oracle (every registry solver, cross-checked) and the
+//! metamorphic invariants; any disagreement is shrunk to a 1-minimal
+//! counterexample and written as a replayable `ccs-wire/1` request frame.
+//!
+//! ```text
+//! ccs-fuzz --seed 1 --cases 500            # differential sweep, exit 1 on any finding
+//! ccs-fuzz --seed 1 --broken               # self-check: a planted bug must be caught
+//! ccs-fuzz --seed 7 --time-budget-secs 900 # nightly: run until the clock, not a count
+//! ```
+//!
+//! Flags:
+//! * `--seed <n>` — stream seed (default 1); `(seed, index)` names any case,
+//! * `--cases <n>` — number of instances to examine (default 500),
+//! * `--time-budget-secs <n>` — stop after this much wall clock, whichever
+//!   of count/clock comes first (for time-boxed CI jobs),
+//! * `--metamorphic-every <n>` — run the metamorphic invariants on every
+//!   n-th case (default 8; `0` disables),
+//! * `--solver-budget-ms <n>` — wall-clock budget per solver run (default
+//!   100; `0` removes the budget).  Budgeted-out solvers are skipped, never
+//!   flagged — the accuracy-exponential schemes take whole seconds on
+//!   adversarial shapes and a fuzz campaign needs breadth,
+//! * `--out <dir>` — where counterexample frames are written
+//!   (default `fuzz-out`),
+//! * `--broken` — register the intentionally broken solver and *expect* it
+//!   to be caught with a counterexample of at most 4 jobs: exit 0 when the
+//!   planted bug is found and minimized, 1 otherwise.
+
+use ccs_core::{Instance, ScheduleKind};
+use ccs_engine::{Engine, SolveRequest};
+use ccs_verify::broken::{engine_with_broken_solver, BROKEN_SOLVER_NAME};
+use ccs_verify::minimize::minimize;
+use ccs_verify::oracle::OracleOptions;
+use ccs_verify::{
+    counterexample_frame, differential_check_with, metamorphic_check_with, Disagreement,
+};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Options {
+    seed: u64,
+    cases: u64,
+    time_budget: Option<Duration>,
+    metamorphic_every: u64,
+    oracle: OracleOptions,
+    out: String,
+    broken: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 1,
+            cases: 500,
+            time_budget: None,
+            metamorphic_every: 8,
+            oracle: OracleOptions::default(),
+            out: "fuzz-out".to_string(),
+            broken: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ccs-fuzz [--seed <n>] [--cases <n>] [--time-budget-secs <n>] \
+         [--metamorphic-every <n>] [--solver-budget-ms <n>] [--out <dir>] [--broken]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        match args.next().and_then(|value| value.parse::<u64>().ok()) {
+            Some(value) => value,
+            None => {
+                eprintln!("{flag} requires a non-negative integer");
+                usage();
+            }
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => options.seed = number(&mut args, "--seed"),
+            "--cases" => options.cases = number(&mut args, "--cases"),
+            "--time-budget-secs" => {
+                options.time_budget =
+                    Some(Duration::from_secs(number(&mut args, "--time-budget-secs")));
+            }
+            "--metamorphic-every" => {
+                options.metamorphic_every = number(&mut args, "--metamorphic-every");
+            }
+            "--solver-budget-ms" => {
+                let millis = number(&mut args, "--solver-budget-ms");
+                options.oracle.solver_budget = (millis > 0).then(|| Duration::from_millis(millis));
+            }
+            "--out" => match args.next() {
+                Some(dir) => options.out = dir,
+                None => {
+                    eprintln!("--out requires a directory");
+                    usage();
+                }
+            },
+            "--broken" => options.broken = true,
+            _ => {
+                eprintln!("unrecognised argument: {arg}");
+                usage();
+            }
+        }
+    }
+    options
+}
+
+/// A finding together with the instance it reproduces on.
+struct Finding {
+    case: u64,
+    instance: Instance,
+    disagreement: Disagreement,
+    /// The seed `metamorphic_check_with` ran under, for findings that only
+    /// manifest under a transformation (`None` for differential findings).
+    metamorphic_seed: Option<u64>,
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    let engine = if options.broken {
+        engine_with_broken_solver()
+    } else {
+        Engine::new()
+    };
+    eprintln!(
+        "ccs-fuzz: seed {} · up to {} cases · {} solvers{}{}",
+        options.seed,
+        options.cases,
+        engine.registry().len(),
+        options
+            .time_budget
+            .map(|budget| format!(" · {}s budget", budget.as_secs()))
+            .unwrap_or_default(),
+        if options.broken {
+            " · planted bug active"
+        } else {
+            ""
+        },
+    );
+
+    let started = Instant::now();
+    let mut stream = ccs_gen::fuzz::FuzzStream::new(options.seed);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut examined = 0u64;
+    let mut solver_runs = 0usize;
+    for case in 0..options.cases {
+        if let Some(budget) = options.time_budget {
+            if started.elapsed() >= budget {
+                eprintln!("ccs-fuzz: time budget reached after {examined} cases");
+                break;
+            }
+        }
+        let instance = stream.next().expect("infinite stream");
+        examined += 1;
+        let report = differential_check_with(&engine, &instance, &options.oracle);
+        solver_runs += report.solvers_run;
+        for disagreement in report.disagreements {
+            findings.push(Finding {
+                case,
+                instance: instance.clone(),
+                disagreement,
+                metamorphic_seed: None,
+            });
+        }
+        if options.metamorphic_every > 0 && case % options.metamorphic_every == 0 {
+            let seed = options.seed ^ case;
+            for disagreement in metamorphic_check_with(&engine, &instance, seed, &options.oracle) {
+                findings.push(Finding {
+                    case,
+                    instance: instance.clone(),
+                    disagreement,
+                    metamorphic_seed: Some(seed),
+                });
+            }
+        }
+        if options.broken && !findings.is_empty() {
+            break; // the planted bug is found; move on to minimization
+        }
+    }
+
+    eprintln!(
+        "ccs-fuzz: examined {examined} cases ({solver_runs} solver runs) in {:.2}s — {} finding(s)",
+        started.elapsed().as_secs_f64(),
+        findings.len()
+    );
+
+    if options.broken {
+        return verdict_broken(&engine, &options, &findings);
+    }
+    if findings.is_empty() {
+        println!(
+            "OK: {examined} cases, {solver_runs} solver runs, zero disagreements (seed {})",
+            options.seed
+        );
+        return ExitCode::SUCCESS;
+    }
+    report_findings(&engine, &options, &findings);
+    ExitCode::FAILURE
+}
+
+/// Minimizes and writes every finding; used on real failures.
+///
+/// One root-cause bug typically produces several disagreements per case
+/// (exact-consensus plus certifier checks) across many cases, and every
+/// minimization candidate costs a full differential sweep — so findings are
+/// deduplicated by `(solver, check)` before the expensive shrink, keeping
+/// the earliest witness of each.
+fn report_findings(engine: &Engine, options: &Options, findings: &[Finding]) {
+    if let Err(error) = std::fs::create_dir_all(&options.out) {
+        eprintln!("ccs-fuzz: cannot create '{}': {error}", options.out);
+        return;
+    }
+    let mut seen: std::collections::BTreeSet<(String, String)> = Default::default();
+    let mut written = 0usize;
+    for finding in findings {
+        eprintln!(
+            "FAIL case {} (seed {}): {}",
+            finding.case, options.seed, finding.disagreement
+        );
+        let key = (
+            finding.disagreement.solver.clone(),
+            finding.disagreement.check.clone(),
+        );
+        if !seen.insert(key) {
+            continue; // same root cause already minimized
+        }
+        let (instance, jobs) = minimize_finding(engine, options, finding);
+        let path = format!("{}/counterexample-{written}.ndjson", options.out);
+        let frame = frame_for(engine, &instance, finding, written);
+        eprintln!("  minimized to {jobs} job(s); wrote {path}");
+        if let Err(error) = std::fs::write(&path, frame + "\n") {
+            eprintln!("  cannot write '{path}': {error}");
+        }
+        written += 1;
+    }
+}
+
+/// Shrinks a finding's instance while the same failure keeps reproducing:
+/// differential findings re-run the oracle, metamorphic findings re-run the
+/// metamorphic invariants under the seed that exposed them.
+fn minimize_finding(engine: &Engine, options: &Options, finding: &Finding) -> (Instance, usize) {
+    let solver = finding.disagreement.solver.clone();
+    let minimized = match finding.metamorphic_seed {
+        None => minimize(&finding.instance, |candidate| {
+            differential_check_with(engine, candidate, &options.oracle)
+                .disagreements
+                .iter()
+                .any(|disagreement| disagreement.solver == solver)
+        }),
+        Some(seed) => minimize(&finding.instance, |candidate| {
+            metamorphic_check_with(engine, candidate, seed, &options.oracle)
+                .iter()
+                .any(|disagreement| disagreement.solver == solver)
+        }),
+    };
+    let jobs = minimized.instance.num_jobs();
+    (minimized.instance, jobs)
+}
+
+/// Builds the replayable `ccs-wire/1` frame for a minimized counterexample,
+/// requesting the exact optimum of the *implicated solver's* placement model
+/// (pseudo-solvers like `canonical-fingerprint` default to non-preemptive —
+/// their findings are about the instance, not a schedule).
+///
+/// Metamorphic findings only manifest after re-applying the transform, so
+/// their frame id records the metamorphic seed: feed the frame's instance
+/// to `metamorphic_check_with` under that seed to reproduce.
+fn frame_for(engine: &Engine, instance: &Instance, finding: &Finding, index: usize) -> String {
+    let disagreement = &finding.disagreement;
+    let model = engine
+        .registry()
+        .get(&disagreement.solver)
+        .map(|solver| solver.kind())
+        .unwrap_or(ScheduleKind::NonPreemptive);
+    let seed_suffix = finding
+        .metamorphic_seed
+        .map(|seed| format!("-seed-{seed}"))
+        .unwrap_or_default();
+    counterexample_frame(
+        &format!(
+            "counterexample-{index}-{}-{}{seed_suffix}",
+            disagreement.solver, disagreement.check
+        ),
+        instance,
+        &SolveRequest::exact(model),
+    )
+}
+
+/// `--broken` self-check: the planted bug must be caught and must minimize
+/// to at most 4 jobs; any finding implicating a *real* solver is a failure.
+fn verdict_broken(engine: &Engine, options: &Options, findings: &[Finding]) -> ExitCode {
+    let (planted, real): (Vec<&Finding>, Vec<&Finding>) = findings
+        .iter()
+        .partition(|finding| finding.disagreement.solver == BROKEN_SOLVER_NAME);
+    if !real.is_empty() {
+        for finding in &real {
+            eprintln!(
+                "FAIL: real solver implicated while fuzzing the planted bug: {}",
+                finding.disagreement
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    let Some(finding) = planted.first() else {
+        eprintln!(
+            "FAIL: the planted broken solver survived {} cases undetected",
+            options.cases
+        );
+        return ExitCode::FAILURE;
+    };
+    let (instance, jobs) = minimize_finding(engine, options, finding);
+    let frame = frame_for(engine, &instance, finding, 0);
+    if let Err(error) = std::fs::create_dir_all(&options.out) {
+        eprintln!("ccs-fuzz: cannot create '{}': {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    let path = format!("{}/broken-counterexample.ndjson", options.out);
+    if let Err(error) = std::fs::write(&path, frame.clone() + "\n") {
+        eprintln!("ccs-fuzz: cannot write '{path}': {error}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "OK: planted bug caught at case {} ({}), minimized to {jobs} job(s): {frame}",
+        finding.case, finding.disagreement
+    );
+    if jobs > 4 {
+        eprintln!("FAIL: minimized counterexample still has {jobs} > 4 jobs");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

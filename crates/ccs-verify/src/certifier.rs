@@ -1,0 +1,339 @@
+//! The certificate checker: re-examines a solver's report from first
+//! principles.
+//!
+//! A [`Certificate`] is a list of named checks, each of which either
+//! **passes**, records a **violation** (the report is provably wrong), or is
+//! **inconclusive** (nothing provable either way without the true optimum —
+//! e.g. an approximation factor that exceeds the certified lower bound but
+//! might still be within factor·OPT).  The differential oracle closes the
+//! inconclusive gap by supplying the exact solver's optimum as `known_opt`.
+//!
+//! Checks:
+//!
+//! 1. `feasibility` — the schedule satisfies every condition of its model,
+//!    re-validated by the independent auditor [`ccs_core::audit`],
+//! 2. `makespan` — the reported makespan equals the audited recomputation,
+//! 3. `lower-bound` — the solver's own lower bound never exceeds its
+//!    makespan nor the known optimum (and equals the makespan for exact
+//!    solvers),
+//! 4. `certified-bound` — the audited makespan is at least the certified
+//!    lower bound of [`crate::bounds`] (a feasible schedule below a certified
+//!    bound means the bound machinery or the audit itself is broken),
+//! 5. `guarantee` — the claimed factor holds: against `known_opt` when
+//!    available (violations are provable), otherwise against the certified
+//!    lower bound (only satisfaction is provable; excess is inconclusive).
+
+use crate::bounds::certified_lower_bound;
+use ccs_core::audit::audit_schedule;
+use ccs_core::solver::SolveReport;
+use ccs_core::{AnySchedule, Guarantee, Instance, Rational, Schedule};
+
+/// Outcome of a single certificate check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property provably holds.
+    Pass,
+    /// The property provably fails; the message names the witness.
+    Violation(String),
+    /// Not provable either way from the available information.
+    Inconclusive(String),
+}
+
+/// One named check of a [`Certificate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// Stable check name (`"feasibility"`, `"makespan"`, …).
+    pub name: &'static str,
+    /// What the check concluded.
+    pub verdict: Verdict,
+}
+
+/// The full certificate of one solve report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// All checks, in the order of the module documentation.
+    pub checks: Vec<Check>,
+}
+
+impl Certificate {
+    /// The provable violations (empty for a clean certificate).
+    pub fn violations(&self) -> Vec<&Check> {
+        self.checks
+            .iter()
+            .filter(|check| matches!(check.verdict, Verdict::Violation(_)))
+            .collect()
+    }
+
+    /// `true` when no check found a provable violation (inconclusive checks
+    /// are allowed — absence of the true optimum is not a defect).
+    pub fn is_clean(&self) -> bool {
+        self.violations().is_empty()
+    }
+}
+
+/// Certifies a solve report against the instance it claims to solve.
+///
+/// `guarantee` is the a-priori claim of the solver that produced the report;
+/// `known_opt` is the independently established optimum of the report's
+/// placement model, when one is available (see [`crate::oracle`]).
+pub fn certify(
+    inst: &Instance,
+    guarantee: Guarantee,
+    report: &SolveReport<AnySchedule>,
+    known_opt: Option<Rational>,
+) -> Certificate {
+    let mut checks = Vec::with_capacity(5);
+    let kind = report.schedule.kind();
+    let certified = certified_lower_bound(inst, kind);
+
+    // 1 + 2: independent feasibility audit and makespan recomputation.
+    let audited = match audit_schedule(inst, &report.schedule) {
+        Ok(audit) => {
+            checks.push(Check {
+                name: "feasibility",
+                verdict: Verdict::Pass,
+            });
+            checks.push(Check {
+                name: "makespan",
+                verdict: if audit.makespan == report.makespan {
+                    Verdict::Pass
+                } else {
+                    Verdict::Violation(format!(
+                        "reported makespan {} but the schedule yields {}",
+                        report.makespan, audit.makespan
+                    ))
+                },
+            });
+            Some(audit.makespan)
+        }
+        Err(error) => {
+            checks.push(Check {
+                name: "feasibility",
+                verdict: Verdict::Violation(error.to_string()),
+            });
+            checks.push(Check {
+                name: "makespan",
+                verdict: Verdict::Inconclusive(
+                    "no audited makespan for an infeasible schedule".to_string(),
+                ),
+            });
+            None
+        }
+    };
+
+    // 3: the solver's own lower bound.  A claimed bound above the *known
+    // optimum* is unsound even when it sits below the makespan — exactly
+    // the bug class the splittable PTAS's clamped bound belonged to.
+    checks.push(Check {
+        name: "lower-bound",
+        verdict: if report.lower_bound > report.makespan {
+            Verdict::Violation(format!(
+                "claimed lower bound {} exceeds makespan {}",
+                report.lower_bound, report.makespan
+            ))
+        } else if matches!(known_opt, Some(opt) if report.lower_bound > opt) {
+            Verdict::Violation(format!(
+                "claimed lower bound {} exceeds the established optimum {}",
+                report.lower_bound,
+                known_opt.expect("matched Some")
+            ))
+        } else if guarantee == Guarantee::Exact && report.lower_bound != report.makespan {
+            Verdict::Violation(format!(
+                "exact solver's lower bound {} differs from its makespan {}",
+                report.lower_bound, report.makespan
+            ))
+        } else {
+            Verdict::Pass
+        },
+    });
+
+    // 4: no feasible schedule beats a certified bound.
+    checks.push(Check {
+        name: "certified-bound",
+        verdict: match audited {
+            Some(makespan) if makespan < certified => Verdict::Violation(format!(
+                "audited makespan {makespan} beats the certified lower bound {certified}"
+            )),
+            Some(_) => Verdict::Pass,
+            None => Verdict::Inconclusive("schedule is infeasible".to_string()),
+        },
+    });
+
+    // 5: the claimed guarantee.
+    let makespan = audited.unwrap_or(report.makespan);
+    checks.push(Check {
+        name: "guarantee",
+        verdict: audit_guarantee(guarantee, makespan, certified, known_opt),
+    });
+
+    Certificate { checks }
+}
+
+fn audit_guarantee(
+    guarantee: Guarantee,
+    makespan: Rational,
+    certified: Rational,
+    known_opt: Option<Rational>,
+) -> Verdict {
+    // Any feasible schedule upper-bounds the optimum, so no makespan may
+    // undercut a known optimum.
+    if let Some(opt) = known_opt {
+        if makespan < opt {
+            return Verdict::Violation(format!(
+                "makespan {makespan} beats the established optimum {opt}"
+            ));
+        }
+    }
+    let factor = match guarantee {
+        Guarantee::Exact => Rational::ONE,
+        Guarantee::Factor(factor) => factor,
+        // Heuristics promise nothing; there is nothing to audit.
+        Guarantee::Heuristic => return Verdict::Pass,
+    };
+    match known_opt {
+        Some(opt) => {
+            if makespan > factor * opt {
+                Verdict::Violation(format!(
+                    "makespan {makespan} exceeds {factor} × optimum {opt}"
+                ))
+            } else {
+                Verdict::Pass
+            }
+        }
+        None => {
+            // Without the optimum only satisfaction is provable:
+            // makespan ≤ factor · certified ≤ factor · OPT.
+            if (certified.is_positive() && makespan <= factor * certified) || makespan.is_zero() {
+                Verdict::Pass
+            } else {
+                Verdict::Inconclusive(format!(
+                    "makespan {makespan} vs factor {factor} × certified bound {certified}; \
+                     needs the true optimum to decide"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+    use ccs_core::solver::SolveStats;
+    use ccs_core::NonPreemptiveSchedule;
+
+    fn report(
+        inst: &Instance,
+        assignment: Vec<u64>,
+        lower_bound: Rational,
+    ) -> SolveReport<AnySchedule> {
+        let schedule = NonPreemptiveSchedule::new(assignment);
+        let makespan = schedule.makespan(inst);
+        SolveReport {
+            schedule: schedule.into(),
+            makespan,
+            lower_bound,
+            stats: SolveStats::default(),
+        }
+    }
+
+    #[test]
+    fn clean_exact_report_passes_every_check() {
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        let rep = report(&inst, vec![0, 0, 1], Rational::from_int(7));
+        let cert = certify(&inst, Guarantee::Exact, &rep, Some(Rational::from_int(7)));
+        assert!(cert.is_clean(), "{cert:?}");
+        assert!(cert
+            .checks
+            .iter()
+            .all(|check| check.verdict == Verdict::Pass));
+    }
+
+    #[test]
+    fn infeasible_schedule_is_a_violation() {
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        // Machine 0 holds both classes with one slot.
+        let rep = report(&inst, vec![0, 0, 0], Rational::from_int(7));
+        let cert = certify(&inst, Guarantee::Exact, &rep, None);
+        assert!(!cert.is_clean());
+        assert_eq!(cert.violations()[0].name, "feasibility");
+    }
+
+    #[test]
+    fn misreported_makespan_is_caught() {
+        let inst = instance_from_pairs(2, 1, &[(6, 0), (1, 0), (5, 1)]).unwrap();
+        let mut rep = report(&inst, vec![0, 0, 1], Rational::from_int(5));
+        rep.makespan = Rational::from_int(5); // lies: the schedule yields 7
+        let cert = certify(&inst, Guarantee::Exact, &rep, None);
+        let violated: Vec<&str> = cert.violations().iter().map(|check| check.name).collect();
+        assert!(violated.contains(&"makespan"), "{violated:?}");
+        // The certified-bound check audits the *schedule*, not the claim:
+        // the audited makespan 7 sits above the certified bound 6, so only
+        // the makespan check (and nothing else) fires.
+        assert_eq!(cert.violations().len(), 1);
+    }
+
+    #[test]
+    fn exact_claim_with_suboptimal_makespan_is_caught_via_known_opt() {
+        let inst = instance_from_pairs(2, 2, &[(3, 0), (1, 1), (1, 1)]).unwrap();
+        // Suboptimal but feasible: both small jobs ride with the big one.
+        let rep = report(&inst, vec![0, 0, 0], Rational::from_int(5));
+        let cert = certify(&inst, Guarantee::Exact, &rep, Some(Rational::from_int(3)));
+        let violated: Vec<&str> = cert.violations().iter().map(|check| check.name).collect();
+        assert!(violated.contains(&"guarantee"), "{cert:?}");
+        // Without the optimum the same report is merely inconclusive.
+        let cert = certify(&inst, Guarantee::Exact, &rep, None);
+        assert!(cert.is_clean());
+        assert!(cert
+            .checks
+            .iter()
+            .any(|check| matches!(check.verdict, Verdict::Inconclusive(_))));
+    }
+
+    #[test]
+    fn factor_guarantee_certified_against_the_bound_alone() {
+        let inst = instance_from_pairs(2, 2, &[(4, 0), (4, 1)]).unwrap();
+        // Makespan 4 = certified bound: any factor ≥ 1 is certified.
+        let rep = report(&inst, vec![0, 1], Rational::from_int(4));
+        let cert = certify(&inst, Guarantee::Factor(Rational::from_int(2)), &rep, None);
+        assert!(cert.is_clean());
+        assert!(cert
+            .checks
+            .iter()
+            .all(|check| check.verdict == Verdict::Pass));
+    }
+
+    #[test]
+    fn unsound_lower_bound_between_optimum_and_makespan_is_caught() {
+        // OPT 2, makespan 4, claimed lower bound 3: the bound is below the
+        // makespan (old check passes) yet provably above the optimum.
+        let inst = instance_from_pairs(2, 2, &[(2, 0), (1, 1), (1, 1)]).unwrap();
+        let rep = report(&inst, vec![0, 0, 0], Rational::from_int(3));
+        assert_eq!(rep.makespan, Rational::from_int(4));
+        let cert = certify(
+            &inst,
+            Guarantee::Factor(Rational::from_int(2)),
+            &rep,
+            Some(Rational::from_int(2)),
+        );
+        let violated: Vec<&str> = cert.violations().iter().map(|check| check.name).collect();
+        assert_eq!(violated, vec!["lower-bound"], "{cert:?}");
+        // Without the optimum the bound is unprovable either way: clean.
+        let cert = certify(&inst, Guarantee::Factor(Rational::from_int(2)), &rep, None);
+        assert!(cert.is_clean(), "{cert:?}");
+    }
+
+    #[test]
+    fn beating_the_optimum_is_a_violation() {
+        let inst = instance_from_pairs(2, 2, &[(4, 0), (4, 1)]).unwrap();
+        let rep = report(&inst, vec![0, 1], Rational::from_int(4));
+        let cert = certify(
+            &inst,
+            Guarantee::Heuristic,
+            &rep,
+            Some(Rational::from_int(5)), // a wrong "optimum" above the makespan
+        );
+        let violated: Vec<&str> = cert.violations().iter().map(|check| check.name).collect();
+        assert!(violated.contains(&"guarantee"));
+    }
+}

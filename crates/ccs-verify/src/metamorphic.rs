@@ -1,0 +1,269 @@
+//! Metamorphic invariants: transform an instance in a way whose effect on
+//! the answer is known, and assert the solvers (and the canonical
+//! fingerprint) transform accordingly.
+//!
+//! * **relabelling** — permuting jobs and injectively renaming class labels
+//!   changes nothing a scheduling model can observe: the canonical
+//!   [`Fingerprint`](ccs_core::Fingerprint) must be identical and every
+//!   exact optimum must be bit-for-bit equal,
+//! * **scaling** — multiplying every processing time by an integer `s > 0`
+//!   maps the schedule space onto itself with all costs scaled by `s`, so
+//!   every optimum scales *exactly*; exact solvers are held to that
+//!   bit-for-bit.  Approximation algorithms are **not** held to bit-exact
+//!   scaling — the non-preemptive ones round against the integer grid, which
+//!   legitimately shifts their output across scales — but their guarantee
+//!   must transport: on the scaled instance the makespan must stay within
+//!   the claimed factor of `s · OPT`,
+//! * **duplication** — doubling the machines and duplicating every job can
+//!   never *increase* the optimum: scheduling the copy on the fresh
+//!   machines mirrors the original schedule, so `OPT' ≤ OPT` in every
+//!   model (the converse inequality is not a theorem — mixing copies may
+//!   help — so only this direction is asserted).
+
+use crate::certifier::{certify, Verdict};
+use crate::oracle::{run_all_solvers, Disagreement, OracleOptions, OracleReport};
+use ccs_core::{Guarantee, Instance, InstanceBuilder, Rational, ScheduleKind, SolveContext};
+use ccs_engine::Engine;
+use ccs_gen::rng::Rng;
+
+/// Permutes the jobs of `inst` and injectively renames its class labels
+/// (seeded, deterministic).
+pub fn relabel(inst: &Instance, seed: u64) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5EED_1ABE1);
+    let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+    // Fisher–Yates with the workspace RNG.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.below_usize(i + 1));
+    }
+    let mut builder = InstanceBuilder::new(inst.machines(), inst.class_slots());
+    for &job in &order {
+        let label = inst.class_label(inst.class_of(job));
+        // Odd multiplier: a bijection on u32, so distinct labels stay
+        // distinct.
+        let renamed = label.wrapping_mul(0x9E37_79B1).wrapping_add(17);
+        builder = builder.job(inst.processing_time(job), renamed);
+    }
+    builder.build().expect("relabelling preserves validity")
+}
+
+/// Multiplies every processing time by `factor > 0`, or returns `None` when
+/// a product would overflow `u64` (a wrapped product would silently compare
+/// the optima of an unrelated instance).
+pub fn scale(inst: &Instance, factor: u64) -> Option<Instance> {
+    assert!(factor > 0, "scaling factor must be positive");
+    let mut builder = InstanceBuilder::new(inst.machines(), inst.class_slots());
+    for job in 0..inst.num_jobs() {
+        builder = builder.job(
+            inst.processing_time(job).checked_mul(factor)?,
+            inst.class_label(inst.class_of(job)),
+        );
+    }
+    Some(builder.build().expect("scaling preserves validity"))
+}
+
+/// Doubles the machines and duplicates every job (`None` when `2·m` would
+/// overflow `u64` — without the full doubling the mirror argument behind
+/// the invariant does not hold).
+pub fn duplicate(inst: &Instance) -> Option<Instance> {
+    let mut builder = InstanceBuilder::new(inst.machines().checked_mul(2)?, inst.class_slots());
+    for _copy in 0..2 {
+        for job in 0..inst.num_jobs() {
+            builder = builder.job(
+                inst.processing_time(job),
+                inst.class_label(inst.class_of(job)),
+            );
+        }
+    }
+    Some(builder.build().expect("duplication preserves validity"))
+}
+
+/// The exact optimum of a model under the per-solver budget (`None` when
+/// the exact solver is size-limited or budgeted out).
+fn exact_optimum(
+    engine: &Engine,
+    inst: &Instance,
+    kind: ScheduleKind,
+    options: &OracleOptions,
+) -> Option<Rational> {
+    let solver = engine.registry().get(crate::exact_solver_name(kind))?;
+    let ctx = match options.solver_budget {
+        Some(budget) => SolveContext::unbounded().with_timeout(budget),
+        None => SolveContext::unbounded(),
+    };
+    solver
+        .solve_any_ctx(inst, &ctx)
+        .ok()
+        .map(|report| report.makespan)
+}
+
+/// [`metamorphic_check_with`] under [`OracleOptions::default`].
+pub fn metamorphic_check(engine: &Engine, inst: &Instance, seed: u64) -> Vec<Disagreement> {
+    metamorphic_check_with(engine, inst, seed, &OracleOptions::default())
+}
+
+/// Runs all three metamorphic invariants on `inst` and returns every
+/// violated one as a [`Disagreement`].
+pub fn metamorphic_check_with(
+    engine: &Engine,
+    inst: &Instance,
+    seed: u64,
+    options: &OracleOptions,
+) -> Vec<Disagreement> {
+    let mut findings = Vec::new();
+
+    // The original optima anchor all three invariants; compute them once.
+    let original_optima: [Option<Rational>; 3] = {
+        let mut optima = [None; 3];
+        for kind in ScheduleKind::ALL {
+            optima[crate::oracle::model_index(kind)] = exact_optimum(engine, inst, kind, options);
+        }
+        optima
+    };
+    let original = |kind: ScheduleKind| original_optima[crate::oracle::model_index(kind)];
+
+    // --- Relabelling. ------------------------------------------------------
+    let permuted = relabel(inst, seed);
+    if permuted.fingerprint() != inst.fingerprint() {
+        findings.push(Disagreement {
+            solver: "canonical-fingerprint".to_string(),
+            check: "metamorphic-relabel".to_string(),
+            detail: format!(
+                "fingerprint {} changed to {} under job permutation / class relabelling",
+                inst.fingerprint(),
+                permuted.fingerprint()
+            ),
+        });
+    }
+    for kind in ScheduleKind::ALL {
+        let (Some(original), Some(relabelled)) = (
+            original(kind),
+            exact_optimum(engine, &permuted, kind, options),
+        ) else {
+            continue; // outside the exact solvers' limits or budget
+        };
+        if original != relabelled {
+            findings.push(Disagreement {
+                solver: crate::exact_solver_name(kind).to_string(),
+                check: "metamorphic-relabel".to_string(),
+                detail: format!(
+                    "{kind} optimum {original} changed to {relabelled} under relabelling"
+                ),
+            });
+        }
+    }
+
+    // --- Scaling (skipped when a scaled time would overflow u64). ----------
+    let factor = 2 + seed % 5;
+    if let Some(scaled) = scale(inst, factor) {
+        let multiplier = Rational::from(factor);
+        // One sweep over the scaled instance serves both halves of the
+        // invariant: the exact solvers' runs carry the scaled optima (no
+        // second exponential solve), the rest are audited against s · OPT.
+        let mut scaled_report = OracleReport::default();
+        let runs = run_all_solvers(engine, &scaled, options, &mut scaled_report);
+        findings.extend(scaled_report.disagreements.into_iter().map(|mut found| {
+            found.check = format!("metamorphic-scale/{}", found.check);
+            found
+        }));
+        let mut scaled_optima: [Option<Rational>; 3] = [None, None, None];
+        for kind in ScheduleKind::ALL {
+            let scaled_opt = runs
+                .iter()
+                .find(|run| run.name == crate::exact_solver_name(kind))
+                .map(|run| run.report.makespan);
+            let (Some(original), Some(scaled_opt)) = (original(kind), scaled_opt) else {
+                continue;
+            };
+            if scaled_opt != original * multiplier {
+                findings.push(Disagreement {
+                    solver: crate::exact_solver_name(kind).to_string(),
+                    check: "metamorphic-scale".to_string(),
+                    detail: format!(
+                        "{kind} optimum {original} scaled by {factor} became {scaled_opt}, \
+                         expected {}",
+                        original * multiplier
+                    ),
+                });
+            }
+            scaled_optima[crate::oracle::model_index(kind)] = Some(original * multiplier);
+        }
+        for run in runs.iter().filter(|run| run.guarantee != Guarantee::Exact) {
+            let known_opt = scaled_optima[crate::oracle::model_index(run.kind)];
+            let certificate = certify(&scaled, run.guarantee, &run.report, known_opt);
+            for check in &certificate.checks {
+                if let Verdict::Violation(detail) = &check.verdict {
+                    findings.push(Disagreement {
+                        solver: run.name.clone(),
+                        check: format!("metamorphic-scale/{}", check.name),
+                        detail: detail.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // --- Duplication (skipped when 2·m would overflow u64). ----------------
+    let Some(doubled) = duplicate(inst) else {
+        return findings;
+    };
+    for kind in ScheduleKind::ALL {
+        let (Some(original), Some(dup)) = (
+            original(kind),
+            exact_optimum(engine, &doubled, kind, options),
+        ) else {
+            continue; // doubling machines may leave the exact limits
+        };
+        if dup > original {
+            findings.push(Disagreement {
+                solver: crate::exact_solver_name(kind).to_string(),
+                check: "metamorphic-duplicate".to_string(),
+                detail: format!(
+                    "duplicated instance has {kind} optimum {dup} > original {original}, \
+                     but mirroring the original schedule achieves {original}"
+                ),
+            });
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn transforms_preserve_shape() {
+        let inst = instance_from_pairs(3, 2, &[(10, 4), (20, 9), (5, 4), (8, 2)]).unwrap();
+        let permuted = relabel(&inst, 3);
+        assert_eq!(permuted.num_jobs(), inst.num_jobs());
+        assert_eq!(permuted.num_classes(), inst.num_classes());
+        assert_eq!(permuted.fingerprint(), inst.fingerprint());
+
+        let scaled = scale(&inst, 3).unwrap();
+        assert_eq!(scaled.total_load(), 3 * inst.total_load());
+        assert_ne!(scaled.fingerprint(), inst.fingerprint());
+        // Overflowing scales are refused, not wrapped.
+        let huge = instance_from_pairs(2, 1, &[(u64::MAX / 2, 0)]).unwrap();
+        assert!(scale(&huge, 3).is_none());
+
+        let doubled = duplicate(&inst).unwrap();
+        assert_eq!(doubled.num_jobs(), 2 * inst.num_jobs());
+        assert_eq!(doubled.machines(), 2 * inst.machines());
+        assert_eq!(doubled.num_classes(), inst.num_classes());
+        let many = instance_from_pairs(u64::MAX / 2 + 1, 1, &[(1, 0)]).unwrap();
+        assert!(duplicate(&many).is_none());
+    }
+
+    #[test]
+    fn registry_satisfies_the_invariants_on_a_sweep() {
+        let engine = Engine::new();
+        let mut stream = ccs_gen::fuzz::FuzzStream::new(11);
+        for case in 0..6 {
+            let inst = stream.next().expect("infinite stream");
+            let findings = metamorphic_check(&engine, &inst, case);
+            assert!(findings.is_empty(), "case {case}: {findings:?}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The shrinking minimizer: reduces a failing instance to a minimal
+//! counterexample while the failure keeps reproducing.
+//!
+//! Classic greedy delta debugging specialised to CCS instances.  Each round
+//! tries, in order of how much structure a single step removes:
+//!
+//! 1. dropping an entire class (all its jobs),
+//! 2. dropping a single job,
+//! 3. reducing the machine count (to 1, to `m/2`, to `m − 1`),
+//! 4. reducing the class slots (to 1, to `c/2`, to `c − 1`),
+//! 5. shrinking a processing time (to 1, to `p/2`).
+//!
+//! The first accepted reduction restarts the round; the process stops at a
+//! fixpoint where no single step reproduces the failure, which makes the
+//! result *1-minimal*: every job, class, machine, slot and time unit left is
+//! necessary for the failure.  All candidate orders are deterministic, so a
+//! given failure always minimizes to the same counterexample.
+//!
+//! The result is emitted as a `ccs-wire/1` request frame
+//! ([`counterexample_frame`]) so a counterexample artifact can be replayed
+//! byte-for-byte through `ccs-serve` or any wire-speaking harness.
+
+use ccs_core::{Instance, InstanceBuilder};
+use ccs_engine::wire::{self, WireRequest};
+use ccs_engine::SolveRequest;
+
+/// Outcome of a minimization run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The 1-minimal failing instance.
+    pub instance: Instance,
+    /// Number of accepted reduction steps.
+    pub steps: usize,
+    /// Number of candidate instances tested (accepted or not).
+    pub candidates_tried: usize,
+}
+
+/// Greedily shrinks `inst` while `failing` keeps returning `true`.
+///
+/// `failing(&inst)` must be `true` on entry (the caller observed the
+/// failure); the returned instance also satisfies it.
+pub fn minimize(inst: &Instance, mut failing: impl FnMut(&Instance) -> bool) -> Minimized {
+    let mut current = inst.clone();
+    let mut steps = 0usize;
+    let mut tried = 0usize;
+    'rounds: loop {
+        for candidate in candidates(&current) {
+            tried += 1;
+            if failing(&candidate) {
+                current = candidate;
+                steps += 1;
+                continue 'rounds;
+            }
+        }
+        break;
+    }
+    Minimized {
+        instance: current,
+        steps,
+        candidates_tried: tried,
+    }
+}
+
+/// All single-step reductions of `inst`, strongest first.
+fn candidates(inst: &Instance) -> Vec<Instance> {
+    let mut out = Vec::new();
+    // 1. Drop a whole class.
+    if inst.num_classes() > 1 {
+        for class in 0..inst.num_classes() {
+            push_filtered(&mut out, inst, |job| inst.class_of(job) != class);
+        }
+    }
+    // 2. Drop a single job.
+    if inst.num_jobs() > 1 {
+        for victim in 0..inst.num_jobs() {
+            push_filtered(&mut out, inst, |job| job != victim);
+        }
+    }
+    // 3. Fewer machines.
+    for machines in [1, inst.machines() / 2, inst.machines() - 1] {
+        if machines >= 1 && machines < inst.machines() {
+            push_rebuilt(&mut out, inst, machines, inst.class_slots(), |_, p| p);
+        }
+    }
+    // 4. Fewer class slots.
+    for slots in [1, inst.class_slots() / 2, inst.class_slots() - 1] {
+        if slots >= 1 && slots < inst.class_slots() {
+            push_rebuilt(&mut out, inst, inst.machines(), slots, |_, p| p);
+        }
+    }
+    // 5. Shrink one processing time.
+    for victim in 0..inst.num_jobs() {
+        for target in [1, inst.processing_time(victim) / 2] {
+            if target >= 1 && target < inst.processing_time(victim) {
+                push_rebuilt(
+                    &mut out,
+                    inst,
+                    inst.machines(),
+                    inst.class_slots(),
+                    |job, p| {
+                        if job == victim {
+                            target
+                        } else {
+                            p
+                        }
+                    },
+                );
+            }
+        }
+    }
+    out
+}
+
+fn push_filtered(out: &mut Vec<Instance>, inst: &Instance, keep: impl Fn(usize) -> bool) {
+    let mut builder = InstanceBuilder::new(inst.machines(), inst.class_slots());
+    let mut any = false;
+    for job in 0..inst.num_jobs() {
+        if keep(job) {
+            builder = builder.job(
+                inst.processing_time(job),
+                inst.class_label(inst.class_of(job)),
+            );
+            any = true;
+        }
+    }
+    if any {
+        if let Ok(candidate) = builder.build() {
+            out.push(candidate);
+        }
+    }
+}
+
+fn push_rebuilt(
+    out: &mut Vec<Instance>,
+    inst: &Instance,
+    machines: u64,
+    class_slots: u64,
+    time: impl Fn(usize, u64) -> u64,
+) {
+    let mut builder = InstanceBuilder::new(machines, class_slots);
+    for job in 0..inst.num_jobs() {
+        builder = builder.job(
+            time(job, inst.processing_time(job)),
+            inst.class_label(inst.class_of(job)),
+        );
+    }
+    if let Ok(candidate) = builder.build() {
+        out.push(candidate);
+    }
+}
+
+/// Serialises a minimized counterexample as one `ccs-wire/1` request line,
+/// replayable through `ccs-serve`.
+pub fn counterexample_frame(id: &str, inst: &Instance, request: &SolveRequest) -> String {
+    wire::request_to_line(&WireRequest {
+        id: id.to_string(),
+        instance: inst.clone(),
+        request: *request,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+    use ccs_core::ScheduleKind;
+
+    #[test]
+    fn minimizes_to_the_failure_core() {
+        // Failure predicate: "some machine must carry ≥ 2 classes", i.e.
+        // C > c — irrelevant jobs, machines and big processing times all
+        // melt away.
+        let inst =
+            instance_from_pairs(4, 1, &[(50, 0), (7, 1), (7, 1), (3, 2), (9, 3), (12, 0)]).unwrap();
+        let failing =
+            |candidate: &Instance| candidate.num_classes() as u64 > candidate.class_slots();
+        assert!(failing(&inst));
+        let minimized = minimize(&inst, failing);
+        assert!(failing(&minimized.instance));
+        // Two unit jobs of two classes on one machine with one slot.
+        assert_eq!(minimized.instance.num_jobs(), 2);
+        assert_eq!(minimized.instance.num_classes(), 2);
+        assert_eq!(minimized.instance.machines(), 1);
+        assert!(minimized
+            .instance
+            .processing_times()
+            .iter()
+            .all(|&p| p == 1));
+        assert!(minimized.steps >= 4);
+        assert!(minimized.candidates_tried >= minimized.steps);
+    }
+
+    #[test]
+    fn minimization_is_deterministic() {
+        let inst = instance_from_pairs(3, 1, &[(5, 0), (5, 1), (5, 2), (4, 0)]).unwrap();
+        let failing =
+            |candidate: &Instance| candidate.num_classes() as u64 > candidate.class_slots();
+        let a = minimize(&inst, failing);
+        let b = minimize(&inst, failing);
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn frame_round_trips_through_the_wire_codec() {
+        let inst = instance_from_pairs(2, 1, &[(3, 0), (4, 1)]).unwrap();
+        let request = SolveRequest::exact(ScheduleKind::NonPreemptive);
+        let line = counterexample_frame("counterexample-1", &inst, &request);
+        let back = wire::request_from_line(&line).unwrap();
+        assert_eq!(back.instance, inst);
+        assert_eq!(back.request, request);
+        assert_eq!(back.id, "counterexample-1");
+    }
+}

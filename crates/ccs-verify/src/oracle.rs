@@ -1,0 +1,307 @@
+//! The differential oracle: cross-examines every registry solver on one
+//! instance.
+//!
+//! For each instance the oracle runs *all* registered solvers through the
+//! engine's registry and checks:
+//!
+//! * every report earns a clean [`Certificate`](crate::certifier::Certificate)
+//!   (independent feasibility, makespan recomputation, bound sanity),
+//! * all solvers claiming [`Guarantee::Exact`] for the same placement model
+//!   agree **bit-for-bit** on the optimum,
+//! * no solver's makespan undercuts the established optimum of its model,
+//! * approximate solvers stay within their certified factor of the optimum,
+//! * the optima respect the model hierarchy
+//!   `OPT_splittable ≤ OPT_preemptive ≤ OPT_non-preemptive` (a schedule of a
+//!   stricter model is feasible in every looser one),
+//! * feasibility verdicts are consistent: on a feasible instance a solver
+//!   may only fail with a size-limit error or a deadline, on an infeasible
+//!   instance every solver must fail.
+//!
+//! Each solver runs under a wall-clock budget
+//! ([`OracleOptions::solver_budget`]): the accuracy-exponential schemes take
+//! whole seconds on adversarial shapes, and a fuzz campaign must spend its
+//! time on breadth.  A budgeted-out solver is recorded as *skipped* — like a
+//! size-limited exact solver, never as a disagreement.
+
+use crate::certifier::{certify, Verdict};
+use ccs_core::solver::SolveReport;
+use ccs_core::{AnySchedule, CcsError, Guarantee, Instance, Rational, ScheduleKind, SolveContext};
+use ccs_engine::Engine;
+use std::time::Duration;
+
+/// Tuning of a differential examination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleOptions {
+    /// Wall-clock budget per solver run (`None`: unbounded).  The default is
+    /// 100 ms — generous for everything but the approximation schemes on
+    /// their worst shapes.
+    pub solver_budget: Option<Duration>,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            solver_budget: Some(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// One provable inconsistency found by the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disagreement {
+    /// Registry name of the solver the finding implicates.
+    pub solver: String,
+    /// Stable name of the violated check.
+    pub check: String,
+    /// Human-readable witness.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.solver, self.check, self.detail)
+    }
+}
+
+/// The outcome of one differential examination.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Everything provably wrong (empty on agreement).
+    pub disagreements: Vec<Disagreement>,
+    /// Solvers that ran to completion.
+    pub solvers_run: usize,
+    /// `(solver, reason)` pairs for solvers that sat this instance out
+    /// (hard size limits, exhausted per-solver budget).
+    pub skipped: Vec<(String, String)>,
+}
+
+impl OracleReport {
+    /// `true` when every solver that ran agreed with every other.
+    pub fn agreed(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+pub(crate) struct SolverRun {
+    pub(crate) name: String,
+    pub(crate) kind: ScheduleKind,
+    pub(crate) guarantee: Guarantee,
+    pub(crate) report: SolveReport<AnySchedule>,
+}
+
+/// Runs every registry solver on `inst` under the per-solver budget,
+/// classifying outcomes into completed runs, skips and disagreements.
+pub(crate) fn run_all_solvers(
+    engine: &Engine,
+    inst: &Instance,
+    options: &OracleOptions,
+    report: &mut OracleReport,
+) -> Vec<SolverRun> {
+    let feasible = inst.is_feasible();
+    let mut runs = Vec::new();
+    for solver in engine.registry().iter() {
+        let ctx = match options.solver_budget {
+            Some(budget) => SolveContext::unbounded().with_timeout(budget),
+            None => SolveContext::unbounded(),
+        };
+        match solver.solve_any_ctx(inst, &ctx) {
+            Ok(solve_report) => {
+                if !feasible {
+                    report.disagreements.push(Disagreement {
+                        solver: solver.name().to_string(),
+                        check: "feasibility-verdict".to_string(),
+                        detail: format!(
+                            "returned a schedule for an infeasible instance \
+                             (C = {} > c·m = {})",
+                            inst.num_classes(),
+                            inst.class_slots().saturating_mul(inst.machines())
+                        ),
+                    });
+                    continue;
+                }
+                report.solvers_run += 1;
+                runs.push(SolverRun {
+                    name: solver.name().to_string(),
+                    kind: solver.kind(),
+                    guarantee: solver.guarantee(),
+                    report: solve_report,
+                });
+            }
+            Err(CcsError::InvalidParameter(reason)) if feasible => {
+                // Hard size limits of the exponential solvers.
+                report.skipped.push((solver.name().to_string(), reason));
+            }
+            Err(CcsError::DeadlineExceeded) if feasible => {
+                report.skipped.push((
+                    solver.name().to_string(),
+                    "per-solver budget exhausted".to_string(),
+                ));
+            }
+            Err(error) if feasible => {
+                report.disagreements.push(Disagreement {
+                    solver: solver.name().to_string(),
+                    check: "solve-error".to_string(),
+                    detail: format!("failed on a feasible instance: {error}"),
+                });
+            }
+            // On an infeasible instance any error verdict is accepted; the
+            // error *kind* is the solver's to choose.
+            Err(_) => {}
+        }
+    }
+    runs
+}
+
+/// [`differential_check_with`] under [`OracleOptions::default`].
+pub fn differential_check(engine: &Engine, inst: &Instance) -> OracleReport {
+    differential_check_with(engine, inst, &OracleOptions::default())
+}
+
+/// Runs every registry solver of `engine` on `inst` and cross-checks the
+/// results (see the module documentation for the full check list).
+pub fn differential_check_with(
+    engine: &Engine,
+    inst: &Instance,
+    options: &OracleOptions,
+) -> OracleReport {
+    let mut report = OracleReport::default();
+    let runs = run_all_solvers(engine, inst, options, &mut report);
+
+    // Establish the optimum per model: all exact solvers of a model must
+    // agree bit-for-bit; their common value is the model's ground truth.
+    let mut optima: [Option<Rational>; 3] = [None, None, None];
+    for kind in ScheduleKind::ALL {
+        let exacts: Vec<&SolverRun> = runs
+            .iter()
+            .filter(|run| run.kind == kind && run.guarantee == Guarantee::Exact)
+            .collect();
+        let Some(first) = exacts.first() else {
+            continue;
+        };
+        let mut agreed = true;
+        for other in &exacts[1..] {
+            if other.report.makespan != first.report.makespan {
+                agreed = false;
+                report.disagreements.push(Disagreement {
+                    solver: other.name.clone(),
+                    check: "exact-consensus".to_string(),
+                    detail: format!(
+                        "claims optimum {} for the {kind} model, '{}' claims {}",
+                        other.report.makespan, first.name, first.report.makespan
+                    ),
+                });
+            }
+        }
+        if agreed {
+            optima[model_index(kind)] = Some(first.report.makespan);
+        }
+    }
+
+    // Model hierarchy: a preemptive schedule induces a splittable one, a
+    // non-preemptive schedule induces both.
+    if let (Some(split), Some(pre)) = (optima[0], optima[1]) {
+        if split > pre {
+            report.disagreements.push(Disagreement {
+                solver: crate::exact_solver_name(ScheduleKind::Splittable).to_string(),
+                check: "model-hierarchy".to_string(),
+                detail: format!("OPT_splittable {split} > OPT_preemptive {pre}"),
+            });
+        }
+    }
+    if let (Some(pre), Some(non)) = (optima[1], optima[2]) {
+        if pre > non {
+            report.disagreements.push(Disagreement {
+                solver: crate::exact_solver_name(ScheduleKind::Preemptive).to_string(),
+                check: "model-hierarchy".to_string(),
+                detail: format!("OPT_preemptive {pre} > OPT_non-preemptive {non}"),
+            });
+        }
+    }
+
+    // Certify every report, closing the inconclusive gap with the optimum.
+    for run in &runs {
+        let known_opt = optima[model_index(run.kind)];
+        let certificate = certify(inst, run.guarantee, &run.report, known_opt);
+        for check in &certificate.checks {
+            if let Verdict::Violation(detail) = &check.verdict {
+                report.disagreements.push(Disagreement {
+                    solver: run.name.clone(),
+                    check: check.name.to_string(),
+                    detail: detail.clone(),
+                });
+            }
+        }
+    }
+
+    report
+}
+
+pub(crate) fn model_index(kind: ScheduleKind) -> usize {
+    match kind {
+        ScheduleKind::Splittable => 0,
+        ScheduleKind::Preemptive => 1,
+        ScheduleKind::NonPreemptive => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::instance::instance_from_pairs;
+
+    #[test]
+    fn default_registry_agrees_on_small_instances() {
+        let engine = Engine::new();
+        for seed in 0..8 {
+            let inst = ccs_gen::tiny_random(seed);
+            let report = differential_check(&engine, &inst);
+            assert!(report.agreed(), "seed {seed}: {:?}", report.disagreements);
+            assert!(report.solvers_run >= 8, "seed {seed}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_instances_demand_unanimous_refusal() {
+        let engine = Engine::new();
+        // Three classes, two total slots.
+        let inst = instance_from_pairs(2, 1, &[(1, 0), (1, 1), (1, 2)]).unwrap();
+        let report = differential_check(&engine, &inst);
+        assert!(report.agreed(), "{:?}", report.disagreements);
+        assert_eq!(report.solvers_run, 0);
+    }
+
+    #[test]
+    fn budgeted_out_solvers_are_skips_not_disagreements() {
+        let engine = Engine::new();
+        let inst = ccs_gen::tiny_random(3);
+        let options = OracleOptions {
+            solver_budget: Some(Duration::ZERO),
+        };
+        let report = differential_check_with(&engine, &inst, &options);
+        assert!(report.agreed(), "{:?}", report.disagreements);
+        assert_eq!(report.solvers_run, 0);
+        assert_eq!(report.skipped.len(), engine.registry().len());
+    }
+
+    #[test]
+    fn broken_solver_is_caught() {
+        let engine = crate::broken::engine_with_broken_solver();
+        // Round-robin by class index puts classes 0 and 2 on machine 0:
+        // load 3, while the optimum splits 2 | 1+1.
+        let inst = instance_from_pairs(2, 2, &[(2, 0), (1, 1), (1, 2)]).unwrap();
+        let report = differential_check(&engine, &inst);
+        assert!(!report.agreed());
+        assert!(
+            report
+                .disagreements
+                .iter()
+                .all(|d| d.solver == crate::broken::BROKEN_SOLVER_NAME),
+            "{:?}",
+            report.disagreements
+        );
+        assert!(report
+            .disagreements
+            .iter()
+            .any(|d| d.check == "exact-consensus" || d.check == "guarantee"));
+    }
+}

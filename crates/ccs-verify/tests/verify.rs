@@ -1,0 +1,106 @@
+//! End-to-end tests of the verification subsystem: the differential oracle
+//! sweeps clean over the real registry, the planted bug is caught and
+//! shrunk to the acceptance bound, and counterexample frames replay through
+//! the wire codec.
+
+use ccs_core::ScheduleKind;
+use ccs_engine::{wire, Engine, SolveRequest};
+use ccs_verify::broken::{engine_with_broken_solver, BROKEN_SOLVER_NAME};
+use ccs_verify::minimize::minimize;
+use ccs_verify::{certify, counterexample_frame, differential_check, metamorphic_check};
+
+/// A miniature `ccs-fuzz --seed 1` sweep: every solver, cross-checked, with
+/// metamorphic invariants sprinkled in — zero disagreements expected.
+#[test]
+fn fuzz_sweep_is_clean_on_the_real_registry() {
+    let engine = Engine::new();
+    let mut stream = ccs_gen::fuzz::FuzzStream::new(1);
+    let mut runs = 0usize;
+    for case in 0..40u64 {
+        let inst = stream.next().expect("infinite stream");
+        let report = differential_check(&engine, &inst);
+        assert!(report.agreed(), "case {case}: {:?}", report.disagreements);
+        runs += report.solvers_run;
+        if case % 10 == 0 {
+            let findings = metamorphic_check(&engine, &inst, case);
+            assert!(findings.is_empty(), "case {case}: {findings:?}");
+        }
+    }
+    assert!(runs >= 300, "sweep exercised too few solver runs: {runs}");
+}
+
+/// The acceptance scenario: a planted always-confident-but-wrong "exact"
+/// solver is caught by the oracle and minimized to at most 4 jobs.
+#[test]
+fn planted_bug_is_caught_and_minimized_to_at_most_four_jobs() {
+    let engine = engine_with_broken_solver();
+    let mut stream = ccs_gen::fuzz::FuzzStream::new(1);
+    let caught = (0..50)
+        .filter_map(|_| stream.next())
+        .find(|inst| {
+            differential_check(&engine, inst)
+                .disagreements
+                .iter()
+                .any(|d| d.solver == BROKEN_SOLVER_NAME)
+        })
+        .expect("the broken solver must be caught within 50 cases");
+
+    let minimized = minimize(&caught, |candidate| {
+        differential_check(&engine, candidate)
+            .disagreements
+            .iter()
+            .any(|d| d.solver == BROKEN_SOLVER_NAME)
+    });
+    assert!(
+        minimized.instance.num_jobs() <= 4,
+        "counterexample kept {} jobs: {:?}",
+        minimized.instance.num_jobs(),
+        minimized.instance
+    );
+
+    // The minimized counterexample replays through the wire codec.
+    let frame = counterexample_frame(
+        "broken-counterexample",
+        &minimized.instance,
+        &SolveRequest::exact(ScheduleKind::NonPreemptive),
+    );
+    let replayed = wire::request_from_line(&frame).expect("frame parses");
+    assert_eq!(replayed.instance, minimized.instance);
+    assert!(differential_check(&engine, &replayed.instance)
+        .disagreements
+        .iter()
+        .any(|d| d.solver == BROKEN_SOLVER_NAME));
+}
+
+/// Every engine solution earns a clean certificate — including through the
+/// `validate` request flag, which runs the independent auditor.
+#[test]
+fn engine_solutions_certify_cleanly() {
+    let engine = Engine::new();
+    let mut stream = ccs_gen::fuzz::FuzzStream::new(77);
+    for _ in 0..10 {
+        let inst = stream.next().expect("infinite stream");
+        for kind in ScheduleKind::ALL {
+            let request = SolveRequest::auto(kind).with_validate(true);
+            let Ok(solution) = engine.solve(&inst, &request) else {
+                continue;
+            };
+            let certificate = certify(&inst, solution.guarantee, &solution.report, None);
+            assert!(certificate.is_clean(), "{kind}: {certificate:?}");
+        }
+    }
+}
+
+/// Regression for the bug this subsystem found on its first run: the
+/// splittable PTAS used to clamp its reported lower bound to 1, claiming a
+/// bound above the true optimum on sub-unit instances.
+#[test]
+fn splittable_ptas_lower_bound_is_sound_below_one() {
+    let engine = Engine::new();
+    let inst = ccs_core::instance::instance_from_pairs(2, 1, &[(1, 0)]).unwrap();
+    let solution = engine.solve_with("ptas-splittable", &inst).unwrap();
+    assert_eq!(solution.report.makespan, ccs_core::Rational::new(1, 2));
+    assert!(solution.report.lower_bound <= solution.report.makespan);
+    let certificate = certify(&inst, solution.guarantee, &solution.report, None);
+    assert!(certificate.is_clean(), "{certificate:?}");
+}

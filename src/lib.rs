@@ -4,8 +4,10 @@
 //! ([`core`]), the unified dispatch layer ([`engine`]), the constant-factor
 //! approximation algorithms ([`approx`]), the polynomial time approximation
 //! schemes ([`ptas`]), exact solvers for small instances ([`exact`]),
-//! baselines, generators and the substrates (N-fold integer programming and
-//! flow networks).
+//! baselines, generators, the independent verification subsystem
+//! ([`verify`]: certifier, differential oracle, metamorphic invariants and
+//! the shrinking minimizer behind `ccs-fuzz`) and the substrates (N-fold
+//! integer programming and flow networks).
 //!
 //! The recommended entry point is the [`engine::Engine`]: one call for any
 //! placement model and accuracy budget, with automatic algorithm selection,
@@ -37,6 +39,7 @@ pub use ccs_engine as engine;
 pub use ccs_exact as exact;
 pub use ccs_gen as gen;
 pub use ccs_ptas as ptas;
+pub use ccs_verify as verify;
 pub use flownet;
 pub use nfold;
 
