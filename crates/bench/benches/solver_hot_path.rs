@@ -1,0 +1,76 @@
+//! The solver hot loops under the three arithmetic/threading modes:
+//! exact-rational on one thread (the pre-fast-path behaviour), the checked
+//! fixed-point `Scalar` fast path on one thread, and the fast path with the
+//! default intra-solve parallelism (`ccs_core::par`).
+//!
+//! All three modes produce bit-identical reports (the `ccs-verify`
+//! mode-equivalence pass asserts this wholesale), so the deltas measured
+//! here are pure arithmetic/scheduling cost: the fast path's win is skipping
+//! gcd normalisation on the common-denominator hot loops, the parallel win
+//! scales with the host's core count (it is zero on a one-core machine by
+//! design — `par_map_ctx` degrades to the sequential loop).
+//!
+//! The mode is encoded in the case label (`<family>+<mode>/<n>`), so
+//! baseline checks compare like against like.
+use ccs_bench::{BenchOpts, Family, Harness};
+use ccs_core::par::set_threads;
+use ccs_core::scalar::set_fast_path;
+use ccs_engine::Engine;
+use std::process::ExitCode;
+
+/// `(label, fast_path, thread_override)` — `serial-rational` is the
+/// baseline the ≥2× fast-path target in ISSUE.md is measured against.
+const MODES: [(&str, bool, Option<usize>); 3] = [
+    ("serial-rational", false, Some(1)),
+    ("fast-path", true, Some(1)),
+    ("fast-path-parallel", true, None),
+];
+
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("solver_hot_path", &opts);
+    let engine = Engine::new();
+
+    // The polynomial solvers at the standard suite shape (n = 80), the
+    // accuracy/instance-exponential ones at the sizes their cost class
+    // affords (matching the `experiments` suite shapes).
+    let polynomial = [
+        "approx-splittable-2",
+        "approx-preemptive-2",
+        "approx-nonpreemptive-7/3",
+    ];
+    let families = [Family::Uniform, Family::Zipf, Family::Correlated];
+    let ptas = ["ptas-splittable", "ptas-preemptive", "ptas-nonpreemptive"];
+    let exact = ["exact-splittable", "exact-nonpreemptive"];
+
+    for (mode, fast, threads) in MODES {
+        set_fast_path(fast);
+        set_threads(threads);
+        for family in families {
+            let inst = family.instance(80, 16, 32, 3, 42);
+            let case = format!("{}+{mode}/80", family.name());
+            for solver in polynomial {
+                if let Err(e) = harness.bench_registered(&engine, solver, &case, &inst) {
+                    harness.skip(solver, &case, &e);
+                }
+            }
+        }
+        let ptas_inst = Family::Uniform.instance(10, 3, 5, 2, 11);
+        let exact_inst = Family::Uniform.instance(12, 2, 3, 2, 11);
+        for solver in ptas {
+            let case = format!("uniform+{mode}/10");
+            if let Err(e) = harness.bench_registered(&engine, solver, &case, &ptas_inst) {
+                harness.skip(solver, &case, &e);
+            }
+        }
+        for solver in exact {
+            let case = format!("uniform+{mode}/12");
+            if let Err(e) = harness.bench_registered(&engine, solver, &case, &exact_inst) {
+                harness.skip(solver, &case, &e);
+            }
+        }
+    }
+    set_fast_path(true);
+    set_threads(None);
+    harness.finish(&opts)
+}

@@ -9,7 +9,7 @@
 //! every class, over `k ∈ {1, …, m}` — `O(C log m)` feasibility checks in
 //! total (Lemma 2).
 
-use ccs_core::{Instance, Rational, Result, SolveContext};
+use ccs_core::{Instance, Rational, Result, Scalar, SolveContext};
 
 /// Outcome of the border search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,9 +27,15 @@ pub struct BorderSearch {
 /// `Σ_u ⌈P_u / t⌉` (classes with `P_u ≤ t` stay whole and count once).
 pub fn count_subclasses(class_loads: &[u64], t: Rational) -> u128 {
     debug_assert!(t.is_positive());
+    // The hot loop of the border search: one `ceil(P_u / T)` per class, per
+    // probed guess.  The two-tier `Scalar` arithmetic computes it with a
+    // single checked multiply + Euclidean division instead of a
+    // gcd-normalising rational division (`to_rational` is never needed —
+    // `ceil_div` yields an integer directly).
+    let threshold = Scalar::from(t);
     class_loads
         .iter()
-        .map(|&p| Rational::from(p).ceil_div(t) as u128)
+        .map(|&p| Scalar::from(p).ceil_div(threshold) as u128)
         .sum()
 }
 

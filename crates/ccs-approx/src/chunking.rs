@@ -8,7 +8,7 @@
 //! its preemptive extension and, in aggregated form, the compact construction
 //! for an exponential number of machines.
 
-use ccs_core::{ClassId, Instance, JobId, Rational};
+use ccs_core::{ClassId, Instance, JobId, Rational, Scalar};
 
 /// A sub-class: a contiguous slice `[offset, offset + len)` of the load
 /// interval of `class`.
@@ -56,8 +56,12 @@ pub fn class_chunk_counts(inst: &Instance, t: Rational) -> Vec<ClassChunks> {
                     remainder: load,
                 }
             } else {
-                let full = (load / t).floor() as u64;
-                let remainder = load - t * Rational::from(full);
+                // Fast-path arithmetic: the floor and the remainder are a
+                // checked multiply + Euclidean division away, no gcd until
+                // the final `to_rational` canonicalisation.
+                let (load_s, t_s) = (Scalar::from(inst.class_load(class)), Scalar::from(t));
+                let full = (load_s / t_s).floor() as u64;
+                let remainder = (load_s - t_s * Scalar::from(full)).to_rational();
                 ClassChunks {
                     class,
                     full_chunks: full,

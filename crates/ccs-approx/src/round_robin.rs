@@ -4,7 +4,7 @@
 //! non-ascending order cyclically over `m` machines, then every machine load
 //! is at most `Σ p_j / m + max_j p_j`.
 
-use ccs_core::Rational;
+use ccs_core::{Rational, Scalar};
 
 /// Indices `0..weights.len()` sorted by non-ascending weight (ties broken by
 /// index, making the procedure deterministic).
@@ -29,18 +29,24 @@ pub fn round_robin_by_weight(weights: &[Rational], machines: u64) -> Vec<u64> {
 
 /// Per-machine loads induced by an assignment (machines indexed `0..machines`).
 pub fn machine_loads(weights: &[Rational], assignment: &[u64], machines: u64) -> Vec<Rational> {
-    let mut loads = vec![Rational::ZERO; machines as usize];
+    // Accumulate in the two-tier `Scalar` arithmetic: long chains of adds
+    // over same-denominator chunk loads skip the per-op gcd normalisation
+    // and reduce once at the end.
+    let mut loads = vec![Scalar::ZERO; machines as usize];
     for (item, &machine) in assignment.iter().enumerate() {
-        loads[machine as usize] += weights[item];
+        let slot = &mut loads[machine as usize];
+        *slot += Scalar::from(weights[item]);
     }
-    loads
+    loads.into_iter().map(Scalar::to_rational).collect()
 }
 
 /// The Lemma 3 upper bound `Σ p / m + max p` on any round-robin machine load.
 pub fn lemma3_bound(weights: &[Rational], machines: u64) -> Rational {
-    let total: Rational = weights.iter().sum();
+    let total = weights
+        .iter()
+        .fold(Scalar::ZERO, |acc, &w| acc + Scalar::from(w));
     let max = weights.iter().copied().fold(Rational::ZERO, Rational::max);
-    total / Rational::from(machines) + max
+    (total / Scalar::from(machines) + Scalar::from(max)).to_rational()
 }
 
 #[cfg(test)]

@@ -40,8 +40,10 @@ pub mod ctx;
 pub mod error;
 pub mod instance;
 pub mod json;
+pub mod par;
 pub mod prelude;
 pub mod rational;
+pub mod scalar;
 pub mod schedule;
 pub mod solver;
 
@@ -50,6 +52,7 @@ pub use ctx::{CancelFlag, SolveContext, StatsSink, StatsSnapshot};
 pub use error::{CcsError, Result};
 pub use instance::{CanonicalInstance, ClassId, Fingerprint, Instance, InstanceBuilder, JobId};
 pub use rational::Rational;
+pub use scalar::Scalar;
 pub use schedule::{
     AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,
     PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,

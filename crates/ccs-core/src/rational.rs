@@ -239,6 +239,18 @@ impl From<i32> for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
+        // Fast outs: adding zero is the identity (both operands are already
+        // reduced), and equal denominators need no cross-scaling — one gcd
+        // in `new` instead of three gcd/scale steps.
+        if rhs.num == 0 {
+            return self;
+        }
+        if self.num == 0 {
+            return rhs;
+        }
+        if self.den == rhs.den {
+            return Rational::new(self.num + rhs.num, self.den);
+        }
         // Reduce by the gcd of denominators first to keep magnitudes small.
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
@@ -260,6 +272,17 @@ impl Sub for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
+        // Fast outs: zero annihilates, and a product of two integers is an
+        // integer in lowest terms already — no cross-reduction needed.
+        if self.num == 0 || rhs.num == 0 {
+            return Rational::ZERO;
+        }
+        if self.den == 1 && rhs.den == 1 {
+            return Rational {
+                num: self.num * rhs.num,
+                den: 1,
+            };
+        }
         // Cross-reduce to avoid overflow.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
@@ -322,6 +345,23 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
+        // Equal denominators (in particular two integers) compare by
+        // numerator alone.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
+        // Different signs decide without any multiplication (den > 0).
+        let (ls, rs) = (self.num.signum(), other.num.signum());
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
+        // An integer side needs a single product instead of two.
+        if self.den == 1 {
+            return (self.num * other.den).cmp(&other.num);
+        }
+        if other.den == 1 {
+            return self.num.cmp(&(other.num * self.den));
+        }
         // den > 0 for both sides, so cross multiplication preserves order.
         (self.num * other.den).cmp(&(other.num * self.den))
     }
@@ -633,6 +673,70 @@ mod tests {
                 if cmp == std::cmp::Ordering::Equal {
                     assert_eq!(a, b);
                 }
+            }
+        }
+
+        /// Textbook implementations with no short-circuits, as references
+        /// for the fast paths in `Add`, `Mul` and `Ord::cmp`.
+        mod naive {
+            use super::*;
+
+            pub fn add(a: Rational, b: Rational) -> Rational {
+                Rational::new(
+                    a.numer() * b.denom() + b.numer() * a.denom(),
+                    a.denom() * b.denom(),
+                )
+            }
+
+            pub fn mul(a: Rational, b: Rational) -> Rational {
+                Rational::new(a.numer() * b.numer(), a.denom() * b.denom())
+            }
+
+            pub fn cmp(a: Rational, b: Rational) -> std::cmp::Ordering {
+                (a.numer() * b.denom()).cmp(&(b.numer() * a.denom()))
+            }
+        }
+
+        /// Samples biased towards the short-circuit cases: zeros, integers
+        /// and pairs with equal denominators, alongside the generic stream.
+        fn adversarial_pairs() -> Vec<(Rational, Rational)> {
+            let xs = samples(600);
+            let mut pairs: Vec<(Rational, Rational)> = xs
+                .chunks_exact(2)
+                .map(|chunk| (chunk[0], chunk[1]))
+                .collect();
+            for chunk in xs.chunks_exact(2) {
+                let (a, b) = (chunk[0], chunk[1]);
+                pairs.push((a, Rational::ZERO));
+                pairs.push((Rational::ZERO, b));
+                pairs.push((a, Rational::from_int(b.floor())));
+                pairs.push((Rational::from_int(a.ceil()), b));
+                pairs.push((a, Rational::new(b.numer().max(1), a.denom())));
+                pairs.push((a, -b));
+                pairs.push((a, a));
+            }
+            pairs
+        }
+
+        #[test]
+        fn fast_add_matches_naive() {
+            for (a, b) in adversarial_pairs() {
+                assert_eq!(a + b, naive::add(a, b), "{a} + {b}");
+            }
+        }
+
+        #[test]
+        fn fast_mul_matches_naive() {
+            for (a, b) in adversarial_pairs() {
+                assert_eq!(a * b, naive::mul(a, b), "{a} * {b}");
+            }
+        }
+
+        #[test]
+        fn fast_cmp_matches_naive() {
+            for (a, b) in adversarial_pairs() {
+                assert_eq!(a.cmp(&b), naive::cmp(a, b), "{a} vs {b}");
+                assert_eq!(a == b, naive::cmp(a, b).is_eq(), "{a} == {b}");
             }
         }
 

@@ -1,0 +1,446 @@
+//! Two-tier exact arithmetic: an overflow-checked i128 fraction that skips
+//! gcd normalisation on the hot path and falls back to [`Rational`] when a
+//! checked operation overflows (or when the fast path is disabled).
+//!
+//! [`Rational`] keeps every value reduced, which costs one or two gcd
+//! computations per arithmetic operation.  The solver hot loops (border
+//! search, chunk counting, round-robin accumulation, structure makespans)
+//! perform long chains of add/compare on values that share a denominator;
+//! for those a plain unreduced fraction with checked i128 arithmetic is
+//! several times cheaper and — as long as nothing overflows — represents
+//! *exactly* the same rational value.
+//!
+//! The exactness argument is unconditional:
+//!
+//! * a [`Scalar`] is an unreduced fraction `num / den` (`den > 0`) and every
+//!   fast operation computes the mathematically exact result of the same
+//!   operation on the represented values (checked arithmetic, no rounding),
+//! * when any intermediate would overflow i128 — or when
+//!   [`set_fast_path`]`(false)` forces it — the operation reduces both
+//!   operands to canonical [`Rational`]s and applies the *identical*
+//!   algorithm the pure-rational code path uses,
+//! * therefore every `Scalar` holds the same rational value in every mode,
+//!   every comparison returns the same ordering, and any solver migrated
+//!   onto `Scalar` takes exactly the same branches and emits bit-identical
+//!   [`SolveReport`](crate::solver::SolveReport)s.
+//!
+//! The global switch exists purely so the `ccs-verify` mode-equivalence
+//! pass (and CI) can *prove* that claim empirically by running every solver
+//! with the fast path forced on and forced off.
+
+use crate::rational::Rational;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+
+/// Global fast-path switch (default: enabled).  Disabling it routes every
+/// `Scalar` operation through the canonical-`Rational` fallback, which is
+/// the reference implementation the fast path must agree with bit-for-bit.
+static FAST_PATH: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the checked fast path globally.
+///
+/// Used by the verification subsystem and tests; solvers never touch it.
+/// Results are identical in both modes — only the arithmetic route changes.
+pub fn set_fast_path(enabled: bool) {
+    FAST_PATH.store(enabled, AtomicOrdering::Relaxed);
+}
+
+/// `true` when the checked fast path is active.
+pub fn fast_path_enabled() -> bool {
+    FAST_PATH.load(AtomicOrdering::Relaxed)
+}
+
+/// An exact rational scalar held as an *unreduced* i128 fraction.
+///
+/// Invariant: `den > 0`.  Unlike [`Rational`] the fraction is not
+/// gcd-normalised, so equality must go through [`Ord`] (implemented by exact
+/// cross-comparison), never through field comparison — which is why this
+/// type deliberately does not derive `PartialEq`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scalar {
+    num: i128,
+    den: i128,
+}
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar { num: 0, den: 1 };
+
+    /// Builds a scalar from an integer.
+    pub fn from_int(v: impl Into<i128>) -> Self {
+        Scalar {
+            num: v.into(),
+            den: 1,
+        }
+    }
+
+    /// The canonical reduced value (this is where gcd normalisation happens,
+    /// once, instead of on every intermediate operation).
+    pub fn to_rational(self) -> Rational {
+        Rational::new(self.num, self.den)
+    }
+
+    /// `true` when the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` when the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Largest integer `<= self`.  Euclidean division is exact on the
+    /// unreduced fraction, so no fallback is needed.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(self) -> i128 {
+        self.floor() + i128::from(self.num.rem_euclid(self.den) != 0)
+    }
+
+    /// `ceil(self / other)` as an integer, for positive `other`; overflow
+    /// falls back to [`Rational::ceil_div`].
+    pub fn ceil_div(self, other: Scalar) -> i128 {
+        debug_assert!(other.is_positive(), "ceil_div by non-positive Scalar");
+        if fast_path_enabled() {
+            if let (Some(a), Some(b)) = (
+                self.num.checked_mul(other.den),
+                self.den.checked_mul(other.num),
+            ) {
+                // `b > 0` because both factors are positive.
+                return a.div_euclid(b) + i128::from(a.rem_euclid(b) != 0);
+            }
+        }
+        self.to_rational().ceil_div(other.to_rational())
+    }
+
+    /// Exact comparison; overflow falls back to comparing the canonical
+    /// reduced values.
+    fn exact_cmp(&self, other: &Scalar) -> Ordering {
+        if fast_path_enabled() {
+            if self.den == other.den {
+                return self.num.cmp(&other.num);
+            }
+            let (ls, rs) = (self.num.signum(), other.num.signum());
+            if ls != rs {
+                return ls.cmp(&rs);
+            }
+            if let (Some(a), Some(b)) = (
+                self.num.checked_mul(other.den),
+                other.num.checked_mul(self.den),
+            ) {
+                return a.cmp(&b);
+            }
+        }
+        self.to_rational().cmp(&other.to_rational())
+    }
+}
+
+impl std::ops::Add for Scalar {
+    type Output = Scalar;
+
+    /// Exact sum; overflow falls back to canonical [`Rational`] addition.
+    fn add(self, rhs: Scalar) -> Scalar {
+        if fast_path_enabled() {
+            if self.den == rhs.den {
+                if let Some(num) = self.num.checked_add(rhs.num) {
+                    return Scalar { num, den: self.den };
+                }
+            } else if let (Some(a), Some(b), Some(den)) = (
+                self.num.checked_mul(rhs.den),
+                rhs.num.checked_mul(self.den),
+                self.den.checked_mul(rhs.den),
+            ) {
+                if let Some(num) = a.checked_add(b) {
+                    return Scalar { num, den };
+                }
+            }
+        }
+        Scalar::from(self.to_rational() + rhs.to_rational())
+    }
+}
+
+impl std::ops::Sub for Scalar {
+    type Output = Scalar;
+
+    /// Exact difference; overflow falls back to canonical [`Rational`]
+    /// subtraction.
+    fn sub(self, rhs: Scalar) -> Scalar {
+        if fast_path_enabled() {
+            if self.den == rhs.den {
+                if let Some(num) = self.num.checked_sub(rhs.num) {
+                    return Scalar { num, den: self.den };
+                }
+            } else if let (Some(a), Some(b), Some(den)) = (
+                self.num.checked_mul(rhs.den),
+                rhs.num.checked_mul(self.den),
+                self.den.checked_mul(rhs.den),
+            ) {
+                if let Some(num) = a.checked_sub(b) {
+                    return Scalar { num, den };
+                }
+            }
+        }
+        Scalar::from(self.to_rational() - rhs.to_rational())
+    }
+}
+
+impl std::ops::Mul for Scalar {
+    type Output = Scalar;
+
+    /// Exact product; overflow falls back to canonical (cross-reducing)
+    /// [`Rational`] multiplication.
+    fn mul(self, rhs: Scalar) -> Scalar {
+        if fast_path_enabled() {
+            if let (Some(num), Some(den)) =
+                (self.num.checked_mul(rhs.num), self.den.checked_mul(rhs.den))
+            {
+                return Scalar { num, den };
+            }
+        }
+        Scalar::from(self.to_rational() * rhs.to_rational())
+    }
+}
+
+impl std::ops::Div for Scalar {
+    type Output = Scalar;
+
+    /// Exact quotient; overflow falls back to canonical [`Rational`]
+    /// division.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Scalar) -> Scalar {
+        assert!(rhs.num != 0, "division by zero Scalar");
+        if fast_path_enabled() {
+            if let (Some(mut num), Some(mut den)) =
+                (self.num.checked_mul(rhs.den), self.den.checked_mul(rhs.num))
+            {
+                if den < 0 {
+                    // `den` and `num` are products of non-extreme factors,
+                    // so negation cannot overflow i128::MIN here only if the
+                    // checked products already succeeded with headroom; be
+                    // conservative and re-check.
+                    if let (Some(n), Some(d)) = (num.checked_neg(), den.checked_neg()) {
+                        num = n;
+                        den = d;
+                        return Scalar { num, den };
+                    }
+                } else {
+                    return Scalar { num, den };
+                }
+            }
+        }
+        Scalar::from(self.to_rational() / rhs.to_rational())
+    }
+}
+
+impl std::ops::AddAssign for Scalar {
+    fn add_assign(&mut self, rhs: Scalar) {
+        *self = *self + rhs;
+    }
+}
+
+impl From<Rational> for Scalar {
+    fn from(r: Rational) -> Self {
+        Scalar {
+            num: r.numer(),
+            den: r.denom(),
+        }
+    }
+}
+
+impl From<u64> for Scalar {
+    fn from(v: u64) -> Self {
+        Scalar::from_int(v as i128)
+    }
+}
+
+impl PartialEq for Scalar {
+    fn eq(&self, other: &Self) -> bool {
+        self.exact_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Scalar {}
+
+impl PartialOrd for Scalar {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scalar {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.exact_cmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serialises tests that toggle the global fast-path switch and restores
+    /// the default on drop, so coverage of the forced-fallback branch cannot
+    /// be lost to interleaving.
+    struct ModeGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+    fn force_mode(enabled: bool) -> ModeGuard {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        set_fast_path(enabled);
+        ModeGuard(guard)
+    }
+
+    impl Drop for ModeGuard {
+        fn drop(&mut self) {
+            set_fast_path(true);
+        }
+    }
+
+    /// The deterministic LCG the `Rational` property sweeps use.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+
+        fn rational(&mut self) -> Rational {
+            let num = (self.next() % 20_000) as i128 - 10_000;
+            let den = (self.next() % 9_999) as i128 + 1;
+            Rational::new(num, den)
+        }
+    }
+
+    fn sweep_agrees_with_rational() {
+        let mut lcg = Lcg(0x5CA1A2);
+        for _ in 0..500 {
+            let (a, b) = (lcg.rational(), lcg.rational());
+            let (x, y) = (Scalar::from(a), Scalar::from(b));
+            assert_eq!((x + y).to_rational(), a + b);
+            assert_eq!((x - y).to_rational(), a - b);
+            assert_eq!((x * y).to_rational(), a * b);
+            if !b.is_zero() {
+                assert_eq!((x / y).to_rational(), a / b);
+            }
+            assert_eq!(x.cmp(&y), a.cmp(&b));
+            assert_eq!(x == y, a == b);
+            assert_eq!(x.floor(), a.floor());
+            assert_eq!(x.ceil(), a.ceil());
+            if b.is_positive() {
+                assert_eq!(x.ceil_div(y), a.ceil_div(b));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_rational_on_a_sweep() {
+        let _mode = force_mode(true);
+        sweep_agrees_with_rational();
+    }
+
+    #[test]
+    fn forced_fallback_matches_rational_on_the_same_sweep() {
+        let _mode = force_mode(false);
+        assert!(!fast_path_enabled());
+        sweep_agrees_with_rational();
+    }
+
+    #[test]
+    fn unreduced_accumulation_stays_exact() {
+        // 1/6 summed 6000 times: the fast path keeps denominator 6 and a
+        // growing numerator, the canonical value must still be exactly 1000.
+        let step = Scalar::from(Rational::new(1, 6));
+        let mut acc = Scalar::ZERO;
+        for _ in 0..6000 {
+            acc += step;
+        }
+        assert_eq!(acc.to_rational(), Rational::from_int(1000));
+    }
+
+    /// Alternating `+1/2`, `+1/3` steps keep the *reduced* value tiny while
+    /// the unreduced fast-path denominator multiplies by 2 or 3 per step —
+    /// after `steps` additions it sits near `6^(steps/2)`.
+    fn alternating_sum(steps: usize) -> (Scalar, Rational) {
+        let (half, third) = (Rational::new(1, 2), Rational::new(1, 3));
+        let mut fast = Scalar::ZERO;
+        let mut exact = Rational::ZERO;
+        for k in 0..steps {
+            let step = if k % 2 == 0 { half } else { third };
+            fast += Scalar::from(step);
+            exact += step;
+        }
+        (fast, exact)
+    }
+
+    #[test]
+    fn add_overflow_falls_back_instead_of_panicking() {
+        let _mode = force_mode(true);
+        // 400 steps push the unreduced denominator across i128 several
+        // times; each crossing must reduce and continue, never panic, and
+        // the canonical value must match the pure-rational accumulation at
+        // every step (the pure path's magnitudes never leave `k/6`).
+        let (half, third) = (Rational::new(1, 2), Rational::new(1, 3));
+        let mut fast = Scalar::ZERO;
+        let mut exact = Rational::ZERO;
+        for k in 0..400 {
+            let step = if k % 2 == 0 { half } else { third };
+            fast += Scalar::from(step);
+            exact += step;
+            assert_eq!(fast.to_rational(), exact, "after {} steps", k + 1);
+        }
+        assert_eq!(exact, Rational::new(500, 3));
+    }
+
+    #[test]
+    fn cmp_mul_and_ceil_div_overflow_falls_back() {
+        let _mode = force_mode(true);
+        // 60 / 59 steps: unreduced denominators near 6^30 and 6^29 — small
+        // enough that addition never overflowed, large enough that every
+        // cross-product below exceeds i128.
+        let (a_fast, a_exact) = alternating_sum(60);
+        let (b_fast, b_exact) = alternating_sum(59);
+        assert!(
+            a_fast.num.checked_mul(b_fast.den).is_none(),
+            "premise: the comparison cross-product must overflow"
+        );
+        assert_eq!(a_fast.cmp(&b_fast), a_exact.cmp(&b_exact));
+        assert_eq!((a_fast * b_fast).to_rational(), a_exact * b_exact);
+        assert_eq!((a_fast / b_fast).to_rational(), a_exact / b_exact);
+        assert_eq!(a_fast.ceil_div(b_fast), a_exact.ceil_div(b_exact));
+        assert_eq!((a_fast - b_fast).to_rational(), a_exact - b_exact);
+        // Euclidean floor/ceil are exact even on the unreduced monsters.
+        assert_eq!(a_fast.floor(), a_exact.floor());
+        assert_eq!(a_fast.ceil(), a_exact.ceil());
+    }
+
+    #[test]
+    fn extreme_integers_survive_every_operation() {
+        let _mode = force_mode(true);
+        let min = Scalar::from_int(i128::MIN + 1);
+        let max = Scalar::from_int(i128::MAX);
+        assert_eq!((min + max).to_rational(), Rational::ZERO);
+        assert_eq!(min.cmp(&max), Ordering::Less);
+        // max * max overflows every fast product and lands in the fallback,
+        // which computes the exact (huge) rational without panicking only if
+        // the reduced fallback also fits; max * 1 stays exact.
+        assert_eq!(
+            (max * Scalar::from_int(1)).to_rational(),
+            Rational::from_int(i128::MAX)
+        );
+        assert_eq!(max.floor(), i128::MAX);
+        assert_eq!(max.ceil(), i128::MAX);
+    }
+}

@@ -178,6 +178,7 @@ impl WorkerPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ccs-worker-{i}"))
+                    .stack_size(ccs_core::par::WORKER_STACK_BYTES)
                     .spawn(move || worker_loop(&shared, i))
                     .expect("spawning a worker thread")
             })

@@ -177,6 +177,81 @@ fn ptas_family_respects_millisecond_budget() {
     }
 }
 
+/// Cooperative cancellation lands *inside* the parallel guess grid and
+/// configuration fan-out of the PTAS family (the context is polled in every
+/// worker shard, and the cancel verdict wins over any concurrent deadline),
+/// and the pool stays reusable afterwards.
+#[test]
+fn ptas_submissions_cancel_mid_parallel_grid() {
+    let engine = Engine::new().with_workers(1);
+    let inst = ccs_gen::uniform(&GenParams::new(48, 12, 10, 2), 3);
+    for kind in ScheduleKind::ALL {
+        let req = SolveRequest::epsilon(kind, 0.25).unwrap();
+        let handle = engine.submit(inst.clone(), &req);
+        // Give the solve a moment to reach the parallel region, then pull
+        // the flag; an early cancellation is still a correct Cancelled.
+        std::thread::sleep(Duration::from_millis(2));
+        handle.cancel();
+        assert!(
+            matches!(handle.wait(), Err(CcsError::Cancelled)),
+            "{kind} PTAS did not cancel mid-grid"
+        );
+    }
+    // The single worker survives all three cancellations.
+    let tiny = ccs_core::instance::instance_from_pairs(1, 1, &[(2, 0)]).unwrap();
+    let sol = engine
+        .submit(tiny, &SolveRequest::auto(ScheduleKind::Splittable))
+        .wait()
+        .unwrap();
+    assert_eq!(sol.report.makespan, Rational::from_int(2));
+}
+
+/// Forcing the intra-solve parallelism down to one thread must be
+/// unobservable: the same solver wins, and makespan, lower bound, counters
+/// and the schedule itself are bit-identical across every family that fans
+/// out (PTAS guess grids, configuration enumeration, exact root branching).
+#[test]
+fn single_thread_override_reports_identically_to_the_parallel_default() {
+    let engine = Engine::new();
+    let medium = ccs_gen::uniform(&GenParams::new(36, 8, 8, 2), 5);
+    // Unbudgeted epsilon solves run the configuration ILP to completion, so
+    // they get a deliberately small instance (debug builds, one-CPU CI).
+    let ptas_sized = ccs_gen::uniform(&GenParams::new(8, 2, 3, 2), 5);
+    let small = ccs_gen::uniform(&GenParams::new(12, 3, 4, 2), 9);
+    let cases = [
+        (&medium, SolveRequest::auto(ScheduleKind::Splittable)),
+        (&medium, SolveRequest::auto(ScheduleKind::NonPreemptive)),
+        (
+            &ptas_sized,
+            SolveRequest::epsilon(ScheduleKind::Splittable, 1.0).unwrap(),
+        ),
+        (
+            &ptas_sized,
+            SolveRequest::epsilon(ScheduleKind::NonPreemptive, 1.0).unwrap(),
+        ),
+        (&small, SolveRequest::exact(ScheduleKind::Splittable)),
+        (&small, SolveRequest::exact(ScheduleKind::Preemptive)),
+        (&small, SolveRequest::exact(ScheduleKind::NonPreemptive)),
+    ];
+    for (inst, req) in cases {
+        // Through the worker pool, like production traffic (workers carry the
+        // deep-recursion stack reserve; libtest threads do not).
+        let parallel = engine.submit(inst.clone(), &req).wait().unwrap();
+        ccs_core::par::set_threads(Some(1));
+        let serial = engine.submit(inst.clone(), &req).wait();
+        ccs_core::par::set_threads(None);
+        let serial = serial.unwrap();
+        assert_eq!(parallel.solver, serial.solver, "{req:?}");
+        assert_eq!(parallel.report.makespan, serial.report.makespan, "{req:?}");
+        assert_eq!(
+            parallel.report.lower_bound, serial.report.lower_bound,
+            "{req:?}"
+        );
+        assert_eq!(parallel.report.stats, serial.report.stats, "{req:?}");
+        assert_eq!(parallel.report.schedule, serial.report.schedule, "{req:?}");
+    }
+}
+
 /// Dropping the last engine clone shuts down in bounded time even with an
 /// unbudgeted exponential job running and another queued: the running job
 /// is cancelled at its next checkpoint, the queued one without running, and

@@ -1,5 +1,6 @@
 //! Exact branch-and-bound solver for the non-preemptive model.
 
+use ccs_core::par::par_map_ctx;
 use ccs_core::{CcsError, Instance, NonPreemptiveSchedule, Result, Schedule, SolveContext};
 use std::collections::BTreeSet;
 
@@ -11,6 +12,15 @@ const MAX_MACHINES: u64 = 8;
 /// How many branch-and-bound nodes are expanded between two context
 /// checkpoints; a power of two so the test is a mask.
 const CTX_CHECK_MASK: u64 = 0x3FF;
+
+/// Target number of independent subtrees fanned out across workers.  The
+/// frontier is grown level by level until it reaches this size, so its shape
+/// is a pure function of the instance — never of the thread count.
+const FRONTIER_TARGET: usize = 16;
+
+/// Minimum number of jobs before the search fans out across threads; smaller
+/// trees finish faster than workers can spawn.
+const PAR_JOB_THRESHOLD: usize = 10;
 
 /// Computes the exact optimal non-preemptive makespan (and a witness
 /// schedule) by branch and bound.
@@ -58,26 +68,34 @@ pub fn nonpreemptive_optimum_with_schedule_ctx(
     // greedy heuristic gets stuck, fall back to an unreachable bound so the
     // search is guaranteed to produce a witness itself.
     let greedy = greedy_upper_bound(inst, &order, m);
-    let mut best = greedy.unwrap_or_else(|| inst.total_load() + 1);
-    let mut best_assignment: Option<Vec<u64>> = None;
+    let initial_best = greedy.unwrap_or_else(|| inst.total_load() + 1);
 
-    let mut loads = vec![0u64; m];
-    let mut classes: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
-    let mut assignment = vec![0u64; inst.num_jobs()];
-    let remaining_total: u64 = inst.total_load();
-
-    let mut state = SearchState {
-        inst,
-        order: &order,
-        loads: &mut loads,
-        classes: &mut classes,
-        assignment: &mut assignment,
-        best: &mut best,
-        best_assignment: &mut best_assignment,
-        nodes: 0,
-        ctx,
+    // Fan the tree out over a fixed frontier of independent subtrees, each
+    // searched with its own incumbent seeded from the *static* greedy bound.
+    // Sharing the incumbent across workers would be faster on average but
+    // makes the returned witness depend on timing; with local incumbents and
+    // a first-strict-minimum merge in frontier order the result is
+    // bit-identical to the sequential depth-first scan (an earlier shard's
+    // first leaf attaining the optimum is exactly the leaf the sequential
+    // search would have adopted last — later shards merely redo work the
+    // sequential run pruned).  Small trees skip the fan-out entirely.
+    let (_, best_assignment) = if inst.num_jobs() < PAR_JOB_THRESHOLD || m < 2 {
+        search_subtree(inst, &order, ctx, FrontierNode::root(inst, m), initial_best)?
+    } else {
+        let frontier = build_frontier(inst, &order, m, initial_best, ctx)?;
+        let shards = par_map_ctx(ctx, &frontier, |_, node| {
+            search_subtree(inst, &order, ctx, node.clone(), initial_best)
+        })?;
+        let mut best = initial_best;
+        let mut best_assignment: Option<Vec<u64>> = None;
+        for (value, witness) in shards {
+            if value < best {
+                best = value;
+                best_assignment = witness;
+            }
+        }
+        (best, best_assignment)
     };
-    search(&mut state, 0, remaining_total)?;
 
     let assignment = best_assignment.unwrap_or_else(|| {
         // The greedy bound was already optimal and the search never improved
@@ -88,6 +106,140 @@ pub fn nonpreemptive_optimum_with_schedule_ctx(
     schedule.validate(inst)?;
     let opt = schedule.makespan_int(inst);
     Ok((opt, schedule))
+}
+
+/// A partial assignment of the first `depth` jobs of the branching order —
+/// one root of an independent branch-and-bound subtree.
+#[derive(Clone)]
+struct FrontierNode {
+    depth: usize,
+    loads: Vec<u64>,
+    classes: Vec<BTreeSet<usize>>,
+    assignment: Vec<u64>,
+    remaining: u64,
+}
+
+impl FrontierNode {
+    fn root(inst: &Instance, m: usize) -> Self {
+        FrontierNode {
+            depth: 0,
+            loads: vec![0; m],
+            classes: vec![BTreeSet::new(); m],
+            assignment: vec![0; inst.num_jobs()],
+            remaining: inst.total_load(),
+        }
+    }
+}
+
+/// Grows the frontier level by level — replaying exactly the branching and
+/// pruning rules of [`search`] against the static `best` bound — until it is
+/// at least [`FRONTIER_TARGET`] nodes wide.  The nodes come out in the
+/// depth-first visitation order of their subtrees, which is what makes the
+/// in-order merge reproduce the sequential witness.
+fn build_frontier(
+    inst: &Instance,
+    order: &[usize],
+    m: usize,
+    best: u64,
+    ctx: &SolveContext,
+) -> Result<Vec<FrontierNode>> {
+    let mut frontier = vec![FrontierNode::root(inst, m)];
+    let mut depth = 0;
+    while !frontier.is_empty() && frontier.len() < FRONTIER_TARGET && depth + 1 < order.len() {
+        ctx.checkpoint()?;
+        let mut next = Vec::new();
+        for node in &frontier {
+            expand_children(inst, order, best, node, &mut next);
+        }
+        frontier = next;
+        depth += 1;
+    }
+    Ok(frontier)
+}
+
+/// Emits the children of `node` in branching order, applying the same
+/// node-entry and per-machine prunes as [`search`] (with the static bound).
+fn expand_children(
+    inst: &Instance,
+    order: &[usize],
+    best: u64,
+    node: &FrontierNode,
+    out: &mut Vec<FrontierNode>,
+) {
+    let m = node.loads.len();
+    let current_max = node.loads.iter().copied().max().unwrap_or(0);
+    if current_max >= best {
+        return;
+    }
+    let area_bound = (node.loads.iter().sum::<u64>() + node.remaining).div_ceil(m as u64);
+    if area_bound.max(current_max) >= best {
+        return;
+    }
+
+    let job = order[node.depth];
+    let p = inst.processing_time(job);
+    let class = inst.class_of(job);
+    let slots = inst.class_slots() as usize;
+
+    let mut tried_empty = false;
+    for machine in 0..m {
+        if node.loads[machine] == 0 && node.classes[machine].is_empty() {
+            if tried_empty {
+                continue;
+            }
+            tried_empty = true;
+        }
+        let new_class = !node.classes[machine].contains(&class);
+        if new_class && node.classes[machine].len() >= slots {
+            continue;
+        }
+        if node.loads[machine] + p >= best {
+            continue;
+        }
+        let mut child = node.clone();
+        child.loads[machine] += p;
+        if new_class {
+            child.classes[machine].insert(class);
+        }
+        child.assignment[job] = machine as u64;
+        child.depth += 1;
+        child.remaining -= p;
+        out.push(child);
+    }
+}
+
+/// Runs the sequential branch-and-bound over one subtree with a local
+/// incumbent seeded from `initial_best`; returns the subtree's best value and
+/// its witness (`None` when nothing improved on the seed).
+fn search_subtree(
+    inst: &Instance,
+    order: &[usize],
+    ctx: &SolveContext,
+    node: FrontierNode,
+    initial_best: u64,
+) -> Result<(u64, Option<Vec<u64>>)> {
+    let FrontierNode {
+        depth,
+        mut loads,
+        mut classes,
+        mut assignment,
+        remaining,
+    } = node;
+    let mut best = initial_best;
+    let mut best_assignment = None;
+    let mut state = SearchState {
+        inst,
+        order,
+        loads: &mut loads,
+        classes: &mut classes,
+        assignment: &mut assignment,
+        best: &mut best,
+        best_assignment: &mut best_assignment,
+        nodes: 0,
+        ctx,
+    };
+    search(&mut state, depth, remaining)?;
+    Ok((best, best_assignment))
 }
 
 /// Mutable state of the branch-and-bound, bundled so the recursion stays
@@ -246,6 +398,44 @@ mod tests {
     }
 
     #[test]
+    fn frontier_fanout_matches_the_plain_depth_first_search() {
+        // Large enough (n >= PAR_JOB_THRESHOLD) that the public entry point
+        // takes the parallel frontier path; replay the plain sequential DFS
+        // here and demand the identical optimum AND the identical witness.
+        for seed in 0..40u64 {
+            let inst = ccs_gen_sized(seed, 11 + (seed % 3) as usize);
+            if !inst.is_feasible() {
+                continue;
+            }
+            let ctx = SolveContext::unbounded();
+            let (opt, schedule) = nonpreemptive_optimum_with_schedule_ctx(&inst, &ctx).unwrap();
+
+            let m = inst.machines().min(inst.num_jobs() as u64) as usize;
+            let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+            order.sort_by_key(|&j| std::cmp::Reverse(inst.processing_time(j)));
+            let initial_best =
+                greedy_upper_bound(&inst, &order, m).unwrap_or_else(|| inst.total_load() + 1);
+            let (seq_best, seq_witness) = search_subtree(
+                &inst,
+                &order,
+                &ctx,
+                FrontierNode::root(&inst, m),
+                initial_best,
+            )
+            .unwrap();
+
+            let seq_assignment = seq_witness
+                .unwrap_or_else(|| greedy_assignment(&inst, &order, m).expect("greedy feasible"));
+            assert_eq!(opt, seq_best.min(initial_best), "seed {seed}");
+            assert_eq!(
+                schedule,
+                NonPreemptiveSchedule::new(seq_assignment),
+                "witness diverged on seed {seed}"
+            );
+        }
+    }
+
+    #[test]
     fn matches_brute_force_on_random_tiny_instances() {
         // Cross-validate against a plain exhaustive enumeration.
         fn brute_force(inst: &Instance) -> u64 {
@@ -284,6 +474,26 @@ mod tests {
             let bf = brute_force(&inst);
             assert_eq!(bb, bf, "seed {seed}");
         }
+    }
+
+    // Like `ccs_gen_tiny` but with a caller-chosen job count, for exercising
+    // the parallel frontier path.
+    fn ccs_gen_sized(seed: u64, n: usize) -> Instance {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+        let mut next = |range: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % range
+        };
+        let m = 2 + next(3);
+        let c = 1 + next(2);
+        let classes = 1 + next(4) as u32;
+        let mut b = ccs_core::InstanceBuilder::new(m, c);
+        for _ in 0..n {
+            b = b.job(1 + next(12), next(classes as u64) as u32);
+        }
+        b.build().unwrap()
     }
 
     // A tiny deterministic pseudo-random generator to avoid a circular

@@ -10,7 +10,8 @@
 //! The solver enumerates all structures — exponential in `C` and `m`, so it is
 //! guarded by hard limits and intended for cross-validation only.
 
-use ccs_core::{CcsError, Instance, Rational, Result, SolveContext};
+use ccs_core::par::par_map_ctx;
+use ccs_core::{CcsError, Instance, Rational, Result, Scalar, SolveContext};
 
 /// Guard rails for the exponential enumeration.
 const MAX_CLASSES: usize = 6;
@@ -77,32 +78,105 @@ pub(crate) fn splittable_optimum_structure(
         .filter(|mask| mask.count_ones() <= c)
         .collect();
 
-    let loads: Vec<Rational> = (0..num_classes)
-        .map(|u| Rational::from(inst.class_load(u)))
-        .collect();
+    // Subset load totals `Σ_{u∈S} P_u`, shared by every visited structure.
+    // Computed once with the two-tier fast-path arithmetic (every structure
+    // used to re-sum its subsets from scratch through gcd-normalising
+    // rational adds).
+    let subset_totals = subset_load_totals(inst, num_classes);
+
+    // Fan the enumeration out over machine 0's mask: the symmetry-breaking
+    // order (machine masks non-decreasing) makes the branches independent,
+    // and merging the per-branch optima in branch order with the identical
+    // keep-first-minimum rule reproduces the sequential scan's witness
+    // bit-for-bit regardless of the thread count.  Tiny enumerations stay
+    // sequential — the work estimate depends only on the instance.
+    let full_coverage = (1u32 << num_classes) - 1;
+    let estimated_structures = (all_masks.len() as u64).saturating_pow(m as u32);
+    let branch_optima: Vec<Option<(Rational, Vec<u32>)>> = if estimated_structures < (1 << 14) {
+        vec![scan_branch(
+            &all_masks,
+            &subset_totals,
+            full_coverage,
+            m,
+            None,
+            ctx,
+        )?]
+    } else {
+        par_map_ctx(ctx, &all_masks, |_, &first_mask| {
+            scan_branch(
+                &all_masks,
+                &subset_totals,
+                full_coverage,
+                m,
+                Some(first_mask),
+                ctx,
+            )
+        })?
+    };
 
     let mut best: Option<(Rational, Vec<u32>)> = None;
-    let mut structure = vec![0u32; m];
+    for candidate in branch_optima.into_iter().flatten() {
+        match &best {
+            Some((b, _)) if *b <= candidate.0 => {}
+            _ => best = Some(candidate),
+        }
+    }
+    best.ok_or_else(|| CcsError::infeasible("no structure can serve all classes"))
+}
+
+/// Scans every structure whose machine-0 mask is `first_mask` (or all
+/// structures when `None`) and returns the branch's first-minimal
+/// `(makespan, witness)`.
+fn scan_branch(
+    all_masks: &[u32],
+    subset_totals: &[Scalar],
+    full_coverage: u32,
+    machines: usize,
+    first_mask: Option<u32>,
+    ctx: &SolveContext,
+) -> Result<Option<(Rational, Vec<u32>)>> {
+    let mut best: Option<(Scalar, Vec<u32>)> = None;
+    let mut structure = vec![0u32; machines];
+    let first_machine = match first_mask {
+        Some(mask) => {
+            structure[0] = mask;
+            1.min(machines)
+        }
+        None => 0,
+    };
     let mut visited = 0u64;
-    enumerate_structures(&all_masks, &mut structure, 0, &mut |structure| {
+    enumerate_structures(all_masks, &mut structure, first_machine, &mut |structure| {
         visited += 1;
         if visited & CTX_CHECK_MASK == 0 {
             ctx.checkpoint()?;
         }
         // Every class must be served somewhere.
         let union = structure.iter().fold(0u32, |acc, &x| acc | x);
-        if union != (1u32 << num_classes) - 1 {
+        if union != full_coverage {
             return Ok(());
         }
-        let value = structure_makespan(&loads, structure);
+        let value = structure_makespan(subset_totals, structure);
         match &best {
             Some((b, _)) if *b <= value => {}
             _ => best = Some((value, structure.to_vec())),
         }
         Ok(())
     })?;
+    Ok(best.map(|(value, witness)| (value.to_rational(), witness)))
+}
 
-    best.ok_or_else(|| CcsError::infeasible("no structure can serve all classes"))
+/// `Σ_{u∈S} P_u` for every subset `S` of the (dense) classes, indexed by
+/// bitmask, via the standard lowest-bit recurrence.
+fn subset_load_totals(inst: &Instance, num_classes: usize) -> Vec<Scalar> {
+    let loads: Vec<Scalar> = (0..num_classes)
+        .map(|u| Scalar::from(inst.class_load(u)))
+        .collect();
+    let mut totals = vec![Scalar::ZERO; 1 << num_classes];
+    for subset in 1usize..(1 << num_classes) {
+        let low = subset.trailing_zeros() as usize;
+        totals[subset] = totals[subset & (subset - 1)] + loads[low];
+    }
+    totals
 }
 
 fn enumerate_structures(
@@ -129,21 +203,20 @@ fn enumerate_structures(
 /// `max_S Σ_{u∈S} P_u / |N(S)|` over non-empty class subsets `S` that are
 /// served by at least one machine (subsets with `N(S) = ∅` make the structure
 /// infeasible — callers exclude them by requiring full coverage).
-fn structure_makespan(loads: &[Rational], structure: &[u32]) -> Rational {
-    let num_classes = loads.len();
-    let mut best = Rational::ZERO;
-    for subset in 1u32..(1 << num_classes) {
-        let total: Rational = (0..num_classes)
-            .filter(|&u| subset & (1 << u) != 0)
-            .map(|u| loads[u])
-            .sum();
+/// `subset_totals[S]` is the precomputed `Σ_{u∈S} P_u`.
+fn structure_makespan(subset_totals: &[Scalar], structure: &[u32]) -> Scalar {
+    let mut best = Scalar::ZERO;
+    for subset in 1u32..subset_totals.len() as u32 {
         let neighbours = structure.iter().filter(|&&mask| mask & subset != 0).count();
         if neighbours == 0 {
             // Unserved subset: the caller guarantees full coverage, so this
             // only happens for subsets of classes with zero load.
             continue;
         }
-        best = best.max(total / Rational::from(neighbours as u64));
+        let value = subset_totals[subset as usize] / Scalar::from(neighbours as u64);
+        if value > best {
+            best = value;
+        }
     }
     best
 }

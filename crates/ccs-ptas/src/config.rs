@@ -4,6 +4,7 @@
 //! multiset of module sizes it hosts (sizes measured in units of `δ²T`),
 //! constrained by the machine capacity `T̄` and the class-slot budget `c*`.
 
+use ccs_core::par::par_map_ctx;
 use ccs_core::{Result, SolveContext};
 
 /// A configuration: a non-increasing multiset of module sizes.
@@ -65,19 +66,58 @@ pub fn enumerate_configs_ctx(
         .collect();
     sizes.sort_unstable();
     sizes.dedup();
-    let mut out = Vec::new();
-    let mut parts = Vec::new();
-    recurse(
-        &sizes,
-        sizes.len(),
-        max_total,
-        max_count,
-        &mut parts,
-        &mut out,
-        ctx,
-    )?;
+    if sizes.len() < PAR_SIZE_THRESHOLD || max_count == 0 {
+        let mut out = Vec::new();
+        let mut parts = Vec::new();
+        recurse(
+            &sizes,
+            sizes.len(),
+            max_total,
+            max_count,
+            &mut parts,
+            &mut out,
+            ctx,
+        )?;
+        return Ok(out);
+    }
+
+    // Parallel fan-out over the top-level branch: the sequential recursion
+    // emits the empty configuration first and then one subtree per largest
+    // part `sizes[idx]`, `idx` descending.  Each subtree is enumerated
+    // independently (its own cursor and output buffer) and the buffers are
+    // concatenated in branch order, reproducing the sequential output
+    // byte-for-byte regardless of the thread count.
+    let branches: Vec<usize> = (0..sizes.len()).rev().collect();
+    let subtrees = par_map_ctx(ctx, &branches, |_, &idx| {
+        let size = sizes[idx];
+        let mut branch_out = Vec::new();
+        if size <= max_total {
+            let mut parts = vec![size];
+            recurse(
+                &sizes,
+                idx + 1,
+                max_total - size,
+                max_count - 1,
+                &mut parts,
+                &mut branch_out,
+                ctx,
+            )?;
+        }
+        Ok(branch_out)
+    })?;
+    let mut out = Vec::with_capacity(1 + subtrees.iter().map(Vec::len).sum::<usize>());
+    out.push(Config::new(Vec::new()));
+    for subtree in subtrees {
+        out.extend(subtree);
+    }
     Ok(out)
 }
+
+/// Minimum number of distinct sizes before the enumeration fans out across
+/// threads.  Small enumerations finish in microseconds — far below the cost
+/// of spawning workers — and the threshold is a pure function of the input,
+/// never of the machine, so the decision is deterministic.
+const PAR_SIZE_THRESHOLD: usize = 16;
 
 /// How many configurations are emitted between two context checkpoints; a
 /// power of two so the test is a mask.
@@ -159,6 +199,20 @@ mod tests {
         for c in &configs {
             assert!(seen.insert(c.parts.clone()), "duplicate {:?}", c.parts);
         }
+    }
+
+    #[test]
+    fn parallel_fanout_matches_the_sequential_order() {
+        // 39 distinct sizes crosses PAR_SIZE_THRESHOLD, so this enumerates
+        // across threads; forcing one worker must give the identical vector
+        // in the identical order.
+        let sizes: Vec<u64> = (2..=40).collect();
+        let parallel = enumerate_configs(&sizes, 40, 4);
+        ccs_core::par::set_threads(Some(1));
+        let sequential = enumerate_configs(&sizes, 40, 4);
+        ccs_core::par::set_threads(None);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel[0].parts, Vec::<u64>::new());
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! The shared guess-grid search: a multiway (parallel) variant of the
+//! binary search for the smallest feasible makespan guess.
+//!
+//! All three PTAS pipelines build a geometric grid `lb·(1+δ)^k` and look for
+//! the smallest index whose `decide` procedure accepts.  A plain binary
+//! search is inherently sequential — each probe depends on the previous
+//! verdict — so this module probes [`ARITY`] evenly spaced indices per round
+//! through [`par_map_ctx`] and narrows to the sub-interval between the last
+//! rejecting and the first accepting probe.
+//!
+//! Determinism: the probe set of every round is a pure function of the
+//! current interval — never of the thread count or of probe timing — and the
+//! round's verdicts are merged in index order.  Serial and parallel runs
+//! therefore evaluate exactly the same guesses in the same round structure
+//! and return bit-identical results (including the `guesses_evaluated`
+//! count), which the `ccs-verify` mode-equivalence pass asserts wholesale.
+
+use ccs_core::par::par_map_ctx;
+use ccs_core::{Result, SolveContext};
+
+/// Probes per round.  With at least this many workers every round costs one
+/// probe's latency; the interval shrinks by ~`1/(ARITY - 1)` per round.
+const ARITY: usize = 4;
+
+/// Finds the smallest index in `0..len` whose `evaluate` returns
+/// `Some(certificate)`, assuming upward-closed feasibility (the guess grid
+/// is monotone: if a guess is feasible, every larger one is too).
+///
+/// Returns the winning `(index, certificate)` — or `None` when every probed
+/// index rejects — plus the number of evaluated probes.  `evaluate` runs
+/// under [`par_map_ctx`], so it must be thread-safe and should poll the
+/// context itself if a single probe can be slow.
+pub(crate) fn smallest_accepted<C, F>(
+    ctx: &SolveContext,
+    len: usize,
+    evaluate: F,
+) -> Result<(Option<(usize, C)>, usize)>
+where
+    C: Send,
+    F: Fn(usize) -> Result<Option<C>> + Sync,
+{
+    let mut best: Option<(usize, C)> = None;
+    let mut evaluated = 0usize;
+    if len == 0 {
+        return Ok((best, evaluated));
+    }
+    let (mut lo, mut hi) = (0usize, len - 1);
+    loop {
+        ctx.checkpoint()?;
+        let span = hi - lo + 1;
+        // Like the binary search this replaces, wide rounds never probe `lo`
+        // itself: proving a low guess *infeasible* is the decider's most
+        // expensive outcome (the configuration ILP must exhaust its search),
+        // so the lowest indices are only evaluated once everything above
+        // them has accepted and the interval has narrowed onto them.
+        let probes: Vec<usize> = if span <= ARITY {
+            (lo..=hi).collect()
+        } else {
+            // Evenly spaced over (lo, hi], ending exactly at `hi`; offsets
+            // are strictly increasing and at least 1 because span > ARITY.
+            (1..=ARITY)
+                .map(|j| lo + (j * (span - 1)).div_ceil(ARITY))
+                .collect()
+        };
+        evaluated += probes.len();
+        let verdicts = par_map_ctx(ctx, &probes, |_, &index| evaluate(index))?;
+
+        let accepted = verdicts
+            .into_iter()
+            .enumerate()
+            .find_map(|(j, verdict)| verdict.map(|cert| (j, cert)));
+        match accepted {
+            Some((j, cert)) => {
+                let index = probes[j];
+                best = Some((index, cert));
+                if index == lo {
+                    // The smallest index of the interval accepted; nothing
+                    // below it is left to try.
+                    return Ok((best, evaluated));
+                }
+                // Everything below the first accepting probe is still open —
+                // bounded below by the probe that rejected, when there is one.
+                if j > 0 {
+                    lo = probes[j - 1] + 1;
+                }
+                hi = index - 1;
+                if lo > hi {
+                    return Ok((best, evaluated));
+                }
+            }
+            // The last probe is always `hi`, so a fully rejecting round
+            // empties the interval under monotonicity.
+            None => return Ok((best, evaluated)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: evaluate every index left to right.
+    fn linear_scan(len: usize, first_true: Option<usize>) -> Option<usize> {
+        (0..len).find(|&i| first_true.is_some_and(|t| i >= t))
+    }
+
+    #[test]
+    fn finds_the_boundary_on_every_threshold() {
+        let ctx = SolveContext::unbounded();
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 16, 33, 100] {
+            for threshold in 0..=len {
+                let first_true = (threshold < len).then_some(threshold);
+                let (found, evaluated) =
+                    smallest_accepted(&ctx, len, |index| Ok((index >= threshold).then_some(index)))
+                        .unwrap();
+                assert_eq!(
+                    found.map(|(index, _)| index),
+                    linear_scan(len, first_true),
+                    "len {len}, threshold {threshold}"
+                );
+                assert!(evaluated <= len.max(1) * ARITY, "probe count exploded");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_count_is_a_pure_function_of_len_and_threshold() {
+        let ctx = SolveContext::unbounded();
+        let mut counts = Vec::new();
+        for _ in 0..3 {
+            let (_, evaluated) =
+                smallest_accepted(&ctx, 57, |index| Ok((index >= 41).then_some(()))).unwrap();
+            counts.push(evaluated);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn errors_propagate_out_of_the_probes() {
+        let ctx = SolveContext::unbounded();
+        let result = smallest_accepted(&ctx, 16, |index| {
+            if index >= 8 {
+                Err(ccs_core::CcsError::internal("probe exploded"))
+            } else {
+                Ok(None::<()>)
+            }
+        });
+        assert!(result.is_err());
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+mod grid;
 pub mod ilp;
 pub mod nfold_build;
 pub mod nonpreemptive;

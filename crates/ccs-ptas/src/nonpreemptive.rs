@@ -17,7 +17,8 @@ use crate::result::PtasResult;
 use crate::scale::{group_classes, GroupedClass, GuessScale};
 use ccs_approx::nonpreemptive_73_approx_ctx;
 use ccs_core::{
-    bounds, CcsError, Instance, NonPreemptiveSchedule, Rational, Result, Schedule, SolveContext,
+    bounds, CcsError, Instance, NonPreemptiveSchedule, Rational, Result, Scalar, Schedule,
+    SolveContext,
 };
 use std::collections::BTreeMap;
 
@@ -65,30 +66,12 @@ pub fn nonpreemptive_ptas_ctx(
         let next = *grid.last().unwrap() * step;
         grid.push(next);
     }
-    let mut evaluated = 0usize;
-    let mut lo = 0usize;
-    let mut hi = grid.len() - 1;
-    let mut best: Option<(usize, NonPreemptiveSchedule, usize)> = None;
-    while lo <= hi {
-        ctx.checkpoint()?;
-        let mid = lo + (hi - lo) / 2;
-        evaluated += 1;
-        match decide_and_construct_ctx(inst, grid[mid], params, ctx)? {
-            Some((schedule, configurations)) => {
-                best = Some((mid, schedule, configurations));
-                if mid == 0 {
-                    break;
-                }
-                hi = mid - 1;
-            }
-            None => {
-                lo = mid + 1;
-            }
-        }
-    }
+    let (best, evaluated) = crate::grid::smallest_accepted(ctx, grid.len(), |index| {
+        decide_and_construct_ctx(inst, grid[index], params, ctx)
+    })?;
 
     match best {
-        Some((idx, schedule, configurations)) => Ok(PtasResult {
+        Some((idx, (schedule, configurations))) => Ok(PtasResult {
             schedule,
             guess: grid[idx],
             lower_bound: lb,
@@ -167,13 +150,17 @@ pub fn decide_and_construct_ctx(
     groups.dedup();
 
     // Small classes on the fine grid δ²T / c.
-    let fine_unit = scale.unit / Rational::from(c_eff);
+    let fine_unit = Scalar::from(scale.unit) / Scalar::from(c_eff);
     let smalls: Vec<(usize, u64, Rational)> = grouped
         .iter()
         .filter(|c| c.small)
         .map(|c| {
             let load: Rational = c.jobs.iter().map(|j| j.size).sum();
-            (c.class, (load / fine_unit).ceil() as u64, load)
+            (
+                c.class,
+                (Scalar::from(load) / fine_unit).ceil() as u64,
+                load,
+            )
         })
         .collect();
 

@@ -87,35 +87,19 @@ pub fn preemptive_ptas_ctx(
         let next = *grid.last().unwrap() * step;
         grid.push(next);
     }
-    let mut evaluated = 0usize;
-    let mut lo = 0usize;
-    let mut hi = grid.len() - 1;
-    let mut best: Option<(usize, PreemptiveSchedule, usize)> = None;
-    while lo <= hi {
-        ctx.checkpoint()?;
-        let mid = lo + (hi - lo) / 2;
-        evaluated += 1;
-        let attempt = decide_ctx(inst, grid[mid], params, ctx)?.map(|cert| {
-            let scale = GuessScale::new(grid[mid], params);
+    let (best, evaluated) = crate::grid::smallest_accepted(ctx, grid.len(), |index| {
+        let attempt = decide_ctx(inst, grid[index], params, ctx)?.map(|cert| {
+            let scale = GuessScale::new(grid[index], params);
             let configurations = cert.configs.len();
             (construct(inst, &scale, &cert), configurations)
         });
-        match attempt {
-            Some((schedule, configurations)) if schedule.validate(inst).is_ok() => {
-                best = Some((mid, schedule, configurations));
-                if mid == 0 {
-                    break;
-                }
-                hi = mid - 1;
-            }
-            _ => {
-                lo = mid + 1;
-            }
-        }
-    }
+        // A guess only counts as feasible when its reconstruction round-trips
+        // through the validator, exactly as the sequential search required.
+        Ok(attempt.filter(|(schedule, _)| schedule.validate(inst).is_ok()))
+    })?;
 
     match best {
-        Some((idx, schedule, configurations)) => Ok(PtasResult {
+        Some((idx, (schedule, configurations))) => Ok(PtasResult {
             schedule,
             guess: grid[idx],
             lower_bound: lb,

@@ -2,7 +2,7 @@
 //! of small jobs (Section 4 of the paper).
 
 use crate::params::PtasParams;
-use ccs_core::{ClassId, Instance, JobId, Rational};
+use ccs_core::{ClassId, Instance, JobId, Rational, Scalar};
 
 /// The scaled view of a makespan guess `T`.
 #[derive(Debug, Clone)]
@@ -35,7 +35,10 @@ impl GuessScale {
 
     /// `⌈x / δ²T⌉` — a quantity rounded up to grid units.
     pub fn units_ceil(&self, x: Rational) -> u64 {
-        let u = x.ceil_div(self.unit);
+        // Hot in the large-class rounding of every `decide` probe: the
+        // two-tier `Scalar` path trades the gcd-normalising rational
+        // division for a checked multiply + Euclidean division.
+        let u = Scalar::from(x).ceil_div(Scalar::from(self.unit));
         u.max(0) as u64
     }
 
@@ -83,26 +86,30 @@ pub fn group_classes(inst: &Instance, threshold: Rational) -> Vec<GroupedClass> 
 fn group_one_class(inst: &Instance, class: ClassId, threshold: Rational) -> GroupedClass {
     let mut big: Vec<GroupedJob> = Vec::new();
     let mut pending_jobs: Vec<JobId> = Vec::new();
-    let mut pending_size = Rational::ZERO;
+    // Integer processing times accumulate against a fractional threshold on
+    // every probe of the guess grid — `Scalar` keeps the running sum and the
+    // comparisons gcd-free, reducing only when a package is emitted.
+    let threshold_s = Scalar::from(threshold);
+    let mut pending_size = Scalar::ZERO;
 
     for &job in inst.jobs_of_class(class) {
-        let p = Rational::from(inst.processing_time(job));
-        if p >= threshold {
+        let p = Scalar::from(inst.processing_time(job));
+        if p >= threshold_s {
             big.push(GroupedJob {
                 class,
                 jobs: vec![job],
-                size: p,
+                size: p.to_rational(),
             });
         } else {
             pending_jobs.push(job);
             pending_size += p;
-            if pending_size >= threshold {
+            if pending_size >= threshold_s {
                 big.push(GroupedJob {
                     class,
                     jobs: std::mem::take(&mut pending_jobs),
-                    size: pending_size,
+                    size: pending_size.to_rational(),
                 });
-                pending_size = Rational::ZERO;
+                pending_size = Scalar::ZERO;
             }
         }
     }
@@ -118,7 +125,7 @@ fn group_one_class(inst: &Instance, class: ClassId, threshold: Rational) -> Grou
     if let Some(last) = big.last_mut() {
         // Merge the leftover into an existing (large) grouped job.
         last.jobs.extend(pending_jobs);
-        last.size += pending_size;
+        last.size += pending_size.to_rational();
         GroupedClass {
             class,
             jobs: big,
@@ -131,7 +138,7 @@ fn group_one_class(inst: &Instance, class: ClassId, threshold: Rational) -> Grou
             jobs: vec![GroupedJob {
                 class,
                 jobs: pending_jobs,
-                size: pending_size,
+                size: pending_size.to_rational(),
             }],
             small: true,
         }

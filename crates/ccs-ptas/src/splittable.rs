@@ -18,7 +18,8 @@ use crate::result::PtasResult;
 use crate::scale::GuessScale;
 use ccs_approx::splittable_two_approx_ctx;
 use ccs_core::{
-    CcsError, ClassId, Instance, Rational, Result, Schedule, SolveContext, SplittableSchedule,
+    CcsError, ClassId, Instance, Rational, Result, Scalar, Schedule, SolveContext,
+    SplittableSchedule,
 };
 use std::collections::BTreeMap;
 
@@ -94,27 +95,9 @@ pub fn splittable_ptas_ctx(
         let next = *grid.last().unwrap() * step;
         grid.push(next);
     }
-    let mut evaluated = 0usize;
-    let mut lo = 0usize;
-    let mut hi = grid.len() - 1;
-    let mut best: Option<(usize, SplitCertificate)> = None;
-    while lo <= hi {
-        ctx.checkpoint()?;
-        let mid = lo + (hi - lo) / 2;
-        evaluated += 1;
-        match decide_ctx(inst, grid[mid], params, ctx)? {
-            Some(cert) => {
-                best = Some((mid, cert));
-                if mid == 0 {
-                    break;
-                }
-                hi = mid - 1;
-            }
-            None => {
-                lo = mid + 1;
-            }
-        }
-    }
+    let (best, evaluated) = crate::grid::smallest_accepted(ctx, grid.len(), |index| {
+        decide_ctx(inst, grid[index], params, ctx)
+    })?;
 
     match best {
         Some((idx, cert)) => {
@@ -178,8 +161,8 @@ pub fn decide_ctx(
         } else {
             // Small loads are measured on the finer grid δ²T/c_eff so that the
             // space constraint (3) stays integral (the paper's scaling).
-            let fine_unit = scale.unit / Rational::from(c_eff);
-            small.push((class, (load / fine_unit).ceil() as u64));
+            let fine_unit = Scalar::from(scale.unit) / Scalar::from(c_eff);
+            small.push((class, (Scalar::from(load) / fine_unit).ceil() as u64));
         }
     }
 

@@ -18,6 +18,9 @@
 //!   of count/clock comes first (for time-boxed CI jobs),
 //! * `--metamorphic-every <n>` — run the metamorphic invariants on every
 //!   n-th case (default 8; `0` disables),
+//! * `--modes-every <n>` — run the mode-equivalence pass (fast-path
+//!   arithmetic on/off, parallel/serial — reports must be bit-identical) on
+//!   every n-th case (default 8; `0` disables),
 //! * `--solver-budget-ms <n>` — wall-clock budget per solver run (default
 //!   100; `0` removes the budget).  Budgeted-out solvers are skipped, never
 //!   flagged — the accuracy-exponential schemes take whole seconds on
@@ -34,7 +37,8 @@ use ccs_verify::broken::{engine_with_broken_solver, BROKEN_SOLVER_NAME};
 use ccs_verify::minimize::minimize;
 use ccs_verify::oracle::OracleOptions;
 use ccs_verify::{
-    counterexample_frame, differential_check_with, metamorphic_check_with, Disagreement,
+    counterexample_frame, differential_check_with, metamorphic_check_with,
+    mode_equivalence_check_with, Disagreement,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -44,6 +48,7 @@ struct Options {
     cases: u64,
     time_budget: Option<Duration>,
     metamorphic_every: u64,
+    modes_every: u64,
     oracle: OracleOptions,
     out: String,
     broken: bool,
@@ -56,6 +61,7 @@ impl Default for Options {
             cases: 500,
             time_budget: None,
             metamorphic_every: 8,
+            modes_every: 8,
             oracle: OracleOptions::default(),
             out: "fuzz-out".to_string(),
             broken: false,
@@ -66,7 +72,8 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: ccs-fuzz [--seed <n>] [--cases <n>] [--time-budget-secs <n>] \
-         [--metamorphic-every <n>] [--solver-budget-ms <n>] [--out <dir>] [--broken]"
+         [--metamorphic-every <n>] [--modes-every <n>] [--solver-budget-ms <n>] \
+         [--out <dir>] [--broken]"
     );
     std::process::exit(2);
 }
@@ -93,6 +100,9 @@ fn parse_options() -> Options {
             }
             "--metamorphic-every" => {
                 options.metamorphic_every = number(&mut args, "--metamorphic-every");
+            }
+            "--modes-every" => {
+                options.modes_every = number(&mut args, "--modes-every");
             }
             "--solver-budget-ms" => {
                 let millis = number(&mut args, "--solver-budget-ms");
@@ -183,6 +193,17 @@ fn main() -> ExitCode {
                 });
             }
         }
+        if options.modes_every > 0 && case % options.modes_every == 0 {
+            let report = mode_equivalence_check_with(&engine, &instance, &options.oracle);
+            for disagreement in report.disagreements {
+                findings.push(Finding {
+                    case,
+                    instance: instance.clone(),
+                    disagreement,
+                    metamorphic_seed: None,
+                });
+            }
+        }
         if options.broken && !findings.is_empty() {
             break; // the planted bug is found; move on to minimization
         }
@@ -250,7 +271,14 @@ fn report_findings(engine: &Engine, options: &Options, findings: &[Finding]) {
 /// metamorphic invariants under the seed that exposed them.
 fn minimize_finding(engine: &Engine, options: &Options, finding: &Finding) -> (Instance, usize) {
     let solver = finding.disagreement.solver.clone();
+    let is_mode_finding = finding.disagreement.check.starts_with("mode-equivalence");
     let minimized = match finding.metamorphic_seed {
+        None if is_mode_finding => minimize(&finding.instance, |candidate| {
+            mode_equivalence_check_with(engine, candidate, &options.oracle)
+                .disagreements
+                .iter()
+                .any(|disagreement| disagreement.solver == solver)
+        }),
         None => minimize(&finding.instance, |candidate| {
             differential_check_with(engine, candidate, &options.oracle)
                 .disagreements

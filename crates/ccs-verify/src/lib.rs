@@ -20,6 +20,8 @@
 //!   the model hierarchy `OPT_s ≤ OPT_p ≤ OPT_np`,
 //! * [`metamorphic`] — relabelling, scaling and duplication invariants over
 //!   instances and the canonical fingerprint,
+//! * [`modes`] — mode-equivalence: fast-path arithmetic on/off and
+//!   parallel/serial execution must produce bit-identical solve reports,
 //! * [`minimize`] — a deterministic greedy shrinker that reduces any failing
 //!   instance to a 1-minimal counterexample and emits it as a `ccs-wire/1`
 //!   request frame,
@@ -42,6 +44,7 @@ pub mod broken;
 pub mod certifier;
 pub mod metamorphic;
 pub mod minimize;
+pub mod modes;
 pub mod oracle;
 
 pub use bounds::{certified_bounds, certified_lower_bound, CertifiedBounds};
@@ -51,6 +54,7 @@ pub use metamorphic::{metamorphic_check, metamorphic_check_with};
 // would alias the function and the module under one crate-root name, which
 // rustdoc rejects).
 pub use minimize::{counterexample_frame, Minimized};
+pub use modes::{mode_equivalence_check, mode_equivalence_check_with, ModeReport};
 pub use oracle::{
     differential_check, differential_check_with, Disagreement, OracleOptions, OracleReport,
 };

@@ -1,0 +1,250 @@
+//! Mode-equivalence pass: the fast-path arithmetic and the intra-solve
+//! parallelism must be *unobservable*.
+//!
+//! PR 6 introduced two execution modes that exist purely for speed: the
+//! overflow-checked fixed-denominator [`Scalar`](ccs_core::Scalar) layer
+//! (toggled by [`ccs_core::scalar::set_fast_path`]) and the scoped-thread
+//! fan-out of [`ccs_core::par`] (forced serial by
+//! [`ccs_core::par::set_threads`]).  Both come with a proof sketch that they
+//! cannot change any solver's output — this pass is the executable version of
+//! that proof: every registry solver is run under
+//!
+//! 1. fast-path arithmetic, default thread count (the production mode),
+//! 2. pure-rational arithmetic, default thread count,
+//! 3. fast-path arithmetic, one thread,
+//!
+//! and the three [`SolveReport`]s must agree **bit-for-bit** — schedule,
+//! makespan, lower bound and every counter.  A mode that runs out of its
+//! wall-clock budget skips the comparison (serial runs are legitimately
+//! slower); any other asymmetry is a [`Disagreement`].
+
+use crate::oracle::{Disagreement, OracleOptions};
+use ccs_core::solver::SolveReport;
+use ccs_core::{AnySchedule, CcsError, Instance, Result, SolveContext};
+use ccs_engine::Engine;
+
+/// The three execution modes: `(label, fast_path, thread override)`.
+const MODES: [(&str, bool, Option<usize>); 3] = [
+    ("fast-path/parallel", true, None),
+    ("rational/parallel", false, None),
+    ("fast-path/serial", true, Some(1)),
+];
+
+/// The outcome of one mode-equivalence examination.
+#[derive(Debug, Clone, Default)]
+pub struct ModeReport {
+    /// Every observable difference between two modes (empty on agreement).
+    pub disagreements: Vec<Disagreement>,
+    /// Solvers whose three runs all completed and were compared.
+    pub solvers_compared: usize,
+    /// `(solver, reason)` pairs for solvers whose comparison was skipped
+    /// (size limits, a mode exhausting its wall-clock budget).
+    pub skipped: Vec<(String, String)>,
+}
+
+impl ModeReport {
+    /// `true` when no mode was observable.
+    pub fn agreed(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// Restores the production mode (fast path on, default threads) when dropped,
+/// even if a solver panics mid-comparison.
+struct ModeGuard;
+
+impl ModeGuard {
+    fn enter(fast_path: bool, threads: Option<usize>) -> Self {
+        ccs_core::scalar::set_fast_path(fast_path);
+        ccs_core::par::set_threads(threads);
+        ModeGuard
+    }
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        ccs_core::scalar::set_fast_path(true);
+        ccs_core::par::set_threads(None);
+    }
+}
+
+/// [`mode_equivalence_check_with`] under [`OracleOptions::default`].
+pub fn mode_equivalence_check(engine: &Engine, inst: &Instance) -> ModeReport {
+    mode_equivalence_check_with(engine, inst, &OracleOptions::default())
+}
+
+/// Runs every registry solver of `engine` on `inst` under all three modes
+/// and demands bit-identical reports (see the module documentation).
+pub fn mode_equivalence_check_with(
+    engine: &Engine,
+    inst: &Instance,
+    options: &OracleOptions,
+) -> ModeReport {
+    let mut report = ModeReport::default();
+    for solver in engine.registry().iter() {
+        let mut outcomes: Vec<(&str, Result<SolveReport<AnySchedule>>)> = Vec::new();
+        for (label, fast_path, threads) in MODES {
+            let _guard = ModeGuard::enter(fast_path, threads);
+            let ctx = match options.solver_budget {
+                Some(budget) => SolveContext::unbounded().with_timeout(budget),
+                None => SolveContext::unbounded(),
+            };
+            outcomes.push((label, solver.solve_any_ctx(inst, &ctx)));
+        }
+
+        // A budgeted-out mode is a skip, not a finding: the serial and the
+        // pure-rational runs are legitimately slower than production.
+        if let Some((label, _)) = outcomes
+            .iter()
+            .find(|(_, outcome)| matches!(outcome, Err(CcsError::DeadlineExceeded)))
+        {
+            report.skipped.push((
+                solver.name().to_string(),
+                format!("budget exhausted under the {label} mode"),
+            ));
+            continue;
+        }
+
+        let (baseline_label, baseline) = &outcomes[0];
+        let mut compared = true;
+        for (label, outcome) in &outcomes[1..] {
+            match (baseline, outcome) {
+                (Ok(expected), Ok(actual)) => {
+                    report.disagreements.extend(
+                        report_differences(expected, actual, label).into_iter().map(
+                            |(check, detail)| Disagreement {
+                                solver: solver.name().to_string(),
+                                check,
+                                detail,
+                            },
+                        ),
+                    );
+                }
+                (Err(expected), Err(actual)) => {
+                    // Error verdicts (infeasible, size limits) must not
+                    // depend on the mode either.
+                    if format!("{expected}") != format!("{actual}") {
+                        report.disagreements.push(Disagreement {
+                            solver: solver.name().to_string(),
+                            check: "mode-equivalence/error".to_string(),
+                            detail: format!(
+                                "{baseline_label} fails with '{expected}' \
+                                 but {label} fails with '{actual}'"
+                            ),
+                        });
+                    }
+                    compared = false;
+                }
+                (Ok(_), Err(error)) => {
+                    report.disagreements.push(Disagreement {
+                        solver: solver.name().to_string(),
+                        check: "mode-equivalence/error".to_string(),
+                        detail: format!(
+                            "{baseline_label} returns a schedule but {label} \
+                             fails with '{error}'"
+                        ),
+                    });
+                    compared = false;
+                }
+                (Err(error), Ok(_)) => {
+                    report.disagreements.push(Disagreement {
+                        solver: solver.name().to_string(),
+                        check: "mode-equivalence/error".to_string(),
+                        detail: format!(
+                            "{baseline_label} fails with '{error}' but {label} \
+                             returns a schedule"
+                        ),
+                    });
+                    compared = false;
+                }
+            }
+        }
+        if compared && baseline.is_ok() {
+            report.solvers_compared += 1;
+        }
+    }
+    report
+}
+
+/// Field-by-field comparison of two reports; returns `(check, detail)` pairs.
+fn report_differences(
+    expected: &SolveReport<AnySchedule>,
+    actual: &SolveReport<AnySchedule>,
+    mode: &str,
+) -> Vec<(String, String)> {
+    let mut diffs = Vec::new();
+    let mut push = |field: &str, detail: String| {
+        diffs.push((format!("mode-equivalence/{field}"), detail));
+    };
+    if actual.makespan != expected.makespan {
+        push(
+            "makespan",
+            format!(
+                "{mode} reports makespan {} instead of {}",
+                actual.makespan, expected.makespan
+            ),
+        );
+    }
+    if actual.lower_bound != expected.lower_bound {
+        push(
+            "lower-bound",
+            format!(
+                "{mode} reports lower bound {} instead of {}",
+                actual.lower_bound, expected.lower_bound
+            ),
+        );
+    }
+    if actual.stats != expected.stats {
+        push(
+            "stats",
+            format!(
+                "{mode} reports counters {:?} instead of {:?}",
+                actual.stats, expected.stats
+            ),
+        );
+    }
+    if actual.schedule != expected.schedule {
+        push(
+            "schedule",
+            format!("{mode} constructs a different (still valid) schedule"),
+        );
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_is_mode_blind_on_random_instances() {
+        let engine = Engine::new();
+        for seed in 0..6 {
+            let inst = ccs_gen::tiny_random(seed);
+            let report = mode_equivalence_check(&engine, &inst);
+            assert!(report.agreed(), "seed {seed}: {:?}", report.disagreements);
+            assert!(
+                report.solvers_compared + report.skipped.len() >= 8,
+                "seed {seed}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn modes_are_restored_after_the_check() {
+        let engine = Engine::new();
+        let inst = ccs_gen::tiny_random(1);
+        let _ = mode_equivalence_check(&engine, &inst);
+        assert!(ccs_core::scalar::fast_path_enabled());
+    }
+
+    #[test]
+    fn infeasible_refusals_are_consistent_across_modes() {
+        let engine = Engine::new();
+        let inst =
+            ccs_core::instance::instance_from_pairs(2, 1, &[(1, 0), (1, 1), (1, 2)]).unwrap();
+        let report = mode_equivalence_check(&engine, &inst);
+        assert!(report.agreed(), "{:?}", report.disagreements);
+        assert_eq!(report.solvers_compared, 0);
+    }
+}
