@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Checks every relative link target in the repo's markdown documentation.
+# External (http/https/mailto) links are skipped — the build environment is
+# offline by design — and pure-anchor links into the same file are ignored.
+# Exits non-zero listing every broken target.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=(README.md DESIGN.md ROADMAP.md CHANGES.md PAPER.md docs/*.md)
+fail=0
+for file in "${files[@]}"; do
+    [ -f "$file" ] || { echo "$file: documented file missing"; fail=1; continue; }
+    dir=$(dirname "$file")
+    # Inline markdown links/images: [text](target) / ![alt](target).
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:*) continue ;;
+        esac
+        target="${target%%#*}"          # drop the fragment
+        [ -z "$target" ] && continue    # same-file anchor
+        if [ ! -e "$dir/$target" ]; then
+            echo "$file: broken link -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/ +"[^"]*"$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed"
+    exit 1
+fi
+echo "link check ok (${#files[@]} files)"

@@ -55,6 +55,7 @@ pub struct StatsSink {
     search_iterations: AtomicU64,
     guesses_evaluated: AtomicU64,
     configurations: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A point-in-time copy of a [`StatsSink`].
@@ -70,6 +71,15 @@ pub struct StatsSnapshot {
     pub guesses_evaluated: u64,
     /// Accumulated [`SolveStats::configurations`].
     pub configurations: u64,
+    /// Requests an admission-control layer rejected before they ran
+    /// (recorded via [`StatsSink::record_shed`]; zero unless a service layer
+    /// — such as `ccs-netd` — sheds on this sink).
+    pub shed: u64,
+    /// Requests admitted but not yet completed at snapshot time (zero unless
+    /// a service layer overlays its live queue depth — `ccs-engine`'s
+    /// `Engine::stats` reports its worker-pool backlog here; a [`StatsSink`]
+    /// itself never records this).
+    pub queue_depth: u64,
     /// Solution-cache hits (zero unless a service layer with a cache — such
     /// as `ccs-engine`'s `Engine` — overlays its counters onto the
     /// snapshot; a [`StatsSink`] itself never records these).
@@ -97,6 +107,12 @@ impl StatsSink {
             .fetch_add(stats.configurations as u64, Ordering::Relaxed);
     }
 
+    /// Counts one request an admission-control layer rejected before it ran
+    /// (queue budget exhausted, tenant quota exceeded, …).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -105,6 +121,7 @@ impl StatsSink {
             search_iterations: self.search_iterations.load(Ordering::Relaxed),
             guesses_evaluated: self.guesses_evaluated.load(Ordering::Relaxed),
             configurations: self.configurations.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             ..StatsSnapshot::default()
         }
     }
@@ -270,5 +287,11 @@ mod tests {
         assert_eq!(snap.search_iterations, 3);
         assert_eq!(snap.guesses_evaluated, 2);
         assert_eq!(snap.configurations, 7);
+        assert_eq!(snap.shed, 0);
+        sink.record_shed();
+        sink.record_shed();
+        assert_eq!(sink.snapshot().shed, 2);
+        // Queue depth is a service-layer overlay, never sink-recorded.
+        assert_eq!(sink.snapshot().queue_depth, 0);
     }
 }

@@ -25,6 +25,11 @@ pub enum CcsError {
     DeadlineExceeded,
     /// The run was cancelled cooperatively via its `SolveContext`.
     Cancelled,
+    /// A service layer shed the request before it ran — the global queue
+    /// budget was exhausted or a per-tenant quota was exceeded.  The request
+    /// was never admitted; retrying later is safe and the message says which
+    /// limit fired.
+    Overloaded(String),
 }
 
 impl CcsError {
@@ -52,6 +57,11 @@ impl CcsError {
     pub fn invalid_parameter(msg: impl Into<String>) -> Self {
         CcsError::InvalidParameter(msg.into())
     }
+
+    /// Shorthand constructor for [`CcsError::Overloaded`].
+    pub fn overloaded(msg: impl Into<String>) -> Self {
+        CcsError::Overloaded(msg.into())
+    }
 }
 
 impl fmt::Display for CcsError {
@@ -64,6 +74,7 @@ impl fmt::Display for CcsError {
             CcsError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             CcsError::DeadlineExceeded => write!(f, "deadline exceeded"),
             CcsError::Cancelled => write!(f, "cancelled"),
+            CcsError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -92,6 +103,10 @@ mod tests {
         );
         assert_eq!(CcsError::DeadlineExceeded.to_string(), "deadline exceeded");
         assert_eq!(CcsError::Cancelled.to_string(), "cancelled");
+        assert_eq!(
+            CcsError::overloaded("queue full").to_string(),
+            "overloaded: queue full"
+        );
     }
 
     #[test]

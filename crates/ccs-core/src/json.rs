@@ -278,6 +278,7 @@ pub fn error_to_json(err: &CcsError) -> JsonValue {
         CcsError::InvalidParameter(m) => ("invalid_parameter", Some(m)),
         CcsError::DeadlineExceeded => ("deadline_exceeded", None),
         CcsError::Cancelled => ("cancelled", None),
+        CcsError::Overloaded(m) => ("overloaded", Some(m)),
     };
     let mut obj = JsonValue::object();
     obj.set("kind", kind);
@@ -308,6 +309,7 @@ pub fn error_from_json(value: &JsonValue) -> Result<CcsError> {
         "invalid_parameter" => Ok(CcsError::InvalidParameter(message())),
         "deadline_exceeded" => Ok(CcsError::DeadlineExceeded),
         "cancelled" => Ok(CcsError::Cancelled),
+        "overloaded" => Ok(CcsError::Overloaded(message())),
         other => Err(err(&format!("unknown error kind '{other}'"))),
     }
 }
@@ -624,6 +626,7 @@ mod tests {
             CcsError::invalid_parameter("eps <= 0"),
             CcsError::DeadlineExceeded,
             CcsError::Cancelled,
+            CcsError::overloaded("queue depth 8 at budget 8"),
         ];
         for case in cases {
             let json = error_to_json(&case).to_json();

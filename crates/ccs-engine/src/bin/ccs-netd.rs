@@ -1,0 +1,148 @@
+//! `ccs-netd` — the multi-client TCP solve service.
+//!
+//! Binds a TCP listener and serves the `ccs-wire/1` NDJSON protocol to many
+//! concurrent connections, multiplexed onto one engine worker pool with
+//! admission control (see `ccs_engine::netd` for the full semantics and
+//! `docs/OPERATIONS.md` for the operator guide):
+//!
+//! ```text
+//! ccs-netd [--listen <addr>] [--workers <n>] [--cache <entries>]
+//!          [--per-conn <n>] [--queue-budget <n>] [--tenant-quota <n>]
+//!          [--ordered] [--stats-every <secs>]
+//! ```
+//!
+//! * `--listen <addr>` — bind address (default `127.0.0.1:7433`; port `0`
+//!   picks an ephemeral port).  The actual address is printed to stderr as
+//!   `ccs-netd: listening on <addr>` once the socket is bound.
+//! * `--workers <n>` — engine worker-pool size (default: all cores),
+//! * `--cache <entries>` — attach a solution cache of that capacity
+//!   (default: off; solution frames then carry `"cache": "hit" | "miss"`),
+//! * `--per-conn <n>` — max in-flight requests per connection before reads
+//!   pause (default 32),
+//! * `--queue-budget <n>` — max in-flight requests across all connections
+//!   before new ones are shed with `overloaded` frames (default 1024),
+//! * `--tenant-quota <n>` — max in-flight requests per tenant (default:
+//!   no quotas),
+//! * `--ordered` — per-connection responses in request order (golden-file
+//!   diffing; default: completion order, matched by `id`),
+//! * `--stats-every <secs>` — stderr stats-line period (default 60;
+//!   `0` disables).
+//!
+//! Shutdown: the process watches its own stdin and starts a graceful drain
+//! on EOF or on a line reading `drain` — stop accepting, finish everything
+//! admitted, flush, exit 0.  (A bare SIGTERM kills the process without
+//! draining: installing a handler needs `libc`, which the offline build
+//! forgoes — see DESIGN.md §7.  Pipe the service's stdin from your
+//! supervisor and close it to stop.)
+
+use ccs_engine::{Engine, NetServer, NetdConfig};
+use std::io::BufRead;
+use std::time::Duration;
+
+fn main() {
+    let mut listen = "127.0.0.1:7433".to_string();
+    let mut workers: Option<usize> = None;
+    let mut cache: Option<usize> = None;
+    let mut config = NetdConfig {
+        stats_every: Some(Duration::from_secs(60)),
+        ..NetdConfig::default()
+    };
+
+    let usage = "usage: ccs-netd [--listen <addr>] [--workers <n>] [--cache <entries>] \
+                 [--per-conn <n>] [--queue-budget <n>] [--tenant-quota <n>] [--ordered] \
+                 [--stats-every <secs>]";
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut positive = |flag: &str| match args.next().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} requires a positive integer");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => {
+                    eprintln!("--listen requires an address");
+                    std::process::exit(2);
+                }
+            },
+            "--workers" => workers = Some(positive("--workers")),
+            "--cache" => cache = Some(positive("--cache")),
+            "--per-conn" => config.max_inflight_per_conn = positive("--per-conn"),
+            "--queue-budget" => config.queue_budget = positive("--queue-budget"),
+            "--tenant-quota" => config.tenant_quota = Some(positive("--tenant-quota")),
+            "--ordered" => config.ordered = true,
+            "--stats-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => config.stats_every = None,
+                Some(secs) => config.stats_every = Some(Duration::from_secs(secs)),
+                None => {
+                    eprintln!("--stats-every requires a number of seconds");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unrecognised argument: {other}");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut engine = Engine::new();
+    if let Some(n) = workers {
+        engine = engine.with_workers(n);
+    }
+    if let Some(entries) = cache {
+        engine = engine.with_cache(entries);
+    }
+
+    let server = match NetServer::bind(engine, listen.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ccs-netd: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        // The machine-parseable line scripts wait for (and, with port 0,
+        // parse the ephemeral port out of).
+        Ok(addr) => eprintln!("ccs-netd: listening on {addr}"),
+        Err(e) => eprintln!("ccs-netd: listening (local_addr failed: {e})"),
+    }
+
+    // The drain control channel: EOF or a `drain` line on stdin triggers a
+    // graceful shutdown (the offline substitute for a SIGTERM handler).
+    let handle = server.handle();
+    std::thread::Builder::new()
+        .name("ccs-netd-stdin".to_string())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(line) if line.trim() == "drain" => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            eprintln!("ccs-netd: draining");
+            handle.drain();
+        })
+        .expect("spawning the stdin watcher");
+
+    match server.run() {
+        Ok(stats) => {
+            eprintln!(
+                "ccs-netd: drained ({} admitted, {} completed, {} shed)",
+                stats.admitted,
+                stats.completed,
+                stats.shed_overload + stats.shed_quota
+            );
+        }
+        Err(e) => {
+            eprintln!("ccs-netd: listener failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,7 +7,8 @@
 //! that sends one request and waits for its answer before sending the next
 //! is served correctly.  Responses may arrive out of order; match them to
 //! requests by `id`.  Malformed lines produce an error frame with
-//! `"id": ""` instead of killing the service.
+//! `"id": ""` instead of killing the service.  An `"op": "stats"` frame is
+//! answered inline with the engine's counters (see `docs/WIRE.md` §6).
 //!
 //! ```text
 //! printf '%s\n' '{"schema":"ccs-wire/1","id":"a","instance":{...},"model":"splittable"}' \
@@ -25,7 +26,7 @@
 //!   `"cache": "hit" | "miss"`, and hit-rate statistics are printed to
 //!   stderr at EOF.
 
-use ccs_engine::wire::{self, WireRequest};
+use ccs_engine::wire::{self, ServiceStats, WireFrame, WireRequest};
 use ccs_engine::{Engine, SolveHandle};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
@@ -122,16 +123,32 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        let pending = match wire::request_from_line(&line) {
-            Ok(WireRequest {
+        let pending = match wire::frame_from_line(&line) {
+            Ok(WireFrame::Request(WireRequest {
                 id,
                 instance,
                 request,
-            }) => {
+                // ccs-serve enforces no quotas; the label is accepted so the
+                // same frames replay through ccs-netd, then ignored.
+                tenant: _,
+            })) => {
                 let handle = engine.submit(instance, &request);
                 Pending {
                     id,
                     outcome: Outcome::Handle(handle),
+                }
+            }
+            Ok(WireFrame::Stats { id }) => {
+                // In-band stats poll: engine counters only — ccs-serve has no
+                // connections or admission control, so those stay zero.
+                let stats = ServiceStats {
+                    engine: engine.stats(),
+                    ..ServiceStats::default()
+                };
+                let frame = wire::stats_response_to_json(&id, &stats).to_json();
+                Pending {
+                    id,
+                    outcome: Outcome::Immediate(frame),
                 }
             }
             Err(error) => {

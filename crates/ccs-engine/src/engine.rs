@@ -201,9 +201,13 @@ impl Engine {
     /// Aggregate counters over every run this engine (and its clones)
     /// executed: solves, checkpoints, search iterations, … — plus the
     /// solution cache's hit/miss/eviction counters when one is attached
-    /// (cache hits do not count as solves: no solver ran).
+    /// (cache hits do not count as solves: no solver ran), the live
+    /// worker-pool backlog ([`Engine::queue_depth`]) and the shed count an
+    /// admission-control front end (such as `ccs-netd`, see [`crate::netd`])
+    /// recorded on this engine's sink.
     pub fn stats(&self) -> StatsSnapshot {
         let mut snapshot = self.core.stats.snapshot();
+        snapshot.queue_depth = self.queue_depth() as u64;
         if let Some(cache) = &self.core.cache {
             let cache = cache.stats();
             snapshot.cache_hits = cache.hits;
@@ -332,6 +336,20 @@ impl Engine {
     /// Number of threads the worker pool runs (starts the pool if needed).
     pub fn workers(&self) -> usize {
         self.pool().workers()
+    }
+
+    /// Jobs submitted to the worker pool but not yet picked up by a worker
+    /// (`0` when the pool has not started).  A service front end compares
+    /// this against its admission budget; see [`crate::netd`].
+    pub fn queue_depth(&self) -> usize {
+        self.pool.get().map_or(0, WorkerPool::queue_depth)
+    }
+
+    /// The engine's shared [`StatsSink`] — service layers running outside
+    /// the engine proper (e.g. the `ccs-netd` admission controller) record
+    /// shed requests here so [`Engine::stats`] aggregates them.
+    pub fn stats_sink(&self) -> Arc<StatsSink> {
+        self.core.stats()
     }
 
     fn pool(&self) -> &WorkerPool {

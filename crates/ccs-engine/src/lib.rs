@@ -20,7 +20,11 @@
 //!   keyed by canonical instance fingerprint, model and resolved accuracy,
 //!   with single-flight coalescing of concurrent identical requests,
 //! * [`wire`] — the `ccs-wire/1` JSON protocol spoken by the `ccs-serve`
-//!   binary (newline-delimited request/response frames over stdin/stdout).
+//!   binary (newline-delimited request/response frames over stdin/stdout),
+//! * [`netd`] — the `ccs-netd` TCP front end: many concurrent connections
+//!   multiplexed onto the worker pool with per-connection backpressure, a
+//!   global queue budget that sheds excess load with structured
+//!   `overloaded` frames, per-tenant quotas, and graceful drain.
 //!
 //! ```
 //! use ccs_core::prelude::*;
@@ -43,6 +47,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod netd;
 pub mod policy;
 pub mod registry;
 pub mod wire;
@@ -50,6 +55,7 @@ pub mod worker;
 
 pub use cache::{CacheOutcome, CacheStats};
 pub use engine::{Engine, Solution};
+pub use netd::{NetServer, NetdConfig, NetdHandle};
 pub use policy::{Accuracy, ResolvedAccuracy, SolveRequest};
 pub use registry::{erase, ErasedSolver, SolverMeta, SolverRegistry};
 pub use worker::SolveHandle;

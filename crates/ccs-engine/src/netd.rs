@@ -1,0 +1,682 @@
+//! `ccs-netd` — the multi-client TCP front end with admission control.
+//!
+//! [`NetServer`] multiplexes many concurrent TCP connections onto one
+//! [`Engine`] worker pool.  Each connection speaks the `ccs-wire/1` NDJSON
+//! protocol of [`crate::wire`] (one frame per line); requests are submitted
+//! to the pool as soon as they parse and responses complete out of order
+//! per connection, matched by `id` ([`NetdConfig::ordered`] pins
+//! per-connection request order for golden-file diffing).
+//!
+//! The server is a single hand-rolled poll/accept loop over non-blocking
+//! `std::net` sockets (the offline-substitution constraints of DESIGN.md §7
+//! rule out `mio`/`tokio`): every iteration accepts pending connections,
+//! flushes output buffers, reaps finished solve handles, and reads exactly
+//! as much new input as admission control allows.  Solving itself happens on
+//! the engine's workers; the loop only does I/O and bookkeeping, so a slow
+//! solve never stalls other connections.
+//!
+//! Admission control, outermost check first:
+//!
+//! * **Per-connection backpressure** — at most
+//!   [`NetdConfig::max_inflight_per_conn`] admitted requests per connection;
+//!   at the cap the loop simply stops reading that socket (TCP flow control
+//!   pushes back on the client) until completions free a slot.  Nothing is
+//!   shed: a well-behaved pipelining client is throttled, never errored.
+//! * **Global queue budget** — at most [`NetdConfig::queue_budget`] admitted
+//!   requests in flight across all connections (queued *or* running: the
+//!   budget bounds what the service has promised to do, not the pool's
+//!   backlog).  Past it, new requests are shed with a structured
+//!   `overloaded` error frame; the connection stays open and the client may
+//!   retry.
+//! * **Per-tenant quotas** — with [`NetdConfig::tenant_quota`], each tenant
+//!   (the optional `tenant` member on request frames; untagged requests
+//!   share the anonymous tenant `""`) may hold at most that many in-flight
+//!   requests.  Excess is shed with an `overloaded` frame naming the quota,
+//!   while other tenants proceed untouched.
+//!
+//! Shutdown is a graceful drain ([`NetdHandle::drain`], or stdin EOF /
+//! a `drain` line in the `ccs-netd` binary): the listener closes, already
+//! admitted requests finish, buffered complete request lines are still
+//! admitted, output is flushed, then every connection closes and
+//! [`NetServer::run`] returns the final [`ServiceStats`].
+
+use crate::engine::Engine;
+use crate::wire::{self, ServiceStats, TenantStats, WireFrame, WireRequest};
+use crate::worker::SolveHandle;
+use ccs_core::CcsError;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stop reading a connection whose client is not draining its responses
+/// once this much serialised output is waiting on it.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// Idle-loop sleep: long enough to stay invisible in profiles, short enough
+/// that request latency is dominated by solving, not polling.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Tuning knobs of a [`NetServer`]; `NetdConfig::default()` matches the
+/// `ccs-netd` binary's defaults.
+#[derive(Debug, Clone)]
+pub struct NetdConfig {
+    /// Most admitted requests one connection may hold in flight; at the cap
+    /// the server pauses reads on that socket instead of shedding.
+    pub max_inflight_per_conn: usize,
+    /// Most admitted requests in flight across all connections (queued or
+    /// running); past it new requests are shed with `overloaded` frames.
+    pub queue_budget: usize,
+    /// Most in-flight requests per tenant (`None` disables quotas).
+    pub tenant_quota: Option<usize>,
+    /// Emit each connection's responses in its request order instead of
+    /// completion order (for diffing against golden files).
+    pub ordered: bool,
+    /// Print a machine-parseable stats line to stderr this often, plus one
+    /// final line at drain (`None` disables both).
+    pub stats_every: Option<Duration>,
+}
+
+impl Default for NetdConfig {
+    fn default() -> Self {
+        NetdConfig {
+            max_inflight_per_conn: 32,
+            queue_budget: 1024,
+            tenant_quota: None,
+            ordered: false,
+            stats_every: None,
+        }
+    }
+}
+
+/// A drain trigger for a running [`NetServer`]; clones share the trigger.
+#[derive(Debug, Clone)]
+pub struct NetdHandle {
+    draining: Arc<AtomicBool>,
+}
+
+impl NetdHandle {
+    /// Asks the server to drain: stop accepting connections and reading new
+    /// requests, finish everything admitted, flush, close, return.
+    /// Idempotent.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// A response owed to a client, in arrival order of its request.
+struct Pending {
+    /// `Some` while the solve is still on the engine; `None` once decided
+    /// (shed, malformed, stats — or a reaped job, transiently).
+    job: Option<PendingJob>,
+    /// The serialised frame, filled in when the outcome is known.
+    line: Option<String>,
+}
+
+struct PendingJob {
+    id: String,
+    tenant: String,
+    handle: SolveHandle,
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into complete lines.
+    read_buf: Vec<u8>,
+    /// Serialised responses awaiting the socket, already emitted from
+    /// `pending` (a cursor avoids re-copying on partial writes).
+    out: Vec<u8>,
+    out_pos: usize,
+    pending: Vec<Pending>,
+    /// Admitted jobs among `pending` (the per-connection in-flight count).
+    jobs: usize,
+    /// Client closed its write side; serve out the backlog, then close.
+    eof: bool,
+    /// I/O error: discard output, cancel jobs, reap, then close.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: Vec::new(),
+            jobs: 0,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos == self.out.len()
+    }
+
+    /// Nothing owed and nothing buffered: safe to close.
+    fn idle(&self) -> bool {
+        self.pending.is_empty() && self.flushed()
+    }
+}
+
+/// Per-tenant admission bookkeeping (keyed by the request `tenant` member;
+/// `""` is the anonymous tenant).
+#[derive(Default)]
+struct Tenant {
+    inflight: usize,
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+}
+
+/// The single-threaded admission/bookkeeping state of the poll loop.
+struct Admission {
+    inflight: usize,
+    admitted: u64,
+    completed: u64,
+    shed_overload: u64,
+    shed_quota: u64,
+    connections: u64,
+    tenants: HashMap<String, Tenant>,
+}
+
+/// The TCP front end: bind, then [`NetServer::run`] the poll loop to
+/// completion (a drain).  See the module docs for the admission-control
+/// semantics.
+///
+/// ```no_run
+/// use ccs_engine::{Engine, NetServer, NetdConfig};
+///
+/// let engine = Engine::new().with_workers(4).with_cache(1024);
+/// let server = NetServer::bind(engine, "127.0.0.1:0", NetdConfig::default()).unwrap();
+/// eprintln!("listening on {}", server.local_addr().unwrap());
+/// let handle = server.handle(); // call handle.drain() from elsewhere
+/// let final_stats = server.run().unwrap();
+/// # let _ = (handle, final_stats);
+/// ```
+pub struct NetServer {
+    engine: Engine,
+    listener: Option<TcpListener>,
+    config: NetdConfig,
+    draining: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Binds the listening socket (port `0` picks an ephemeral port; read it
+    /// back with [`NetServer::local_addr`]).  The engine's worker pool and
+    /// cache should be configured before it is passed in.
+    pub fn bind(
+        engine: Engine,
+        addr: impl ToSocketAddrs,
+        config: NetdConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(NetServer {
+            engine,
+            listener: Some(listener),
+            config,
+            draining: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (its port is the one to publish when binding to
+    /// port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener
+            .as_ref()
+            .expect("listener present until run() drains")
+            .local_addr()
+    }
+
+    /// A drain trigger usable from other threads.
+    pub fn handle(&self) -> NetdHandle {
+        NetdHandle {
+            draining: Arc::clone(&self.draining),
+        }
+    }
+
+    /// Runs the poll/accept loop until a drain completes, then returns the
+    /// final counters.  Individual connection I/O errors are absorbed (the
+    /// connection is dropped, its admitted jobs cancelled); only listener
+    /// failures abort the server.
+    pub fn run(mut self) -> std::io::Result<ServiceStats> {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut admission = Admission {
+            inflight: 0,
+            admitted: 0,
+            completed: 0,
+            shed_overload: 0,
+            shed_quota: 0,
+            connections: 0,
+            tenants: HashMap::new(),
+        };
+        let mut next_stats = self.config.stats_every.map(|every| Instant::now() + every);
+        loop {
+            let draining = self.draining.load(Ordering::Acquire);
+            let mut progress = false;
+
+            if draining {
+                // Free the port immediately; queued SYNs are reset.
+                self.listener = None;
+            } else if let Some(listener) = &self.listener {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue; // peer already gone
+                            }
+                            let _ = stream.set_nodelay(true);
+                            admission.connections += 1;
+                            conns.push(Conn::new(stream));
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        // Transient per-connection accept failures
+                        // (ECONNABORTED and friends) must not kill the
+                        // server; try again next iteration.
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            let active = conns.len();
+            for conn in &mut conns {
+                progress |= reap_finished(conn, &mut admission, self.config.ordered);
+                progress |= flush(conn);
+                if !draining {
+                    progress |=
+                        read_and_admit(conn, &self.engine, &self.config, &mut admission, active);
+                } else if !conn.dead {
+                    // Drain admits complete lines already buffered (they
+                    // were received before the drain), but reads no more.
+                    parse_and_admit(conn, &self.engine, &self.config, &mut admission, active);
+                }
+                if conn.dead {
+                    for p in &mut conn.pending {
+                        if let Some(job) = &p.job {
+                            job.handle.cancel();
+                        }
+                    }
+                }
+            }
+            conns.retain(|conn| {
+                let gone = (conn.eof || conn.dead) && conn.pending.is_empty() && {
+                    conn.dead || conn.flushed()
+                };
+                !gone
+            });
+
+            if let (Some(every), Some(at)) = (self.config.stats_every, next_stats) {
+                if Instant::now() >= at {
+                    eprintln!("{}", stats_line(&self.stats(&admission, conns.len())));
+                    next_stats = Some(at + every);
+                }
+            }
+
+            if draining && conns.iter().all(Conn::idle) {
+                let stats = self.stats(&admission, 0);
+                if self.config.stats_every.is_some() {
+                    eprintln!("{}", stats_line(&stats));
+                }
+                return Ok(stats); // dropping `conns` closes every socket
+            }
+            if !progress {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+
+    fn stats(&self, admission: &Admission, active: usize) -> ServiceStats {
+        service_stats(&self.engine, admission, active)
+    }
+}
+
+/// Assembles the stats payload both the `stats` wire frame and the stderr
+/// line serve.
+fn service_stats(engine: &Engine, admission: &Admission, active: usize) -> ServiceStats {
+    let mut tenants: Vec<TenantStats> = admission
+        .tenants
+        .iter()
+        .map(|(name, t)| TenantStats {
+            tenant: name.clone(),
+            admitted: t.admitted,
+            completed: t.completed,
+            shed: t.shed,
+        })
+        .collect();
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    ServiceStats {
+        engine: engine.stats(),
+        connections: admission.connections,
+        active_connections: active as u64,
+        admitted: admission.admitted,
+        completed: admission.completed,
+        shed_overload: admission.shed_overload,
+        shed_quota: admission.shed_quota,
+        tenants,
+    }
+}
+
+/// One machine-parseable stats line for operators (stderr; stdout carries
+/// nothing — responses travel on the sockets).
+fn stats_line(stats: &ServiceStats) -> String {
+    let mut line = format!(
+        "netd stats: conns={} active={} admitted={} completed={} inflight={} \
+         pool_queue={} shed_overload={} shed_quota={} solves={} cache_hits={} cache_misses={}",
+        stats.connections,
+        stats.active_connections,
+        stats.admitted,
+        stats.completed,
+        stats.admitted - stats.completed,
+        stats.engine.queue_depth,
+        stats.shed_overload,
+        stats.shed_quota,
+        stats.engine.solves,
+        stats.engine.cache_hits,
+        stats.engine.cache_misses,
+    );
+    for t in &stats.tenants {
+        let name = if t.tenant.is_empty() { "-" } else { &t.tenant };
+        line.push_str(&format!(
+            " tenant[{name}]={}/{}/{}",
+            t.admitted, t.completed, t.shed
+        ));
+    }
+    line
+}
+
+/// Moves finished solve outcomes into serialised response lines and writes
+/// emittable lines to the connection's output buffer.  Returns whether
+/// anything moved.
+fn reap_finished(conn: &mut Conn, admission: &mut Admission, ordered: bool) -> bool {
+    let mut moved = false;
+    for p in &mut conn.pending {
+        let finished = p.job.as_ref().is_some_and(|j| j.handle.is_finished());
+        if finished {
+            let job = p.job.take().expect("checked above");
+            let line = match job.handle.wait() {
+                Ok(solution) => wire::solution_to_json(&job.id, &solution).to_json(),
+                Err(error) => wire::error_response_to_json(&job.id, &error).to_json(),
+            };
+            p.line = Some(line);
+            conn.jobs -= 1;
+            admission.inflight -= 1;
+            admission.completed += 1;
+            let tenant = admission.tenants.entry(job.tenant).or_default();
+            tenant.inflight -= 1;
+            tenant.completed += 1;
+            moved = true;
+        }
+    }
+    // Emit decided responses: with `ordered` only the decided prefix, else
+    // everything decided so far (ids disambiguate).
+    let mut index = 0;
+    while index < conn.pending.len() {
+        match &conn.pending[index].line {
+            Some(line) => {
+                if !conn.dead {
+                    conn.out.extend_from_slice(line.as_bytes());
+                    conn.out.push(b'\n');
+                }
+                conn.pending.remove(index);
+                moved = true;
+            }
+            None if ordered => break,
+            None => index += 1,
+        }
+    }
+    moved
+}
+
+/// Writes buffered output until the socket would block.  Returns whether
+/// bytes moved.
+fn flush(conn: &mut Conn) -> bool {
+    let mut wrote = false;
+    while !conn.dead && conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                wrote = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+            }
+        }
+    }
+    if conn.flushed() && conn.out_pos > 0 {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    wrote
+}
+
+/// Reads newly arrived bytes (while admission allows) and admits the
+/// complete lines among them.  Returns whether bytes or requests moved.
+fn read_and_admit(
+    conn: &mut Conn,
+    engine: &Engine,
+    config: &NetdConfig,
+    admission: &mut Admission,
+    active: usize,
+) -> bool {
+    let mut moved = parse_and_admit(conn, engine, config, admission, active);
+    let mut buf = [0u8; 16 * 1024];
+    // The per-connection backpressure point: at the in-flight cap (or with a
+    // client that stopped reading responses) no more bytes are read, so TCP
+    // flow control eventually pauses the sender.
+    while !conn.dead
+        && !conn.eof
+        && conn.jobs < config.max_inflight_per_conn
+        && conn.out.len() - conn.out_pos < OUT_HIGH_WATER
+    {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+            }
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&buf[..n]);
+                moved = true;
+                parse_and_admit(conn, engine, config, admission, active);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+            }
+        }
+    }
+    moved
+}
+
+/// Admits complete lines from the connection's read buffer until the
+/// per-connection cap (or the end of the buffered input).  Returns whether a
+/// line was consumed.
+fn parse_and_admit(
+    conn: &mut Conn,
+    engine: &Engine,
+    config: &NetdConfig,
+    admission: &mut Admission,
+    active: usize,
+) -> bool {
+    let mut consumed = false;
+    while conn.jobs < config.max_inflight_per_conn && !conn.dead {
+        let Some(nl) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let line: Vec<u8> = conn.read_buf.drain(..=nl).collect();
+        consumed = true;
+        let line = String::from_utf8_lossy(&line[..nl]);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let pending = admit_line(line, engine, config, admission, active);
+        if pending.job.is_some() {
+            conn.jobs += 1;
+        }
+        conn.pending.push(pending);
+    }
+    consumed
+}
+
+/// Parses one frame and runs it through admission control; the outcome is
+/// either an admitted engine job or an already-decided response line.
+fn admit_line(
+    line: &str,
+    engine: &Engine,
+    config: &NetdConfig,
+    admission: &mut Admission,
+    active: usize,
+) -> Pending {
+    let decided = |line: String| Pending {
+        job: None,
+        line: Some(line),
+    };
+    let request = match wire::frame_from_line(line) {
+        Ok(WireFrame::Request(request)) => request,
+        Ok(WireFrame::Stats { id }) => {
+            // Counters are sampled here, inside the loop, so the frame
+            // observes every admission decision that preceded it on its
+            // connection (same-connection lines are processed in order).
+            let stats = service_stats(engine, admission, active);
+            return decided(wire::stats_response_to_json(&id, &stats).to_json());
+        }
+        Err(error) => {
+            // Best-effort id recovery, as in ccs-serve: echo what the
+            // malformed line carried so the client can count failures.
+            let id = ccs_core::json::parse(line)
+                .ok()
+                .and_then(|v| v.get("id").and_then(|i| i.as_str().map(str::to_string)))
+                .unwrap_or_default();
+            return decided(wire::error_response_to_json(&id, &error).to_json());
+        }
+    };
+    let WireRequest {
+        id,
+        tenant,
+        instance,
+        request,
+    } = request;
+    let tenant = tenant.unwrap_or_default();
+
+    // Global queue budget: bounds admitted-but-not-completed across all
+    // connections — the service's total outstanding promise, deliberately
+    // not the pool's internal backlog (which shrinks the moment a worker
+    // picks a job up).
+    if admission.inflight >= config.queue_budget {
+        admission.shed_overload += 1;
+        engine.stats_sink().record_shed();
+        let error = CcsError::overloaded(format!(
+            "queue budget {} exhausted ({} requests in flight); retry later",
+            config.queue_budget, admission.inflight
+        ));
+        return decided(wire::error_response_to_json(&id, &error).to_json());
+    }
+    // Per-tenant quota.
+    if let Some(quota) = config.tenant_quota {
+        let entry = admission.tenants.entry(tenant.clone()).or_default();
+        if entry.inflight >= quota {
+            entry.shed += 1;
+            admission.shed_quota += 1;
+            engine.stats_sink().record_shed();
+            let label = if tenant.is_empty() {
+                "anonymous tenant".to_string()
+            } else {
+                format!("tenant '{tenant}'")
+            };
+            let error = CcsError::overloaded(format!(
+                "{label} quota {quota} exhausted ({} requests in flight); retry later",
+                entry.inflight
+            ));
+            return decided(wire::error_response_to_json(&id, &error).to_json());
+        }
+    }
+
+    let handle = engine.submit(instance, &request);
+    admission.inflight += 1;
+    admission.admitted += 1;
+    let entry = admission.tenants.entry(tenant.clone()).or_default();
+    entry.inflight += 1;
+    entry.admitted += 1;
+    Pending {
+        job: Some(PendingJob { id, tenant, handle }),
+        line: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = NetdConfig::default();
+        assert!(config.max_inflight_per_conn >= 1);
+        assert!(config.queue_budget >= config.max_inflight_per_conn);
+        assert_eq!(config.tenant_quota, None);
+        assert!(!config.ordered);
+    }
+
+    #[test]
+    fn handle_drain_is_idempotent_and_visible() {
+        let server = NetServer::bind(
+            Engine::new().with_workers(1),
+            "127.0.0.1:0",
+            NetdConfig::default(),
+        )
+        .unwrap();
+        let handle = server.handle();
+        assert!(!handle.is_draining());
+        handle.drain();
+        handle.drain();
+        assert!(handle.is_draining());
+        let stats = server.run().unwrap();
+        assert_eq!(stats.admitted, 0);
+        assert_eq!(stats.connections, 0);
+    }
+
+    #[test]
+    fn stats_line_is_machine_parseable() {
+        let stats = ServiceStats {
+            admitted: 7,
+            completed: 5,
+            shed_overload: 2,
+            tenants: vec![
+                TenantStats {
+                    tenant: String::new(),
+                    admitted: 4,
+                    completed: 3,
+                    shed: 1,
+                },
+                TenantStats {
+                    tenant: "acme".to_string(),
+                    admitted: 3,
+                    completed: 2,
+                    shed: 0,
+                },
+            ],
+            ..ServiceStats::default()
+        };
+        let line = stats_line(&stats);
+        assert!(line.contains("admitted=7"));
+        assert!(line.contains("inflight=2"));
+        assert!(line.contains("shed_overload=2"));
+        assert!(line.contains("tenant[-]=4/3/1"));
+        assert!(line.contains("tenant[acme]=3/2/0"));
+    }
+}

@@ -46,10 +46,29 @@ fn err(msg: impl Into<String>) -> CcsError {
 pub struct WireRequest {
     /// Caller-chosen correlation id, echoed on the response.
     pub id: String,
+    /// Optional tenant label for per-tenant admission control (`ccs-netd`
+    /// quotas); requests without one share the anonymous tenant.  Accepted
+    /// and ignored by services without quotas, never echoed on responses.
+    pub tenant: Option<String>,
     /// The instance to solve.
     pub instance: Instance,
     /// What to solve it for.
     pub request: SolveRequest,
+}
+
+/// One parsed inbound frame of a multi-frame service (`ccs-netd`): either a
+/// solve request or a control frame.  `ccs-serve` only speaks the former.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// A solve request (no `"op"` member, or `"op": "solve"`).
+    Request(WireRequest),
+    /// A statistics poll (`"op": "stats"`): the service answers with a
+    /// `status: "stats"` frame ([`stats_response_to_json`]) carrying the
+    /// echoed id and a [`ServiceStats`] payload.
+    Stats {
+        /// Caller-chosen correlation id, echoed on the stats response.
+        id: String,
+    },
 }
 
 /// An owned mirror of [`Solution`] for the receiving side of the protocol
@@ -131,6 +150,9 @@ pub fn request_to_json(req: &WireRequest) -> JsonValue {
     let mut obj = JsonValue::object();
     obj.set("schema", SCHEMA);
     obj.set("id", req.id.as_str());
+    if let Some(tenant) = &req.tenant {
+        obj.set("tenant", tenant.as_str());
+    }
     obj.set("instance", req.instance.to_json_value());
     obj.set("model", req.request.model.name());
     let accuracy = match req.request.accuracy {
@@ -223,6 +245,14 @@ pub fn request_from_json(value: &JsonValue) -> Result<WireRequest> {
         .and_then(JsonValue::as_str)
         .ok_or_else(|| err("request needs a string 'id'"))?
         .to_string();
+    let tenant = match value.get("tenant") {
+        None => None,
+        Some(t) => Some(
+            t.as_str()
+                .ok_or_else(|| err("'tenant' must be a string"))?
+                .to_string(),
+        ),
+    };
     let instance = Instance::from_json_value(
         value
             .get("instance")
@@ -262,6 +292,7 @@ pub fn request_from_json(value: &JsonValue) -> Result<WireRequest> {
     }
     Ok(WireRequest {
         id,
+        tenant,
         instance,
         request,
     })
@@ -270,6 +301,35 @@ pub fn request_from_json(value: &JsonValue) -> Result<WireRequest> {
 /// Parses one NDJSON request line.
 pub fn request_from_line(line: &str) -> Result<WireRequest> {
     request_from_json(&parse(line)?)
+}
+
+/// Parses an inbound frame of a multi-frame service: dispatches on the
+/// optional `"op"` member (`"solve"` — the default — or `"stats"`).
+pub fn frame_from_json(value: &JsonValue) -> Result<WireFrame> {
+    check_schema(value)?;
+    match value.get("op").map(|op| {
+        op.as_str()
+            .ok_or_else(|| err("'op' must be a string"))
+            .map(str::to_string)
+    }) {
+        None => Ok(WireFrame::Request(request_from_json(value)?)),
+        Some(op) => match op?.as_str() {
+            "solve" => Ok(WireFrame::Request(request_from_json(value)?)),
+            "stats" => Ok(WireFrame::Stats {
+                id: value
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| err("stats frame needs a string 'id'"))?
+                    .to_string(),
+            }),
+            other => Err(err(format!("unknown op '{other}'"))),
+        },
+    }
+}
+
+/// Parses one NDJSON inbound frame ([`frame_from_json`]).
+pub fn frame_from_line(line: &str) -> Result<WireFrame> {
+    frame_from_json(&parse(line)?)
 }
 
 // ---------------------------------------------------------------------------
@@ -668,6 +728,185 @@ pub fn response_from_line(line: &str) -> Result<WireResponse> {
     response_from_json(&parse(line)?)
 }
 
+// ---------------------------------------------------------------------------
+// Service statistics frames.
+// ---------------------------------------------------------------------------
+
+/// Per-tenant admission counters of a quota-enforcing service.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant label (`""` is the anonymous tenant of untagged requests).
+    pub tenant: String,
+    /// Requests admitted to the engine.
+    pub admitted: u64,
+    /// Admitted requests that have completed (ok or error).
+    pub completed: u64,
+    /// Requests shed by the per-tenant quota.
+    pub shed: u64,
+}
+
+/// The payload of a `status: "stats"` frame: engine counters plus the
+/// serving layer's admission-control state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// The engine's aggregate counters ([`crate::Engine::stats`]).
+    pub engine: ccs_core::StatsSnapshot,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Requests admitted to the engine since startup.
+    pub admitted: u64,
+    /// Admitted requests that have completed (ok or error).
+    pub completed: u64,
+    /// Requests shed because the global queue budget was exhausted.
+    pub shed_overload: u64,
+    /// Requests shed because a per-tenant quota was exceeded.
+    pub shed_quota: u64,
+    /// Per-tenant counters, sorted by tenant label.  Only tenants that sent
+    /// at least one request appear; the ledger is kept whether or not
+    /// quotas are enforced, with untagged requests under the `""` tenant.
+    pub tenants: Vec<TenantStats>,
+}
+
+fn snapshot_to_json(snap: &ccs_core::StatsSnapshot) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("solves", snap.solves);
+    obj.set("checkpoints", snap.checkpoints);
+    obj.set("search_iterations", snap.search_iterations);
+    obj.set("guesses_evaluated", snap.guesses_evaluated);
+    obj.set("configurations", snap.configurations);
+    obj.set("shed", snap.shed);
+    obj.set("queue_depth", snap.queue_depth);
+    obj.set("cache_hits", snap.cache_hits);
+    obj.set("cache_misses", snap.cache_misses);
+    obj.set("cache_evictions", snap.cache_evictions);
+    obj
+}
+
+fn snapshot_from_json(value: &JsonValue) -> Result<ccs_core::StatsSnapshot> {
+    let count = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| err(format!("engine stats need a count '{key}'")))
+    };
+    Ok(ccs_core::StatsSnapshot {
+        solves: count("solves")?,
+        checkpoints: count("checkpoints")?,
+        search_iterations: count("search_iterations")?,
+        guesses_evaluated: count("guesses_evaluated")?,
+        configurations: count("configurations")?,
+        shed: count("shed")?,
+        queue_depth: count("queue_depth")?,
+        cache_hits: count("cache_hits")?,
+        cache_misses: count("cache_misses")?,
+        cache_evictions: count("cache_evictions")?,
+    })
+}
+
+/// Serialises a `status: "stats"` response frame for a [`WireFrame::Stats`]
+/// poll.
+pub fn stats_response_to_json(id: &str, stats: &ServiceStats) -> JsonValue {
+    let mut payload = JsonValue::object();
+    payload.set("engine", snapshot_to_json(&stats.engine));
+    payload.set("connections", stats.connections);
+    payload.set("active_connections", stats.active_connections);
+    payload.set("admitted", stats.admitted);
+    payload.set("completed", stats.completed);
+    payload.set("shed_overload", stats.shed_overload);
+    payload.set("shed_quota", stats.shed_quota);
+    payload.set(
+        "tenants",
+        JsonValue::Array(
+            stats
+                .tenants
+                .iter()
+                .map(|t| {
+                    let mut obj = JsonValue::object();
+                    obj.set("tenant", t.tenant.as_str());
+                    obj.set("admitted", t.admitted);
+                    obj.set("completed", t.completed);
+                    obj.set("shed", t.shed);
+                    obj
+                })
+                .collect(),
+        ),
+    );
+    let mut obj = response_frame(id);
+    obj.set("status", "stats");
+    obj.set("stats", payload);
+    obj
+}
+
+/// Parses a `status: "stats"` response frame back into its id and payload.
+pub fn stats_response_from_json(value: &JsonValue) -> Result<(String, ServiceStats)> {
+    check_schema(value)?;
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("stats response needs a string 'id'"))?
+        .to_string();
+    match value.get("status").and_then(JsonValue::as_str) {
+        Some("stats") => {}
+        _ => return Err(err("stats response needs status \"stats\"")),
+    }
+    let payload = value
+        .get("stats")
+        .ok_or_else(|| err("stats response needs a 'stats' payload"))?;
+    let count = |key: &str| {
+        payload
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| err(format!("stats payload needs a count '{key}'")))
+    };
+    let tenants = payload
+        .get("tenants")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| err("stats payload needs a 'tenants' array"))?
+        .iter()
+        .map(|t| {
+            let field = |key: &str| {
+                t.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| err(format!("tenant stats need a count '{key}'")))
+            };
+            Ok(TenantStats {
+                tenant: t
+                    .get("tenant")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| err("tenant stats need a string 'tenant'"))?
+                    .to_string(),
+                admitted: field("admitted")?,
+                completed: field("completed")?,
+                shed: field("shed")?,
+            })
+        })
+        .collect::<Result<Vec<TenantStats>>>()?;
+    Ok((
+        id,
+        ServiceStats {
+            engine: snapshot_from_json(
+                payload
+                    .get("engine")
+                    .ok_or_else(|| err("stats payload needs 'engine' counters"))?,
+            )?,
+            connections: count("connections")?,
+            active_connections: count("active_connections")?,
+            admitted: count("admitted")?,
+            completed: count("completed")?,
+            shed_overload: count("shed_overload")?,
+            shed_quota: count("shed_quota")?,
+            tenants,
+        },
+    ))
+}
+
+/// Parses one NDJSON stats response line.
+pub fn stats_response_from_line(line: &str) -> Result<(String, ServiceStats)> {
+    stats_response_from_json(&parse(line)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +916,7 @@ mod tests {
     fn sample_request() -> WireRequest {
         WireRequest {
             id: "req-1".to_string(),
+            tenant: None,
             instance: instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2)]).unwrap(),
             request: SolveRequest::epsilon(ScheduleKind::Splittable, 0.5)
                 .unwrap()
@@ -829,5 +1069,104 @@ mod tests {
         let back = response_from_line(&json).unwrap();
         assert_eq!(back.id, "bad-1");
         assert_eq!(back.outcome, Err(CcsError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn overloaded_error_travels_as_structured_frame() {
+        let shed = CcsError::overloaded("queue depth 4 at budget 4");
+        let line = error_response_to_json("shed-1", &shed).to_json();
+        assert!(line.contains("\"kind\":\"overloaded\""));
+        let back = response_from_line(&line).unwrap();
+        assert_eq!(back.id, "shed-1");
+        assert_eq!(back.outcome, Err(shed));
+    }
+
+    #[test]
+    fn tenant_field_roundtrips_and_stays_absent_when_unset() {
+        let mut req = sample_request();
+        let line = request_to_line(&req);
+        assert!(!line.contains("\"tenant\""));
+        assert_eq!(request_from_line(&line).unwrap(), req);
+
+        req.tenant = Some("acme".to_string());
+        let line = request_to_line(&req);
+        assert!(line.contains("\"tenant\":\"acme\""));
+        let back = request_from_line(&line).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(request_to_line(&back), line);
+
+        // A non-string tenant is rejected, not ignored.
+        let bad = line.replace("\"tenant\":\"acme\"", "\"tenant\":7");
+        assert!(request_from_line(&bad).is_err());
+    }
+
+    #[test]
+    fn frames_dispatch_on_op() {
+        let req = sample_request();
+        let line = request_to_line(&req);
+        assert_eq!(frame_from_line(&line).unwrap(), WireFrame::Request(req));
+        let stats = r#"{"schema":"ccs-wire/1","id":"s1","op":"stats"}"#;
+        assert_eq!(
+            frame_from_line(stats).unwrap(),
+            WireFrame::Stats {
+                id: "s1".to_string()
+            }
+        );
+        for bad in [
+            r#"{"schema":"ccs-wire/1","id":"s1","op":"snooze"}"#,
+            r#"{"schema":"ccs-wire/1","op":"stats"}"#,
+            r#"{"schema":"ccs-wire/2","id":"s1","op":"stats"}"#,
+            r#"{"schema":"ccs-wire/1","id":"s1","op":3}"#,
+        ] {
+            assert!(frame_from_line(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn stats_response_roundtrip() {
+        let stats = ServiceStats {
+            engine: ccs_core::StatsSnapshot {
+                solves: 11,
+                checkpoints: 400,
+                search_iterations: 90,
+                guesses_evaluated: 7,
+                configurations: 3,
+                shed: 5,
+                queue_depth: 2,
+                cache_hits: 1,
+                cache_misses: 10,
+                cache_evictions: 0,
+            },
+            connections: 9,
+            active_connections: 3,
+            admitted: 11,
+            completed: 8,
+            shed_overload: 4,
+            shed_quota: 1,
+            tenants: vec![
+                TenantStats {
+                    tenant: String::new(),
+                    admitted: 6,
+                    completed: 5,
+                    shed: 0,
+                },
+                TenantStats {
+                    tenant: "acme".to_string(),
+                    admitted: 5,
+                    completed: 3,
+                    shed: 1,
+                },
+            ],
+        };
+        let line = stats_response_to_json("st-1", &stats).to_json();
+        assert!(line.contains("\"status\":\"stats\""));
+        let (id, back) = stats_response_from_line(&line).unwrap();
+        assert_eq!(id, "st-1");
+        assert_eq!(back, stats);
+        // Canonical: a second trip yields identical bytes.
+        assert_eq!(stats_response_to_json(&id, &back).to_json(), line);
+        // A solve response is not a stats response.
+        let solve = error_response_to_json("x", &CcsError::Cancelled).to_json();
+        assert!(stats_response_from_line(&solve).is_err());
     }
 }

@@ -194,6 +194,15 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Jobs submitted but not yet picked up by a worker.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue lock never poisoned")
+            .len()
+    }
+
     /// Enqueues a job; some idle worker picks it up.
     pub(crate) fn submit(&self, job: Job) {
         let mut queue = self

@@ -345,6 +345,7 @@ fn lcg_sweep_requests_roundtrip() {
         let model = ScheduleKind::ALL[rng.next(3) as usize];
         let req = WireRequest {
             id: format!("sweep-{i}"),
+            tenant: (rng.next(2) == 0).then(|| format!("tenant-{}", rng.next(4))),
             instance: sweep_instance(&mut rng),
             request: sweep_request(&mut rng, model),
         };

@@ -154,6 +154,7 @@ fn push_rebuilt(
 pub fn counterexample_frame(id: &str, inst: &Instance, request: &SolveRequest) -> String {
     wire::request_to_line(&WireRequest {
         id: id.to_string(),
+        tenant: None,
         instance: inst.clone(),
         request: *request,
     })
