@@ -17,10 +17,27 @@
 //! two `Option` reads.
 
 use crate::error::{CcsError, Result};
+use crate::rational::Rational;
 use crate::solver::SolveStats;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A warm-start hint: the makespan of a solution to a *parent* instance the
+/// current instance was derived from by a small mutation (see `ccs-session`).
+///
+/// Solvers treat the hint as pure advice — a consumer must return the exact
+/// same report it would have produced cold (the warm/cold equivalence pass in
+/// `ccs-verify` holds them to it); the hint may only save work.  Solvers that
+/// use the hint record the outcome via [`SolveContext::record_warm`]: a *hit*
+/// when the hint narrowed the search without a fallback, a *miss* when it had
+/// to be discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmHint {
+    /// The parent solution's makespan, an upper-bound-ish anchor for the
+    /// child's search (the child optimum may be larger or smaller).
+    pub makespan: Rational,
+}
 
 /// A shareable cancellation flag: the requester keeps one clone and the
 /// solver run polls another through its [`SolveContext`].
@@ -56,6 +73,8 @@ pub struct StatsSink {
     guesses_evaluated: AtomicU64,
     configurations: AtomicU64,
     shed: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_misses: AtomicU64,
 }
 
 /// A point-in-time copy of a [`StatsSink`].
@@ -88,6 +107,12 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Solution-cache evictions (see [`StatsSnapshot::cache_hits`]).
     pub cache_evictions: u64,
+    /// Warm-start hints that narrowed a search without a fallback
+    /// (recorded via [`SolveContext::record_warm`]).
+    pub warm_hits: u64,
+    /// Warm-start hints that had to be discarded (the solver fell back to
+    /// its cold path; the result is identical either way).
+    pub warm_misses: u64,
 }
 
 impl StatsSink {
@@ -113,6 +138,16 @@ impl StatsSink {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts the outcome of one consumed warm-start hint: a hit narrowed
+    /// the search, a miss fell back to the cold path.
+    pub fn record_warm(&self, hit: bool) {
+        if hit {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.warm_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Reads all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -122,6 +157,8 @@ impl StatsSink {
             guesses_evaluated: self.guesses_evaluated.load(Ordering::Relaxed),
             configurations: self.configurations.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_misses: self.warm_misses.load(Ordering::Relaxed),
             ..StatsSnapshot::default()
         }
     }
@@ -134,6 +171,7 @@ pub struct SolveContext {
     deadline: Option<Instant>,
     cancel: Option<CancelFlag>,
     stats: Option<Arc<StatsSink>>,
+    warm: Option<WarmHint>,
 }
 
 impl SolveContext {
@@ -166,6 +204,12 @@ impl SolveContext {
         self
     }
 
+    /// Attaches a warm-start hint (see [`WarmHint`]).
+    pub fn with_warm(mut self, hint: WarmHint) -> Self {
+        self.warm = Some(hint);
+        self
+    }
+
     /// The absolute deadline, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
@@ -179,6 +223,11 @@ impl SolveContext {
     /// The attached stats sink, if any.
     pub fn stats_sink(&self) -> Option<&Arc<StatsSink>> {
         self.stats.as_ref()
+    }
+
+    /// The attached warm-start hint, if any.
+    pub fn warm_hint(&self) -> Option<WarmHint> {
+        self.warm
     }
 
     /// `true` when neither a deadline nor a cancel flag is attached — hot
@@ -222,6 +271,14 @@ impl SolveContext {
     pub fn record_stats(&self, stats: &SolveStats) {
         if let Some(sink) = &self.stats {
             sink.record(stats);
+        }
+    }
+
+    /// Records one warm-start outcome into the attached sink (no-op without
+    /// one); see [`StatsSink::record_warm`].
+    pub fn record_warm(&self, hit: bool) {
+        if let Some(sink) = &self.stats {
+            sink.record_warm(hit);
         }
     }
 }
@@ -291,7 +348,27 @@ mod tests {
         sink.record_shed();
         sink.record_shed();
         assert_eq!(sink.snapshot().shed, 2);
+        sink.record_warm(true);
+        sink.record_warm(true);
+        sink.record_warm(false);
+        assert_eq!(sink.snapshot().warm_hits, 2);
+        assert_eq!(sink.snapshot().warm_misses, 1);
         // Queue depth is a service-layer overlay, never sink-recorded.
         assert_eq!(sink.snapshot().queue_depth, 0);
+    }
+
+    #[test]
+    fn warm_hint_travels_and_records() {
+        let ctx = SolveContext::unbounded();
+        assert_eq!(ctx.warm_hint(), None);
+        ctx.record_warm(true); // no sink: a silent no-op
+        let sink = Arc::new(StatsSink::new());
+        let hint = WarmHint {
+            makespan: Rational::new(7, 2),
+        };
+        let ctx = ctx.with_stats(sink.clone()).with_warm(hint);
+        assert_eq!(ctx.warm_hint(), Some(hint));
+        ctx.record_warm(false);
+        assert_eq!(sink.snapshot().warm_misses, 1);
     }
 }

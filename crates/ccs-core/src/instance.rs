@@ -12,7 +12,7 @@ use crate::json::{self, JsonValue};
 use crate::rational::Rational;
 use std::collections::BTreeMap;
 
-pub use canonical::{CanonicalInstance, Fingerprint};
+pub use canonical::{CanonicalInstance, Fingerprint, IncrementalFingerprint};
 
 /// Index of a job, `0..n`.
 pub type JobId = usize;

@@ -29,6 +29,8 @@
 //! every fingerprint at once instead of silently aliasing old cache keys.
 
 use super::{ClassId, Instance, InstanceBuilder, JobId};
+use crate::error::{CcsError, Result};
+use std::collections::BTreeMap;
 
 /// Version tag mixed into every [`Fingerprint`]; bump when the canonical
 /// form or the hash construction changes.
@@ -207,6 +209,195 @@ fn fingerprint_of(canonical: &Instance) -> Fingerprint {
     mixer.finish()
 }
 
+/// Incrementally maintained canonical identity of a *mutating* instance.
+///
+/// A session that adds and removes a handful of jobs between solves must not
+/// pay a full [`Instance`] rebuild plus an `O(n log n)` re-sort just to learn
+/// the child's cache key.  This structure keeps exactly the state the
+/// canonical form is a function of — the per-class **sorted** multiset of
+/// processing times plus `m` and `c` — so a mutation costs `O(log C + k)`
+/// amortised (a binary-search insert/remove per job), and
+/// [`IncrementalFingerprint::fingerprint`] re-emits the canonical word
+/// stream by a k-way merge of the per-class lists in `O(n log C)` — **no
+/// job-level re-sort and no `Instance` construction**.
+///
+/// The hash it produces is defined to be bit-identical to
+/// `Instance::fingerprint()` of the equivalent instance; the
+/// `incremental_matches_from_scratch_*` tests and the `ccs-session` golden
+/// tests hold it to that.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalFingerprint {
+    machines: u64,
+    class_slots: u64,
+    /// Ascending processing-time multiset of every non-empty class, keyed by
+    /// the session's class label.  Empty classes are removed eagerly, so the
+    /// map's length is the instance's `C`.
+    classes: BTreeMap<u32, Vec<u64>>,
+    jobs: usize,
+}
+
+impl IncrementalFingerprint {
+    /// An empty tracker for an instance with `machines` machines and
+    /// `class_slots` class slots (both may be mutated later).
+    pub fn new(machines: u64, class_slots: u64) -> Self {
+        IncrementalFingerprint {
+            machines,
+            class_slots,
+            classes: BTreeMap::new(),
+            jobs: 0,
+        }
+    }
+
+    /// Seeds the tracker from an existing instance (label-preserving).
+    pub fn from_instance(inst: &Instance) -> Self {
+        let mut inc = IncrementalFingerprint::new(inst.machines(), inst.class_slots());
+        for job in 0..inst.num_jobs() {
+            inc.add_job(
+                inst.processing_time(job),
+                inst.class_label(inst.class_of(job)),
+            );
+        }
+        inc
+    }
+
+    /// Number of jobs currently tracked.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of non-empty classes currently tracked.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Current machine count.
+    pub fn machines(&self) -> u64 {
+        self.machines
+    }
+
+    /// Current class slots per machine.
+    pub fn class_slots(&self) -> u64 {
+        self.class_slots
+    }
+
+    /// Adds `delta` machines.
+    pub fn add_machines(&mut self, delta: u64) {
+        self.machines = self.machines.saturating_add(delta);
+    }
+
+    /// Adds one job with processing time `p` and class label `label`.
+    pub fn add_job(&mut self, p: u64, label: u32) {
+        let times = self.classes.entry(label).or_default();
+        let at = times.partition_point(|&t| t <= p);
+        times.insert(at, p);
+        self.jobs += 1;
+    }
+
+    /// Removes one job with processing time `p` from class `label`.
+    ///
+    /// # Errors
+    /// [`CcsError::InvalidParameter`] when no such job is tracked.
+    pub fn remove_job(&mut self, p: u64, label: u32) -> Result<()> {
+        let Some(times) = self.classes.get_mut(&label) else {
+            return Err(CcsError::invalid_parameter(format!(
+                "no job of class {label} to remove"
+            )));
+        };
+        let at = times.partition_point(|&t| t < p);
+        if times.get(at) != Some(&p) {
+            return Err(CcsError::invalid_parameter(format!(
+                "no job with processing time {p} in class {label}"
+            )));
+        }
+        times.remove(at);
+        if times.is_empty() {
+            self.classes.remove(&label);
+        }
+        self.jobs -= 1;
+        Ok(())
+    }
+
+    /// Moves every job of class `from` into class `to` (a label merge when
+    /// `to` already has jobs); a no-op when `from` is empty or `from == to`.
+    pub fn retype_class(&mut self, from: u32, to: u32) {
+        if from == to {
+            return;
+        }
+        let Some(moved) = self.classes.remove(&from) else {
+            return;
+        };
+        let target = self.classes.entry(to).or_default();
+        // Merge two ascending lists (the moved list is typically the
+        // smaller; a splice-merge keeps this linear).
+        let mut merged = Vec::with_capacity(target.len() + moved.len());
+        let (mut i, mut j) = (0, 0);
+        while i < target.len() && j < moved.len() {
+            if target[i] <= moved[j] {
+                merged.push(target[i]);
+                i += 1;
+            } else {
+                merged.push(moved[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&target[i..]);
+        merged.extend_from_slice(&moved[j..]);
+        *target = merged;
+    }
+
+    /// The fingerprint of the tracked state — bit-identical to
+    /// `Instance::fingerprint()` of the equivalent instance.
+    ///
+    /// Runs in `O(C log C · s + n log C)` where `s` bounds the signature
+    /// comparisons — the job-level sort of the from-scratch path is replaced
+    /// by a k-way merge of the already-sorted per-class lists.
+    pub fn fingerprint(&self) -> Fingerprint {
+        // 1. Rank classes by signature (the per-class sorted list *is* the
+        // signature of the canonical form's step 1).
+        let lists: Vec<&Vec<u64>> = self.classes.values().collect();
+        let mut by_signature: Vec<usize> = (0..lists.len()).collect();
+        by_signature.sort_by(|&a, &b| lists[a].cmp(lists[b]));
+        let mut rank = vec![0usize; lists.len()];
+        for (r, &class) in by_signature.iter().enumerate() {
+            rank[class] = r;
+        }
+
+        // 2. K-way merge of the per-class lists by (processing time, rank) —
+        // exactly the job order of the canonical form's step 2 — renumbering
+        // classes by first occurrence (step 3) as the stream is absorbed.
+        let mut mixer = Mixer::new();
+        mixer.absorb(FINGERPRINT_VERSION);
+        mixer.absorb(self.machines);
+        mixer.absorb(self.class_slots);
+        mixer.absorb(self.jobs as u64);
+        mixer.absorb(self.classes.len() as u64);
+
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, usize)>> = lists
+            .iter()
+            .enumerate()
+            .filter(|(_, times)| !times.is_empty())
+            .map(|(class, times)| std::cmp::Reverse((times[0], rank[class], class)))
+            .collect();
+        let mut canonical_of_class: Vec<Option<u64>> = vec![None; lists.len()];
+        let mut next_label = 0u64;
+        let mut cursor = vec![0usize; lists.len()];
+        while let Some(std::cmp::Reverse((p, _, class))) = heap.pop() {
+            let label = *canonical_of_class[class].get_or_insert_with(|| {
+                let label = next_label;
+                next_label += 1;
+                label
+            });
+            mixer.absorb(p);
+            mixer.absorb(label);
+            cursor[class] += 1;
+            if let Some(&next) = lists[class].get(cursor[class]) {
+                heap.push(std::cmp::Reverse((next, rank[class], class)));
+            }
+        }
+        mixer.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,5 +551,120 @@ mod tests {
         assert_eq!(fp, inst.canonical().fingerprint());
         assert_eq!(format!("{fp}").len(), 32);
         assert_eq!(fp, Fingerprint(0x6783_9f22_be5a_bbd4_bbff_25c0_6fa3_f5c7));
+    }
+
+    /// The instance equivalent to an [`IncrementalFingerprint`] state, built
+    /// from scratch for comparison.
+    fn rebuilt(inc: &IncrementalFingerprint) -> Instance {
+        let mut b = InstanceBuilder::new(inc.machines(), inc.class_slots());
+        for (&label, times) in &inc.classes {
+            for &p in times {
+                b = b.job(p, label);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_on_simple_builds() {
+        let inst = sample();
+        let inc = IncrementalFingerprint::from_instance(&inst);
+        assert_eq!(inc.num_jobs(), inst.num_jobs());
+        assert_eq!(inc.num_classes(), inst.num_classes());
+        assert_eq!(inc.fingerprint(), inst.fingerprint());
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_under_random_delta_chains() {
+        let mut rng = Lcg(0xD311A);
+        for chain in 0..20 {
+            let mut inc = IncrementalFingerprint::new(2 + rng.next(4), 1 + rng.next(3));
+            // Start non-empty so removals have something to hit.
+            for _ in 0..4 {
+                inc.add_job(1 + rng.next(30), rng.next(5) as u32);
+            }
+            for step in 0..30 {
+                match rng.next(5) {
+                    0 | 1 => inc.add_job(1 + rng.next(30), rng.next(5) as u32),
+                    2 if inc.num_jobs() > 1 => {
+                        // Remove an existing job: resample from the tracked state.
+                        let nth = rng.next(inc.num_jobs() as u64) as usize;
+                        let (label, p) = inc
+                            .classes
+                            .iter()
+                            .flat_map(|(&l, ts)| ts.iter().map(move |&p| (l, p)))
+                            .nth(nth)
+                            .unwrap();
+                        inc.remove_job(p, label).unwrap();
+                    }
+                    3 => inc.add_machines(1 + rng.next(3)),
+                    _ => inc.retype_class(rng.next(5) as u32, rng.next(5) as u32),
+                }
+                assert_eq!(
+                    inc.fingerprint(),
+                    rebuilt(&inc).fingerprint(),
+                    "chain {chain} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_removal_of_missing_jobs_is_rejected() {
+        let mut inc = IncrementalFingerprint::new(2, 1);
+        inc.add_job(5, 0);
+        assert!(inc.remove_job(6, 0).is_err());
+        assert!(inc.remove_job(5, 1).is_err());
+        inc.remove_job(5, 0).unwrap();
+        assert_eq!(inc.num_jobs(), 0);
+        assert_eq!(inc.num_classes(), 0);
+    }
+
+    #[test]
+    fn incremental_retype_merges_multisets() {
+        let mut a = IncrementalFingerprint::new(3, 2);
+        a.add_job(4, 0);
+        a.add_job(9, 0);
+        a.add_job(6, 1);
+        a.retype_class(1, 0);
+        let mut b = IncrementalFingerprint::new(3, 2);
+        b.add_job(4, 0);
+        b.add_job(6, 0);
+        b.add_job(9, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.num_classes(), 1);
+        // Retyping a missing class or onto itself is a no-op.
+        let before = a.fingerprint();
+        a.retype_class(7, 0);
+        a.retype_class(0, 0);
+        assert_eq!(a.fingerprint(), before);
+    }
+
+    #[test]
+    fn incremental_fingerprint_is_stable_across_versions_of_this_workspace() {
+        // Golden value for a fixed delta chain, the incremental counterpart
+        // of `fingerprint_is_stable_across_versions_of_this_workspace`; it
+        // must also equal the from-scratch fingerprint of the final state.
+        let mut inc = IncrementalFingerprint::new(3, 2);
+        inc.add_job(7, 0);
+        inc.add_job(8, 0);
+        inc.add_job(9, 1);
+        inc.add_job(5, 2);
+        assert_eq!(
+            inc.fingerprint(),
+            Fingerprint(0x6783_9f22_be5a_bbd4_bbff_25c0_6fa3_f5c7),
+            "four adds must reproduce the from-scratch golden value"
+        );
+        inc.add_job(3, 1);
+        inc.remove_job(8, 0).unwrap();
+        inc.add_machines(2);
+        inc.retype_class(2, 0);
+        assert_eq!(inc.fingerprint(), rebuilt(&inc).fingerprint());
+        assert_eq!(
+            inc.fingerprint(),
+            instance_from_pairs(5, 2, &[(7, 0), (5, 0), (9, 1), (3, 1)])
+                .unwrap()
+                .fingerprint()
+        );
     }
 }

@@ -48,9 +48,12 @@ pub mod schedule;
 pub mod solver;
 
 pub use audit::{audit_schedule, Audit};
-pub use ctx::{CancelFlag, SolveContext, StatsSink, StatsSnapshot};
+pub use ctx::{CancelFlag, SolveContext, StatsSink, StatsSnapshot, WarmHint};
 pub use error::{CcsError, Result};
-pub use instance::{CanonicalInstance, ClassId, Fingerprint, Instance, InstanceBuilder, JobId};
+pub use instance::{
+    CanonicalInstance, ClassId, Fingerprint, IncrementalFingerprint, Instance, InstanceBuilder,
+    JobId,
+};
 pub use rational::Rational;
 pub use scalar::Scalar;
 pub use schedule::{

@@ -27,7 +27,8 @@
 //!   stderr at EOF.
 
 use ccs_engine::wire::{self, ServiceStats, WireFrame, WireRequest};
-use ccs_engine::{Engine, SolveHandle};
+use ccs_engine::{handle_session_frame, Engine, SolveHandle};
+use ccs_session::SessionStore;
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::sync::mpsc::{Receiver, TryRecvError};
@@ -111,6 +112,9 @@ fn main() {
         .spawn(move || writer_loop(&rx, ordered))
         .expect("spawning the writer thread");
 
+    // Sessions are process-scoped in ccs-serve (one stdin, one client).
+    let mut sessions = SessionStore::new();
+
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = match line {
@@ -136,6 +140,17 @@ fn main() {
                 Pending {
                     id,
                     outcome: Outcome::Handle(handle),
+                }
+            }
+            Ok(WireFrame::Session(frame)) => {
+                // Session frames are decided inline (solves run on this
+                // thread — see `ccs_engine::session`), so the response is
+                // ready before the next line is read.
+                let id = frame.id().to_string();
+                let (line, _event) = handle_session_frame(frame, &engine, &mut sessions);
+                Pending {
+                    id,
+                    outcome: Outcome::Immediate(line),
                 }
             }
             Ok(WireFrame::Stats { id }) => {

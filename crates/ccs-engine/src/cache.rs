@@ -29,6 +29,13 @@
 //! evicted.  Hits, misses and evictions are exposed through
 //! [`SolutionCache::stats`] and overlaid onto
 //! [`Engine::stats`](crate::Engine::stats).
+//!
+//! Warm-start hints ([`SolveRequest::warm`](crate::SolveRequest)) are *not*
+//! part of the key: warm and cold runs of the same key produce the same
+//! result by the warm-equivalence contract (identical payload; for the PTAS
+//! pipelines only the `guesses_evaluated` work counter may differ), so they
+//! may share an entry.  Entries do record the parent fingerprint of the run
+//! that populated them, surfacing session lineage on every hit.
 
 use crate::engine::{EngineCore, Solution};
 use crate::policy::{ResolvedAccuracy, SolveRequest};
@@ -120,6 +127,10 @@ struct CachedSolution {
     lower_bound: ccs_core::Rational,
     stats: SolveStats,
     schedule: AnySchedule,
+    /// Fingerprint of the warm-start parent of the run that populated this
+    /// entry (`None` for cold runs): the cache's record of session lineage,
+    /// echoed on every hit through [`Solution::warm_parent`].
+    parent: Option<Fingerprint>,
 }
 
 /// The synchronisation point between the leader solving a key and the
@@ -374,6 +385,7 @@ impl SolutionCache {
                 stats: entry.stats,
             },
             cache: Some(CacheOutcome::Hit),
+            warm_parent: entry.parent,
         };
         if req.validate {
             solution.report.validate(inst)?;
@@ -407,6 +419,7 @@ impl FlightGuard<'_> {
         } else {
             schedule_to_canonical(&solution.report.schedule, canon)
         };
+        let parent = req.warm.map(|warm| warm.parent);
         self.outcome = Some(Arc::new(CachedSolution {
             solver: solution.solver,
             guarantee: solution.guarantee,
@@ -414,8 +427,10 @@ impl FlightGuard<'_> {
             lower_bound: solution.report.lower_bound,
             stats: solution.report.stats,
             schedule,
+            parent,
         }));
         solution.cache = Some(CacheOutcome::Miss);
+        solution.warm_parent = parent;
         Ok(solution)
         // Drop publishes the entry (or withdraws the placeholder on the
         // error path, where `outcome` stayed `None`).

@@ -7,7 +7,10 @@ use crate::policy::{route, ResolvedAccuracy, Routed, SolveRequest};
 use crate::registry::{ErasedSolver, SolverRegistry};
 use crate::worker::{Job, SolveHandle, Ticket, WorkerPool};
 use ccs_core::solver::{Guarantee, SolveReport};
-use ccs_core::{AnySchedule, CcsError, Instance, Result, SolveContext, StatsSink, StatsSnapshot};
+use ccs_core::{
+    AnySchedule, CcsError, Fingerprint, Instance, Result, SolveContext, StatsSink, StatsSnapshot,
+    WarmHint,
+};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -24,6 +27,11 @@ pub struct Solution {
     /// Whether the solution cache served this request; `None` on engines
     /// without a cache (see [`Engine::with_cache`]).
     pub cache: Option<CacheOutcome>,
+    /// The parent fingerprint of the warm-start hint behind this solution:
+    /// the hint the request carried on a direct run, or the hint of the run
+    /// that populated the entry on a cache hit (warm lineage).  `None` for
+    /// cold solves.
+    pub warm_parent: Option<Fingerprint>,
 }
 
 /// Registry + routing + run bookkeeping, shared between the synchronous call
@@ -44,11 +52,25 @@ impl EngineCore {
         req: &SolveRequest,
         ctx: &SolveContext,
     ) -> Result<Solution> {
+        // The warm hint rides the context so it reaches the solver on both
+        // the synchronous and the worker-pool path through this choke point.
+        let warmed;
+        let ctx = match req.warm {
+            Some(warm) => {
+                warmed = ctx.clone().with_warm(WarmHint {
+                    makespan: warm.makespan,
+                });
+                &warmed
+            }
+            None => ctx,
+        };
         match &self.cache {
             Some(cache) => cache.solve_through(self, inst, req, ctx),
             None => {
                 let solver = self.select(inst, req)?;
-                self.run(&solver, inst, req.validate, ctx)
+                let mut solution = self.run(&solver, inst, req.validate, ctx)?;
+                solution.warm_parent = req.warm.map(|warm| warm.parent);
+                Ok(solution)
             }
         }
     }
@@ -88,6 +110,7 @@ impl EngineCore {
             // The cache path overwrites this with the real outcome; direct
             // runs (no cache, or explicitly named solvers) report `None`.
             cache: None,
+            warm_parent: None,
         })
     }
 

@@ -24,7 +24,10 @@
 //! * [`netd`] — the `ccs-netd` TCP front end: many concurrent connections
 //!   multiplexed onto the worker pool with per-connection backpressure, a
 //!   global queue budget that sheds excess load with structured
-//!   `overloaded` frames, per-tenant quotas, and graceful drain.
+//!   `overloaded` frames, per-tenant quotas, and graceful drain,
+//! * [`session`] — service-side execution of `op: "session"` frames:
+//!   long-lived instances mutated by deltas and re-solved inline with
+//!   warm-start hints seeded from the session's own solution ledger.
 //!
 //! ```
 //! use ccs_core::prelude::*;
@@ -50,12 +53,14 @@ pub mod engine;
 pub mod netd;
 pub mod policy;
 pub mod registry;
+pub mod session;
 pub mod wire;
 pub mod worker;
 
 pub use cache::{CacheOutcome, CacheStats};
 pub use engine::{Engine, Solution};
 pub use netd::{NetServer, NetdConfig, NetdHandle};
-pub use policy::{Accuracy, ResolvedAccuracy, SolveRequest};
+pub use policy::{Accuracy, ResolvedAccuracy, SolveRequest, WarmStart};
 pub use registry::{erase, ErasedSolver, SolverMeta, SolverRegistry};
+pub use session::{handle_session_frame, SessionEvent};
 pub use worker::SolveHandle;

@@ -41,9 +41,11 @@
 //! [`NetServer::run`] returns the final [`ServiceStats`].
 
 use crate::engine::Engine;
-use crate::wire::{self, ServiceStats, TenantStats, WireFrame, WireRequest};
+use crate::session::SessionEvent;
+use crate::wire::{self, ServiceStats, SessionFrame, TenantStats, WireFrame, WireRequest};
 use crate::worker::SolveHandle;
 use ccs_core::CcsError;
+use ccs_session::SessionStore;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -141,6 +143,9 @@ struct Conn {
     eof: bool,
     /// I/O error: discard output, cancel jobs, reap, then close.
     dead: bool,
+    /// This connection's open sessions (sessions are connection-scoped:
+    /// closing the connection drops them).
+    sessions: SessionStore,
 }
 
 impl Conn {
@@ -154,6 +159,7 @@ impl Conn {
             jobs: 0,
             eof: false,
             dead: false,
+            sessions: SessionStore::new(),
         }
     }
 
@@ -175,6 +181,7 @@ struct Tenant {
     admitted: u64,
     completed: u64,
     shed: u64,
+    sessions: u64,
 }
 
 /// The single-threaded admission/bookkeeping state of the poll loop.
@@ -185,6 +192,8 @@ struct Admission {
     shed_overload: u64,
     shed_quota: u64,
     connections: u64,
+    sessions_opened: u64,
+    sessions_active: u64,
     tenants: HashMap<String, Tenant>,
 }
 
@@ -257,6 +266,8 @@ impl NetServer {
             shed_overload: 0,
             shed_quota: 0,
             connections: 0,
+            sessions_opened: 0,
+            sessions_active: 0,
             tenants: HashMap::new(),
         };
         let mut next_stats = self.config.stats_every.map(|every| Instant::now() + every);
@@ -309,10 +320,13 @@ impl NetServer {
                     }
                 }
             }
-            conns.retain(|conn| {
+            conns.retain_mut(|conn| {
                 let gone = (conn.eof || conn.dead) && conn.pending.is_empty() && {
                     conn.dead || conn.flushed()
                 };
+                if gone {
+                    release_sessions(conn, &mut admission);
+                }
                 !gone
             });
 
@@ -324,6 +338,11 @@ impl NetServer {
             }
 
             if draining && conns.iter().all(Conn::idle) {
+                // A drain closes open sessions with their connections; the
+                // final stats line reports none active.
+                for conn in &mut conns {
+                    release_sessions(conn, &mut admission);
+                }
                 let stats = self.stats(&admission, 0);
                 if self.config.stats_every.is_some() {
                     eprintln!("{}", stats_line(&stats));
@@ -352,6 +371,7 @@ fn service_stats(engine: &Engine, admission: &Admission, active: usize) -> Servi
             admitted: t.admitted,
             completed: t.completed,
             shed: t.shed,
+            sessions: t.sessions,
         })
         .collect();
     tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -363,7 +383,27 @@ fn service_stats(engine: &Engine, admission: &Admission, active: usize) -> Servi
         completed: admission.completed,
         shed_overload: admission.shed_overload,
         shed_quota: admission.shed_quota,
+        sessions_opened: admission.sessions_opened,
+        sessions_active: admission.sessions_active,
         tenants,
+    }
+}
+
+/// Closes every session still open on a connection, rolling its counters
+/// out of the admission state (connection teardown and drain).
+fn release_sessions(conn: &mut Conn, admission: &mut Admission) {
+    let sids: Vec<String> = conn
+        .sessions
+        .iter()
+        .map(|(sid, _)| sid.to_string())
+        .collect();
+    for sid in sids {
+        if let Some(session) = conn.sessions.close(&sid) {
+            admission.sessions_active -= 1;
+            let tenant = session.tenant().unwrap_or_default().to_string();
+            let entry = admission.tenants.entry(tenant).or_default();
+            entry.sessions = entry.sessions.saturating_sub(1);
+        }
     }
 }
 
@@ -372,7 +412,8 @@ fn service_stats(engine: &Engine, admission: &Admission, active: usize) -> Servi
 fn stats_line(stats: &ServiceStats) -> String {
     let mut line = format!(
         "netd stats: conns={} active={} admitted={} completed={} inflight={} \
-         pool_queue={} shed_overload={} shed_quota={} solves={} cache_hits={} cache_misses={}",
+         pool_queue={} shed_overload={} shed_quota={} solves={} cache_hits={} cache_misses={} \
+         warm_hits={} warm_misses={} sessions_open={} sessions_opened={}",
         stats.connections,
         stats.active_connections,
         stats.admitted,
@@ -384,6 +425,10 @@ fn stats_line(stats: &ServiceStats) -> String {
         stats.engine.solves,
         stats.engine.cache_hits,
         stats.engine.cache_misses,
+        stats.engine.warm_hits,
+        stats.engine.warm_misses,
+        stats.sessions_active,
+        stats.sessions_opened,
     );
     for t in &stats.tenants {
         let name = if t.tenant.is_empty() { "-" } else { &t.tenant };
@@ -525,7 +570,7 @@ fn parse_and_admit(
         if line.is_empty() {
             continue;
         }
-        let pending = admit_line(line, engine, config, admission, active);
+        let pending = admit_line(line, engine, config, admission, active, &mut conn.sessions);
         if pending.job.is_some() {
             conn.jobs += 1;
         }
@@ -542,6 +587,7 @@ fn admit_line(
     config: &NetdConfig,
     admission: &mut Admission,
     active: usize,
+    sessions: &mut SessionStore,
 ) -> Pending {
     let decided = |line: String| Pending {
         job: None,
@@ -555,6 +601,9 @@ fn admit_line(
             // connection (same-connection lines are processed in order).
             let stats = service_stats(engine, admission, active);
             return decided(wire::stats_response_to_json(&id, &stats).to_json());
+        }
+        Ok(WireFrame::Session(frame)) => {
+            return decided(session_line(frame, engine, admission, sessions));
         }
         Err(error) => {
             // Best-effort id recovery, as in ccs-serve: echo what the
@@ -619,6 +668,54 @@ fn admit_line(
     }
 }
 
+/// Handles one `op: "session"` frame against the connection's session
+/// store ([`crate::session::handle_session_frame`]) and applies the event
+/// to the admission counters.
+///
+/// Session solves run inline and count toward `admitted`/`completed`, but
+/// deliberately bypass the queue budget and per-tenant quotas: they never
+/// occupy a promise slot, because each completes before the next line of
+/// its connection is even read.
+fn session_line(
+    frame: SessionFrame,
+    engine: &Engine,
+    admission: &mut Admission,
+    sessions: &mut SessionStore,
+) -> String {
+    let (line, event) = crate::session::handle_session_frame(frame, engine, sessions);
+    match event {
+        SessionEvent::Opened { tenant } => {
+            admission.sessions_opened += 1;
+            admission.sessions_active += 1;
+            let entry = admission
+                .tenants
+                .entry(tenant.unwrap_or_default())
+                .or_default();
+            entry.sessions += 1;
+        }
+        SessionEvent::Closed { tenant } => {
+            admission.sessions_active -= 1;
+            let entry = admission
+                .tenants
+                .entry(tenant.unwrap_or_default())
+                .or_default();
+            entry.sessions = entry.sessions.saturating_sub(1);
+        }
+        SessionEvent::Solved { tenant } => {
+            admission.admitted += 1;
+            admission.completed += 1;
+            let entry = admission
+                .tenants
+                .entry(tenant.unwrap_or_default())
+                .or_default();
+            entry.admitted += 1;
+            entry.completed += 1;
+        }
+        SessionEvent::NoChange => {}
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,18 +753,22 @@ mod tests {
             admitted: 7,
             completed: 5,
             shed_overload: 2,
+            sessions_opened: 3,
+            sessions_active: 1,
             tenants: vec![
                 TenantStats {
                     tenant: String::new(),
                     admitted: 4,
                     completed: 3,
                     shed: 1,
+                    sessions: 0,
                 },
                 TenantStats {
                     tenant: "acme".to_string(),
                     admitted: 3,
                     completed: 2,
                     shed: 0,
+                    sessions: 1,
                 },
             ],
             ..ServiceStats::default()
@@ -676,6 +777,9 @@ mod tests {
         assert!(line.contains("admitted=7"));
         assert!(line.contains("inflight=2"));
         assert!(line.contains("shed_overload=2"));
+        assert!(line.contains("warm_hits=0"));
+        assert!(line.contains("sessions_open=1"));
+        assert!(line.contains("sessions_opened=3"));
         assert!(line.contains("tenant[-]=4/3/1"));
         assert!(line.contains("tenant[acme]=3/2/0"));
     }

@@ -12,7 +12,7 @@
 //!   solvers are instant), the constant-factor approximation otherwise.
 
 use crate::registry::{erase, ErasedSolver};
-use ccs_core::{CcsError, Instance, Rational, Result, ScheduleKind};
+use ccs_core::{CcsError, Fingerprint, Instance, Rational, Result, ScheduleKind};
 use ccs_ptas::PtasParams;
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +27,25 @@ pub enum Accuracy {
     Epsilon(f64),
     /// Require the exact optimum (only feasible for small instances).
     Exact,
+}
+
+/// A warm-start hint on a [`SolveRequest`]: the fingerprint and makespan of
+/// a previously solved *parent* instance (typically the pre-mutation
+/// instance of a `ccs-session` delta chain).
+///
+/// Warm starts are an optimisation, never a semantic change: every solver
+/// treats the hint as a search accelerator and produces a result identical
+/// to the cold run (bit-identical for the exact solvers; identical except
+/// for the `guesses_evaluated` work counter for the PTAS pipelines).  A
+/// wildly wrong makespan therefore costs time, not correctness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStart {
+    /// Canonical fingerprint of the parent instance the hint came from
+    /// (recorded on the solution-cache entry for lineage; not used to prune
+    /// the search).
+    pub parent: Fingerprint,
+    /// The parent solution's makespan.
+    pub makespan: Rational,
 }
 
 /// A solving request: the placement model, an accuracy budget and optional
@@ -64,6 +83,9 @@ pub struct SolveRequest {
     /// recomputation.  Defence in depth for service deployments; all solvers
     /// only emit validated schedules anyway.
     pub validate: bool,
+    /// Optional warm-start hint from a previously solved parent instance;
+    /// see [`WarmStart`].
+    pub warm: Option<WarmStart>,
 }
 
 impl SolveRequest {
@@ -74,6 +96,7 @@ impl SolveRequest {
             accuracy: Accuracy::Auto,
             budget: None,
             validate: false,
+            warm: None,
         }
     }
 
@@ -108,6 +131,12 @@ impl SolveRequest {
     /// Enables or disables re-validation of the returned schedule.
     pub fn with_validate(mut self, validate: bool) -> Self {
         self.validate = validate;
+        self
+    }
+
+    /// Attaches a warm-start hint; see [`WarmStart`].
+    pub fn with_warm(mut self, warm: WarmStart) -> Self {
+        self.warm = Some(warm);
         self
     }
 }

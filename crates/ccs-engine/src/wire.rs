@@ -56,8 +56,8 @@ pub struct WireRequest {
     pub request: SolveRequest,
 }
 
-/// One parsed inbound frame of a multi-frame service (`ccs-netd`): either a
-/// solve request or a control frame.  `ccs-serve` only speaks the former.
+/// One parsed inbound frame of a multi-frame service (`ccs-serve`,
+/// `ccs-netd`): a solve request or a control frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireFrame {
     /// A solve request (no `"op"` member, or `"op": "solve"`).
@@ -68,6 +68,96 @@ pub enum WireFrame {
     Stats {
         /// Caller-chosen correlation id, echoed on the stats response.
         id: String,
+    },
+    /// A session frame (`"op": "session"`); see [`SessionFrame`].
+    Session(SessionFrame),
+}
+
+/// A parsed `"op": "session"` frame, dispatched on its `"action"` member.
+///
+/// Sessions hold a live instance server-side; deltas mutate it and session
+/// solves run against the current state, warm-started from the session's
+/// previous solution of the same model.  Open/delta/close are answered with
+/// `status: "session"` acknowledgements ([`SessionAck`]); session solves
+/// with ordinary solution frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionFrame {
+    /// `"action": "open"` — open a session over an initial instance (the
+    /// `"instance"` member may be omitted for an empty session, in which
+    /// case `"machines"` and `"class_slots"` are required).
+    Open {
+        /// Caller-chosen correlation id, echoed on the acknowledgement.
+        id: String,
+        /// Optional tenant label (session accounting; quotas in `ccs-netd`).
+        tenant: Option<String>,
+        /// The initial session state.
+        instance: ccs_session::SessionInstance,
+    },
+    /// `"action": "delta"` — apply the `"deltas"` array atomically, in
+    /// order, to the session's instance.
+    Delta {
+        /// Caller-chosen correlation id, echoed on the acknowledgement.
+        id: String,
+        /// The session to mutate.
+        session: String,
+        /// The mutations, applied in order; the first invalid delta aborts
+        /// the frame (earlier deltas of the frame stay applied).
+        deltas: Vec<ccs_session::InstanceDelta>,
+    },
+    /// `"action": "solve"` — solve the session's current instance.  The
+    /// request's `warm` member is ignored: the service seeds the hint from
+    /// the session's own solution ledger.
+    Solve {
+        /// Caller-chosen correlation id, echoed on the solution frame.
+        id: String,
+        /// The session to solve.
+        session: String,
+        /// Model, accuracy, budget and validation policy of the solve.
+        request: SolveRequest,
+    },
+    /// `"action": "close"` — close the session and drop its state.
+    Close {
+        /// Caller-chosen correlation id, echoed on the acknowledgement.
+        id: String,
+        /// The session to close.
+        session: String,
+    },
+}
+
+impl SessionFrame {
+    /// The caller-chosen correlation id of this frame.
+    pub fn id(&self) -> &str {
+        match self {
+            SessionFrame::Open { id, .. }
+            | SessionFrame::Delta { id, .. }
+            | SessionFrame::Solve { id, .. }
+            | SessionFrame::Close { id, .. } => id,
+        }
+    }
+}
+
+/// The `status: "session"` acknowledgement of an open/delta/close frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionAck {
+    /// The session's state after an open or delta frame.
+    State {
+        /// The echoed correlation id.
+        id: String,
+        /// The session id (server-assigned, `"s1"`, `"s2"`, …).
+        session: String,
+        /// Live job count.
+        jobs: u64,
+        /// Machine count.
+        machines: u64,
+        /// Canonical fingerprint of the current state.
+        fingerprint: ccs_core::Fingerprint,
+    },
+    /// The session was closed.
+    Closed {
+        /// The echoed correlation id.
+        id: String,
+        /// The id of the (now closed) session.
+        session: String,
     },
 }
 
@@ -142,6 +232,26 @@ fn rational_from_json(value: &JsonValue) -> Result<Rational> {
 }
 
 // ---------------------------------------------------------------------------
+// Fingerprints.
+// ---------------------------------------------------------------------------
+
+/// Wire form of a canonical fingerprint: 32 lowercase hex digits (the
+/// 128-bit value, zero-padded).
+pub fn fingerprint_to_hex(fp: ccs_core::Fingerprint) -> String {
+    format!("{:032x}", fp.0)
+}
+
+/// Parses the wire form produced by [`fingerprint_to_hex`].
+pub fn fingerprint_from_hex(hex: &str) -> Result<ccs_core::Fingerprint> {
+    if hex.len() != 32 || !hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return Err(err("fingerprint must be 32 lowercase hex digits"));
+    }
+    u128::from_str_radix(hex, 16)
+        .map(ccs_core::Fingerprint)
+        .map_err(|_| err("fingerprint must be 32 lowercase hex digits"))
+}
+
+// ---------------------------------------------------------------------------
 // Requests.
 // ---------------------------------------------------------------------------
 
@@ -154,8 +264,15 @@ pub fn request_to_json(req: &WireRequest) -> JsonValue {
         obj.set("tenant", tenant.as_str());
     }
     obj.set("instance", req.instance.to_json_value());
-    obj.set("model", req.request.model.name());
-    let accuracy = match req.request.accuracy {
+    solve_params_to_json(&mut obj, &req.request);
+    obj
+}
+
+/// Emits the solve parameters shared by plain requests and session solves
+/// onto `obj`: `model`, `accuracy`, `budget_ms`, `validate` and `warm`.
+fn solve_params_to_json(obj: &mut JsonValue, request: &SolveRequest) {
+    obj.set("model", request.model.name());
+    let accuracy = match request.accuracy {
         Accuracy::Auto => JsonValue::Str("auto".to_string()),
         Accuracy::Exact => JsonValue::Str("exact".to_string()),
         Accuracy::Epsilon(eps) => {
@@ -165,13 +282,38 @@ pub fn request_to_json(req: &WireRequest) -> JsonValue {
         }
     };
     obj.set("accuracy", accuracy);
-    if let Some(budget) = req.request.budget {
+    if let Some(budget) = request.budget {
         obj.set("budget_ms", budget_ms_to_json(budget));
     }
-    if req.request.validate {
+    if request.validate {
         obj.set("validate", true);
     }
+    if let Some(warm) = request.warm {
+        obj.set("warm", warm_to_json(&warm));
+    }
+}
+
+fn warm_to_json(warm: &crate::policy::WarmStart) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("parent", fingerprint_to_hex(warm.parent));
+    obj.set("makespan", rational_to_json(warm.makespan));
     obj
+}
+
+fn warm_from_json(value: &JsonValue) -> Result<crate::policy::WarmStart> {
+    Ok(crate::policy::WarmStart {
+        parent: fingerprint_from_hex(
+            value
+                .get("parent")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| err("'warm' needs a string 'parent' fingerprint"))?,
+        )?,
+        makespan: rational_from_json(
+            value
+                .get("makespan")
+                .ok_or_else(|| err("'warm' needs a 'makespan'"))?,
+        )?,
+    })
 }
 
 /// Serialises a request frame to one NDJSON line (no trailing newline).
@@ -258,6 +400,18 @@ pub fn request_from_json(value: &JsonValue) -> Result<WireRequest> {
             .get("instance")
             .ok_or_else(|| err("request needs an 'instance'"))?,
     )?;
+    let request = solve_params_from_json(value)?;
+    Ok(WireRequest {
+        id,
+        tenant,
+        instance,
+        request,
+    })
+}
+
+/// Parses the solve parameters shared by plain requests and session solves:
+/// `model` (required), `accuracy`, `budget_ms`, `validate` and `warm`.
+fn solve_params_from_json(value: &JsonValue) -> Result<SolveRequest> {
     let model = value
         .get("model")
         .and_then(JsonValue::as_str)
@@ -290,12 +444,10 @@ pub fn request_from_json(value: &JsonValue) -> Result<WireRequest> {
             .ok_or_else(|| err("'validate' must be a boolean"))?;
         request = request.with_validate(flag);
     }
-    Ok(WireRequest {
-        id,
-        tenant,
-        instance,
-        request,
-    })
+    if let Some(warm) = value.get("warm") {
+        request = request.with_warm(warm_from_json(warm)?);
+    }
+    Ok(request)
 }
 
 /// Parses one NDJSON request line.
@@ -322,6 +474,7 @@ pub fn frame_from_json(value: &JsonValue) -> Result<WireFrame> {
                     .ok_or_else(|| err("stats frame needs a string 'id'"))?
                     .to_string(),
             }),
+            "session" => Ok(WireFrame::Session(session_frame_from_json(value)?)),
             other => Err(err(format!("unknown op '{other}'"))),
         },
     }
@@ -330,6 +483,236 @@ pub fn frame_from_json(value: &JsonValue) -> Result<WireFrame> {
 /// Parses one NDJSON inbound frame ([`frame_from_json`]).
 pub fn frame_from_line(line: &str) -> Result<WireFrame> {
     frame_from_json(&parse(line)?)
+}
+
+// ---------------------------------------------------------------------------
+// Session frames.
+// ---------------------------------------------------------------------------
+
+fn session_frame_from_json(value: &JsonValue) -> Result<SessionFrame> {
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("session frame needs a string 'id'"))?
+        .to_string();
+    let session = || {
+        value
+            .get("session")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| err("session frame needs a string 'session'"))
+    };
+    let action = value
+        .get("action")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err("session frame needs a string 'action'"))?;
+    match action {
+        "open" => {
+            let tenant = match value.get("tenant") {
+                None => None,
+                Some(t) => Some(
+                    t.as_str()
+                        .ok_or_else(|| err("'tenant' must be a string"))?
+                        .to_string(),
+                ),
+            };
+            let instance = match value.get("instance") {
+                Some(inst) => {
+                    ccs_session::SessionInstance::from_instance(&Instance::from_json_value(inst)?)
+                }
+                None => {
+                    let dim = |key: &str| {
+                        value.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                            err(format!("open without an 'instance' needs a count '{key}'"))
+                        })
+                    };
+                    ccs_session::SessionInstance::new(dim("machines")?, dim("class_slots")?)?
+                }
+            };
+            Ok(SessionFrame::Open {
+                id,
+                tenant,
+                instance,
+            })
+        }
+        "delta" => {
+            let deltas = value
+                .get("deltas")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("delta frame needs a 'deltas' array"))?
+                .iter()
+                .map(ccs_session::delta_from_json)
+                .collect::<Result<Vec<_>>>()?;
+            Ok(SessionFrame::Delta {
+                id,
+                session: session()?,
+                deltas,
+            })
+        }
+        "solve" => {
+            let mut request = solve_params_from_json(value)?;
+            // Session solves are warm-started from the session's own
+            // ledger; a client-supplied hint is parsed but discarded.
+            request.warm = None;
+            Ok(SessionFrame::Solve {
+                id,
+                session: session()?,
+                request,
+            })
+        }
+        "close" => Ok(SessionFrame::Close {
+            id,
+            session: session()?,
+        }),
+        other => Err(err(format!("unknown session action '{other}'"))),
+    }
+}
+
+/// Serialises a session frame ([`frame_from_json`] parses it back).
+pub fn session_frame_to_json(frame: &SessionFrame) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("schema", SCHEMA);
+    obj.set("op", "session");
+    match frame {
+        SessionFrame::Open {
+            id,
+            tenant,
+            instance,
+        } => {
+            obj.set("action", "open");
+            obj.set("id", id.as_str());
+            if let Some(tenant) = tenant {
+                obj.set("tenant", tenant.as_str());
+            }
+            match instance.materialize() {
+                Ok(inst) => obj.set("instance", inst.to_json_value()),
+                // Empty sessions have no materialisable instance; the wire
+                // form carries the dimensions instead.
+                Err(_) => {
+                    obj.set("machines", instance.machines());
+                    obj.set("class_slots", instance.class_slots());
+                }
+            }
+        }
+        SessionFrame::Delta {
+            id,
+            session,
+            deltas,
+        } => {
+            obj.set("action", "delta");
+            obj.set("id", id.as_str());
+            obj.set("session", session.as_str());
+            obj.set(
+                "deltas",
+                JsonValue::Array(deltas.iter().map(ccs_session::delta_to_json).collect()),
+            );
+        }
+        SessionFrame::Solve {
+            id,
+            session,
+            request,
+        } => {
+            obj.set("action", "solve");
+            obj.set("id", id.as_str());
+            obj.set("session", session.as_str());
+            solve_params_to_json(&mut obj, request);
+        }
+        SessionFrame::Close { id, session } => {
+            obj.set("action", "close");
+            obj.set("id", id.as_str());
+            obj.set("session", session.as_str());
+        }
+    }
+    obj
+}
+
+/// Serialises a session frame to one NDJSON line (no trailing newline).
+pub fn session_frame_to_line(frame: &SessionFrame) -> String {
+    session_frame_to_json(frame).to_json()
+}
+
+/// Serialises a `status: "session"` acknowledgement frame.
+pub fn session_ack_to_json(ack: &SessionAck) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("schema", SCHEMA);
+    match ack {
+        SessionAck::State {
+            id,
+            session,
+            jobs,
+            machines,
+            fingerprint,
+        } => {
+            obj.set("id", id.as_str());
+            obj.set("status", "session");
+            obj.set("session", session.as_str());
+            obj.set("jobs", *jobs);
+            obj.set("machines", *machines);
+            obj.set("fingerprint", fingerprint_to_hex(*fingerprint));
+        }
+        SessionAck::Closed { id, session } => {
+            obj.set("id", id.as_str());
+            obj.set("status", "session");
+            obj.set("session", session.as_str());
+            obj.set("closed", true);
+        }
+    }
+    obj
+}
+
+/// Serialises a session acknowledgement to one NDJSON line.
+pub fn session_ack_to_line(ack: &SessionAck) -> String {
+    session_ack_to_json(ack).to_json()
+}
+
+/// Parses the wire form produced by [`session_ack_to_json`].
+pub fn session_ack_from_json(value: &JsonValue) -> Result<SessionAck> {
+    check_schema(value)?;
+    let string = |key: &str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| err(format!("session ack needs a string '{key}'")))
+    };
+    if string("status")? != "session" {
+        return Err(err("session ack must have status \"session\""));
+    }
+    let id = string("id")?;
+    let session = string("session")?;
+    match value.get("closed") {
+        Some(closed) => {
+            if closed.as_bool() != Some(true) {
+                return Err(err("'closed' must be true when present"));
+            }
+            Ok(SessionAck::Closed { id, session })
+        }
+        None => {
+            let count = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| err(format!("session ack needs a count '{key}'")))
+            };
+            Ok(SessionAck::State {
+                id,
+                session,
+                jobs: count("jobs")?,
+                machines: count("machines")?,
+                fingerprint: fingerprint_from_hex(
+                    value
+                        .get("fingerprint")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| err("session ack needs a string 'fingerprint'"))?,
+                )?,
+            })
+        }
+    }
+}
+
+/// Parses one NDJSON session acknowledgement line.
+pub fn session_ack_from_line(line: &str) -> Result<SessionAck> {
+    session_ack_from_json(&parse(line)?)
 }
 
 // ---------------------------------------------------------------------------
@@ -743,6 +1126,8 @@ pub struct TenantStats {
     pub completed: u64,
     /// Requests shed by the per-tenant quota.
     pub shed: u64,
+    /// Sessions currently open for this tenant.
+    pub sessions: u64,
 }
 
 /// The payload of a `status: "stats"` frame: engine counters plus the
@@ -763,6 +1148,10 @@ pub struct ServiceStats {
     pub shed_overload: u64,
     /// Requests shed because a per-tenant quota was exceeded.
     pub shed_quota: u64,
+    /// Sessions opened since startup (`op: "session"` frames).
+    pub sessions_opened: u64,
+    /// Sessions currently open.
+    pub sessions_active: u64,
     /// Per-tenant counters, sorted by tenant label.  Only tenants that sent
     /// at least one request appear; the ledger is kept whether or not
     /// quotas are enforced, with untagged requests under the `""` tenant.
@@ -781,6 +1170,8 @@ fn snapshot_to_json(snap: &ccs_core::StatsSnapshot) -> JsonValue {
     obj.set("cache_hits", snap.cache_hits);
     obj.set("cache_misses", snap.cache_misses);
     obj.set("cache_evictions", snap.cache_evictions);
+    obj.set("warm_hits", snap.warm_hits);
+    obj.set("warm_misses", snap.warm_misses);
     obj
 }
 
@@ -802,6 +1193,8 @@ fn snapshot_from_json(value: &JsonValue) -> Result<ccs_core::StatsSnapshot> {
         cache_hits: count("cache_hits")?,
         cache_misses: count("cache_misses")?,
         cache_evictions: count("cache_evictions")?,
+        warm_hits: count("warm_hits")?,
+        warm_misses: count("warm_misses")?,
     })
 }
 
@@ -816,6 +1209,8 @@ pub fn stats_response_to_json(id: &str, stats: &ServiceStats) -> JsonValue {
     payload.set("completed", stats.completed);
     payload.set("shed_overload", stats.shed_overload);
     payload.set("shed_quota", stats.shed_quota);
+    payload.set("sessions_opened", stats.sessions_opened);
+    payload.set("sessions_active", stats.sessions_active);
     payload.set(
         "tenants",
         JsonValue::Array(
@@ -828,6 +1223,7 @@ pub fn stats_response_to_json(id: &str, stats: &ServiceStats) -> JsonValue {
                     obj.set("admitted", t.admitted);
                     obj.set("completed", t.completed);
                     obj.set("shed", t.shed);
+                    obj.set("sessions", t.sessions);
                     obj
                 })
                 .collect(),
@@ -880,6 +1276,7 @@ pub fn stats_response_from_json(value: &JsonValue) -> Result<(String, ServiceSta
                 admitted: field("admitted")?,
                 completed: field("completed")?,
                 shed: field("shed")?,
+                sessions: field("sessions")?,
             })
         })
         .collect::<Result<Vec<TenantStats>>>()?;
@@ -897,6 +1294,8 @@ pub fn stats_response_from_json(value: &JsonValue) -> Result<(String, ServiceSta
             completed: count("completed")?,
             shed_overload: count("shed_overload")?,
             shed_quota: count("shed_quota")?,
+            sessions_opened: count("sessions_opened")?,
+            sessions_active: count("sessions_active")?,
             tenants,
         },
     ))
@@ -1136,6 +1535,8 @@ mod tests {
                 cache_hits: 1,
                 cache_misses: 10,
                 cache_evictions: 0,
+                warm_hits: 4,
+                warm_misses: 2,
             },
             connections: 9,
             active_connections: 3,
@@ -1143,23 +1544,29 @@ mod tests {
             completed: 8,
             shed_overload: 4,
             shed_quota: 1,
+            sessions_opened: 3,
+            sessions_active: 2,
             tenants: vec![
                 TenantStats {
                     tenant: String::new(),
                     admitted: 6,
                     completed: 5,
                     shed: 0,
+                    sessions: 0,
                 },
                 TenantStats {
                     tenant: "acme".to_string(),
                     admitted: 5,
                     completed: 3,
                     shed: 1,
+                    sessions: 2,
                 },
             ],
         };
         let line = stats_response_to_json("st-1", &stats).to_json();
         assert!(line.contains("\"status\":\"stats\""));
+        assert!(line.contains("\"warm_hits\":4"));
+        assert!(line.contains("\"sessions_active\":2"));
         let (id, back) = stats_response_from_line(&line).unwrap();
         assert_eq!(id, "st-1");
         assert_eq!(back, stats);
@@ -1168,5 +1575,156 @@ mod tests {
         // A solve response is not a stats response.
         let solve = error_response_to_json("x", &CcsError::Cancelled).to_json();
         assert!(stats_response_from_line(&solve).is_err());
+    }
+
+    #[test]
+    fn warm_member_roundtrips_on_requests() {
+        let mut req = sample_request();
+        req.request = req.request.with_warm(crate::policy::WarmStart {
+            parent: ccs_core::Fingerprint(0x1234_5678_9abc_def0_0fed_cba9_8765_4321),
+            makespan: Rational::new(47, 3),
+        });
+        let line = request_to_line(&req);
+        assert!(line.contains("\"parent\":\"123456789abcdef00fedcba987654321\""));
+        let back = request_from_line(&line).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(request_to_line(&back), line);
+    }
+
+    #[test]
+    fn fingerprint_hex_is_strict() {
+        let fp = ccs_core::Fingerprint(7);
+        assert_eq!(fingerprint_from_hex(&fingerprint_to_hex(fp)).unwrap(), fp);
+        for bad in ["", "07", &"0".repeat(31), &"g".repeat(32), &"0A".repeat(16)] {
+            assert!(fingerprint_from_hex(bad).is_err(), "{bad}");
+        }
+    }
+
+    fn sample_session_frames() -> Vec<SessionFrame> {
+        let inst = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2)]).unwrap();
+        vec![
+            SessionFrame::Open {
+                id: "o1".to_string(),
+                tenant: Some("acme".to_string()),
+                instance: ccs_session::SessionInstance::from_instance(&inst),
+            },
+            SessionFrame::Open {
+                id: "o2".to_string(),
+                tenant: None,
+                instance: ccs_session::SessionInstance::new(4, 2).unwrap(),
+            },
+            SessionFrame::Delta {
+                id: "d1".to_string(),
+                session: "s1".to_string(),
+                deltas: vec![
+                    ccs_session::InstanceDelta::AddJobs(vec![ccs_session::NewJob {
+                        processing: 6,
+                        class: 1,
+                    }]),
+                    ccs_session::InstanceDelta::RemoveJobs(vec![0]),
+                    ccs_session::InstanceDelta::AddMachines(1),
+                ],
+            },
+            SessionFrame::Solve {
+                id: "v1".to_string(),
+                session: "s1".to_string(),
+                request: SolveRequest::epsilon(ScheduleKind::NonPreemptive, 0.5)
+                    .unwrap()
+                    .with_validate(true),
+            },
+            SessionFrame::Close {
+                id: "c1".to_string(),
+                session: "s1".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn session_frames_roundtrip() {
+        for frame in sample_session_frames() {
+            let line = session_frame_to_line(&frame);
+            assert!(line.contains("\"op\":\"session\""), "{line}");
+            let back = frame_from_line(&line).unwrap();
+            assert_eq!(back, WireFrame::Session(frame.clone()), "{line}");
+            // Canonical: a second trip yields identical bytes.
+            assert_eq!(session_frame_to_line(&frame), line);
+        }
+        // An empty open travels as dimensions, not an instance.
+        let line = session_frame_to_line(&sample_session_frames()[1]);
+        assert!(line.contains("\"machines\":4"), "{line}");
+        assert!(!line.contains("\"instance\""), "{line}");
+    }
+
+    #[test]
+    fn session_solves_discard_client_warm_hints() {
+        let line = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"op\":\"session\",\"action\":\"solve\",\
+             \"id\":\"v\",\"session\":\"s1\",\"model\":\"splittable\",\
+             \"warm\":{{\"parent\":\"{}\",\"makespan\":{{\"n\":9,\"d\":1}}}}}}",
+            "0".repeat(32)
+        );
+        match frame_from_line(&line).unwrap() {
+            WireFrame::Session(SessionFrame::Solve { request, .. }) => {
+                assert_eq!(request.warm, None);
+            }
+            other => panic!("expected a session solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_session_frames_are_rejected() {
+        let frame = |body: &str| format!("{{\"schema\":\"{SCHEMA}\",\"op\":\"session\",{body}}}");
+        for body in [
+            // No action / unknown action.
+            "\"id\":\"x\"",
+            "\"id\":\"x\",\"action\":\"warp\"",
+            // Open with neither an instance nor both dimensions.
+            "\"id\":\"x\",\"action\":\"open\"",
+            "\"id\":\"x\",\"action\":\"open\",\"machines\":3",
+            // Delta without a session / without deltas / with a bad delta.
+            "\"id\":\"x\",\"action\":\"delta\",\"deltas\":[]",
+            "\"id\":\"x\",\"action\":\"delta\",\"session\":\"s1\"",
+            "\"id\":\"x\",\"action\":\"delta\",\"session\":\"s1\",\"deltas\":[{}]",
+            // Solve without a model; close without a session.
+            "\"id\":\"x\",\"action\":\"solve\",\"session\":\"s1\"",
+            "\"id\":\"x\",\"action\":\"close\"",
+        ] {
+            let line = frame(body);
+            assert!(frame_from_line(&line).is_err(), "{line}");
+        }
+        // Missing id fails before anything else.
+        assert!(frame_from_line(&frame("\"action\":\"close\",\"session\":\"s1\"")).is_err());
+    }
+
+    #[test]
+    fn session_acks_roundtrip() {
+        let acks = [
+            SessionAck::State {
+                id: "o1".to_string(),
+                session: "s1".to_string(),
+                jobs: 4,
+                machines: 3,
+                fingerprint: ccs_core::Fingerprint(0xabc),
+            },
+            SessionAck::Closed {
+                id: "c1".to_string(),
+                session: "s1".to_string(),
+            },
+        ];
+        for ack in acks {
+            let line = session_ack_to_line(&ack);
+            assert!(line.contains("\"status\":\"session\""), "{line}");
+            let back = session_ack_from_line(&line).unwrap();
+            assert_eq!(back, ack);
+            assert_eq!(session_ack_to_line(&back), line);
+        }
+        // A solve response is not a session ack, and `closed` must be true.
+        let solve = error_response_to_json("x", &CcsError::Cancelled).to_json();
+        assert!(session_ack_from_line(&solve).is_err());
+        let bad = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"id\":\"c\",\"status\":\"session\",\
+             \"session\":\"s1\",\"closed\":false}}"
+        );
+        assert!(session_ack_from_line(&bad).is_err());
     }
 }

@@ -352,6 +352,182 @@ fn ordered_mode_preserves_request_order_per_connection() {
 }
 
 #[test]
+fn session_lifecycle_with_warm_solves_and_accounting() {
+    let engine = Engine::new().with_workers(1);
+    let (addr, handle, join) = start(engine, NetdConfig::default());
+    let (mut stream, mut reader) = connect(addr);
+
+    // Mirror the session client-side so the warm solve can be compared
+    // against a cold solve of the identical mutated instance.
+    let initial = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2)]).unwrap();
+    let mut mirror = ccs_session::SessionInstance::from_instance(&initial);
+    let deltas = vec![
+        ccs_session::InstanceDelta::AddJobs(vec![
+            ccs_session::NewJob {
+                processing: 6,
+                class: 1,
+            },
+            ccs_session::NewJob {
+                processing: 11,
+                class: 0,
+            },
+        ]),
+        ccs_session::InstanceDelta::RemoveJobs(vec![1]),
+    ];
+    for delta in &deltas {
+        mirror.apply(delta).unwrap();
+    }
+
+    let open = wire::session_frame_to_line(&wire::SessionFrame::Open {
+        id: "open".to_string(),
+        tenant: Some("acme".to_string()),
+        instance: ccs_session::SessionInstance::from_instance(&initial),
+    });
+    send_lines(&mut stream, &[open]);
+    let ack = wire::session_ack_from_line(&read_line(&mut reader).expect("open ack")).unwrap();
+    let sid = match ack {
+        wire::SessionAck::State {
+            id,
+            session,
+            jobs,
+            machines,
+            fingerprint,
+        } => {
+            assert_eq!(id, "open");
+            assert_eq!(jobs, 4);
+            assert_eq!(machines, 3);
+            assert_eq!(fingerprint, initial.canonical().fingerprint());
+            session
+        }
+        other => panic!("expected a state ack, got {other:?}"),
+    };
+
+    let solve_frame = |id: &str| {
+        wire::session_frame_to_line(&wire::SessionFrame::Solve {
+            id: id.to_string(),
+            session: sid.clone(),
+            request: SolveRequest::exact(ScheduleKind::NonPreemptive),
+        })
+    };
+
+    // First (cold) session solve: no ledger entry yet, so no hint.
+    send_lines(&mut stream, &[solve_frame("cold")]);
+    let line = read_line(&mut reader).expect("cold solution");
+    let cold = wire::response_from_line(&line).expect("well-formed frame");
+    assert_eq!(cold.id, "cold");
+    assert!(cold.outcome.is_ok(), "{:?}", cold.outcome);
+
+    // Mutate, then solve again: this one is warm-started from the ledger.
+    let delta = wire::session_frame_to_line(&wire::SessionFrame::Delta {
+        id: "delta".to_string(),
+        session: sid.clone(),
+        deltas: deltas.clone(),
+    });
+    send_lines(&mut stream, &[delta, solve_frame("warm")]);
+    match wire::session_ack_from_line(&read_line(&mut reader).expect("delta ack")).unwrap() {
+        wire::SessionAck::State {
+            jobs, fingerprint, ..
+        } => {
+            assert_eq!(jobs, 5);
+            assert_eq!(
+                fingerprint,
+                mirror.fingerprint(),
+                "server and mirror agree on the mutated state"
+            );
+        }
+        other => panic!("expected a state ack, got {other:?}"),
+    }
+    let line = read_line(&mut reader).expect("warm solution");
+    let warm = wire::response_from_line(&line).expect("well-formed frame");
+    let warm_solution = warm.outcome.expect("warm solve succeeds");
+
+    // Warm ≡ cold: a plain (hint-free) request over the identical mutated
+    // instance must produce the same answer.
+    let plain = wire::request_to_line(&WireRequest {
+        id: "plain".to_string(),
+        tenant: None,
+        instance: mirror.materialize().unwrap(),
+        request: SolveRequest::exact(ScheduleKind::NonPreemptive),
+    });
+    send_lines(&mut stream, &[plain]);
+    let line = read_line(&mut reader).expect("plain solution");
+    let plain = wire::response_from_line(&line).expect("well-formed frame");
+    let plain_solution = plain.outcome.expect("plain solve succeeds");
+    assert_eq!(warm_solution.makespan, plain_solution.makespan);
+    assert_eq!(warm_solution.schedule, plain_solution.schedule);
+    assert_eq!(warm_solution.guarantee, plain_solution.guarantee);
+
+    // An invalid delta answers with a structured error and leaves both the
+    // session and the connection intact.
+    let bad = wire::session_frame_to_line(&wire::SessionFrame::Delta {
+        id: "bad-delta".to_string(),
+        session: sid.clone(),
+        deltas: vec![ccs_session::InstanceDelta::RemoveJobs(vec![999])],
+    });
+    send_lines(&mut stream, &[bad]);
+    let line = read_line(&mut reader).expect("bad-delta error");
+    let response = wire::response_from_line(&line).expect("well-formed frame");
+    assert_eq!(response.id, "bad-delta");
+    assert!(response.outcome.is_err());
+
+    // Solving an unknown session is an error, not a hang or a crash.
+    let ghost = wire::session_frame_to_line(&wire::SessionFrame::Solve {
+        id: "ghost".to_string(),
+        session: "s999".to_string(),
+        request: SolveRequest::exact(ScheduleKind::NonPreemptive),
+    });
+    send_lines(&mut stream, &[ghost]);
+    let line = read_line(&mut reader).expect("ghost error");
+    let response = wire::response_from_line(&line).expect("well-formed frame");
+    match response.outcome {
+        Err(CcsError::InvalidParameter(msg)) => assert!(msg.contains("unknown session"), "{msg}"),
+        other => panic!("expected an unknown-session error, got {other:?}"),
+    }
+
+    // Stats mid-session: one open session for acme, inline solves counted.
+    send_lines(&mut stream, &[stats_frame("st")]);
+    let (_, stats) =
+        wire::stats_response_from_line(&read_line(&mut reader).expect("stats")).unwrap();
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.sessions_active, 1);
+    let acme = stats.tenants.iter().find(|t| t.tenant == "acme").unwrap();
+    assert_eq!(acme.sessions, 1);
+    assert_eq!(acme.admitted, 2, "both session solves counted for acme");
+    assert_eq!(acme.completed, 2);
+    assert!(
+        stats.engine.warm_hits + stats.engine.warm_misses >= 1,
+        "the hinted session solve recorded its warm outcome: {:?}",
+        stats.engine
+    );
+
+    // Close, then verify the session is gone.
+    let close = wire::session_frame_to_line(&wire::SessionFrame::Close {
+        id: "close".to_string(),
+        session: sid.clone(),
+    });
+    send_lines(&mut stream, &[close]);
+    match wire::session_ack_from_line(&read_line(&mut reader).expect("close ack")).unwrap() {
+        wire::SessionAck::Closed { id, session } => {
+            assert_eq!(id, "close");
+            assert_eq!(session, sid);
+        }
+        other => panic!("expected a closed ack, got {other:?}"),
+    }
+    send_lines(&mut stream, &[solve_frame("after-close")]);
+    let line = read_line(&mut reader).expect("after-close error");
+    let response = wire::response_from_line(&line).expect("well-formed frame");
+    assert!(response.outcome.is_err(), "closed sessions reject solves");
+
+    handle.drain();
+    let stats = join.join().expect("server thread");
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.sessions_active, 0);
+    // 2 session solves + 1 plain solve, all completed.
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
 fn malformed_lines_answer_without_killing_the_connection() {
     let engine = Engine::new().with_workers(1);
     let (addr, handle, join) = start(engine, NetdConfig::default());

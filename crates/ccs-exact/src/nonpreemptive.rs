@@ -70,32 +70,40 @@ pub fn nonpreemptive_optimum_with_schedule_ctx(
     let greedy = greedy_upper_bound(inst, &order, m);
     let initial_best = greedy.unwrap_or_else(|| inst.total_load() + 1);
 
-    // Fan the tree out over a fixed frontier of independent subtrees, each
-    // searched with its own incumbent seeded from the *static* greedy bound.
-    // Sharing the incumbent across workers would be faster on average but
-    // makes the returned witness depend on timing; with local incumbents and
-    // a first-strict-minimum merge in frontier order the result is
-    // bit-identical to the sequential depth-first scan (an earlier shard's
-    // first leaf attaining the optimum is exactly the leaf the sequential
-    // search would have adopted last — later shards merely redo work the
-    // sequential run pruned).  Small trees skip the fan-out entirely.
-    let (_, best_assignment) = if inst.num_jobs() < PAR_JOB_THRESHOLD || m < 2 {
-        search_subtree(inst, &order, ctx, FrontierNode::root(inst, m), initial_best)?
-    } else {
-        let frontier = build_frontier(inst, &order, m, initial_best, ctx)?;
-        let shards = par_map_ctx(ctx, &frontier, |_, node| {
-            search_subtree(inst, &order, ctx, node.clone(), initial_best)
-        })?;
-        let mut best = initial_best;
-        let mut best_assignment: Option<Vec<u64>> = None;
-        for (value, witness) in shards {
-            if value < best {
-                best = value;
-                best_assignment = witness;
+    // Warm start: a parent solution's makespan W tightens the incumbent to
+    // min(G, ⌊W⌋+1) — any leaf with value ≤ W survives the seed, so when the
+    // child optimum is at most W the tightened search still finds it, and it
+    // finds the *same* witness the cold search would have: every initial
+    // incumbent B > OPT yields the depth-first-first OPT leaf (the path to
+    // that leaf has prefix maxima and area bounds ≤ OPT < B, so no prune on
+    // it ever fires before the incumbent itself reaches OPT).  When the
+    // tightened search comes back empty the bound was too aggressive
+    // (OPT ≥ ⌊W⌋+1) and we rerun with the greedy seed — bit-identical to
+    // cold, at the price of the wasted first pass (a warm *miss*).
+    let warm_bound = ctx.warm_hint().and_then(|hint| {
+        let makespan = hint.makespan;
+        if makespan < ccs_core::Rational::ZERO {
+            return None;
+        }
+        let bound = u64::try_from(makespan.floor()).ok()?.saturating_add(1);
+        (bound < initial_best).then_some(bound)
+    });
+    if ctx.warm_hint().is_some() && warm_bound.is_none() {
+        ctx.record_warm(false); // the hint could not tighten the greedy seed
+    }
+
+    let seeded_best = warm_bound.unwrap_or(initial_best);
+    let mut outcome = bounded_search(inst, &order, ctx, m, seeded_best)?;
+    if warm_bound.is_some() {
+        match outcome.1 {
+            Some(_) => ctx.record_warm(true),
+            None => {
+                ctx.record_warm(false);
+                outcome = bounded_search(inst, &order, ctx, m, initial_best)?;
             }
         }
-        (best, best_assignment)
-    };
+    }
+    let best_assignment = outcome.1;
 
     let assignment = best_assignment.unwrap_or_else(|| {
         // The greedy bound was already optimal and the search never improved
@@ -106,6 +114,41 @@ pub fn nonpreemptive_optimum_with_schedule_ctx(
     schedule.validate(inst)?;
     let opt = schedule.makespan_int(inst);
     Ok((opt, schedule))
+}
+
+/// The full search under one static initial incumbent — sequential for small
+/// trees, otherwise fanned out over a fixed frontier of independent subtrees,
+/// each searched with its own incumbent seeded from the same static bound.
+/// Sharing the incumbent across workers would be faster on average but makes
+/// the returned witness depend on timing; with local incumbents and a
+/// first-strict-minimum merge in frontier order the result is bit-identical
+/// to the sequential depth-first scan (an earlier shard's first leaf
+/// attaining the optimum is exactly the leaf the sequential search would
+/// have adopted last — later shards merely redo work the sequential run
+/// pruned).
+fn bounded_search(
+    inst: &Instance,
+    order: &[usize],
+    ctx: &SolveContext,
+    m: usize,
+    initial_best: u64,
+) -> Result<(u64, Option<Vec<u64>>)> {
+    if inst.num_jobs() < PAR_JOB_THRESHOLD || m < 2 {
+        return search_subtree(inst, order, ctx, FrontierNode::root(inst, m), initial_best);
+    }
+    let frontier = build_frontier(inst, order, m, initial_best, ctx)?;
+    let shards = par_map_ctx(ctx, &frontier, |_, node| {
+        search_subtree(inst, order, ctx, node.clone(), initial_best)
+    })?;
+    let mut best = initial_best;
+    let mut best_assignment: Option<Vec<u64>> = None;
+    for (value, witness) in shards {
+        if value < best {
+            best = value;
+            best_assignment = witness;
+        }
+    }
+    Ok((best, best_assignment))
 }
 
 /// A partial assignment of the first `depth` jobs of the branching order —
@@ -432,6 +475,46 @@ mod tests {
                 NonPreemptiveSchedule::new(seq_assignment),
                 "witness diverged on seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn warm_hints_never_change_the_witness() {
+        use ccs_core::{Rational, StatsSink, WarmHint};
+        use std::sync::Arc;
+        for seed in 0..40u64 {
+            let inst = ccs_gen_sized(seed, 10 + (seed % 4) as usize);
+            if !inst.is_feasible() {
+                continue;
+            }
+            let (cold_opt, cold_schedule) =
+                nonpreemptive_optimum_with_schedule_ctx(&inst, &SolveContext::unbounded()).unwrap();
+            // Hints from a spread of anchors around the optimum: exact,
+            // slack (a parent whose makespan exceeded the child's), and too
+            // tight (forces the cold fallback).
+            let hints = [
+                Rational::from(cold_opt),
+                Rational::from(cold_opt + 3),
+                Rational::new(2 * cold_opt as i128 + 1, 2),
+                Rational::from(cold_opt.saturating_sub(1)),
+                Rational::ZERO,
+            ];
+            for hint in hints {
+                let sink = Arc::new(StatsSink::new());
+                let ctx = SolveContext::unbounded()
+                    .with_stats(sink.clone())
+                    .with_warm(WarmHint { makespan: hint });
+                let (warm_opt, warm_schedule) =
+                    nonpreemptive_optimum_with_schedule_ctx(&inst, &ctx).unwrap();
+                assert_eq!(warm_opt, cold_opt, "seed {seed} hint {hint}");
+                assert_eq!(warm_schedule, cold_schedule, "seed {seed} hint {hint}");
+                let snap = sink.snapshot();
+                assert_eq!(
+                    snap.warm_hits + snap.warm_misses,
+                    1,
+                    "seed {seed} hint {hint}"
+                );
+            }
         }
     }
 

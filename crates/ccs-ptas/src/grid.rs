@@ -16,7 +16,7 @@
 //! count), which the `ccs-verify` mode-equivalence pass asserts wholesale.
 
 use ccs_core::par::par_map_ctx;
-use ccs_core::{Result, SolveContext};
+use ccs_core::{Rational, Result, SolveContext};
 
 /// Probes per round.  With at least this many workers every round costs one
 /// probe's latency; the interval shrinks by ~`1/(ARITY - 1)` per round.
@@ -95,6 +95,65 @@ where
     }
 }
 
+/// The prefix cutoff of a warm-started grid search: the index of the first
+/// grid point at or above the parent makespan `hint`, plus one step of slack
+/// (a mutation usually moves the optimum by at most a grid step), clamped
+/// into the grid.
+pub(crate) fn warm_cutoff(grid: &[Rational], hint: Rational) -> usize {
+    let at = grid.partition_point(|&g| g < hint);
+    (at + 1).min(grid.len().saturating_sub(1))
+}
+
+/// [`smallest_accepted`] with an optional warm-start prefix: when `cutoff`
+/// is present, indices `0..=cutoff` are searched first — a parent solution's
+/// makespan says the winner is almost certainly in there — and the remainder
+/// only when the whole prefix rejects.
+///
+/// Under the upward-closed feasibility the plain search already assumes,
+/// the returned `(index, certificate)` is **identical** to the cold result
+/// for every cutoff: a prefix accept at `i` is the globally smallest accept
+/// (everything above `i` also accepts), and a fully rejecting prefix proves
+/// the winner (if any) lies above it.  Only the probe count — and therefore
+/// `guesses_evaluated` — may differ; the `ccs-verify` warm-equivalence pass
+/// compares everything *but* the work counters for exactly this reason.
+///
+/// Records the outcome on `ctx`: a warm *hit* when the prefix produced the
+/// winner, a *miss* when the hint did not narrow the grid or the search had
+/// to fall through to the remainder.
+pub(crate) fn smallest_accepted_hinted<C, F>(
+    ctx: &SolveContext,
+    len: usize,
+    cutoff: Option<usize>,
+    evaluate: F,
+) -> Result<(Option<(usize, C)>, usize)>
+where
+    C: Send,
+    F: Fn(usize) -> Result<Option<C>> + Sync,
+{
+    let Some(cutoff) = cutoff else {
+        return smallest_accepted(ctx, len, evaluate);
+    };
+    if len == 0 {
+        return Ok((None, 0));
+    }
+    let prefix = cutoff.saturating_add(1).min(len);
+    if prefix >= len {
+        ctx.record_warm(false); // the hint spans the whole grid: nothing saved
+        return smallest_accepted(ctx, len, evaluate);
+    }
+    let (best, evaluated) = smallest_accepted(ctx, prefix, &evaluate)?;
+    if best.is_some() {
+        ctx.record_warm(true);
+        return Ok((best, evaluated));
+    }
+    ctx.record_warm(false);
+    let (rest, rest_evaluated) = smallest_accepted(ctx, len - prefix, |i| evaluate(i + prefix))?;
+    Ok((
+        rest.map(|(index, cert)| (index + prefix, cert)),
+        evaluated + rest_evaluated,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +192,79 @@ mod tests {
             counts.push(evaluated);
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn hinted_search_finds_the_same_boundary_for_every_cutoff() {
+        let ctx = SolveContext::unbounded();
+        for len in [1usize, 2, 3, 5, 8, 16, 33] {
+            for threshold in 0..=len {
+                let cold =
+                    smallest_accepted(&ctx, len, |index| Ok((index >= threshold).then_some(index)))
+                        .unwrap()
+                        .0
+                        .map(|(index, _)| index);
+                for cutoff in 0..len + 2 {
+                    let (found, _) = smallest_accepted_hinted(&ctx, len, Some(cutoff), |index| {
+                        Ok((index >= threshold).then_some(index))
+                    })
+                    .unwrap();
+                    assert_eq!(
+                        found.map(|(index, _)| index),
+                        cold,
+                        "len {len}, threshold {threshold}, cutoff {cutoff}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_search_records_hits_and_misses() {
+        let sink = std::sync::Arc::new(ccs_core::StatsSink::default());
+        let ctx = SolveContext::unbounded().with_stats(std::sync::Arc::clone(&sink));
+        // Winner inside the prefix: a hit.
+        let (found, _) =
+            smallest_accepted_hinted(
+                &ctx,
+                20,
+                Some(10),
+                |index| Ok((index >= 4).then_some(index)),
+            )
+            .unwrap();
+        assert_eq!(found.map(|(index, _)| index), Some(4));
+        // Winner above the prefix: a miss, then found in the remainder.
+        let (found, _) =
+            smallest_accepted_hinted(
+                &ctx,
+                20,
+                Some(5),
+                |index| Ok((index >= 14).then_some(index)),
+            )
+            .unwrap();
+        assert_eq!(found.map(|(index, _)| index), Some(14));
+        // Cutoff spanning the whole grid: a miss, plain search.
+        let (found, _) =
+            smallest_accepted_hinted(
+                &ctx,
+                20,
+                Some(25),
+                |index| Ok((index >= 2).then_some(index)),
+            )
+            .unwrap();
+        assert_eq!(found.map(|(index, _)| index), Some(2));
+        let snap = sink.snapshot();
+        assert_eq!((snap.warm_hits, snap.warm_misses), (1, 2));
+    }
+
+    #[test]
+    fn warm_cutoff_lands_one_step_past_the_hint() {
+        let grid: Vec<Rational> = (1..=10).map(Rational::from).collect();
+        assert_eq!(warm_cutoff(&grid, Rational::from(4)), 4);
+        assert_eq!(warm_cutoff(&grid, Rational::new(7, 2)), 4);
+        assert_eq!(warm_cutoff(&grid, Rational::ZERO), 1);
+        assert_eq!(warm_cutoff(&grid, Rational::from(1_000)), 9);
+        assert_eq!(warm_cutoff(&[Rational::ONE], Rational::ONE), 0);
     }
 
     #[test]

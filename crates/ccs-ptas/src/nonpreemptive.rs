@@ -66,9 +66,13 @@ pub fn nonpreemptive_ptas_ctx(
         let next = *grid.last().unwrap() * step;
         grid.push(next);
     }
-    let (best, evaluated) = crate::grid::smallest_accepted(ctx, grid.len(), |index| {
-        decide_and_construct_ctx(inst, grid[index], params, ctx)
-    })?;
+    let cutoff = ctx
+        .warm_hint()
+        .map(|hint| crate::grid::warm_cutoff(&grid, hint.makespan));
+    let (best, evaluated) =
+        crate::grid::smallest_accepted_hinted(ctx, grid.len(), cutoff, |index| {
+            decide_and_construct_ctx(inst, grid[index], params, ctx)
+        })?;
 
     match best {
         Some((idx, (schedule, configurations))) => Ok(PtasResult {

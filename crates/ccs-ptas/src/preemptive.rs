@@ -87,16 +87,20 @@ pub fn preemptive_ptas_ctx(
         let next = *grid.last().unwrap() * step;
         grid.push(next);
     }
-    let (best, evaluated) = crate::grid::smallest_accepted(ctx, grid.len(), |index| {
-        let attempt = decide_ctx(inst, grid[index], params, ctx)?.map(|cert| {
-            let scale = GuessScale::new(grid[index], params);
-            let configurations = cert.configs.len();
-            (construct(inst, &scale, &cert), configurations)
-        });
-        // A guess only counts as feasible when its reconstruction round-trips
-        // through the validator, exactly as the sequential search required.
-        Ok(attempt.filter(|(schedule, _)| schedule.validate(inst).is_ok()))
-    })?;
+    let cutoff = ctx
+        .warm_hint()
+        .map(|hint| crate::grid::warm_cutoff(&grid, hint.makespan));
+    let (best, evaluated) =
+        crate::grid::smallest_accepted_hinted(ctx, grid.len(), cutoff, |index| {
+            let attempt = decide_ctx(inst, grid[index], params, ctx)?.map(|cert| {
+                let scale = GuessScale::new(grid[index], params);
+                let configurations = cert.configs.len();
+                (construct(inst, &scale, &cert), configurations)
+            });
+            // A guess only counts as feasible when its reconstruction round-trips
+            // through the validator, exactly as the sequential search required.
+            Ok(attempt.filter(|(schedule, _)| schedule.validate(inst).is_ok()))
+        })?;
 
     match best {
         Some((idx, (schedule, configurations))) => Ok(PtasResult {

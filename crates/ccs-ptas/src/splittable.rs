@@ -95,9 +95,13 @@ pub fn splittable_ptas_ctx(
         let next = *grid.last().unwrap() * step;
         grid.push(next);
     }
-    let (best, evaluated) = crate::grid::smallest_accepted(ctx, grid.len(), |index| {
-        decide_ctx(inst, grid[index], params, ctx)
-    })?;
+    let cutoff = ctx
+        .warm_hint()
+        .map(|hint| crate::grid::warm_cutoff(&grid, hint.makespan));
+    let (best, evaluated) =
+        crate::grid::smallest_accepted_hinted(ctx, grid.len(), cutoff, |index| {
+            decide_ctx(inst, grid[index], params, ctx)
+        })?;
 
     match best {
         Some((idx, cert)) => {
@@ -421,6 +425,40 @@ mod tests {
             res.guess
         );
         res
+    }
+
+    #[test]
+    fn warm_hints_never_change_the_result() {
+        let cases = [
+            instance_from_pairs(2, 1, &[(30, 0), (20, 1)]).unwrap(),
+            instance_from_pairs(2, 2, &[(12, 0), (6, 1), (2, 2)]).unwrap(),
+            instance_from_pairs(3, 1, &[(10, 0), (9, 1), (8, 2)]).unwrap(),
+            instance_from_pairs(4, 2, &[(7, 0), (8, 0), (9, 1), (5, 2), (3, 3)]).unwrap(),
+        ];
+        let params = PtasParams::with_delta_inv(4).unwrap();
+        for inst in &cases {
+            let cold = splittable_ptas_ctx(inst, params, &SolveContext::unbounded()).unwrap();
+            let hints = [
+                cold.guess,
+                cold.lower_bound,
+                cold.guess * Rational::from_int(2),
+                Rational::ZERO,
+            ];
+            for hint in hints {
+                let sink = std::sync::Arc::new(ccs_core::StatsSink::default());
+                let ctx = SolveContext::unbounded()
+                    .with_stats(std::sync::Arc::clone(&sink))
+                    .with_warm(ccs_core::WarmHint { makespan: hint });
+                let warm = splittable_ptas_ctx(inst, params, &ctx).unwrap();
+                // Bit-identical payload; only the probe counter may differ.
+                assert_eq!(warm.schedule, cold.schedule, "hint {hint}");
+                assert_eq!(warm.guess, cold.guess, "hint {hint}");
+                assert_eq!(warm.lower_bound, cold.lower_bound, "hint {hint}");
+                assert_eq!(warm.configurations, cold.configurations, "hint {hint}");
+                let snap = sink.snapshot();
+                assert_eq!(snap.warm_hits + snap.warm_misses, 1, "hint {hint}");
+            }
+        }
     }
 
     #[test]

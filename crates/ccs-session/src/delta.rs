@@ -1,0 +1,207 @@
+//! The mutation vocabulary of a session and its JSON wire codec.
+
+use ccs_core::json::JsonValue;
+use ccs_core::{CcsError, Result};
+
+fn err(msg: impl Into<String>) -> CcsError {
+    CcsError::invalid_parameter(format!("delta: {}", msg.into()))
+}
+
+/// A job to add: its processing time and class label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewJob {
+    /// Processing time (must be positive).
+    pub processing: u64,
+    /// Class label.  Labels are free-form `u32`s — a label unseen so far
+    /// opens a new class.
+    pub class: u32,
+}
+
+/// One mutation of a [`crate::SessionInstance`].
+///
+/// Deltas are *atomic*: application validates the whole delta against the
+/// current session state first and mutates only if every part is valid, so
+/// a rejected delta leaves the session exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceDelta {
+    /// Append jobs; each receives the next stable external id.
+    AddJobs(Vec<NewJob>),
+    /// Remove jobs by their stable external ids (distinct, all present).
+    RemoveJobs(Vec<u64>),
+    /// Add machines (must be positive).
+    AddMachines(u64),
+    /// Relabel every job of class `from` to class `to`, merging the two
+    /// classes.  `from` must currently have jobs; `from == to` is a no-op.
+    RetypeClass {
+        /// The label being dissolved.
+        from: u32,
+        /// The label absorbing its jobs.
+        to: u32,
+    },
+}
+
+/// Serialises a delta to its wire form — an object with exactly one of the
+/// members `add_jobs`, `remove_jobs`, `add_machines`, `retype_class`:
+///
+/// ```json
+/// {"add_jobs":[{"p":5,"class":2}]}
+/// {"remove_jobs":[0,3]}
+/// {"add_machines":2}
+/// {"retype_class":{"from":2,"to":0}}
+/// ```
+pub fn delta_to_json(delta: &InstanceDelta) -> JsonValue {
+    let mut obj = JsonValue::object();
+    match delta {
+        InstanceDelta::AddJobs(jobs) => {
+            obj.set(
+                "add_jobs",
+                JsonValue::Array(
+                    jobs.iter()
+                        .map(|job| {
+                            let mut j = JsonValue::object();
+                            j.set("p", job.processing);
+                            j.set("class", u64::from(job.class));
+                            j
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        InstanceDelta::RemoveJobs(ids) => {
+            obj.set(
+                "remove_jobs",
+                JsonValue::Array(ids.iter().map(|&id| JsonValue::Int(id as i128)).collect()),
+            );
+        }
+        InstanceDelta::AddMachines(count) => {
+            obj.set("add_machines", *count);
+        }
+        InstanceDelta::RetypeClass { from, to } => {
+            let mut r = JsonValue::object();
+            r.set("from", u64::from(*from));
+            r.set("to", u64::from(*to));
+            obj.set("retype_class", r);
+        }
+    }
+    obj
+}
+
+/// Parses the wire form produced by [`delta_to_json`].  Exactly one delta
+/// member must be present; unknown or ambiguous objects are rejected.
+pub fn delta_from_json(value: &JsonValue) -> Result<InstanceDelta> {
+    let members = value
+        .as_object()
+        .ok_or_else(|| err("a delta must be an object"))?;
+    if members.len() != 1 {
+        return Err(err(
+            "a delta must have exactly one of 'add_jobs', 'remove_jobs', \
+             'add_machines', 'retype_class'",
+        ));
+    }
+    if let Some(jobs) = value.get("add_jobs") {
+        let jobs = jobs
+            .as_array()
+            .ok_or_else(|| err("'add_jobs' must be an array"))?
+            .iter()
+            .map(|job| {
+                let processing = job
+                    .get("p")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| err("each added job needs a count 'p'"))?;
+                let class = job
+                    .get("class")
+                    .and_then(JsonValue::as_u64)
+                    .and_then(|c| u32::try_from(c).ok())
+                    .ok_or_else(|| err("each added job needs a u32 'class'"))?;
+                Ok(NewJob { processing, class })
+            })
+            .collect::<Result<Vec<NewJob>>>()?;
+        return Ok(InstanceDelta::AddJobs(jobs));
+    }
+    if let Some(ids) = value.get("remove_jobs") {
+        let ids = ids
+            .as_array()
+            .ok_or_else(|| err("'remove_jobs' must be an array"))?
+            .iter()
+            .map(|id| {
+                id.as_u64()
+                    .ok_or_else(|| err("'remove_jobs' entries must be job ids"))
+            })
+            .collect::<Result<Vec<u64>>>()?;
+        return Ok(InstanceDelta::RemoveJobs(ids));
+    }
+    if let Some(count) = value.get("add_machines") {
+        return Ok(InstanceDelta::AddMachines(count.as_u64().ok_or_else(
+            || err("'add_machines' must be a non-negative count"),
+        )?));
+    }
+    if let Some(retype) = value.get("retype_class") {
+        let label = |key: &str| {
+            retype
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .and_then(|c| u32::try_from(c).ok())
+                .ok_or_else(|| err(format!("'retype_class' needs a u32 '{key}'")))
+        };
+        return Ok(InstanceDelta::RetypeClass {
+            from: label("from")?,
+            to: label("to")?,
+        });
+    }
+    Err(err(
+        "a delta must have exactly one of 'add_jobs', 'remove_jobs', \
+         'add_machines', 'retype_class'",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::json::parse;
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let deltas = [
+            InstanceDelta::AddJobs(vec![
+                NewJob {
+                    processing: 5,
+                    class: 2,
+                },
+                NewJob {
+                    processing: 9,
+                    class: 0,
+                },
+            ]),
+            InstanceDelta::RemoveJobs(vec![0, 3, 17]),
+            InstanceDelta::AddMachines(2),
+            InstanceDelta::RetypeClass { from: 2, to: 0 },
+        ];
+        for delta in deltas {
+            let line = delta_to_json(&delta).to_json();
+            let back = delta_from_json(&parse(&line).unwrap()).unwrap();
+            assert_eq!(back, delta, "{line}");
+            // Canonical: a second trip yields identical bytes.
+            assert_eq!(delta_to_json(&back).to_json(), line);
+        }
+    }
+
+    #[test]
+    fn malformed_deltas_are_rejected() {
+        for bad in [
+            "[]",
+            "{}",
+            r#"{"add_jobs":[{"p":5,"class":1}],"add_machines":1}"#,
+            r#"{"warp_jobs":[1]}"#,
+            r#"{"add_jobs":[{"class":1}]}"#,
+            r#"{"add_jobs":[{"p":5}]}"#,
+            r#"{"add_jobs":[{"p":-5,"class":1}]}"#,
+            r#"{"remove_jobs":[-1]}"#,
+            r#"{"remove_jobs":7}"#,
+            r#"{"add_machines":-2}"#,
+            r#"{"retype_class":{"from":1}}"#,
+            r#"{"retype_class":{"from":1,"to":99999999999}}"#,
+        ] {
+            assert!(delta_from_json(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The mutable instance behind a session: stable job ids, atomic delta
+//! application, and an incrementally maintained canonical fingerprint.
+
+use crate::delta::InstanceDelta;
+use ccs_core::{CcsError, Fingerprint, IncrementalFingerprint, Instance, InstanceBuilder, Result};
+use std::collections::BTreeSet;
+
+fn err(msg: impl Into<String>) -> CcsError {
+    CcsError::invalid_parameter(format!("session: {}", msg.into()))
+}
+
+/// A live job of a [`SessionInstance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionJob {
+    /// Stable external id: assigned on addition, never reused or shifted by
+    /// later mutations.
+    pub id: u64,
+    /// Processing time.
+    pub processing: u64,
+    /// Current class label (mutated by retypes).
+    pub class: u32,
+}
+
+/// A mutable instance evolving under [`InstanceDelta`]s.
+///
+/// Invariants:
+///
+/// * every delta is **atomic** — validated in full against the current
+///   state before anything mutates, so a rejected delta is a no-op,
+/// * external job ids are stable: `remove` never renumbers survivors and
+///   ids are never reused,
+/// * [`SessionInstance::fingerprint`] always equals the canonical
+///   fingerprint of [`SessionInstance::materialize`]'s result — maintained
+///   incrementally, in `O(log C + class size)` per mutation instead of a
+///   full recanonicalisation.
+///
+/// [`SessionInstance::materialize`] orders jobs by ascending external id;
+/// schedules returned for the materialized instance refer to jobs by that
+/// position, so `jobs()[position].id` recovers the external id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInstance {
+    machines: u64,
+    class_slots: u64,
+    jobs: Vec<SessionJob>,
+    next_job: u64,
+    fingerprint: IncrementalFingerprint,
+}
+
+impl SessionInstance {
+    /// An empty session instance (add jobs before solving).
+    pub fn new(machines: u64, class_slots: u64) -> Result<SessionInstance> {
+        if machines == 0 {
+            return Err(err("a session needs at least one machine"));
+        }
+        if class_slots == 0 {
+            return Err(err("a session needs at least one class slot"));
+        }
+        Ok(SessionInstance {
+            machines,
+            class_slots,
+            jobs: Vec::new(),
+            next_job: 0,
+            fingerprint: IncrementalFingerprint::new(machines, class_slots),
+        })
+    }
+
+    /// Seeds a session from an existing instance; job `j` of `inst` gets
+    /// external id `j`.
+    pub fn from_instance(inst: &Instance) -> SessionInstance {
+        let jobs: Vec<SessionJob> = (0..inst.num_jobs())
+            .map(|j| SessionJob {
+                id: j as u64,
+                processing: inst.processing_time(j),
+                class: inst.class_label(inst.class_of(j)),
+            })
+            .collect();
+        SessionInstance {
+            machines: inst.machines(),
+            class_slots: inst.class_slots(),
+            jobs,
+            next_job: inst.num_jobs() as u64,
+            fingerprint: IncrementalFingerprint::from_instance(inst),
+        }
+    }
+
+    /// Current machine count.
+    pub fn machines(&self) -> u64 {
+        self.machines
+    }
+
+    /// Class slots per machine.
+    pub fn class_slots(&self) -> u64 {
+        self.class_slots
+    }
+
+    /// Live jobs, ascending by external id (the materialization order).
+    pub fn jobs(&self) -> &[SessionJob] {
+        &self.jobs
+    }
+
+    /// Number of live jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The canonical fingerprint of the current state — incrementally
+    /// maintained, identical to `self.materialize()?.canonical()
+    /// .fingerprint()` whenever the session has jobs.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint.fingerprint()
+    }
+
+    /// Applies one delta atomically: on `Err` the session is unchanged.
+    pub fn apply(&mut self, delta: &InstanceDelta) -> Result<()> {
+        match delta {
+            InstanceDelta::AddJobs(new_jobs) => {
+                if new_jobs.is_empty() {
+                    return Err(err("'add_jobs' must add at least one job"));
+                }
+                if new_jobs.iter().any(|job| job.processing == 0) {
+                    return Err(err("job processing times must be positive"));
+                }
+                for job in new_jobs {
+                    self.jobs.push(SessionJob {
+                        id: self.next_job,
+                        processing: job.processing,
+                        class: job.class,
+                    });
+                    self.next_job += 1;
+                    self.fingerprint.add_job(job.processing, job.class);
+                }
+                Ok(())
+            }
+            InstanceDelta::RemoveJobs(ids) => {
+                let distinct: BTreeSet<u64> = ids.iter().copied().collect();
+                if distinct.len() != ids.len() {
+                    return Err(err("'remove_jobs' ids must be distinct"));
+                }
+                if distinct.is_empty() {
+                    return Err(err("'remove_jobs' must remove at least one job"));
+                }
+                let live: BTreeSet<u64> = self.jobs.iter().map(|job| job.id).collect();
+                if let Some(missing) = distinct.iter().find(|id| !live.contains(id)) {
+                    return Err(err(format!("job {missing} does not exist")));
+                }
+                let fingerprint = &mut self.fingerprint;
+                self.jobs.retain(|job| {
+                    if distinct.contains(&job.id) {
+                        fingerprint
+                            .remove_job(job.processing, job.class)
+                            .expect("validated against live jobs above");
+                        false
+                    } else {
+                        true
+                    }
+                });
+                Ok(())
+            }
+            InstanceDelta::AddMachines(count) => {
+                if *count == 0 {
+                    return Err(err("'add_machines' must add at least one machine"));
+                }
+                let machines = self
+                    .machines
+                    .checked_add(*count)
+                    .ok_or_else(|| err("machine count overflow"))?;
+                self.machines = machines;
+                self.fingerprint.add_machines(*count);
+                Ok(())
+            }
+            InstanceDelta::RetypeClass { from, to } => {
+                if from == to {
+                    return Ok(());
+                }
+                if !self.jobs.iter().any(|job| job.class == *from) {
+                    return Err(err(format!("class {from} has no jobs to retype")));
+                }
+                for job in &mut self.jobs {
+                    if job.class == *from {
+                        job.class = *to;
+                    }
+                }
+                self.fingerprint.retype_class(*from, *to);
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the immutable [`Instance`] of the current state, jobs ordered
+    /// by ascending external id.  Errors while the session has no jobs.
+    pub fn materialize(&self) -> Result<Instance> {
+        if self.jobs.is_empty() {
+            return Err(err("the session instance has no jobs to solve"));
+        }
+        let mut builder = InstanceBuilder::new(self.machines, self.class_slots);
+        for job in &self.jobs {
+            builder = builder.job(job.processing, job.class);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::NewJob;
+
+    fn fresh() -> SessionInstance {
+        let mut session = SessionInstance::new(3, 2).unwrap();
+        session
+            .apply(&InstanceDelta::AddJobs(vec![
+                NewJob {
+                    processing: 7,
+                    class: 0,
+                },
+                NewJob {
+                    processing: 8,
+                    class: 0,
+                },
+                NewJob {
+                    processing: 9,
+                    class: 1,
+                },
+                NewJob {
+                    processing: 5,
+                    class: 2,
+                },
+            ]))
+            .unwrap();
+        session
+    }
+
+    /// The load-bearing invariant: the incremental fingerprint always equals
+    /// the from-scratch canonical fingerprint of the materialized instance.
+    fn assert_consistent(session: &SessionInstance) {
+        let rebuilt = session.materialize().unwrap();
+        assert_eq!(
+            session.fingerprint(),
+            rebuilt.canonical().fingerprint(),
+            "incremental fingerprint diverged from the materialized instance"
+        );
+    }
+
+    #[test]
+    fn build_and_materialize_roundtrip() {
+        let session = fresh();
+        let inst = session.materialize().unwrap();
+        assert_eq!(inst.num_jobs(), 4);
+        assert_eq!(inst.machines(), 3);
+        assert_eq!(inst.class_slots(), 2);
+        assert_consistent(&session);
+    }
+
+    #[test]
+    fn ids_are_stable_across_removal() {
+        let mut session = fresh();
+        session.apply(&InstanceDelta::RemoveJobs(vec![1])).unwrap();
+        let ids: Vec<u64> = session.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        // The next added job continues the id sequence; id 1 is never reused.
+        session
+            .apply(&InstanceDelta::AddJobs(vec![NewJob {
+                processing: 3,
+                class: 1,
+            }]))
+            .unwrap();
+        let ids: Vec<u64> = session.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 2, 3, 4]);
+        assert_consistent(&session);
+    }
+
+    #[test]
+    fn every_delta_keeps_the_fingerprint_consistent() {
+        let mut session = fresh();
+        for delta in [
+            InstanceDelta::AddJobs(vec![NewJob {
+                processing: 11,
+                class: 3,
+            }]),
+            InstanceDelta::RemoveJobs(vec![0, 3]),
+            InstanceDelta::AddMachines(2),
+            InstanceDelta::RetypeClass { from: 3, to: 1 },
+        ] {
+            session.apply(&delta).unwrap();
+            assert_consistent(&session);
+        }
+    }
+
+    #[test]
+    fn removing_the_last_job_of_a_class_dissolves_it() {
+        let mut session = fresh();
+        // Job 3 is the only class-2 job.
+        session.apply(&InstanceDelta::RemoveJobs(vec![3])).unwrap();
+        assert_consistent(&session);
+        let inst = session.materialize().unwrap();
+        assert_eq!(inst.num_classes(), 2);
+        // The dissolved label is free to reopen as a new class.
+        session
+            .apply(&InstanceDelta::AddJobs(vec![NewJob {
+                processing: 2,
+                class: 2,
+            }]))
+            .unwrap();
+        assert_consistent(&session);
+        assert_eq!(session.materialize().unwrap().num_classes(), 3);
+    }
+
+    #[test]
+    fn empty_sessions_reject_solves_but_accept_deltas() {
+        let mut session = SessionInstance::new(2, 1).unwrap();
+        assert!(session.materialize().is_err());
+        // Deltas that need jobs fail cleanly on the empty instance…
+        assert!(session.apply(&InstanceDelta::RemoveJobs(vec![0])).is_err());
+        assert!(session
+            .apply(&InstanceDelta::RetypeClass { from: 0, to: 1 })
+            .is_err());
+        // …while machine growth is fine before the first job.
+        session.apply(&InstanceDelta::AddMachines(1)).unwrap();
+        session
+            .apply(&InstanceDelta::AddJobs(vec![NewJob {
+                processing: 4,
+                class: 0,
+            }]))
+            .unwrap();
+        assert_consistent(&session);
+        assert_eq!(session.machines(), 3);
+    }
+
+    #[test]
+    fn retype_merges_classes() {
+        let mut session = fresh();
+        session
+            .apply(&InstanceDelta::RetypeClass { from: 2, to: 0 })
+            .unwrap();
+        assert_consistent(&session);
+        let inst = session.materialize().unwrap();
+        assert_eq!(inst.num_classes(), 2);
+        // from == to is a no-op, not an error.
+        let before = session.clone();
+        session
+            .apply(&InstanceDelta::RetypeClass { from: 0, to: 0 })
+            .unwrap();
+        assert_eq!(session, before);
+        // A retype of a dissolved class is rejected.
+        assert!(session
+            .apply(&InstanceDelta::RetypeClass { from: 2, to: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn rejected_deltas_leave_the_session_untouched() {
+        let mut session = fresh();
+        let before = session.clone();
+        for bad in [
+            InstanceDelta::AddJobs(vec![]),
+            InstanceDelta::AddJobs(vec![NewJob {
+                processing: 0,
+                class: 0,
+            }]),
+            InstanceDelta::RemoveJobs(vec![]),
+            InstanceDelta::RemoveJobs(vec![0, 0]),
+            // One valid id and one missing id: nothing may be removed.
+            InstanceDelta::RemoveJobs(vec![0, 99]),
+            InstanceDelta::AddMachines(0),
+            InstanceDelta::AddMachines(u64::MAX),
+            InstanceDelta::RetypeClass { from: 9, to: 0 },
+        ] {
+            assert!(session.apply(&bad).is_err(), "{bad:?}");
+            assert_eq!(session, before, "{bad:?} mutated the session");
+        }
+    }
+
+    #[test]
+    fn from_instance_preserves_identity() {
+        let inst = ccs_core::instance::instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2)])
+            .unwrap();
+        let session = SessionInstance::from_instance(&inst);
+        assert_eq!(session.fingerprint(), inst.canonical().fingerprint());
+        assert_eq!(session.materialize().unwrap(), inst);
+    }
+}

@@ -1,0 +1,166 @@
+//! Session bookkeeping for the service layer: named sessions with tenants
+//! and the per-model warm-start ledger.
+
+use crate::instance::SessionInstance;
+use ccs_core::{Fingerprint, Rational, ScheduleKind};
+use std::collections::BTreeMap;
+
+/// The warm-start seed a past solve left behind: the fingerprint of the
+/// instance that was solved and the makespan it achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmRecord {
+    /// Canonical fingerprint of the solved (parent) instance.
+    pub parent: Fingerprint,
+    /// The makespan of that solution.
+    pub makespan: Rational,
+}
+
+/// One open session: the live instance plus the last solution per placement
+/// model, which seeds the warm-start hint of the next solve.
+#[derive(Debug, Clone)]
+pub struct Session {
+    tenant: Option<String>,
+    /// The live, mutable instance.
+    pub instance: SessionInstance,
+    /// Last solution per model (at most one entry per [`ScheduleKind`]).
+    warm: Vec<(ScheduleKind, WarmRecord)>,
+}
+
+impl Session {
+    /// A fresh session over `instance`.
+    pub fn new(tenant: Option<String>, instance: SessionInstance) -> Session {
+        Session {
+            tenant,
+            instance,
+            warm: Vec::new(),
+        }
+    }
+
+    /// The tenant label, if the opener supplied one.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// The warm-start seed for a solve of `model`: the last recorded
+    /// solution of that model, whatever mutations happened since (warm
+    /// hints accelerate, never steer, so a stale makespan is safe).
+    pub fn warm_for(&self, model: ScheduleKind) -> Option<WarmRecord> {
+        self.warm
+            .iter()
+            .find(|(kind, _)| *kind == model)
+            .map(|(_, record)| *record)
+    }
+
+    /// Records a completed solve of `model`, replacing the previous seed.
+    pub fn record_solution(&mut self, model: ScheduleKind, record: WarmRecord) {
+        match self.warm.iter_mut().find(|(kind, _)| *kind == model) {
+            Some((_, existing)) => *existing = record,
+            None => self.warm.push((model, record)),
+        }
+    }
+}
+
+/// A collection of open sessions with deterministic server-assigned ids
+/// (`"s1"`, `"s2"`, … in open order — deterministic so service transcripts
+/// replay byte-exactly).
+#[derive(Debug, Clone, Default)]
+pub struct SessionStore {
+    sessions: BTreeMap<String, Session>,
+    opened: u64,
+}
+
+impl SessionStore {
+    /// An empty store.
+    pub fn new() -> SessionStore {
+        SessionStore::default()
+    }
+
+    /// Opens a session and returns its id.
+    pub fn open(&mut self, tenant: Option<String>, instance: SessionInstance) -> String {
+        self.opened += 1;
+        let sid = format!("s{}", self.opened);
+        self.sessions
+            .insert(sid.clone(), Session::new(tenant, instance));
+        sid
+    }
+
+    /// The session with this id, if open.
+    pub fn get(&self, sid: &str) -> Option<&Session> {
+        self.sessions.get(sid)
+    }
+
+    /// Mutable access to an open session.
+    pub fn get_mut(&mut self, sid: &str) -> Option<&mut Session> {
+        self.sessions.get_mut(sid)
+    }
+
+    /// Closes a session, returning it if it was open.
+    pub fn close(&mut self, sid: &str) -> Option<Session> {
+        self.sessions.remove(sid)
+    }
+
+    /// Number of sessions currently open.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Total sessions ever opened on this store.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Open sessions in id order (for accounting and drain reporting).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Session)> {
+        self.sessions
+            .iter()
+            .map(|(sid, session)| (sid.as_str(), session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> SessionInstance {
+        SessionInstance::new(2, 1).unwrap()
+    }
+
+    #[test]
+    fn ids_are_sequential_and_never_reused() {
+        let mut store = SessionStore::new();
+        let a = store.open(None, instance());
+        let b = store.open(Some("acme".to_string()), instance());
+        assert_eq!((a.as_str(), b.as_str()), ("s1", "s2"));
+        assert!(store.close(&a).is_some());
+        assert!(store.close(&a).is_none());
+        let c = store.open(None, instance());
+        assert_eq!(c, "s3");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.opened(), 3);
+        assert_eq!(store.get(&b).unwrap().tenant(), Some("acme"));
+    }
+
+    #[test]
+    fn warm_records_are_per_model_and_replaced() {
+        let mut session = Session::new(None, instance());
+        let record = |n: i128| WarmRecord {
+            parent: Fingerprint(n as u128),
+            makespan: Rational::from_int(n),
+        };
+        assert_eq!(session.warm_for(ScheduleKind::Splittable), None);
+        session.record_solution(ScheduleKind::Splittable, record(4));
+        session.record_solution(ScheduleKind::NonPreemptive, record(7));
+        session.record_solution(ScheduleKind::Splittable, record(5));
+        assert_eq!(session.warm_for(ScheduleKind::Splittable), Some(record(5)));
+        assert_eq!(
+            session.warm_for(ScheduleKind::NonPreemptive),
+            Some(record(7))
+        );
+        assert_eq!(session.warm_for(ScheduleKind::Preemptive), None);
+    }
+}

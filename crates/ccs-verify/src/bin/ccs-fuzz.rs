@@ -21,6 +21,10 @@
 //! * `--modes-every <n>` — run the mode-equivalence pass (fast-path
 //!   arithmetic on/off, parallel/serial — reports must be bit-identical) on
 //!   every n-th case (default 8; `0` disables),
+//! * `--deltas-every <n>` — run the warm-equivalence pass (a fuzzed session
+//!   delta chain; warm-started solves must be bit-identical to cold solves
+//!   on everything but work counters) on every n-th case (default 8; `0`
+//!   disables),
 //! * `--solver-budget-ms <n>` — wall-clock budget per solver run (default
 //!   100; `0` removes the budget).  Budgeted-out solvers are skipped, never
 //!   flagged — the accuracy-exponential schemes take whole seconds on
@@ -38,7 +42,7 @@ use ccs_verify::minimize::minimize;
 use ccs_verify::oracle::OracleOptions;
 use ccs_verify::{
     counterexample_frame, differential_check_with, metamorphic_check_with,
-    mode_equivalence_check_with, Disagreement,
+    mode_equivalence_check_with, warm_equivalence_check_with, Disagreement,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -49,6 +53,7 @@ struct Options {
     time_budget: Option<Duration>,
     metamorphic_every: u64,
     modes_every: u64,
+    deltas_every: u64,
     oracle: OracleOptions,
     out: String,
     broken: bool,
@@ -62,6 +67,7 @@ impl Default for Options {
             time_budget: None,
             metamorphic_every: 8,
             modes_every: 8,
+            deltas_every: 8,
             oracle: OracleOptions::default(),
             out: "fuzz-out".to_string(),
             broken: false,
@@ -72,8 +78,8 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: ccs-fuzz [--seed <n>] [--cases <n>] [--time-budget-secs <n>] \
-         [--metamorphic-every <n>] [--modes-every <n>] [--solver-budget-ms <n>] \
-         [--out <dir>] [--broken]"
+         [--metamorphic-every <n>] [--modes-every <n>] [--deltas-every <n>] \
+         [--solver-budget-ms <n>] [--out <dir>] [--broken]"
     );
     std::process::exit(2);
 }
@@ -104,6 +110,9 @@ fn parse_options() -> Options {
             "--modes-every" => {
                 options.modes_every = number(&mut args, "--modes-every");
             }
+            "--deltas-every" => {
+                options.deltas_every = number(&mut args, "--deltas-every");
+            }
             "--solver-budget-ms" => {
                 let millis = number(&mut args, "--solver-budget-ms");
                 options.oracle.solver_budget = (millis > 0).then(|| Duration::from_millis(millis));
@@ -133,6 +142,9 @@ struct Finding {
     /// The seed `metamorphic_check_with` ran under, for findings that only
     /// manifest under a transformation (`None` for differential findings).
     metamorphic_seed: Option<u64>,
+    /// The seed `warm_equivalence_check_with` ran under, for findings that
+    /// only manifest along a fuzzed delta chain.
+    warm_seed: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -163,6 +175,8 @@ fn main() -> ExitCode {
     let mut findings: Vec<Finding> = Vec::new();
     let mut examined = 0u64;
     let mut solver_runs = 0usize;
+    let mut warm_chains = 0u64;
+    let mut warm_compared = 0usize;
     for case in 0..options.cases {
         if let Some(budget) = options.time_budget {
             if started.elapsed() >= budget {
@@ -180,6 +194,7 @@ fn main() -> ExitCode {
                 instance: instance.clone(),
                 disagreement,
                 metamorphic_seed: None,
+                warm_seed: None,
             });
         }
         if options.metamorphic_every > 0 && case % options.metamorphic_every == 0 {
@@ -190,6 +205,7 @@ fn main() -> ExitCode {
                     instance: instance.clone(),
                     disagreement,
                     metamorphic_seed: Some(seed),
+                    warm_seed: None,
                 });
             }
         }
@@ -201,6 +217,22 @@ fn main() -> ExitCode {
                     instance: instance.clone(),
                     disagreement,
                     metamorphic_seed: None,
+                    warm_seed: None,
+                });
+            }
+        }
+        if options.deltas_every > 0 && case % options.deltas_every == 0 {
+            let seed = options.seed ^ case;
+            let report = warm_equivalence_check_with(&engine, &instance, seed, &options.oracle);
+            warm_chains += 1;
+            warm_compared += report.solves_compared;
+            for disagreement in report.disagreements {
+                findings.push(Finding {
+                    case,
+                    instance: instance.clone(),
+                    disagreement,
+                    metamorphic_seed: None,
+                    warm_seed: Some(seed),
                 });
             }
         }
@@ -210,7 +242,12 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "ccs-fuzz: examined {examined} cases ({solver_runs} solver runs) in {:.2}s — {} finding(s)",
+        "ccs-fuzz: examined {examined} cases ({solver_runs} solver runs{}) in {:.2}s — {} finding(s)",
+        if warm_chains > 0 {
+            format!(", {warm_chains} delta chains / {warm_compared} warm-cold pairs")
+        } else {
+            String::new()
+        },
         started.elapsed().as_secs_f64(),
         findings.len()
     );
@@ -267,10 +304,20 @@ fn report_findings(engine: &Engine, options: &Options, findings: &[Finding]) {
 }
 
 /// Shrinks a finding's instance while the same failure keeps reproducing:
-/// differential findings re-run the oracle, metamorphic findings re-run the
-/// metamorphic invariants under the seed that exposed them.
+/// differential findings re-run the oracle, metamorphic and warm findings
+/// re-run their pass under the seed that exposed them.
 fn minimize_finding(engine: &Engine, options: &Options, finding: &Finding) -> (Instance, usize) {
     let solver = finding.disagreement.solver.clone();
+    if let Some(seed) = finding.warm_seed {
+        let minimized = minimize(&finding.instance, |candidate| {
+            warm_equivalence_check_with(engine, candidate, seed, &options.oracle)
+                .disagreements
+                .iter()
+                .any(|disagreement| disagreement.solver == solver)
+        });
+        let jobs = minimized.instance.num_jobs();
+        return (minimized.instance, jobs);
+    }
     let is_mode_finding = finding.disagreement.check.starts_with("mode-equivalence");
     let minimized = match finding.metamorphic_seed {
         None if is_mode_finding => minimize(&finding.instance, |candidate| {
@@ -312,6 +359,7 @@ fn frame_for(engine: &Engine, instance: &Instance, finding: &Finding, index: usi
         .unwrap_or(ScheduleKind::NonPreemptive);
     let seed_suffix = finding
         .metamorphic_seed
+        .or(finding.warm_seed)
         .map(|seed| format!("-seed-{seed}"))
         .unwrap_or_default();
     counterexample_frame(

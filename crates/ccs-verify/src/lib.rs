@@ -22,6 +22,9 @@
 //!   instances and the canonical fingerprint,
 //! * [`modes`] — mode-equivalence: fast-path arithmetic on/off and
 //!   parallel/serial execution must produce bit-identical solve reports,
+//! * [`warm`] — warm-equivalence: warm-start hints over fuzzed session
+//!   delta chains must accelerate, never steer — warm and cold solves must
+//!   agree bit-for-bit on everything but work counters,
 //! * [`minimize`] — a deterministic greedy shrinker that reduces any failing
 //!   instance to a 1-minimal counterexample and emits it as a `ccs-wire/1`
 //!   request frame,
@@ -46,6 +49,7 @@ pub mod metamorphic;
 pub mod minimize;
 pub mod modes;
 pub mod oracle;
+pub mod warm;
 
 pub use bounds::{certified_bounds, certified_lower_bound, CertifiedBounds};
 pub use certifier::{certify, Certificate, Check, Verdict};
@@ -58,6 +62,7 @@ pub use modes::{mode_equivalence_check, mode_equivalence_check_with, ModeReport}
 pub use oracle::{
     differential_check, differential_check_with, Disagreement, OracleOptions, OracleReport,
 };
+pub use warm::{warm_equivalence_check, warm_equivalence_check_with, WarmReport};
 
 use ccs_core::ScheduleKind;
 

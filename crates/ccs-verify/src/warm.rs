@@ -1,0 +1,316 @@
+//! Warm-equivalence pass: warm-start hints must accelerate, never steer.
+//!
+//! A [`ccs_engine::WarmStart`] hint carries the makespan of a
+//! previous solution into a new solve.  Every consumer in the workspace —
+//! the exact branch-and-bound incumbent seed and the PTAS prefix-grid
+//! search — comes with an argument that the hint cannot change *what* is
+//! returned, only how much work finding it takes.  This pass is the
+//! executable version of that argument, phrased the way the `ccs-session`
+//! service actually uses hints: a fuzzed *delta chain*.
+//!
+//! Starting from a generated instance, a [`SessionInstance`] is mutated by
+//! a deterministic chain of random deltas.  After every mutation the
+//! current instance is solved twice through the engine — once cold, once
+//! warm-started from the previous step's solution, exactly as the session
+//! ledger would seed it — and the two solutions must agree on **payload**:
+//! solver, guarantee, makespan, lower bound and schedule, bit for bit.
+//! Work counters are exempt: `guesses_evaluated` is *expected* to differ
+//! (that saving is the whole point of a warm start); all other counters
+//! must match.  A side that runs out of its wall-clock budget skips the
+//! comparison, mirroring [`crate::modes`].
+//!
+//! Degenerate hints (zero, far above the optimum) are thrown in on the
+//! first step of every chain: a hint is advice, and bad advice must be
+//! harmless.
+
+use crate::oracle::{Disagreement, OracleOptions};
+use ccs_core::{CcsError, Instance, Rational, ScheduleKind};
+use ccs_engine::{Engine, Solution, SolveRequest, WarmStart};
+use ccs_gen::rng::Rng;
+use ccs_session::{InstanceDelta, NewJob, SessionInstance};
+
+/// Mutation steps per delta chain.
+const CHAIN_STEPS: usize = 3;
+
+/// The outcome of one warm-equivalence examination (one delta chain).
+#[derive(Debug, Clone, Default)]
+pub struct WarmReport {
+    /// Every observable difference between a warm and a cold solve.
+    pub disagreements: Vec<Disagreement>,
+    /// Warm/cold pairs that both completed and were compared.
+    pub solves_compared: usize,
+    /// `(solver-or-step, reason)` pairs for skipped comparisons (budget
+    /// exhaustion on either side).
+    pub skipped: Vec<(String, String)>,
+}
+
+impl WarmReport {
+    /// `true` when no hint was observable.
+    pub fn agreed(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// [`warm_equivalence_check_with`] under [`OracleOptions::default`].
+pub fn warm_equivalence_check(engine: &Engine, inst: &Instance, seed: u64) -> WarmReport {
+    warm_equivalence_check_with(engine, inst, seed, &OracleOptions::default())
+}
+
+/// Runs one fuzzed delta chain over `inst` (deterministic in `seed`) and
+/// demands warm ≡ cold at every step (see the module documentation).
+pub fn warm_equivalence_check_with(
+    engine: &Engine,
+    inst: &Instance,
+    seed: u64,
+    options: &OracleOptions,
+) -> WarmReport {
+    let mut report = WarmReport::default();
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5e55_10f1_dead_beef);
+    let mut session = SessionInstance::from_instance(inst);
+    // The ledger a real session would keep: the previous solution's
+    // makespan, which seeds the next warm solve of the same chain.
+    let mut previous: Option<Rational> = None;
+
+    for step in 0..CHAIN_STEPS {
+        let delta = random_delta(&mut rng, &session);
+        if session.apply(&delta).is_err() {
+            // A fuzzed delta can legitimately be rejected (e.g. machine
+            // overflow); the session is untouched, so just move on.
+            continue;
+        }
+        let Ok(instance) = session.materialize() else {
+            continue; // the chain emptied the session
+        };
+        let request = request_for(&mut rng, options);
+
+        // The hints to examine this step: the ledger seed (once one
+        // exists), plus degenerate hints on the first step.
+        let mut hints: Vec<Rational> = Vec::new();
+        if let Some(makespan) = previous {
+            hints.push(makespan);
+        }
+        if step == 0 {
+            hints.push(Rational::ZERO);
+            hints.push(Rational::from_int(1_000_000_000));
+        }
+        if hints.is_empty() {
+            hints.push(Rational::ONE);
+        }
+
+        let cold = engine.solve(&instance, &request);
+        if skip_on_deadline(&mut report, &cold, step, "cold") {
+            continue;
+        }
+        for hint in hints {
+            let warm_request = request.with_warm(WarmStart {
+                parent: instance.canonical().fingerprint(),
+                makespan: hint,
+            });
+            let warm = engine.solve(&instance, &warm_request);
+            if skip_on_deadline(&mut report, &warm, step, "warm") {
+                continue;
+            }
+            compare(&mut report, &cold, &warm, step, hint);
+        }
+        if let Ok(solution) = &cold {
+            previous = Some(solution.report.makespan);
+        }
+    }
+    report
+}
+
+/// One random, mostly-valid delta against the current session state.
+fn random_delta(rng: &mut Rng, session: &SessionInstance) -> InstanceDelta {
+    match rng.below_u32(8) {
+        // Additions dominate so chains grow and stay feasible.
+        0..=3 => {
+            let count = rng.range_usize(1, 4);
+            InstanceDelta::AddJobs(
+                (0..count)
+                    .map(|_| NewJob {
+                        processing: rng.range_u64(1, 40),
+                        class: rng.below_u32(4),
+                    })
+                    .collect(),
+            )
+        }
+        4 | 5 if session.num_jobs() > 1 => {
+            let jobs = session.jobs();
+            let victim = jobs[rng.below_usize(jobs.len())].id;
+            InstanceDelta::RemoveJobs(vec![victim])
+        }
+        6 if session.num_jobs() > 0 => {
+            let jobs = session.jobs();
+            let from = jobs[rng.below_usize(jobs.len())].class;
+            InstanceDelta::RetypeClass {
+                from,
+                to: rng.below_u32(4),
+            }
+        }
+        _ => InstanceDelta::AddMachines(1 + rng.below_u64(2)),
+    }
+}
+
+/// A random solve request: a rotating placement model, alternating between
+/// the exact tier and an `ε`-scheme (both warm-start consumers).
+fn request_for(rng: &mut Rng, options: &OracleOptions) -> SolveRequest {
+    let model = ScheduleKind::ALL[rng.below_usize(3)];
+    let mut request = if rng.gen_bool(0.5) {
+        SolveRequest::exact(model)
+    } else {
+        SolveRequest::epsilon(model, 0.5).expect("static epsilon is valid")
+    };
+    if let Some(budget) = options.solver_budget {
+        request = request.with_budget(budget);
+    }
+    request
+}
+
+/// Records a budget-exhaustion skip.  Returns `true` when the outcome was a
+/// deadline (comparison must be skipped).
+fn skip_on_deadline(
+    report: &mut WarmReport,
+    outcome: &Result<Solution, CcsError>,
+    step: usize,
+    side: &str,
+) -> bool {
+    if matches!(outcome, Err(CcsError::DeadlineExceeded)) {
+        report.skipped.push((
+            format!("step {step}"),
+            format!("budget exhausted on the {side} side"),
+        ));
+        return true;
+    }
+    false
+}
+
+/// Demands warm ≡ cold on everything but work counters.
+fn compare(
+    report: &mut WarmReport,
+    cold: &Result<Solution, CcsError>,
+    warm: &Result<Solution, CcsError>,
+    step: usize,
+    hint: Rational,
+) {
+    let mut diverge = |solver: &str, check: &str, detail: String| {
+        report.disagreements.push(Disagreement {
+            solver: solver.to_string(),
+            check: format!("warm-equivalence/{check}"),
+            detail: format!("step {step}, hint {hint}: {detail}"),
+        });
+    };
+    match (cold, warm) {
+        (Ok(cold), Ok(warm)) => {
+            if warm.solver != cold.solver {
+                diverge(
+                    cold.solver,
+                    "solver",
+                    format!("warm routed to {} instead of {}", warm.solver, cold.solver),
+                );
+                return;
+            }
+            if warm.guarantee != cold.guarantee {
+                diverge(
+                    cold.solver,
+                    "guarantee",
+                    format!(
+                        "warm reports {:?} instead of {:?}",
+                        warm.guarantee, cold.guarantee
+                    ),
+                );
+            }
+            if warm.report.makespan != cold.report.makespan {
+                diverge(
+                    cold.solver,
+                    "makespan",
+                    format!(
+                        "warm reports makespan {} instead of {}",
+                        warm.report.makespan, cold.report.makespan
+                    ),
+                );
+            }
+            if warm.report.lower_bound != cold.report.lower_bound {
+                diverge(
+                    cold.solver,
+                    "lower-bound",
+                    format!(
+                        "warm reports lower bound {} instead of {}",
+                        warm.report.lower_bound, cold.report.lower_bound
+                    ),
+                );
+            }
+            if warm.report.schedule != cold.report.schedule {
+                diverge(
+                    cold.solver,
+                    "schedule",
+                    "warm constructs a different schedule".to_string(),
+                );
+            }
+            // Counters: only the guess counter may differ — that saving is
+            // the point of a warm start.
+            if warm.report.stats.search_iterations != cold.report.stats.search_iterations
+                || warm.report.stats.configurations != cold.report.stats.configurations
+            {
+                diverge(
+                    cold.solver,
+                    "stats",
+                    format!(
+                        "warm reports counters {:?} instead of {:?}",
+                        warm.report.stats, cold.report.stats
+                    ),
+                );
+            }
+            report.solves_compared += 1;
+        }
+        (Err(cold), Err(warm)) => {
+            // Refusals (infeasible, size limits) must not depend on the hint.
+            if format!("{cold}") != format!("{warm}") {
+                diverge(
+                    "engine",
+                    "error",
+                    format!("cold fails with '{cold}' but warm fails with '{warm}'"),
+                );
+            } else {
+                report.solves_compared += 1;
+            }
+        }
+        (Ok(cold), Err(warm)) => diverge(
+            cold.solver,
+            "error",
+            format!("cold returns a schedule but warm fails with '{warm}'"),
+        ),
+        (Err(cold), Ok(warm)) => diverge(
+            warm.solver,
+            "error",
+            format!("cold fails with '{cold}' but warm returns a schedule"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzzed_delta_chains_never_let_a_hint_steer() {
+        let engine = Engine::new();
+        let mut compared = 0;
+        for seed in 0..12u64 {
+            let inst = ccs_gen::tiny_random(seed);
+            let report = warm_equivalence_check(&engine, &inst, seed);
+            assert!(report.agreed(), "seed {seed}: {:?}", report.disagreements);
+            compared += report.solves_compared;
+        }
+        assert!(compared >= 12, "only {compared} warm/cold pairs compared");
+    }
+
+    #[test]
+    fn the_chain_is_deterministic_in_its_seed() {
+        let engine = Engine::new();
+        let inst = ccs_gen::tiny_random(3);
+        let a = warm_equivalence_check(&engine, &inst, 7);
+        let b = warm_equivalence_check(&engine, &inst, 7);
+        assert_eq!(a.solves_compared, b.solves_compared);
+        assert_eq!(a.skipped.len(), b.skipped.len());
+    }
+}
