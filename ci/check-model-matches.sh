@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Guards the model registry's extension point: outside ccs-core, no code may
+# enumerate the placement models by hardcoding `ScheduleKind::ALL` — every
+# cross-model loop must go through `ModelSpec::all()` / `ModelSpec::paper()`
+# so that registering a model (like the moldable extension) reaches every
+# layer without a hunt for stale three-model match sites.  `ScheduleKind::ALL`
+# itself stays: it is ccs-core's own definition of the paper trio, and
+# ccs-core's tests pin its contents.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r hit; do
+    echo "forbidden ScheduleKind::ALL outside ccs-core: $hit"
+    fail=1
+done < <(grep -rn --include='*.rs' 'ScheduleKind::ALL' \
+    crates src examples tests 2>/dev/null \
+    | grep -v '^crates/ccs-core/' || true)
+
+if [ "$fail" -ne 0 ]; then
+    echo "model-match check failed: iterate ModelSpec::all() (or ::paper()) instead"
+    exit 1
+fi
+echo "model-match check ok (ScheduleKind::ALL confined to ccs-core)"

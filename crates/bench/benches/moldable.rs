@@ -1,0 +1,44 @@
+//! The moldable extension model: the shape-selecting list scheduler on
+//! shaped instances at practitioner sizes, and both moldable solvers head
+//! to head inside the brute-force reference's limits (≤ 10 jobs, ≤ 4
+//! machines) — running time *and* quality ratio, directly comparable.
+use ccs_bench::{BenchOpts, Family, Harness};
+use ccs_engine::Engine;
+use ccs_gen::GenParams;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = BenchOpts::from_env();
+    let mut harness = Harness::with_opts("moldable", &opts);
+    let engine = Engine::new();
+
+    // The shaped moldable family at the suite's polynomial-solver sizes.
+    let n = if opts.quick { 80 } else { 200 };
+    let params = GenParams::new(n, 16, 32, 3);
+    let inst = ccs_gen::moldable(&params, 42);
+    let case = format!("moldable/{n}");
+    if let Err(e) = harness.bench_registered(&engine, "moldable-list", &case, &inst) {
+        harness.skip("moldable-list", &case, &e);
+    }
+
+    // An unshaped family for contrast: every menu degenerates to the
+    // sequential shape, so this doubles as the list scheduler's
+    // non-preemptive-equivalent cost on classic instances.
+    let plain = Family::Zipf.instance(n, 16, 32, 3, 42);
+    let plain_case = format!("zipf/{n}");
+    if let Err(e) = harness.bench_registered(&engine, "moldable-list", &plain_case, &plain) {
+        harness.skip("moldable-list", &plain_case, &e);
+    }
+
+    // Head to head inside the exact solver's limits: the brute-force
+    // reference vs the list scheduler on the same tiny shaped instance.
+    let tiny = ccs_gen::tiny_moldable_random(7);
+    let tiny_case = format!("tiny-moldable/{}", tiny.num_jobs());
+    for solver in ["exact-moldable", "moldable-list"] {
+        if let Err(e) = harness.bench_registered(&engine, solver, &tiny_case, &tiny) {
+            harness.skip(solver, &tiny_case, &e);
+        }
+    }
+
+    harness.finish(&opts)
+}

@@ -47,10 +47,10 @@ fn chain(base_jobs: usize) -> Vec<InstanceDelta> {
                 // the chain stays valid end to end.
                 InstanceDelta::RemoveJobs(vec![(base_jobs - 1 - step / 2) as u64])
             } else {
-                InstanceDelta::AddJobs(vec![NewJob {
-                    processing: P_MIN + (17 * step as u64) % (P_MAX - P_MIN),
-                    class: (step / 2 % 2) as u32,
-                }])
+                InstanceDelta::AddJobs(vec![NewJob::new(
+                    P_MIN + (17 * step as u64) % (P_MAX - P_MIN),
+                    (step / 2 % 2) as u32,
+                )])
             }
         })
         .collect()

@@ -15,13 +15,19 @@
 //! All three can be arbitrarily bad compared to the optimum (a single huge
 //! class is never split), which is exactly the gap the paper's algorithms
 //! close; the benches make this visible.
+//!
+//! The moldable extension model ships its practitioner heuristic here too:
+//! [`moldable_list`], a shape-selecting list scheduler (longest job first;
+//! per job, the shape/machine-set pair minimising the completion estimate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod moldable;
 pub mod solver;
 
-pub use solver::{GreedyFirstFit, WholeClassLpt, WholeClassRoundRobin};
+pub use moldable::moldable_list;
+pub use solver::{GreedyFirstFit, MoldableList, WholeClassLpt, WholeClassRoundRobin};
 
 use ccs_core::{CcsError, Instance, NonPreemptiveSchedule, Result, Schedule};
 use std::collections::BTreeSet;

@@ -1,13 +1,14 @@
 //! [`Solver`] implementations for the baseline heuristics.
 //!
-//! All three heuristics are non-preemptive and carry no worst-case guarantee
+//! The paper-model heuristics are non-preemptive; [`MoldableList`] covers
+//! the moldable extension model.  None carries a worst-case guarantee
 //! ([`Guarantee::Heuristic`]); their reports use the generic model lower
 //! bound of `ccs-core` so quality ratios remain comparable with the paper's
 //! algorithms.
 
-use crate::{greedy_first_fit, whole_class_lpt, whole_class_round_robin};
+use crate::{greedy_first_fit, moldable_list, whole_class_lpt, whole_class_round_robin};
 use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver};
-use ccs_core::{bounds, Instance, NonPreemptiveSchedule, Result, ScheduleKind};
+use ccs_core::{bounds, Instance, MoldableSchedule, NonPreemptiveSchedule, Result, ScheduleKind};
 
 fn report(inst: &Instance, schedule: NonPreemptiveSchedule) -> SolveReport<NonPreemptiveSchedule> {
     let lower_bound = bounds::lower_bound(inst, ScheduleKind::NonPreemptive);
@@ -80,6 +81,34 @@ impl Solver<NonPreemptiveSchedule> for GreedyFirstFit {
     }
 }
 
+/// [`moldable_list`] as a [`Solver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MoldableList;
+
+impl Solver<MoldableSchedule> for MoldableList {
+    fn name(&self) -> &'static str {
+        "moldable-list"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Moldable
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Heuristic
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<MoldableSchedule>> {
+        let lower_bound = bounds::lower_bound(inst, ScheduleKind::Moldable);
+        Ok(SolveReport::new(
+            inst,
+            moldable_list(inst)?,
+            lower_bound,
+            SolveStats::default(),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +133,22 @@ mod tests {
     fn infeasible_instances_error_through_the_trait() {
         let inst = instance_from_pairs(1, 1, &[(1, 0), (1, 1)]).unwrap();
         assert!(WholeClassLpt.solve(&inst).is_err());
+        assert!(MoldableList.solve(&inst).is_err());
+    }
+
+    #[test]
+    fn moldable_solver_produces_valid_reports() {
+        use ccs_core::instance::InstanceBuilder;
+        let inst = InstanceBuilder::new(3, 2)
+            .job_shaped(9, 0, &[(1, 9), (3, 4)])
+            .job(5, 1)
+            .job(4, 1)
+            .build()
+            .unwrap();
+        let report = MoldableList.solve(&inst).unwrap();
+        report.validate(&inst).unwrap();
+        assert_eq!(report.schedule.kind(), ScheduleKind::Moldable);
+        assert!(report.makespan >= report.lower_bound);
+        assert_eq!(MoldableList.guarantee().factor(), None);
     }
 }

@@ -18,6 +18,10 @@
 //!   non-negative starts, pieces on one machine never overlap, pieces of one
 //!   job never overlap (across machines), every job covered exactly, at most
 //!   `c` classes per machine; makespan = latest piece end,
+//! * **moldable** — one shape choice per job out of the job's effective
+//!   menu, the chosen width matched by that many distinct existing machines,
+//!   at most `c` distinct classes per machine; makespan = maximum machine
+//!   load (sum of piece lengths),
 //! * **splittable** — machine indices in range, positive piece amounts,
 //!   compact class runs inside `[0, P_u)` and inside the machine range,
 //!   every job covered exactly (explicit pieces + run/interval overlap in
@@ -33,7 +37,9 @@
 use crate::error::{CcsError, Result};
 use crate::instance::{ClassId, Instance};
 use crate::rational::Rational;
-use crate::schedule::{AnySchedule, NonPreemptiveSchedule, PreemptiveSchedule, SplittableSchedule};
+use crate::schedule::{
+    AnySchedule, MoldableSchedule, NonPreemptiveSchedule, PreemptiveSchedule, SplittableSchedule,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The outcome of a successful audit: the independently recomputed makespan.
@@ -59,8 +65,66 @@ pub fn audit_schedule(inst: &Instance, schedule: &AnySchedule) -> Result<Audit> 
         AnySchedule::NonPreemptive(s) => audit_nonpreemptive(inst, s)?,
         AnySchedule::Preemptive(s) => audit_preemptive(inst, s)?,
         AnySchedule::Splittable(s) => audit_splittable(inst, s)?,
+        AnySchedule::Moldable(s) => audit_moldable(inst, s)?,
     };
     Ok(Audit { makespan })
+}
+
+fn audit_moldable(inst: &Instance, s: &MoldableSchedule) -> Result<Rational> {
+    let choices = s.choices();
+    if choices.len() != inst.num_jobs() {
+        return Err(fail(format!(
+            "{} shape choices for {} jobs",
+            choices.len(),
+            inst.num_jobs()
+        )));
+    }
+    // One pass: accumulate load and class set per used machine.
+    let mut machines: BTreeMap<u64, (u128, BTreeSet<ClassId>)> = BTreeMap::new();
+    for (job, (shape, placement)) in choices.iter().enumerate() {
+        let menu = inst.shape_menu(job);
+        let Some(&(width, time)) = menu.get(*shape) else {
+            return Err(fail(format!(
+                "job {job} picks shape {shape} of a {}-entry menu",
+                menu.len()
+            )));
+        };
+        if placement.len() as u64 != width {
+            return Err(fail(format!(
+                "job {job} runs on {} machines for a {width}-wide shape",
+                placement.len()
+            )));
+        }
+        let mut distinct: BTreeSet<u64> = BTreeSet::new();
+        for &machine in placement {
+            if machine >= inst.machines() {
+                return Err(fail(format!(
+                    "job {job} on machine {machine}, instance has {}",
+                    inst.machines()
+                )));
+            }
+            if !distinct.insert(machine) {
+                return Err(fail(format!(
+                    "job {job} places two pieces on machine {machine}"
+                )));
+            }
+            let entry = machines.entry(machine).or_default();
+            entry.0 += time as u128;
+            entry.1.insert(inst.class_of(job));
+        }
+    }
+    let mut makespan: u128 = 0;
+    for (machine, (load, classes)) in &machines {
+        if classes.len() as u64 > inst.class_slots() {
+            return Err(fail(format!(
+                "machine {machine} holds {} classes with {} slots",
+                classes.len(),
+                inst.class_slots()
+            )));
+        }
+        makespan = makespan.max(*load);
+    }
+    Ok(Rational::from_int(makespan as i128))
 }
 
 fn audit_nonpreemptive(inst: &Instance, s: &NonPreemptiveSchedule) -> Result<Rational> {
@@ -333,6 +397,50 @@ mod tests {
             NonPreemptiveSchedule::new(vec![0, 1, 0, 5]), // unknown machine
             NonPreemptiveSchedule::new(vec![0, 1]),       // wrong length
         ] {
+            assert!(bad.validate(&inst).is_err());
+            assert!(audit_schedule(&inst, &bad.into()).is_err());
+        }
+    }
+
+    #[test]
+    fn moldable_agrees_with_validator() {
+        use crate::instance::InstanceBuilder;
+        let inst = InstanceBuilder::new(3, 1)
+            .job_shaped(6, 0, &[(1, 6), (2, 4)])
+            .job(3, 0)
+            .job_shaped(8, 1, &[(1, 8), (2, 5)])
+            .build()
+            .unwrap();
+        let mut good = MoldableSchedule::new();
+        good.push_choice(1, vec![0, 1]);
+        good.push_choice(0, vec![0]);
+        good.push_choice(0, vec![2]);
+        let audit = audit_schedule(&inst, &good.clone().into()).unwrap();
+        assert_eq!(audit.makespan, good.makespan(&inst));
+        assert_eq!(audit.makespan, Rational::from(8u64));
+
+        let mut bad_idx = MoldableSchedule::new();
+        bad_idx.push_choice(2, vec![0]);
+        bad_idx.push_choice(0, vec![0]);
+        bad_idx.push_choice(0, vec![2]);
+        let mut bad_width = MoldableSchedule::new();
+        bad_width.push_choice(1, vec![0]);
+        bad_width.push_choice(0, vec![0]);
+        bad_width.push_choice(0, vec![2]);
+        let mut bad_dup = MoldableSchedule::new();
+        bad_dup.push_choice(1, vec![0, 0]);
+        bad_dup.push_choice(0, vec![0]);
+        bad_dup.push_choice(0, vec![2]);
+        let mut bad_slots = MoldableSchedule::new();
+        bad_slots.push_choice(0, vec![0]);
+        bad_slots.push_choice(0, vec![0]);
+        bad_slots.push_choice(0, vec![0]);
+        let mut bad_machine = MoldableSchedule::new();
+        bad_machine.push_choice(0, vec![3]);
+        bad_machine.push_choice(0, vec![0]);
+        bad_machine.push_choice(0, vec![2]);
+        let short = MoldableSchedule::new();
+        for bad in [bad_idx, bad_width, bad_dup, bad_slots, bad_machine, short] {
             assert!(bad.validate(&inst).is_err());
             assert!(audit_schedule(&inst, &bad.into()).is_err());
         }

@@ -50,12 +50,50 @@ pub fn sequential_upper_bound(inst: &Instance) -> u64 {
     inst.total_load()
 }
 
+/// Lower bound on the optimal (integral) makespan of the moldable model:
+/// `max(⌈Σ_j min-work_j / m⌉, max_j min-time_j)` where `min-work_j` is the
+/// smallest `machines · time` over job `j`'s shape menu and `min-time_j` its
+/// smallest `time`.  Every shape choice schedules at least its minimal work
+/// (area bound) and every job runs for at least its fastest shape's time.
+pub fn moldable_lower_bound(inst: &Instance) -> u64 {
+    let mut total_work: u128 = 0;
+    let mut max_min_time: u64 = 0;
+    for job in 0..inst.num_jobs() {
+        let menu = inst.shape_menu(job);
+        let min_work = menu.iter().map(|&(k, t)| k as u128 * t as u128).min();
+        let min_time = menu.iter().map(|&(_, t)| t).min();
+        total_work += min_work.unwrap_or(0);
+        max_min_time = max_min_time.max(min_time.unwrap_or(0));
+    }
+    let area = total_work.div_ceil(inst.machines() as u128);
+    u64::try_from(area.max(max_min_time as u128)).unwrap_or(u64::MAX)
+}
+
+/// Upper bound on the optimal makespan of the moldable model: the sum of
+/// every job's fastest *sequential* shape (each menu carries one by
+/// construction; undeclared menus default to `(1, p_j)`).  Achieved by
+/// distributing whole classes round robin and running every job
+/// sequentially, exactly as in [`sequential_upper_bound`].
+pub fn moldable_upper_bound(inst: &Instance) -> u64 {
+    (0..inst.num_jobs())
+        .map(|job| {
+            inst.shape_menu(job)
+                .iter()
+                .filter(|&&(k, _)| k == 1)
+                .map(|&(_, t)| t)
+                .min()
+                .unwrap_or_else(|| inst.processing_time(job))
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
 /// Lower bound for the given placement model, as an exact rational.
 pub fn lower_bound(inst: &Instance, kind: ScheduleKind) -> Rational {
     match kind {
         ScheduleKind::Splittable => splittable_lower_bound(inst),
         ScheduleKind::Preemptive => preemptive_lower_bound(inst),
         ScheduleKind::NonPreemptive => Rational::from(nonpreemptive_lower_bound(inst)),
+        ScheduleKind::Moldable => Rational::from(moldable_lower_bound(inst)),
     }
 }
 
@@ -71,6 +109,7 @@ pub fn upper_bound(inst: &Instance, kind: ScheduleKind) -> Rational {
         ScheduleKind::Preemptive | ScheduleKind::NonPreemptive => {
             Rational::from(sequential_upper_bound(inst))
         }
+        ScheduleKind::Moldable => Rational::from(moldable_upper_bound(inst)),
     }
 }
 
@@ -126,6 +165,34 @@ mod tests {
             let inst = sample();
             assert!(lower_bound(&inst, kind) <= upper_bound(&inst, kind));
         }
+    }
+
+    #[test]
+    fn moldable_bounds() {
+        use crate::instance::InstanceBuilder;
+        // Job 0: shapes (1,10), (2,4) — min work 8, min time 4.
+        // Job 1: no menu — (1,6): work 6, time 6.
+        let inst = InstanceBuilder::new(2, 2)
+            .job_shaped(10, 0, &[(1, 10), (2, 4)])
+            .job(6, 1)
+            .build()
+            .unwrap();
+        // area = ceil(14/2) = 7, max min-time = 6.
+        assert_eq!(moldable_lower_bound(&inst), 7);
+        // Fastest sequential shapes: 10 + 6.
+        assert_eq!(moldable_upper_bound(&inst), 16);
+        assert!(
+            lower_bound(&inst, ScheduleKind::Moldable)
+                <= upper_bound(&inst, ScheduleKind::Moldable)
+        );
+        // On unshaped instances the moldable bounds coincide with the
+        // non-preemptive ones (default menus are the sequential shapes).
+        let plain = sample();
+        assert_eq!(
+            moldable_lower_bound(&plain),
+            nonpreemptive_lower_bound(&plain)
+        );
+        assert_eq!(moldable_upper_bound(&plain), sequential_upper_bound(&plain));
     }
 
     #[test]

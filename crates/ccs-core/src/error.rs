@@ -30,6 +30,12 @@ pub enum CcsError {
     /// was never admitted; retrying later is safe and the message says which
     /// limit fired.
     Overloaded(String),
+    /// A request named a placement model this build does not know.  Carries
+    /// the verbatim model string so clients can tell a typo from a genuinely
+    /// newer peer; distinct from [`CcsError::InvalidParameter`] so the wire
+    /// layer can answer with a structured `unsupported-model` frame instead
+    /// of a generic parse failure.
+    UnsupportedModel(String),
 }
 
 impl CcsError {
@@ -62,6 +68,11 @@ impl CcsError {
     pub fn overloaded(msg: impl Into<String>) -> Self {
         CcsError::Overloaded(msg.into())
     }
+
+    /// Shorthand constructor for [`CcsError::UnsupportedModel`].
+    pub fn unsupported_model(model: impl Into<String>) -> Self {
+        CcsError::UnsupportedModel(model.into())
+    }
 }
 
 impl fmt::Display for CcsError {
@@ -75,6 +86,7 @@ impl fmt::Display for CcsError {
             CcsError::DeadlineExceeded => write!(f, "deadline exceeded"),
             CcsError::Cancelled => write!(f, "cancelled"),
             CcsError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            CcsError::UnsupportedModel(m) => write!(f, "unsupported model '{m}'"),
         }
     }
 }
@@ -106,6 +118,10 @@ mod tests {
         assert_eq!(
             CcsError::overloaded("queue full").to_string(),
             "overloaded: queue full"
+        );
+        assert_eq!(
+            CcsError::unsupported_model("quantum").to_string(),
+            "unsupported model 'quantum'"
         );
     }
 

@@ -24,6 +24,10 @@ pub type JobId = usize;
 /// recovered via [`Instance::class_label`].
 pub type ClassId = usize;
 
+/// One `(machines, time)` alternative of a moldable job: run `machines`
+/// pieces of length `time` on that many distinct machines.
+pub type JobShape = (u64, u64);
+
 /// Raw serialisable form of an [`Instance`]; all derived data is rebuilt on
 /// deserialisation so serialised instances can never violate the invariants.
 #[derive(Debug, Clone)]
@@ -32,6 +36,7 @@ struct InstanceData {
     class_labels_per_job: Vec<u32>,
     machines: u64,
     class_slots: u64,
+    job_shapes: Option<Vec<Vec<JobShape>>>,
 }
 
 /// An immutable, validated instance of class-constrained scheduling.
@@ -49,6 +54,15 @@ pub struct Instance {
     class_jobs: Vec<Vec<JobId>>,
     /// Accumulated processing time `P_u` of each class.
     class_loads: Vec<u64>,
+    /// The versioned `JobShapes` extension slot (moldable model): per-job
+    /// menus of `(machines, time)` alternatives.  `None` on the plain paper
+    /// instances; when `Some`, the outer vector has one entry per job and an
+    /// *empty* inner menu means "no declared menu" (the job defaults to the
+    /// sequential shape `(1, p_j)`).  The builder normalises menus — sorted,
+    /// deduplicated, and a menu equal to the default shape is dropped — so
+    /// equality, JSON and fingerprints all agree on semantically identical
+    /// instances.
+    job_shapes: Option<Vec<Vec<JobShape>>>,
 }
 
 impl TryFrom<InstanceData> for Instance {
@@ -60,8 +74,27 @@ impl TryFrom<InstanceData> for Instance {
                 "processing_times and class labels have different lengths",
             ));
         }
-        for (p, cl) in d.processing_times.iter().zip(&d.class_labels_per_job) {
-            b = b.job(*p, *cl);
+        match d.job_shapes {
+            None => {
+                for (p, cl) in d.processing_times.iter().zip(&d.class_labels_per_job) {
+                    b = b.job(*p, *cl);
+                }
+            }
+            Some(shapes) => {
+                if shapes.len() != d.processing_times.len() {
+                    return Err(CcsError::invalid_instance(
+                        "job_shapes and processing_times have different lengths",
+                    ));
+                }
+                for ((p, cl), menu) in d
+                    .processing_times
+                    .iter()
+                    .zip(&d.class_labels_per_job)
+                    .zip(&shapes)
+                {
+                    b = b.job_shaped(*p, *cl, menu);
+                }
+            }
         }
         b.build()
     }
@@ -74,6 +107,7 @@ impl From<Instance> for InstanceData {
             processing_times: i.processing_times,
             machines: i.machines,
             class_slots: i.class_slots,
+            job_shapes: i.job_shapes,
         }
     }
 }
@@ -118,6 +152,31 @@ impl Instance {
             "class_slots".to_string(),
             JsonValue::Int(data.class_slots as i128),
         );
+        // The versioned extension slot: emitted only when present, so the
+        // documents of plain paper instances are byte-identical to the
+        // pre-extension format.
+        if let Some(shapes) = &data.job_shapes {
+            map.insert(
+                "job_shapes".to_string(),
+                JsonValue::Array(
+                    shapes
+                        .iter()
+                        .map(|menu| {
+                            JsonValue::Array(
+                                menu.iter()
+                                    .map(|&(k, t)| {
+                                        JsonValue::Array(vec![
+                                            JsonValue::Int(k as i128),
+                                            JsonValue::Int(t as i128),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            );
+        }
         JsonValue::Object(map)
     }
 
@@ -160,6 +219,10 @@ impl Instance {
                 CcsError::invalid_instance(format!("field '{name}' must be a non-negative integer"))
             })
         };
+        let job_shapes = match obj.get("job_shapes") {
+            None => None,
+            Some(value) => Some(parse_job_shapes(value)?),
+        };
         let data = InstanceData {
             processing_times: u64_array("processing_times")?,
             class_labels_per_job: u64_array("class_labels_per_job")?
@@ -171,6 +234,7 @@ impl Instance {
                 .collect::<Result<Vec<u32>>>()?,
             machines: scalar("machines")?,
             class_slots: scalar("class_slots")?,
+            job_shapes,
         };
         Instance::try_from(data)
     }
@@ -274,6 +338,40 @@ impl Instance {
         (self.num_classes() as u128) <= slots
     }
 
+    /// Returns `true` if any job declares a moldable shape menu (the
+    /// `JobShapes` extension slot is populated).
+    pub fn has_shapes(&self) -> bool {
+        self.job_shapes.is_some()
+    }
+
+    /// The declared shape menu of job `j`, or `None` when the job has no
+    /// declared menu (it defaults to the sequential shape `(1, p_j)` under
+    /// the moldable model).  Declared menus are non-empty, sorted and
+    /// deduplicated.
+    pub fn declared_shapes(&self, job: JobId) -> Option<&[JobShape]> {
+        match &self.job_shapes {
+            Some(shapes) if !shapes[job].is_empty() => Some(&shapes[job]),
+            _ => None,
+        }
+    }
+
+    /// The effective shape menu of job `j` under the moldable model: the
+    /// declared menu, or the default sequential shape `(1, p_j)`.
+    pub fn shape_menu(&self, job: JobId) -> Vec<JobShape> {
+        match self.declared_shapes(job) {
+            Some(menu) => menu.to_vec(),
+            None => vec![(1, self.processing_time(job))],
+        }
+    }
+
+    /// The raw `JobShapes` extension slot: one (possibly empty = undeclared)
+    /// menu per job, or `None` on plain instances.  For transforms that must
+    /// carry the slot through job-set surgery; solvers use
+    /// [`Instance::shape_menu`].
+    pub fn job_shapes(&self) -> Option<&[Vec<JobShape>]> {
+        self.job_shapes.as_deref()
+    }
+
     /// An encoding-length proxy `|I| = Σ⌈log p_j⌉ + Σ⌈log c_j⌉ + n + ⌈log m⌉`
     /// as defined in the paper; used by tests that check running-time claims
     /// are polynomial in the encoding length.
@@ -310,6 +408,8 @@ pub struct InstanceBuilder {
     class_labels_per_job: Vec<u32>,
     machines: u64,
     class_slots: u64,
+    /// One menu per job; empty = no declared menu.
+    job_shapes: Vec<Vec<JobShape>>,
 }
 
 impl InstanceBuilder {
@@ -321,6 +421,7 @@ impl InstanceBuilder {
             class_labels_per_job: Vec::new(),
             machines,
             class_slots,
+            job_shapes: Vec::new(),
         }
     }
 
@@ -329,6 +430,7 @@ impl InstanceBuilder {
     pub fn job(mut self, p: u64, class_label: u32) -> Self {
         self.processing_times.push(p);
         self.class_labels_per_job.push(class_label);
+        self.job_shapes.push(Vec::new());
         self
     }
 
@@ -336,9 +438,20 @@ impl InstanceBuilder {
     #[must_use]
     pub fn jobs(mut self, ps: &[u64], class_label: u32) -> Self {
         for &p in ps {
-            self.processing_times.push(p);
-            self.class_labels_per_job.push(class_label);
+            self = self.job(p, class_label);
         }
+        self
+    }
+
+    /// Adds a job with a declared moldable shape menu: `(machines, time)`
+    /// alternatives.  An empty `shapes` slice means "no declared menu" (the
+    /// job defaults to `(1, p)` under the moldable model), making it safe to
+    /// pass optional menus through unconditionally.
+    #[must_use]
+    pub fn job_shaped(mut self, p: u64, class_label: u32, shapes: &[JobShape]) -> Self {
+        self.processing_times.push(p);
+        self.class_labels_per_job.push(class_label);
+        self.job_shapes.push(shapes.to_vec());
         self
     }
 
@@ -360,6 +473,50 @@ impl InstanceBuilder {
                 "processing times must be positive",
             ));
         }
+
+        // Normalise and validate declared shape menus.  Each menu is sorted
+        // and deduplicated; a menu equal to the job's default shape
+        // `(1, p_j)` is dropped as undeclared, and an instance with no
+        // remaining declared menus stores no extension slot at all — so
+        // semantically identical instances share one representation (and
+        // thus one JSON document and one fingerprint).
+        let mut job_shapes = self.job_shapes;
+        debug_assert_eq!(job_shapes.len(), self.processing_times.len());
+        let mut any_declared = false;
+        for (menu, &p) in job_shapes.iter_mut().zip(&self.processing_times) {
+            if menu.is_empty() {
+                continue;
+            }
+            menu.sort_unstable();
+            menu.dedup();
+            for &(k, t) in menu.iter() {
+                if k == 0 || t == 0 {
+                    return Err(CcsError::invalid_instance(
+                        "job shapes must have positive machine count and time",
+                    ));
+                }
+                if k > self.machines {
+                    return Err(CcsError::invalid_instance(format!(
+                        "job shape uses {k} machines but the instance has only {}",
+                        self.machines
+                    )));
+                }
+            }
+            // A sequential (single-machine) alternative is required: it
+            // keeps moldable feasibility equal to the class-slot condition
+            // `C ≤ c · m` shared by every other model.
+            if !menu.iter().any(|&(k, _)| k == 1) {
+                return Err(CcsError::invalid_instance(
+                    "every job shape menu needs a sequential (1 machine) alternative",
+                ));
+            }
+            if menu.as_slice() == [(1, p)] {
+                menu.clear();
+            } else {
+                any_declared = true;
+            }
+        }
+        let job_shapes = if any_declared { Some(job_shapes) } else { None };
 
         // Remap class labels to dense indices in order of first appearance.
         let mut label_to_dense: BTreeMap<u32, ClassId> = BTreeMap::new();
@@ -390,8 +547,37 @@ impl InstanceBuilder {
             class_slots: self.class_slots,
             class_jobs,
             class_loads,
+            job_shapes,
         })
     }
+}
+
+/// Parses the `job_shapes` extension field: an array (one entry per job) of
+/// menus, each menu an array of `[machines, time]` pairs.
+fn parse_job_shapes(value: &JsonValue) -> Result<Vec<Vec<JobShape>>> {
+    let shape_err = || {
+        CcsError::invalid_instance("field 'job_shapes' must be an array per job of [machines, time] pairs of non-negative integers")
+    };
+    value
+        .as_array()
+        .ok_or_else(shape_err)?
+        .iter()
+        .map(|menu| {
+            menu.as_array()
+                .ok_or_else(shape_err)?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array().ok_or_else(shape_err)?;
+                    if pair.len() != 2 {
+                        return Err(shape_err());
+                    }
+                    let k = pair[0].as_u64().ok_or_else(shape_err)?;
+                    let t = pair[1].as_u64().ok_or_else(shape_err)?;
+                    Ok((k, t))
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Convenience constructor used extensively in tests and examples: builds an
@@ -523,6 +709,88 @@ mod tests {
         let large = instance_from_pairs(1 << 40, 1, &[(3, 0), (4, 1)]).unwrap();
         assert!(small.encoding_length() > 0);
         assert!(large.encoding_length() > small.encoding_length());
+    }
+
+    fn shaped() -> Instance {
+        InstanceBuilder::new(4, 2)
+            .job_shaped(10, 5, &[(2, 6), (1, 10), (4, 3)])
+            .job(20, 7)
+            .job_shaped(5, 5, &[])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shape_menus_are_normalised() {
+        let inst = shaped();
+        assert!(inst.has_shapes());
+        // Sorted by (machines, time); duplicates would be dropped.
+        assert_eq!(
+            inst.declared_shapes(0),
+            Some(&[(1, 10), (2, 6), (4, 3)][..])
+        );
+        assert_eq!(inst.declared_shapes(1), None);
+        assert_eq!(inst.declared_shapes(2), None);
+        assert_eq!(inst.shape_menu(0), vec![(1, 10), (2, 6), (4, 3)]);
+        assert_eq!(inst.shape_menu(1), vec![(1, 20)]);
+        assert_eq!(inst.shape_menu(2), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn default_equivalent_menu_is_dropped() {
+        // A declared menu equal to the default sequential shape is the same
+        // instance as an undeclared one — one representation for both.
+        let a = InstanceBuilder::new(2, 1)
+            .job_shaped(7, 0, &[(1, 7)])
+            .job(3, 1)
+            .build()
+            .unwrap();
+        let b = instance_from_pairs(2, 1, &[(7, 0), (3, 1)]).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.has_shapes());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn shape_validation_rejects_bad_menus() {
+        // Zero machines / zero time.
+        assert!(InstanceBuilder::new(2, 1)
+            .job_shaped(5, 0, &[(0, 5), (1, 5)])
+            .build()
+            .is_err());
+        assert!(InstanceBuilder::new(2, 1)
+            .job_shaped(5, 0, &[(1, 0)])
+            .build()
+            .is_err());
+        // Wider than the machine park.
+        assert!(InstanceBuilder::new(2, 1)
+            .job_shaped(5, 0, &[(3, 2), (1, 5)])
+            .build()
+            .is_err());
+        // No sequential alternative.
+        assert!(InstanceBuilder::new(4, 1)
+            .job_shaped(5, 0, &[(2, 3), (4, 2)])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn shaped_json_roundtrip() {
+        let inst = shaped();
+        let json = inst.to_json();
+        assert!(json.contains("\"job_shapes\":[[[1,10],[2,6],[4,3]],[],[]]"));
+        let back = Instance::from_json(&json).unwrap();
+        assert_eq!(inst, back);
+        // Plain instances emit no extension field at all.
+        assert!(!sample().to_json().contains("job_shapes"));
+        // Malformed extension payloads are rejected.
+        for bad in [
+            r#"{"processing_times":[1],"class_labels_per_job":[0],"machines":1,"class_slots":1,"job_shapes":[[[1]]]}"#,
+            r#"{"processing_times":[1],"class_labels_per_job":[0],"machines":1,"class_slots":1,"job_shapes":[[],[]]}"#,
+            r#"{"processing_times":[1],"class_labels_per_job":[0],"machines":1,"class_slots":1,"job_shapes":7}"#,
+        ] {
+            assert!(Instance::from_json(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! The canonical form is defined as:
 //!
 //! 1. classes are ordered by their *signature* — the ascending multiset of
-//!    their processing times (two classes with equal signatures are
-//!    interchangeable, so any order between them yields the same form),
+//!    their `(processing time, declared shape menu)` pairs (two classes with
+//!    equal signatures are interchangeable, so any order between them yields
+//!    the same form; on plain instances every menu is empty and the
+//!    signature degenerates to the processing-time multiset),
 //! 2. jobs are sorted by processing time, with ties broken by the class
-//!    order of step 1,
+//!    order of step 1 and then by declared shape menu,
 //! 3. classes are renumbered `0..C` by first occurrence along the sorted
 //!    job list; classes without jobs cannot exist in a validated
 //!    [`Instance`], so the canonical form never carries empty classes,
@@ -27,14 +29,27 @@
 //! across platforms, runs and thread counts.  The stream starts with
 //! [`FINGERPRINT_VERSION`], so any future change to the canonical form bumps
 //! every fingerprint at once instead of silently aliasing old cache keys.
+//! Instances carrying the `JobShapes` extension slot append a *tagged,
+//! versioned* extension section after the job stream; plain instances
+//! absorb nothing extra, so their fingerprints are bit-identical to the
+//! pre-extension era (pinned by the golden-value test below).
 
-use super::{ClassId, Instance, InstanceBuilder, JobId};
+use super::{ClassId, Instance, InstanceBuilder, JobId, JobShape};
 use crate::error::{CcsError, Result};
 use std::collections::BTreeMap;
 
 /// Version tag mixed into every [`Fingerprint`]; bump when the canonical
 /// form or the hash construction changes.
 pub const FINGERPRINT_VERSION: u64 = 1;
+
+/// Tag word opening the `JobShapes` extension section of the fingerprint
+/// stream; only absorbed when the slot is populated, so plain instances
+/// keep their pre-extension fingerprints.
+const SHAPES_EXTENSION_TAG: u64 = 0x4A6F_6253_6861_7065;
+
+/// Version of the `JobShapes` extension section layout; bump when the
+/// section's encoding changes.
+pub const SHAPES_EXTENSION_VERSION: u64 = 1;
 
 /// A stable 128-bit identity of an instance up to job-order and
 /// class-relabel symmetry: canonically equal instances have equal
@@ -104,10 +119,13 @@ impl Instance {
         let n = self.num_jobs();
         let num_classes = self.num_classes();
 
-        // 1. Class signatures: the ascending processing times of each class.
-        let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); num_classes];
+        // 1. Class signatures: the ascending (processing time, declared
+        // menu) pairs of each class.  Plain instances have empty menus
+        // everywhere, making this exactly the old processing-time multiset.
+        let menu_of = |job: JobId| self.declared_shapes(job).unwrap_or(&[]);
+        let mut signatures: Vec<Vec<(u64, &[JobShape])>> = vec![Vec::new(); num_classes];
         for job in 0..n {
-            signatures[self.class_of(job)].push(self.processing_time(job));
+            signatures[self.class_of(job)].push((self.processing_time(job), menu_of(job)));
         }
         for sig in &mut signatures {
             sig.sort_unstable();
@@ -123,10 +141,11 @@ impl Instance {
             rank[class] = r;
         }
 
-        // 3. Jobs by (processing time, class rank).  Ties after both keys
-        // are jobs of equal length in the same class — interchangeable.
+        // 3. Jobs by (processing time, class rank, declared menu).  Ties
+        // after all three keys are jobs of equal length and equal menu in
+        // the same class — interchangeable.
         let mut job_order: Vec<JobId> = (0..n).collect();
-        job_order.sort_by_key(|&j| (self.processing_time(j), rank[self.class_of(j)]));
+        job_order.sort_by_key(|&j| (self.processing_time(j), rank[self.class_of(j)], menu_of(j)));
 
         // 4. Renumber classes by first occurrence along the sorted job list.
         let mut canonical_of_class: Vec<Option<u32>> = vec![None; num_classes];
@@ -138,7 +157,7 @@ impl Instance {
                 class_order.push(class);
                 (class_order.len() - 1) as u32
             });
-            builder = builder.job(self.processing_time(job), label);
+            builder = builder.job_shaped(self.processing_time(job), label, menu_of(job));
         }
         let instance = builder
             .build()
@@ -206,6 +225,21 @@ fn fingerprint_of(canonical: &Instance) -> Fingerprint {
         mixer.absorb(canonical.processing_time(job));
         mixer.absorb(canonical.class_of(job) as u64);
     }
+    // The JobShapes extension section: tagged and versioned, absorbed only
+    // when the slot is populated, so plain instances keep their
+    // pre-extension fingerprints bit for bit.
+    if canonical.has_shapes() {
+        mixer.absorb(SHAPES_EXTENSION_TAG);
+        mixer.absorb(SHAPES_EXTENSION_VERSION);
+        for job in 0..canonical.num_jobs() {
+            let menu = canonical.declared_shapes(job).unwrap_or(&[]);
+            mixer.absorb(menu.len() as u64);
+            for &(k, t) in menu {
+                mixer.absorb(k);
+                mixer.absorb(t);
+            }
+        }
+    }
     mixer.finish()
 }
 
@@ -225,6 +259,10 @@ fn fingerprint_of(canonical: &Instance) -> Fingerprint {
 /// `Instance::fingerprint()` of the equivalent instance; the
 /// `incremental_matches_from_scratch_*` tests and the `ccs-session` golden
 /// tests hold it to that.
+///
+/// The tracker covers plain instances only: jobs with declared shape menus
+/// are outside its vocabulary, and sessions holding shaped jobs fall back
+/// to the from-scratch `Instance::fingerprint()` path instead.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IncrementalFingerprint {
     machines: u64,
@@ -551,6 +589,83 @@ mod tests {
         assert_eq!(fp, inst.canonical().fingerprint());
         assert_eq!(format!("{fp}").len(), 32);
         assert_eq!(fp, Fingerprint(0x6783_9f22_be5a_bbd4_bbff_25c0_6fa3_f5c7));
+    }
+
+    fn shaped_sample() -> Instance {
+        InstanceBuilder::new(3, 2)
+            .job_shaped(7, 0, &[(2, 4), (1, 7)])
+            .job(8, 0)
+            .job_shaped(9, 1, &[(3, 3), (1, 9), (2, 5)])
+            .job(5, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shaped_instances_change_the_fingerprint() {
+        let plain = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2)]).unwrap();
+        let shaped = shaped_sample();
+        assert_ne!(plain.fingerprint(), shaped.fingerprint());
+        // A different menu is a different instance.
+        let other = InstanceBuilder::new(3, 2)
+            .job_shaped(7, 0, &[(2, 5), (1, 7)])
+            .job(8, 0)
+            .job_shaped(9, 1, &[(3, 3), (1, 9), (2, 5)])
+            .job(5, 2)
+            .build()
+            .unwrap();
+        assert_ne!(shaped.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn shaped_canonical_is_symmetry_invariant() {
+        // Job permutation + class relabel of the shaped sample, with menus
+        // declared in a different order: same canonical form.
+        let scrambled = InstanceBuilder::new(3, 2)
+            .job(5, 9)
+            .job_shaped(9, 4, &[(1, 9), (2, 5), (3, 3)])
+            .job_shaped(7, 7, &[(1, 7), (2, 4)])
+            .job(8, 7)
+            .build()
+            .unwrap();
+        let canon = shaped_sample().canonical();
+        assert_eq!(scrambled.canonical().instance(), canon.instance());
+        assert_eq!(scrambled.fingerprint(), shaped_sample().fingerprint());
+        // Canonicalising a canonical shaped instance is the identity.
+        let again = canon.instance().canonical();
+        assert!(again.is_identity());
+        assert_eq!(again.fingerprint(), canon.fingerprint());
+    }
+
+    #[test]
+    fn shaped_tie_break_distinguishes_equal_time_jobs() {
+        // Two same-class jobs with equal processing times but different
+        // menus must canonicalise independently of input order.
+        let menu_a: &[JobShape] = &[(2, 3), (1, 5)];
+        let menu_b: &[JobShape] = &[(2, 4), (1, 5)];
+        let x = InstanceBuilder::new(2, 1)
+            .job_shaped(5, 0, menu_a)
+            .job_shaped(5, 0, menu_b)
+            .build()
+            .unwrap();
+        let y = InstanceBuilder::new(2, 1)
+            .job_shaped(5, 0, menu_b)
+            .job_shaped(5, 0, menu_a)
+            .build()
+            .unwrap();
+        assert_eq!(x.canonical().instance(), y.canonical().instance());
+        assert_eq!(x.fingerprint(), y.fingerprint());
+    }
+
+    #[test]
+    fn shaped_fingerprint_is_stable_across_versions_of_this_workspace() {
+        // Golden value for the extended canonical stream, the shaped
+        // counterpart of the PR-4 golden above.  If this fails, the
+        // extension section layout changed — bump SHAPES_EXTENSION_VERSION
+        // and re-record.
+        let fp = shaped_sample().fingerprint();
+        assert_eq!(fp, shaped_sample().canonical().fingerprint());
+        assert_eq!(fp, Fingerprint(0x9fd9_04af_8243_3ffe_0623_f6fd_f7d2_c08b));
     }
 
     /// The instance equivalent to an [`IncrementalFingerprint`] state, built

@@ -270,6 +270,15 @@ fn write_string(s: &str, out: &mut String) {
 /// stable `kind` discriminant and, for message-carrying variants, a
 /// `message` member.
 pub fn error_to_json(err: &CcsError) -> JsonValue {
+    // The unsupported-model frame carries the verbatim model string under
+    // `model` (not `message`): clients match on it for forward-compat
+    // negotiation, so it must stay machine-readable rather than prose.
+    if let CcsError::UnsupportedModel(model) = err {
+        let mut obj = JsonValue::object();
+        obj.set("kind", "unsupported-model");
+        obj.set("model", model.as_str());
+        return obj;
+    }
     let (kind, message) = match err {
         CcsError::InvalidInstance(m) => ("invalid_instance", Some(m)),
         CcsError::InvalidSchedule(m) => ("invalid_schedule", Some(m)),
@@ -279,6 +288,7 @@ pub fn error_to_json(err: &CcsError) -> JsonValue {
         CcsError::DeadlineExceeded => ("deadline_exceeded", None),
         CcsError::Cancelled => ("cancelled", None),
         CcsError::Overloaded(m) => ("overloaded", Some(m)),
+        CcsError::UnsupportedModel(_) => unreachable!("handled above"),
     };
     let mut obj = JsonValue::object();
     obj.set("kind", kind);
@@ -310,6 +320,13 @@ pub fn error_from_json(value: &JsonValue) -> Result<CcsError> {
         "deadline_exceeded" => Ok(CcsError::DeadlineExceeded),
         "cancelled" => Ok(CcsError::Cancelled),
         "overloaded" => Ok(CcsError::Overloaded(message())),
+        "unsupported-model" => Ok(CcsError::UnsupportedModel(
+            value
+                .get("model")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        )),
         other => Err(err(&format!("unknown error kind '{other}'"))),
     }
 }
@@ -627,12 +644,19 @@ mod tests {
             CcsError::DeadlineExceeded,
             CcsError::Cancelled,
             CcsError::overloaded("queue depth 8 at budget 8"),
+            CcsError::unsupported_model("quantum"),
         ];
         for case in cases {
             let json = error_to_json(&case).to_json();
             let back = error_from_json(&parse(&json).unwrap()).unwrap();
             assert_eq!(back, case);
         }
+        // The unsupported-model frame is pinned: `kind` is the hyphenated
+        // wire id and the offending string rides under `model`.
+        assert_eq!(
+            error_to_json(&CcsError::unsupported_model("quantum")).to_json(),
+            r#"{"kind":"unsupported-model","model":"quantum"}"#
+        );
         assert!(error_from_json(&parse("{}").unwrap()).is_err());
         assert!(error_from_json(&parse(r#"{"kind":"nope"}"#).unwrap()).is_err());
     }

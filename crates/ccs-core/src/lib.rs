@@ -23,6 +23,10 @@
 //! * [`ctx`] — the execution context of a run ([`SolveContext`]): deadlines,
 //!   cooperative cancellation and stats sinks, threaded through the hot
 //!   search loops of every algorithm crate,
+//! * [`model`] — the model registry: one [`ModelSpec`] per placement model
+//!   (stable wire id, relaxation edges, capability flags), the extension
+//!   point that replaced exhaustive `ScheduleKind` matches outside this
+//!   crate,
 //! * [`json`] — minimal dependency-free JSON used by
 //!   [`Instance::to_json`] / [`Instance::from_json`].
 //!
@@ -40,6 +44,7 @@ pub mod ctx;
 pub mod error;
 pub mod instance;
 pub mod json;
+pub mod model;
 pub mod par;
 pub mod prelude;
 pub mod rational;
@@ -52,12 +57,13 @@ pub use ctx::{CancelFlag, SolveContext, StatsSink, StatsSnapshot, WarmHint};
 pub use error::{CcsError, Result};
 pub use instance::{
     CanonicalInstance, ClassId, Fingerprint, IncrementalFingerprint, Instance, InstanceBuilder,
-    JobId,
+    JobId, JobShape,
 };
+pub use model::{ModelCaps, ModelSpec};
 pub use rational::Rational;
 pub use scalar::Scalar;
 pub use schedule::{
-    AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,
-    PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
+    AnySchedule, ClassRun, ExplicitMachine, MoldableSchedule, NonPreemptiveSchedule,
+    PreemptivePiece, PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
 };
 pub use solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};

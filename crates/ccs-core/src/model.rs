@@ -1,0 +1,202 @@
+//! The model registry: one [`ModelSpec`] descriptor per placement model.
+//!
+//! Everything about a model that used to be scattered across exhaustive
+//! `match`es on [`ScheduleKind`] lives here as data: its stable wire id, a
+//! display name, the declared *relaxation edges* (which models' optima are
+//! provably no larger — generalising the paper's hardwired
+//! `OPT_s ≤ OPT_p ≤ OPT_np` chain), and capability flags the engine uses to
+//! decide whether warm starts, result caching and intra-solve parallelism
+//! apply.
+//!
+//! Layers outside ccs-core must iterate [`ModelSpec::all`] (or
+//! [`ModelSpec::paper`] where the paper trio is genuinely meant) instead of
+//! matching `ScheduleKind` exhaustively, so that adding a model is a
+//! one-file change plus its solvers.  The `ci/check-model-matches.sh` gate
+//! greps for regressions.
+
+use crate::schedule::ScheduleKind;
+
+/// Capability flags of a placement model, consulted by the engine layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelCaps {
+    /// Do the model's solvers accept warm-start hints (see
+    /// `ccs_engine::WarmStart`)?  Models without the flag silently ignore
+    /// hints instead of erroring, so the flag only gates *offering* them.
+    pub warm_start: bool,
+    /// May the engine cache and share results for this model?  (All current
+    /// models are deterministic functions of the canonical instance, so all
+    /// set it; a model with ambient state — e.g. calendar quotas — would
+    /// not.)
+    pub cacheable: bool,
+    /// Do the model's solvers ship deterministic intra-solve parallel
+    /// paths (`ccs_core::par`)?
+    pub parallel: bool,
+}
+
+/// The descriptor of one placement model.
+///
+/// `'static` data: specs are baked into the binary and handed around as
+/// `&'static ModelSpec`, so they are free to copy and compare by pointer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// The `ScheduleKind` this spec describes (the in-memory discriminant).
+    pub kind: ScheduleKind,
+    /// Stable wire id: the exact string used in `ccs-wire/1` request frames
+    /// and solution envelopes.  Never reused, never renamed.
+    pub id: &'static str,
+    /// Human-readable display name for logs and docs.
+    pub display: &'static str,
+    /// Relaxation edges: models whose optimum is provably `≤` this model's
+    /// optimum on every instance.  The paper chain appears as
+    /// `preemptive → splittable` and `non-preemptive → preemptive`
+    /// (transitively `OPT_s ≤ OPT_p ≤ OPT_np`); the verify oracle walks
+    /// these edges instead of a hardcoded 3-chain.
+    pub relaxations: &'static [ScheduleKind],
+    /// Capability flags; see [`ModelCaps`].
+    pub caps: ModelCaps,
+}
+
+/// The splittable model of the paper.
+pub const SPLITTABLE: ModelSpec = ModelSpec {
+    kind: ScheduleKind::Splittable,
+    id: "splittable",
+    display: "splittable",
+    relaxations: &[],
+    caps: ModelCaps {
+        warm_start: true,
+        cacheable: true,
+        parallel: true,
+    },
+};
+
+/// The preemptive model of the paper.
+pub const PREEMPTIVE: ModelSpec = ModelSpec {
+    kind: ScheduleKind::Preemptive,
+    id: "preemptive",
+    display: "preemptive",
+    relaxations: &[ScheduleKind::Splittable],
+    caps: ModelCaps {
+        warm_start: true,
+        cacheable: true,
+        parallel: true,
+    },
+};
+
+/// The non-preemptive model of the paper.
+pub const NON_PREEMPTIVE: ModelSpec = ModelSpec {
+    kind: ScheduleKind::NonPreemptive,
+    id: "non-preemptive",
+    display: "non-preemptive",
+    relaxations: &[ScheduleKind::Preemptive],
+    caps: ModelCaps {
+        warm_start: true,
+        cacheable: true,
+        parallel: true,
+    },
+};
+
+/// The moldable extension model: each job picks one `(machines, time)`
+/// shape from its menu.  Not part of the paper's relaxation chain — a
+/// moldable optimum is incomparable to the preemptive one in general (a
+/// wide shape can beat preemption, a poor menu can lose to it).
+pub const MOLDABLE: ModelSpec = ModelSpec {
+    kind: ScheduleKind::Moldable,
+    id: "moldable",
+    display: "moldable",
+    relaxations: &[],
+    caps: ModelCaps {
+        warm_start: false,
+        cacheable: true,
+        parallel: false,
+    },
+};
+
+/// All models of this build, paper trio first, extensions after.
+const ALL_MODELS: [&ModelSpec; 4] = [&SPLITTABLE, &PREEMPTIVE, &NON_PREEMPTIVE, &MOLDABLE];
+
+/// The paper trio, in paper order.
+const PAPER_MODELS: [&ModelSpec; 3] = [&SPLITTABLE, &PREEMPTIVE, &NON_PREEMPTIVE];
+
+impl ModelSpec {
+    /// Every model this build knows, paper trio first.
+    pub fn all() -> impl Iterator<Item = &'static ModelSpec> {
+        ALL_MODELS.into_iter()
+    }
+
+    /// The three models of the paper, in paper order (`OPT_s ≤ OPT_p ≤
+    /// OPT_np`).  Use only where the paper chain is genuinely meant (e.g.
+    /// the three-way hierarchy bench); model-generic code iterates
+    /// [`ModelSpec::all`].
+    pub fn paper() -> impl Iterator<Item = &'static ModelSpec> {
+        PAPER_MODELS.into_iter()
+    }
+
+    /// Resolves a wire id (`"splittable"`, `"moldable"`, ...) to its spec.
+    /// `None` for ids this build does not know — callers turn that into
+    /// [`crate::CcsError::UnsupportedModel`], never a parse failure.
+    pub fn from_wire(id: &str) -> Option<&'static ModelSpec> {
+        ALL_MODELS.into_iter().find(|spec| spec.id == id)
+    }
+
+    /// The spec of a kind.  Total: every `ScheduleKind` has exactly one.
+    pub fn of(kind: ScheduleKind) -> &'static ModelSpec {
+        match kind {
+            ScheduleKind::Splittable => &SPLITTABLE,
+            ScheduleKind::Preemptive => &PREEMPTIVE,
+            ScheduleKind::NonPreemptive => &NON_PREEMPTIVE,
+            ScheduleKind::Moldable => &MOLDABLE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_are_unique_and_match_kind_names() {
+        let ids: BTreeSet<&str> = ModelSpec::all().map(|spec| spec.id).collect();
+        assert_eq!(ids.len(), ALL_MODELS.len());
+        for spec in ModelSpec::all() {
+            assert_eq!(spec.id, spec.kind.name());
+            assert_eq!(ModelSpec::of(spec.kind).id, spec.id);
+            assert_eq!(ModelSpec::from_wire(spec.id), Some(spec));
+        }
+        assert_eq!(ModelSpec::from_wire("quantum"), None);
+        assert_eq!(ModelSpec::from_wire(""), None);
+    }
+
+    #[test]
+    fn paper_chain_is_encoded_in_relaxation_edges() {
+        assert_eq!(
+            ModelSpec::paper().map(|s| s.kind).collect::<Vec<_>>(),
+            ScheduleKind::ALL.to_vec()
+        );
+        assert_eq!(PREEMPTIVE.relaxations, &[ScheduleKind::Splittable]);
+        assert_eq!(NON_PREEMPTIVE.relaxations, &[ScheduleKind::Preemptive]);
+        assert!(SPLITTABLE.relaxations.is_empty());
+        assert!(MOLDABLE.relaxations.is_empty());
+        // Relaxation edges only point at models that exist.
+        for spec in ModelSpec::all() {
+            for &relaxed in spec.relaxations {
+                assert_ne!(relaxed, spec.kind, "self-edge on {}", spec.id);
+                assert_eq!(ModelSpec::of(relaxed).kind, relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn capability_flags() {
+        for spec in ModelSpec::paper() {
+            assert!(spec.caps.warm_start, "{}", spec.id);
+            assert!(spec.caps.parallel, "{}", spec.id);
+        }
+        let moldable = ModelSpec::of(ScheduleKind::Moldable);
+        assert!(!moldable.caps.warm_start);
+        assert!(!moldable.caps.parallel);
+        for spec in ModelSpec::all() {
+            assert!(spec.caps.cacheable, "{}", spec.id);
+        }
+    }
+}

@@ -6,10 +6,12 @@ pub use crate::ctx::{CancelFlag, SolveContext, StatsSink};
 pub use crate::error::{CcsError, Result};
 pub use crate::instance::{
     instance_from_pairs, CanonicalInstance, ClassId, Fingerprint, Instance, InstanceBuilder, JobId,
+    JobShape,
 };
+pub use crate::model::{ModelCaps, ModelSpec};
 pub use crate::rational::Rational;
 pub use crate::schedule::{
-    AnySchedule, ClassRun, ExplicitMachine, NonPreemptiveSchedule, PreemptivePiece,
-    PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
+    AnySchedule, ClassRun, ExplicitMachine, MoldableSchedule, NonPreemptiveSchedule,
+    PreemptivePiece, PreemptiveSchedule, Schedule, ScheduleKind, SplittableSchedule,
 };
 pub use crate::solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};

@@ -14,10 +14,12 @@
 //! machine, non-overlap where applicable) and are used as the ground truth in
 //! tests of every algorithm crate.
 
+mod moldable;
 mod nonpreemptive;
 mod preemptive;
 mod splittable;
 
+pub use moldable::MoldableSchedule;
 pub use nonpreemptive::NonPreemptiveSchedule;
 pub use preemptive::{PreemptivePiece, PreemptiveSchedule};
 pub use splittable::{ClassRun, ExplicitMachine, SplittableSchedule};
@@ -26,7 +28,8 @@ use crate::error::Result;
 use crate::instance::Instance;
 use crate::rational::Rational;
 
-/// The three placement models studied in the paper.
+/// The placement models known to this build: the three models studied in
+/// the paper plus the moldable extension scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// Jobs may be split arbitrarily; pieces may run in parallel.
@@ -35,22 +38,35 @@ pub enum ScheduleKind {
     Preemptive,
     /// Jobs are atomic.
     NonPreemptive,
+    /// Each job offers a menu of `(machines, time)` shapes; the scheduler
+    /// picks one shape per job and runs its pieces on distinct machines.
+    /// Jobs without a declared menu default to the sequential shape
+    /// `(1, p_j)`.
+    Moldable,
 }
 
 impl ScheduleKind {
-    /// All three kinds, in the order they appear in the paper.
+    /// The three *paper* kinds, in the order they appear in the paper.
+    ///
+    /// Deliberately not extended with [`ScheduleKind::Moldable`]: this
+    /// constant encodes the paper's closed OPT_s ≤ OPT_p ≤ OPT_np world and
+    /// exists for ccs-core internals and paper-scoped tests.  Everything
+    /// outside ccs-core iterates [`crate::model::ModelSpec`] instead (the
+    /// `ci/check-model-matches.sh` gate enforces this).
     pub const ALL: [ScheduleKind; 3] = [
         ScheduleKind::Splittable,
         ScheduleKind::Preemptive,
         ScheduleKind::NonPreemptive,
     ];
 
-    /// Human readable name, used by the benchmark harness.
+    /// Human readable name; also the stable wire id of the model (see
+    /// [`crate::model::ModelSpec::id`]).
     pub fn name(&self) -> &'static str {
         match self {
             ScheduleKind::Splittable => "splittable",
             ScheduleKind::Preemptive => "preemptive",
             ScheduleKind::NonPreemptive => "non-preemptive",
+            ScheduleKind::Moldable => "moldable",
         }
     }
 }
@@ -84,6 +100,8 @@ pub enum AnySchedule {
     Preemptive(PreemptiveSchedule),
     /// A non-preemptive schedule.
     NonPreemptive(NonPreemptiveSchedule),
+    /// A moldable schedule (one shape choice per job).
+    Moldable(MoldableSchedule),
 }
 
 impl AnySchedule {
@@ -110,6 +128,14 @@ impl AnySchedule {
             _ => None,
         }
     }
+
+    /// The contained moldable schedule, if this is one.
+    pub fn as_moldable(&self) -> Option<&MoldableSchedule> {
+        match self {
+            AnySchedule::Moldable(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 impl Schedule for AnySchedule {
@@ -118,6 +144,7 @@ impl Schedule for AnySchedule {
             AnySchedule::Splittable(s) => s.kind(),
             AnySchedule::Preemptive(s) => s.kind(),
             AnySchedule::NonPreemptive(s) => s.kind(),
+            AnySchedule::Moldable(s) => s.kind(),
         }
     }
 
@@ -126,6 +153,7 @@ impl Schedule for AnySchedule {
             AnySchedule::Splittable(s) => s.validate(inst),
             AnySchedule::Preemptive(s) => s.validate(inst),
             AnySchedule::NonPreemptive(s) => s.validate(inst),
+            AnySchedule::Moldable(s) => s.validate(inst),
         }
     }
 
@@ -134,6 +162,7 @@ impl Schedule for AnySchedule {
             AnySchedule::Splittable(s) => s.makespan(inst),
             AnySchedule::Preemptive(s) => s.makespan(inst),
             AnySchedule::NonPreemptive(s) => s.makespan(inst),
+            AnySchedule::Moldable(s) => s.makespan(inst),
         }
     }
 }
@@ -156,6 +185,12 @@ impl From<NonPreemptiveSchedule> for AnySchedule {
     }
 }
 
+impl From<MoldableSchedule> for AnySchedule {
+    fn from(s: MoldableSchedule) -> Self {
+        AnySchedule::Moldable(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +200,9 @@ mod tests {
         assert_eq!(ScheduleKind::Splittable.name(), "splittable");
         assert_eq!(ScheduleKind::Preemptive.to_string(), "preemptive");
         assert_eq!(ScheduleKind::NonPreemptive.to_string(), "non-preemptive");
+        assert_eq!(ScheduleKind::Moldable.name(), "moldable");
+        // ALL stays the paper trio; extensions live in `crate::model`.
         assert_eq!(ScheduleKind::ALL.len(), 3);
+        assert!(!ScheduleKind::ALL.contains(&ScheduleKind::Moldable));
     }
 }

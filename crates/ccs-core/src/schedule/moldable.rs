@@ -1,0 +1,229 @@
+//! The moldable schedule representation: one shape choice per job.
+//!
+//! Under the moldable model each job `j` offers a menu of `(machines, time)`
+//! shapes (see `Instance::shape_menu`; jobs without a declared menu default
+//! to the sequential `(1, p_j)`).  A schedule picks exactly one shape per
+//! job and places its `machines` pieces — each of length `time` — on that
+//! many *distinct* machines.  Pieces of different jobs sharing a machine run
+//! back to back, so a machine's completion time is the sum of its piece
+//! lengths, and the class-slot constraint applies to the distinct classes
+//! with a piece on the machine.
+
+use super::{Schedule, ScheduleKind};
+use crate::error::{CcsError, Result};
+use crate::instance::Instance;
+use crate::rational::Rational;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A moldable schedule: for each job in instance order, the index of the
+/// chosen shape in the job's effective menu plus the machines its pieces
+/// run on.
+///
+/// Machine ids are `0..m` but stored sparsely (only machines that actually
+/// receive pieces appear anywhere), so schedules on instances with an
+/// astronomical `m` stay small.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MoldableSchedule {
+    /// `(shape index, machines)` per job, in instance job order.
+    choices: Vec<(usize, Vec<u64>)>,
+}
+
+impl MoldableSchedule {
+    /// An empty schedule; push one choice per job in instance job order.
+    pub fn new() -> Self {
+        MoldableSchedule::default()
+    }
+
+    /// Appends the choice for the next job: shape `shape` of its menu, with
+    /// pieces on `machines` (one machine per piece).
+    pub fn push_choice(&mut self, shape: usize, machines: Vec<u64>) {
+        self.choices.push((shape, machines));
+    }
+
+    /// The `(shape index, machines)` choice of every job.
+    pub fn choices(&self) -> &[(usize, Vec<u64>)] {
+        &self.choices
+    }
+
+    /// The load (sum of piece lengths) of every machine that receives at
+    /// least one piece, keyed by machine id.
+    ///
+    /// # Errors
+    /// [`CcsError::InvalidSchedule`] when a shape index is out of its menu's
+    /// range or a machine load overflows `u64` (full validation is
+    /// [`MoldableSchedule::validate`]).
+    pub fn machine_loads(&self, inst: &Instance) -> Result<BTreeMap<u64, u64>> {
+        let mut loads: BTreeMap<u64, u64> = BTreeMap::new();
+        for (job, (shape, machines)) in self.choices.iter().enumerate() {
+            let menu = inst.shape_menu(job);
+            let &(_, time) = menu.get(*shape).ok_or_else(|| {
+                CcsError::invalid_schedule(format!(
+                    "job {job} picks shape {shape} but its menu has {} entries",
+                    menu.len()
+                ))
+            })?;
+            for &machine in machines {
+                let load = loads.entry(machine).or_insert(0);
+                *load = load.checked_add(time).ok_or_else(|| {
+                    CcsError::invalid_schedule(format!("load of machine {machine} overflows"))
+                })?;
+            }
+        }
+        Ok(loads)
+    }
+}
+
+impl Schedule for MoldableSchedule {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Moldable
+    }
+
+    fn validate(&self, inst: &Instance) -> Result<()> {
+        if self.choices.len() != inst.num_jobs() {
+            return Err(CcsError::invalid_schedule(format!(
+                "schedule covers {} jobs but the instance has {}",
+                self.choices.len(),
+                inst.num_jobs()
+            )));
+        }
+        let mut machine_classes: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        for (job, (shape, machines)) in self.choices.iter().enumerate() {
+            let menu = inst.shape_menu(job);
+            let &(width, _) = menu.get(*shape).ok_or_else(|| {
+                CcsError::invalid_schedule(format!(
+                    "job {job} picks shape {shape} but its menu has {} entries",
+                    menu.len()
+                ))
+            })?;
+            if machines.len() as u64 != width {
+                return Err(CcsError::invalid_schedule(format!(
+                    "job {job} chose a {width}-machine shape but runs on {} machines",
+                    machines.len()
+                )));
+            }
+            let mut seen = BTreeSet::new();
+            for &machine in machines {
+                if machine >= inst.machines() {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "job {job} uses machine {machine} but the instance has {}",
+                        inst.machines()
+                    )));
+                }
+                if !seen.insert(machine) {
+                    return Err(CcsError::invalid_schedule(format!(
+                        "job {job} places two pieces on machine {machine}"
+                    )));
+                }
+                machine_classes
+                    .entry(machine)
+                    .or_default()
+                    .insert(inst.class_of(job));
+            }
+        }
+        for (&machine, classes) in &machine_classes {
+            if classes.len() as u64 > inst.class_slots() {
+                return Err(CcsError::invalid_schedule(format!(
+                    "machine {machine} hosts {} distinct classes but has {} class slots",
+                    classes.len(),
+                    inst.class_slots()
+                )));
+            }
+        }
+        // Loads must not overflow (machine_loads re-checks shape indices).
+        self.machine_loads(inst)?;
+        Ok(())
+    }
+
+    fn makespan(&self, inst: &Instance) -> Rational {
+        let loads = self
+            .machine_loads(inst)
+            .expect("makespan of an invalid moldable schedule");
+        Rational::from(loads.values().copied().max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instance_from_pairs;
+    use crate::instance::InstanceBuilder;
+
+    fn shaped() -> Instance {
+        InstanceBuilder::new(3, 1)
+            .job_shaped(6, 0, &[(1, 6), (2, 4), (3, 2)])
+            .job(3, 0)
+            .job_shaped(8, 1, &[(1, 8), (2, 5)])
+            .build()
+            .unwrap()
+    }
+
+    fn pick(choices: &[(usize, &[u64])]) -> MoldableSchedule {
+        let mut s = MoldableSchedule::new();
+        for (shape, machines) in choices {
+            s.push_choice(*shape, machines.to_vec());
+        }
+        s
+    }
+
+    #[test]
+    fn valid_schedule_and_makespan() {
+        let inst = shaped();
+        // Job 0 wide on machines 0,1 (4 each); job 1 sequential on 0 (3);
+        // job 2 (the only class-1 job, c = 1) sequential on machine 2.
+        let s = pick(&[(1, &[0, 1]), (0, &[0]), (0, &[2])]);
+        s.validate(&inst).unwrap();
+        // Loads: m0 = 4 + 3 = 7, m1 = 4, m2 = 8.
+        assert_eq!(s.makespan(&inst), Rational::from(8u64));
+        assert_eq!(s.kind(), ScheduleKind::Moldable);
+        let loads = s.machine_loads(&inst).unwrap();
+        assert_eq!(loads.get(&0), Some(&7));
+        assert_eq!(loads.get(&1), Some(&4));
+        assert_eq!(loads.get(&2), Some(&8));
+    }
+
+    #[test]
+    fn default_menus_cover_unshaped_instances() {
+        let inst = instance_from_pairs(2, 1, &[(5, 0), (7, 1)]).unwrap();
+        let s = pick(&[(0, &[0]), (0, &[1])]);
+        s.validate(&inst).unwrap();
+        assert_eq!(s.makespan(&inst), Rational::from(7u64));
+    }
+
+    #[test]
+    fn rejects_wrong_job_count() {
+        let inst = shaped();
+        let s = pick(&[(0, &[0])]);
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shape_index() {
+        let inst = shaped();
+        let s = pick(&[(3, &[0]), (0, &[0]), (0, &[1])]);
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let inst = shaped();
+        // Shape 1 of job 0 is (2, 4): needs exactly two machines.
+        let s = pick(&[(1, &[0]), (0, &[0]), (0, &[1])]);
+        assert!(s.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_and_out_of_range_machines() {
+        let inst = shaped();
+        let dup = pick(&[(1, &[0, 0]), (0, &[1]), (0, &[2])]);
+        assert!(dup.validate(&inst).is_err());
+        let oob = pick(&[(1, &[0, 3]), (0, &[1]), (0, &[2])]);
+        assert!(oob.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn rejects_class_slot_violations() {
+        let inst = shaped(); // c = 1, classes {0, 1}
+        let s = pick(&[(0, &[0]), (0, &[0]), (0, &[0])]);
+        assert!(s.validate(&inst).is_err());
+    }
+}

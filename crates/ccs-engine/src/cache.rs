@@ -41,8 +41,9 @@ use crate::engine::{EngineCore, Solution};
 use crate::policy::{ResolvedAccuracy, SolveRequest};
 use ccs_core::solver::{Guarantee, SolveReport, SolveStats};
 use ccs_core::{
-    AnySchedule, CanonicalInstance, ClassRun, Fingerprint, Instance, NonPreemptiveSchedule,
-    PreemptiveSchedule, Result, ScheduleKind, SolveContext, SplittableSchedule,
+    AnySchedule, CanonicalInstance, ClassRun, Fingerprint, Instance, MoldableSchedule,
+    NonPreemptiveSchedule, PreemptiveSchedule, Result, ScheduleKind, SolveContext,
+    SplittableSchedule,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -522,6 +523,19 @@ fn map_schedule(schedule: &AnySchedule, job_map: &[usize], class_map: &[usize]) 
                 })
                 .collect(),
         )),
+        AnySchedule::Moldable(s) => {
+            // `choices` is indexed by job, exactly like the non-preemptive
+            // assignment; machine ids are untouched by canonicalisation.
+            let mut choices = vec![(0usize, Vec::new()); s.choices().len()];
+            for (job, choice) in s.choices().iter().enumerate() {
+                choices[job_map[job]] = choice.clone();
+            }
+            let mut out = MoldableSchedule::new();
+            for (shape, machines) in choices {
+                out.push_choice(shape, machines);
+            }
+            AnySchedule::Moldable(out)
+        }
     }
 }
 

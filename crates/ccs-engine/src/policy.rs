@@ -12,7 +12,7 @@
 //!   solvers are instant), the constant-factor approximation otherwise.
 
 use crate::registry::{erase, ErasedSolver};
-use ccs_core::{CcsError, Fingerprint, Instance, Rational, Result, ScheduleKind};
+use ccs_core::{CcsError, Fingerprint, Instance, ModelSpec, Rational, Result, ScheduleKind};
 use ccs_ptas::PtasParams;
 use std::sync::Arc;
 use std::time::Duration;
@@ -154,61 +154,123 @@ pub(crate) fn validate_epsilon(epsilon: f64) -> Result<()> {
     Ok(())
 }
 
+/// The routing tiers of one placement model.
+///
+/// Rows are looked up through the model layer ([`ModelSpec`]) by stable wire
+/// id, so adding a model means adding one row in [`POLICIES`] (plus
+/// registering its solvers) — [`route`] itself never matches on
+/// [`ScheduleKind`].
+pub(crate) struct ModelPolicy {
+    /// Registry name of the exact solver.
+    pub(crate) exact: &'static str,
+    /// Constant-factor tier: registry name and guaranteed factor.
+    pub(crate) approx: Option<(&'static str, Rational)>,
+    /// Accuracy-parameterised tier: constructs the model's PTAS.
+    ptas: Option<fn(PtasParams) -> Arc<dyn ErasedSolver>>,
+    /// Guarantee-free tier `Auto` falls back to on models without a
+    /// constant-factor algorithm.
+    pub(crate) heuristic: Option<&'static str>,
+    /// Whether `Auto` may send this instance to the exact solver.
+    tiny: fn(&Instance) -> bool,
+}
+
+/// One routing row per model wire id; consulted via [`policy_of`].
+type PolicyRow = (&'static str, fn() -> ModelPolicy);
+
+const POLICIES: &[PolicyRow] = &[
+    ("splittable", || ModelPolicy {
+        exact: "exact-splittable",
+        approx: Some(("approx-splittable-2", Rational::from_int(2))),
+        ptas: Some(|params| erase(ccs_ptas::SplittablePtas::new(params))),
+        heuristic: None,
+        tiny: tiny_fractional,
+    }),
+    ("preemptive", || ModelPolicy {
+        exact: "exact-preemptive",
+        approx: Some(("approx-preemptive-2", Rational::from_int(2))),
+        ptas: Some(|params| erase(ccs_ptas::PreemptivePtas::new(params))),
+        heuristic: None,
+        tiny: tiny_fractional,
+    }),
+    ("non-preemptive", || ModelPolicy {
+        exact: "exact-nonpreemptive",
+        approx: Some(("approx-nonpreemptive-7/3", Rational::new(7, 3))),
+        ptas: Some(|params| erase(ccs_ptas::NonpreemptivePtas::new(params))),
+        heuristic: None,
+        tiny: tiny_nonpreemptive,
+    }),
+    ("moldable", || ModelPolicy {
+        exact: "exact-moldable",
+        approx: None,
+        ptas: None,
+        heuristic: Some("moldable-list"),
+        tiny: tiny_moldable,
+    }),
+];
+
+/// The routing row of a model.  Total over [`ScheduleKind`]: the model-layer
+/// tests pin that every [`ModelSpec`] has a row.
+pub(crate) fn policy_of(model: ScheduleKind) -> ModelPolicy {
+    let id = ModelSpec::of(model).id;
+    POLICIES
+        .iter()
+        .find(|(row_id, _)| *row_id == id)
+        .map(|(_, build)| build())
+        .unwrap_or_else(|| unreachable!("model '{id}' has no routing row"))
+}
+
 /// Registry name of the exact solver for a model.
+#[cfg(test)]
 pub(crate) fn exact_solver_name(model: ScheduleKind) -> &'static str {
-    match model {
-        ScheduleKind::Splittable => "exact-splittable",
-        ScheduleKind::Preemptive => "exact-preemptive",
-        ScheduleKind::NonPreemptive => "exact-nonpreemptive",
-    }
+    policy_of(model).exact
 }
 
-/// Registry name of the constant-factor approximation for a model.
-pub(crate) fn approx_solver_name(model: ScheduleKind) -> &'static str {
-    match model {
-        ScheduleKind::Splittable => "approx-splittable-2",
-        ScheduleKind::Preemptive => "approx-preemptive-2",
-        ScheduleKind::NonPreemptive => "approx-nonpreemptive-7/3",
-    }
-}
-
-/// The guaranteed factor of the constant-factor approximation for a model.
-fn approx_factor(model: ScheduleKind) -> Rational {
-    match model {
-        ScheduleKind::Splittable | ScheduleKind::Preemptive => Rational::from_int(2),
-        ScheduleKind::NonPreemptive => Rational::new(7, 3),
-    }
-}
-
-/// Job-count ceiling of the splittable/preemptive `is_tiny` branch: their
-/// exact path enumerates class structures (bounded by classes × machines)
-/// but then builds a rational max-flow witness over *all* jobs, so a
-/// 50 000-job instance with 6 classes on 4 machines is nowhere near
-/// "answered in microseconds" even though its class structure is tiny.
+/// Job-count ceiling of the splittable/preemptive tiny branch: their exact
+/// path enumerates class structures (bounded by classes × machines) but
+/// then builds a rational max-flow witness over *all* jobs, so a 50 000-job
+/// instance with 6 classes on 4 machines is nowhere near "answered in
+/// microseconds" even though its class structure is tiny.
 const TINY_JOB_LIMIT: usize = 64;
+
+/// `Auto`-to-exact threshold of the non-preemptive branch-and-bound.
+fn tiny_nonpreemptive(inst: &Instance) -> bool {
+    inst.num_jobs() <= 12 && inst.machines() <= 4
+}
+
+/// `Auto`-to-exact threshold of the splittable/preemptive structure
+/// enumeration (shared: the preemptive exact path runs the splittable one).
+fn tiny_fractional(inst: &Instance) -> bool {
+    let unconstrained = inst.effective_class_slots() as usize >= inst.num_classes();
+    let machine_limit = if unconstrained { 8 } else { 4 };
+    inst.num_jobs() <= TINY_JOB_LIMIT && inst.num_classes() <= 6 && inst.machines() <= machine_limit
+}
+
+/// `Auto`-to-exact threshold of the moldable branch-and-bound: comfortably
+/// inside `exact-moldable`'s hard limits (10 jobs, 4 effective machines, 64
+/// menu entries), so `Auto` never routes into an `InvalidParameter`.
+fn tiny_moldable(inst: &Instance) -> bool {
+    let n = inst.num_jobs();
+    if n > 8 {
+        return false;
+    }
+    let width_sum: u64 = (0..n)
+        .map(|job| {
+            inst.shape_menu(job)
+                .iter()
+                .map(|&(k, _)| k)
+                .max()
+                .unwrap_or(1)
+        })
+        .fold(0u64, u64::saturating_add);
+    let menu_total: usize = (0..n).map(|job| inst.shape_menu(job).len()).sum();
+    inst.machines().min(width_sum) <= 4 && menu_total <= 32
+}
 
 /// Instance-size threshold below which `Auto` routes to the exact solvers:
 /// the exponential algorithms answer such instances in microseconds.
+#[cfg(test)]
 pub(crate) fn is_tiny(inst: &Instance, model: ScheduleKind) -> bool {
-    match model {
-        ScheduleKind::NonPreemptive => inst.num_jobs() <= 12 && inst.machines() <= 4,
-        ScheduleKind::Splittable | ScheduleKind::Preemptive => {
-            let unconstrained = inst.effective_class_slots() as usize >= inst.num_classes();
-            let machine_limit = if unconstrained { 8 } else { 4 };
-            inst.num_jobs() <= TINY_JOB_LIMIT
-                && inst.num_classes() <= 6
-                && inst.machines() <= machine_limit
-        }
-    }
-}
-
-/// Builds a PTAS solver for the requested model and accuracy.
-fn ptas_for(model: ScheduleKind, params: PtasParams) -> Arc<dyn ErasedSolver> {
-    match model {
-        ScheduleKind::Splittable => erase(ccs_ptas::SplittablePtas::new(params)),
-        ScheduleKind::Preemptive => erase(ccs_ptas::PreemptivePtas::new(params)),
-        ScheduleKind::NonPreemptive => erase(ccs_ptas::NonpreemptivePtas::new(params)),
-    }
+    (policy_of(model).tiny)(inst)
 }
 
 /// Resolves the request to the name of a registered solver, or to a freshly
@@ -236,6 +298,9 @@ pub enum ResolvedAccuracy {
         /// The scheme's `1/δ` accuracy parameter.
         delta_inv: u64,
     },
+    /// A guarantee-free heuristic — the `Auto` tier of models without a
+    /// constant-factor algorithm (e.g. moldable's list scheduler).
+    Heuristic,
 }
 
 /// A routed request: the solver to run plus the [`ResolvedAccuracy`] the
@@ -272,21 +337,33 @@ fn epsilon_meets_factor(eps: f64, factor: Rational) -> bool {
 }
 
 pub(crate) fn route(inst: &Instance, req: &SolveRequest) -> Result<Resolution> {
+    let policy = policy_of(req.model);
     match req.accuracy {
         Accuracy::Exact => Ok(Resolution {
-            routed: Routed::Registered(exact_solver_name(req.model)),
+            routed: Routed::Registered(policy.exact),
             accuracy: ResolvedAccuracy::Exact,
         }),
         Accuracy::Auto => {
-            if is_tiny(inst, req.model) {
+            if (policy.tiny)(inst) {
                 Ok(Resolution {
-                    routed: Routed::Registered(exact_solver_name(req.model)),
+                    routed: Routed::Registered(policy.exact),
                     accuracy: ResolvedAccuracy::Exact,
                 })
-            } else {
+            } else if let Some((name, _)) = policy.approx {
                 Ok(Resolution {
-                    routed: Routed::Registered(approx_solver_name(req.model)),
+                    routed: Routed::Registered(name),
                     accuracy: ResolvedAccuracy::ConstantFactor,
+                })
+            } else if let Some(name) = policy.heuristic {
+                Ok(Resolution {
+                    routed: Routed::Registered(name),
+                    accuracy: ResolvedAccuracy::Heuristic,
+                })
+            } else {
+                // A model with neither tier: exact is all there is.
+                Ok(Resolution {
+                    routed: Routed::Registered(policy.exact),
+                    accuracy: ResolvedAccuracy::Exact,
                 })
             }
         }
@@ -296,19 +373,28 @@ pub(crate) fn route(inst: &Instance, req: &SolveRequest) -> Result<Resolution> {
             // the wire protocol.
             validate_epsilon(eps)?;
             // The constant-factor algorithm already meets loose budgets.
-            if epsilon_meets_factor(eps, approx_factor(req.model)) {
-                Ok(Resolution {
-                    routed: Routed::Registered(approx_solver_name(req.model)),
-                    accuracy: ResolvedAccuracy::ConstantFactor,
-                })
-            } else {
-                let params = PtasParams::from_epsilon(eps)?;
-                Ok(Resolution {
-                    routed: Routed::AdHoc(ptas_for(req.model, params)),
-                    accuracy: ResolvedAccuracy::Ptas {
-                        delta_inv: params.delta_inv(),
-                    },
-                })
+            if let Some((name, factor)) = policy.approx {
+                if epsilon_meets_factor(eps, factor) {
+                    return Ok(Resolution {
+                        routed: Routed::Registered(name),
+                        accuracy: ResolvedAccuracy::ConstantFactor,
+                    });
+                }
+            }
+            match policy.ptas {
+                Some(ptas) => {
+                    let params = PtasParams::from_epsilon(eps)?;
+                    Ok(Resolution {
+                        routed: Routed::AdHoc(ptas(params)),
+                        accuracy: ResolvedAccuracy::Ptas {
+                            delta_inv: params.delta_inv(),
+                        },
+                    })
+                }
+                None => Err(CcsError::invalid_parameter(format!(
+                    "model '{}' has no (1+ε)-guaranteed solver; request exact or auto accuracy",
+                    ModelSpec::of(req.model).id
+                ))),
             }
         }
     }
@@ -339,33 +425,68 @@ mod tests {
         }
     }
 
+    /// Constant-factor tier name of a paper model (all three have one).
+    fn approx_name(kind: ScheduleKind) -> &'static str {
+        policy_of(kind).approx.expect("paper model").0
+    }
+
+    #[test]
+    fn every_model_has_a_routing_row() {
+        for spec in ModelSpec::all() {
+            let policy = policy_of(spec.kind);
+            assert!(!policy.exact.is_empty(), "{}", spec.id);
+            assert!(
+                policy.approx.is_some() || policy.heuristic.is_some(),
+                "model '{}' has no non-exact tier for Auto",
+                spec.id
+            );
+        }
+    }
+
     #[test]
     fn auto_routes_tiny_to_exact() {
-        for kind in ScheduleKind::ALL {
+        for spec in ModelSpec::all() {
             assert_eq!(
-                routed_name(&tiny(), &SolveRequest::auto(kind)),
-                exact_solver_name(kind)
+                routed_name(&tiny(), &SolveRequest::auto(spec.kind)),
+                exact_solver_name(spec.kind)
             );
         }
     }
 
     #[test]
     fn auto_routes_large_to_approx() {
-        for kind in ScheduleKind::ALL {
+        for spec in ModelSpec::paper() {
             assert_eq!(
-                routed_name(&large(), &SolveRequest::auto(kind)),
-                approx_solver_name(kind)
+                routed_name(&large(), &SolveRequest::auto(spec.kind)),
+                approx_name(spec.kind)
             );
         }
     }
 
     #[test]
+    fn moldable_auto_falls_back_to_the_list_heuristic() {
+        let res = route(&large(), &SolveRequest::auto(ScheduleKind::Moldable)).unwrap();
+        assert!(matches!(res.routed, Routed::Registered("moldable-list")));
+        assert_eq!(res.accuracy, ResolvedAccuracy::Heuristic);
+    }
+
+    #[test]
+    fn moldable_epsilon_is_rejected_not_misrouted() {
+        let req = SolveRequest::epsilon(ScheduleKind::Moldable, 0.5).unwrap();
+        let Err(err) = route(&large(), &req) else {
+            panic!("moldable epsilon request must not route");
+        };
+        assert!(matches!(err, CcsError::InvalidParameter(_)));
+        assert!(err.to_string().contains("moldable"));
+    }
+
+    #[test]
     fn loose_epsilon_served_by_approx() {
         // 1 + 1.5 = 2.5 ≥ 2 and ≥ 7/3: the constant-factor algorithms win.
-        for kind in ScheduleKind::ALL {
+        for spec in ModelSpec::paper() {
             assert_eq!(
-                routed_name(&large(), &SolveRequest::epsilon(kind, 1.5).unwrap()),
-                approx_solver_name(kind)
+                routed_name(&large(), &SolveRequest::epsilon(spec.kind, 1.5).unwrap()),
+                approx_name(spec.kind)
             );
         }
     }
@@ -397,10 +518,11 @@ mod tests {
         // the regression case: its double is a hair below the true 4/3 and
         // the old `(ε · 10⁶) as i128` truncation (and an unquantised exact
         // comparison alike) mis-routed it.
-        for kind in ScheduleKind::ALL {
+        for spec in ModelSpec::paper() {
+            let kind = spec.kind;
             assert_eq!(
                 routed_name(&large(), &SolveRequest::epsilon(kind, 4.0 / 3.0).unwrap()),
-                approx_solver_name(kind),
+                approx_name(kind),
                 "ε = 4/3 on {kind}"
             );
         }
@@ -409,7 +531,7 @@ mod tests {
         for kind in [ScheduleKind::Splittable, ScheduleKind::Preemptive] {
             assert_eq!(
                 routed_name(&large(), &SolveRequest::epsilon(kind, 1.0).unwrap()),
-                approx_solver_name(kind),
+                approx_name(kind),
                 "ε = 1 on {kind}"
             );
         }
@@ -421,8 +543,10 @@ mod tests {
             "ptas-nonpreemptive"
         );
         // Just below a threshold still requires the PTAS.
-        for kind in ScheduleKind::ALL {
-            let threshold = (approx_factor(kind) - Rational::ONE).to_f64();
+        for spec in ModelSpec::paper() {
+            let kind = spec.kind;
+            let factor = policy_of(kind).approx.unwrap().1;
+            let threshold = (factor - Rational::ONE).to_f64();
             let below = threshold * (1.0 - 1e-12);
             assert_eq!(
                 routed_name(&large(), &SolveRequest::epsilon(kind, below).unwrap()),
@@ -449,14 +573,16 @@ mod tests {
             b = b.job(1 + (i as u64 % 97), i % 6);
         }
         let huge = b.build().unwrap();
-        for kind in ScheduleKind::ALL {
+        for spec in ModelSpec::paper() {
+            let kind = spec.kind;
             assert!(!is_tiny(&huge, kind), "{kind}");
             assert_eq!(
                 routed_name(&huge, &SolveRequest::auto(kind)),
-                approx_solver_name(kind),
+                approx_name(kind),
                 "{kind}"
             );
         }
+        assert!(!is_tiny(&huge, ScheduleKind::Moldable));
         // The guard leaves genuinely tiny instances on the exact path.
         assert!(is_tiny(&tiny(), ScheduleKind::Splittable));
     }

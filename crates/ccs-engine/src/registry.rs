@@ -136,8 +136,10 @@ impl SolverRegistry {
     ///   non-preemptive 7/3-approximation,
     /// * `ccs-ptas` — the three schemes at their default accuracy
     ///   (`1/δ = 4`),
-    /// * `ccs-exact` — the three exact solvers (hard size limits apply),
-    /// * `ccs-baselines` — the three whole-class / greedy heuristics.
+    /// * `ccs-exact` — the exact solvers incl. the moldable branch-and-bound
+    ///   (hard size limits apply),
+    /// * `ccs-baselines` — the whole-class / greedy heuristics and the
+    ///   moldable list scheduler.
     pub fn with_defaults() -> Self {
         let mut registry = SolverRegistry::empty();
         let unique = "default registry names are unique";
@@ -164,6 +166,7 @@ impl SolverRegistry {
         registry
             .register(ccs_exact::ExactNonPreemptive)
             .expect(unique);
+        registry.register(ccs_exact::ExactMoldable).expect(unique);
         registry
             .register(ccs_baselines::WholeClassRoundRobin)
             .expect(unique);
@@ -172,6 +175,9 @@ impl SolverRegistry {
             .expect(unique);
         registry
             .register(ccs_baselines::GreedyFirstFit)
+            .expect(unique);
+        registry
+            .register(ccs_baselines::MoldableList)
             .expect(unique);
         registry
     }
@@ -271,16 +277,17 @@ mod tests {
     #[test]
     fn defaults_cover_all_models_with_unique_names() {
         let registry = SolverRegistry::with_defaults();
-        assert_eq!(registry.len(), 12);
+        assert_eq!(registry.len(), 14);
         let names = registry.names();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate solver names");
-        for kind in ScheduleKind::ALL {
+        for spec in ccs_core::ModelSpec::all() {
             assert!(
-                registry.solvers_for(kind).len() >= 2,
-                "fewer than two solvers for {kind}"
+                registry.solvers_for(spec.kind).len() >= 2,
+                "fewer than two solvers for {}",
+                spec.id
             );
         }
     }

@@ -28,8 +28,8 @@ use crate::policy::{Accuracy, SolveRequest};
 use ccs_core::json::{error_to_json, parse, JsonValue};
 use ccs_core::solver::SolveStats;
 use ccs_core::{
-    AnySchedule, CcsError, ClassRun, Guarantee, Instance, NonPreemptiveSchedule, PreemptivePiece,
-    PreemptiveSchedule, Rational, Result, SplittableSchedule,
+    AnySchedule, CcsError, ClassRun, Guarantee, Instance, MoldableSchedule, NonPreemptiveSchedule,
+    PreemptivePiece, PreemptiveSchedule, Rational, Result, SplittableSchedule,
 };
 use std::time::Duration;
 
@@ -362,11 +362,15 @@ fn budget_ms_from_json(value: &JsonValue) -> Result<Duration> {
     }
 }
 
+/// Resolves a wire model id through the model registry.  Ids this build
+/// does not know become [`CcsError::UnsupportedModel`] — a structured
+/// `{"kind":"unsupported-model"}` error frame on the wire, never a parse
+/// failure — so old clients talking to newer builds (and vice versa) get an
+/// answer they can dispatch on.
 fn model_from_name(name: &str) -> Result<ccs_core::ScheduleKind> {
-    ccs_core::ScheduleKind::ALL
-        .into_iter()
-        .find(|kind| kind.name() == name)
-        .ok_or_else(|| err(format!("unknown model '{name}'")))
+    ccs_core::ModelSpec::from_wire(name)
+        .map(|spec| spec.kind)
+        .ok_or_else(|| ccs_core::CcsError::unsupported_model(name))
 }
 
 fn check_schema(value: &JsonValue) -> Result<()> {
@@ -875,6 +879,31 @@ fn schedule_to_json(schedule: &AnySchedule) -> JsonValue {
                 ),
             );
         }
+        AnySchedule::Moldable(s) => {
+            obj.set("kind", "moldable");
+            obj.set(
+                "choices",
+                JsonValue::Array(
+                    s.choices()
+                        .iter()
+                        .map(|(shape, machines)| {
+                            let mut choice = JsonValue::object();
+                            choice.set("shape", *shape);
+                            choice.set(
+                                "machines",
+                                JsonValue::Array(
+                                    machines
+                                        .iter()
+                                        .map(|&m| JsonValue::Int(m as i128))
+                                        .collect(),
+                                ),
+                            );
+                            choice
+                        })
+                        .collect(),
+                ),
+            );
+        }
     }
     obj
 }
@@ -973,6 +1002,32 @@ fn schedule_from_json(value: &JsonValue) -> Result<AnySchedule> {
                 })
                 .collect::<Result<Vec<Vec<PreemptivePiece>>>>()?;
             Ok(AnySchedule::Preemptive(PreemptiveSchedule::new(machines)))
+        }
+        "moldable" => {
+            let mut schedule = MoldableSchedule::new();
+            for choice in value
+                .get("choices")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("moldable schedule needs a 'choices' array"))?
+            {
+                let shape = choice
+                    .get("shape")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| err("choice needs a 'shape' index"))?
+                    as usize;
+                let machines = choice
+                    .get("machines")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| err("choice needs a 'machines' array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .ok_or_else(|| err("'machines' entries must be machine indices"))
+                    })
+                    .collect::<Result<Vec<u64>>>()?;
+                schedule.push_choice(shape, machines);
+            }
+            Ok(AnySchedule::Moldable(schedule))
         }
         other => Err(err(format!("unknown schedule kind '{other}'"))),
     }
@@ -1335,6 +1390,31 @@ mod tests {
     }
 
     #[test]
+    fn every_model_id_roundtrips_on_requests() {
+        // The registry is the single source of model ids: each one travels
+        // as its verbatim wire id and parses back to the same kind.  The
+        // moldable request additionally carries a shape menu end to end.
+        for spec in ccs_core::ModelSpec::all() {
+            let mut builder = ccs_core::InstanceBuilder::new(3, 2).job(7, 0).job(5, 1);
+            if spec.kind == ScheduleKind::Moldable {
+                builder = builder.job_shaped(9, 0, &[(1, 9), (2, 5), (3, 4)]);
+            }
+            let req = WireRequest {
+                id: format!("model-{}", spec.id),
+                tenant: None,
+                instance: builder.build().unwrap(),
+                request: SolveRequest::exact(spec.kind),
+            };
+            let line = request_to_line(&req);
+            assert!(line.contains(&format!("\"model\":\"{}\"", spec.id)));
+            let back = request_from_line(&line).unwrap();
+            assert_eq!(back, req, "{}", spec.id);
+            assert_eq!(back.request.model, spec.kind);
+            assert_eq!(request_to_line(&back), line, "{} canonical", spec.id);
+        }
+    }
+
+    #[test]
     fn sub_millisecond_budgets_survive_the_wire() {
         for micros in [1u64, 500, 1_500, 999_999] {
             let mut req = sample_request();
@@ -1420,7 +1500,8 @@ mod tests {
     fn solution_roundtrip_all_models() {
         let engine = crate::Engine::new();
         let inst = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2), (4, 3)]).unwrap();
-        for kind in ScheduleKind::ALL {
+        for spec in ccs_core::ModelSpec::all() {
+            let kind = spec.kind;
             let sol = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
             let json = solution_to_json("id-7", &sol).to_json();
             let back = response_from_line(&json).unwrap();
@@ -1617,10 +1698,7 @@ mod tests {
                 id: "d1".to_string(),
                 session: "s1".to_string(),
                 deltas: vec![
-                    ccs_session::InstanceDelta::AddJobs(vec![ccs_session::NewJob {
-                        processing: 6,
-                        class: 1,
-                    }]),
+                    ccs_session::InstanceDelta::AddJobs(vec![ccs_session::NewJob::new(6, 1)]),
                     ccs_session::InstanceDelta::RemoveJobs(vec![0]),
                     ccs_session::InstanceDelta::AddMachines(1),
                 ],

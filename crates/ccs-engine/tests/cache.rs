@@ -109,7 +109,7 @@ fn cached_engine(entries: usize) -> (Engine, Arc<AtomicUsize>) {
 fn identical_resubmission_hits_and_is_bit_identical() {
     let (engine, runs) = cached_engine(64);
     let inst = instance_from_pairs(3, 2, &[(7, 0), (8, 0), (9, 1), (5, 2), (4, 3)]).unwrap();
-    for kind in ScheduleKind::ALL {
+    for kind in ccs_core::ModelSpec::all().map(|spec| spec.kind) {
         runs.store(0, Ordering::SeqCst);
         let first = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
         let second = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
@@ -137,7 +137,8 @@ fn canonical_equivalence_property_sweep() {
         let (engine, runs) = cached_engine(64);
         let base = sweep_instance(&mut rng);
         let variant = scrambled(&base, &mut rng);
-        let kind = ScheduleKind::ALL[rng.next(3) as usize];
+        let specs: Vec<_> = ccs_core::ModelSpec::all().collect();
+        let kind = specs[rng.next(specs.len() as u64) as usize].kind;
         let req = SolveRequest::auto(kind).with_validate(true);
         let (Ok(first), Ok(second)) = (engine.solve(&base, &req), engine.solve(&variant, &req))
         else {
@@ -169,7 +170,7 @@ fn canonically_equal_instances_have_equal_optima_per_model() {
         let variant = scrambled(&base, &mut rng);
         assert_eq!(base.fingerprint(), variant.fingerprint());
         let engine = Engine::new();
-        for kind in ScheduleKind::ALL {
+        for kind in ccs_core::ModelSpec::all().map(|spec| spec.kind) {
             let a = engine.solve(&base, &SolveRequest::exact(kind));
             let b = engine.solve(&variant, &SolveRequest::exact(kind));
             match (a, b) {

@@ -56,6 +56,7 @@ fn exact_optimum(inst: &ccs_core::Instance, kind: ScheduleKind) -> Option<Ration
         ScheduleKind::NonPreemptive => ccs_exact::nonpreemptive_optimum(inst)
             .ok()
             .map(Rational::from),
+        ScheduleKind::Moldable => ccs_exact::moldable_optimum(inst).ok().map(Rational::from),
     }
 }
 
@@ -78,7 +79,7 @@ fn batch_matches_sequential_on_hundred_instances() {
     }
     assert_eq!(instances.len(), 100);
 
-    for model in ScheduleKind::ALL {
+    for model in ccs_core::ModelSpec::all().map(|spec| spec.kind) {
         let req = SolveRequest::auto(model);
         let sequential: Vec<_> = instances.iter().map(|i| engine.solve(i, &req)).collect();
         let batch = engine.solve_batch(&instances, &req);
@@ -133,7 +134,7 @@ fn exact_requests_match_reference_optima() {
     let engine = Engine::new();
     for seed in 0..15u64 {
         let inst = ccs_gen::tiny_random(seed);
-        for model in ScheduleKind::ALL {
+        for model in ccs_core::ModelSpec::all().map(|spec| spec.kind) {
             let Ok(sol) = engine.solve(&inst, &SolveRequest::exact(model)) else {
                 continue; // beyond the exact solvers' limits
             };

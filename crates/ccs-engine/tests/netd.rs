@@ -363,14 +363,8 @@ fn session_lifecycle_with_warm_solves_and_accounting() {
     let mut mirror = ccs_session::SessionInstance::from_instance(&initial);
     let deltas = vec![
         ccs_session::InstanceDelta::AddJobs(vec![
-            ccs_session::NewJob {
-                processing: 6,
-                class: 1,
-            },
-            ccs_session::NewJob {
-                processing: 11,
-                class: 0,
-            },
+            ccs_session::NewJob::new(6, 1),
+            ccs_session::NewJob::new(11, 0),
         ]),
         ccs_session::InstanceDelta::RemoveJobs(vec![1]),
     ];

@@ -185,7 +185,9 @@ fn ptas_family_respects_millisecond_budget() {
 fn ptas_submissions_cancel_mid_parallel_grid() {
     let engine = Engine::new().with_workers(1);
     let inst = ccs_gen::uniform(&GenParams::new(48, 12, 10, 2), 3);
-    for kind in ScheduleKind::ALL {
+    // Paper models only: the moldable extension has no epsilon-guaranteed
+    // solver, so an epsilon request never reaches a PTAS grid there.
+    for kind in ccs_core::ModelSpec::paper().map(|spec| spec.kind) {
         let req = SolveRequest::epsilon(kind, 0.25).unwrap();
         let handle = engine.submit(inst.clone(), &req);
         // Give the solve a moment to reach the parallel region, then pull
@@ -278,7 +280,7 @@ fn dropping_the_engine_cancels_outstanding_work() {
 fn validated_requests_return_identical_results() {
     let engine = Engine::new();
     let inst = ccs_gen::zipf_classes(&GenParams::new(40, 6, 8, 2), 11);
-    for model in ScheduleKind::ALL {
+    for model in ccs_core::ModelSpec::all().map(|spec| spec.kind) {
         let plain = engine.solve(&inst, &SolveRequest::auto(model)).unwrap();
         let checked = engine
             .solve(&inst, &SolveRequest::auto(model).with_validate(true))
@@ -342,7 +344,8 @@ fn sweep_request(rng: &mut Lcg, model: ScheduleKind) -> SolveRequest {
 fn lcg_sweep_requests_roundtrip() {
     let mut rng = Lcg(0xCC5_CC5);
     for i in 0..60 {
-        let model = ScheduleKind::ALL[rng.next(3) as usize];
+        let specs: Vec<_> = ccs_core::ModelSpec::all().collect();
+        let model = specs[rng.next(specs.len() as u64) as usize].kind;
         let req = WireRequest {
             id: format!("sweep-{i}"),
             tenant: (rng.next(2) == 0).then(|| format!("tenant-{}", rng.next(4))),
@@ -365,7 +368,8 @@ fn lcg_sweep_solutions_roundtrip() {
     let mut solutions = 0;
     for i in 0..25 {
         let inst = sweep_instance(&mut rng);
-        let model = ScheduleKind::ALL[rng.next(3) as usize];
+        let specs: Vec<_> = ccs_core::ModelSpec::all().collect();
+        let model = specs[rng.next(specs.len() as u64) as usize].kind;
         let Ok(sol) = engine.solve(&inst, &SolveRequest::auto(model)) else {
             continue; // infeasible sweep draws are fine
         };

@@ -49,6 +49,9 @@ fn golden_errors() -> Vec<(&'static str, CcsError)> {
             "bad-eps",
             CcsError::invalid_parameter("epsilon must be a positive finite number"),
         ),
+        // Forward compatibility: a model id this build does not know is a
+        // structured frame carrying the verbatim string, never a parse error.
+        ("bad-model", CcsError::unsupported_model("quantum")),
     ]
 }
 

@@ -14,6 +14,9 @@
 //!   optimum equals this value because a fractional assignment with machine
 //!   loads and job sizes at most `T` can always be turned into a preemptive
 //!   timetable of length `T` (Gonzalez–Sahni style open-shop argument),
+//! * [`moldable::moldable_optimum`] — branch-and-bound over shape choices
+//!   and machine subsets for the moldable extension model (tighter limits,
+//!   the tree is wider than the non-preemptive one),
 //! * [`bounds::strong_lower_bound`] — polynomial-time lower bounds (area,
 //!   `p_max`, and the class-slot counting bound) used on instances too large
 //!   for the exact solvers.
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod moldable;
 pub mod nonpreemptive;
 pub mod solver;
 pub mod splittable;
@@ -30,11 +34,14 @@ pub mod witness;
 use ccs_core::{Instance, Rational, Result};
 
 pub use bounds::strong_lower_bound;
+pub use moldable::{
+    moldable_optimum, moldable_optimum_with_schedule, moldable_optimum_with_schedule_ctx,
+};
 pub use nonpreemptive::{
     nonpreemptive_optimum, nonpreemptive_optimum_with_schedule,
     nonpreemptive_optimum_with_schedule_ctx,
 };
-pub use solver::{ExactNonPreemptive, ExactPreemptive, ExactSplittable};
+pub use solver::{ExactMoldable, ExactNonPreemptive, ExactPreemptive, ExactSplittable};
 pub use splittable::{splittable_optimum, splittable_optimum_ctx};
 pub use witness::{
     preemptive_optimum_with_schedule, preemptive_optimum_with_schedule_ctx,

@@ -6,12 +6,13 @@
 //! limits — oversized instances fail with `CcsError::InvalidParameter`, which
 //! the `ccs-engine` portfolio uses to fall back to the approximations.
 
+use crate::moldable::moldable_optimum_with_schedule_ctx;
 use crate::nonpreemptive::nonpreemptive_optimum_with_schedule_ctx;
 use crate::witness::{preemptive_optimum_with_schedule_ctx, splittable_optimum_with_schedule_ctx};
 use ccs_core::solver::{Guarantee, SolveReport, SolveStats, Solver, SolverCost};
 use ccs_core::{
-    Instance, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result, ScheduleKind,
-    SolveContext, SplittableSchedule,
+    Instance, MoldableSchedule, NonPreemptiveSchedule, PreemptiveSchedule, Rational, Result,
+    ScheduleKind, SolveContext, SplittableSchedule,
 };
 
 /// Branch-and-bound exact solver for the non-preemptive model as a
@@ -138,6 +139,47 @@ impl Solver<PreemptiveSchedule> for ExactPreemptive {
     }
 }
 
+/// Branch-and-bound exact solver for the moldable extension model as a
+/// [`Solver`] (instances up to ~10 jobs / 4 effective machines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactMoldable;
+
+impl Solver<MoldableSchedule> for ExactMoldable {
+    fn name(&self) -> &'static str {
+        "exact-moldable"
+    }
+
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Moldable
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Exact
+    }
+
+    fn cost(&self) -> SolverCost {
+        SolverCost::InstanceExponential
+    }
+
+    fn solve(&self, inst: &Instance) -> Result<SolveReport<MoldableSchedule>> {
+        self.solve_ctx(inst, &SolveContext::unbounded())
+    }
+
+    fn solve_ctx(
+        &self,
+        inst: &Instance,
+        ctx: &SolveContext,
+    ) -> Result<SolveReport<MoldableSchedule>> {
+        let (opt, schedule) = moldable_optimum_with_schedule_ctx(inst, ctx)?;
+        Ok(SolveReport {
+            schedule,
+            makespan: Rational::from(opt),
+            lower_bound: Rational::from(opt),
+            stats: SolveStats::default(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +200,11 @@ mod tests {
         let pre = ExactPreemptive.solve(&inst).unwrap();
         pre.validate(&inst).unwrap();
         assert_eq!(pre.makespan, crate::preemptive_optimum(&inst).unwrap());
+
+        let moldable = ExactMoldable.solve(&inst).unwrap();
+        moldable.validate(&inst).unwrap();
+        assert_eq!(moldable.makespan, np.makespan); // unshaped: same model
+        assert_eq!(moldable.ratio_upper_bound(), Rational::ONE);
     }
 
     #[test]
@@ -165,5 +212,6 @@ mod tests {
         let jobs: Vec<(u64, u32)> = (0..30).map(|i| (1, i % 3)).collect();
         let inst = instance_from_pairs(2, 3, &jobs).unwrap();
         assert!(ExactNonPreemptive.solve(&inst).is_err());
+        assert!(ExactMoldable.solve(&inst).is_err());
     }
 }

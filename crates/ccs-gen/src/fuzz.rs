@@ -152,6 +152,67 @@ fn fuzz_instance(rng: &mut Rng, shape: u64) -> Instance {
     }
 }
 
+/// An infinite, deterministic stream of *moldable* fuzz instances: the
+/// rotating shapes of [`FuzzStream`] decorated with random `(machines,
+/// time)` menus.  Decoration keeps every instance inside the exact moldable
+/// branch-and-bound's limits (≤ 10 jobs and widths ≤ 3 on ≤ 4 machines, so
+/// at most 30 menu entries), which is what lets the differential lane of
+/// `ccs-verify` compare the list scheduler against a ground-truth optimum
+/// on every emitted instance.
+#[derive(Debug, Clone)]
+pub struct MoldableFuzzStream {
+    base: FuzzStream,
+    rng: Rng,
+}
+
+impl MoldableFuzzStream {
+    /// Starts the stream for a seed.
+    pub fn new(seed: u64) -> Self {
+        MoldableFuzzStream {
+            base: FuzzStream::new(seed),
+            rng: Rng::seed_from_u64(seed ^ 0x4D_0F_5A_7E),
+        }
+    }
+
+    /// Index of the instance [`Iterator::next`] will produce.
+    pub fn next_index(&self) -> u64 {
+        self.base.next_index()
+    }
+}
+
+impl Iterator for MoldableFuzzStream {
+    type Item = Instance;
+
+    fn next(&mut self) -> Option<Instance> {
+        self.base
+            .next()
+            .map(|inst| with_shapes(&inst, &mut self.rng))
+    }
+}
+
+/// Rebuilds `inst` with a random shape menu per job: most jobs declare the
+/// sequential `(1, p)` alternative plus wider shapes with sublinear speedup
+/// (`t_k = ceil(p/k) + overhead`, clamped to `[1, p]`).
+fn with_shapes(inst: &Instance, rng: &mut Rng) -> Instance {
+    let mut b = ccs_core::InstanceBuilder::new(inst.machines(), inst.class_slots());
+    for j in 0..inst.num_jobs() {
+        let p = inst.processing_time(j);
+        let label = inst.class_label(inst.class_of(j));
+        let mut shapes = Vec::new();
+        if rng.gen_bool(0.75) {
+            shapes.push((1, p));
+            for k in 2..=3u64.min(inst.machines()) {
+                if rng.gen_bool(0.6) {
+                    let t = (p.div_ceil(k) + rng.range_u64(0, 2)).clamp(1, p);
+                    shapes.push((k, t));
+                }
+            }
+        }
+        b = b.job_shaped(p, label, &shapes);
+    }
+    b.build().expect("shape decoration preserves validity")
+}
+
 fn draw(
     rng: &mut Rng,
     params: &GenParams,
@@ -207,6 +268,34 @@ mod tests {
         assert!(instances
             .iter()
             .any(|i| i.num_classes() as u64 == i.machines() * i.class_slots()));
+    }
+
+    #[test]
+    fn moldable_stream_is_deterministic_and_within_exact_limits() {
+        let a: Vec<Instance> = MoldableFuzzStream::new(11).take(64).collect();
+        let b: Vec<Instance> = MoldableFuzzStream::new(11).take(64).collect();
+        assert_eq!(a, b);
+        let mut shaped = 0;
+        for inst in &a {
+            assert!(inst.is_feasible(), "{inst:?}");
+            assert!(inst.num_jobs() <= MAX_FUZZ_JOBS);
+            let menu_total: usize = (0..inst.num_jobs()).map(|j| inst.shape_menu(j).len()).sum();
+            assert!(menu_total <= 64, "menu total {menu_total}");
+            let width_sum: u64 = (0..inst.num_jobs())
+                .map(|j| {
+                    inst.shape_menu(j)
+                        .iter()
+                        .map(|&(k, _)| k)
+                        .max()
+                        .unwrap_or(1)
+                })
+                .sum();
+            assert!(inst.machines().min(width_sum) <= 4);
+            shaped += usize::from(inst.has_shapes());
+        }
+        // The stream actually exercises the extension slot, not just the
+        // sequential fallback.
+        assert!(shaped > 16, "only {shaped}/64 instances were shaped");
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //!   classes, exercising the compact-encoding / class-splitting paths,
 //! * [`adversarial_round_robin`] — instances on which the simple round-robin
 //!   based algorithms are pushed towards their worst-case factors,
-//! * [`tiny_random`] — very small instances for comparisons against the exact
-//!   solvers,
+//! * [`moldable`] — malleable tasks declaring `(machines, time)` shape menus
+//!   with sublinear speedup (the `JobShapes` extension slot),
+//! * [`tiny_random`] / [`tiny_moldable_random`] — very small instances for
+//!   comparisons against the exact solvers,
 //! * [`fuzz`] — rotating-shape instance streams sized for the differential
 //!   oracle of `ccs-verify` (every instance stays within the exact solvers'
 //!   hard limits so the oracle always has a ground-truth optimum).
@@ -253,6 +255,51 @@ pub fn adversarial_round_robin(machines: u64, chunk: u64) -> Instance {
         b = b.job(chunk - 1, 1 + i as u32);
     }
     b.build().expect("adversarial instance must be valid")
+}
+
+/// Moldable workloads (the `JobShapes` extension slot): every job keeps its
+/// sequential `(1, p)` alternative and most jobs additionally declare wider
+/// shapes with sublinear speedup — `t_k = ceil(p/k) + overhead` for widths
+/// `k ∈ {2, 3, 4}` — modelling malleable tasks whose parallel efficiency
+/// degrades with width.  Widths are capped at the machine count, so every
+/// declared shape is placeable.
+pub fn moldable(params: &GenParams, seed: u64) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x4D_01_DA_B1);
+    let max_width = params.machines.clamp(1, 4);
+    let mut b = InstanceBuilder::new(params.machines, params.class_slots);
+    for _ in 0..params.jobs {
+        let p = rng.range_u64(params.p_min, params.p_max).max(1);
+        let c = clamp_class(rng.below_u32(params.classes), params);
+        let mut shapes = Vec::new();
+        if max_width >= 2 && rng.gen_bool(0.75) {
+            shapes.push((1, p));
+            for k in 2..=max_width {
+                if rng.gen_bool(0.6) {
+                    let overhead = rng.range_u64(0, (p / 8).max(1));
+                    shapes.push((k, (p.div_ceil(k) + overhead).clamp(1, p)));
+                }
+            }
+        }
+        b = b.job_shaped(p, c, &shapes);
+    }
+    b.build().expect("generator produced an invalid instance")
+}
+
+/// Very small random moldable instances, sized to stay strictly inside the
+/// exact moldable branch-and-bound's hard limits (≤ 10 jobs, ≤ 4 effective
+/// machines, ≤ 64 menu entries) so differential oracles always have a
+/// ground-truth optimum to compare against.
+pub fn tiny_moldable_random(seed: u64) -> Instance {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x717E_4D01);
+    let params = GenParams {
+        jobs: rng.range_usize(2, 6),
+        machines: rng.range_u64(1, 3),
+        classes: rng.range_u64(1, 4) as u32,
+        class_slots: rng.range_u64(1, 2),
+        p_min: 1,
+        p_max: 12,
+    };
+    moldable(&params, rng.next_u64())
 }
 
 /// Very small random instances for exact-vs-approximate comparisons.

@@ -1,20 +1,36 @@
 //! The mutation vocabulary of a session and its JSON wire codec.
 
 use ccs_core::json::JsonValue;
-use ccs_core::{CcsError, Result};
+use ccs_core::{CcsError, JobShape, Result};
 
 fn err(msg: impl Into<String>) -> CcsError {
     CcsError::invalid_parameter(format!("delta: {}", msg.into()))
 }
 
-/// A job to add: its processing time and class label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A job to add: its processing time, class label and (optionally) a
+/// moldable shape menu.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NewJob {
     /// Processing time (must be positive).
     pub processing: u64,
     /// Class label.  Labels are free-form `u32`s — a label unseen so far
     /// opens a new class.
     pub class: u32,
+    /// Declared moldable shape alternatives `(machines, time)`; empty means
+    /// "no declared menu" (the job runs as the sequential `(1, p)` shape
+    /// under the moldable model and is untouched under the paper models).
+    pub shapes: Vec<JobShape>,
+}
+
+impl NewJob {
+    /// A job without a declared shape menu.
+    pub fn new(processing: u64, class: u32) -> NewJob {
+        NewJob {
+            processing,
+            class,
+            shapes: Vec::new(),
+        }
+    }
 }
 
 /// One mutation of a [`crate::SessionInstance`].
@@ -45,10 +61,15 @@ pub enum InstanceDelta {
 ///
 /// ```json
 /// {"add_jobs":[{"p":5,"class":2}]}
+/// {"add_jobs":[{"class":2,"p":9,"shapes":[[1,9],[3,4]]}]}
 /// {"remove_jobs":[0,3]}
 /// {"add_machines":2}
 /// {"retype_class":{"from":2,"to":0}}
 /// ```
+///
+/// The `shapes` member (a moldable shape menu, `[machines, time]` pairs) is
+/// omitted for jobs without a declared menu, so unshaped sessions keep
+/// their exact pre-extension wire bytes.
 pub fn delta_to_json(delta: &InstanceDelta) -> JsonValue {
     let mut obj = JsonValue::object();
     match delta {
@@ -61,6 +82,22 @@ pub fn delta_to_json(delta: &InstanceDelta) -> JsonValue {
                             let mut j = JsonValue::object();
                             j.set("p", job.processing);
                             j.set("class", u64::from(job.class));
+                            if !job.shapes.is_empty() {
+                                j.set(
+                                    "shapes",
+                                    JsonValue::Array(
+                                        job.shapes
+                                            .iter()
+                                            .map(|&(k, t)| {
+                                                JsonValue::Array(vec![
+                                                    JsonValue::Int(k as i128),
+                                                    JsonValue::Int(t as i128),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                );
+                            }
                             j
                         })
                         .collect(),
@@ -113,7 +150,34 @@ pub fn delta_from_json(value: &JsonValue) -> Result<InstanceDelta> {
                     .and_then(JsonValue::as_u64)
                     .and_then(|c| u32::try_from(c).ok())
                     .ok_or_else(|| err("each added job needs a u32 'class'"))?;
-                Ok(NewJob { processing, class })
+                let shapes = match job.get("shapes") {
+                    None => Vec::new(),
+                    Some(shapes) => shapes
+                        .as_array()
+                        .ok_or_else(|| err("'shapes' must be an array of [machines, time]"))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair
+                                .as_array()
+                                .filter(|p| p.len() == 2)
+                                .ok_or_else(|| err("each shape must be a [machines, time] pair"))?;
+                            let k = pair[0]
+                                .as_u64()
+                                .filter(|&k| k > 0)
+                                .ok_or_else(|| err("shape machine counts must be positive"))?;
+                            let t = pair[1]
+                                .as_u64()
+                                .filter(|&t| t > 0)
+                                .ok_or_else(|| err("shape times must be positive"))?;
+                            Ok((k, t))
+                        })
+                        .collect::<Result<Vec<JobShape>>>()?,
+                };
+                Ok(NewJob {
+                    processing,
+                    class,
+                    shapes,
+                })
             })
             .collect::<Result<Vec<NewJob>>>()?;
         return Ok(InstanceDelta::AddJobs(jobs));
@@ -162,16 +226,12 @@ mod tests {
     #[test]
     fn every_variant_roundtrips() {
         let deltas = [
-            InstanceDelta::AddJobs(vec![
-                NewJob {
-                    processing: 5,
-                    class: 2,
-                },
-                NewJob {
-                    processing: 9,
-                    class: 0,
-                },
-            ]),
+            InstanceDelta::AddJobs(vec![NewJob::new(5, 2), NewJob::new(9, 0)]),
+            InstanceDelta::AddJobs(vec![NewJob {
+                processing: 9,
+                class: 1,
+                shapes: vec![(1, 9), (3, 4)],
+            }]),
             InstanceDelta::RemoveJobs(vec![0, 3, 17]),
             InstanceDelta::AddMachines(2),
             InstanceDelta::RetypeClass { from: 2, to: 0 },
@@ -195,6 +255,10 @@ mod tests {
             r#"{"add_jobs":[{"class":1}]}"#,
             r#"{"add_jobs":[{"p":5}]}"#,
             r#"{"add_jobs":[{"p":-5,"class":1}]}"#,
+            r#"{"add_jobs":[{"p":5,"class":1,"shapes":7}]}"#,
+            r#"{"add_jobs":[{"p":5,"class":1,"shapes":[[1]]}]}"#,
+            r#"{"add_jobs":[{"p":5,"class":1,"shapes":[[0,5]]}]}"#,
+            r#"{"add_jobs":[{"p":5,"class":1,"shapes":[[2,0]]}]}"#,
             r#"{"remove_jobs":[-1]}"#,
             r#"{"remove_jobs":7}"#,
             r#"{"add_machines":-2}"#,

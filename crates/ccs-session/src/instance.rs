@@ -2,7 +2,9 @@
 //! application, and an incrementally maintained canonical fingerprint.
 
 use crate::delta::InstanceDelta;
-use ccs_core::{CcsError, Fingerprint, IncrementalFingerprint, Instance, InstanceBuilder, Result};
+use ccs_core::{
+    CcsError, Fingerprint, IncrementalFingerprint, Instance, InstanceBuilder, JobShape, Result,
+};
 use std::collections::BTreeSet;
 
 fn err(msg: impl Into<String>) -> CcsError {
@@ -10,7 +12,7 @@ fn err(msg: impl Into<String>) -> CcsError {
 }
 
 /// A live job of a [`SessionInstance`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionJob {
     /// Stable external id: assigned on addition, never reused or shifted by
     /// later mutations.
@@ -19,6 +21,8 @@ pub struct SessionJob {
     pub processing: u64,
     /// Current class label (mutated by retypes).
     pub class: u32,
+    /// Declared moldable shape menu; empty = no declared menu.
+    pub shapes: Vec<JobShape>,
 }
 
 /// A mutable instance evolving under [`InstanceDelta`]s.
@@ -44,6 +48,11 @@ pub struct SessionInstance {
     jobs: Vec<SessionJob>,
     next_job: u64,
     fingerprint: IncrementalFingerprint,
+    /// Live jobs with a declared shape menu.  While non-zero, the session
+    /// is *shaped* and [`SessionInstance::fingerprint`] recanonicalises the
+    /// materialized instance instead of reading the incremental state (the
+    /// incremental fingerprint covers the unshaped base only).
+    shaped_jobs: usize,
 }
 
 impl SessionInstance {
@@ -61,6 +70,7 @@ impl SessionInstance {
             jobs: Vec::new(),
             next_job: 0,
             fingerprint: IncrementalFingerprint::new(machines, class_slots),
+            shaped_jobs: 0,
         })
     }
 
@@ -72,14 +82,20 @@ impl SessionInstance {
                 id: j as u64,
                 processing: inst.processing_time(j),
                 class: inst.class_label(inst.class_of(j)),
+                shapes: inst
+                    .declared_shapes(j)
+                    .map(<[JobShape]>::to_vec)
+                    .unwrap_or_default(),
             })
             .collect();
+        let shaped_jobs = jobs.iter().filter(|job| !job.shapes.is_empty()).count();
         SessionInstance {
             machines: inst.machines(),
             class_slots: inst.class_slots(),
             jobs,
             next_job: inst.num_jobs() as u64,
             fingerprint: IncrementalFingerprint::from_instance(inst),
+            shaped_jobs,
         }
     }
 
@@ -103,10 +119,22 @@ impl SessionInstance {
         self.jobs.len()
     }
 
-    /// The canonical fingerprint of the current state — incrementally
-    /// maintained, identical to `self.materialize()?.canonical()
-    /// .fingerprint()` whenever the session has jobs.
+    /// The canonical fingerprint of the current state — identical to
+    /// `self.materialize()?.canonical().fingerprint()` whenever the session
+    /// has jobs.
+    ///
+    /// Unshaped sessions read the incrementally maintained state in `O(1)`;
+    /// while any live job declares a shape menu the session falls back to a
+    /// full recanonicalisation (the incremental algebra has no shape
+    /// terms), trading the delta-time guarantee for correctness.
     pub fn fingerprint(&self) -> Fingerprint {
+        if self.shaped_jobs > 0 {
+            return self
+                .materialize()
+                .expect("shaped sessions have at least one job")
+                .canonical()
+                .fingerprint();
+        }
         self.fingerprint.fingerprint()
     }
 
@@ -120,14 +148,23 @@ impl SessionInstance {
                 if new_jobs.iter().any(|job| job.processing == 0) {
                     return Err(err("job processing times must be positive"));
                 }
+                if new_jobs
+                    .iter()
+                    .flat_map(|job| &job.shapes)
+                    .any(|&(k, t)| k == 0 || t == 0)
+                {
+                    return Err(err("job shapes must have positive machine count and time"));
+                }
                 for job in new_jobs {
                     self.jobs.push(SessionJob {
                         id: self.next_job,
                         processing: job.processing,
                         class: job.class,
+                        shapes: job.shapes.clone(),
                     });
                     self.next_job += 1;
                     self.fingerprint.add_job(job.processing, job.class);
+                    self.shaped_jobs += usize::from(!job.shapes.is_empty());
                 }
                 Ok(())
             }
@@ -144,11 +181,13 @@ impl SessionInstance {
                     return Err(err(format!("job {missing} does not exist")));
                 }
                 let fingerprint = &mut self.fingerprint;
+                let shaped_jobs = &mut self.shaped_jobs;
                 self.jobs.retain(|job| {
                     if distinct.contains(&job.id) {
                         fingerprint
                             .remove_job(job.processing, job.class)
                             .expect("validated against live jobs above");
+                        *shaped_jobs -= usize::from(!job.shapes.is_empty());
                         false
                     } else {
                         true
@@ -194,7 +233,7 @@ impl SessionInstance {
         }
         let mut builder = InstanceBuilder::new(self.machines, self.class_slots);
         for job in &self.jobs {
-            builder = builder.job(job.processing, job.class);
+            builder = builder.job_shaped(job.processing, job.class, &job.shapes);
         }
         builder.build()
     }
@@ -209,22 +248,10 @@ mod tests {
         let mut session = SessionInstance::new(3, 2).unwrap();
         session
             .apply(&InstanceDelta::AddJobs(vec![
-                NewJob {
-                    processing: 7,
-                    class: 0,
-                },
-                NewJob {
-                    processing: 8,
-                    class: 0,
-                },
-                NewJob {
-                    processing: 9,
-                    class: 1,
-                },
-                NewJob {
-                    processing: 5,
-                    class: 2,
-                },
+                NewJob::new(7, 0),
+                NewJob::new(8, 0),
+                NewJob::new(9, 1),
+                NewJob::new(5, 2),
             ]))
             .unwrap();
         session
@@ -259,10 +286,7 @@ mod tests {
         assert_eq!(ids, vec![0, 2, 3]);
         // The next added job continues the id sequence; id 1 is never reused.
         session
-            .apply(&InstanceDelta::AddJobs(vec![NewJob {
-                processing: 3,
-                class: 1,
-            }]))
+            .apply(&InstanceDelta::AddJobs(vec![NewJob::new(3, 1)]))
             .unwrap();
         let ids: Vec<u64> = session.jobs().iter().map(|j| j.id).collect();
         assert_eq!(ids, vec![0, 2, 3, 4]);
@@ -273,10 +297,7 @@ mod tests {
     fn every_delta_keeps_the_fingerprint_consistent() {
         let mut session = fresh();
         for delta in [
-            InstanceDelta::AddJobs(vec![NewJob {
-                processing: 11,
-                class: 3,
-            }]),
+            InstanceDelta::AddJobs(vec![NewJob::new(11, 3)]),
             InstanceDelta::RemoveJobs(vec![0, 3]),
             InstanceDelta::AddMachines(2),
             InstanceDelta::RetypeClass { from: 3, to: 1 },
@@ -296,10 +317,7 @@ mod tests {
         assert_eq!(inst.num_classes(), 2);
         // The dissolved label is free to reopen as a new class.
         session
-            .apply(&InstanceDelta::AddJobs(vec![NewJob {
-                processing: 2,
-                class: 2,
-            }]))
+            .apply(&InstanceDelta::AddJobs(vec![NewJob::new(2, 2)]))
             .unwrap();
         assert_consistent(&session);
         assert_eq!(session.materialize().unwrap().num_classes(), 3);
@@ -317,10 +335,7 @@ mod tests {
         // …while machine growth is fine before the first job.
         session.apply(&InstanceDelta::AddMachines(1)).unwrap();
         session
-            .apply(&InstanceDelta::AddJobs(vec![NewJob {
-                processing: 4,
-                class: 0,
-            }]))
+            .apply(&InstanceDelta::AddJobs(vec![NewJob::new(4, 0)]))
             .unwrap();
         assert_consistent(&session);
         assert_eq!(session.machines(), 3);
@@ -353,10 +368,7 @@ mod tests {
         let before = session.clone();
         for bad in [
             InstanceDelta::AddJobs(vec![]),
-            InstanceDelta::AddJobs(vec![NewJob {
-                processing: 0,
-                class: 0,
-            }]),
+            InstanceDelta::AddJobs(vec![NewJob::new(0, 0)]),
             InstanceDelta::RemoveJobs(vec![]),
             InstanceDelta::RemoveJobs(vec![0, 0]),
             // One valid id and one missing id: nothing may be removed.
@@ -377,5 +389,54 @@ mod tests {
         let session = SessionInstance::from_instance(&inst);
         assert_eq!(session.fingerprint(), inst.canonical().fingerprint());
         assert_eq!(session.materialize().unwrap(), inst);
+    }
+
+    #[test]
+    fn shaped_jobs_keep_the_fingerprint_consistent() {
+        let mut session = fresh();
+        let unshaped = session.fingerprint();
+        session
+            .apply(&InstanceDelta::AddJobs(vec![NewJob {
+                processing: 9,
+                class: 1,
+                shapes: vec![(1, 9), (3, 4)],
+            }]))
+            .unwrap();
+        assert_consistent(&session);
+        // The shape menu is part of instance identity: the same job without
+        // its menu fingerprints differently.
+        let mut plain = fresh();
+        plain
+            .apply(&InstanceDelta::AddJobs(vec![NewJob::new(9, 1)]))
+            .unwrap();
+        assert_ne!(session.fingerprint(), plain.fingerprint());
+        // The menu survives materialization…
+        let inst = session.materialize().unwrap();
+        assert_eq!(inst.declared_shapes(4), Some(&[(1, 9), (3, 4)][..]));
+        // …and a from_instance round-trip of a *shaped* instance.
+        let reseeded = SessionInstance::from_instance(&inst);
+        assert_eq!(reseeded.fingerprint(), inst.canonical().fingerprint());
+        assert_eq!(reseeded.materialize().unwrap(), inst);
+        // Removing the shaped job returns to the incremental fast path and
+        // the exact pre-extension fingerprint.
+        session.apply(&InstanceDelta::RemoveJobs(vec![4])).unwrap();
+        assert_consistent(&session);
+        assert_eq!(session.fingerprint(), unshaped);
+    }
+
+    #[test]
+    fn degenerate_shape_menus_are_rejected_atomically() {
+        let mut session = fresh();
+        let before = session.clone();
+        let bad = InstanceDelta::AddJobs(vec![
+            NewJob::new(3, 0),
+            NewJob {
+                processing: 9,
+                class: 1,
+                shapes: vec![(2, 0)],
+            },
+        ]);
+        assert!(session.apply(&bad).is_err());
+        assert_eq!(session, before, "rejected delta mutated the session");
     }
 }

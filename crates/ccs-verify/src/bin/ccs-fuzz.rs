@@ -29,6 +29,10 @@
 //!   100; `0` removes the budget).  Budgeted-out solvers are skipped, never
 //!   flagged — the accuracy-exponential schemes take whole seconds on
 //!   adversarial shapes and a fuzz campaign needs breadth,
+//! * `--moldable` — stream *moldable* instances (the same rotating shapes,
+//!   decorated with random shape menus) so the differential lane pits the
+//!   shape-selecting list scheduler against the brute-force reference on
+//!   every case,
 //! * `--out <dir>` — where counterexample frames are written
 //!   (default `fuzz-out`),
 //! * `--broken` — register the intentionally broken solver and *expect* it
@@ -57,6 +61,7 @@ struct Options {
     oracle: OracleOptions,
     out: String,
     broken: bool,
+    moldable: bool,
 }
 
 impl Default for Options {
@@ -71,6 +76,7 @@ impl Default for Options {
             oracle: OracleOptions::default(),
             out: "fuzz-out".to_string(),
             broken: false,
+            moldable: false,
         }
     }
 }
@@ -79,7 +85,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ccs-fuzz [--seed <n>] [--cases <n>] [--time-budget-secs <n>] \
          [--metamorphic-every <n>] [--modes-every <n>] [--deltas-every <n>] \
-         [--solver-budget-ms <n>] [--out <dir>] [--broken]"
+         [--solver-budget-ms <n>] [--out <dir>] [--broken] [--moldable]"
     );
     std::process::exit(2);
 }
@@ -125,6 +131,7 @@ fn parse_options() -> Options {
                 }
             },
             "--broken" => options.broken = true,
+            "--moldable" => options.moldable = true,
             _ => {
                 eprintln!("unrecognised argument: {arg}");
                 usage();
@@ -155,7 +162,7 @@ fn main() -> ExitCode {
         Engine::new()
     };
     eprintln!(
-        "ccs-fuzz: seed {} · up to {} cases · {} solvers{}{}",
+        "ccs-fuzz: seed {} · up to {} cases · {} solvers{}{}{}",
         options.seed,
         options.cases,
         engine.registry().len(),
@@ -168,10 +175,19 @@ fn main() -> ExitCode {
         } else {
             ""
         },
+        if options.moldable {
+            " · moldable stream"
+        } else {
+            ""
+        },
     );
 
     let started = Instant::now();
-    let mut stream = ccs_gen::fuzz::FuzzStream::new(options.seed);
+    let mut stream: Box<dyn Iterator<Item = Instance>> = if options.moldable {
+        Box::new(ccs_gen::fuzz::MoldableFuzzStream::new(options.seed))
+    } else {
+        Box::new(ccs_gen::fuzz::FuzzStream::new(options.seed))
+    };
     let mut findings: Vec<Finding> = Vec::new();
     let mut examined = 0u64;
     let mut solver_runs = 0usize;

@@ -22,6 +22,15 @@
 //!
 //! For the non-preemptive model all processing times are integral, so the
 //! optimum is an integer and every fractional bound may be rounded up.
+//!
+//! The moldable extension model replaces the first two bounds with their
+//! shape-aware analogues — the **moldable volume bound** `Σ_j min-work_j / m`
+//! (a job schedules at least the smallest `machines · time` product of its
+//! menu) and the **min-time bound** `max_j min-time_j` (a job runs at least
+//! as long as its fastest alternative).  The class-packing bound is *not*
+//! applied to moldable instances: a width-`k` shape occupies `k` class
+//! slots for its own duration, so `⌈P_u / T⌉` no longer counts slot usage
+//! and the bound's proof does not carry over.
 
 use ccs_core::{Instance, Rational, ScheduleKind};
 
@@ -41,6 +50,14 @@ pub struct CertifiedBounds {
     /// Class-packing bound: the largest evaluated border `T` with
     /// `Σ_u ⌈P_u / T⌉ > c·m` (zero when no border is violated).
     pub class_packing: Rational,
+    /// Moldable volume bound `Σ_j min-work_j / m` where `min-work_j` is the
+    /// smallest `machines · time` over job `j`'s shape menu (moldable model
+    /// only; equals [`CertifiedBounds::volume`] on unshaped instances).
+    pub moldable_volume: Rational,
+    /// Moldable min-time bound `max_j min-time_j` — every job runs at least
+    /// as long as its fastest shape (moldable model only; equals
+    /// [`CertifiedBounds::max_job`] on unshaped instances).
+    pub moldable_min_time: Rational,
 }
 
 impl CertifiedBounds {
@@ -54,6 +71,11 @@ impl CertifiedBounds {
                 let fractional = self.volume.max(self.class_packing);
                 Rational::from_int(fractional.ceil()).max(self.max_job)
             }
+            ScheduleKind::Moldable => {
+                // Integral optimum; class packing is deliberately excluded
+                // (see the module documentation).
+                Rational::from_int(self.moldable_volume.ceil()).max(self.moldable_min_time)
+            }
         }
     }
 }
@@ -63,11 +85,33 @@ pub fn certified_bounds(inst: &Instance) -> CertifiedBounds {
     let total: i128 = inst.processing_times().iter().map(|&p| p as i128).sum();
     let volume = Rational::new(total, inst.machines() as i128);
     let max_job = Rational::from(inst.p_max());
+    let (moldable_volume, moldable_min_time) = moldable_bounds(inst);
     CertifiedBounds {
         volume,
         max_job,
         class_packing: class_packing_bound(inst),
+        moldable_volume,
+        moldable_min_time,
     }
+}
+
+/// The shape-aware volume and min-time bounds of the moldable model.
+fn moldable_bounds(inst: &Instance) -> (Rational, Rational) {
+    let mut min_work: i128 = 0;
+    let mut min_time: u64 = 0;
+    for job in 0..inst.num_jobs() {
+        let menu = inst.shape_menu(job);
+        min_work += menu
+            .iter()
+            .map(|&(k, t)| k as i128 * t as i128)
+            .min()
+            .unwrap_or(0);
+        min_time = min_time.max(menu.iter().map(|&(_, t)| t).min().unwrap_or(0));
+    }
+    (
+        Rational::new(min_work, inst.machines() as i128),
+        Rational::from(min_time),
+    )
 }
 
 /// The strongest certified lower bound for a model (see
@@ -191,7 +235,7 @@ mod tests {
         let engine = Engine::new();
         for seed in 0..12 {
             let inst = ccs_gen::tiny_random(seed);
-            for kind in ScheduleKind::ALL {
+            for kind in ccs_core::ModelSpec::all().map(|spec| spec.kind) {
                 let bound = certified_lower_bound(&inst, kind);
                 let sol = match engine.solve(&inst, &SolveRequest::exact(kind)) {
                     Ok(sol) => sol,
@@ -204,6 +248,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn moldable_bounds_follow_the_cheapest_shape() {
+        use ccs_core::InstanceBuilder;
+        // Two machines; job 0 may run as (1, 10) or as (2, 4): its minimal
+        // work is 2·4 = 8 and its minimal time is 4.  Job 1 is unshaped
+        // with p = 6, contributing work 6 and time 6.
+        let inst = InstanceBuilder::new(2, 2)
+            .job_shaped(10, 0, &[(1, 10), (2, 4)])
+            .job(6, 1)
+            .build()
+            .unwrap();
+        let bounds = certified_bounds(&inst);
+        assert_eq!(bounds.moldable_volume, Rational::new(14, 2));
+        assert_eq!(bounds.moldable_min_time, Rational::from_int(6));
+        // max(⌈7⌉, 6) = 7; the classic volume bound (16/2 = 8) must NOT
+        // leak in — the wide shape genuinely shrinks the workload.
+        assert_eq!(
+            certified_lower_bound(&inst, ScheduleKind::Moldable),
+            Rational::from_int(7)
+        );
+        // Unshaped instances: the moldable bound degenerates to the classic
+        // volume/max-job pair.
+        let plain = instance_from_pairs(3, 2, &[(10, 0), (20, 0), (8, 1), (4, 2)]).unwrap();
+        let bounds = certified_bounds(&plain);
+        assert_eq!(bounds.moldable_volume, bounds.volume);
+        assert_eq!(bounds.moldable_min_time, bounds.max_job);
     }
 
     #[test]

@@ -78,9 +78,10 @@ mod tests {
     }
 
     #[test]
-    fn broken_engine_registers_thirteen_solvers() {
+    fn broken_engine_registers_fifteen_solvers() {
+        // The fourteen defaults plus the broken impostor.
         let engine = engine_with_broken_solver();
-        assert_eq!(engine.registry().len(), 13);
+        assert_eq!(engine.registry().len(), 15);
         assert!(engine.registry().get(BROKEN_SOLVER_NAME).is_some());
     }
 }

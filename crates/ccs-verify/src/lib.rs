@@ -17,9 +17,12 @@
 //! * [`oracle`] — the differential oracle: runs an instance through *every*
 //!   registry solver, requires exact solvers to agree bit-for-bit, approximate
 //!   solvers to stay inside their certified factor, and the optima to respect
-//!   the model hierarchy `OPT_s ≤ OPT_p ≤ OPT_np`,
-//! * [`metamorphic`] — relabelling, scaling and duplication invariants over
-//!   instances and the canonical fingerprint,
+//!   every relaxation edge declared by [`ccs_core::ModelSpec`] (the paper
+//!   hierarchy `OPT_s ≤ OPT_p ≤ OPT_np`, plus the unshaped
+//!   moldable ≡ non-preemptive equivalence),
+//! * [`metamorphic`] — relabelling, scaling, duplication and
+//!   dominated-shape-dropping invariants over instances and the canonical
+//!   fingerprint,
 //! * [`modes`] — mode-equivalence: fast-path arithmetic on/off and
 //!   parallel/serial execution must produce bit-identical solve reports,
 //! * [`warm`] — warm-equivalence: warm-start hints over fuzzed session
@@ -74,5 +77,6 @@ pub(crate) fn exact_solver_name(kind: ScheduleKind) -> &'static str {
         ScheduleKind::Splittable => "exact-splittable",
         ScheduleKind::Preemptive => "exact-preemptive",
         ScheduleKind::NonPreemptive => "exact-nonpreemptive",
+        ScheduleKind::Moldable => "exact-moldable",
     }
 }

@@ -18,13 +18,31 @@
 //!   never *increase* the optimum: scheduling the copy on the fresh
 //!   machines mirrors the original schedule, so `OPT' ≤ OPT` in every
 //!   model (the converse inequality is not a theorem — mixing copies may
-//!   help — so only this direction is asserted).
+//!   help — so only this direction is asserted),
+//! * **dominated-shape dropping** — removing a shape `(k_b, t_b)` from a
+//!   moldable menu that also contains `(k_a, t_a)` with `k_a ≤ k_b` and
+//!   `t_a ≤ t_b` never changes the moldable optimum: any schedule choosing
+//!   the dominated shape can choose the dominating one on a subset of the
+//!   same machines without finishing later, and removing an option can
+//!   never *decrease* the optimum.
+//!
+//! All transforms carry the `JobShapes` extension slot: a shaped job keeps
+//! its menu under relabelling and duplication, and scaling multiplies every
+//! shape time alongside the processing time.
 
 use crate::certifier::{certify, Verdict};
 use crate::oracle::{run_all_solvers, Disagreement, OracleOptions, OracleReport};
-use ccs_core::{Guarantee, Instance, InstanceBuilder, Rational, ScheduleKind, SolveContext};
+use ccs_core::{
+    Guarantee, Instance, InstanceBuilder, JobShape, ModelSpec, Rational, ScheduleKind, SolveContext,
+};
 use ccs_engine::Engine;
 use ccs_gen::rng::Rng;
+
+/// The declared shape menu of a job, or the empty slice for jobs without
+/// one (the builder treats an empty slice as "no declared menu").
+fn declared(inst: &Instance, job: usize) -> &[JobShape] {
+    inst.declared_shapes(job).unwrap_or(&[])
+}
 
 /// Permutes the jobs of `inst` and injectively renames its class labels
 /// (seeded, deterministic).
@@ -41,7 +59,7 @@ pub fn relabel(inst: &Instance, seed: u64) -> Instance {
         // Odd multiplier: a bijection on u32, so distinct labels stay
         // distinct.
         let renamed = label.wrapping_mul(0x9E37_79B1).wrapping_add(17);
-        builder = builder.job(inst.processing_time(job), renamed);
+        builder = builder.job_shaped(inst.processing_time(job), renamed, declared(inst, job));
     }
     builder.build().expect("relabelling preserves validity")
 }
@@ -53,9 +71,14 @@ pub fn scale(inst: &Instance, factor: u64) -> Option<Instance> {
     assert!(factor > 0, "scaling factor must be positive");
     let mut builder = InstanceBuilder::new(inst.machines(), inst.class_slots());
     for job in 0..inst.num_jobs() {
-        builder = builder.job(
+        let shapes = declared(inst, job)
+            .iter()
+            .map(|&(k, t)| Some((k, t.checked_mul(factor)?)))
+            .collect::<Option<Vec<JobShape>>>()?;
+        builder = builder.job_shaped(
             inst.processing_time(job).checked_mul(factor)?,
             inst.class_label(inst.class_of(job)),
+            &shapes,
         );
     }
     Some(builder.build().expect("scaling preserves validity"))
@@ -68,13 +91,51 @@ pub fn duplicate(inst: &Instance) -> Option<Instance> {
     let mut builder = InstanceBuilder::new(inst.machines().checked_mul(2)?, inst.class_slots());
     for _copy in 0..2 {
         for job in 0..inst.num_jobs() {
-            builder = builder.job(
+            builder = builder.job_shaped(
                 inst.processing_time(job),
                 inst.class_label(inst.class_of(job)),
+                declared(inst, job),
             );
         }
     }
     Some(builder.build().expect("duplication preserves validity"))
+}
+
+/// Removes the first *dominated* shape — a menu entry `(k_b, t_b)` whose
+/// menu also contains `(k_a, t_a)` with `k_a ≤ k_b`, `t_a ≤ t_b` and
+/// `(k_a, t_a) ≠ (k_b, t_b)` — from the first job carrying one.  `None`
+/// when no menu contains a dominated shape.  Dominating shapes always
+/// include a `k = 1` entry whenever the dominated one had `k = 1`, so the
+/// menu's mandatory sequential alternative survives.
+pub fn drop_dominated_shape(inst: &Instance) -> Option<Instance> {
+    let mut target: Option<(usize, usize)> = None;
+    'jobs: for job in 0..inst.num_jobs() {
+        let menu = declared(inst, job);
+        for (b_idx, &(kb, tb)) in menu.iter().enumerate() {
+            let dominated = menu
+                .iter()
+                .enumerate()
+                .any(|(a_idx, &(ka, ta))| a_idx != b_idx && ka <= kb && ta <= tb);
+            if dominated {
+                target = Some((job, b_idx));
+                break 'jobs;
+            }
+        }
+    }
+    let (drop_job, drop_idx) = target?;
+    let mut builder = InstanceBuilder::new(inst.machines(), inst.class_slots());
+    for job in 0..inst.num_jobs() {
+        let mut shapes = declared(inst, job).to_vec();
+        if job == drop_job {
+            shapes.remove(drop_idx);
+        }
+        builder = builder.job_shaped(
+            inst.processing_time(job),
+            inst.class_label(inst.class_of(job)),
+            &shapes,
+        );
+    }
+    Some(builder.build().expect("shape dropping preserves validity"))
 }
 
 /// The exact optimum of a model under the per-solver budget (`None` when
@@ -111,14 +172,10 @@ pub fn metamorphic_check_with(
 ) -> Vec<Disagreement> {
     let mut findings = Vec::new();
 
-    // The original optima anchor all three invariants; compute them once.
-    let original_optima: [Option<Rational>; 3] = {
-        let mut optima = [None; 3];
-        for kind in ScheduleKind::ALL {
-            optima[crate::oracle::model_index(kind)] = exact_optimum(engine, inst, kind, options);
-        }
-        optima
-    };
+    // The original optima anchor every invariant; compute them once.
+    let original_optima: Vec<Option<Rational>> = ModelSpec::all()
+        .map(|spec| exact_optimum(engine, inst, spec.kind, options))
+        .collect();
     let original = |kind: ScheduleKind| original_optima[crate::oracle::model_index(kind)];
 
     // --- Relabelling. ------------------------------------------------------
@@ -134,7 +191,7 @@ pub fn metamorphic_check_with(
             ),
         });
     }
-    for kind in ScheduleKind::ALL {
+    for kind in ModelSpec::all().map(|spec| spec.kind) {
         let (Some(original), Some(relabelled)) = (
             original(kind),
             exact_optimum(engine, &permuted, kind, options),
@@ -165,8 +222,8 @@ pub fn metamorphic_check_with(
             found.check = format!("metamorphic-scale/{}", found.check);
             found
         }));
-        let mut scaled_optima: [Option<Rational>; 3] = [None, None, None];
-        for kind in ScheduleKind::ALL {
+        let mut scaled_optima: Vec<Option<Rational>> = vec![None; ModelSpec::all().count()];
+        for kind in ModelSpec::all().map(|spec| spec.kind) {
             let scaled_opt = runs
                 .iter()
                 .find(|run| run.name == crate::exact_solver_name(kind))
@@ -202,11 +259,31 @@ pub fn metamorphic_check_with(
         }
     }
 
+    // --- Dominated-shape dropping (moldable menus only). -------------------
+    if let Some(pruned) = drop_dominated_shape(inst) {
+        let kind = ScheduleKind::Moldable;
+        if let (Some(original), Some(pruned_opt)) = (
+            original(kind),
+            exact_optimum(engine, &pruned, kind, options),
+        ) {
+            if original != pruned_opt {
+                findings.push(Disagreement {
+                    solver: crate::exact_solver_name(kind).to_string(),
+                    check: "metamorphic-drop-dominated-shape".to_string(),
+                    detail: format!(
+                        "moldable optimum {original} changed to {pruned_opt} after \
+                         dropping a dominated shape"
+                    ),
+                });
+            }
+        }
+    }
+
     // --- Duplication (skipped when 2·m would overflow u64). ----------------
     let Some(doubled) = duplicate(inst) else {
         return findings;
     };
-    for kind in ScheduleKind::ALL {
+    for kind in ModelSpec::all().map(|spec| spec.kind) {
         let (Some(original), Some(dup)) = (
             original(kind),
             exact_optimum(engine, &doubled, kind, options),
@@ -257,6 +334,47 @@ mod tests {
     }
 
     #[test]
+    fn transforms_carry_shape_menus() {
+        let inst = InstanceBuilder::new(3, 2)
+            .job_shaped(10, 0, &[(1, 10), (2, 6), (3, 6)])
+            .job(7, 1)
+            .build()
+            .unwrap();
+
+        let permuted = relabel(&inst, 5);
+        assert!(permuted.has_shapes());
+        assert_eq!(permuted.fingerprint(), inst.fingerprint());
+
+        let scaled = scale(&inst, 4).unwrap();
+        let shaped_job = (0..scaled.num_jobs())
+            .find(|&j| scaled.declared_shapes(j).is_some())
+            .unwrap();
+        assert_eq!(
+            scaled.declared_shapes(shaped_job).unwrap(),
+            &[(1, 40), (2, 24), (3, 24)]
+        );
+
+        let doubled = duplicate(&inst).unwrap();
+        let shaped_count = (0..doubled.num_jobs())
+            .filter(|&j| doubled.declared_shapes(j).is_some())
+            .count();
+        assert_eq!(shaped_count, 2);
+
+        // (2, 6) dominates (3, 6): dropping the wider twin must keep the
+        // rest of the menu intact.
+        let pruned = drop_dominated_shape(&inst).unwrap();
+        let menu = (0..pruned.num_jobs())
+            .find_map(|j| pruned.declared_shapes(j))
+            .unwrap();
+        assert_eq!(menu, &[(1, 10), (2, 6)]);
+
+        // No menu, or no dominated entry: nothing to drop.
+        let plain = instance_from_pairs(2, 2, &[(3, 0), (4, 1)]).unwrap();
+        assert!(drop_dominated_shape(&plain).is_none());
+        assert!(drop_dominated_shape(&pruned).is_none());
+    }
+
+    #[test]
     fn registry_satisfies_the_invariants_on_a_sweep() {
         let engine = Engine::new();
         let mut stream = ccs_gen::fuzz::FuzzStream::new(11);
@@ -265,5 +383,22 @@ mod tests {
             let findings = metamorphic_check(&engine, &inst, case);
             assert!(findings.is_empty(), "case {case}: {findings:?}");
         }
+    }
+
+    #[test]
+    fn registry_satisfies_the_invariants_on_shaped_instances() {
+        // The moldable lane of every invariant — relabelling, scaling,
+        // duplication and dominated-shape dropping — on instances that
+        // actually declare menus.
+        let engine = Engine::new();
+        let mut stream = ccs_gen::fuzz::MoldableFuzzStream::new(17);
+        let mut shaped = 0;
+        for case in 0..6 {
+            let inst = stream.next().expect("infinite stream");
+            shaped += usize::from(inst.has_shapes());
+            let findings = metamorphic_check(&engine, &inst, case);
+            assert!(findings.is_empty(), "case {case}: {findings:?}");
+        }
+        assert!(shaped >= 2, "only {shaped}/6 instances were shaped");
     }
 }

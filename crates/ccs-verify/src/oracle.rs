@@ -25,7 +25,9 @@
 
 use crate::certifier::{certify, Verdict};
 use ccs_core::solver::SolveReport;
-use ccs_core::{AnySchedule, CcsError, Guarantee, Instance, Rational, ScheduleKind, SolveContext};
+use ccs_core::{
+    AnySchedule, CcsError, Guarantee, Instance, ModelSpec, Rational, ScheduleKind, SolveContext,
+};
 use ccs_engine::Engine;
 use std::time::Duration;
 
@@ -167,10 +169,12 @@ pub fn differential_check_with(
     let mut report = OracleReport::default();
     let runs = run_all_solvers(engine, inst, options, &mut report);
 
-    // Establish the optimum per model: all exact solvers of a model must
-    // agree bit-for-bit; their common value is the model's ground truth.
-    let mut optima: [Option<Rational>; 3] = [None, None, None];
-    for kind in ScheduleKind::ALL {
+    // Establish the optimum per registered model: all exact solvers of a
+    // model must agree bit-for-bit; their common value is the model's
+    // ground truth.
+    let mut optima: Vec<Option<Rational>> = vec![None; ModelSpec::all().count()];
+    for spec in ModelSpec::all() {
+        let kind = spec.kind;
         let exacts: Vec<&SolverRun> = runs
             .iter()
             .filter(|run| run.kind == kind && run.guarantee == Guarantee::Exact)
@@ -197,24 +201,50 @@ pub fn differential_check_with(
         }
     }
 
-    // Model hierarchy: a preemptive schedule induces a splittable one, a
-    // non-preemptive schedule induces both.
-    if let (Some(split), Some(pre)) = (optima[0], optima[1]) {
-        if split > pre {
-            report.disagreements.push(Disagreement {
-                solver: crate::exact_solver_name(ScheduleKind::Splittable).to_string(),
-                check: "model-hierarchy".to_string(),
-                detail: format!("OPT_splittable {split} > OPT_preemptive {pre}"),
-            });
+    // Model hierarchy, walked over the registry's relaxation edges instead
+    // of a hardcoded 3-chain: an edge `spec → relaxed` declares
+    // `OPT_relaxed ≤ OPT_spec` on every instance.
+    for spec in ModelSpec::all() {
+        let Some(opt) = optima[model_index(spec.kind)] else {
+            continue;
+        };
+        for &relaxed in spec.relaxations {
+            let Some(relaxed_opt) = optima[model_index(relaxed)] else {
+                continue;
+            };
+            if relaxed_opt > opt {
+                report.disagreements.push(Disagreement {
+                    solver: crate::exact_solver_name(relaxed).to_string(),
+                    check: "model-hierarchy".to_string(),
+                    detail: format!(
+                        "OPT_{} {relaxed_opt} > OPT_{} {opt}",
+                        ModelSpec::of(relaxed).id,
+                        spec.id
+                    ),
+                });
+            }
         }
     }
-    if let (Some(pre), Some(non)) = (optima[1], optima[2]) {
-        if pre > non {
-            report.disagreements.push(Disagreement {
-                solver: crate::exact_solver_name(ScheduleKind::Preemptive).to_string(),
-                check: "model-hierarchy".to_string(),
-                detail: format!("OPT_preemptive {pre} > OPT_non-preemptive {non}"),
-            });
+
+    // On unshaped instances the moldable extension *is* the non-preemptive
+    // model (every default menu is the sequential shape), so their optima
+    // must agree exactly — a cross-model differential check the relaxation
+    // edges cannot express.
+    if !inst.has_shapes() {
+        if let (Some(moldable), Some(non)) = (
+            optima[model_index(ScheduleKind::Moldable)],
+            optima[model_index(ScheduleKind::NonPreemptive)],
+        ) {
+            if moldable != non {
+                report.disagreements.push(Disagreement {
+                    solver: crate::exact_solver_name(ScheduleKind::Moldable).to_string(),
+                    check: "unshaped-moldable-equivalence".to_string(),
+                    detail: format!(
+                        "OPT_moldable {moldable} differs from OPT_non-preemptive {non} \
+                         on an unshaped instance"
+                    ),
+                });
+            }
         }
     }
 
@@ -237,11 +267,9 @@ pub fn differential_check_with(
 }
 
 pub(crate) fn model_index(kind: ScheduleKind) -> usize {
-    match kind {
-        ScheduleKind::Splittable => 0,
-        ScheduleKind::Preemptive => 1,
-        ScheduleKind::NonPreemptive => 2,
-    }
+    ModelSpec::all()
+        .position(|spec| spec.kind == kind)
+        .expect("ModelSpec::of is total, so every kind has a registry position")
 }
 
 #[cfg(test)]
@@ -281,6 +309,23 @@ mod tests {
         assert!(report.agreed(), "{:?}", report.disagreements);
         assert_eq!(report.solvers_run, 0);
         assert_eq!(report.skipped.len(), engine.registry().len());
+    }
+
+    #[test]
+    fn moldable_lane_agrees_on_shaped_instances() {
+        // The moldable differential lane: the brute-force `exact-moldable`
+        // establishes the ground truth and `moldable-list` must certify
+        // against it, on instances that actually declare shape menus.
+        let engine = Engine::new();
+        let mut stream = ccs_gen::fuzz::MoldableFuzzStream::new(23);
+        let mut shaped = 0;
+        for _ in 0..16 {
+            let inst = stream.next().expect("infinite stream");
+            shaped += usize::from(inst.has_shapes());
+            let report = differential_check(&engine, &inst);
+            assert!(report.agreed(), "{:?}", report.disagreements);
+        }
+        assert!(shaped >= 4, "only {shaped}/16 instances were shaped");
     }
 
     #[test]

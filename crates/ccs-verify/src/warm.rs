@@ -127,10 +127,7 @@ fn random_delta(rng: &mut Rng, session: &SessionInstance) -> InstanceDelta {
             let count = rng.range_usize(1, 4);
             InstanceDelta::AddJobs(
                 (0..count)
-                    .map(|_| NewJob {
-                        processing: rng.range_u64(1, 40),
-                        class: rng.below_u32(4),
-                    })
+                    .map(|_| NewJob::new(rng.range_u64(1, 40), rng.below_u32(4)))
                     .collect(),
             )
         }
@@ -152,10 +149,12 @@ fn random_delta(rng: &mut Rng, session: &SessionInstance) -> InstanceDelta {
 }
 
 /// A random solve request: a rotating placement model, alternating between
-/// the exact tier and an `ε`-scheme (both warm-start consumers).
+/// the exact tier and an `ε`-scheme (both warm-start consumers).  Moldable
+/// requests stay on the exact tier — the extension has no `ε`-scheme.
 fn request_for(rng: &mut Rng, options: &OracleOptions) -> SolveRequest {
-    let model = ScheduleKind::ALL[rng.below_usize(3)];
-    let mut request = if rng.gen_bool(0.5) {
+    let specs: Vec<_> = ccs_core::ModelSpec::all().collect();
+    let model = specs[rng.below_usize(specs.len())].kind;
+    let mut request = if rng.gen_bool(0.5) || model == ScheduleKind::Moldable {
         SolveRequest::exact(model)
     } else {
         SolveRequest::epsilon(model, 0.5).expect("static epsilon is valid")

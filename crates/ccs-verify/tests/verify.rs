@@ -80,7 +80,7 @@ fn engine_solutions_certify_cleanly() {
     let mut stream = ccs_gen::fuzz::FuzzStream::new(77);
     for _ in 0..10 {
         let inst = stream.next().expect("infinite stream");
-        for kind in ScheduleKind::ALL {
+        for kind in ccs_core::ModelSpec::all().map(|spec| spec.kind) {
             let request = SolveRequest::auto(kind).with_validate(true);
             let Ok(solution) = engine.solve(&inst, &request) else {
                 continue;

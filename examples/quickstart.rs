@@ -38,7 +38,7 @@ fn main() {
     );
 
     // One call per placement model; the portfolio picks the algorithm.
-    for kind in ScheduleKind::ALL {
+    for kind in ModelSpec::all().map(|spec| spec.kind) {
         let sol = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
         sol.report.validate(&inst).unwrap();
         println!(

@@ -126,11 +126,11 @@ fn json_roundtrip_through_the_public_api() {
 #[test]
 fn engine_reaches_every_algorithm_family_through_the_prelude() {
     let engine = Engine::new();
-    // Twelve solvers: three approximations, three PTASes, three exact
-    // solvers, three baselines.
-    assert_eq!(engine.registry().len(), 12);
+    // Fourteen solvers: three approximations, three PTASes, four exact
+    // solvers, four baselines (incl. the moldable pair).
+    assert_eq!(engine.registry().len(), 14);
     let inst = ccs_gen::uniform(&GenParams::new(60, 8, 12, 3), 11);
-    for kind in ScheduleKind::ALL {
+    for kind in ModelSpec::all().map(|spec| spec.kind) {
         let sol = engine.solve(&inst, &SolveRequest::auto(kind)).unwrap();
         sol.report.validate(&inst).unwrap();
         assert_eq!(sol.report.schedule.kind(), kind);
