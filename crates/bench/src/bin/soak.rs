@@ -1,0 +1,149 @@
+//! Trace-driven soak driver: the system-level macro-benchmark.
+//!
+//! Synthesises a deterministic request trace (`ccs_gen::trace`) and replays
+//! it through both deployment shapes — in-process (`Engine::submit` +
+//! inline session frames) and over real TCP through the `ccs-netd` front
+//! end — recording p50/p95/p99 latency, throughput, cache hit rate,
+//! warm-start hit rate and shed rate into a ccs-bench/1 report (`soak`
+//! group, solvers `engine` / `netd`):
+//!
+//! ```text
+//! cargo run --release -p ccs-bench --bin soak -- --quick --json soak.json
+//! cargo run --release -p ccs-bench --bin soak -- \
+//!     --quick --check BENCH_baseline.json --check-ratio 4.0
+//! ```
+//!
+//! `--quick` replays the small CI smoke tier (`TraceParams::quick`);
+//! without it the sustained tier runs (`TraceParams::sustained`, minutes).
+//! Extra flags: `--seed <n>`, `--workers <n>`, `--conns <n>`,
+//! `--cache <entries>`, `--no-pace` (ignore arrival timestamps, replay at
+//! maximum speed), `--engine-only` / `--netd-only` (skip the other path —
+//! note a baseline `--check` then fails the skipped path's cases as
+//! missing coverage).
+
+use ccs_bench::report::BenchReport;
+use ccs_bench::soak::{replay_engine, replay_netd, SoakConfig, SoakOutcome};
+use ccs_bench::{finish_report, BenchOpts};
+use ccs_gen::trace::{Trace, TraceParams};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match BenchOpts::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_solvers {
+        print!(
+            "{}",
+            ccs_bench::render_solver_list(&ccs_engine::Engine::new())
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Default seed chosen so the quick tier's chain mutations include warm
+    // hits as well as misses: the baseline's warm-hit rate stays a live
+    // signal instead of a structural zero.
+    let mut seed = 7u64;
+    let mut config = SoakConfig::default();
+    let mut engine_only = false;
+    let mut netd_only = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let number = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|raw| raw.parse().ok())
+                .ok_or_else(|| format!("{flag} requires a non-negative integer value"))
+        };
+        let parsed = match arg.as_str() {
+            "--seed" => number(&mut it, "--seed").map(|n| seed = n),
+            "--workers" => number(&mut it, "--workers").map(|n| config.workers = n.max(1) as usize),
+            "--conns" => number(&mut it, "--conns").map(|n| config.conns = n.max(1) as usize),
+            "--cache" => number(&mut it, "--cache").map(|n| config.cache = n as usize),
+            "--no-pace" => {
+                config.pace = false;
+                Ok(())
+            }
+            "--engine-only" => {
+                engine_only = true;
+                Ok(())
+            }
+            "--netd-only" => {
+                netd_only = true;
+                Ok(())
+            }
+            other => Err(format!("unrecognised argument '{other}'")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: soak [--quick] [--json <path>] [--check <baseline>] [--check-ratio <f>] \
+                 [--seed <n>] [--workers <n>] [--conns <n>] [--cache <entries>] [--no-pace] \
+                 [--engine-only] [--netd-only]"
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if engine_only && netd_only {
+        eprintln!("--engine-only and --netd-only exclude each other");
+        return ExitCode::from(2);
+    }
+
+    let (tier, params) = if opts.quick {
+        ("quick", TraceParams::quick())
+    } else {
+        ("sustained", TraceParams::sustained())
+    };
+    let label = format!("{tier}/{}", params.requests);
+    println!(
+        "== soak ({tier} tier, seed {seed}): {} events ({} pool solves, {} session frames), \
+         {} workers, cache {}, {} conns, pacing {}",
+        params.total_events(),
+        params.requests,
+        params.total_events() - params.requests,
+        config.workers,
+        config.cache,
+        config.conns,
+        if config.pace { "on" } else { "off" },
+    );
+    let trace = Trace::synthesize(&params, seed);
+
+    let mut report = BenchReport::new(opts.quick);
+    if !netd_only {
+        let outcome = replay_engine(&trace, &config);
+        print_summary("engine", &outcome);
+        report.extend([outcome.to_case("engine", &label)]);
+    }
+    if !engine_only {
+        match replay_netd(&trace, &config) {
+            Ok(outcome) => {
+                print_summary("netd", &outcome);
+                report.extend([outcome.to_case("netd", &label)]);
+            }
+            Err(e) => {
+                eprintln!("netd replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    finish_report(report, &opts)
+}
+
+fn print_summary(path: &str, outcome: &SoakOutcome) {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "soak {path:<8} p50 {:>9.3} ms  p95 {:>9.3} ms  p99 {:>9.3} ms  {:>10.1} req/s  \
+         cache {:>5.1}%  warm {:>5.1}%  shed {:>5.1}%",
+        ms(outcome.percentile_ns(50)),
+        ms(outcome.percentile_ns(95)),
+        ms(outcome.percentile_ns(99)),
+        outcome.throughput_rps(),
+        outcome.counters.cache_hit_rate().unwrap_or(0.0) * 100.0,
+        outcome.counters.warm_hit_rate().unwrap_or(0.0) * 100.0,
+        outcome.counters.shed_rate() * 100.0,
+    );
+    println!("soak {path:<8} {}", outcome.counters.line());
+}

@@ -324,6 +324,11 @@ impl Harness {
             makespan: None,
             lower_bound: None,
             ratio: None,
+            p99_ns: None,
+            throughput_rps: None,
+            cache_hit_rate: None,
+            warm_hit_rate: None,
+            shed_rate: None,
         }
     }
 

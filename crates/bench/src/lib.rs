@@ -9,6 +9,9 @@
 //! * [`report`] — the JSON artifact schema ([`BenchReport`], [`BenchCase`]),
 //! * [`baseline`] — the comparator that diffs a run against the committed
 //!   `BENCH_baseline.json` and flags time/quality regressions,
+//! * [`soak`] — the trace-driven macro replay (`soak` bin): a
+//!   `ccs_gen::trace` request stream through the whole service stack,
+//!   in-process and over TCP, with latency-percentile/throughput cases,
 //! * [`Family`] — the workload families every experiment sweeps.
 
 #![forbid(unsafe_code)]
@@ -17,6 +20,7 @@
 pub mod baseline;
 pub mod harness;
 pub mod report;
+pub mod soak;
 
 pub use baseline::{compare, CompareConfig, Comparison, Verdict};
 pub use harness::{finish_report, render_solver_list, BenchOpts, Harness};

@@ -53,6 +53,21 @@ pub struct BenchCase {
     /// `makespan / lower_bound` — an upper bound on the approximation ratio
     /// actually achieved on this case (`None` when the lower bound is zero).
     pub ratio: Option<f64>,
+    /// 99th-percentile end-to-end latency, in nanoseconds (soak cases:
+    /// per-request latencies over one trace replay, where `min_ns`,
+    /// `median_ns` and `p95_ns` hold the latency min/p50/p95 and `iters`
+    /// the completed-request count).
+    pub p99_ns: Option<u64>,
+    /// Completed requests per second of replay wall-clock (soak cases).
+    pub throughput_rps: Option<f64>,
+    /// Solution-cache hit rate over the replay, `hits / (hits + misses)`
+    /// (soak cases with caching enabled).
+    pub cache_hit_rate: Option<f64>,
+    /// Warm-start hit rate over the replay's hinted solves (soak cases).
+    pub warm_hit_rate: Option<f64>,
+    /// Fraction of requests shed by admission control (soak cases through
+    /// `ccs-netd`; shed requests are excluded from the latency fields).
+    pub shed_rate: Option<f64>,
 }
 
 impl BenchCase {
@@ -99,6 +114,21 @@ impl BenchCase {
         if let Some(ratio) = self.ratio {
             obj.set("ratio", ratio);
         }
+        if let Some(p99_ns) = self.p99_ns {
+            obj.set("p99_ns", p99_ns);
+        }
+        if let Some(throughput_rps) = self.throughput_rps {
+            obj.set("throughput_rps", throughput_rps);
+        }
+        if let Some(cache_hit_rate) = self.cache_hit_rate {
+            obj.set("cache_hit_rate", cache_hit_rate);
+        }
+        if let Some(warm_hit_rate) = self.warm_hit_rate {
+            obj.set("warm_hit_rate", warm_hit_rate);
+        }
+        if let Some(shed_rate) = self.shed_rate {
+            obj.set("shed_rate", shed_rate);
+        }
         obj
     }
 
@@ -133,6 +163,11 @@ impl BenchCase {
             makespan: value.get("makespan").and_then(JsonValue::as_f64),
             lower_bound: value.get("lower_bound").and_then(JsonValue::as_f64),
             ratio: value.get("ratio").and_then(JsonValue::as_f64),
+            p99_ns: value.get("p99_ns").and_then(JsonValue::as_u64),
+            throughput_rps: value.get("throughput_rps").and_then(JsonValue::as_f64),
+            cache_hit_rate: value.get("cache_hit_rate").and_then(JsonValue::as_f64),
+            warm_hit_rate: value.get("warm_hit_rate").and_then(JsonValue::as_f64),
+            shed_rate: value.get("shed_rate").and_then(JsonValue::as_f64),
         })
     }
 }
@@ -248,6 +283,11 @@ pub(crate) mod tests {
             makespan: Some(20.0),
             lower_bound: Some(16.0),
             ratio: Some(1.25),
+            p99_ns: None,
+            throughput_rps: None,
+            cache_hit_rate: None,
+            warm_hit_rate: None,
+            shed_rate: None,
         }
     }
 
@@ -268,6 +308,38 @@ pub(crate) mod tests {
         assert_eq!(back.cases[0].size, Some(100));
         assert_eq!(back.cases[1].family, None);
         assert_eq!(back.cases[1].ratio, None);
+    }
+
+    #[test]
+    fn soak_fields_round_trip_and_stay_optional() {
+        let mut soak = sample_case("engine", "mixed/240", 4_000_000);
+        soak.group = "soak".to_string();
+        soak.makespan = None;
+        soak.lower_bound = None;
+        soak.ratio = None;
+        soak.p99_ns = Some(9_000_000);
+        soak.throughput_rps = Some(1250.5);
+        soak.cache_hit_rate = Some(0.625);
+        soak.warm_hit_rate = Some(0.5);
+        soak.shed_rate = Some(0.0);
+        let mut report = BenchReport::new(true);
+        report.extend([soak.clone(), sample_case("a", "uniform/100", 1_000)]);
+        let text = report.to_json_string();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.cases[0].p99_ns, Some(9_000_000));
+        assert_eq!(back.cases[0].shed_rate, Some(0.0));
+        // Non-soak cases omit the members entirely.
+        assert_eq!(back.cases[1].p99_ns, None);
+        let second = report
+            .to_json_value()
+            .get("cases")
+            .unwrap()
+            .as_array()
+            .unwrap()[1]
+            .clone();
+        assert!(second.get("p99_ns").is_none());
+        assert!(second.get("throughput_rps").is_none());
     }
 
     #[test]

@@ -194,7 +194,50 @@ struct Admission {
     connections: u64,
     sessions_opened: u64,
     sessions_active: u64,
+    stats_ticks: u64,
     tenants: HashMap<String, Tenant>,
+}
+
+/// Schedule of the periodic stderr stats line, anchored to a fixed grid
+/// `epoch + k·every`.
+///
+/// Firing late never shifts later deadlines (rescheduling from the fire
+/// time would let every delay accumulate as drift), and a stalled loop —
+/// e.g. one blocked behind a long inline session solve — skips the
+/// intervals it missed instead of emitting a catch-up burst: after a fire
+/// the next deadline is the first grid point strictly in the future.
+struct StatsTicker {
+    next: Instant,
+    every: Duration,
+    ticks: u64,
+}
+
+impl StatsTicker {
+    fn new(epoch: Instant, every: Duration) -> StatsTicker {
+        StatsTicker {
+            next: epoch + every,
+            every,
+            ticks: 0,
+        }
+    }
+
+    /// Whether a line is due at `now`; at most one fire per call.  On a
+    /// fire the deadline advances along the grid past `now`.
+    fn due(&mut self, now: Instant) -> bool {
+        if now < self.next {
+            return false;
+        }
+        self.ticks += 1;
+        while self.next <= now {
+            self.next += self.every;
+        }
+        true
+    }
+
+    /// Lines fired so far.
+    fn ticks(&self) -> u64 {
+        self.ticks
+    }
 }
 
 /// The TCP front end: bind, then [`NetServer::run`] the poll loop to
@@ -268,9 +311,13 @@ impl NetServer {
             connections: 0,
             sessions_opened: 0,
             sessions_active: 0,
+            stats_ticks: 0,
             tenants: HashMap::new(),
         };
-        let mut next_stats = self.config.stats_every.map(|every| Instant::now() + every);
+        let mut ticker = self
+            .config
+            .stats_every
+            .map(|every| StatsTicker::new(Instant::now(), every));
         loop {
             let draining = self.draining.load(Ordering::Acquire);
             let mut progress = false;
@@ -330,10 +377,10 @@ impl NetServer {
                 !gone
             });
 
-            if let (Some(every), Some(at)) = (self.config.stats_every, next_stats) {
-                if Instant::now() >= at {
+            if let Some(ticker) = &mut ticker {
+                if ticker.due(Instant::now()) {
+                    admission.stats_ticks = ticker.ticks();
                     eprintln!("{}", stats_line(&self.stats(&admission, conns.len())));
-                    next_stats = Some(at + every);
                 }
             }
 
@@ -385,6 +432,7 @@ fn service_stats(engine: &Engine, admission: &Admission, active: usize) -> Servi
         shed_quota: admission.shed_quota,
         sessions_opened: admission.sessions_opened,
         sessions_active: admission.sessions_active,
+        stats_ticks: admission.stats_ticks,
         tenants,
     }
 }
@@ -411,9 +459,10 @@ fn release_sessions(conn: &mut Conn, admission: &mut Admission) {
 /// nothing — responses travel on the sockets).
 fn stats_line(stats: &ServiceStats) -> String {
     let mut line = format!(
-        "netd stats: conns={} active={} admitted={} completed={} inflight={} \
+        "netd stats: ticks={} conns={} active={} admitted={} completed={} inflight={} \
          pool_queue={} shed_overload={} shed_quota={} solves={} cache_hits={} cache_misses={} \
          warm_hits={} warm_misses={} sessions_open={} sessions_opened={}",
+        stats.stats_ticks,
         stats.connections,
         stats.active_connections,
         stats.admitted,
@@ -774,6 +823,7 @@ mod tests {
             ..ServiceStats::default()
         };
         let line = stats_line(&stats);
+        assert!(line.contains("ticks=0"));
         assert!(line.contains("admitted=7"));
         assert!(line.contains("inflight=2"));
         assert!(line.contains("shed_overload=2"));
@@ -782,5 +832,37 @@ mod tests {
         assert!(line.contains("sessions_opened=3"));
         assert!(line.contains("tenant[-]=4/3/1"));
         assert!(line.contains("tenant[acme]=3/2/0"));
+    }
+
+    #[test]
+    fn stats_ticker_holds_the_grid_under_late_fires() {
+        let epoch = Instant::now();
+        let every = Duration::from_millis(10);
+        let mut ticker = StatsTicker::new(epoch, every);
+        assert!(!ticker.due(epoch));
+        assert!(!ticker.due(epoch + Duration::from_millis(9)));
+        // Fires 4ms late; the next deadline stays on the grid (20ms), not
+        // 24ms — rescheduling from the fire time would drift by 4ms here
+        // and accumulate every interval.
+        assert!(ticker.due(epoch + Duration::from_millis(14)));
+        assert_eq!(ticker.ticks(), 1);
+        assert!(!ticker.due(epoch + Duration::from_millis(19)));
+        assert!(ticker.due(epoch + Duration::from_millis(20)));
+        assert_eq!(ticker.ticks(), 2);
+    }
+
+    #[test]
+    fn stats_ticker_skips_missed_intervals_without_a_burst() {
+        let epoch = Instant::now();
+        let every = Duration::from_millis(10);
+        let mut ticker = StatsTicker::new(epoch, every);
+        // A stall past five deadlines yields ONE line, then the grid
+        // resumes at the next future point (60ms).
+        let after_stall = epoch + Duration::from_millis(57);
+        assert!(ticker.due(after_stall));
+        assert_eq!(ticker.ticks(), 1);
+        assert!(!ticker.due(after_stall + Duration::from_millis(2)));
+        assert!(ticker.due(epoch + Duration::from_millis(60)));
+        assert_eq!(ticker.ticks(), 2);
     }
 }

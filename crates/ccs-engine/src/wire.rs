@@ -354,9 +354,15 @@ fn budget_ms_from_json(value: &JsonValue) -> Result<Duration> {
             Ok(Duration::from_millis(ms))
         }
         JsonValue::Float(ms) if ms.is_finite() && *ms >= 0.0 => {
-            // Saturating `as` keeps absurdly large fractional budgets from
-            // wrapping; ~584 years of nanoseconds is budget enough.
-            Ok(Duration::from_nanos((ms * 1e6).round() as u64))
+            // A fractional budget whose nanosecond count does not fit u64
+            // gets the same structured error as an oversized integer —
+            // previously the `as u64` cast silently saturated it to ~584
+            // years, accepting budgets the integer arm rejects.
+            let nanos = (ms * 1e6).round();
+            if nanos >= u64::MAX as f64 {
+                return Err(err("'budget_ms' exceeds the supported range"));
+            }
+            Ok(Duration::from_nanos(nanos as u64))
         }
         _ => Err(err("'budget_ms' must be a non-negative number")),
     }
@@ -1207,6 +1213,10 @@ pub struct ServiceStats {
     pub sessions_opened: u64,
     /// Sessions currently open.
     pub sessions_active: u64,
+    /// Periodic stderr stats lines emitted so far (`ccs-netd`'s
+    /// `--stats-every` ticker); zero when periodic stats are off or for
+    /// services without the ticker (`ccs-serve`).
+    pub stats_ticks: u64,
     /// Per-tenant counters, sorted by tenant label.  Only tenants that sent
     /// at least one request appear; the ledger is kept whether or not
     /// quotas are enforced, with untagged requests under the `""` tenant.
@@ -1266,6 +1276,7 @@ pub fn stats_response_to_json(id: &str, stats: &ServiceStats) -> JsonValue {
     payload.set("shed_quota", stats.shed_quota);
     payload.set("sessions_opened", stats.sessions_opened);
     payload.set("sessions_active", stats.sessions_active);
+    payload.set("stats_ticks", stats.stats_ticks);
     payload.set(
         "tenants",
         JsonValue::Array(
@@ -1351,6 +1362,7 @@ pub fn stats_response_from_json(value: &JsonValue) -> Result<(String, ServiceSta
             shed_quota: count("shed_quota")?,
             sessions_opened: count("sessions_opened")?,
             sessions_active: count("sessions_active")?,
+            stats_ticks: count("stats_ticks")?,
             tenants,
         },
     ))
@@ -1458,6 +1470,27 @@ mod tests {
             let back = request_from_line(&line).unwrap();
             assert_eq!(back.request.budget, req.request.budget, "{nanos}ns");
             assert_eq!(request_to_line(&back), line, "{nanos}ns canonical");
+        }
+    }
+
+    #[test]
+    fn oversized_budgets_error_in_both_numeric_forms() {
+        let inst = instance_from_pairs(1, 1, &[(4, 0)]).unwrap().to_json();
+        let with_budget = |budget: &str| {
+            format!(
+                r#"{{"schema":"ccs-wire/1","id":"x","instance":{inst},"model":"splittable","budget_ms":{budget}}}"#
+            )
+        };
+        // Just under 2⁶⁴ ns (≈ 1.8447e13 ms) still parses.
+        assert!(request_from_line(&with_budget("1.8e13")).is_ok());
+        // Beyond it, both numeric forms give the same structured error —
+        // the float arm used to saturate silently instead.
+        for budget in ["18446744073709551616", "1.9e13", "1e300"] {
+            let err = request_from_line(&with_budget(budget)).unwrap_err();
+            assert!(
+                err.to_string().contains("exceeds the supported range"),
+                "budget_ms {budget}: {err}"
+            );
         }
     }
 
@@ -1627,6 +1660,7 @@ mod tests {
             shed_quota: 1,
             sessions_opened: 3,
             sessions_active: 2,
+            stats_ticks: 6,
             tenants: vec![
                 TenantStats {
                     tenant: String::new(),

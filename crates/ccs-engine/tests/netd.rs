@@ -522,6 +522,40 @@ fn session_lifecycle_with_warm_solves_and_accounting() {
 }
 
 #[test]
+fn periodic_stats_ticker_fires_on_the_grid() {
+    let engine = Engine::new().with_workers(1);
+    let config = NetdConfig {
+        stats_every: Some(Duration::from_millis(25)),
+        ..NetdConfig::default()
+    };
+    let (addr, handle, join) = start(engine, config);
+    let (mut stream, mut reader) = connect(addr);
+
+    // Keep the loop mildly busy, then let the ticker run for ~8 intervals.
+    send_lines(&mut stream, &[quick_request("warm-up", None, 1)]);
+    let line = read_line(&mut reader).expect("response before EOF");
+    assert!(wire::response_from_line(&line).unwrap().outcome.is_ok());
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The wire stats frame reports the tick count the stderr lines carry.
+    send_lines(&mut stream, &[stats_frame("st")]);
+    let (_, stats) =
+        wire::stats_response_from_line(&read_line(&mut reader).expect("stats")).unwrap();
+    // Grid-anchored: ~200ms at 25ms per tick.  Loose lower/upper bounds
+    // absorb scheduler jitter, but a now-anchored (drifting) or bursty
+    // (catch-up) ticker would fall far outside them.
+    assert!(
+        (4..=10).contains(&stats.stats_ticks),
+        "expected ~8 ticks over 200ms at 25ms, got {}",
+        stats.stats_ticks
+    );
+
+    handle.drain();
+    let final_stats = join.join().expect("server thread");
+    assert!(final_stats.stats_ticks >= stats.stats_ticks);
+}
+
+#[test]
 fn malformed_lines_answer_without_killing_the_connection() {
     let engine = Engine::new().with_workers(1);
     let (addr, handle, join) = start(engine, NetdConfig::default());

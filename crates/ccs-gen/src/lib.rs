@@ -26,7 +26,9 @@
 //!   comparisons against the exact solvers,
 //! * [`fuzz`] — rotating-shape instance streams sized for the differential
 //!   oracle of `ccs-verify` (every instance stays within the exact solvers'
-//!   hard limits so the oracle always has a ground-truth optimum).
+//!   hard limits so the oracle always has a ground-truth optimum),
+//! * [`trace`] — deterministic request traces (Zipf-popular pool solves,
+//!   session delta chains, bursty arrivals) for the soak harness.
 //!
 //! All generators are deterministic given a seed.
 
@@ -35,6 +37,7 @@
 
 pub mod fuzz;
 pub mod rng;
+pub mod trace;
 
 use ccs_core::{Instance, InstanceBuilder};
 use rng::Rng;
@@ -121,29 +124,74 @@ pub fn uniform(params: &GenParams, seed: u64) -> Instance {
     build(params, jobs)
 }
 
-/// Draws a class index from a Zipf-like distribution with exponent `s` over
-/// `0..classes` using inverse transform sampling on the harmonic weights.
-fn zipf_class(rng: &mut Rng, classes: u32, s: f64) -> u32 {
-    let weights: Vec<f64> = (1..=classes).map(|k| 1.0 / (k as f64).powf(s)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut x = rng.unit_f64() * total;
-    for (idx, w) in weights.iter().enumerate() {
-        if x < *w {
-            return idx as u32;
+/// Inverse-transform sampler for a Zipf-like distribution with exponent `s`
+/// over `0..n`.
+///
+/// The harmonic weight table `1/k^s` is computed **once** at construction
+/// and folded into a cumulative sum; every draw is then one uniform variate
+/// plus a binary search (`O(log n)`).  The previous `zipf_class` helper
+/// rebuilt the `O(n)` `powf` weight table on *every* draw, which made
+/// anything sampling at scale — trace synthesis most of all — quadratic in
+/// the request count before a single solve ran.
+///
+/// Draws are *not* guaranteed bit-identical to the old per-draw
+/// subtraction walk: the walk compared the variate against sequentially
+/// rounded residuals, while the cumulative table rounds prefix sums, so a
+/// draw landing within an ulp of a class boundary may fold the other way.
+/// The affected committed artifact (`BENCH_baseline.json`, whose `zipf`,
+/// `data-placement` and `video-on-demand` family cases derive from these
+/// generators) was regenerated alongside this change.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cumulative[i]` = weight of classes `0..=i`; the last entry is the
+    /// total mass.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler over `0..n` (`n` is clamped to at least 1) with
+    /// exponent `s`.
+    pub fn new(n: u32, s: f64) -> ZipfSampler {
+        let n = n.max(1);
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += 1.0 / f64::from(k).powf(s);
+            cumulative.push(total);
         }
-        x -= w;
+        ZipfSampler { cumulative }
     }
-    classes - 1
+
+    /// The number of distinct values this sampler draws from.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Never empty — `new` clamps `n` to at least 1 (kept for the
+    /// conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one index: the first class whose cumulative weight exceeds a
+    /// uniform variate scaled to the total mass.
+    pub fn draw(&self, rng: &mut Rng) -> u32 {
+        let total = *self.cumulative.last().expect("sampler is never empty");
+        let x = rng.unit_f64() * total;
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        idx.min(self.cumulative.len() - 1) as u32
+    }
 }
 
 /// Jobs with uniformly random processing times but Zipf-distributed classes
 /// (exponent 1.1): a few very popular classes and a long tail.
 pub fn zipf_classes(params: &GenParams, seed: u64) -> Instance {
     let mut rng = Rng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(params.classes, 1.1);
     let jobs = (0..params.jobs)
         .map(|_| {
             let p = rng.range_u64(params.p_min, params.p_max);
-            let c = clamp_class(zipf_class(&mut rng, params.classes, 1.1), params);
+            let c = clamp_class(zipf.draw(&mut rng), params);
             (p, c)
         })
         .collect();
@@ -155,6 +203,7 @@ pub fn zipf_classes(params: &GenParams, seed: u64) -> Instance {
 /// operation times are short with occasional long analytical queries.
 pub fn data_placement(params: &GenParams, seed: u64) -> Instance {
     let mut rng = Rng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(params.classes, 0.9);
     let span = (params.p_max - params.p_min).max(1);
     let jobs = (0..params.jobs)
         .map(|_| {
@@ -164,7 +213,7 @@ pub fn data_placement(params: &GenParams, seed: u64) -> Instance {
             } else {
                 params.p_min + rng.range_u64(span / 2, span)
             };
-            let c = clamp_class(zipf_class(&mut rng, params.classes, 0.9), params);
+            let c = clamp_class(zipf.draw(&mut rng), params);
             (p.max(1), c)
         })
         .collect();
@@ -176,6 +225,7 @@ pub fn data_placement(params: &GenParams, seed: u64) -> Instance {
 /// durations.
 pub fn video_on_demand(params: &GenParams, seed: u64) -> Instance {
     let mut rng = Rng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(params.classes, 1.4);
     let durations = [
         params.p_max,              // full movie
         params.p_max / 2,          // half watched
@@ -185,7 +235,7 @@ pub fn video_on_demand(params: &GenParams, seed: u64) -> Instance {
     let jobs = (0..params.jobs)
         .map(|_| {
             let p = durations[rng.below_usize(durations.len())].max(1);
-            let c = clamp_class(zipf_class(&mut rng, params.classes, 1.4), params);
+            let c = clamp_class(zipf.draw(&mut rng), params);
             (p, c)
         })
         .collect();
@@ -407,6 +457,40 @@ mod tests {
             .max()
             .unwrap();
         assert!(hottest * inst.num_classes() > 2 * inst.num_jobs());
+    }
+
+    #[test]
+    fn zipf_sampler_is_deterministic_and_in_bounds() {
+        let sampler = ZipfSampler::new(37, 1.1);
+        assert_eq!(sampler.len(), 37);
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = Rng::seed_from_u64(99);
+        for _ in 0..5_000 {
+            let x = sampler.draw(&mut a);
+            assert_eq!(x, sampler.draw(&mut b));
+            assert!(x < 37);
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_matches_the_analytic_head_mass() {
+        // With s = 1.0 over 10 classes the head class holds 1/H(10) ≈ 34%
+        // of the mass; a large sample should land within a few points.
+        let sampler = ZipfSampler::new(10, 1.0);
+        let mut rng = Rng::seed_from_u64(5);
+        let draws = 20_000;
+        let head = (0..draws).filter(|_| sampler.draw(&mut rng) == 0).count() as f64 / draws as f64;
+        let h10: f64 = (1..=10).map(|k| 1.0 / k as f64).sum();
+        assert!((head - 1.0 / h10).abs() < 0.02, "head mass {head}");
+    }
+
+    #[test]
+    fn zipf_sampler_single_class_always_draws_zero() {
+        let sampler = ZipfSampler::new(0, 1.4); // clamped to one class
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(sampler.draw(&mut rng), 0);
+        }
     }
 
     #[test]
